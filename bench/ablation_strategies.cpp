@@ -1,0 +1,36 @@
+// Ablation (beyond the paper): the PWU family itself.
+//   cv        = PWU at alpha 0 (coefficient of variation — pure risk/return)
+//   pwu       = the paper's alpha = 0.01 operating point
+//   maxu      = PWU at alpha 1 (pure uncertainty)
+//   egreedy   = PWU + 10% uniform exploration
+// This isolates how much of PWU's win comes from the performance weighting
+// exponent vs from epsilon-style exploration.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pwu;
+  const auto opts = util::BenchOptions::from_env();
+  bench::print_banner("Ablation — PWU family (alpha limits, epsilon-greedy)",
+                      opts);
+
+  const double alpha = 0.01;
+  const auto spec = bench::spec_from_options(
+      opts, {"pwu", "cv", "maxu", "egreedy", "ei"}, alpha);
+
+  for (const std::string name : {"atax", "mm"}) {
+    bench::ScopedTimer timer(name);
+    const auto workload = workloads::make_workload(name);
+    const auto result = core::run_experiment(*workload, spec);
+    std::cout << "\n--- " << name << " ---\n";
+    core::print_rmse_chart(std::cout, result, "PWU family on " + name);
+    core::write_series_csv(opts.out_dir, result, "ablation_family");
+    std::cout << "final RMSE:";
+    for (const auto& series : result.series) {
+      std::cout << "  " << series.strategy << "="
+                << util::TextTable::cell_sci(series.final_rmse());
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation (the paper's Section VI future work): model portability.
+// Learn atax on "platform A", then model the warped platform variant of
+// the same kernel with and without warm-starting from the source samples.
+//
+// Expected shape: the warm-started learner starts at a far lower error and
+// holds an advantage until the from-scratch learner has amassed enough
+// target samples; the gap at small budgets is the portability win.
+
+#include "bench_common.hpp"
+
+#include "core/active_learner.hpp"
+#include "space/pool.hpp"
+#include "util/ascii_chart.hpp"
+#include "workloads/synthetic.hpp"
+
+int main() {
+  using namespace pwu;
+  const auto opts = util::BenchOptions::from_env();
+  bench::print_banner(
+      "Ablation — transfer: warm-started vs from-scratch modeling", opts);
+
+  const auto source = workloads::make_workload("atax");
+  const auto target = workloads::make_platform_variant(
+      workloads::make_workload("atax"));
+  std::cout << "source: " << source->name() << "  ->  target: "
+            << target->name() << " (same space, warped time surface)\n";
+
+  util::Rng rng(opts.seed);
+
+  // Label source samples once (in deployment these already exist from
+  // tuning the source platform).
+  const auto& s = source->space();
+  rf::Dataset warm(s.num_params(), s.categorical_mask(), s.cardinalities());
+  const std::size_t source_samples = opts.n_max;
+  for (std::size_t i = 0; i < source_samples; ++i) {
+    const auto c = s.random_config(rng);
+    warm.add(s.features(c), source->measure(c, rng, 1));
+  }
+  std::cout << "warm-start pool: " << source_samples
+            << " source-task samples (zero target cost)\n\n";
+
+  const auto split = space::make_pool_split(target->space(), opts.pool_size,
+                                            opts.test_size, rng);
+  const auto test = core::build_test_set(*target, split.test, rng);
+
+  core::LearnerConfig cfg;
+  cfg.n_init = opts.n_init;
+  cfg.n_max = opts.n_max;
+  cfg.forest.num_trees = opts.num_trees;
+  cfg.eval_every = opts.eval_every;
+  cfg.eval_alphas = {0.05};
+  core::ActiveLearner learner(*target, cfg);
+
+  util::Rng rng_cold(opts.seed + 1), rng_warm(opts.seed + 1);
+  const auto cold =
+      learner.run(*core::make_pwu(0.05), split.pool, test, rng_cold);
+  const auto warmed = learner.run_warm(*core::make_pwu(0.05), split.pool,
+                                       test, warm, rng_warm);
+
+  util::TextTable table;
+  table.set_header(
+      {"target #samples", "from-scratch RMSE", "warm-start RMSE"});
+  util::ChartSeries cold_series{"from scratch", {}, {}, 'c'};
+  util::ChartSeries warm_series{"warm start", {}, {}, 'w'};
+  const std::size_t points =
+      std::min(cold.trace.size(), warmed.trace.size());
+  for (std::size_t i = 0; i < points; ++i) {
+    table.add_row(
+        {std::to_string(cold.trace[i].num_samples),
+         util::TextTable::cell_sci(cold.trace[i].top_alpha_rmse[0]),
+         util::TextTable::cell_sci(warmed.trace[i].top_alpha_rmse[0])});
+    cold_series.x.push_back(
+        static_cast<double>(cold.trace[i].num_samples));
+    cold_series.y.push_back(cold.trace[i].top_alpha_rmse[0]);
+    warm_series.x.push_back(
+        static_cast<double>(warmed.trace[i].num_samples));
+    warm_series.y.push_back(warmed.trace[i].top_alpha_rmse[0]);
+  }
+  table.print(std::cout);
+
+  util::ChartOptions chart;
+  chart.title = "transfer to " + target->name() + ": top-5% RMSE";
+  chart.x_label = "target samples";
+  chart.y_label = "RMSE";
+  chart.log_y = true;
+  std::cout << util::render_chart({cold_series, warm_series}, chart);
+
+  std::cout << "cold-start error at first evaluation: "
+            << util::TextTable::cell_sci(cold.trace.front().top_alpha_rmse[0])
+            << "\nwarm-start error at first evaluation: "
+            << util::TextTable::cell_sci(
+                   warmed.trace.front().top_alpha_rmse[0])
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared plumbing for the figure-reproduction binaries: environment-scaled
+// experiment specs, kernel-subset selection, and timing decoration.
+
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+namespace pwu::bench {
+
+/// Builds an ExperimentSpec from the PWU_* environment knobs.
+inline core::ExperimentSpec spec_from_options(
+    const util::BenchOptions& opts, std::vector<std::string> strategies,
+    double alpha) {
+  core::ExperimentSpec spec;
+  spec.strategies = std::move(strategies);
+  spec.alpha = alpha;
+  spec.repeats = opts.repeats;
+  spec.pool_size = opts.pool_size;
+  spec.test_size = opts.test_size;
+  spec.learner.n_init = opts.n_init;
+  spec.learner.n_max = opts.n_max;
+  spec.learner.forest.num_trees = opts.num_trees;
+  spec.learner.eval_every = opts.eval_every;
+  spec.seed = opts.seed;
+  return spec;
+}
+
+/// Workload subset: PWU_KERNELS="atax,mm" restricts kernel sweeps; default
+/// is the full paper set.
+inline std::vector<std::string> selected_kernels() {
+  const auto env = util::env_string("PWU_KERNELS");
+  if (!env) return workloads::kernel_names();
+  std::vector<std::string> picked;
+  std::stringstream ss(*env);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) picked.push_back(item);
+  }
+  return picked.empty() ? workloads::kernel_names() : picked;
+}
+
+/// Header block every figure binary prints.
+inline void print_banner(const std::string& figure,
+                         const util::BenchOptions& opts) {
+  std::cout << "==========================================================\n"
+            << figure << "\n"
+            << "scale: " << opts.describe() << "\n"
+            << "(set PWU_FULL=1 for the paper-scale protocol; "
+               "PWU_KERNELS=a,b to subset)\n"
+            << "==========================================================\n";
+}
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string label) : label_(std::move(label)) {}
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    std::cout << "[" << label_ << " took "
+              << std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                         .count() /
+                     1000.0
+              << " s]\n";
+  }
+
+ private:
+  std::string label_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace pwu::bench

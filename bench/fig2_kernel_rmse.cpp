@@ -1,0 +1,39 @@
+// Fig. 2: top-alpha RMSE vs number of labeled samples for the 12 SPAPT
+// kernels under all compared sampling methods (alpha = 0.01 as in
+// Section IV-A). Prints one table + one chart per kernel.
+//
+// Expected shape (paper): PWU reaches a low error level first and holds an
+// advantage over PBUS/MaxU/BestPerf/BRS for (nearly) all kernels.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pwu;
+  const auto opts = util::BenchOptions::from_env();
+  bench::print_banner(
+      "Fig. 2 — RMSE vs #samples, 12 SPAPT kernels, alpha=0.01", opts);
+
+  const double alpha = 0.01;
+  const auto spec = bench::spec_from_options(
+      opts, core::standard_strategy_names(), alpha);
+
+  for (const auto& name : bench::selected_kernels()) {
+    bench::ScopedTimer timer(name);
+    const auto workload = workloads::make_workload(name);
+    const auto result = core::run_experiment(*workload, spec);
+    std::cout << "\n--- " << name << " (top-" << alpha * 100
+              << "% RMSE, seconds) ---\n";
+    core::print_series_table(std::cout, result);
+    core::print_rmse_chart(std::cout, result, "RMSE vs #samples: " + name);
+    core::write_series_csv(opts.out_dir, result, "fig2");
+
+    // Paper-style summary line: where each strategy converges.
+    std::cout << "final RMSE:";
+    for (const auto& series : result.series) {
+      std::cout << "  " << series.strategy << "="
+                << util::TextTable::cell_sci(series.final_rmse());
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

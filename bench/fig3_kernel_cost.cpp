@@ -1,0 +1,36 @@
+// Fig. 3: cumulative labeling cost (CC, Eq. 3) vs number of samples for the
+// 12 SPAPT kernels under all compared sampling methods.
+//
+// Expected shape (paper): BestPerf and BRS label cheapest (they stay in the
+// fast region), PWU costs less than PBUS while reaching lower error, MaxU
+// and uniform random pay for labeling slow configurations.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pwu;
+  const auto opts = util::BenchOptions::from_env();
+  bench::print_banner("Fig. 3 — CC vs #samples, 12 SPAPT kernels", opts);
+
+  const double alpha = 0.01;
+  const auto spec = bench::spec_from_options(
+      opts, core::standard_strategy_names(), alpha);
+
+  for (const auto& name : bench::selected_kernels()) {
+    bench::ScopedTimer timer(name);
+    const auto workload = workloads::make_workload(name);
+    const auto result = core::run_experiment(*workload, spec);
+    std::cout << "\n--- " << name << " (cumulative cost, seconds) ---\n";
+    core::print_cost_chart(std::cout, result, "CC vs #samples: " + name);
+    core::write_series_csv(opts.out_dir, result, "fig3");
+
+    std::cout << "final CC:";
+    for (const auto& series : result.series) {
+      std::cout << "  " << series.strategy << "="
+                << util::TextTable::cell(series.points.back().cc_mean, 2)
+                << "s";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 4: RMSE (a) and CC (b) vs number of samples for the two parallel
+// applications kripke and hypre (alpha = 0.01).
+//
+// Expected shape (paper): PWU attains the lowest error; its CC is higher
+// than the cheap baselines (the uncertain configurations of an application
+// space are the expensive ones), which is exactly why Fig. 5 re-keys the
+// comparison by cost.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pwu;
+  const auto opts = util::BenchOptions::from_env();
+  bench::print_banner("Fig. 4 — RMSE and CC vs #samples: kripke, hypre",
+                      opts);
+
+  const double alpha = 0.01;
+  auto spec = bench::spec_from_options(opts, core::standard_strategy_names(),
+                                       alpha);
+
+  for (const auto& name : workloads::application_names()) {
+    bench::ScopedTimer timer(name);
+    const auto workload = workloads::make_workload(name);
+    // Application spaces are enumerable: the learner may stop early when
+    // the pool drains; cap n_max to stay within the pool.
+    auto app_spec = spec;
+    const auto total = static_cast<std::size_t>(workload->space().size());
+    const std::size_t pool_share = total * 7 / 10;
+    app_spec.learner.n_max = std::min(app_spec.learner.n_max, pool_share);
+
+    const auto result = core::run_experiment(*workload, app_spec);
+    std::cout << "\n--- " << name << " ---\n";
+    core::print_series_table(std::cout, result);
+    core::print_rmse_chart(std::cout, result,
+                           "Fig 4(a) RMSE vs #samples: " + name);
+    core::print_cost_chart(std::cout, result,
+                           "Fig 4(b) CC vs #samples: " + name);
+    core::write_series_csv(opts.out_dir, result, "fig4");
+  }
+  return 0;
+}

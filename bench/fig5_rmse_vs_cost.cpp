@@ -1,0 +1,37 @@
+// Fig. 5: top-alpha RMSE as a function of *cumulative time cost* — the
+// fair comparison when strategies label samples of very different expense.
+// The paper plots the two applications; we also include the atax case-study
+// kernel.
+//
+// Expected shape: PWU dominates or matches every baseline once the x-axis
+// is cost rather than sample count.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pwu;
+  const auto opts = util::BenchOptions::from_env();
+  bench::print_banner("Fig. 5 — RMSE vs cumulative cost", opts);
+
+  const double alpha = 0.01;
+  const auto spec = bench::spec_from_options(
+      opts, core::standard_strategy_names(), alpha);
+
+  const std::vector<std::string> programs = {"kripke", "hypre", "atax"};
+  for (const auto& name : programs) {
+    bench::ScopedTimer timer(name);
+    const auto workload = workloads::make_workload(name);
+    auto prog_spec = spec;
+    if (workload->space().size() < 1e6L) {
+      const auto total = static_cast<std::size_t>(workload->space().size());
+      prog_spec.learner.n_max =
+          std::min(prog_spec.learner.n_max, total * 7 / 10);
+    }
+    const auto result = core::run_experiment(*workload, prog_spec);
+    std::cout << "\n--- " << name << " ---\n";
+    core::print_rmse_vs_cost_chart(std::cout, result,
+                                   "RMSE vs cumulative cost: " + name);
+    core::write_series_csv(opts.out_dir, result, "fig5");
+  }
+  return 0;
+}

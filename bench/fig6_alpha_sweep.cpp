@@ -1,0 +1,34 @@
+// Fig. 6: robustness to the alpha knob — RMSE vs #samples for PWU and PBUS
+// on the atax kernel at alpha in {0.01, 0.05, 0.10} (Section IV-B).
+//
+// Expected shape: PWU performs best at every alpha; the ordering does not
+// flip as the high-performance definition loosens.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pwu;
+  const auto opts = util::BenchOptions::from_env();
+  bench::print_banner(
+      "Fig. 6 — RMSE vs #samples at alpha in {0.01, 0.05, 0.10} (atax)",
+      opts);
+
+  const auto workload = workloads::make_workload("atax");
+  for (double alpha : {0.01, 0.05, 0.10}) {
+    bench::ScopedTimer timer("alpha=" + util::TextTable::cell(alpha, 2));
+    const auto spec = bench::spec_from_options(
+        opts, {"pwu", "pbus"}, alpha);
+    const auto result = core::run_experiment(*workload, spec);
+    std::cout << "\n--- alpha = " << alpha << " ---\n";
+    core::print_series_table(std::cout, result);
+    core::print_rmse_chart(
+        std::cout, result,
+        "atax, alpha=" + util::TextTable::cell(alpha, 2));
+    core::write_series_csv(opts.out_dir, result,
+                           "fig6_alpha" + util::TextTable::cell(alpha, 2));
+    const double speedup = core::cost_speedup(result, "pwu", "pbus");
+    std::cout << "cost speedup pwu vs pbus at matched error: "
+              << util::TextTable::cell(speedup, 2) << "x\n";
+  }
+  return 0;
+}

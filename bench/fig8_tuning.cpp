@@ -1,0 +1,84 @@
+// Fig. 8: tuning the atax kernel directly (true annotator: each pick is an
+// actual program execution) vs with the learned surrogate as annotator
+// (predictions stand in for measurements).
+//
+// Expected shape (paper): the surrogate-annotated tuner's best-so-far curve
+// is comparable to — occasionally better than — ground-truth tuning, at
+// negligible annotation cost.
+
+#include "bench_common.hpp"
+
+#include "core/active_learner.hpp"
+#include "core/tuner.hpp"
+#include "space/pool.hpp"
+#include "util/ascii_chart.hpp"
+
+int main() {
+  using namespace pwu;
+  const auto opts = util::BenchOptions::from_env();
+  bench::print_banner("Fig. 8 — direct tuning vs surrogate tuning (atax)",
+                      opts);
+
+  const auto workload = workloads::make_workload("atax");
+  util::Rng rng(opts.seed);
+
+  // Phase 1: learn the surrogate with PWU active learning.
+  const auto split = space::make_pool_split(
+      workload->space(), opts.pool_size, opts.test_size, rng);
+  const auto test = core::build_test_set(*workload, split.test, rng);
+  core::LearnerConfig lc;
+  lc.n_init = opts.n_init;
+  lc.n_max = opts.n_max;
+  lc.forest.num_trees = opts.num_trees;
+  lc.eval_every = opts.n_max;  // only the final model matters here
+  core::ActiveLearner learner(*workload, lc);
+  std::cout << "training surrogate with PWU (n_max=" << lc.n_max << ")...\n";
+  const auto learned =
+      learner.run(*core::make_pwu(0.05), split.pool, test, rng);
+
+  // Phase 2: two tuners over a fresh candidate set.
+  core::TunerConfig tc;
+  tc.n_init = 10;
+  tc.iterations = std::min<std::size_t>(60, opts.test_size / 4);
+  tc.forest.num_trees = opts.num_trees;
+  util::Rng tuner_rng_a(opts.seed + 1);
+  util::Rng tuner_rng_b(opts.seed + 1);
+  const auto direct =
+      core::tune_direct(*workload, split.test, tc, tuner_rng_a);
+  const auto surrogate = core::tune_with_surrogate(
+      *workload, *learned.model, split.test, tc, tuner_rng_b);
+
+  util::TextTable table;
+  table.set_header({"iteration", "direct best (s)", "surrogate best (s)"});
+  util::ChartSeries direct_series{"direct (true annotator)", {}, {}, 'd'};
+  util::ChartSeries surrogate_series{"surrogate annotator", {}, {}, 's'};
+  for (std::size_t i = 0; i < direct.best_true_time.size(); ++i) {
+    direct_series.x.push_back(static_cast<double>(i + 1));
+    direct_series.y.push_back(direct.best_true_time[i]);
+    surrogate_series.x.push_back(static_cast<double>(i + 1));
+    surrogate_series.y.push_back(surrogate.best_true_time[i]);
+    if ((i + 1) % 10 == 0 || i + 1 == direct.best_true_time.size()) {
+      table.add_row({std::to_string(i + 1),
+                     util::TextTable::cell(direct.best_true_time[i], 4),
+                     util::TextTable::cell(surrogate.best_true_time[i], 4)});
+    }
+  }
+  table.print(std::cout);
+
+  util::ChartOptions chart;
+  chart.title = "best-so-far true execution time (atax)";
+  chart.x_label = "tuning iteration";
+  chart.y_label = "best time (s)";
+  std::cout << util::render_chart({direct_series, surrogate_series}, chart);
+
+  std::cout << "direct tuner evaluations of the real program:   "
+            << direct.best_true_time.size() << "\n"
+            << "surrogate tuner evaluations of the real program: 0 "
+               "(annotations are model predictions)\n"
+            << "final best (direct):    "
+            << util::TextTable::cell(direct.best_true_time.back(), 4)
+            << " s\nfinal best (surrogate): "
+            << util::TextTable::cell(surrogate.best_true_time.back(), 4)
+            << " s\n";
+  return 0;
+}

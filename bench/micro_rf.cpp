@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks for the random-forest substrate: fit and
+// predict cost as functions of training-set size, tree count, and feature
+// count — the quantities that dominate the active-learning loop's own
+// overhead (Algorithm 1 refits from scratch every iteration).
+
+#include <benchmark/benchmark.h>
+
+#include "rf/random_forest.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using pwu::rf::Dataset;
+using pwu::rf::ForestConfig;
+using pwu::rf::RandomForest;
+
+Dataset make_data(std::size_t rows, std::size_t features,
+                  std::uint64_t seed) {
+  pwu::util::Rng rng(seed);
+  Dataset data(features);
+  std::vector<double> row(features);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double label = 0.0;
+    for (std::size_t f = 0; f < features; ++f) {
+      row[f] = rng.uniform(0.0, 10.0);
+      label += (f % 3 == 0 ? row[f] * row[f] : row[f]);
+    }
+    data.add(row, label);
+  }
+  return data;
+}
+
+void BM_ForestFit(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto trees = static_cast<std::size_t>(state.range(1));
+  const Dataset data = make_data(rows, 12, 1);
+  ForestConfig cfg;
+  cfg.num_trees = trees;
+  for (auto _ : state) {
+    pwu::util::Rng rng(2);
+    RandomForest forest;
+    forest.fit(data, cfg, rng);
+    benchmark::DoNotOptimize(forest.num_trees());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_ForestFit)
+    ->Args({100, 25})
+    ->Args({500, 25})
+    ->Args({500, 50})
+    ->Args({2000, 50})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredictStats(benchmark::State& state) {
+  const auto trees = static_cast<std::size_t>(state.range(0));
+  const Dataset data = make_data(500, 12, 3);
+  ForestConfig cfg;
+  cfg.num_trees = trees;
+  pwu::util::Rng rng(4);
+  RandomForest forest;
+  forest.fit(data, cfg, rng);
+  const std::vector<double> row(12, 5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict_stats(row).stddev);
+  }
+}
+BENCHMARK(BM_ForestPredictStats)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_PoolPrediction(benchmark::State& state) {
+  // The per-iteration cost of scoring a 7000-strong pool (paper scale).
+  const auto pool = static_cast<std::size_t>(state.range(0));
+  const Dataset data = make_data(500, 12, 5);
+  ForestConfig cfg;
+  cfg.num_trees = 50;
+  pwu::util::Rng rng(6);
+  RandomForest forest;
+  forest.fit(data, cfg, rng);
+  std::vector<std::vector<double>> rows;
+  pwu::util::Rng row_rng(7);
+  for (std::size_t i = 0; i < pool; ++i) {
+    std::vector<double> row(12);
+    for (auto& v : row) v = row_rng.uniform(0.0, 10.0);
+    rows.push_back(std::move(row));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict_stats_batch(rows).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pool));
+}
+BENCHMARK(BM_PoolPrediction)->Arg(1000)->Arg(7000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_FeatureCountScaling(benchmark::State& state) {
+  const auto features = static_cast<std::size_t>(state.range(0));
+  const Dataset data = make_data(400, features, 8);
+  ForestConfig cfg;
+  cfg.num_trees = 25;
+  for (auto _ : state) {
+    pwu::util::Rng rng(9);
+    RandomForest forest;
+    forest.fit(data, cfg, rng);
+    benchmark::DoNotOptimize(forest.total_nodes());
+  }
+}
+BENCHMARK(BM_FeatureCountScaling)
+    ->Arg(8)    // jacobi
+    ->Arg(20)   // adi
+    ->Arg(38)   // dgemv3
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

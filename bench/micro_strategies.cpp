@@ -1,0 +1,59 @@
+// google-benchmark microbenchmarks for the sampling strategies' selection
+// step — O(pool) scoring plus a partial sort; negligible next to model
+// refits, verified here.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sampling_strategy.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using pwu::core::PoolPrediction;
+
+PoolPrediction make_prediction(std::size_t n) {
+  pwu::util::Rng rng(1);
+  PoolPrediction p;
+  p.mean.resize(n);
+  p.stddev.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.mean[i] = rng.uniform(0.01, 2.0);
+    p.stddev[i] = rng.uniform(0.0, 0.2);
+  }
+  return p;
+}
+
+void run_strategy(benchmark::State& state, const std::string& name) {
+  const auto pool = static_cast<std::size_t>(state.range(0));
+  const PoolPrediction p = make_prediction(pool);
+  const auto strategy = pwu::core::make_strategy(name, 0.01);
+  pwu::util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy->select(p, 1, rng).front());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pool));
+}
+
+void BM_SelectPwu(benchmark::State& state) { run_strategy(state, "pwu"); }
+void BM_SelectPbus(benchmark::State& state) { run_strategy(state, "pbus"); }
+void BM_SelectMaxU(benchmark::State& state) { run_strategy(state, "maxu"); }
+void BM_SelectBrs(benchmark::State& state) { run_strategy(state, "brs"); }
+
+BENCHMARK(BM_SelectPwu)->Arg(1000)->Arg(7000)->Arg(50000);
+BENCHMARK(BM_SelectPbus)->Arg(1000)->Arg(7000)->Arg(50000);
+BENCHMARK(BM_SelectMaxU)->Arg(1000)->Arg(7000)->Arg(50000);
+BENCHMARK(BM_SelectBrs)->Arg(1000)->Arg(7000)->Arg(50000);
+
+void BM_PwuScores(benchmark::State& state) {
+  const auto pool = static_cast<std::size_t>(state.range(0));
+  const PoolPrediction p = make_prediction(pool);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pwu::core::pwu_scores(p, 0.01).front());
+  }
+}
+BENCHMARK(BM_PwuScores)->Arg(7000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

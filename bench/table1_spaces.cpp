@@ -1,0 +1,129 @@
+// Reproduces the paper's parameter/platform tables:
+//   Table I   — ADI compilation-parameter layout
+//   Table II  — kripke parameters
+//   Table III — hypre parameters
+//   Table IV  — node configuration of Platforms A and B
+// plus the Section III-A kernel inventory (parameter counts and space
+// sizes for all 12 SPAPT problems).
+
+#include <iostream>
+#include <map>
+
+#include "sim/platform.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using pwu::util::TextTable;
+
+void print_parameter_table(const std::string& title,
+                           const pwu::space::ParameterSpace& space) {
+  std::cout << "\n" << title << "\n";
+  TextTable table;
+  table.set_header({"name", "type", "#levels", "values"});
+  for (std::size_t i = 0; i < space.num_params(); ++i) {
+    const auto& p = space.param(i);
+    std::string values;
+    const std::size_t shown = std::min<std::size_t>(p.num_levels(), 8);
+    for (std::size_t l = 0; l < shown; ++l) {
+      if (l) values += ", ";
+      values += p.label(l);
+    }
+    if (shown < p.num_levels()) values += ", ...";
+    table.add_row({p.name(), pwu::space::to_string(p.kind()),
+                   std::to_string(p.num_levels()), values});
+  }
+  table.print(std::cout);
+  std::cout << "space size: 10^" << TextTable::cell(space.log10_size(), 2)
+            << " configurations\n";
+}
+
+void print_grouped_adi_table(const pwu::space::ParameterSpace& space) {
+  // Table I groups parameters by type the way the paper does.
+  std::cout << "\nTable I: Compilation parameters of ADI kernel\n";
+  struct Group {
+    std::size_t count = 0;
+    std::string values;
+  };
+  std::map<std::string, Group> groups;
+  auto group_of = [](const std::string& name) -> std::string {
+    if (name.rfind("T", 0) == 0 && name.size() <= 3) return "tile";
+    if (name.rfind("U", 0) == 0) return "unrolljam";
+    if (name.rfind("RT", 0) == 0) return "regtile";
+    if (name.rfind("SCREP", 0) == 0) return "scalarreplace";
+    return "vector";
+  };
+  for (std::size_t i = 0; i < space.num_params(); ++i) {
+    const auto& p = space.param(i);
+    auto& g = groups[group_of(p.name())];
+    ++g.count;
+    if (g.values.empty()) {
+      const std::size_t shown = std::min<std::size_t>(p.num_levels(), 7);
+      for (std::size_t l = 0; l < shown; ++l) {
+        if (l) g.values += ", ";
+        g.values += p.label(l);
+      }
+      if (shown < p.num_levels()) g.values += ", ..., " + p.label(p.num_levels() - 1);
+    }
+  }
+  TextTable table;
+  table.set_header({"Type", "Number", "Values"});
+  for (const char* key :
+       {"tile", "unrolljam", "regtile", "scalarreplace", "vector"}) {
+    const auto& g = groups.at(key);
+    table.add_row({key, std::to_string(g.count), g.values});
+  }
+  table.print(std::cout);
+}
+
+void print_platform_table() {
+  std::cout << "\nTable IV: Node configuration of two platforms\n";
+  const auto a = pwu::sim::platform_a();
+  const auto b = pwu::sim::platform_b();
+  TextTable table;
+  table.set_header({"Specification", "Platform A", "Platform B"});
+  table.add_row({"CPU type", a.cpu, b.cpu});
+  table.add_row({"CPU frequency", TextTable::cell(a.freq_ghz, 1) + "GHz",
+                 TextTable::cell(b.freq_ghz, 1) + "GHz"});
+  table.add_row({"#core", std::to_string(a.cores), std::to_string(b.cores)});
+  table.add_row({"memory", TextTable::cell(a.memory_gib, 0) + "GB",
+                 TextTable::cell(b.memory_gib, 0) + "GB"});
+  table.add_row({"network", "-", "100Gbps OPA"});
+  table.add_row({"L1/L2/L3", TextTable::cell(a.l1_kib, 0) + "KiB/" +
+                                 TextTable::cell(a.l2_kib, 0) + "KiB/" +
+                                 TextTable::cell(a.l3_mib, 0) + "MiB",
+                 TextTable::cell(b.l1_kib, 0) + "KiB/" +
+                     TextTable::cell(b.l2_kib, 0) + "KiB/" +
+                     TextTable::cell(b.l3_mib, 0) + "MiB"});
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Tables I-IV: benchmark parameter spaces and platforms\n";
+
+  const auto adi = pwu::workloads::make_workload("adi");
+  print_grouped_adi_table(adi->space());
+  print_parameter_table("Table I (expanded): ADI parameters", adi->space());
+
+  const auto kripke = pwu::workloads::make_workload("kripke");
+  print_parameter_table("Table II: Parameters of kripke", kripke->space());
+
+  const auto hypre = pwu::workloads::make_workload("hypre");
+  print_parameter_table("Table III: Parameters of hypre", hypre->space());
+
+  print_platform_table();
+
+  std::cout << "\nSection III-A: SPAPT kernel inventory\n";
+  TextTable inventory;
+  inventory.set_header({"kernel", "#params", "log10(|space|)"});
+  for (const auto& name : pwu::workloads::kernel_names()) {
+    const auto w = pwu::workloads::make_workload(name);
+    inventory.add_row({name, std::to_string(w->space().num_params()),
+                       TextTable::cell(w->space().log10_size(), 1)});
+  }
+  inventory.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// CLI for ad-hoc strategy comparisons on any registered benchmark:
+//
+//   $ ./compare_strategies <workload> [alpha=0.05] [n_max=120] [repeats=2]
+//   $ ./compare_strategies mm 0.01 200 3
+//
+// Prints the paper-style RMSE/CC table and charts for all six standard
+// strategies plus the epsilon-greedy extension.
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pwu;
+  if (argc < 2) {
+    std::cout << "usage: compare_strategies <workload> [alpha] [n_max] "
+                 "[repeats]\nworkloads:";
+    for (const auto& name : workloads::all_names()) std::cout << " " << name;
+    std::cout << "\n";
+    return 1;
+  }
+  const std::string name = argv[1];
+  const double alpha = argc > 2 ? std::atof(argv[2]) : 0.05;
+  const std::size_t n_max =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 120;
+  const std::size_t repeats =
+      argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 2;
+
+  const auto workload = workloads::make_workload(name);
+
+  core::ExperimentSpec spec;
+  spec.strategies = core::standard_strategy_names();
+  spec.strategies.push_back("egreedy");
+  spec.alpha = alpha;
+  spec.repeats = repeats;
+  spec.pool_size = 1400;
+  spec.test_size = 600;
+  spec.learner.n_init = 10;
+  spec.learner.n_max = n_max;
+  spec.learner.forest.num_trees = 40;
+  spec.learner.eval_every = std::max<std::size_t>(1, n_max / 12);
+  spec.seed = 2026;
+
+  if (workload->space().size() < 1e6L) {
+    const auto total = static_cast<std::size_t>(workload->space().size());
+    spec.learner.n_max = std::min(spec.learner.n_max, total * 7 / 10);
+  }
+
+  std::cout << "comparing " << spec.strategies.size() << " strategies on "
+            << name << " (alpha=" << alpha << ", budget "
+            << spec.learner.n_max << ", " << repeats << " repeats)\n\n";
+  const auto result = core::run_experiment(*workload, spec);
+
+  core::print_series_table(std::cout, result);
+  core::print_rmse_chart(std::cout, result,
+                         name + ": top-alpha RMSE vs #samples");
+  core::print_rmse_vs_cost_chart(std::cout, result,
+                                 name + ": RMSE vs cumulative cost");
+
+  const double speedup = core::cost_speedup(result, "pwu", "pbus");
+  if (std::isfinite(speedup)) {
+    std::cout << "PWU vs PBUS cost speedup at matched error: "
+              << util::TextTable::cell(speedup, 2) << "x\n";
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "core/convergence.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace pwu::core {
+
+std::size_t convergence_point(const std::vector<IterationRecord>& trace,
+                              const ConvergenceCriterion& criterion,
+                              std::size_t alpha_index) {
+  if (criterion.window == 0) {
+    throw std::invalid_argument("convergence_point: window must be > 0");
+  }
+  if (trace.size() <= criterion.window) return trace.size();
+
+  auto rmse_at = [&](std::size_t i) {
+    const auto& values = trace[i].top_alpha_rmse;
+    if (alpha_index >= values.size()) {
+      throw std::out_of_range("convergence_point: alpha_index out of range");
+    }
+    return values[alpha_index];
+  };
+
+  // best_before[i]: best RMSE over trace[0..i].
+  double best_before = rmse_at(0);
+  for (std::size_t end = criterion.window; end < trace.size(); ++end) {
+    const std::size_t start = end - criterion.window;
+    // Fold records up to the window start into the prefix best.
+    best_before = std::min(best_before, rmse_at(start));
+    double best_in_window = std::numeric_limits<double>::infinity();
+    for (std::size_t i = start + 1; i <= end; ++i) {
+      best_in_window = std::min(best_in_window, rmse_at(i));
+    }
+    const bool enough_samples =
+        trace[end].num_samples >= criterion.min_samples;
+    const double improvement =
+        best_before > 0.0 ? (best_before - best_in_window) / best_before
+                          : 0.0;
+    if (enough_samples && improvement < criterion.min_relative_improvement) {
+      return end;
+    }
+  }
+  return trace.size();
+}
+
+std::size_t converged_sample_count(const std::vector<IterationRecord>& trace,
+                                   const ConvergenceCriterion& criterion,
+                                   std::size_t alpha_index) {
+  const std::size_t point = convergence_point(trace, criterion, alpha_index);
+  return point < trace.size() ? trace[point].num_samples : 0;
+}
+
+std::size_t converged_sample_count(const StrategySeries& series,
+                                   const ConvergenceCriterion& criterion) {
+  // Adapt the averaged series into the trace shape the detector scans.
+  std::vector<IterationRecord> trace;
+  trace.reserve(series.points.size());
+  for (const auto& p : series.points) {
+    IterationRecord rec;
+    rec.num_samples = p.num_samples;
+    rec.top_alpha_rmse = {p.rmse_mean};
+    trace.push_back(std::move(rec));
+  }
+  return converged_sample_count(trace, criterion, 0);
+}
+
+}  // namespace pwu::core

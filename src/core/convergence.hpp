@@ -1,0 +1,48 @@
+// Convergence detection for the active-learning trace.
+//
+// The paper fixes n_max = 500 "because the model begins to converge when
+// collecting about 500 samples" — a manual judgement. This module makes it
+// operational: a sliding-window test that declares convergence when the
+// best top-alpha RMSE has stopped improving by more than a relative
+// tolerance over a window of evaluations, so budgets can be chosen
+// adaptively instead of hand-picked.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/active_learner.hpp"
+#include "core/experiment.hpp"
+
+namespace pwu::core {
+
+struct ConvergenceCriterion {
+  /// Evaluations (trace records) the improvement is measured across.
+  std::size_t window = 5;
+  /// Declare convergence when the windowed best improves the overall best
+  /// by less than this relative fraction.
+  double min_relative_improvement = 0.02;
+  /// Never declare convergence before this many training samples.
+  std::size_t min_samples = 50;
+};
+
+/// Index of the first trace record at which the criterion is met, or
+/// trace.size() when the run never converges. The scan compares each
+/// window's best RMSE against the best seen before the window.
+std::size_t convergence_point(const std::vector<IterationRecord>& trace,
+                              const ConvergenceCriterion& criterion = {},
+                              std::size_t alpha_index = 0);
+
+/// Convenience: the number of training samples at the convergence point
+/// (0 when the run never converges).
+std::size_t converged_sample_count(
+    const std::vector<IterationRecord>& trace,
+    const ConvergenceCriterion& criterion = {}, std::size_t alpha_index = 0);
+
+/// Same detector over a repeat-averaged experiment series (rmse_mean
+/// curve). Returns 0 when the series never converges.
+std::size_t converged_sample_count(const StrategySeries& series,
+                                   const ConvergenceCriterion& criterion = {});
+
+}  // namespace pwu::core

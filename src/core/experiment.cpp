@@ -1,0 +1,140 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/statistics.hpp"
+
+namespace pwu::core {
+
+double StrategySeries::cost_to_reach_rmse(double target) const {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].rmse_mean <= target) {
+      if (i == 0) return points[i].cc_mean;
+      // Linear interpolation between the bracketing evaluation points.
+      const auto& lo = points[i - 1];
+      const auto& hi = points[i];
+      const double span = lo.rmse_mean - hi.rmse_mean;
+      if (span <= 0.0) return hi.cc_mean;
+      const double t = (lo.rmse_mean - target) / span;
+      return lo.cc_mean + t * (hi.cc_mean - lo.cc_mean);
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+double StrategySeries::final_rmse() const {
+  return points.empty() ? std::numeric_limits<double>::quiet_NaN()
+                        : points.back().rmse_mean;
+}
+
+double StrategySeries::best_rmse() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& p : points) best = std::min(best, p.rmse_mean);
+  return points.empty() ? std::numeric_limits<double>::quiet_NaN() : best;
+}
+
+const StrategySeries& ExperimentResult::find(
+    const std::string& strategy) const {
+  for (const auto& s : series) {
+    if (s.strategy == strategy) return s;
+  }
+  throw std::out_of_range("ExperimentResult: no series for strategy '" +
+                          strategy + "'");
+}
+
+ExperimentResult run_experiment(const workloads::Workload& workload,
+                                const ExperimentSpec& spec,
+                                util::ThreadPool* thread_pool) {
+  if (spec.strategies.empty()) {
+    throw std::invalid_argument("run_experiment: no strategies given");
+  }
+  if (spec.repeats == 0) {
+    throw std::invalid_argument("run_experiment: repeats must be > 0");
+  }
+
+  LearnerConfig learner_config = spec.learner;
+  // The experiment metric alpha drives the evaluation; make sure it is
+  // among the evaluated alphas (first slot).
+  learner_config.eval_alphas = {spec.alpha};
+
+  ActiveLearner learner(workload, learner_config);
+  util::Rng master(spec.seed);
+
+  // traces[strategy][repeat]
+  std::vector<std::vector<std::vector<IterationRecord>>> traces(
+      spec.strategies.size());
+
+  for (std::size_t rep = 0; rep < spec.repeats; ++rep) {
+    util::Rng split_rng = master.fork();
+    const space::PoolSplit split = space::make_pool_split(
+        workload.space(), spec.pool_size, spec.test_size, split_rng);
+    const TestSet test =
+        build_test_set(workload, split.test, split_rng,
+                       learner_config.measure_repetitions);
+
+    for (std::size_t s = 0; s < spec.strategies.size(); ++s) {
+      StrategyPtr strategy = make_strategy(spec.strategies[s], spec.alpha);
+      util::Rng run_rng = master.fork();
+      LearnerResult run_result = learner.run(*strategy, split.pool, test,
+                                             run_rng, thread_pool);
+      traces[s].push_back(std::move(run_result.trace));
+    }
+    util::log_debug() << workload.name() << ": repeat " << (rep + 1) << "/"
+                      << spec.repeats << " done";
+  }
+
+  // Aggregate point-wise across repeats. All repeats share the evaluation
+  // grid; guard with the min length anyway.
+  ExperimentResult result;
+  result.workload = workload.name();
+  result.alpha = spec.alpha;
+  for (std::size_t s = 0; s < spec.strategies.size(); ++s) {
+    StrategySeries series;
+    series.strategy = spec.strategies[s];
+    std::size_t min_len = std::numeric_limits<std::size_t>::max();
+    for (const auto& trace : traces[s]) {
+      min_len = std::min(min_len, trace.size());
+    }
+    if (min_len == std::numeric_limits<std::size_t>::max()) min_len = 0;
+    for (std::size_t p = 0; p < min_len; ++p) {
+      util::RunningStats rmse_stats, cc_stats, full_stats;
+      for (const auto& trace : traces[s]) {
+        rmse_stats.add(trace[p].top_alpha_rmse.at(0));
+        cc_stats.add(trace[p].cumulative_cost);
+        full_stats.add(trace[p].full_rmse);
+      }
+      SeriesPoint point;
+      point.num_samples = traces[s].front()[p].num_samples;
+      point.rmse_mean = rmse_stats.mean();
+      point.rmse_stddev = rmse_stats.stddev();
+      point.cc_mean = cc_stats.mean();
+      point.cc_stddev = cc_stats.stddev();
+      point.full_rmse_mean = full_stats.mean();
+      series.points.push_back(point);
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+double cost_speedup(const ExperimentResult& result,
+                    const std::string& pwu_name,
+                    const std::string& baseline_name, double rmse_margin) {
+  const StrategySeries& ours = result.find(pwu_name);
+  const StrategySeries& baseline = result.find(baseline_name);
+  const double target =
+      rmse_margin * std::max(ours.best_rmse(), baseline.best_rmse());
+  const double cost_ours = ours.cost_to_reach_rmse(target);
+  const double cost_baseline = baseline.cost_to_reach_rmse(target);
+  if (!std::isfinite(cost_ours) || !std::isfinite(cost_baseline) ||
+      cost_ours <= 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return cost_baseline / cost_ours;
+}
+
+}  // namespace pwu::core

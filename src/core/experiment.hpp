@@ -1,0 +1,78 @@
+// The paper's experiment protocol (Sections III-D, IV): for each workload,
+// repeat Algorithm 1 `repeats` times per strategy — each repeat on a fresh
+// pool/test split — and average the per-iteration metrics across repeats.
+// Within one repeat, every strategy runs on the *same* split (paired
+// comparison), as the paper's shared-pool protocol implies.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/active_learner.hpp"
+#include "core/sampling_strategy.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/workload.hpp"
+
+namespace pwu::core {
+
+struct ExperimentSpec {
+  /// Strategy names understood by make_strategy().
+  std::vector<std::string> strategies;
+  /// Feeds both the PWU score exponent and the evaluation metric; the paper
+  /// couples them (Sections II-C, III-C).
+  double alpha = 0.05;
+  std::size_t repeats = 10;
+  std::size_t pool_size = 7000;
+  std::size_t test_size = 3000;
+  LearnerConfig learner;
+  std::uint64_t seed = 42;
+};
+
+struct SeriesPoint {
+  std::size_t num_samples = 0;
+  double rmse_mean = 0.0;
+  double rmse_stddev = 0.0;
+  double cc_mean = 0.0;
+  double cc_stddev = 0.0;
+  double full_rmse_mean = 0.0;
+};
+
+struct StrategySeries {
+  std::string strategy;
+  std::vector<SeriesPoint> points;
+
+  /// Smallest mean CC at which the series' RMSE first drops to `target`
+  /// (linear interpolation between evaluation points); NaN if never reached.
+  double cost_to_reach_rmse(double target) const;
+  /// Final (converged) RMSE of the series.
+  double final_rmse() const;
+  /// Minimum RMSE attained anywhere on the series.
+  double best_rmse() const;
+};
+
+struct ExperimentResult {
+  std::string workload;
+  double alpha = 0.0;
+  std::vector<StrategySeries> series;
+
+  const StrategySeries& find(const std::string& strategy) const;
+};
+
+/// Runs the full protocol. Traces of different repeats are aligned on
+/// their shared evaluation grid (same eval_every => same num_samples
+/// sequence) and averaged point-wise.
+ExperimentResult run_experiment(const workloads::Workload& workload,
+                                const ExperimentSpec& spec,
+                                util::ThreadPool* thread_pool = nullptr);
+
+/// Fig. 7's headline statistic: the CC-at-matched-error ratio
+/// cost(baseline) / cost(pwu), where the matched error is
+/// `rmse_margin` x the worse of the two strategies' best RMSE (so both
+/// series provably reach it). NaN when either series never converges.
+double cost_speedup(const ExperimentResult& result,
+                    const std::string& pwu_name,
+                    const std::string& baseline_name,
+                    double rmse_margin = 1.10);
+
+}  // namespace pwu::core

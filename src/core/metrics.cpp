@@ -1,0 +1,66 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/statistics.hpp"
+
+namespace pwu::core {
+
+TestSet build_test_set(const workloads::Workload& workload,
+                       std::span<const space::Configuration> configs,
+                       util::Rng& rng, int repetitions) {
+  TestSet test;
+  test.features.reserve(configs.size());
+  test.labels.reserve(configs.size());
+  const auto& space = workload.space();
+  for (const auto& config : configs) {
+    test.features.push_back(space.features(config));
+    test.labels.push_back(workload.measure(config, rng, repetitions));
+  }
+  test.ranking = util::argsort(test.labels);
+  return test;
+}
+
+namespace detail {
+
+double ranked_prefix_rmse(const PredictFn& predict, const TestSet& test,
+                          std::size_t count) {
+  if (test.size() == 0) {
+    throw std::invalid_argument("ranked_prefix_rmse: empty test set");
+  }
+  count = std::clamp<std::size_t>(count, 1, test.size());
+  double acc = 0.0;
+  for (std::size_t r = 0; r < count; ++r) {
+    const std::size_t i = test.ranking[r];
+    const double err = predict(test.features[i]) - test.labels[i];
+    acc += err * err;
+  }
+  return std::sqrt(acc / static_cast<double>(count));
+}
+
+std::size_t alpha_prefix(const TestSet& test, double alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("top_alpha_rmse: alpha must be in (0, 1]");
+  }
+  return static_cast<std::size_t>(
+      std::floor(static_cast<double>(test.size()) * alpha));
+}
+
+double ranking_tau_impl(const PredictFn& predict, const TestSet& test) {
+  std::vector<double> predicted(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    predicted[i] = predict(test.features[i]);
+  }
+  return util::kendall_tau(test.labels, predicted);
+}
+
+}  // namespace detail
+
+double cumulative_cost(std::span<const double> labels) {
+  return std::accumulate(labels.begin(), labels.end(), 0.0);
+}
+
+}  // namespace pwu::core

@@ -1,0 +1,81 @@
+// Evaluation metrics (paper Section III-C): top-alpha RMSE over the
+// performance ranking (Eq. 2) and cumulative labeling cost CC (Eq. 3).
+//
+// The accuracy metrics are templates over any model exposing
+// `double predict(std::span<const double>) const` — the random forest, a
+// Surrogate, or a Gaussian process all qualify.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "space/configuration.hpp"
+#include "space/parameter_space.hpp"
+#include "util/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pwu::core {
+
+/// Held-out test set with labels measured up front (paper Section III-C:
+/// "the label of every configuration is measured in advance") and its
+/// ascending performance ranking (smallest execution time first).
+struct TestSet {
+  std::vector<std::vector<double>> features;
+  std::vector<double> labels;
+  /// Indices sorted by label ascending (rank 0 = highest performance).
+  std::vector<std::size_t> ranking;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+/// Builds a TestSet by measuring each configuration `repetitions` times.
+TestSet build_test_set(const workloads::Workload& workload,
+                       std::span<const space::Configuration> configs,
+                       util::Rng& rng, int repetitions = 1);
+
+using PredictFn = std::function<double(std::span<const double>)>;
+
+namespace detail {
+/// RMSE of `predict` over the first `count` entries of the performance
+/// ranking (count clamped to [1, n]); throws on an empty test set.
+double ranked_prefix_rmse(const PredictFn& predict, const TestSet& test,
+                          std::size_t count);
+/// Validates alpha in (0, 1] and converts it to the Eq. 2 prefix length.
+std::size_t alpha_prefix(const TestSet& test, double alpha);
+/// Kendall tau between true and predicted labels over the whole test set.
+double ranking_tau_impl(const PredictFn& predict, const TestSet& test);
+}  // namespace detail
+
+/// Eq. 2: RMSE of the model over the top floor(n * alpha) samples of the
+/// *true* performance ranking (at least 1 sample).
+template <typename Model>
+double top_alpha_rmse(const Model& model, const TestSet& test, double alpha) {
+  return detail::ranked_prefix_rmse(
+      [&model](std::span<const double> row) { return model.predict(row); },
+      test, detail::alpha_prefix(test, alpha));
+}
+
+/// RMSE over the entire test set.
+template <typename Model>
+double full_rmse(const Model& model, const TestSet& test) {
+  return detail::ranked_prefix_rmse(
+      [&model](std::span<const double> row) { return model.predict(row); },
+      test, test.size());
+}
+
+/// Rank fidelity of the model over the whole test set (Kendall tau between
+/// true and predicted times) — a supplementary metric beyond the paper.
+template <typename Model>
+double ranking_tau(const Model& model, const TestSet& test) {
+  return detail::ranking_tau_impl(
+      [&model](std::span<const double> row) { return model.predict(row); },
+      test);
+}
+
+/// Eq. 3: cumulative cost of a sequence of measured execution times.
+double cumulative_cost(std::span<const double> labels);
+
+}  // namespace pwu::core

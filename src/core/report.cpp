@@ -1,0 +1,124 @@
+#include "core/report.hpp"
+
+#include <ostream>
+
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace pwu::core {
+
+char strategy_marker(const std::string& strategy_name) {
+  if (strategy_name == "pwu") return '*';
+  if (strategy_name == "pbus") return 'o';
+  if (strategy_name == "maxu") return 'u';
+  if (strategy_name == "bestperf") return 'b';
+  if (strategy_name == "brs") return 'r';
+  if (strategy_name == "random") return '.';
+  if (strategy_name == "cv") return 'c';
+  if (strategy_name == "egreedy") return 'e';
+  return '+';
+}
+
+void print_series_table(std::ostream& os, const ExperimentResult& result) {
+  util::TextTable table;
+  std::vector<std::string> header = {"n"};
+  for (const auto& series : result.series) {
+    header.push_back(series.strategy + ":rmse");
+    header.push_back(series.strategy + ":cc");
+  }
+  table.set_header(std::move(header));
+
+  std::size_t rows = 0;
+  for (const auto& series : result.series) {
+    rows = std::max(rows, series.points.size());
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    std::size_t n = 0;
+    for (const auto& series : result.series) {
+      if (r < series.points.size()) {
+        n = series.points[r].num_samples;
+        break;
+      }
+    }
+    row.push_back(std::to_string(n));
+    for (const auto& series : result.series) {
+      if (r < series.points.size()) {
+        row.push_back(util::TextTable::cell_sci(series.points[r].rmse_mean));
+        row.push_back(util::TextTable::cell(series.points[r].cc_mean, 2));
+      } else {
+        row.push_back("-");
+        row.push_back("-");
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+}
+
+namespace {
+
+void print_chart_impl(std::ostream& os, const ExperimentResult& result,
+                      const std::string& title, bool y_is_cost,
+                      bool x_is_cost) {
+  std::vector<util::ChartSeries> chart_series;
+  for (const auto& series : result.series) {
+    util::ChartSeries cs;
+    cs.label = series.strategy;
+    cs.marker = strategy_marker(series.strategy);
+    for (const auto& p : series.points) {
+      cs.x.push_back(x_is_cost ? p.cc_mean
+                               : static_cast<double>(p.num_samples));
+      cs.y.push_back(y_is_cost ? p.cc_mean : p.rmse_mean);
+    }
+    chart_series.push_back(std::move(cs));
+  }
+  util::ChartOptions options;
+  options.title = title;
+  options.x_label = x_is_cost ? "cumulative cost (s)" : "#samples";
+  options.y_label = y_is_cost ? "cumulative cost (s)" : "top-alpha RMSE";
+  options.log_y = !y_is_cost;  // error curves span orders of magnitude
+  os << util::render_chart(chart_series, options);
+}
+
+}  // namespace
+
+void print_rmse_chart(std::ostream& os, const ExperimentResult& result,
+                      const std::string& title) {
+  print_chart_impl(os, result, title, /*y_is_cost=*/false,
+                   /*x_is_cost=*/false);
+}
+
+void print_cost_chart(std::ostream& os, const ExperimentResult& result,
+                      const std::string& title) {
+  print_chart_impl(os, result, title, /*y_is_cost=*/true, /*x_is_cost=*/false);
+}
+
+void print_rmse_vs_cost_chart(std::ostream& os,
+                              const ExperimentResult& result,
+                              const std::string& title) {
+  print_chart_impl(os, result, title, /*y_is_cost=*/false,
+                   /*x_is_cost=*/true);
+}
+
+void write_series_csv(const std::string& out_dir,
+                      const ExperimentResult& result,
+                      const std::string& tag) {
+  if (out_dir.empty()) return;
+  util::CsvWriter csv(out_dir + "/" + result.workload + "_" + tag + ".csv");
+  csv.write_header({"strategy", "n", "rmse_mean", "rmse_stddev", "cc_mean",
+                    "cc_stddev", "full_rmse_mean"});
+  for (const auto& series : result.series) {
+    for (const auto& p : series.points) {
+      csv.write_row({series.strategy, util::CsvWriter::field(p.num_samples),
+                     util::CsvWriter::field(p.rmse_mean),
+                     util::CsvWriter::field(p.rmse_stddev),
+                     util::CsvWriter::field(p.cc_mean),
+                     util::CsvWriter::field(p.cc_stddev),
+                     util::CsvWriter::field(p.full_rmse_mean)});
+    }
+  }
+}
+
+}  // namespace pwu::core

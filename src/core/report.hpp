@@ -1,0 +1,39 @@
+// Console/CSV rendering of experiment results — the output layer of the
+// figure-reproduction benches.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace pwu::core {
+
+/// Paper-style table: one row per evaluation point, one (RMSE, CC) column
+/// pair per strategy.
+void print_series_table(std::ostream& os, const ExperimentResult& result);
+
+/// ASCII line chart of RMSE vs num_samples (Fig. 2/4a/6 style).
+void print_rmse_chart(std::ostream& os, const ExperimentResult& result,
+                      const std::string& title);
+
+/// ASCII line chart of CC vs num_samples (Fig. 3/4b style).
+void print_cost_chart(std::ostream& os, const ExperimentResult& result,
+                      const std::string& title);
+
+/// ASCII line chart of RMSE vs cumulative cost (Fig. 5 style).
+void print_rmse_vs_cost_chart(std::ostream& os,
+                              const ExperimentResult& result,
+                              const std::string& title);
+
+/// Dumps the full result into `<out_dir>/<workload>_<tag>.csv`
+/// (columns: strategy, n, rmse_mean, rmse_stddev, cc_mean, cc_stddev,
+/// full_rmse_mean). No-op when out_dir is empty.
+void write_series_csv(const std::string& out_dir,
+                      const ExperimentResult& result, const std::string& tag);
+
+/// Marker characters assigned to strategies, stable across charts.
+char strategy_marker(const std::string& strategy_name);
+
+}  // namespace pwu::core

@@ -1,0 +1,73 @@
+#include "core/sampling_strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pwu::core {
+
+std::vector<std::size_t> top_k_indices(std::span<const double> scores,
+                                       std::size_t k) {
+  k = std::min(k, scores.size());
+  std::vector<std::size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<std::size_t> bottom_k_indices(std::span<const double> values,
+                                          std::size_t k) {
+  k = std::min(k, values.size());
+  std::vector<std::size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [&](std::size_t a, std::size_t b) {
+                      if (values[a] != values[b]) return values[a] < values[b];
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<double> pwu_scores(const PoolPrediction& prediction,
+                               double alpha) {
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("pwu_scores: alpha must lie in [0, 1]");
+  }
+  const double exponent = 1.0 - alpha;
+  std::vector<double> scores(prediction.size());
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    // Execution times are strictly positive; the floor only guards against
+    // a degenerate model emitting ~0.
+    const double mu = std::max(prediction.mean[i], 1e-12);
+    scores[i] = prediction.stddev[i] / std::pow(mu, exponent);
+  }
+  return scores;
+}
+
+StrategyPtr make_strategy(const std::string& name, double alpha) {
+  if (name == "pwu") return make_pwu(alpha);
+  if (name == "pbus") return make_pbus();
+  if (name == "maxu") return make_max_uncertainty();
+  if (name == "bestperf") return make_best_performance();
+  if (name == "brs") return make_biased_random();
+  if (name == "random") return make_uniform_random();
+  if (name == "cv") return make_pwu(0.0);
+  if (name == "egreedy") return make_epsilon_greedy_pwu(alpha);
+  if (name == "ei") return make_expected_improvement();
+  if (name == "diverse") return make_diverse_pwu(alpha);
+  throw std::invalid_argument("make_strategy: unknown strategy '" + name +
+                              "'");
+}
+
+std::vector<std::string> standard_strategy_names() {
+  return {"pwu", "pbus", "maxu", "bestperf", "brs", "random"};
+}
+
+}  // namespace pwu::core

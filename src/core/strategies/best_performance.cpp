@@ -1,0 +1,34 @@
+// BestPerf: pure exploitation — always evaluate the configurations the
+// model predicts fastest. Cheapest possible labels (Fig. 3) but the model
+// never learns the boundary of the high-performance region, so its error
+// plateaus early (Fig. 2).
+
+#include "core/sampling_strategy.hpp"
+
+namespace pwu::core {
+
+namespace {
+
+class BestPerformanceStrategy final : public SamplingStrategy {
+ public:
+  BestPerformanceStrategy() : name_("bestperf") {}
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<std::size_t> select(const PoolPrediction& prediction,
+                                  std::size_t batch,
+                                  util::Rng& /*rng*/) const override {
+    return bottom_k_indices(prediction.mean, batch);
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace
+
+StrategyPtr make_best_performance() {
+  return std::make_unique<BestPerformanceStrategy>();
+}
+
+}  // namespace pwu::core

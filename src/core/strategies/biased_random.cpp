@@ -1,0 +1,54 @@
+// BRS (Biased Random Sampling) — the paper's refined random baseline:
+// sample uniformly, but only from the top p% of the *predicted* performance
+// ranking. Cheap labels with some focus, but no redundancy control.
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/sampling_strategy.hpp"
+
+namespace pwu::core {
+
+namespace {
+
+class BiasedRandomStrategy final : public SamplingStrategy {
+ public:
+  explicit BiasedRandomStrategy(double top_fraction)
+      : top_fraction_(top_fraction),
+        name_("brs(p=" + std::to_string(top_fraction) + ")") {
+    if (top_fraction <= 0.0 || top_fraction > 1.0) {
+      throw std::invalid_argument("BRS: top fraction must be in (0, 1]");
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<std::size_t> select(const PoolPrediction& prediction,
+                                  std::size_t batch,
+                                  util::Rng& rng) const override {
+    const std::size_t n = prediction.size();
+    const auto top_count = std::max<std::size_t>(
+        batch, static_cast<std::size_t>(
+                   std::ceil(top_fraction_ * static_cast<double>(n))));
+    std::vector<std::size_t> top = bottom_k_indices(prediction.mean, top_count);
+    std::vector<std::size_t> picks =
+        rng.sample_without_replacement(top.size(), batch);
+    std::vector<std::size_t> out;
+    out.reserve(batch);
+    for (std::size_t p : picks) out.push_back(top[p]);
+    return out;
+  }
+
+ private:
+  double top_fraction_;
+  std::string name_;
+};
+
+}  // namespace
+
+StrategyPtr make_biased_random(double top_fraction) {
+  return std::make_unique<BiasedRandomStrategy>(top_fraction);
+}
+
+}  // namespace pwu::core

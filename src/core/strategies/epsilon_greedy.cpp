@@ -1,0 +1,69 @@
+// Extension beyond the paper: epsilon-greedy PWU. With probability epsilon
+// each pick is uniform over the pool, otherwise it is the PWU argmax.
+// Guards against surrogate lock-in when the forest is badly miscalibrated
+// early on; the ablation bench quantifies whether plain PWU already
+// explores enough (the paper's claim).
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/sampling_strategy.hpp"
+
+namespace pwu::core {
+
+namespace {
+
+class EpsilonGreedyPwuStrategy final : public SamplingStrategy {
+ public:
+  EpsilonGreedyPwuStrategy(double alpha, double epsilon)
+      : alpha_(alpha),
+        epsilon_(epsilon),
+        name_("egreedy-pwu(alpha=" + std::to_string(alpha) +
+              ",eps=" + std::to_string(epsilon) + ")") {
+    if (epsilon < 0.0 || epsilon > 1.0) {
+      throw std::invalid_argument("epsilon-greedy: epsilon must be in [0,1]");
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<std::size_t> select(const PoolPrediction& prediction,
+                                  std::size_t batch,
+                                  util::Rng& rng) const override {
+    const std::vector<double> scores = pwu_scores(prediction, alpha_);
+    // Greedy ranking, long enough to backfill around random picks.
+    std::vector<std::size_t> ranked =
+        top_k_indices(scores, std::min(prediction.size(), batch * 2 + 8));
+
+    std::vector<std::size_t> out;
+    std::unordered_set<std::size_t> used;
+    out.reserve(batch);
+    std::size_t rank_pos = 0;
+    while (out.size() < batch) {
+      std::size_t pick;
+      if (rng.bernoulli(epsilon_)) {
+        pick = rng.index(prediction.size());
+      } else if (rank_pos < ranked.size()) {
+        pick = ranked[rank_pos++];
+      } else {
+        pick = rng.index(prediction.size());
+      }
+      if (used.insert(pick).second) out.push_back(pick);
+    }
+    return out;
+  }
+
+ private:
+  double alpha_;
+  double epsilon_;
+  std::string name_;
+};
+
+}  // namespace
+
+StrategyPtr make_epsilon_greedy_pwu(double alpha, double epsilon) {
+  return std::make_unique<EpsilonGreedyPwuStrategy>(alpha, epsilon);
+}
+
+}  // namespace pwu::core

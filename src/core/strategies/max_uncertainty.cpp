@@ -1,0 +1,33 @@
+// MaxU: classic uncertainty sampling — evaluate wherever the ensemble
+// disagrees most. Models the *whole* space equally well, which the paper
+// shows wastes budget on the (irrelevant) poor-performance regions.
+
+#include "core/sampling_strategy.hpp"
+
+namespace pwu::core {
+
+namespace {
+
+class MaxUncertaintyStrategy final : public SamplingStrategy {
+ public:
+  MaxUncertaintyStrategy() : name_("maxu") {}
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<std::size_t> select(const PoolPrediction& prediction,
+                                  std::size_t batch,
+                                  util::Rng& /*rng*/) const override {
+    return top_k_indices(prediction.stddev, batch);
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace
+
+StrategyPtr make_max_uncertainty() {
+  return std::make_unique<MaxUncertaintyStrategy>();
+}
+
+}  // namespace pwu::core

@@ -1,0 +1,47 @@
+// Performance Weighted Uncertainty sampling — the paper's contribution
+// (Section II-C, Eq. 1).
+//
+// The score s_i = sigma_i / mu_i^(1-alpha) combines both objectives into a
+// single continuous quantity instead of filtering on one before the other
+// (PBUS): between two equally uncertain candidates the one predicted faster
+// scores higher, and between two equally fast candidates the more uncertain
+// one scores higher. At alpha = 1 the performance weight vanishes (pure
+// uncertainty sampling); at alpha = 0 the score is the coefficient of
+// variation sigma/mu — the risk/return statistic the paper draws the
+// finance analogy with.
+
+#include "core/sampling_strategy.hpp"
+
+namespace pwu::core {
+
+namespace {
+
+class PwuStrategy final : public SamplingStrategy {
+ public:
+  explicit PwuStrategy(double alpha)
+      : alpha_(alpha),
+        name_("pwu(alpha=" + std::to_string(alpha) + ")") {}
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<std::size_t> select(const PoolPrediction& prediction,
+                                  std::size_t batch,
+                                  util::Rng& /*rng*/) const override {
+    const std::vector<double> scores = pwu_scores(prediction, alpha_);
+    return top_k_indices(scores, batch);
+  }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::string name_;
+};
+
+}  // namespace
+
+StrategyPtr make_pwu(double alpha) {
+  return std::make_unique<PwuStrategy>(alpha);
+}
+
+}  // namespace pwu::core

@@ -1,0 +1,32 @@
+// Uniform random sampling — the passive-learning baseline every active
+// method must beat.
+
+#include "core/sampling_strategy.hpp"
+
+namespace pwu::core {
+
+namespace {
+
+class UniformRandomStrategy final : public SamplingStrategy {
+ public:
+  UniformRandomStrategy() : name_("random") {}
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<std::size_t> select(const PoolPrediction& prediction,
+                                  std::size_t batch,
+                                  util::Rng& rng) const override {
+    return rng.sample_without_replacement(prediction.size(), batch);
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace
+
+StrategyPtr make_uniform_random() {
+  return std::make_unique<UniformRandomStrategy>();
+}
+
+}  // namespace pwu::core

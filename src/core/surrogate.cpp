@@ -1,0 +1,73 @@
+#include "core/surrogate.hpp"
+
+#include <stdexcept>
+
+namespace pwu::core {
+
+std::vector<rf::PredictionStats> Surrogate::predict_stats_batch(
+    const std::vector<std::vector<double>>& rows,
+    util::ThreadPool* pool) const {
+  std::vector<rf::PredictionStats> out(rows.size());
+  auto body = [&](std::size_t i) { out[i] = predict_stats(rows[i]); };
+  if (pool != nullptr && pool->num_threads() > 1 && rows.size() > 256) {
+    pool->parallel_for(0, rows.size(), body);
+  } else {
+    for (std::size_t i = 0; i < rows.size(); ++i) body(i);
+  }
+  return out;
+}
+
+RandomForestSurrogate::RandomForestSurrogate(rf::ForestConfig config)
+    : config_(config) {}
+
+void RandomForestSurrogate::fit(const rf::Dataset& data, util::Rng& rng,
+                                util::ThreadPool* pool) {
+  forest_.fit(data, config_, rng, pool);
+}
+
+rf::PredictionStats RandomForestSurrogate::predict_stats(
+    std::span<const double> row) const {
+  return forest_.predict_stats(row);
+}
+
+std::vector<rf::PredictionStats> RandomForestSurrogate::predict_stats_batch(
+    const std::vector<std::vector<double>>& rows,
+    util::ThreadPool* pool) const {
+  return forest_.predict_stats_batch(rows, pool);
+}
+
+GaussianProcessSurrogate::GaussianProcessSurrogate(gp::GpConfig config)
+    : config_(std::move(config)) {}
+
+void GaussianProcessSurrogate::fit(const rf::Dataset& data,
+                                   util::Rng& /*rng*/,
+                                   util::ThreadPool* /*pool*/) {
+  gp_.fit(data, config_);
+}
+
+rf::PredictionStats GaussianProcessSurrogate::predict_stats(
+    std::span<const double> row) const {
+  const gp::GpPrediction p = gp_.predict_full(row);
+  return rf::PredictionStats{p.mean, p.variance, p.stddev};
+}
+
+SurrogatePtr make_surrogate(const std::string& kind,
+                            const rf::ForestConfig& forest_config,
+                            const gp::GpConfig& gp_config) {
+  if (kind == "rf") {
+    return std::make_unique<RandomForestSurrogate>(forest_config);
+  }
+  if (kind == "gp") {
+    return std::make_unique<GaussianProcessSurrogate>(gp_config);
+  }
+  throw std::invalid_argument("make_surrogate: unknown surrogate '" + kind +
+                              "'");
+}
+
+const rf::RandomForest* as_forest(const Surrogate& surrogate) {
+  const auto* rf_surrogate =
+      dynamic_cast<const RandomForestSurrogate*>(&surrogate);
+  return rf_surrogate != nullptr ? &rf_surrogate->forest() : nullptr;
+}
+
+}  // namespace pwu::core

@@ -1,0 +1,69 @@
+// Model-based performance tuning (paper Section IV-C "Performance Tuning",
+// Fig. 8): iteratively evaluate the configuration the surrogate predicts
+// fastest, with two kinds of annotators —
+//   direct:    the true program execution labels each pick (ground truth);
+//   surrogate: a pre-trained model's prediction is *treated as* the
+//              observation, so thousands of tuning steps cost nothing.
+// The recorded metric is the best *true* execution time among the
+// configurations the tuner has committed to so far.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "rf/random_forest.hpp"
+#include "space/configuration.hpp"
+#include "util/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pwu::core {
+
+struct TuningTrace {
+  /// best_true_time[i]: best noiseless time among the first i+1 picks.
+  std::vector<double> best_true_time;
+  /// The configuration achieving the final best.
+  space::Configuration best_config;
+};
+
+struct TunerConfig {
+  std::size_t n_init = 10;     // cold-start evaluations
+  std::size_t iterations = 50; // model-guided picks after cold start
+  rf::ForestConfig forest;
+};
+
+/// Generic model-based tuning skeleton: cold start, then repeatedly
+/// evaluate the unevaluated candidate with the best predicted time, label
+/// it via `annotate`, refit, and track the best *true* time seen.
+TuningTrace tune_with_annotator(
+    const workloads::Workload& workload,
+    std::span<const space::Configuration> candidates,
+    const TunerConfig& config, util::Rng& rng,
+    const std::function<double(const space::Configuration&)>& annotate);
+
+/// Direct tuning: every pick is labeled by actually running the workload.
+TuningTrace tune_direct(const workloads::Workload& workload,
+                        std::span<const space::Configuration> candidates,
+                        const TunerConfig& config, util::Rng& rng);
+
+/// Surrogate tuning: picks are labeled by a model's predictions; only the
+/// reported best-so-far consults the true (noiseless) time, mirroring how
+/// the paper scores the surrogate-annotated tuner against ground truth.
+/// `Model` needs `double predict(std::span<const double>) const` — the
+/// random forest, a Surrogate, or a Gaussian process.
+template <typename Model>
+TuningTrace tune_with_surrogate(
+    const workloads::Workload& workload, const Model& surrogate,
+    std::span<const space::Configuration> candidates,
+    const TunerConfig& config, util::Rng& rng) {
+  const auto& param_space = workload.space();
+  return tune_with_annotator(
+      workload, candidates, config, rng,
+      [&](const space::Configuration& c) {
+        return surrogate.predict(param_space.features(c));
+      });
+}
+
+}  // namespace pwu::core

@@ -1,0 +1,138 @@
+#include "gp/gaussian_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/statistics.hpp"
+
+namespace pwu::gp {
+
+namespace {
+
+KernelPtr build_kernel(const GpConfig& config, double lengthscale) {
+  if (config.kernel == "rbf") {
+    return make_rbf(config.signal_variance, lengthscale);
+  }
+  if (config.kernel == "matern52") {
+    return make_matern52(config.signal_variance, lengthscale);
+  }
+  throw std::invalid_argument("GaussianProcess: unknown kernel '" +
+                              config.kernel + "'");
+}
+
+}  // namespace
+
+std::vector<double> GaussianProcess::normalize(
+    std::span<const double> row) const {
+  std::vector<double> out(row.size());
+  for (std::size_t f = 0; f < row.size(); ++f) {
+    out[f] = (row[f] - feat_min_[f]) / feat_range_[f];
+  }
+  return out;
+}
+
+void GaussianProcess::fit(const rf::Dataset& data, const GpConfig& config) {
+  if (data.empty()) {
+    throw std::invalid_argument("GaussianProcess::fit: empty dataset");
+  }
+  config_ = config;
+  const std::size_t n = data.size();
+  const std::size_t d = data.num_features();
+
+  // Min-max normalization of features.
+  feat_min_.assign(d, 1e300);
+  feat_range_.assign(d, 0.0);
+  std::vector<double> feat_max(d, -1e300);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < d; ++f) {
+      feat_min_[f] = std::min(feat_min_[f], data.x(i, f));
+      feat_max[f] = std::max(feat_max[f], data.x(i, f));
+    }
+  }
+  for (std::size_t f = 0; f < d; ++f) {
+    feat_range_[f] = std::max(feat_max[f] - feat_min_[f], 1e-12);
+  }
+
+  train_.clear();
+  train_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) train_.push_back(normalize(data.row(i)));
+
+  // Label standardization.
+  label_mean_ = util::mean(data.labels());
+  label_std_ = std::max(util::stddev(data.labels()), 1e-12);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = (data.y(i) - label_mean_) / label_std_;
+  }
+
+  // Lengthscale via the median pairwise distance (subsampled for large n).
+  double lengthscale = config.lengthscale;
+  if (config.median_heuristic && n >= 4) {
+    std::vector<double> distances;
+    const std::size_t stride = std::max<std::size_t>(1, n / 64);
+    for (std::size_t i = 0; i < n; i += stride) {
+      for (std::size_t j = i + stride; j < n; j += stride) {
+        double sq = 0.0;
+        for (std::size_t f = 0; f < d; ++f) {
+          const double diff = train_[i][f] - train_[j][f];
+          sq += diff * diff;
+        }
+        distances.push_back(std::sqrt(sq));
+      }
+    }
+    const double med = util::median(distances);
+    if (med > 1e-9) lengthscale = med;
+  }
+  kernel_ = build_kernel(config, lengthscale);
+
+  // K + noise I, factorize with jitter escalation.
+  double jitter = config.noise_variance;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    Matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        const double v = (*kernel_)(train_[i], train_[j]);
+        k.at(i, j) = v;
+        k.at(j, i) = v;
+      }
+    }
+    k.add_diagonal(jitter);
+    if (cholesky_factorize(k)) {
+      chol_ = std::move(k);
+      alpha_ = cholesky_solve(chol_, y);
+      fitted_ = true;
+      return;
+    }
+    jitter *= 100.0;
+  }
+  throw std::runtime_error(
+      "GaussianProcess::fit: kernel matrix not positive definite even "
+      "after jitter escalation");
+}
+
+double GaussianProcess::predict(std::span<const double> row) const {
+  return predict_full(row).mean;
+}
+
+GpPrediction GaussianProcess::predict_full(std::span<const double> row) const {
+  if (!fitted_) {
+    throw std::logic_error("GaussianProcess::predict before fit");
+  }
+  const std::vector<double> x = normalize(row);
+  const std::size_t n = train_.size();
+  std::vector<double> k_star(n);
+  for (std::size_t i = 0; i < n; ++i) k_star[i] = (*kernel_)(x, train_[i]);
+
+  GpPrediction pred;
+  pred.mean = label_mean_ + label_std_ * dot(k_star, alpha_);
+
+  // var = k(x,x) - v^T v with v = L^-1 k*.
+  const std::vector<double> v = forward_substitute(chol_, k_star);
+  const double reduced = kernel_->self_variance() - dot(v, v);
+  pred.variance = std::max(0.0, reduced) * label_std_ * label_std_;
+  pred.stddev = std::sqrt(pred.variance);
+  return pred;
+}
+
+}  // namespace pwu::gp

@@ -1,0 +1,74 @@
+// Gaussian-process regression (Rasmussen & Williams Algorithm 2.1): exact
+// inference with a Cholesky factorization of the noisy kernel matrix.
+//
+// Serves as the alternative surrogate the paper argues *against* for mixed
+// numerical/categorical tuning spaces (Section II-B); the RF-vs-GP
+// ablation bench quantifies that argument on our benchmark set. Features
+// are min-max normalized and labels standardized internally, so the fixed
+// kernel hyper-parameters behave sensibly across workloads; the
+// `median_heuristic` option sets the lengthscale from the data.
+
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gp/kernel.hpp"
+#include "gp/linalg.hpp"
+#include "rf/dataset.hpp"
+
+namespace pwu::gp {
+
+struct GpConfig {
+  /// Kernel family: "rbf" or "matern52".
+  std::string kernel = "matern52";
+  double signal_variance = 1.0;
+  double lengthscale = 0.3;
+  /// Observation-noise variance added to the kernel diagonal (also the
+  /// jitter that keeps the factorization positive definite).
+  double noise_variance = 1e-4;
+  /// Replace `lengthscale` with the median pairwise distance of the
+  /// (normalized) training inputs — a standard parameter-free choice.
+  bool median_heuristic = true;
+};
+
+struct GpPrediction {
+  double mean = 0.0;
+  double variance = 0.0;
+  double stddev = 0.0;
+};
+
+class GaussianProcess {
+ public:
+  /// Fits exact GP regression to the dataset (O(n^3) in the number of
+  /// rows). Throws std::runtime_error if the kernel matrix cannot be
+  /// factorized even after jitter escalation.
+  void fit(const rf::Dataset& data, const GpConfig& config = {});
+
+  bool fitted() const { return fitted_; }
+  std::size_t num_train() const { return train_.size(); }
+
+  /// Posterior mean (de-standardized to label units).
+  double predict(std::span<const double> row) const;
+
+  /// Posterior mean and variance (variance in label units squared).
+  GpPrediction predict_full(std::span<const double> row) const;
+
+  const GpConfig& config() const { return config_; }
+
+ private:
+  std::vector<double> normalize(std::span<const double> row) const;
+
+  GpConfig config_;
+  KernelPtr kernel_;
+  std::vector<std::vector<double>> train_;  // normalized inputs
+  Matrix chol_;                             // lower Cholesky of K + noise I
+  std::vector<double> alpha_;               // (K + noise I)^-1 y~
+  std::vector<double> feat_min_, feat_range_;
+  double label_mean_ = 0.0;
+  double label_std_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace pwu::gp

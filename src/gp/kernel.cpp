@@ -1,0 +1,129 @@
+#include "gp/kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pwu::gp {
+
+namespace {
+
+class RbfKernel final : public Kernel {
+ public:
+  RbfKernel(double signal_variance, double lengthscale)
+      : s2_(signal_variance), inv_l2_(1.0 / (lengthscale * lengthscale)) {
+    if (signal_variance <= 0.0 || lengthscale <= 0.0) {
+      throw std::invalid_argument("RBF kernel: parameters must be positive");
+    }
+    name_ = "rbf";
+  }
+
+  const std::string& name() const override { return name_; }
+
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override {
+    double sq = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double d = a[i] - b[i];
+      sq += d * d;
+    }
+    return s2_ * std::exp(-0.5 * sq * inv_l2_);
+  }
+
+  double self_variance() const override { return s2_; }
+
+ private:
+  double s2_;
+  double inv_l2_;
+  std::string name_;
+};
+
+class Matern52Kernel final : public Kernel {
+ public:
+  Matern52Kernel(double signal_variance, double lengthscale)
+      : s2_(signal_variance), inv_l_(1.0 / lengthscale) {
+    if (signal_variance <= 0.0 || lengthscale <= 0.0) {
+      throw std::invalid_argument(
+          "Matern52 kernel: parameters must be positive");
+    }
+    name_ = "matern52";
+  }
+
+  const std::string& name() const override { return name_; }
+
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override {
+    double sq = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double d = a[i] - b[i];
+      sq += d * d;
+    }
+    const double r = std::sqrt(sq) * inv_l_;
+    const double sqrt5_r = std::sqrt(5.0) * r;
+    return s2_ * (1.0 + sqrt5_r + 5.0 / 3.0 * r * r) * std::exp(-sqrt5_r);
+  }
+
+  double self_variance() const override { return s2_; }
+
+ private:
+  double s2_;
+  double inv_l_;
+  std::string name_;
+};
+
+class RbfArdKernel final : public Kernel {
+ public:
+  RbfArdKernel(double signal_variance, std::vector<double> lengthscales)
+      : s2_(signal_variance) {
+    if (signal_variance <= 0.0) {
+      throw std::invalid_argument("ARD kernel: signal variance must be > 0");
+    }
+    inv_l2_.reserve(lengthscales.size());
+    for (double l : lengthscales) {
+      if (l <= 0.0) {
+        throw std::invalid_argument("ARD kernel: lengthscales must be > 0");
+      }
+      inv_l2_.push_back(1.0 / (l * l));
+    }
+    name_ = "rbf-ard";
+  }
+
+  const std::string& name() const override { return name_; }
+
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const override {
+    if (a.size() != inv_l2_.size()) {
+      throw std::invalid_argument("ARD kernel: dimension mismatch");
+    }
+    double sq = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double d = a[i] - b[i];
+      sq += d * d * inv_l2_[i];
+    }
+    return s2_ * std::exp(-0.5 * sq);
+  }
+
+  double self_variance() const override { return s2_; }
+
+ private:
+  double s2_;
+  std::vector<double> inv_l2_;
+  std::string name_;
+};
+
+}  // namespace
+
+KernelPtr make_rbf(double signal_variance, double lengthscale) {
+  return std::make_unique<RbfKernel>(signal_variance, lengthscale);
+}
+
+KernelPtr make_matern52(double signal_variance, double lengthscale) {
+  return std::make_unique<Matern52Kernel>(signal_variance, lengthscale);
+}
+
+KernelPtr make_rbf_ard(double signal_variance,
+                       std::vector<double> lengthscales) {
+  return std::make_unique<RbfArdKernel>(signal_variance,
+                                        std::move(lengthscales));
+}
+
+}  // namespace pwu::gp

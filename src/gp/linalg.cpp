@@ -1,0 +1,85 @@
+#include "gp/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pwu::gp {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::add_diagonal(double value) {
+  if (rows_ != cols_) {
+    throw std::logic_error("Matrix::add_diagonal: matrix not square");
+  }
+  for (std::size_t i = 0; i < rows_; ++i) at(i, i) += value;
+}
+
+bool cholesky_factorize(Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("cholesky_factorize: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a.at(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= a.at(j, k) * a.at(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    a.at(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= a.at(i, k) * a.at(j, k);
+      a.at(i, j) = sum / ljj;
+    }
+    // Zero the strictly-upper part for hygiene.
+    for (std::size_t c = j + 1; c < n; ++c) a.at(j, c) = 0.0;
+  }
+  return true;
+}
+
+std::vector<double> forward_substitute(const Matrix& l,
+                                       std::span<const double> b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("forward_substitute: size mismatch");
+  }
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l.at(i, k) * y[k];
+    y[i] = sum / l.at(i, i);
+  }
+  return y;
+}
+
+std::vector<double> backward_substitute(const Matrix& l,
+                                        std::span<const double> y) {
+  const std::size_t n = l.rows();
+  if (y.size() != n) {
+    throw std::invalid_argument("backward_substitute: size mismatch");
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l.at(k, i) * x[k];
+    x[i] = sum / l.at(i, i);
+  }
+  return x;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   std::span<const double> b) {
+  const std::vector<double> y = forward_substitute(l, b);
+  return backward_substitute(l, y);
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("dot: size mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace pwu::gp

@@ -1,0 +1,63 @@
+// Minimal dense linear algebra for the Gaussian-process surrogate:
+// row-major matrices, Cholesky factorization, and triangular solves. Sized
+// for kernel matrices of a few hundred rows (the active-learning training
+// sets); no BLAS dependency.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pwu::gp {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    return std::span<double>(data_.data() + r * cols_, cols_);
+  }
+  std::span<const double> row(std::size_t r) const {
+    return std::span<const double>(data_.data() + r * cols_, cols_);
+  }
+
+  /// Adds `value` to every diagonal entry (requires square).
+  void add_diagonal(double value);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// In-place Cholesky factorization A = L L^T of a symmetric
+/// positive-definite matrix; only the lower triangle of the result is
+/// meaningful. Returns false if a non-positive pivot is hit (A not PD).
+bool cholesky_factorize(Matrix& a);
+
+/// Solves L y = b (forward substitution) given the lower-triangular factor.
+std::vector<double> forward_substitute(const Matrix& l,
+                                       std::span<const double> b);
+
+/// Solves L^T x = y (backward substitution).
+std::vector<double> backward_substitute(const Matrix& l,
+                                        std::span<const double> y);
+
+/// Solves (L L^T) x = b via the two triangular solves.
+std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b);
+
+/// Dot product of two equal-length spans.
+double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace pwu::gp

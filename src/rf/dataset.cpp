@@ -1,0 +1,53 @@
+#include "rf/dataset.hpp"
+
+#include <cmath>
+
+namespace pwu::rf {
+
+Dataset::Dataset(std::size_t num_features, std::vector<bool> categorical,
+                 std::vector<std::size_t> cardinalities)
+    : num_features_(num_features),
+      categorical_(std::move(categorical)),
+      cardinalities_(std::move(cardinalities)) {
+  if (!categorical_.empty() && categorical_.size() != num_features_) {
+    throw std::invalid_argument("Dataset: categorical mask size mismatch");
+  }
+  if (!cardinalities_.empty() && cardinalities_.size() != num_features_) {
+    throw std::invalid_argument("Dataset: cardinalities size mismatch");
+  }
+  for (std::size_t i = 0; i < categorical_.size(); ++i) {
+    if (categorical_[i]) {
+      if (cardinalities_.empty() || cardinalities_[i] == 0) {
+        throw std::invalid_argument(
+            "Dataset: categorical feature requires a cardinality");
+      }
+      if (cardinalities_[i] > 64) {
+        throw std::invalid_argument(
+            "Dataset: categorical cardinality above 64 is unsupported "
+            "(split masks are 64-bit)");
+      }
+    }
+  }
+}
+
+void Dataset::add(std::span<const double> row, double label) {
+  if (row.size() != num_features_) {
+    throw std::invalid_argument("Dataset::add: row width mismatch");
+  }
+  if (!std::isfinite(label)) {
+    throw std::invalid_argument("Dataset::add: non-finite label");
+  }
+  for (double v : row) {
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument("Dataset::add: non-finite feature");
+    }
+  }
+  features_.insert(features_.end(), row.begin(), row.end());
+  labels_.push_back(label);
+}
+
+Dataset Dataset::empty_like() const {
+  return Dataset(num_features_, categorical_, cardinalities_);
+}
+
+}  // namespace pwu::rf

@@ -1,0 +1,68 @@
+// In-memory regression dataset with mixed numerical/categorical features.
+//
+// Features are stored row-major as doubles. Categorical features hold the
+// level index (see space::Parameter::numeric_value); the per-feature
+// categorical mask and cardinalities tell the trees to use set-membership
+// splits for those columns.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace pwu::rf {
+
+class Dataset {
+ public:
+  /// `categorical` may be empty (all numerical); `cardinalities` is required
+  /// for every categorical feature and ignored for numerical ones.
+  explicit Dataset(std::size_t num_features,
+                   std::vector<bool> categorical = {},
+                   std::vector<std::size_t> cardinalities = {});
+
+  /// Appends one labeled sample. `row.size()` must equal num_features().
+  void add(std::span<const double> row, double label);
+
+  std::size_t size() const { return labels_.size(); }
+  std::size_t num_features() const { return num_features_; }
+  bool empty() const { return labels_.empty(); }
+
+  double x(std::size_t row, std::size_t col) const {
+    return features_[row * num_features_ + col];
+  }
+  double y(std::size_t row) const { return labels_[row]; }
+
+  std::span<const double> row(std::size_t r) const {
+    return std::span<const double>(features_.data() + r * num_features_,
+                                   num_features_);
+  }
+  std::span<const double> labels() const { return labels_; }
+
+  bool is_categorical(std::size_t col) const {
+    return col < categorical_.size() && categorical_[col];
+  }
+
+  /// Number of levels of a categorical feature (0 for numerical features).
+  std::size_t cardinality(std::size_t col) const {
+    return col < cardinalities_.size() ? cardinalities_[col] : 0;
+  }
+
+  const std::vector<bool>& categorical_mask() const { return categorical_; }
+  const std::vector<std::size_t>& cardinalities() const {
+    return cardinalities_;
+  }
+
+  /// Copy with the same schema but no rows.
+  Dataset empty_like() const;
+
+ private:
+  std::size_t num_features_;
+  std::vector<bool> categorical_;
+  std::vector<std::size_t> cardinalities_;
+  std::vector<double> features_;  // row-major
+  std::vector<double> labels_;
+};
+
+}  // namespace pwu::rf

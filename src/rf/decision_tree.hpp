@@ -1,0 +1,75 @@
+// CART regression tree with per-node random feature subspace (the second
+// randomness source of Breiman's random forest).
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "rf/dataset.hpp"
+#include "rf/split.hpp"
+#include "util/rng.hpp"
+
+namespace pwu::rf {
+
+struct TreeConfig {
+  /// 0 = unlimited depth.
+  std::size_t max_depth = 0;
+  std::size_t min_samples_leaf = 1;
+  std::size_t min_samples_split = 2;
+  /// Features tried per node; 0 = max(1, num_features / 3), the standard
+  /// regression-forest default.
+  std::size_t mtry = 0;
+
+  std::size_t resolve_mtry(std::size_t num_features) const;
+};
+
+class DecisionTree {
+ public:
+  /// Fits the tree to the samples referenced by `indices` (typically a
+  /// bootstrap resample). `indices` is consumed (reordered in place).
+  void fit(const Dataset& data, std::vector<std::size_t> indices,
+           const TreeConfig& config, util::Rng& rng);
+
+  /// Mean label of the leaf that `row` falls into.
+  double predict(std::span<const double> row) const;
+
+  bool fitted() const { return !nodes_.empty(); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_leaves() const;
+  std::size_t depth() const;
+
+  /// Writes the node table as text (round-trip exact: doubles are emitted
+  /// with full precision).
+  void save(std::ostream& os) const;
+  /// Reads a node table written by save(); throws std::runtime_error on a
+  /// malformed stream.
+  void load(std::istream& is);
+
+  bool operator==(const DecisionTree& other) const;
+
+ private:
+  struct Node {
+    Split split;        // invalid split => leaf
+    double value = 0.0; // leaf prediction (mean label)
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    bool is_leaf() const { return !split.valid(); }
+    bool operator==(const Node& other) const = default;
+  };
+
+  /// Recursively builds the subtree over indices[lo, hi); returns the node id.
+  std::int32_t build(const Dataset& data, std::vector<std::size_t>& indices,
+                     std::size_t lo, std::size_t hi, std::size_t depth,
+                     const TreeConfig& config, util::Rng& rng,
+                     SplitWorkspace& workspace,
+                     std::vector<std::size_t>& feature_scratch);
+
+  std::size_t depth_of(std::int32_t node) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace pwu::rf

@@ -1,0 +1,251 @@
+#include "rf/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/statistics.hpp"
+
+namespace pwu::rf {
+
+void RandomForest::fit(const Dataset& data, const ForestConfig& config,
+                       util::Rng& rng, util::ThreadPool* pool) {
+  if (data.empty()) {
+    throw std::invalid_argument("RandomForest::fit: empty dataset");
+  }
+  if (config.num_trees == 0) {
+    throw std::invalid_argument("RandomForest::fit: num_trees must be > 0");
+  }
+  config_ = config;
+  trees_.assign(config.num_trees, DecisionTree());
+
+  const std::size_t n = data.size();
+
+  // Fork one child stream per tree up front so parallel construction is
+  // bit-identical to serial construction.
+  std::vector<util::Rng> tree_rngs;
+  tree_rngs.reserve(config.num_trees);
+  for (std::size_t t = 0; t < config.num_trees; ++t) {
+    tree_rngs.push_back(rng.fork());
+  }
+
+  // Per-tree bootstrap index sets (drawn from the per-tree stream so the
+  // whole tree is a pure function of its stream).
+  std::vector<std::vector<std::size_t>> samples(config.num_trees);
+  std::vector<std::vector<char>> in_bag;
+  if (config.compute_oob) in_bag.assign(config.num_trees, {});
+
+  auto build_tree = [&](std::size_t t) {
+    std::vector<std::size_t> indices;
+    if (config.bootstrap) {
+      indices = tree_rngs[t].bootstrap_indices(n);
+    } else {
+      indices.resize(n);
+      std::iota(indices.begin(), indices.end(), std::size_t{0});
+    }
+    if (config.compute_oob) {
+      in_bag[t].assign(n, 0);
+      for (std::size_t idx : indices) in_bag[t][idx] = 1;
+    }
+    trees_[t].fit(data, std::move(indices), config.tree, tree_rngs[t]);
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->parallel_for(0, config.num_trees, build_tree);
+  } else {
+    for (std::size_t t = 0; t < config.num_trees; ++t) build_tree(t);
+  }
+
+  has_oob_ = false;
+  if (config.compute_oob) {
+    double sq_sum = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      std::size_t votes = 0;
+      for (std::size_t t = 0; t < config.num_trees; ++t) {
+        if (!in_bag[t][i]) {
+          sum += trees_[t].predict(data.row(i));
+          ++votes;
+        }
+      }
+      if (votes > 0) {
+        const double err = sum / static_cast<double>(votes) - data.y(i);
+        sq_sum += err * err;
+        ++counted;
+      }
+    }
+    if (counted > 0) {
+      oob_rmse_ = std::sqrt(sq_sum / static_cast<double>(counted));
+      has_oob_ = true;
+    }
+  }
+}
+
+double RandomForest::predict(std::span<const double> row) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest::predict before fit");
+  }
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.predict(row);
+  return sum / static_cast<double>(trees_.size());
+}
+
+PredictionStats RandomForest::predict_stats(std::span<const double> row) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest::predict_stats before fit");
+  }
+  // Two passes over the per-tree outputs: the deviation form avoids the
+  // catastrophic cancellation of sum-of-squares minus squared-mean when
+  // trees agree to many digits.
+  thread_local std::vector<double> per_tree;
+  per_tree.clear();
+  per_tree.reserve(trees_.size());
+  double sum = 0.0;
+  for (const auto& tree : trees_) {
+    const double p = tree.predict(row);
+    per_tree.push_back(p);
+    sum += p;
+  }
+  const auto b = static_cast<double>(trees_.size());
+  PredictionStats stats;
+  stats.mean = sum / b;
+  double sq_dev = 0.0;
+  for (double p : per_tree) {
+    const double d = p - stats.mean;
+    sq_dev += d * d;
+  }
+  stats.variance = sq_dev / b;
+  stats.stddev = std::sqrt(stats.variance);
+  return stats;
+}
+
+std::vector<PredictionStats> RandomForest::predict_stats_batch(
+    const std::vector<std::vector<double>>& rows,
+    util::ThreadPool* pool) const {
+  std::vector<PredictionStats> out(rows.size());
+  auto body = [&](std::size_t i) { out[i] = predict_stats(rows[i]); };
+  if (pool != nullptr && pool->num_threads() > 1 && rows.size() > 256) {
+    pool->parallel_for(0, rows.size(), body);
+  } else {
+    for (std::size_t i = 0; i < rows.size(); ++i) body(i);
+  }
+  return out;
+}
+
+double RandomForest::oob_rmse() const {
+  return has_oob_ ? oob_rmse_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+std::vector<double> RandomForest::permutation_importance(
+    const Dataset& reference, util::Rng& rng) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest::permutation_importance before fit");
+  }
+  const std::size_t n = reference.size();
+  const std::size_t d = reference.num_features();
+  if (n == 0) return std::vector<double>(d, 0.0);
+
+  auto mse_with_column = [&](std::size_t feature,
+                             const std::vector<std::size_t>* perm) {
+    std::vector<double> row(d);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto src = reference.row(i);
+      std::copy(src.begin(), src.end(), row.begin());
+      if (perm != nullptr) {
+        row[feature] = reference.x((*perm)[i], feature);
+      }
+      const double err = predict(row) - reference.y(i);
+      acc += err * err;
+    }
+    return acc / static_cast<double>(n);
+  };
+
+  const double baseline = mse_with_column(0, nullptr);
+  std::vector<double> importance(d);
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  for (std::size_t f = 0; f < d; ++f) {
+    rng.shuffle(perm);
+    importance[f] = mse_with_column(f, &perm) - baseline;
+  }
+  return importance;
+}
+
+std::size_t RandomForest::total_nodes() const {
+  std::size_t total = 0;
+  for (const auto& tree : trees_) total += tree.num_nodes();
+  return total;
+}
+
+std::size_t RandomForest::max_depth() const {
+  std::size_t depth = 0;
+  for (const auto& tree : trees_) depth = std::max(depth, tree.depth());
+  return depth;
+}
+
+void RandomForest::save(std::ostream& os) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest::save before fit");
+  }
+  os << "pwu-random-forest 1\n";
+  os << trees_.size() << ' ' << config_.tree.max_depth << ' '
+     << config_.tree.min_samples_leaf << ' ' << config_.tree.min_samples_split
+     << ' ' << config_.tree.mtry << ' ' << (config_.bootstrap ? 1 : 0)
+     << '\n';
+  for (const auto& tree : trees_) tree.save(os);
+}
+
+void RandomForest::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "pwu-random-forest" ||
+      version != 1) {
+    throw std::runtime_error("RandomForest::load: bad header");
+  }
+  std::size_t num_trees = 0;
+  int bootstrap = 1;
+  ForestConfig config;
+  if (!(is >> num_trees >> config.tree.max_depth >>
+        config.tree.min_samples_leaf >> config.tree.min_samples_split >>
+        config.tree.mtry >> bootstrap) ||
+      num_trees == 0) {
+    throw std::runtime_error("RandomForest::load: bad config line");
+  }
+  config.num_trees = num_trees;
+  config.bootstrap = bootstrap != 0;
+  std::vector<DecisionTree> trees(num_trees);
+  for (auto& tree : trees) tree.load(is);
+  trees_ = std::move(trees);
+  config_ = config;
+  has_oob_ = false;
+}
+
+void RandomForest::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("RandomForest::save_file: cannot open " + path);
+  }
+  save(out);
+  if (!out) {
+    throw std::runtime_error("RandomForest::save_file: write failed for " +
+                             path);
+  }
+}
+
+RandomForest RandomForest::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("RandomForest::load_file: cannot open " + path);
+  }
+  RandomForest forest;
+  forest.load(in);
+  return forest;
+}
+
+}  // namespace pwu::rf

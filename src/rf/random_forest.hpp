@@ -1,0 +1,91 @@
+// Bagged ensemble of regression trees with predictive uncertainty.
+//
+// Following Hutter et al. ("Algorithm runtime prediction: Methods &
+// evaluation", AIJ 2014) — the paper's reference [14] — the forest's point
+// prediction is the mean over trees and the predictive uncertainty is the
+// spread (variance) of the per-tree predictions. That uncertainty drives
+// every sampling strategy in core/.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rf/dataset.hpp"
+#include "rf/decision_tree.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pwu::rf {
+
+struct ForestConfig {
+  std::size_t num_trees = 50;
+  TreeConfig tree;
+  /// Bootstrap resampling (bagging). When false every tree sees the full
+  /// training set and only the feature subspace differs.
+  bool bootstrap = true;
+  /// Track per-sample out-of-bag predictions during fit.
+  bool compute_oob = false;
+};
+
+struct PredictionStats {
+  double mean = 0.0;
+  double variance = 0.0;  // across trees (population variance)
+  double stddev = 0.0;
+};
+
+class RandomForest {
+ public:
+  /// Fits `config.num_trees` trees. Tree construction is deterministic given
+  /// `rng`'s state: per-tree child streams are forked up front, so results
+  /// are identical whether trees are built serially or on `pool`'s workers.
+  void fit(const Dataset& data, const ForestConfig& config, util::Rng& rng,
+           util::ThreadPool* pool = nullptr);
+
+  bool fitted() const { return !trees_.empty(); }
+  std::size_t num_trees() const { return trees_.size(); }
+  const ForestConfig& config() const { return config_; }
+
+  /// Ensemble mean prediction.
+  double predict(std::span<const double> row) const;
+
+  /// Mean and across-tree spread for one row.
+  PredictionStats predict_stats(std::span<const double> row) const;
+
+  /// Batched predict_stats over many rows, optionally parallel.
+  std::vector<PredictionStats> predict_stats_batch(
+      const std::vector<std::vector<double>>& rows,
+      util::ThreadPool* pool = nullptr) const;
+
+  /// Out-of-bag RMSE (requires compute_oob at fit time; NaN when no sample
+  /// ended up out of bag, e.g. a 1-tree forest without bootstrap).
+  double oob_rmse() const;
+
+  /// Mean-squared-error increase per feature when that feature's column is
+  /// permuted in `reference` — a model-agnostic importance measure.
+  std::vector<double> permutation_importance(const Dataset& reference,
+                                             util::Rng& rng) const;
+
+  /// Structural statistics (for tests/diagnostics).
+  std::size_t total_nodes() const;
+  std::size_t max_depth() const;
+
+  /// Serializes the fitted ensemble as text (trees + the structural bits of
+  /// the config). Predictions round-trip exactly through save/load; OOB
+  /// state is not persisted.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+  /// File-path convenience wrappers; throw std::runtime_error on IO errors.
+  void save_file(const std::string& path) const;
+  static RandomForest load_file(const std::string& path);
+
+ private:
+  std::vector<DecisionTree> trees_;
+  ForestConfig config_;
+  double oob_rmse_ = 0.0;
+  bool has_oob_ = false;
+};
+
+}  // namespace pwu::rf

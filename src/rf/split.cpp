@@ -1,0 +1,144 @@
+#include "rf/split.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pwu::rf {
+
+bool Split::goes_left(double value) const {
+  if (categorical) {
+    const auto level = static_cast<std::uint64_t>(std::llround(value));
+    if (level >= 64) return false;
+    return (left_mask >> level) & 1ULL;
+  }
+  return value <= threshold;
+}
+
+namespace {
+
+Split best_numerical_split(const Dataset& data,
+                           std::span<const std::size_t> indices,
+                           std::size_t feature, double parent_score,
+                           std::size_t min_samples_leaf,
+                           SplitWorkspace& ws) {
+  auto& sorted = ws.sorted;
+  sorted.clear();
+  sorted.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    sorted.emplace_back(data.x(idx, feature), data.y(idx));
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  const std::size_t n = sorted.size();
+  double left_sum = 0.0;
+  double total_sum = 0.0;
+  for (const auto& [value, label] : sorted) total_sum += label;
+
+  Split best;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    left_sum += sorted[i].second;
+    // Only cut between distinct feature values.
+    if (sorted[i].first == sorted[i + 1].first) continue;
+    const std::size_t n_left = i + 1;
+    const std::size_t n_right = n - n_left;
+    if (n_left < min_samples_leaf || n_right < min_samples_leaf) continue;
+    const double right_sum = total_sum - left_sum;
+    const double score =
+        left_sum * left_sum / static_cast<double>(n_left) +
+        right_sum * right_sum / static_cast<double>(n_right);
+    const double gain = score - parent_score;
+    if (gain > best.gain) {
+      best.feature = static_cast<int>(feature);
+      best.categorical = false;
+      // Midpoint threshold is robust to evaluation-time values between the
+      // two training values.
+      best.threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      best.gain = gain;
+    }
+  }
+  return best;
+}
+
+Split best_categorical_split(const Dataset& data,
+                             std::span<const std::size_t> indices,
+                             std::size_t feature, double parent_score,
+                             std::size_t min_samples_leaf,
+                             SplitWorkspace& ws) {
+  const std::size_t levels = data.cardinality(feature);
+  auto& sum = ws.cat_sum;
+  auto& count = ws.cat_count;
+  auto& order = ws.cat_order;
+  sum.assign(levels, 0.0);
+  count.assign(levels, 0);
+  for (std::size_t idx : indices) {
+    const auto level =
+        static_cast<std::size_t>(std::llround(data.x(idx, feature)));
+    sum[level] += data.y(idx);
+    ++count[level];
+  }
+
+  order.clear();
+  for (std::size_t level = 0; level < levels; ++level) {
+    if (count[level] > 0) order.push_back(level);
+  }
+  if (order.size() < 2) return {};  // feature is constant on this node
+
+  // Breiman's trick: for squared error, the optimal binary grouping is a
+  // prefix of the levels ordered by mean label.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sum[a] / static_cast<double>(count[a]) <
+           sum[b] / static_cast<double>(count[b]);
+  });
+
+  double total_sum = 0.0;
+  std::size_t total_count = 0;
+  for (std::size_t level : order) {
+    total_sum += sum[level];
+    total_count += count[level];
+  }
+
+  Split best;
+  double left_sum = 0.0;
+  std::size_t left_count = 0;
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    left_sum += sum[order[i]];
+    left_count += count[order[i]];
+    mask |= 1ULL << order[i];
+    const std::size_t right_count = total_count - left_count;
+    if (left_count < min_samples_leaf || right_count < min_samples_leaf) {
+      continue;
+    }
+    const double right_sum = total_sum - left_sum;
+    const double score =
+        left_sum * left_sum / static_cast<double>(left_count) +
+        right_sum * right_sum / static_cast<double>(right_count);
+    const double gain = score - parent_score;
+    if (gain > best.gain) {
+      best.feature = static_cast<int>(feature);
+      best.categorical = true;
+      best.left_mask = mask;
+      best.gain = gain;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Split best_split_on_feature(const Dataset& data,
+                            std::span<const std::size_t> indices,
+                            std::size_t feature, double parent_score,
+                            std::size_t min_samples_leaf,
+                            SplitWorkspace& workspace) {
+  if (indices.size() < 2) return {};
+  if (data.is_categorical(feature)) {
+    return best_categorical_split(data, indices, feature, parent_score,
+                                  min_samples_leaf, workspace);
+  }
+  return best_numerical_split(data, indices, feature, parent_score,
+                              min_samples_leaf, workspace);
+}
+
+}  // namespace pwu::rf

@@ -1,0 +1,55 @@
+// Best-split search for regression trees (variance-reduction criterion).
+//
+// Numerical features: sort the node's samples by feature value and scan all
+// thresholds between distinct values, maximizing
+//     sum_L^2 / n_L + sum_R^2 / n_R
+// which is equivalent to minimizing within-child squared error.
+//
+// Categorical features: Breiman's optimal-grouping device for regression —
+// order the levels by their mean label, then scan prefixes of that order as
+// the left set. The left set is stored as a 64-bit level mask.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rf/dataset.hpp"
+
+namespace pwu::rf {
+
+struct Split {
+  int feature = -1;             // -1 = no valid split found
+  bool categorical = false;
+  double threshold = 0.0;       // numerical: go left iff x <= threshold
+  std::uint64_t left_mask = 0;  // categorical: go left iff bit(level) set
+  double gain = 0.0;            // decrease in total squared error
+
+  bool valid() const { return feature >= 0; }
+
+  /// Routing decision for a feature value of this split's feature.
+  bool goes_left(double value) const;
+
+  bool operator==(const Split& other) const = default;
+};
+
+/// Scratch buffers reused across split searches to avoid per-node
+/// allocation churn.
+struct SplitWorkspace {
+  std::vector<std::pair<double, double>> sorted;  // (feature value, label)
+  std::vector<double> cat_sum;
+  std::vector<std::size_t> cat_count;
+  std::vector<std::size_t> cat_order;
+};
+
+/// Finds the best split of `indices` on `feature`. `parent_score` is
+/// sum(y)^2/n of the node; gains are relative to it. Returns an invalid
+/// split when no threshold satisfies `min_samples_leaf`.
+Split best_split_on_feature(const Dataset& data,
+                            std::span<const std::size_t> indices,
+                            std::size_t feature, double parent_score,
+                            std::size_t min_samples_leaf,
+                            SplitWorkspace& workspace);
+
+}  // namespace pwu::rf

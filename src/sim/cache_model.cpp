@@ -1,0 +1,70 @@
+#include "sim/cache_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pwu::sim {
+
+double CacheModel::occupancy(double working_set_bytes,
+                             double capacity_bytes) {
+  // Logistic transition centered at the capacity boundary, two-octave wide:
+  // returns ~0 when the working set is far below capacity (all hits) and ~1
+  // far above (all spills to the next level).
+  if (working_set_bytes <= 0.0) return 0.0;
+  const double x = std::log2(working_set_bytes / capacity_bytes);
+  return 1.0 / (1.0 + std::exp(-2.0 * x));
+}
+
+double CacheModel::access_seconds(double working_set_bytes) const {
+  const Platform& p = platform_;
+  const double cyc = p.cycle_seconds();
+  const double l1 = p.l1_kib * 1024.0;
+  const double l2 = p.l2_kib * 1024.0;
+  const double l3 = p.l3_mib * 1024.0 * 1024.0;
+
+  const double spill1 = occupancy(working_set_bytes, l1);
+  const double spill2 = occupancy(working_set_bytes, l2);
+  const double spill3 = occupancy(working_set_bytes, l3);
+
+  // Fractions served per level: each level serves what spilled from the one
+  // above but still fits here.
+  const double f1 = 1.0 - spill1;
+  const double f2 = spill1 * (1.0 - spill2);
+  const double f3 = spill1 * spill2 * (1.0 - spill3);
+  const double fm = spill1 * spill2 * spill3;
+
+  // Per-8-byte-element streaming costs. Out-of-order execution and
+  // hardware prefetch overlap a large share of each level's raw load
+  // latency; the overlap factor shrinks with distance from the core
+  // (L1 pipelines ~4 loads, memory prefetch hides ~8 line latencies but is
+  // bounded below by the bandwidth limit).
+  const double t1 = p.l1_latency_cycles * cyc / 4.0;
+  const double t2 = p.l2_latency_cycles * cyc / 3.0;
+  const double t3 = p.l3_latency_cycles * cyc / 2.5;
+  const double tm = std::max(p.memory_latency_ns * 1e-9 / 8.0,
+                             8.0 / (p.memory_bandwidth_gbs * 1e9));
+
+  return f1 * t1 + f2 * t2 + f3 * t3 + fm * tm;
+}
+
+double CacheModel::hit_ratio(double working_set_bytes) const {
+  const Platform& p = platform_;
+  const double l3 = p.l3_mib * 1024.0 * 1024.0;
+  return 1.0 - occupancy(working_set_bytes, l3);
+}
+
+double CacheModel::tiling_penalty(double working_set_bytes,
+                                  double bytes_per_flop) const {
+  const Platform& p = platform_;
+  // Time per element = max(compute, memory); penalty is relative to the
+  // pure-compute (L1-resident) case.
+  const double compute = p.scalar_flop_seconds(1.0) *
+                         std::max(1.0, 8.0 / std::max(bytes_per_flop, 1e-3));
+  const double memory =
+      access_seconds(working_set_bytes) * bytes_per_flop / 8.0;
+  const double base =
+      compute + access_seconds(0.5 * p.l1_kib * 1024.0) * bytes_per_flop / 8.0;
+  return std::max(1.0, (compute + memory) / base);
+}
+
+}  // namespace pwu::sim

@@ -1,0 +1,44 @@
+// Working-set cache cost model used by the SPAPT kernel simulators.
+//
+// The model answers: given the bytes a loop nest touches between reuses
+// (its working set), what is the average latency per memory access? The
+// answer blends the platform's cache-level latencies with a smooth
+// transition around each capacity boundary, which reproduces the
+// characteristic staircase response of loop tiling: performance improves as
+// tiles shrink into a cache level, then loop overhead takes over.
+
+#pragma once
+
+#include "sim/platform.hpp"
+
+namespace pwu::sim {
+
+class CacheModel {
+ public:
+  explicit CacheModel(const Platform& platform) : platform_(platform) {}
+
+  /// Average seconds per 8-byte access for a working set of `bytes`,
+  /// assuming streaming access with reuse distance equal to the working set.
+  double access_seconds(double working_set_bytes) const;
+
+  /// Fraction of accesses that hit at or above the level that holds
+  /// `working_set_bytes` (diagnostic; in [0,1], higher is better).
+  double hit_ratio(double working_set_bytes) const;
+
+  /// Multiplicative efficiency of a tiled loop nest: 1.0 when the tile's
+  /// working set fits comfortably in L1, rising (slower) toward the
+  /// memory-bound ratio as the working set grows. `bytes_per_iter` scales
+  /// arithmetic intensity: lower intensity = more memory sensitivity.
+  double tiling_penalty(double working_set_bytes,
+                        double bytes_per_flop) const;
+
+  const Platform& platform() const { return platform_; }
+
+ private:
+  /// Smooth occupancy of a cache of `capacity` bytes by a working set.
+  static double occupancy(double working_set_bytes, double capacity_bytes);
+
+  const Platform& platform_;
+};
+
+}  // namespace pwu::sim

@@ -1,0 +1,32 @@
+#include "sim/executor.hpp"
+
+#include <stdexcept>
+
+namespace pwu::sim {
+
+Executor::Executor(int repetitions) : repetitions_(repetitions) {
+  if (repetitions < 1) {
+    throw std::invalid_argument("Executor: repetitions must be >= 1");
+  }
+}
+
+double Executor::measure(const workloads::Workload& workload,
+                         const space::Configuration& config, util::Rng& rng) {
+  double sum = 0.0;
+  for (int r = 0; r < repetitions_; ++r) {
+    const double t = workload.evaluate(config, rng);
+    sum += t;
+    total_cost_ += t;
+    ++total_runs_;
+  }
+  ++total_measurements_;
+  return sum / repetitions_;
+}
+
+void Executor::reset() {
+  total_cost_ = 0.0;
+  total_runs_ = 0;
+  total_measurements_ = 0;
+}
+
+}  // namespace pwu::sim

@@ -1,0 +1,43 @@
+// Measurement protocol wrapper: runs a workload configuration the paper's
+// way (k repetitions averaged) while accounting the *simulated wall-clock
+// cost* of all runs — the quantity behind the paper's cumulative cost (CC).
+
+#pragma once
+
+#include <cstddef>
+
+#include "space/configuration.hpp"
+#include "util/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace pwu::sim {
+
+class Executor {
+ public:
+  /// `repetitions`: runs averaged per measurement (paper: 35 for kernels,
+  /// "several" for applications).
+  explicit Executor(int repetitions = 1);
+
+  /// Averaged measurement; accumulates the simulated cost of every
+  /// individual run.
+  double measure(const workloads::Workload& workload,
+                 const space::Configuration& config, util::Rng& rng);
+
+  /// Total simulated seconds spent executing programs so far.
+  double total_cost_seconds() const { return total_cost_; }
+
+  std::size_t total_runs() const { return total_runs_; }
+  std::size_t total_measurements() const { return total_measurements_; }
+
+  int repetitions() const { return repetitions_; }
+
+  void reset();
+
+ private:
+  int repetitions_;
+  double total_cost_ = 0.0;
+  std::size_t total_runs_ = 0;
+  std::size_t total_measurements_ = 0;
+};
+
+}  // namespace pwu::sim

@@ -1,0 +1,51 @@
+#include "sim/network_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pwu::sim {
+
+double NetworkModel::p2p_seconds(double bytes) const {
+  const Platform& p = platform_;
+  if (!p.has_network()) {
+    // Intra-node: model as memcpy through shared memory.
+    return 0.3e-6 + bytes / (0.5 * p.memory_bandwidth_gbs * 1e9);
+  }
+  return p.network_latency_us * 1e-6 + bytes / (p.network_bandwidth_gbs * 1e9);
+}
+
+double NetworkModel::allreduce_seconds(double bytes,
+                                       std::size_t procs) const {
+  if (procs <= 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(procs)));
+  return rounds * p2p_seconds(bytes) * contention_factor(procs);
+}
+
+double NetworkModel::sweep_pipeline_seconds(double stage_bytes, std::size_t px,
+                                            std::size_t py) const {
+  const std::size_t stages = (px > 0 ? px - 1 : 0) + (py > 0 ? py - 1 : 0);
+  if (stages == 0) return 0.0;
+  return static_cast<double>(stages) * p2p_seconds(stage_bytes) *
+         contention_factor(px * py);
+}
+
+double NetworkModel::halo_exchange_seconds(double face_bytes) const {
+  return 6.0 * p2p_seconds(face_bytes);
+}
+
+double NetworkModel::contention_factor(std::size_t procs) const {
+  const Platform& p = platform_;
+  double factor = 1.0;
+  const auto cores = static_cast<std::size_t>(p.cores);
+  if (procs > cores) {
+    // Oversubscribed node: ranks time-share cores and NIC injection.
+    factor *= 1.0 + 0.5 * (static_cast<double>(procs) /
+                               static_cast<double>(cores) -
+                           1.0);
+  }
+  // Mild switch-level congestion growth.
+  factor *= 1.0 + 0.02 * std::log2(std::max<std::size_t>(procs, 1));
+  return factor;
+}
+
+}  // namespace pwu::sim

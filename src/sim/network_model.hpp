@@ -1,0 +1,41 @@
+// Alpha-beta communication model with contention, used by the kripke/hypre
+// application simulators on Platform B.
+
+#pragma once
+
+#include <cstddef>
+
+#include "sim/platform.hpp"
+
+namespace pwu::sim {
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(const Platform& platform) : platform_(platform) {}
+
+  /// Point-to-point message time: alpha + bytes / beta.
+  double p2p_seconds(double bytes) const;
+
+  /// Allreduce of `bytes` over `procs` ranks (recursive-doubling style:
+  /// log2(p) rounds, each a p2p of the full payload).
+  double allreduce_seconds(double bytes, std::size_t procs) const;
+
+  /// One KBA sweep-plane pipeline fill+drain over a `px x py` process grid:
+  /// the critical path crosses px + py - 2 stage boundaries.
+  double sweep_pipeline_seconds(double stage_bytes, std::size_t px,
+                                std::size_t py) const;
+
+  /// Nearest-neighbour halo exchange per iteration (6 faces in 3D).
+  double halo_exchange_seconds(double face_bytes) const;
+
+  /// Contention multiplier: >1 when more ranks than physical cores share a
+  /// node, and grows slowly with total rank count (switch congestion).
+  double contention_factor(std::size_t procs) const;
+
+  const Platform& platform() const { return platform_; }
+
+ private:
+  const Platform& platform_;
+};
+
+}  // namespace pwu::sim

@@ -1,0 +1,27 @@
+#include "sim/noise.hpp"
+
+#include <cmath>
+
+namespace pwu::sim {
+
+double NoiseModel::apply(double seconds, util::Rng& rng) const {
+  double value = seconds;
+  if (lognormal_sigma > 0.0) {
+    // Mean-one log-normal: exp(N(-sigma^2/2, sigma)).
+    value *= rng.lognormal(-0.5 * lognormal_sigma * lognormal_sigma,
+                           lognormal_sigma);
+  }
+  if (spike_probability > 0.0 && rng.bernoulli(spike_probability)) {
+    value *= rng.uniform(1.0, spike_scale);
+  }
+  return value;
+}
+
+NoiseModel NoiseModel::none() {
+  NoiseModel m;
+  m.lognormal_sigma = 0.0;
+  m.spike_probability = 0.0;
+  return m;
+}
+
+}  // namespace pwu::sim

@@ -1,0 +1,29 @@
+// Measurement noise model.
+//
+// Real kernel timings carry (a) multiplicative log-normal jitter from
+// frequency scaling, TLB/cache state, and timer resolution, and (b) rare
+// large spikes from OS interference (the "system noise" the paper suppresses
+// with 35 repetitions). Both are reproduced here.
+
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace pwu::sim {
+
+struct NoiseModel {
+  /// Sigma of the log-normal multiplicative jitter (0.03 ~ 3% CoV).
+  double lognormal_sigma = 0.03;
+  /// Probability of an interference spike on a single run.
+  double spike_probability = 0.01;
+  /// Multiplier applied on a spike (uniform in [1, spike_scale]).
+  double spike_scale = 1.6;
+
+  /// One noisy observation of a true duration `seconds`.
+  double apply(double seconds, util::Rng& rng) const;
+
+  /// A noise model with everything disabled (for deterministic tests).
+  static NoiseModel none();
+};
+
+}  // namespace pwu::sim

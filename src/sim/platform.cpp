@@ -1,0 +1,53 @@
+#include "sim/platform.hpp"
+
+namespace pwu::sim {
+
+double Platform::cycle_seconds() const { return 1e-9 / freq_ghz; }
+
+double Platform::scalar_flop_seconds(double flops) const {
+  return flops / (flops_per_cycle * freq_ghz * 1e9);
+}
+
+Platform platform_a() {
+  Platform p;
+  p.name = "Platform A";
+  p.cpu = "Intel Xeon E5-2680 v3 (Haswell-EP)";
+  p.freq_ghz = 2.5;
+  p.cores = 24;
+  p.memory_gib = 64.0;
+  p.l1_kib = 32.0;
+  p.l2_kib = 256.0;
+  p.l3_mib = 30.0;
+  p.l1_latency_cycles = 4.0;
+  p.l2_latency_cycles = 12.0;
+  p.l3_latency_cycles = 42.0;
+  p.memory_latency_ns = 90.0;
+  p.memory_bandwidth_gbs = 68.0;
+  p.flops_per_cycle = 2.0;
+  p.simd_width = 4.0;  // AVX2 doubles
+  return p;
+}
+
+Platform platform_b() {
+  Platform p;
+  p.name = "Platform B";
+  p.cpu = "Intel Xeon E5-2680 v4 (Broadwell-EP)";
+  p.freq_ghz = 2.4;
+  p.cores = 28;
+  p.memory_gib = 128.0;
+  p.l1_kib = 32.0;
+  p.l2_kib = 256.0;
+  p.l3_mib = 35.0;
+  p.l1_latency_cycles = 4.0;
+  p.l2_latency_cycles = 12.0;
+  p.l3_latency_cycles = 44.0;
+  p.memory_latency_ns = 88.0;
+  p.memory_bandwidth_gbs = 76.8;
+  p.flops_per_cycle = 2.0;
+  p.simd_width = 4.0;
+  p.network_bandwidth_gbs = 100.0 / 8.0;  // 100 Gbps Omni-Path -> GB/s
+  p.network_latency_us = 1.0;
+  return p;
+}
+
+}  // namespace pwu::sim

@@ -1,0 +1,56 @@
+// Machine descriptions for the performance simulators.
+//
+// These mirror the paper's Table IV plus the published microarchitectural
+// parameters of the two CPUs (Haswell-EP E5-2680 v3 and Broadwell-EP
+// E5-2680 v4), so the cache/network cost models have principled inputs.
+
+#pragma once
+
+#include <string>
+
+namespace pwu::sim {
+
+struct Platform {
+  std::string name;
+  std::string cpu;
+  double freq_ghz = 2.5;
+  int cores = 24;
+  double memory_gib = 64.0;
+
+  // Cache hierarchy (per core for L1/L2, shared L3).
+  double l1_kib = 32.0;
+  double l2_kib = 256.0;
+  double l3_mib = 30.0;
+  double l1_latency_cycles = 4.0;
+  double l2_latency_cycles = 12.0;
+  double l3_latency_cycles = 40.0;
+  double memory_latency_ns = 90.0;
+  double memory_bandwidth_gbs = 60.0;
+
+  // Scalar double-precision FLOPs retired per cycle per core and the SIMD
+  // width in doubles (AVX2 = 4).
+  double flops_per_cycle = 2.0;
+  double simd_width = 4.0;
+
+  // Interconnect (0 bandwidth = no network, e.g. single-node Platform A use).
+  double network_bandwidth_gbs = 0.0;
+  double network_latency_us = 0.0;
+
+  /// Seconds for `flops` scalar double-precision operations on one core.
+  double scalar_flop_seconds(double flops) const;
+
+  /// Cycle duration in seconds.
+  double cycle_seconds() const;
+
+  bool has_network() const { return network_bandwidth_gbs > 0.0; }
+};
+
+/// Platform A (Table IV): E5-2680 v3, 2.5 GHz, 24 cores, 64 GiB — the
+/// single-node kernel platform.
+Platform platform_a();
+
+/// Platform B (Table IV): E5-2680 v4, 2.4 GHz, 28 cores, 128 GiB, 100 Gbps
+/// Omni-Path — the parallel-application platform.
+Platform platform_b();
+
+}  // namespace pwu::sim

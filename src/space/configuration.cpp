@@ -1,0 +1,16 @@
+#include "space/configuration.hpp"
+
+namespace pwu::space {
+
+std::size_t Configuration::hash() const {
+  std::size_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (std::uint32_t level : levels_) {
+    for (int byte = 0; byte < 4; ++byte) {
+      h ^= (level >> (byte * 8)) & 0xffU;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  }
+  return h;
+}
+
+}  // namespace pwu::space

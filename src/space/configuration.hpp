@@ -1,0 +1,38 @@
+// A point in a parameter space: one level index per parameter.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace pwu::space {
+
+class Configuration {
+ public:
+  Configuration() = default;
+  explicit Configuration(std::vector<std::uint32_t> levels)
+      : levels_(std::move(levels)) {}
+
+  std::size_t size() const { return levels_.size(); }
+  std::uint32_t level(std::size_t i) const { return levels_.at(i); }
+  void set_level(std::size_t i, std::uint32_t level) { levels_.at(i) = level; }
+
+  std::span<const std::uint32_t> levels() const { return levels_; }
+
+  bool operator==(const Configuration& other) const = default;
+
+  /// FNV-1a over the level vector; used for pool de-duplication.
+  std::size_t hash() const;
+
+ private:
+  std::vector<std::uint32_t> levels_;
+};
+
+struct ConfigurationHash {
+  std::size_t operator()(const Configuration& c) const { return c.hash(); }
+};
+
+}  // namespace pwu::space

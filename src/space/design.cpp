@@ -1,0 +1,39 @@
+#include "space/design.hpp"
+
+#include <cmath>
+
+namespace pwu::space {
+
+std::vector<Configuration> latin_hypercube(const ParameterSpace& space,
+                                           std::size_t count, util::Rng& rng) {
+  const std::size_t dims = space.num_params();
+  // For each dimension, build the stratified sequence of strata midpoints
+  // mapped onto the parameter's levels, then shuffle it independently.
+  std::vector<std::vector<std::uint32_t>> columns(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const std::size_t levels = space.param(d).num_levels();
+    auto& column = columns[d];
+    column.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+      // Jittered stratum position in [s/count, (s+1)/count).
+      const double u =
+          (static_cast<double>(s) + rng.uniform()) / static_cast<double>(count);
+      auto level = static_cast<std::uint32_t>(
+          std::min<std::size_t>(levels - 1,
+                                static_cast<std::size_t>(
+                                    u * static_cast<double>(levels))));
+      column.push_back(level);
+    }
+    rng.shuffle(column);
+  }
+  std::vector<Configuration> out;
+  out.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    std::vector<std::uint32_t> levels(dims);
+    for (std::size_t d = 0; d < dims; ++d) levels[d] = columns[d][s];
+    out.emplace_back(std::move(levels));
+  }
+  return out;
+}
+
+}  // namespace pwu::space

@@ -1,0 +1,25 @@
+// Space-filling initial designs (extension beyond the paper's uniform pool).
+//
+// Latin hypercube sampling stratifies every parameter's levels so that small
+// pools still cover each univariate range evenly — a common upgrade to the
+// paper's uniform pool construction, exposed for the ablation benchmarks.
+
+#pragma once
+
+#include <vector>
+
+#include "space/configuration.hpp"
+#include "space/parameter_space.hpp"
+#include "util/rng.hpp"
+
+namespace pwu::space {
+
+/// Draws `count` configurations with Latin-hypercube stratification per
+/// parameter: each parameter's level sequence visits each stratum of its
+/// domain ~count/levels times, in an independently shuffled order.
+/// Duplicates are possible for tiny spaces (the strata grid is what matters);
+/// callers needing uniqueness can dedup and top up via sample_unique.
+std::vector<Configuration> latin_hypercube(const ParameterSpace& space,
+                                           std::size_t count, util::Rng& rng);
+
+}  // namespace pwu::space

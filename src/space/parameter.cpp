@@ -1,0 +1,112 @@
+#include "space/parameter.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pwu::space {
+
+const char* to_string(ParamKind kind) {
+  switch (kind) {
+    case ParamKind::kIntRange: return "int";
+    case ParamKind::kOrdinal: return "ordinal";
+    case ParamKind::kCategorical: return "categorical";
+    case ParamKind::kBoolean: return "boolean";
+  }
+  return "unknown";
+}
+
+Parameter::Parameter(std::string name, ParamKind kind,
+                     std::vector<double> values,
+                     std::vector<std::string> labels)
+    : name_(std::move(name)),
+      kind_(kind),
+      values_(std::move(values)),
+      labels_(std::move(labels)) {
+  if (labels_.empty()) {
+    throw std::invalid_argument("Parameter '" + name_ + "' has no levels");
+  }
+  if (values_.size() != labels_.size()) {
+    throw std::invalid_argument("Parameter '" + name_ +
+                                "': value/label count mismatch");
+  }
+}
+
+Parameter Parameter::int_range(std::string name, long lo, long hi, long step) {
+  if (step <= 0) throw std::invalid_argument("int_range: step must be > 0");
+  if (hi < lo) throw std::invalid_argument("int_range: hi < lo");
+  std::vector<double> values;
+  std::vector<std::string> labels;
+  for (long v = lo; v <= hi; v += step) {
+    values.push_back(static_cast<double>(v));
+    labels.push_back(std::to_string(v));
+  }
+  return Parameter(std::move(name), ParamKind::kIntRange, std::move(values),
+                   std::move(labels));
+}
+
+Parameter Parameter::ordinal(std::string name, std::vector<double> values) {
+  std::vector<std::string> labels;
+  labels.reserve(values.size());
+  for (double v : values) {
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+      labels.push_back(std::to_string(static_cast<long long>(v)));
+    } else {
+      labels.push_back(std::to_string(v));
+    }
+  }
+  return Parameter(std::move(name), ParamKind::kOrdinal, std::move(values),
+                   std::move(labels));
+}
+
+Parameter Parameter::categorical(std::string name,
+                                 std::vector<std::string> labels) {
+  std::vector<double> values;
+  values.reserve(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    values.push_back(static_cast<double>(i));
+  }
+  return Parameter(std::move(name), ParamKind::kCategorical, std::move(values),
+                   std::move(labels));
+}
+
+Parameter Parameter::boolean(std::string name) {
+  return Parameter(std::move(name), ParamKind::kBoolean, {0.0, 1.0},
+                   {"false", "true"});
+}
+
+void Parameter::check_level(std::size_t level) const {
+  if (level >= labels_.size()) {
+    throw std::out_of_range("Parameter '" + name_ + "': level " +
+                            std::to_string(level) + " out of range");
+  }
+}
+
+double Parameter::numeric_value(std::size_t level) const {
+  check_level(level);
+  return values_[level];
+}
+
+const std::string& Parameter::label(std::size_t level) const {
+  check_level(level);
+  return labels_[level];
+}
+
+std::size_t Parameter::nearest_level(double value) const {
+  if (kind_ == ParamKind::kCategorical) {
+    throw std::logic_error("nearest_level on categorical parameter '" +
+                           name_ + "'");
+  }
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const double d = std::abs(values_[i] - value);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace pwu::space

@@ -1,0 +1,72 @@
+// A single tunable parameter: a named, finite, ordered domain of levels.
+//
+// SPAPT-style autotuning spaces mix
+//   * integer ranges        (unroll-jam factor 1..31),
+//   * ordinal value lists   (tile sizes 1,16,32,...,512),
+//   * categorical labels    (kripke layout DGZ..ZGD, hypre solver ids),
+//   * booleans              (scalar-replace, vectorize).
+// All four are represented uniformly as an indexed list of levels. Ordinal
+// and integer parameters expose a numeric value per level so the surrogate
+// model can exploit their ordering; categorical parameters are flagged so the
+// random forest treats them with set-membership splits.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pwu::space {
+
+enum class ParamKind { kIntRange, kOrdinal, kCategorical, kBoolean };
+
+const char* to_string(ParamKind kind);
+
+class Parameter {
+ public:
+  /// Consecutive integers lo..hi inclusive with the given stride.
+  static Parameter int_range(std::string name, long lo, long hi,
+                             long step = 1);
+
+  /// Explicit list of ordered numeric values (e.g. power-of-two tiles).
+  static Parameter ordinal(std::string name, std::vector<double> values);
+
+  /// Unordered labeled levels.
+  static Parameter categorical(std::string name,
+                               std::vector<std::string> labels);
+
+  /// Two-level false/true parameter.
+  static Parameter boolean(std::string name);
+
+  const std::string& name() const { return name_; }
+  ParamKind kind() const { return kind_; }
+  std::size_t num_levels() const { return labels_.size(); }
+
+  /// True for categorical parameters (set-membership splits in the forest).
+  /// Booleans are handled numerically (0/1) since they are trivially ordered.
+  bool is_categorical() const { return kind_ == ParamKind::kCategorical; }
+
+  /// Numeric feature value of a level: the actual value for int/ordinal,
+  /// 0/1 for boolean, and the level index for categorical.
+  double numeric_value(std::size_t level) const;
+
+  /// Human-readable level label.
+  const std::string& label(std::size_t level) const;
+
+  /// Index of the level whose numeric value is closest to `value`
+  /// (int/ordinal/boolean only).
+  std::size_t nearest_level(double value) const;
+
+ private:
+  Parameter(std::string name, ParamKind kind, std::vector<double> values,
+            std::vector<std::string> labels);
+
+  void check_level(std::size_t level) const;
+
+  std::string name_;
+  ParamKind kind_;
+  std::vector<double> values_;  // numeric value per level
+  std::vector<std::string> labels_;
+};
+
+}  // namespace pwu::space

@@ -1,0 +1,119 @@
+#include "space/parameter_space.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pwu::space {
+
+std::size_t ParameterSpace::add(Parameter parameter) {
+  for (const auto& existing : params_) {
+    if (existing.name() == parameter.name()) {
+      throw std::invalid_argument("ParameterSpace: duplicate parameter '" +
+                                  parameter.name() + "'");
+    }
+  }
+  params_.push_back(std::move(parameter));
+  return params_.size() - 1;
+}
+
+std::size_t ParameterSpace::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i].name() == name) return i;
+  }
+  throw std::out_of_range("ParameterSpace: no parameter named '" + name + "'");
+}
+
+long double ParameterSpace::size() const {
+  long double total = 1.0L;
+  for (const auto& p : params_) {
+    total *= static_cast<long double>(p.num_levels());
+  }
+  return total;
+}
+
+double ParameterSpace::log10_size() const {
+  double total = 0.0;
+  for (const auto& p : params_) {
+    total += std::log10(static_cast<double>(p.num_levels()));
+  }
+  return total;
+}
+
+Configuration ParameterSpace::random_config(util::Rng& rng) const {
+  std::vector<std::uint32_t> levels(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    levels[i] = static_cast<std::uint32_t>(rng.index(params_[i].num_levels()));
+  }
+  return Configuration(std::move(levels));
+}
+
+std::vector<Configuration> ParameterSpace::enumerate(std::size_t limit) const {
+  const long double total = size();
+  if (total > static_cast<long double>(limit)) {
+    throw std::length_error("ParameterSpace::enumerate: space too large");
+  }
+  const auto count = static_cast<std::size_t>(total);
+  std::vector<Configuration> out;
+  out.reserve(count);
+  std::vector<std::uint32_t> levels(params_.size(), 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.emplace_back(levels);
+    // Odometer increment over the level vector.
+    for (std::size_t d = params_.size(); d-- > 0;) {
+      if (++levels[d] < params_[d].num_levels()) break;
+      levels[d] = 0;
+    }
+  }
+  return out;
+}
+
+std::vector<double> ParameterSpace::features(const Configuration& config) const {
+  if (config.size() != params_.size()) {
+    throw std::invalid_argument("ParameterSpace::features: shape mismatch");
+  }
+  std::vector<double> f(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    f[i] = params_[i].numeric_value(config.level(i));
+  }
+  return f;
+}
+
+std::vector<bool> ParameterSpace::categorical_mask() const {
+  std::vector<bool> mask(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    mask[i] = params_[i].is_categorical();
+  }
+  return mask;
+}
+
+std::vector<std::size_t> ParameterSpace::cardinalities() const {
+  std::vector<std::size_t> card(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    card[i] = params_[i].num_levels();
+  }
+  return card;
+}
+
+std::string ParameterSpace::describe(const Configuration& config) const {
+  if (config.size() != params_.size()) {
+    throw std::invalid_argument("ParameterSpace::describe: shape mismatch");
+  }
+  std::string out;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (i) out += ", ";
+    out += params_[i].name();
+    out += '=';
+    out += params_[i].label(config.level(i));
+  }
+  return out;
+}
+
+bool ParameterSpace::contains(const Configuration& config) const {
+  if (config.size() != params_.size()) return false;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (config.level(i) >= params_[i].num_levels()) return false;
+  }
+  return true;
+}
+
+}  // namespace pwu::space

@@ -1,0 +1,59 @@
+// The Cartesian product of a set of parameters, with feature encoding for
+// the surrogate model and uniform random sampling.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "space/configuration.hpp"
+#include "space/parameter.hpp"
+#include "util/rng.hpp"
+
+namespace pwu::space {
+
+class ParameterSpace {
+ public:
+  ParameterSpace() = default;
+
+  /// Appends a parameter; returns its index. Names must be unique.
+  std::size_t add(Parameter parameter);
+
+  std::size_t num_params() const { return params_.size(); }
+  const Parameter& param(std::size_t i) const { return params_.at(i); }
+
+  /// Index of the parameter with the given name; throws if absent.
+  std::size_t index_of(const std::string& name) const;
+
+  /// Total number of configurations as a long double (spaces reach 10^30).
+  long double size() const;
+  double log10_size() const;
+
+  /// Uniform sample over the full Cartesian product.
+  Configuration random_config(util::Rng& rng) const;
+
+  /// All configurations in lexicographic order. Throws std::length_error
+  /// when the space holds more than `limit` points.
+  std::vector<Configuration> enumerate(std::size_t limit = 1000000) const;
+
+  /// Numeric feature vector (one entry per parameter, see
+  /// Parameter::numeric_value).
+  std::vector<double> features(const Configuration& config) const;
+
+  /// Per-feature categorical flags for the random forest.
+  std::vector<bool> categorical_mask() const;
+
+  /// Per-feature level counts (categorical split masks need these).
+  std::vector<std::size_t> cardinalities() const;
+
+  /// "name=value, ..." rendering of a configuration.
+  std::string describe(const Configuration& config) const;
+
+  /// Validates that the configuration shape/levels match this space.
+  bool contains(const Configuration& config) const;
+
+ private:
+  std::vector<Parameter> params_;
+};
+
+}  // namespace pwu::space

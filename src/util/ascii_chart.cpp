@@ -1,0 +1,137 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace pwu::util {
+
+namespace {
+
+struct Bounds {
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+
+  void include(double x, double y) {
+    x_min = std::min(x_min, x);
+    x_max = std::max(x_max, x);
+    y_min = std::min(y_min, y);
+    y_max = std::max(y_max, y);
+  }
+
+  bool valid() const { return x_min <= x_max && y_min <= y_max; }
+};
+
+double maybe_log(double v, bool log_scale) {
+  if (!log_scale) return v;
+  return std::log10(std::max(v, 1e-300));
+}
+
+std::string format_tick(double v) {
+  std::ostringstream os;
+  if (v != 0.0 && (std::abs(v) < 1e-2 || std::abs(v) >= 1e4)) {
+    os << std::scientific << std::setprecision(1) << v;
+  } else {
+    os << std::fixed << std::setprecision(3) << v;
+  }
+  return os.str();
+}
+
+std::string render_grid(const std::vector<ChartSeries>& series,
+                        const ChartOptions& opt) {
+  Bounds b;
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = maybe_log(s.x[i], opt.log_x);
+      const double y = maybe_log(s.y[i], opt.log_y);
+      if (std::isfinite(x) && std::isfinite(y)) b.include(x, y);
+    }
+  }
+  std::ostringstream os;
+  if (!opt.title.empty()) os << opt.title << '\n';
+  if (!b.valid()) {
+    os << "  (no finite data)\n";
+    return os.str();
+  }
+  if (b.x_max == b.x_min) b.x_max = b.x_min + 1.0;
+  if (b.y_max == b.y_min) b.y_max = b.y_min + 1.0;
+
+  const std::size_t w = std::max<std::size_t>(opt.width, 16);
+  const std::size_t h = std::max<std::size_t>(opt.height, 6);
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = maybe_log(s.x[i], opt.log_x);
+      const double y = maybe_log(s.y[i], opt.log_y);
+      if (!std::isfinite(x) || !std::isfinite(y)) continue;
+      const double fx = (x - b.x_min) / (b.x_max - b.x_min);
+      const double fy = (y - b.y_min) / (b.y_max - b.y_min);
+      const auto col = static_cast<std::size_t>(
+          std::round(fx * static_cast<double>(w - 1)));
+      const auto row_from_bottom = static_cast<std::size_t>(
+          std::round(fy * static_cast<double>(h - 1)));
+      const std::size_t row = h - 1 - row_from_bottom;
+      grid[row][col] = s.marker;
+    }
+  }
+
+  const std::string y_hi = format_tick(opt.log_y ? std::pow(10.0, b.y_max)
+                                                 : b.y_max);
+  const std::string y_lo = format_tick(opt.log_y ? std::pow(10.0, b.y_min)
+                                                 : b.y_min);
+  const std::size_t label_width = std::max(y_hi.size(), y_lo.size());
+
+  for (std::size_t r = 0; r < h; ++r) {
+    std::string label(label_width, ' ');
+    if (r == 0) label = y_hi;
+    if (r == h - 1) label = y_lo;
+    os << std::setw(static_cast<int>(label_width)) << label << " |"
+       << grid[r] << '\n';
+  }
+  os << std::string(label_width + 1, ' ') << '+'
+     << std::string(w, '-') << '\n';
+  const std::string x_lo = format_tick(opt.log_x ? std::pow(10.0, b.x_min)
+                                                 : b.x_min);
+  const std::string x_hi = format_tick(opt.log_x ? std::pow(10.0, b.x_max)
+                                                 : b.x_max);
+  os << std::string(label_width + 2, ' ') << x_lo
+     << std::string(w > x_lo.size() + x_hi.size()
+                        ? w - x_lo.size() - x_hi.size()
+                        : 1,
+                    ' ')
+     << x_hi << '\n';
+  if (!opt.x_label.empty() || !opt.y_label.empty()) {
+    os << "  x: " << opt.x_label;
+    if (!opt.y_label.empty()) os << "   y: " << opt.y_label;
+    if (opt.log_y) os << " (log scale)";
+    os << '\n';
+  }
+  os << "  legend:";
+  for (const auto& s : series) {
+    os << "  '" << s.marker << "' " << s.label;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         const ChartOptions& options) {
+  return render_grid(series, options);
+}
+
+std::string render_scatter(const ChartSeries& background,
+                           const ChartSeries& foreground,
+                           const ChartOptions& options) {
+  return render_grid({background, foreground}, options);
+}
+
+}  // namespace pwu::util

@@ -1,0 +1,41 @@
+// Terminal line/scatter charts so the figure-reproduction binaries can show
+// the paper's plots directly in the console, alongside their numeric tables.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pwu::util {
+
+/// One named series on a chart.
+struct ChartSeries {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+  char marker = '*';
+};
+
+struct ChartOptions {
+  std::size_t width = 72;   // plot columns
+  std::size_t height = 18;  // plot rows
+  bool log_y = false;       // base-10 log scale on y
+  bool log_x = false;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders the series into a fixed-size character grid with axis
+/// annotations and a marker legend. Series are drawn in order; later series
+/// overwrite earlier ones where they collide.
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         const ChartOptions& options);
+
+/// Scatter helper: renders (x, y) points of two point clouds, used by the
+/// Fig. 9 selected-sample distribution reproduction.
+std::string render_scatter(const ChartSeries& background,
+                           const ChartSeries& foreground,
+                           const ChartOptions& options);
+
+}  // namespace pwu::util

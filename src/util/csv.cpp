@@ -1,0 +1,49 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace pwu::util {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& names) {
+  write_row(names);
+}
+
+std::string CsvWriter::field(double value) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+std::string CsvWriter::field(std::size_t value) {
+  return std::to_string(value);
+}
+
+std::string CsvWriter::escape(const std::string& raw) {
+  const bool needs_quotes =
+      raw.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return raw;
+  std::string quoted = "\"";
+  for (char c : raw) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace pwu::util

@@ -1,0 +1,37 @@
+// Minimal CSV emission for experiment traces and figure data.
+
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pwu::util {
+
+/// Writes RFC-4180-style CSV rows (quoting fields containing separators).
+/// The file is flushed and closed on destruction.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row; each field is escaped as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: header then nothing else.
+  void write_header(const std::vector<std::string>& names);
+
+  /// Formats doubles with full round-trip precision.
+  static std::string field(double value);
+  static std::string field(std::size_t value);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& raw);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace pwu::util

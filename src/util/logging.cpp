@@ -1,0 +1,75 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+
+namespace pwu::util {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized
+
+LogLevel init_from_env() {
+  const char* env = std::getenv("PWU_LOG");
+  return env ? parse_log_level(env) : LogLevel::kInfo;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = static_cast<int>(init_from_env());
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+void log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  const auto now = std::chrono::system_clock::now();
+  const auto time = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf{};
+  localtime_r(&time, &tm_buf);
+  static std::mutex io_mutex;
+  std::lock_guard lock(io_mutex);
+  std::fprintf(stderr, "[%02d:%02d:%02d.%03d] %s %s\n", tm_buf.tm_hour,
+               tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(ms),
+               level_name(level), message.c_str());
+}
+
+}  // namespace pwu::util

@@ -1,0 +1,55 @@
+// Lightweight leveled logging to stderr with wall-clock timestamps.
+//
+// The log level is taken from the PWU_LOG environment variable
+// (debug|info|warn|error, default info) and can be overridden
+// programmatically.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pwu::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Returns the current threshold (initialized from PWU_LOG on first use).
+LogLevel log_level();
+
+/// Overrides the threshold for the remainder of the process.
+void set_log_level(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error" (case-insensitive); defaults to info.
+LogLevel parse_log_level(const std::string& name);
+
+/// Emits one line: `[HH:MM:SS.mmm] LEVEL message` when `level` passes the
+/// threshold. Thread-safe (single formatted write).
+void log(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_debug() {
+  return detail::LogStream(LogLevel::kDebug);
+}
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_error() {
+  return detail::LogStream(LogLevel::kError);
+}
+
+}  // namespace pwu::util

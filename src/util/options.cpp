@@ -1,0 +1,64 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace pwu::util {
+
+std::optional<long long> env_int(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return std::nullopt;
+  return value;
+}
+
+std::optional<std::string> env_string(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
+BenchOptions BenchOptions::from_env() {
+  BenchOptions opts;
+  if (env_int("PWU_FULL").value_or(0) != 0) {
+    opts.full = true;
+    opts.repeats = 10;
+    opts.n_max = 500;
+    opts.pool_size = 7000;
+    opts.test_size = 3000;
+    opts.num_trees = 50;
+    opts.eval_every = 5;
+  }
+  auto override_size = [](std::size_t& slot, const char* name) {
+    if (auto v = env_int(name); v && *v > 0) {
+      slot = static_cast<std::size_t>(*v);
+    }
+  };
+  override_size(opts.repeats, "PWU_REPEATS");
+  override_size(opts.n_max, "PWU_NMAX");
+  override_size(opts.n_init, "PWU_NINIT");
+  override_size(opts.pool_size, "PWU_POOL");
+  override_size(opts.test_size, "PWU_TEST");
+  override_size(opts.num_trees, "PWU_TREES");
+  override_size(opts.eval_every, "PWU_EVAL_EVERY");
+  if (auto v = env_int("PWU_SEED"); v) {
+    opts.seed = static_cast<std::uint64_t>(*v);
+  }
+  if (auto v = env_string("PWU_OUT"); v) {
+    opts.out_dir = *v;
+  }
+  return opts;
+}
+
+std::string BenchOptions::describe() const {
+  std::ostringstream os;
+  os << (full ? "paper-scale" : "ci-scale") << " (repeats=" << repeats
+     << ", n_init=" << n_init << ", n_max=" << n_max << ", pool=" << pool_size
+     << ", test=" << test_size << ", trees=" << num_trees
+     << ", eval_every=" << eval_every << ", seed=" << seed << ")";
+  return os.str();
+}
+
+}  // namespace pwu::util

@@ -1,0 +1,52 @@
+// Experiment scaling knobs shared by the bench/figure binaries.
+//
+// The paper's full protocol (pool 7000 / test 3000 / n_max 500 / 10 repeats)
+// is expensive on a small CI machine, so every binary reads a common set of
+// environment variables with CI-sized defaults:
+//
+//   PWU_FULL=1       switch every knob to the paper-scale value
+//   PWU_REPEATS=k    number of averaged experiment repetitions
+//   PWU_NMAX=n       maximum training-set size (Algorithm 1 n_max)
+//   PWU_NINIT=n      cold-start size (Algorithm 1 n_init)
+//   PWU_POOL=n       candidate-pool size
+//   PWU_TEST=n       held-out test-set size
+//   PWU_TREES=n      random-forest size
+//   PWU_EVAL_EVERY=n evaluate metrics every n-th iteration
+//   PWU_SEED=s       master seed
+//   PWU_OUT=dir      directory for CSV dumps (default: no dumps)
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pwu::util {
+
+struct BenchOptions {
+  bool full = false;
+  std::size_t repeats = 2;
+  std::size_t n_max = 150;
+  std::size_t n_init = 10;
+  std::size_t pool_size = 1500;
+  std::size_t test_size = 800;
+  std::size_t num_trees = 40;
+  std::size_t eval_every = 10;
+  std::uint64_t seed = 42;
+  std::string out_dir;  // empty = no CSV output
+
+  /// Reads the environment (see header comment). PWU_FULL upgrades the
+  /// defaults to paper scale before the individual overrides apply.
+  static BenchOptions from_env();
+
+  /// One-line human-readable description of the active scale.
+  std::string describe() const;
+};
+
+/// Returns the integer value of the environment variable, if set and valid.
+std::optional<long long> env_int(const char* name);
+
+/// Returns the string value of the environment variable, if set.
+std::optional<std::string> env_string(const char* name);
+
+}  // namespace pwu::util

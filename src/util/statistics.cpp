@@ -1,0 +1,209 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace pwu::util {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double population_variance(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double min_value(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double median(std::span<const double> values) {
+  return quantile(values, 0.5);
+}
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lower);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  return sorted[lower] * (1.0 - frac) + sorted[lower + 1] * frac;
+}
+
+namespace {
+void check_equal_size(std::span<const double> a, std::span<const double> b,
+                      const char* what) {
+  if (a.size() != b.size()) throw std::invalid_argument(what);
+}
+}  // namespace
+
+double rmse(std::span<const double> truth, std::span<const double> predicted) {
+  check_equal_size(truth, predicted, "rmse: size mismatch");
+  if (truth.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - predicted[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+double mae(std::span<const double> truth, std::span<const double> predicted) {
+  check_equal_size(truth, predicted, "mae: size mismatch");
+  if (truth.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += std::abs(truth[i] - predicted[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double mape(std::span<const double> truth, std::span<const double> predicted) {
+  check_equal_size(truth, predicted, "mape: size mismatch");
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (std::abs(truth[i]) < 1e-300) continue;
+    acc += std::abs((truth[i] - predicted[i]) / truth[i]);
+    ++n;
+  }
+  return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+double kendall_tau(std::span<const double> a, std::span<const double> b) {
+  check_equal_size(a, b, "kendall_tau: size mismatch");
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  long long concordant = 0;
+  long long discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double prod = da * db;
+      if (prod > 0.0) ++concordant;
+      else if (prod < 0.0) ++discordant;
+    }
+  }
+  const double pairs = 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  check_equal_size(a, b, "pearson: size mismatch");
+  if (a.size() < 2) return 0.0;
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+std::vector<std::size_t> argsort(std::span<const double> values) {
+  std::vector<std::size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t i, std::size_t j) {
+    return values[i] < values[j];
+  });
+  return idx;
+}
+
+std::size_t argmin(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("argmin: empty input");
+  return static_cast<std::size_t>(
+      std::min_element(values.begin(), values.end()) - values.begin());
+}
+
+std::size_t argmax(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("argmax: empty input");
+  return static_cast<std::size_t>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  s.min = min_value(values);
+  s.q25 = quantile(values, 0.25);
+  s.median = median(values);
+  s.q75 = quantile(values, 0.75);
+  s.max = max_value(values);
+  return s;
+}
+
+}  // namespace pwu::util

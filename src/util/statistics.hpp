@@ -1,0 +1,91 @@
+// Descriptive statistics and error measures shared across the library.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pwu::util {
+
+/// Arithmetic mean; returns 0 for an empty range.
+double mean(std::span<const double> values);
+
+/// Unbiased sample variance (n-1 denominator); 0 when fewer than 2 values.
+double variance(std::span<const double> values);
+
+/// Population variance (n denominator); 0 when empty.
+double population_variance(std::span<const double> values);
+
+/// sqrt(variance).
+double stddev(std::span<const double> values);
+
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Median (copies the data); 0 for empty input.
+double median(std::span<const double> values);
+
+/// Linear-interpolated quantile, q in [0,1]; copies the data.
+double quantile(std::span<const double> values, double q);
+
+/// Root mean squared error between two equal-length vectors.
+double rmse(std::span<const double> truth, std::span<const double> predicted);
+
+/// Mean absolute error.
+double mae(std::span<const double> truth, std::span<const double> predicted);
+
+/// Mean absolute percentage error (skips entries with |truth| < 1e-300).
+double mape(std::span<const double> truth, std::span<const double> predicted);
+
+/// Kendall rank correlation coefficient (tau-a), O(n^2). Returns 0 for n < 2.
+double kendall_tau(std::span<const double> a, std::span<const double> b);
+
+/// Pearson correlation coefficient. Returns 0 when either side is constant.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Indices that would sort `values` ascending (stable).
+std::vector<std::size_t> argsort(std::span<const double> values);
+
+/// Index of the smallest / largest element. Requires non-empty input.
+std::size_t argmin(std::span<const double> values);
+std::size_t argmax(std::span<const double> values);
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+}  // namespace pwu::util

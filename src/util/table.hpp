@@ -1,0 +1,36 @@
+// Aligned plain-text tables for console reports (paper-style rows).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pwu::util {
+
+/// Collects rows of string cells and prints them column-aligned.
+class TextTable {
+ public:
+  /// Sets the header row (optional).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; rows may have differing lengths.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with the given precision (fixed notation).
+  static std::string cell(double value, int precision = 4);
+  /// Scientific notation cell.
+  static std::string cell_sci(double value, int precision = 3);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with two-space column gaps and a rule under the header.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pwu::util

@@ -1,0 +1,13 @@
+// Performance simulator for hypre's new_ij driver solving a 27-point 3D
+// Laplacian, over the paper's Table III space (solver id, coarsening,
+// smoother type, process count) on Platform B.
+
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace pwu::workloads {
+
+WorkloadPtr make_hypre();
+
+}  // namespace pwu::workloads

@@ -1,0 +1,168 @@
+// Kripke (LLNL transport proxy) performance model.
+//
+// Fixed global problem (per the mini-app defaults): 64 energy groups, 96
+// angular directions, 32^3 spatial zones, 10 solver iterations. The tunables
+// (Table II) control how that work is organized:
+//
+//   layout   — the nesting order of the Direction/Group/Zone loops in the
+//              sweep kernel. Zone-innermost layouts (DGZ, GDZ) stream zones
+//              unit-stride and vectorize; zone-outermost layouts (ZDG, ZGD)
+//              thrash the zone dimension through cache.
+//   gset     — number of group sets:   work quantum = groups/gset.
+//   dset     — number of direction sets: quantum = directions/dset.
+//              More, smaller sets pipeline better across the process grid
+//              but pay per-set kernel-launch/bookkeeping overhead, and a
+//              dset must divide the 8 octants' directions evenly to avoid
+//              padding waste.
+//   pmethod  — sweep: the KBA wavefront sweep (pipeline fill/drain cost,
+//              converges in the nominal iteration count);
+//              bj: block-Jacobi (no pipeline dependency, but needs ~1.8x
+//              the iterations to converge).
+//   #process — MPI ranks arranged in a 2D KBA grid; compute scales down,
+//              communication scales up.
+
+#include "workloads/kripke_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "sim/cache_model.hpp"
+#include "sim/network_model.hpp"
+#include "sim/platform.hpp"
+#include "space/parameter.hpp"
+
+namespace pwu::workloads {
+
+namespace {
+
+constexpr double kGroups = 64.0;
+constexpr double kDirections = 96.0;
+constexpr double kZonesPerDim = 32.0;
+constexpr double kIterations = 10.0;
+// Flops per (zone, direction, group) element per sweep: LTimes + scattering
+// + sweep update.
+constexpr double kFlopsPerElement = 60.0;
+
+class KripkeModel final : public Workload {
+ public:
+  KripkeModel()
+      : name_("kripke"),
+        platform_(sim::platform_b()),
+        cache_(platform_),
+        network_(platform_) {
+    layout_ = space_.add(space::Parameter::categorical(
+        "layout", {"DGZ", "DZG", "GDZ", "GZD", "ZDG", "ZGD"}));
+    gset_ = space_.add(space::Parameter::ordinal(
+        "gset", {1, 2, 4, 8, 16, 32, 64, 128}));
+    dset_ = space_.add(space::Parameter::ordinal("dset", {8, 16, 32}));
+    pmethod_ =
+        space_.add(space::Parameter::categorical("pmethod", {"sweep", "bj"}));
+    procs_ = space_.add(space::Parameter::ordinal(
+        "nprocs", {1, 2, 4, 8, 16, 32, 64, 128}));
+    // Applications are measured "several times" (paper III-B); network
+    // jitter is the dominant noise source.
+    noise_.lognormal_sigma = 0.04;
+    noise_.spike_probability = 0.015;
+    noise_.spike_scale = 1.5;
+  }
+
+  const std::string& name() const override { return name_; }
+  const space::ParameterSpace& space() const override { return space_; }
+  const sim::NoiseModel& noise() const override { return noise_; }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto layout = static_cast<std::size_t>(c.level(layout_));
+    const double gset = space_.param(gset_).numeric_value(c.level(gset_));
+    const double dset = space_.param(dset_).numeric_value(c.level(dset_));
+    const bool sweep = c.level(pmethod_) == 0;
+    const double procs = space_.param(procs_).numeric_value(c.level(procs_));
+
+    const double zones = kZonesPerDim * kZonesPerDim * kZonesPerDim;
+    const double total_flops =
+        zones * kDirections * kGroups * kFlopsPerElement;
+
+    // --- Layout factor: cache behaviour of the sweep kernel's loop nest.
+    // Order: DGZ, DZG, GDZ, GZD, ZDG, ZGD. Zone-innermost is best.
+    static constexpr double kLayoutFactor[6] = {1.00, 1.22, 1.04, 1.28,
+                                                1.45, 1.52};
+    double compute_factor = kLayoutFactor[layout];
+
+    // --- Set granularity. Work quantum per sweep task:
+    const double groups_per_set = kGroups / std::min(gset, kGroups);
+    const double dirs_per_set = kDirections / std::min(dset, kDirections);
+    // Per-set overhead (kernel launch, boundary bookkeeping): more sets =
+    // more overhead.
+    const double num_sets = std::max(1.0, kGroups / groups_per_set) *
+                            std::max(1.0, kDirections / dirs_per_set);
+    const double set_overhead = 1.0 + 0.004 * num_sets;
+    // Cache: a set's working set is zones_slab * dirs_per_set *
+    // groups_per_set unknowns; sets that fit L3 run faster. Zone-innermost
+    // layouts blunt this sensitivity.
+    const double zones_per_rank = zones / std::max(procs, 1.0);
+    const double set_ws =
+        8.0 * std::cbrt(zones_per_rank) * std::cbrt(zones_per_rank) *
+        dirs_per_set * groups_per_set;
+    const double locality_sensitivity =
+        (layout >= 4) ? 1.0 : 0.55;  // zone-outermost suffers more
+    const double cache_factor =
+        1.0 + locality_sensitivity *
+                  (cache_.tiling_penalty(set_ws, 2.0) - 1.0);
+
+    // gset=128 exceeds the 64 groups: degenerate sets waste padding.
+    const double padding = gset > kGroups ? 1.15 : 1.0;
+
+    // Per-rank compute seconds per iteration.
+    const double rank_flops = total_flops / std::max(procs, 1.0);
+    const double per_iter_compute =
+        platform_.scalar_flop_seconds(rank_flops / 2.0)  // SIMD-ish factor 2
+        * compute_factor * set_overhead * cache_factor * padding;
+
+    // --- Communication per iteration.
+    const auto p = static_cast<std::size_t>(procs);
+    const auto px = static_cast<std::size_t>(
+        std::max(1.0, std::floor(std::sqrt(procs))));
+    const std::size_t py = std::max<std::size_t>(1, p / px);
+    // Face size: zone face * angles/groups of one set quantum.
+    const double face_bytes = 8.0 * std::cbrt(zones_per_rank) *
+                              std::cbrt(zones_per_rank) * dirs_per_set *
+                              groups_per_set / 8.0;
+    double per_iter_comm = 0.0;
+    double iterations = kIterations;
+    if (sweep) {
+      // KBA: 8 octant sweeps, each paying a pipeline fill across the grid;
+      // smaller set quanta (more sets) overlap fill with compute.
+      const double pipeline =
+          network_.sweep_pipeline_seconds(face_bytes, px, py) * 8.0;
+      const double overlap = 1.0 / std::sqrt(num_sets);
+      per_iter_comm = pipeline * overlap +
+                      network_.allreduce_seconds(8.0 * kGroups, p);
+    } else {
+      // Block-Jacobi: neighbour exchange only, but slower convergence.
+      per_iter_comm = network_.halo_exchange_seconds(face_bytes) +
+                      network_.allreduce_seconds(8.0 * kGroups, p);
+      iterations *= 1.8;
+    }
+
+    // Startup: MPI init + data structure setup grows mildly with p.
+    const double startup = 0.3 + 0.01 * std::log2(std::max(procs, 1.0) + 1.0);
+
+    return startup + iterations * (per_iter_compute + per_iter_comm);
+  }
+
+ private:
+  std::string name_;
+  space::ParameterSpace space_;
+  sim::Platform platform_;
+  sim::CacheModel cache_;
+  sim::NetworkModel network_;
+  sim::NoiseModel noise_;
+  std::size_t layout_ = 0, gset_ = 0, dset_ = 0, pmethod_ = 0, procs_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_kripke() { return std::make_unique<KripkeModel>(); }
+
+}  // namespace pwu::workloads

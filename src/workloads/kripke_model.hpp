@@ -1,0 +1,13 @@
+// Performance simulator for the kripke discrete-ordinates transport
+// mini-app over the paper's Table II parameter space (layout, group sets,
+// direction sets, parallel method, process count) on Platform B.
+
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace pwu::workloads {
+
+WorkloadPtr make_kripke();
+
+}  // namespace pwu::workloads

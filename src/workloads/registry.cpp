@@ -1,0 +1,61 @@
+#include "workloads/registry.hpp"
+
+#include <stdexcept>
+
+#include "workloads/hypre_model.hpp"
+#include "workloads/kripke_model.hpp"
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads {
+
+std::vector<std::string> kernel_names() {
+  return {"adi",    "atax",        "bicg", "correlation",
+          "dgemv3", "gemver",      "gesummv", "jacobi",
+          "lu",     "mm",          "mvt",  "seidel"};
+}
+
+std::vector<std::string> extended_kernel_names() {
+  return {"trmm", "syrk", "syr2k", "fdtd", "stencil3d", "covariance"};
+}
+
+std::vector<std::string> application_names() { return {"kripke", "hypre"}; }
+
+std::vector<std::string> all_names() {
+  std::vector<std::string> names = kernel_names();
+  for (auto& app : application_names()) names.push_back(app);
+  return names;
+}
+
+std::vector<std::string> full_suite_names() {
+  std::vector<std::string> names = kernel_names();
+  for (auto& k : extended_kernel_names()) names.push_back(k);
+  for (auto& app : application_names()) names.push_back(app);
+  return names;
+}
+
+WorkloadPtr make_workload(const std::string& name) {
+  if (name == "adi") return spapt::make_adi();
+  if (name == "atax") return spapt::make_atax();
+  if (name == "bicg") return spapt::make_bicg();
+  if (name == "correlation") return spapt::make_correlation();
+  if (name == "dgemv3") return spapt::make_dgemv3();
+  if (name == "gemver") return spapt::make_gemver();
+  if (name == "gesummv") return spapt::make_gesummv();
+  if (name == "jacobi") return spapt::make_jacobi();
+  if (name == "lu") return spapt::make_lu();
+  if (name == "mm") return spapt::make_mm();
+  if (name == "mvt") return spapt::make_mvt();
+  if (name == "seidel") return spapt::make_seidel();
+  if (name == "trmm") return spapt::make_trmm();
+  if (name == "syrk") return spapt::make_syrk();
+  if (name == "syr2k") return spapt::make_syr2k();
+  if (name == "fdtd") return spapt::make_fdtd();
+  if (name == "stencil3d") return spapt::make_stencil3d();
+  if (name == "covariance") return spapt::make_covariance();
+  if (name == "kripke") return make_kripke();
+  if (name == "hypre") return make_hypre();
+  throw std::invalid_argument("make_workload: unknown workload '" + name +
+                              "'");
+}
+
+}  // namespace pwu::workloads

@@ -1,0 +1,32 @@
+// Name -> workload factory, covering the paper's full benchmark set.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace pwu::workloads {
+
+/// The 12 SPAPT kernels (paper Section III-A).
+std::vector<std::string> kernel_names();
+
+/// The remaining 6 SPAPT problems (the paper used 12 of 18) — an extended
+/// set beyond the paper's evaluation.
+std::vector<std::string> extended_kernel_names();
+
+/// The two parallel applications: kripke, hypre.
+std::vector<std::string> application_names();
+
+/// Kernels followed by applications (the paper's benchmark set).
+std::vector<std::string> all_names();
+
+/// Everything: paper kernels + extended kernels + applications.
+std::vector<std::string> full_suite_names();
+
+/// Constructs the named workload; throws std::invalid_argument for unknown
+/// names.
+WorkloadPtr make_workload(const std::string& name);
+
+}  // namespace pwu::workloads

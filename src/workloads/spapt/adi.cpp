@@ -1,0 +1,89 @@
+// ADI (alternating-direction implicit) 2D stencil kernel (paper Listing 1,
+// Table I): two dependent sweeps over an N x N grid of three arrays
+// (X, A, B). The row sweep streams unit-stride; the column sweep walks
+// stride-N, so its locality depends much more strongly on tiling and it
+// barely vectorizes. Parameter layout follows Table I: 8 tiles, 4
+// unroll-jam factors, 4 register tiles, 2 scalar-replace flags, 2 vector
+// flags (20 parameters, |space| ~ 10^15).
+
+#include <algorithm>
+#include <memory>
+
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads::spapt {
+
+namespace {
+
+class AdiKernel final : public SpaptKernel {
+ public:
+  AdiKernel() : SpaptKernel("adi", 6000) {
+    // Two sweeps x (outer tile, inner tile) x 2 tiling levels.
+    tiles_ = add_tile_params(8, "T");
+    unrolls_ = add_unroll_params(4, "U");
+    regtiles_ = add_regtile_params(4, "RT");
+    scalar_row_ = add_flag("SCREP_row");
+    scalar_col_ = add_flag("SCREP_col");
+    vector_row_ = add_flag("VEC_row");
+    vector_col_ = add_flag("VEC_col");
+  }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto n = static_cast<double>(problem_size());
+    // Each statement pair does sub/mul/div twice over the grid: ~10 flops
+    // per point per sweep; the divide makes each "flop" ~1.5x heavier.
+    const double sweep_flops = 10.0 * n * n * 1.5;
+
+    // --- Row sweep (unit stride): tiles 0..3, unrolls 0..1. ---
+    // Working set of a (t0 x t1) tile over 3 arrays of doubles; the
+    // second-level tiles (t2, t3) cap the effective block the innermost
+    // loops keep live.
+    const double row_t0 = value(c, tiles_[0]);
+    const double row_t1 = value(c, tiles_[1]);
+    const double row_inner =
+        std::min(value(c, tiles_[2]) * value(c, tiles_[3]), row_t0 * row_t1);
+    const double row_ws = 3.0 * 8.0 * std::max(row_inner, row_t1);
+    double row = seconds_for_flops(sweep_flops);
+    row *= tile_time_factor(row_ws, /*bytes_per_flop=*/4.0);
+    row *= unroll_time_factor(
+        value(c, unrolls_[0]) * value(c, unrolls_[1]), /*register_demand=*/5.0);
+    row *= regtile_time_factor(
+        value(c, regtiles_[0]) * value(c, regtiles_[1]), /*reuse=*/0.7);
+    // Vectorization needs a long enough unit-stride inner trip count.
+    const double row_stride_penalty = row_t1 < 32.0 ? 0.5 : 0.1;
+    row *= vector_time_factor(flag(c, vector_row_), 0.75, row_stride_penalty);
+    row *= scalar_replace_factor(flag(c, scalar_row_), 0.8);
+
+    // --- Column sweep (stride N): tiles 4..7, unrolls 2..3. ---
+    // Each inner iteration touches a new cache line, so the working set is
+    // amplified by the line size / element ratio (64B line / 8B element).
+    const double col_t0 = value(c, tiles_[4]);
+    const double col_t1 = value(c, tiles_[5]);
+    const double col_inner =
+        std::min(value(c, tiles_[6]) * value(c, tiles_[7]), col_t0 * col_t1);
+    const double col_ws = 3.0 * 64.0 * std::max(col_inner, col_t0);
+    double col = seconds_for_flops(sweep_flops);
+    col *= tile_time_factor(col_ws, /*bytes_per_flop=*/8.0);
+    col *= unroll_time_factor(
+        value(c, unrolls_[2]) * value(c, unrolls_[3]), /*register_demand=*/5.0);
+    col *= regtile_time_factor(
+        value(c, regtiles_[2]) * value(c, regtiles_[3]), /*reuse=*/0.5);
+    // Strided access defeats SIMD almost entirely.
+    col *= vector_time_factor(flag(c, vector_col_), 0.75, 0.85);
+    col *= scalar_replace_factor(flag(c, scalar_col_), 0.6);
+
+    // Fixed program startup / timer overhead.
+    return 2e-3 + row + col;
+  }
+
+ private:
+  std::vector<std::size_t> tiles_, unrolls_, regtiles_;
+  std::size_t scalar_row_ = 0, scalar_col_ = 0;
+  std::size_t vector_row_ = 0, vector_col_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_adi() { return std::make_unique<AdiKernel>(); }
+
+}  // namespace pwu::workloads::spapt

@@ -1,0 +1,81 @@
+// ATAX kernel: y = A^T (A x) over an N x N matrix — the paper's case-study
+// kernel (Sections IV-B/IV-C, Figs. 6, 8, 9). Two phases: tmp = A x streams
+// rows (unit stride, reduction into a scalar), y += A^T tmp updates a
+// column vector per row (scatter with reuse of y). The reduction phase
+// vectorizes well; the update phase is bandwidth-bound. 13 parameters.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads::spapt {
+
+namespace {
+
+class AtaxKernel final : public SpaptKernel {
+ public:
+  AtaxKernel() : SpaptKernel("atax", 14000) {
+    tiles_ = add_tile_params(6, "T");       // 3 per phase (i, j, fused)
+    unrolls_ = add_unroll_params(3, "U");   // phase1 i/j jam, phase2 jam
+    regtiles_ = add_regtile_params(2, "RT");
+    scalar_ = add_flag("SCREP");
+    vector_ = add_flag("VEC");
+  }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto n = static_cast<double>(problem_size());
+    const double phase_flops = 2.0 * n * n;  // multiply-add per element
+
+    // --- Phase 1: tmp = A x (row-major streaming, dot-product reduction).
+    // The tile over j keeps a slice of x resident; the i-tile controls how
+    // much of A streams between x reuses.
+    const double p1_ti = value(c, tiles_[0]);
+    const double p1_tj = value(c, tiles_[1]);
+    const double p1_fuse = value(c, tiles_[2]);
+    const double p1_ws =
+        8.0 * (p1_ti * p1_tj + p1_tj) * std::max(1.0, p1_fuse / 256.0 + 1.0);
+    double p1 = seconds_for_flops(phase_flops);
+    p1 *= tile_time_factor(p1_ws, /*bytes_per_flop=*/4.0);
+    p1 *= unroll_time_factor(value(c, unrolls_[0]) * value(c, unrolls_[1]),
+                             /*register_demand=*/4.0);
+    p1 *= regtile_time_factor(value(c, regtiles_[0]), /*reuse=*/0.8);
+    // Unit-stride dot products vectorize well once the j-tile covers a few
+    // SIMD iterations.
+    const double p1_stride = p1_tj >= 64.0 ? 0.05 : 0.4;
+    p1 *= vector_time_factor(flag(c, vector_), 0.85, p1_stride);
+    p1 *= scalar_replace_factor(flag(c, scalar_), 0.9);
+
+    // --- Phase 2: y += A^T tmp (row-wise axpy into y).
+    const double p2_ti = value(c, tiles_[3]);
+    const double p2_tj = value(c, tiles_[4]);
+    const double p2_fuse = value(c, tiles_[5]);
+    // y slice + A tile stay live; fusing with phase 1 (modeled by the fuse
+    // tile matching) reduces the streamed volume.
+    const double p2_ws = 8.0 * (p2_ti * p2_tj + 2.0 * p2_tj);
+    double p2 = seconds_for_flops(phase_flops);
+    p2 *= tile_time_factor(p2_ws, /*bytes_per_flop=*/6.0);
+    p2 *= unroll_time_factor(value(c, unrolls_[2]), /*register_demand=*/3.0);
+    p2 *= regtile_time_factor(value(c, regtiles_[1]), /*reuse=*/0.6);
+    p2 *= vector_time_factor(flag(c, vector_), 0.7, 0.25);
+    p2 *= scalar_replace_factor(flag(c, scalar_), 0.5);
+    // Cross-phase fusion interaction: matching fuse tiles avoid re-streaming
+    // A between phases (up to ~12% total saving when equal and large).
+    const double fuse_match =
+        1.0 - 0.12 * (std::min(p1_fuse, p2_fuse) / 512.0);
+    p2 *= fuse_match;
+
+    return 1.5e-3 + p1 + p2;
+  }
+
+ private:
+  std::vector<std::size_t> tiles_, unrolls_, regtiles_;
+  std::size_t scalar_ = 0, vector_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_atax() { return std::make_unique<AtaxKernel>(); }
+
+}  // namespace pwu::workloads::spapt

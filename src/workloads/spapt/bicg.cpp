@@ -1,0 +1,70 @@
+// BiCG sub-kernel: in one sweep over A compute q = A p and s = A^T r.
+// The fused loop reads each element of A once but updates both a
+// reduction (q) and a scattered vector (s), so register pressure is the
+// dominant constraint and the unroll-jam sweet spot is narrow.
+// 12 parameters.
+
+#include <algorithm>
+#include <memory>
+
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads::spapt {
+
+namespace {
+
+class BicgKernel final : public SpaptKernel {
+ public:
+  BicgKernel() : SpaptKernel("bicg", 12000) {
+    tiles_ = add_tile_params(5, "T");      // i-tile, j-tile per phase + fuse
+    unrolls_ = add_unroll_params(3, "U");
+    regtiles_ = add_regtile_params(2, "RT");
+    scalar_ = add_flag("SCREP");
+    vector_ = add_flag("VEC");
+  }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto n = static_cast<double>(problem_size());
+    const double flops = 4.0 * n * n;  // two multiply-adds per element of A
+
+    const double ti = value(c, tiles_[0]);
+    const double tj = value(c, tiles_[1]);
+    const double fuse = value(c, tiles_[2]);
+    // Fused sweep keeps a (ti x tj) block of A plus slices of all four
+    // vectors live.
+    const double ws = 8.0 * (ti * tj + 2.0 * ti + 2.0 * tj);
+    double t = seconds_for_flops(flops);
+    t *= tile_time_factor(ws, /*bytes_per_flop=*/4.0);
+
+    // The fused body keeps ~8 live values; jamming multiplies that.
+    const double u = value(c, unrolls_[0]) * value(c, unrolls_[1]);
+    t *= unroll_time_factor(u, /*register_demand=*/8.0);
+    t *= regtile_time_factor(
+        value(c, regtiles_[0]) * value(c, regtiles_[1]), /*reuse=*/0.65);
+
+    // The q-reduction half vectorizes; the s-scatter half does not. The
+    // remaining un-fused cleanup phase (tiles 3-4, unroll 2) is cheap but
+    // not free.
+    t *= vector_time_factor(flag(c, vector_), 0.5, tj >= 64.0 ? 0.1 : 0.45);
+    t *= scalar_replace_factor(flag(c, scalar_), 0.75);
+
+    const double cleanup_ws = 8.0 * (value(c, tiles_[3]) + value(c, tiles_[4]));
+    double cleanup = seconds_for_flops(2.0 * n);
+    cleanup *= tile_time_factor(cleanup_ws, 8.0);
+    cleanup *= unroll_time_factor(value(c, unrolls_[2]), 3.0);
+    // Fusion distance interaction: a large fuse tile hides the cleanup cost.
+    cleanup *= 1.0 - 0.5 * (fuse / 512.0);
+
+    return 1e-3 + t + cleanup;
+  }
+
+ private:
+  std::vector<std::size_t> tiles_, unrolls_, regtiles_;
+  std::size_t scalar_ = 0, vector_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_bicg() { return std::make_unique<BicgKernel>(); }
+
+}  // namespace pwu::workloads::spapt

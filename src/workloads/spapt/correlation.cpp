@@ -1,0 +1,93 @@
+// Correlation-matrix kernel: column standardization (mean/stddev sweeps)
+// followed by the symmetric rank-k style product C = X^T X over the
+// standardized data. The product phase dominates and behaves like a
+// matrix-matrix multiply over the upper triangle; the standardization
+// phases are bandwidth-bound column walks (stride-N). 22 parameters —
+// one of the larger SPAPT spaces.
+
+#include <algorithm>
+#include <memory>
+
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads::spapt {
+
+namespace {
+
+class CorrelationKernel final : public SpaptKernel {
+ public:
+  CorrelationKernel() : SpaptKernel("correlation", 900) {
+    tiles_ = add_tile_params(10, "T");     // 2 std-phase + 8 product nest
+    unrolls_ = add_unroll_params(6, "U");
+    regtiles_ = add_regtile_params(4, "RT");
+    scalar_ = add_flag("SCREP");
+    vector_ = add_flag("VEC");
+  }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto n = static_cast<double>(problem_size());
+
+    // --- Standardization: two column sweeps (mean, stddev+scale).
+    const double std_flops = 5.0 * n * n;
+    const double std_tile = value(c, tiles_[0]) * value(c, tiles_[1]);
+    // Column-major walk: line-size amplification like ADI's column sweep.
+    const double std_ws = 64.0 * std::max(std_tile, value(c, tiles_[0]));
+    double std_phase = seconds_for_flops(std_flops);
+    std_phase *= tile_time_factor(std_ws, /*bytes_per_flop=*/8.0);
+    std_phase *= unroll_time_factor(value(c, unrolls_[0]), 4.0);
+    std_phase *= vector_time_factor(flag(c, vector_), 0.4, 0.8);
+
+    // --- Product: C[i][j] = sum_k X[k][i] * X[k][j], upper triangle.
+    // Classic 3-nested GEMM-like loop: tiles 2..7 form a two-level (i,j,k)
+    // tiling, tiles 8..9 pack the panel.
+    const double prod_flops = n * n * n;  // triangle x 2 flops
+    const double ti = value(c, tiles_[2]);
+    const double tj = value(c, tiles_[3]);
+    const double tk = value(c, tiles_[4]);
+    const double inner =
+        std::min({value(c, tiles_[5]) * value(c, tiles_[6]),
+                  value(c, tiles_[7]) * tk, ti * tj});
+    // GEMM working set: A-panel + B-panel + C-block.
+    const double ws = 8.0 * (ti * tk + tk * tj + ti * tj + inner);
+    double prod = seconds_for_flops(prod_flops);
+    // High arithmetic intensity when tiled well: bytes/flop shrinks with a
+    // balanced k-tile (operand reuse ~ tk).
+    const double bytes_per_flop = 8.0 / std::clamp(tk / 32.0, 0.25, 8.0);
+    prod *= tile_time_factor(ws, bytes_per_flop);
+
+    const double u = value(c, unrolls_[1]) * value(c, unrolls_[2]) *
+                     value(c, unrolls_[3]);
+    prod *= unroll_time_factor(u, /*register_demand=*/3.0);
+    const double rt = value(c, regtiles_[0]) * value(c, regtiles_[1]);
+    prod *= regtile_time_factor(rt, /*reuse=*/0.9);
+    prod *= vector_time_factor(flag(c, vector_), 0.9,
+                               tj >= 32.0 ? 0.05 : 0.5);
+    prod *= scalar_replace_factor(flag(c, scalar_), 0.85);
+
+    // Packing phase (tiles 8..9, unrolls 4..5, regtiles 2..3): copies panels
+    // into contiguous buffers; pays off only when the product tile is large.
+    const double pack_ws = 8.0 * value(c, tiles_[8]) * value(c, tiles_[9]);
+    double pack = seconds_for_flops(0.5 * n * n);
+    pack *= tile_time_factor(pack_ws, 16.0);
+    pack *= unroll_time_factor(value(c, unrolls_[4]) * value(c, unrolls_[5]),
+                               2.0);
+    pack *= regtile_time_factor(
+        value(c, regtiles_[2]) * value(c, regtiles_[3]), 0.3);
+    // Interaction: packing reduces the product's effective working set.
+    if (pack_ws > 8.0 * 64.0 * 64.0) prod *= 0.92;
+
+    return 2e-3 + std_phase + prod + pack;
+  }
+
+ private:
+  std::vector<std::size_t> tiles_, unrolls_, regtiles_;
+  std::size_t scalar_ = 0, vector_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_correlation() {
+  return std::make_unique<CorrelationKernel>();
+}
+
+}  // namespace pwu::workloads::spapt

@@ -1,0 +1,81 @@
+// COVARIANCE: column-mean subtraction followed by the symmetric product
+// C = X^T X / (n-1). Structurally correlation's sibling without the
+// stddev-normalization sweep — one fewer bandwidth-bound phase, so the
+// product phase dominates even more and the tuning surface is closer to
+// pure GEMM. Extended SPAPT set. 18 parameters.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads::spapt {
+
+namespace {
+
+class CovarianceKernel final : public SpaptKernel {
+ public:
+  CovarianceKernel() : SpaptKernel("covariance", 900) {
+    tiles_ = add_tile_params(8, "T");  // 2 mean-phase + 6 product nest
+    unrolls_ = add_unroll_params(5, "U");
+    regtiles_ = add_regtile_params(3, "RT");
+    scalar_ = add_flag("SCREP");
+    vector_ = add_flag("VEC");
+  }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto n = static_cast<double>(problem_size());
+
+    // --- Mean subtraction: one column sweep (stride N).
+    const double mean_tile = value(c, tiles_[0]) * value(c, tiles_[1]);
+    double mean_phase = seconds_for_flops(3.0 * n * n);
+    mean_phase *= tile_time_factor(
+        64.0 * std::max(mean_tile, value(c, tiles_[0])),
+        /*bytes_per_flop=*/8.0);
+    mean_phase *= unroll_time_factor(value(c, unrolls_[0]), 4.0);
+    mean_phase *= vector_time_factor(flag(c, vector_), 0.4, 0.8);
+
+    // --- Symmetric product over the centered data (upper triangle).
+    const double prod_flops = n * n * n;
+    const double ti = value(c, tiles_[2]);
+    const double tj = value(c, tiles_[3]);
+    const double tk = value(c, tiles_[4]);
+    const double inner = std::min({value(c, tiles_[5]) * value(c, tiles_[6]),
+                                   value(c, tiles_[7]) * tk, ti * tj});
+    const double ws = 8.0 * (ti * tk + tk * tj + ti * tj + inner);
+
+    double prod = seconds_for_flops(prod_flops);
+    const double matrix_bytes = 8.0 * n * n;
+    const double restream =
+        std::clamp(1.0 / ti + 1.0 / tj + 2.0 / tk, 0.0, 1.0);
+    const double bytes_per_flop =
+        std::clamp(4.0 * (1.0 / ti + 1.0 / tj + 2.0 / tk), 0.25, 16.0);
+    prod *= tile_time_factor(std::max(ws, matrix_bytes * restream),
+                             bytes_per_flop);
+    prod *= 1.0 + 0.25 * std::max(ti, tj) / n;  // triangular raggedness
+
+    prod *= unroll_time_factor(value(c, unrolls_[1]) * value(c, unrolls_[2]) *
+                                   value(c, unrolls_[3]),
+                               /*register_demand=*/3.0);
+    prod *= 1.0 + 0.08 / std::max(value(c, unrolls_[4]), 1.0) - 0.08;
+    prod *= regtile_time_factor(
+        value(c, regtiles_[0]) * value(c, regtiles_[1]), /*reuse=*/0.9);
+    prod *= regtile_time_factor(value(c, regtiles_[2]), /*reuse=*/0.25);
+    prod *= vector_time_factor(flag(c, vector_), 0.9,
+                               tj >= 32.0 ? 0.05 : 0.5);
+    prod *= scalar_replace_factor(flag(c, scalar_), 0.85);
+
+    return 1.5e-3 + mean_phase + 0.5 * prod;
+  }
+
+ private:
+  std::vector<std::size_t> tiles_, unrolls_, regtiles_;
+  std::size_t scalar_ = 0, vector_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_covariance() { return std::make_unique<CovarianceKernel>(); }
+
+}  // namespace pwu::workloads::spapt

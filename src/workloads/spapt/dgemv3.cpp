@@ -1,0 +1,87 @@
+// DGEMV3: three chained dense matrix-vector products
+//   w = A v,  x = B w,  y = C x
+// over N x N matrices. Each product is independently tiled, unrolled and
+// register-tiled, giving the largest parameter count among our SPAPT
+// problems (38 parameters — the paper's upper bound). The chain creates a
+// mild coupling: a product's output vector is the next one's input, so
+// matching j-tiles keep the handoff vector cache-resident.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads::spapt {
+
+namespace {
+
+class Dgemv3Kernel final : public SpaptKernel {
+ public:
+  Dgemv3Kernel() : SpaptKernel("dgemv3", 13000) {
+    tiles_ = add_tile_params(12, "T");      // 4 per product (2-level i/j)
+    unrolls_ = add_unroll_params(12, "U");  // 4 per product
+    regtiles_ = add_regtile_params(12, "RT");
+    scalar_ = add_flag("SCREP");
+    vector_ = add_flag("VEC");
+  }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto n = static_cast<double>(problem_size());
+    const double flops = 2.0 * n * n;  // per product
+
+    double total = 1.5e-3;
+    double prev_tj = 0.0;
+    for (std::size_t p = 0; p < 3; ++p) {
+      const double ti = value(c, tiles_[4 * p + 0]);
+      const double tj = value(c, tiles_[4 * p + 1]);
+      const double inner_i = value(c, tiles_[4 * p + 2]);
+      const double inner_j = value(c, tiles_[4 * p + 3]);
+      // Matrix tile + input slice + output slice; the two-level tiling is
+      // effective only when the inner tile nests inside the outer one.
+      const double eff_inner = std::min(inner_i * inner_j, ti * tj);
+      const double ws = 8.0 * (ti * tj + tj + ti + eff_inner);
+
+      double t = seconds_for_flops(flops);
+      t *= tile_time_factor(ws, /*bytes_per_flop=*/4.0);
+
+      const double u = value(c, unrolls_[4 * p + 0]) *
+                       value(c, unrolls_[4 * p + 1]);
+      const double u_inner = value(c, unrolls_[4 * p + 2]) *
+                             value(c, unrolls_[4 * p + 3]);
+      // Outer jam multiplies live accumulators; inner jam only amortizes
+      // loop control.
+      t *= unroll_time_factor(u, /*register_demand=*/4.0);
+      t *= 1.0 + 0.15 / std::sqrt(std::max(u_inner, 1.0)) - 0.15;
+
+      const double rt = value(c, regtiles_[4 * p + 0]) *
+                        value(c, regtiles_[4 * p + 1]);
+      const double rt_inner = value(c, regtiles_[4 * p + 2]) *
+                              value(c, regtiles_[4 * p + 3]);
+      t *= regtile_time_factor(rt, /*reuse=*/0.7);
+      t *= regtile_time_factor(rt_inner, /*reuse=*/0.25);
+
+      t *= vector_time_factor(flag(c, vector_), 0.8,
+                              tj >= 64.0 ? 0.08 : 0.4);
+      t *= scalar_replace_factor(flag(c, scalar_), 0.7);
+
+      // Chain handoff: if this product's row tile matches the previous
+      // product's column tile, the intermediate vector stays in cache.
+      if (p > 0 && std::abs(ti - prev_tj) < 1.0) t *= 0.93;
+      prev_tj = tj;
+
+      total += t;
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::size_t> tiles_, unrolls_, regtiles_;
+  std::size_t scalar_ = 0, vector_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_dgemv3() { return std::make_unique<Dgemv3Kernel>(); }
+
+}  // namespace pwu::workloads::spapt

@@ -1,0 +1,96 @@
+// GEMVER composite kernel:
+//   B = A + u1 v1^T + u2 v2^T        (rank-2 update, streaming write)
+//   x = beta * B^T y + z             (transposed mat-vec, strided reads)
+//   w = alpha * B x                  (mat-vec, unit stride)
+// Three phases with opposite locality preferences share tiles through the
+// matrix B — the same tile choice cannot be optimal for the update, the
+// transposed product and the direct product simultaneously, which is what
+// makes GEMVER a classic hard tuning target. 20 parameters.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads::spapt {
+
+namespace {
+
+class GemverKernel final : public SpaptKernel {
+ public:
+  GemverKernel() : SpaptKernel("gemver", 9000) {
+    tiles_ = add_tile_params(8, "T");
+    unrolls_ = add_unroll_params(6, "U");
+    regtiles_ = add_regtile_params(4, "RT");
+    scalar_ = add_flag("SCREP");
+    vector_ = add_flag("VEC");
+  }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto n = static_cast<double>(problem_size());
+    const bool vec = flag(c, vector_);
+    const bool screp = flag(c, scalar_);
+
+    // --- Phase 1: rank-2 update, 4 flops per element, write-dominated.
+    const double t1i = value(c, tiles_[0]);
+    const double t1j = value(c, tiles_[1]);
+    double p1 = seconds_for_flops(4.0 * n * n);
+    p1 *= tile_time_factor(8.0 * (t1i * t1j + 2.0 * t1i + 2.0 * t1j),
+                           /*bytes_per_flop=*/6.0);
+    p1 *= unroll_time_factor(value(c, unrolls_[0]) * value(c, unrolls_[1]),
+                             6.0);
+    p1 *= regtile_time_factor(value(c, regtiles_[0]), 0.6);
+    p1 *= vector_time_factor(vec, 0.8, t1j >= 64.0 ? 0.1 : 0.4);
+    p1 *= scalar_replace_factor(screp, 0.85);
+
+    // --- Phase 2: x = beta * B^T y + z — column walk (stride N).
+    const double t2i = value(c, tiles_[2]);
+    const double t2j = value(c, tiles_[3]);
+    double p2 = seconds_for_flops(2.0 * n * n);
+    p2 *= tile_time_factor(64.0 * std::max(t2i * t2j, t2i),
+                           /*bytes_per_flop=*/8.0);
+    p2 *= unroll_time_factor(value(c, unrolls_[2]) * value(c, unrolls_[3]),
+                             4.0);
+    p2 *= regtile_time_factor(value(c, regtiles_[1]), 0.5);
+    p2 *= vector_time_factor(vec, 0.5, 0.8);  // strided: SIMD nearly useless
+    p2 *= scalar_replace_factor(screp, 0.6);
+    // Interaction with phase 1: if the update used a square-ish tile that
+    // fits L2, the transposed walk re-reads warm lines.
+    if (t1i * t1j * 8.0 < 256.0 * 1024.0 && std::abs(t1i - t2j) < 1.0) {
+      p2 *= 0.90;
+    }
+
+    // --- Phase 3: w = alpha * B x — plain row-major mat-vec.
+    const double t3i = value(c, tiles_[4]);
+    const double t3j = value(c, tiles_[5]);
+    double p3 = seconds_for_flops(2.0 * n * n);
+    p3 *= tile_time_factor(8.0 * (t3i * t3j + t3j),
+                           /*bytes_per_flop=*/4.0);
+    p3 *= unroll_time_factor(value(c, unrolls_[4]) * value(c, unrolls_[5]),
+                             4.0);
+    p3 *= regtile_time_factor(value(c, regtiles_[2]) * value(c, regtiles_[3]),
+                              0.75);
+    p3 *= vector_time_factor(vec, 0.85, t3j >= 64.0 ? 0.05 : 0.35);
+    p3 *= scalar_replace_factor(screp, 0.8);
+
+    // Tiles 6-7 control loop fusion of phases 2 and 3; matching them saves
+    // one full pass over B.
+    const double f1 = value(c, tiles_[6]);
+    const double f2 = value(c, tiles_[7]);
+    const double fusion_gain =
+        (std::abs(f1 - f2) < 1.0 && f1 >= 32.0) ? 0.88 : 1.0;
+
+    return 1.5e-3 + p1 + (p2 + p3) * fusion_gain;
+  }
+
+ private:
+  std::vector<std::size_t> tiles_, unrolls_, regtiles_;
+  std::size_t scalar_ = 0, vector_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_gemver() { return std::make_unique<GemverKernel>(); }
+
+}  // namespace pwu::workloads::spapt

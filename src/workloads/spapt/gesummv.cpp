@@ -1,0 +1,64 @@
+// GESUMMV: y = alpha * A x + beta * B x — two simultaneous mat-vec
+// products sharing the input vector x. Small space (9 parameters): the
+// kernel streams two matrices at once, so it is firmly bandwidth-bound and
+// the main wins come from keeping x resident and from SIMD on the fused
+// inner loop.
+
+#include <algorithm>
+#include <memory>
+
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads::spapt {
+
+namespace {
+
+class GesummvKernel final : public SpaptKernel {
+ public:
+  GesummvKernel() : SpaptKernel("gesummv", 11000) {
+    tiles_ = add_tile_params(4, "T");
+    unrolls_ = add_unroll_params(2, "U");
+    regtiles_ = add_regtile_params(1, "RT");
+    scalar_ = add_flag("SCREP");
+    vector_ = add_flag("VEC");
+  }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto n = static_cast<double>(problem_size());
+    // 4 flops per (i, j): two multiply-adds across A and B.
+    const double flops = 4.0 * n * n;
+
+    const double ti = value(c, tiles_[0]);
+    const double tj = value(c, tiles_[1]);
+    // Two matrix tiles stream; the x slice (tj) is the reusable part.
+    const double ws = 8.0 * (2.0 * ti * tj + tj + ti);
+    double t = seconds_for_flops(flops);
+    // Two streamed matrices -> high bytes/flop; tiling mostly protects x.
+    t *= tile_time_factor(ws, /*bytes_per_flop=*/8.0);
+
+    const double u = value(c, unrolls_[0]) * value(c, unrolls_[1]);
+    // Fused body holds accumulators for both products.
+    t *= unroll_time_factor(u, /*register_demand=*/6.0);
+    t *= regtile_time_factor(value(c, regtiles_[0]), /*reuse=*/0.5);
+    t *= vector_time_factor(flag(c, vector_), 0.85,
+                            tj >= 64.0 ? 0.05 : 0.3);
+    t *= scalar_replace_factor(flag(c, scalar_), 0.7);
+
+    // Tiles 2-3: distribution (splitting the fused loop into two passes).
+    // Splitting doubles the traffic over x but halves register pressure —
+    // beneficial only with heavy jamming.
+    const double split = value(c, tiles_[2]) >= value(c, tiles_[3]) ? 1.0
+                         : (u > 8.0 ? 0.95 : 1.06);
+    return 1e-3 + t * split;
+  }
+
+ private:
+  std::vector<std::size_t> tiles_, unrolls_, regtiles_;
+  std::size_t scalar_ = 0, vector_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_gesummv() { return std::make_unique<GesummvKernel>(); }
+
+}  // namespace pwu::workloads::spapt

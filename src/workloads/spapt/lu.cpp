@@ -1,0 +1,84 @@
+// LU decomposition (no pivoting) of an N x N matrix. The triangular
+// iteration space means the trailing-submatrix update shrinks every step:
+// tiling pays off early (large trailing matrix) and loop overhead dominates
+// late (small trailing matrix), so the optimal tile is a compromise — a
+// different geometry from the rectangular kernels. 15 parameters.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads::spapt {
+
+namespace {
+
+class LuKernel final : public SpaptKernel {
+ public:
+  LuKernel() : SpaptKernel("lu", 900) {
+    tiles_ = add_tile_params(6, "T");      // panel, update i/j/k, 2nd level
+    unrolls_ = add_unroll_params(4, "U");
+    regtiles_ = add_regtile_params(3, "RT");
+    scalar_ = add_flag("SCREP");
+    vector_ = add_flag("VEC");
+  }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto n = static_cast<double>(problem_size());
+    // 2/3 n^3 multiply-adds; the divides in the panel are ~2% of work but
+    // 10x the per-op cost.
+    const double update_flops = (2.0 / 3.0) * n * n * n;
+    const double panel_flops = 0.5 * n * n * 10.0;
+
+    // --- Trailing-submatrix update (GEMM-like): tiles 1..3 two-level with
+    // tiles 4..5.
+    const double ti = value(c, tiles_[1]);
+    const double tj = value(c, tiles_[2]);
+    const double tk = value(c, tiles_[3]);
+    const double inner = std::min(value(c, tiles_[4]) * value(c, tiles_[5]),
+                                  ti * tj);
+    const double ws = 8.0 * (ti * tk + tk * tj + ti * tj + inner);
+    double upd = seconds_for_flops(update_flops);
+    const double bytes_per_flop = 8.0 / std::clamp(tk / 32.0, 0.25, 8.0);
+    upd *= tile_time_factor(ws, bytes_per_flop);
+    // Triangular shrinkage: large tiles waste work on ragged edges.
+    // Overhead ~ tile size / average trailing dimension.
+    const double ragged = 1.0 + 0.25 * std::max(ti, tj) / (0.5 * n);
+    upd *= ragged;
+
+    upd *= unroll_time_factor(value(c, unrolls_[0]) * value(c, unrolls_[1]) *
+                                  value(c, unrolls_[2]),
+                              /*register_demand=*/3.0);
+    upd *= regtile_time_factor(
+        value(c, regtiles_[0]) * value(c, regtiles_[1]), /*reuse=*/0.85);
+    upd *= vector_time_factor(flag(c, vector_), 0.9,
+                              tj >= 32.0 ? 0.06 : 0.45);
+    upd *= scalar_replace_factor(flag(c, scalar_), 0.8);
+
+    // --- Panel factorization: divides down the column, stride-N access,
+    // inherently sequential (no SIMD win).
+    const double pt = value(c, tiles_[0]);
+    double panel = seconds_for_flops(panel_flops);
+    panel *= tile_time_factor(64.0 * std::max(pt, 16.0),
+                              /*bytes_per_flop=*/8.0);
+    panel *= unroll_time_factor(value(c, unrolls_[3]),
+                                /*register_demand=*/4.0);
+    panel *= regtile_time_factor(value(c, regtiles_[2]), 0.3);
+    // Interaction: a panel tile matching the update's k-tile streams the
+    // panel straight into the update.
+    if (std::abs(pt - tk) < 1.0) panel *= 0.9;
+
+    return 1.5e-3 + upd + panel;
+  }
+
+ private:
+  std::vector<std::size_t> tiles_, unrolls_, regtiles_;
+  std::size_t scalar_ = 0, vector_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_lu() { return std::make_unique<LuKernel>(); }
+
+}  // namespace pwu::workloads::spapt

@@ -1,0 +1,97 @@
+// MM: dense matrix-matrix multiply C = A B, the canonical tiling target.
+// Three-level blocking (cache tiles, second-level tiles, register tiles)
+// plus unroll-jam of the micro-kernel. The performance surface has the
+// classic deep valley at (L2-sized k-tile, register-tile 8, moderate jam)
+// with steep cliffs on the register-spill side — a good stress test for a
+// surrogate model's ability to localize a narrow optimum. 16 parameters.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads::spapt {
+
+namespace {
+
+class MmKernel final : public SpaptKernel {
+ public:
+  MmKernel() : SpaptKernel("mm", 800) {
+    tiles_ = add_tile_params(6, "T");      // (i,j,k) x 2 levels
+    unrolls_ = add_unroll_params(4, "U");  // micro-kernel jam (i,j) + copy
+    regtiles_ = add_regtile_params(4, "RT");
+    scalar_ = add_flag("SCREP");
+    vector_ = add_flag("VEC");
+  }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto n = static_cast<double>(problem_size());
+    const double flops = 2.0 * n * n * n;
+
+    const double ti = value(c, tiles_[0]);
+    const double tj = value(c, tiles_[1]);
+    const double tk = value(c, tiles_[2]);
+    const double i2 = value(c, tiles_[3]);
+    const double j2 = value(c, tiles_[4]);
+    const double k2 = value(c, tiles_[5]);
+
+    // Level-1 blocking working set (A panel + B panel + C block).
+    const double ws1 = 8.0 * (ti * tk + tk * tj + ti * tj);
+    // Level-2 blocking only helps when properly nested inside level 1.
+    const double ws2 = 8.0 * (std::min(i2, ti) * std::min(k2, tk) +
+                              std::min(k2, tk) * std::min(j2, tj) +
+                              std::min(i2, ti) * std::min(j2, tj));
+
+    double t = seconds_for_flops(flops);
+    // Blocked-GEMM traffic: each A panel streams n/tj times, B n/ti times,
+    // so bytes/flop ~ 4 * (1/ti + 1/tj + 2/tk). Tiny tiles re-stream the
+    // matrices constantly; the re-streamed data lives at the matrix
+    // footprint, not the tile footprint, so the effective reuse distance
+    // grows as the restream fraction does.
+    const double matrix_bytes = 8.0 * n * n;
+    const double restream =
+        std::clamp(1.0 / ti + 1.0 / tj + 2.0 / tk, 0.0, 1.0);
+    const double bytes_per_flop =
+        std::clamp(4.0 * (1.0 / ti + 1.0 / tj + 2.0 / tk), 0.25, 16.0);
+    const double ws1_eff = std::max(ws1, matrix_bytes * restream);
+    const double ws2_eff = std::max(ws2, matrix_bytes * restream);
+    t *= 0.6 * tile_time_factor(ws1_eff, bytes_per_flop) +
+         0.4 * tile_time_factor(ws2_eff, bytes_per_flop);
+
+    const double jam = value(c, unrolls_[0]) * value(c, unrolls_[1]);
+    t *= unroll_time_factor(jam, /*register_demand=*/2.5);
+    const double rt = value(c, regtiles_[0]) * value(c, regtiles_[1]);
+    t *= regtile_time_factor(rt, /*reuse=*/1.0);
+    // Register tiles interact with jam: both multiply live accumulators.
+    if (rt * jam > 64.0) t *= 1.0 + 0.06 * std::log2(rt * jam / 64.0);
+
+    t *= vector_time_factor(flag(c, vector_), 0.95,
+                            tj >= 32.0 ? 0.03 : 0.4);
+    t *= scalar_replace_factor(flag(c, scalar_), 0.9);
+
+    // Copy-optimization micro-phase (unrolls 2..3, regtiles 2..3): packs B
+    // panels; profitable for large k-tiles.
+    double pack = seconds_for_flops(n * n);
+    pack *= tile_time_factor(8.0 * tk * tj, 16.0);
+    pack *= unroll_time_factor(value(c, unrolls_[2]) * value(c, unrolls_[3]),
+                               2.0);
+    pack *= regtile_time_factor(
+        value(c, regtiles_[2]) * value(c, regtiles_[3]), 0.2);
+    // Packing pays off for deep k-blocks that still leave an L2-friendly
+    // panel; tiles as wide as the matrix have nothing left to pack.
+    if (tk >= 128.0 && tj <= 128.0) t *= 0.93;
+
+    return 1.5e-3 + t + pack;
+  }
+
+ private:
+  std::vector<std::size_t> tiles_, unrolls_, regtiles_;
+  std::size_t scalar_ = 0, vector_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_mm() { return std::make_unique<MmKernel>(); }
+
+}  // namespace pwu::workloads::spapt

@@ -1,0 +1,72 @@
+// SEIDEL: Gauss-Seidel 2D 9-point stencil with in-place updates. The
+// loop-carried dependence (each point reads already-updated neighbours)
+// forbids straightforward vectorization and makes wavefront skewing the
+// main transformation: the skew tile trades parallelism in the wavefront
+// against locality along the diagonal. 11 parameters.
+
+#include <algorithm>
+#include <memory>
+
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads::spapt {
+
+namespace {
+
+class SeidelKernel final : public SpaptKernel {
+ public:
+  SeidelKernel() : SpaptKernel("seidel", 2500) {
+    tiles_ = add_tile_params(5, "T");  // skew i/j, time tile, 2nd level i/j
+    unrolls_ = add_unroll_params(3, "U");
+    regtiles_ = add_regtile_params(2, "RT");
+    vector_ = add_flag("VEC");
+  }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto n = static_cast<double>(problem_size());
+    const double timesteps = 20.0;
+    const double flops = 9.0 * n * n * timesteps;
+
+    const double skew_i = value(c, tiles_[0]);
+    const double skew_j = value(c, tiles_[1]);
+    const double time_tile = value(c, tiles_[2]);
+    const double inner =
+        std::min(value(c, tiles_[3]) * value(c, tiles_[4]), skew_i * skew_j);
+
+    // Wavefront working set: the skewed tile itself plus 3 halo rows per
+    // wavefront step, divided by the temporal reuse that time tiling buys
+    // (saturating around 4 steps of lookahead).
+    const double reuse = std::min(std::max(time_tile, 1.0), 4.0);
+    const double tile_points =
+        std::max(std::min(inner, skew_i * skew_j), skew_i + skew_j);
+    const double ws = 8.0 * 3.0 * tile_points / reuse;
+
+    double t = seconds_for_flops(flops);
+    t *= tile_time_factor(ws, /*bytes_per_flop=*/2.7);
+    // Skewed index arithmetic and ragged wavefront edges.
+    t *= 1.0 + 0.10 * (skew_i > 1.0 ? 1.0 : 0.0) +
+         0.5 * std::min(skew_i, skew_j) / n;
+
+    t *= unroll_time_factor(value(c, unrolls_[0]) * value(c, unrolls_[1]),
+                            /*register_demand=*/9.0);
+    // Third unroll factor: wavefront strip-mining amortization.
+    t *= 1.0 + 0.12 / std::max(value(c, unrolls_[2]), 1.0) - 0.12;
+    t *= regtile_time_factor(value(c, regtiles_[0]) * value(c, regtiles_[1]),
+                             /*reuse=*/0.8);
+    // The dependence chain caps SIMD at the wavefront width; only partial
+    // vectorization of the neighbour sums is possible.
+    t *= vector_time_factor(flag(c, vector_), 0.35, 0.5);
+
+    return 1e-3 + t;
+  }
+
+ private:
+  std::vector<std::size_t> tiles_, unrolls_, regtiles_;
+  std::size_t vector_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_seidel() { return std::make_unique<SeidelKernel>(); }
+
+}  // namespace pwu::workloads::spapt

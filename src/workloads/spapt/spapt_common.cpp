@@ -1,0 +1,149 @@
+#include "workloads/spapt/spapt_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "space/parameter.hpp"
+
+namespace pwu::workloads::spapt {
+
+const std::vector<double>& tile_levels() {
+  static const std::vector<double> levels = {1, 16, 32, 64, 128, 256, 512};
+  return levels;
+}
+
+const std::vector<double>& regtile_levels() {
+  static const std::vector<double> levels = {1, 8, 32};
+  return levels;
+}
+
+SpaptKernel::SpaptKernel(std::string name, std::size_t n)
+    : name_(std::move(name)),
+      n_(n),
+      platform_(sim::platform_a()),
+      cache_(platform_) {
+  // Kernels run under a second and are visibly noise-affected (paper
+  // Section III-B), hence a stronger jitter than the default model; the
+  // 35-repetition measurement protocol suppresses it.
+  noise_.lognormal_sigma = 0.05;
+  noise_.spike_probability = 0.02;
+  noise_.spike_scale = 2.0;
+}
+
+std::vector<std::size_t> SpaptKernel::add_tile_params(
+    std::size_t count, const std::string& prefix) {
+  std::vector<std::size_t> indices;
+  indices.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    indices.push_back(space_.add(space::Parameter::ordinal(
+        prefix + std::to_string(i + 1), tile_levels())));
+  }
+  return indices;
+}
+
+std::vector<std::size_t> SpaptKernel::add_unroll_params(
+    std::size_t count, const std::string& prefix) {
+  std::vector<std::size_t> indices;
+  indices.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    indices.push_back(space_.add(space::Parameter::int_range(
+        prefix + std::to_string(i + 1), 1, kMaxUnroll)));
+  }
+  return indices;
+}
+
+std::vector<std::size_t> SpaptKernel::add_regtile_params(
+    std::size_t count, const std::string& prefix) {
+  std::vector<std::size_t> indices;
+  indices.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    indices.push_back(space_.add(space::Parameter::ordinal(
+        prefix + std::to_string(i + 1), regtile_levels())));
+  }
+  return indices;
+}
+
+std::size_t SpaptKernel::add_flag(const std::string& flag_name) {
+  return space_.add(space::Parameter::boolean(flag_name));
+}
+
+double SpaptKernel::value(const space::Configuration& config,
+                          std::size_t param) const {
+  return space_.param(param).numeric_value(config.level(param));
+}
+
+bool SpaptKernel::flag(const space::Configuration& config,
+                       std::size_t param) const {
+  return value(config, param) != 0.0;
+}
+
+double SpaptKernel::product(const space::Configuration& config,
+                            const std::vector<std::size_t>& params) const {
+  double p = 1.0;
+  for (std::size_t idx : params) p *= value(config, idx);
+  return p;
+}
+
+double SpaptKernel::seconds_for_flops(double flops) const {
+  return platform_.scalar_flop_seconds(flops);
+}
+
+double SpaptKernel::tile_time_factor(double working_set_bytes,
+                                     double bytes_per_flop) const {
+  return cache_.tiling_penalty(working_set_bytes, bytes_per_flop);
+}
+
+double SpaptKernel::unroll_time_factor(double unroll_product,
+                                       double register_demand) const {
+  const double u = std::max(unroll_product, 1.0);
+  // Loop-control overhead amortized by unrolling.
+  const double overhead = 1.0 + 0.35 / std::sqrt(u);
+  // x86-64 has 16 architectural vector/GP registers; demand beyond that
+  // spills to the stack with quadratically growing cost in log-space, which
+  // produces the characteristic cliff for large unroll-jam products.
+  const double live_values = register_demand * u;
+  double spill = 1.0;
+  if (live_values > 16.0) {
+    const double excess = std::log2(live_values / 16.0);
+    spill += 0.10 * excess * excess;
+  }
+  return overhead * spill;
+}
+
+double SpaptKernel::regtile_time_factor(double regtile_product,
+                                        double reuse) const {
+  const double r = std::max(regtile_product, 1.0);
+  // Benefit: operand reuse in registers (up to `reuse` * 18% time saving,
+  // saturating around r = 8).
+  const double benefit = 1.0 - 0.18 * reuse * (1.0 - 1.0 / std::sqrt(r));
+  // Cost: register tiles beyond the register file spill.
+  double spill = 1.0;
+  if (r > 32.0) {
+    spill += 0.12 * std::log2(r / 32.0);
+  }
+  return benefit * spill;
+}
+
+double SpaptKernel::vector_time_factor(bool enabled,
+                                       double vectorizable_fraction,
+                                       double stride_penalty) const {
+  if (!enabled) return 1.0;
+  const double width = platform_.simd_width;
+  const double effective =
+      std::max(1.0, width * (1.0 - std::clamp(stride_penalty, 0.0, 0.9)));
+  const double f = std::clamp(vectorizable_fraction, 0.0, 1.0);
+  // Amdahl over the vectorizable fraction.
+  return (1.0 - f) + f / effective;
+}
+
+double SpaptKernel::scalar_replace_factor(bool enabled,
+                                          double reuse_intensity) const {
+  if (!enabled) return 1.0;
+  const double reuse = std::clamp(reuse_intensity, 0.0, 1.0);
+  const double saving = 1.0 - 0.10 * reuse;
+  // Low-reuse kernels pay a small register-pressure tax for the transform.
+  const double tax = reuse < 0.3 ? 1.03 : 1.0;
+  return saving * tax;
+}
+
+}  // namespace pwu::workloads::spapt

@@ -1,0 +1,129 @@
+// Shared machinery for the 12 SPAPT kernel simulators.
+//
+// SPAPT (Balaprakash, Wild & Norris 2012) defines, for each computation
+// kernel, a serial C implementation, a problem size, and a set of Orio code
+// transformation parameters: per-loop cache tile sizes, per-loop unroll-jam
+// factors, register tile sizes, scalar replacement and vectorization flags.
+// Here each kernel is an analytic performance simulator over exactly that
+// kind of space (see DESIGN.md for the substitution rationale); the shape of
+// the config -> time surface — cache staircases from tiling, U-curves from
+// unroll-jam register pressure, discrete jumps from flags, strong parameter
+// interactions, a small high-performance region and a long slow tail — is
+// what the active-learning method is exercised against.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/cache_model.hpp"
+#include "sim/noise.hpp"
+#include "sim/platform.hpp"
+#include "workloads/workload.hpp"
+
+namespace pwu::workloads::spapt {
+
+/// Tile-size levels used by every SPAPT tiling parameter (paper Table I).
+const std::vector<double>& tile_levels();
+
+/// Register-tile levels (paper Table I).
+const std::vector<double>& regtile_levels();
+
+/// Maximum unroll-jam factor (paper Table I: 1..31).
+constexpr long kMaxUnroll = 31;
+
+/// Base class: owns the space, the platform (Table IV Platform A), the cache
+/// model and the kernel noise model, and provides the shared cost-model
+/// primitives that kernel-specific `base_time` implementations compose.
+class SpaptKernel : public Workload {
+ public:
+  const std::string& name() const override { return name_; }
+  const space::ParameterSpace& space() const override { return space_; }
+  const sim::NoiseModel& noise() const override { return noise_; }
+
+  std::size_t problem_size() const { return n_; }
+
+ protected:
+  SpaptKernel(std::string name, std::size_t n);
+
+  // ---- space construction (returns the parameter indices) ----
+  std::vector<std::size_t> add_tile_params(std::size_t count,
+                                           const std::string& prefix);
+  std::vector<std::size_t> add_unroll_params(std::size_t count,
+                                             const std::string& prefix);
+  std::vector<std::size_t> add_regtile_params(std::size_t count,
+                                              const std::string& prefix);
+  std::size_t add_flag(const std::string& flag_name);
+
+  // ---- config decoding ----
+  double value(const space::Configuration& config, std::size_t param) const;
+  bool flag(const space::Configuration& config, std::size_t param) const;
+  /// Product of the numeric values of the given parameters.
+  double product(const space::Configuration& config,
+                 const std::vector<std::size_t>& params) const;
+
+  // ---- shared cost-model primitives (multiplicative time factors) ----
+
+  /// Seconds for `flops` scalar FLOPs on one Platform A core.
+  double seconds_for_flops(double flops) const;
+
+  /// Cache behaviour of a tiled loop nest with the given per-iteration
+  /// working set. >= 1; 1 means L1-resident.
+  double tile_time_factor(double working_set_bytes, double bytes_per_flop) const;
+
+  /// Loop-overhead vs register-spill U-curve of unroll-jam.
+  /// `unroll_product` is the product of the jammed loops' factors;
+  /// `register_demand` the live values required per unrolled iteration.
+  double unroll_time_factor(double unroll_product, double register_demand) const;
+
+  /// Register tiling: improves operand reuse up to the register file size,
+  /// then spills. `reuse` in [0,1] scales the attainable benefit.
+  double regtile_time_factor(double regtile_product, double reuse) const;
+
+  /// Vectorization: Amdahl over the vectorizable fraction with an
+  /// effectiveness loss for strided access. Returns <= 1 when enabled.
+  double vector_time_factor(bool enabled, double vectorizable_fraction,
+                            double stride_penalty) const;
+
+  /// Scalar replacement: saves redundant loads proportional to reuse
+  /// intensity, at a slight register-pressure cost when reuse is low.
+  double scalar_replace_factor(bool enabled, double reuse_intensity) const;
+
+  const sim::Platform& platform() const { return platform_; }
+  const sim::CacheModel& cache() const { return cache_; }
+
+  space::ParameterSpace space_;
+
+ private:
+  std::string name_;
+  std::size_t n_;
+  sim::Platform platform_;
+  sim::CacheModel cache_;
+  sim::NoiseModel noise_;
+};
+
+// ---- the paper's 12 kernels (factories) ----
+WorkloadPtr make_adi();          // 2D stencil, alternating-direction implicit
+WorkloadPtr make_atax();         // A^T * A * x
+WorkloadPtr make_bicg();         // BiCG sub-kernel: q = A p, s = A^T r
+WorkloadPtr make_correlation();  // correlation matrix computation
+WorkloadPtr make_dgemv3();       // three chained dense mat-vec products
+WorkloadPtr make_gemver();       // vector mult. + matrix-vector products
+WorkloadPtr make_gesummv();      // scalar, vector & matrix multiplication
+WorkloadPtr make_jacobi();       // 1D Jacobi 3-point stencil sweep
+WorkloadPtr make_lu();           // LU decomposition
+WorkloadPtr make_mm();           // dense matrix-matrix multiply
+WorkloadPtr make_mvt();          // matrix-vector product & transpose
+WorkloadPtr make_seidel();       // Gauss-Seidel 2D 9-point stencil
+
+// ---- the remaining 6 SPAPT problems (the paper used 12 of 18; these
+// complete the suite as an extended set) ----
+WorkloadPtr make_trmm();         // triangular matrix multiply
+WorkloadPtr make_syrk();         // symmetric rank-k update
+WorkloadPtr make_syr2k();        // symmetric rank-2k update
+WorkloadPtr make_fdtd();         // 2D finite-difference time domain
+WorkloadPtr make_stencil3d();    // 7-point 3D Jacobi stencil
+WorkloadPtr make_covariance();   // covariance matrix computation
+
+}  // namespace pwu::workloads::spapt

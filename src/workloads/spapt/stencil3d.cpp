@@ -1,0 +1,74 @@
+// STENCIL3D: 7-point 3D Jacobi stencil over an N^3 grid. The third
+// dimension makes plane-sized working sets (N^2 per k-slab) the dominant
+// constraint: the j-tile must shrink the active plane set into L2/L3 or
+// every point misses. Classic 2.5D-blocking behaviour. Extended SPAPT set.
+// 12 parameters.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads::spapt {
+
+namespace {
+
+class Stencil3dKernel final : public SpaptKernel {
+ public:
+  Stencil3dKernel() : SpaptKernel("stencil3d", 200) {
+    tiles_ = add_tile_params(6, "T");  // (i,j,k) x 2 levels
+    unrolls_ = add_unroll_params(3, "U");
+    regtiles_ = add_regtile_params(1, "RT");
+    scalar_ = add_flag("SCREP");
+    vector_ = add_flag("VEC");
+  }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto n = static_cast<double>(problem_size());
+    const double timesteps = 25.0;
+    const double flops = 8.0 * n * n * n * timesteps;
+
+    const double ti = std::min(value(c, tiles_[0]), n);
+    const double tj = std::min(value(c, tiles_[1]), n);
+    const double tk = std::min(value(c, tiles_[2]), n);
+    const double inner =
+        std::min({value(c, tiles_[3]) * value(c, tiles_[4]) *
+                      value(c, tiles_[5]),
+                  ti * tj * tk});
+
+    // 2.5D blocking: the live set is three consecutive k-planes of the
+    // (ti x tj) tile across the two arrays.
+    const double plane_set = 8.0 * 2.0 * 3.0 * ti * tj;
+    const double ws = std::max(plane_set, 8.0 * 2.0 * std::cbrt(inner));
+
+    double t = seconds_for_flops(flops);
+    t *= tile_time_factor(ws, /*bytes_per_flop=*/2.0);
+    // Tiny tiles re-stream halos: 7-point halo overhead ~ surface/volume.
+    const double surface_to_volume =
+        2.0 * (1.0 / std::max(ti, 1.0) + 1.0 / std::max(tj, 1.0) +
+               1.0 / std::max(tk, 1.0));
+    t *= 1.0 + 0.8 * std::min(surface_to_volume, 1.5);
+
+    t *= unroll_time_factor(value(c, unrolls_[0]) * value(c, unrolls_[1]),
+                            /*register_demand=*/8.0);
+    t *= 1.0 + 0.1 / std::max(value(c, unrolls_[2]), 1.0) - 0.1;
+    t *= regtile_time_factor(value(c, regtiles_[0]), /*reuse=*/0.85);
+    // Unit-stride i-loop vectorizes cleanly given a long enough i-tile.
+    t *= vector_time_factor(flag(c, vector_), 0.85,
+                            ti >= 32.0 ? 0.06 : 0.4);
+    t *= scalar_replace_factor(flag(c, scalar_), 0.75);
+
+    return 1.5e-3 + t;
+  }
+
+ private:
+  std::vector<std::size_t> tiles_, unrolls_, regtiles_;
+  std::size_t scalar_ = 0, vector_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_stencil3d() { return std::make_unique<Stencil3dKernel>(); }
+
+}  // namespace pwu::workloads::spapt

@@ -1,0 +1,79 @@
+// SYR2K: symmetric rank-2k update C = beta C + alpha (A B^T + B A^T).
+// Twice SYRK's streamed volume — two input matrices — so it sits closer to
+// the bandwidth roof and register tiling matters more than cache tiling.
+// Extended SPAPT set. 14 parameters.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads::spapt {
+
+namespace {
+
+class Syr2kKernel final : public SpaptKernel {
+ public:
+  Syr2kKernel() : SpaptKernel("syr2k", 800) {
+    tiles_ = add_tile_params(6, "T");
+    unrolls_ = add_unroll_params(3, "U");
+    regtiles_ = add_regtile_params(3, "RT");
+    scalar_ = add_flag("SCREP");
+    vector_ = add_flag("VEC");
+  }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto n = static_cast<double>(problem_size());
+    const double flops = 2.0 * n * n * n;  // two rank-k products (triangle)
+
+    const double ti = value(c, tiles_[0]);
+    const double tj = value(c, tiles_[1]);
+    const double tk = value(c, tiles_[2]);
+    const double inner = std::min(value(c, tiles_[3]) * value(c, tiles_[4]),
+                                  ti * tj);
+    // Four panels live at once: A-row, B-row, A-col, B-col (+ C block).
+    const double ws = 8.0 * (4.0 * ti * tk + ti * tj + inner);
+
+    double t = seconds_for_flops(flops);
+    const double matrix_bytes = 2.0 * 8.0 * n * n;
+    const double restream =
+        std::clamp(2.0 / ti + 2.0 / tj + 2.0 / tk, 0.0, 1.0);
+    // Double streamed volume -> double bytes per flop vs SYRK.
+    const double bytes_per_flop =
+        std::clamp(6.0 * (1.0 / ti + 1.0 / tj + 2.0 / tk), 0.4, 16.0);
+    t *= tile_time_factor(std::max(ws, matrix_bytes * restream),
+                          bytes_per_flop);
+
+    t *= 1.0 + 0.3 * std::max(ti, tj) / n;
+
+    // The fused rank-2 body carries ~10 live values: jam cliffs early.
+    t *= unroll_time_factor(value(c, unrolls_[0]) * value(c, unrolls_[1]),
+                            /*register_demand=*/10.0);
+    t *= 1.0 + 0.08 / std::max(value(c, unrolls_[2]), 1.0) - 0.08;
+    t *= regtile_time_factor(value(c, regtiles_[0]) * value(c, regtiles_[1]),
+                             /*reuse=*/0.8);
+    t *= regtile_time_factor(value(c, regtiles_[2]), /*reuse=*/0.3);
+    t *= vector_time_factor(flag(c, vector_), 0.85,
+                            tj >= 32.0 ? 0.06 : 0.4);
+    t *= scalar_replace_factor(flag(c, scalar_), 0.8);
+
+    // Distribution tile: splitting the two products re-reads C but halves
+    // register pressure — helpful only under heavy jam.
+    const double split_tile = value(c, tiles_[5]);
+    const double jam = value(c, unrolls_[0]) * value(c, unrolls_[1]);
+    if (split_tile >= 64.0) t *= jam > 12.0 ? 0.94 : 1.05;
+
+    return 1.2e-3 + 0.5 * t;
+  }
+
+ private:
+  std::vector<std::size_t> tiles_, unrolls_, regtiles_;
+  std::size_t scalar_ = 0, vector_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_syr2k() { return std::make_unique<Syr2kKernel>(); }
+
+}  // namespace pwu::workloads::spapt

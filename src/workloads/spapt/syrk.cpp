@@ -1,0 +1,76 @@
+// SYRK: symmetric rank-k update C = beta C + alpha A A^T (lower triangle).
+// GEMM-shaped reuse with one streamed operand instead of two — A is read
+// both row-wise and column-wise, so a square-ish tile serves both access
+// patterns and the tiling optimum is tighter than MM's. Extended SPAPT set.
+// 13 parameters.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads::spapt {
+
+namespace {
+
+class SyrkKernel final : public SpaptKernel {
+ public:
+  SyrkKernel() : SpaptKernel("syrk", 950) {
+    tiles_ = add_tile_params(5, "T");
+    unrolls_ = add_unroll_params(3, "U");
+    regtiles_ = add_regtile_params(3, "RT");
+    scalar_ = add_flag("SCREP");
+    vector_ = add_flag("VEC");
+  }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto n = static_cast<double>(problem_size());
+    const double flops = n * n * n;  // triangle x 2 flops per MAC
+
+    const double ti = value(c, tiles_[0]);
+    const double tj = value(c, tiles_[1]);
+    const double tk = value(c, tiles_[2]);
+    const double inner = std::min(value(c, tiles_[3]) * value(c, tiles_[4]),
+                                  ti * tj);
+    // A-tile serves both the row and the transposed access: effective
+    // working set counts it twice unless ti == tj (shared panel).
+    const double panel_share = std::abs(ti - tj) < 1.0 ? 1.0 : 2.0;
+    const double ws =
+        8.0 * (panel_share * ti * tk + ti * tj + inner);
+
+    double t = seconds_for_flops(flops);
+    const double matrix_bytes = 8.0 * n * n;
+    const double restream =
+        std::clamp(1.0 / ti + 1.0 / tj + 2.0 / tk, 0.0, 1.0);
+    const double bytes_per_flop =
+        std::clamp(3.0 * (1.0 / ti + 1.0 / tj + 2.0 / tk), 0.2, 14.0);
+    t *= tile_time_factor(std::max(ws, matrix_bytes * restream),
+                          bytes_per_flop);
+
+    // Triangular output raggedness.
+    t *= 1.0 + 0.3 * std::max(ti, tj) / n;
+
+    t *= unroll_time_factor(value(c, unrolls_[0]) * value(c, unrolls_[1]),
+                            /*register_demand=*/2.5);
+    t *= 1.0 + 0.08 / std::max(value(c, unrolls_[2]), 1.0) - 0.08;
+    t *= regtile_time_factor(value(c, regtiles_[0]) * value(c, regtiles_[1]),
+                             /*reuse=*/1.0);
+    t *= regtile_time_factor(value(c, regtiles_[2]), /*reuse=*/0.2);
+    t *= vector_time_factor(flag(c, vector_), 0.9,
+                            tj >= 32.0 ? 0.05 : 0.4);
+    t *= scalar_replace_factor(flag(c, scalar_), 0.9);
+
+    return 1.2e-3 + 0.5 * t;
+  }
+
+ private:
+  std::vector<std::size_t> tiles_, unrolls_, regtiles_;
+  std::size_t scalar_ = 0, vector_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_syrk() { return std::make_unique<SyrkKernel>(); }
+
+}  // namespace pwu::workloads::spapt

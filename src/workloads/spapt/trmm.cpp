@@ -1,0 +1,80 @@
+// TRMM: triangular matrix-matrix multiply B = A B with lower-triangular A.
+// Half the flops of a square GEMM but the same tiling structure over a
+// ragged iteration space; the triangular boundary makes large i/k tiles
+// progressively wasteful, like LU's trailing updates but without the panel
+// phase. Part of the extended SPAPT set (the paper used 12 of 18 problems;
+// this is one of the remaining six). 14 parameters.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "workloads/spapt/spapt_common.hpp"
+
+namespace pwu::workloads::spapt {
+
+namespace {
+
+class TrmmKernel final : public SpaptKernel {
+ public:
+  TrmmKernel() : SpaptKernel("trmm", 950) {
+    tiles_ = add_tile_params(6, "T");
+    unrolls_ = add_unroll_params(3, "U");
+    regtiles_ = add_regtile_params(3, "RT");
+    scalar_ = add_flag("SCREP");
+    vector_ = add_flag("VEC");
+  }
+
+  double base_time(const space::Configuration& c) const override {
+    const auto n = static_cast<double>(problem_size());
+    const double flops = n * n * n;  // triangle: n^3/2 MACs x 2
+
+    const double ti = value(c, tiles_[0]);
+    const double tj = value(c, tiles_[1]);
+    const double tk = value(c, tiles_[2]);
+    const double inner = std::min(value(c, tiles_[3]) * value(c, tiles_[4]),
+                                  ti * tj);
+    const double ws = 8.0 * (ti * tk + tk * tj + ti * tj + inner);
+
+    double t = seconds_for_flops(flops);
+    const double matrix_bytes = 8.0 * n * n;
+    const double restream =
+        std::clamp(1.0 / ti + 1.0 / tj + 2.0 / tk, 0.0, 1.0);
+    const double bytes_per_flop =
+        std::clamp(4.0 * (1.0 / ti + 1.0 / tj + 2.0 / tk), 0.25, 16.0);
+    t *= tile_time_factor(std::max(ws, matrix_bytes * restream),
+                          bytes_per_flop);
+
+    // Triangular raggedness: tiles straddling the diagonal waste ~half
+    // their work; the waste share grows with the tile edge.
+    t *= 1.0 + 0.4 * std::max(ti, tk) / n;
+
+    t *= unroll_time_factor(value(c, unrolls_[0]) * value(c, unrolls_[1]),
+                            /*register_demand=*/3.0);
+    // Diagonal-adjacent cleanup loop keeps its own unroll factor.
+    t *= 1.0 + 0.10 / std::max(value(c, unrolls_[2]), 1.0) - 0.10;
+    t *= regtile_time_factor(value(c, regtiles_[0]) * value(c, regtiles_[1]),
+                             /*reuse=*/0.9);
+    t *= regtile_time_factor(value(c, regtiles_[2]), /*reuse=*/0.3);
+    // In-place update (B is both input and output) halves the vector win.
+    t *= vector_time_factor(flag(c, vector_), 0.6,
+                            tj >= 32.0 ? 0.08 : 0.45);
+    t *= scalar_replace_factor(flag(c, scalar_), 0.85);
+
+    // Sixth tile: diagonal-block special-casing; only moderate sizes help.
+    const double diag_tile = value(c, tiles_[5]);
+    if (diag_tile >= 16.0 && diag_tile <= 128.0) t *= 0.95;
+
+    return 1.2e-3 + 0.5 * t;  // triangle = half of the dense product
+  }
+
+ private:
+  std::vector<std::size_t> tiles_, unrolls_, regtiles_;
+  std::size_t scalar_ = 0, vector_ = 0;
+};
+
+}  // namespace
+
+WorkloadPtr make_trmm() { return std::make_unique<TrmmKernel>(); }
+
+}  // namespace pwu::workloads::spapt

@@ -1,0 +1,46 @@
+// Closed-form synthetic workloads with known structure, used by the unit
+// and property tests (and handy as minimal examples of the Workload API).
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace pwu::workloads {
+
+/// Separable quadratic bowl over `dims` integer parameters in [0, levels):
+/// time = base * (1 + sum_i w_i * (x_i - c_i)^2 / levels^2), noiseless by
+/// default. The global optimum sits at the center of every dimension.
+WorkloadPtr make_quadratic_bowl(std::size_t dims, std::size_t levels,
+                                double base_seconds = 0.1,
+                                bool noisy = false);
+
+/// Mixed-type workload: one categorical parameter picks one of `modes`
+/// distinct quadratic bowls over the remaining numeric parameters —
+/// exercises categorical splits in the forest.
+WorkloadPtr make_mixed_modes(std::size_t modes, std::size_t dims,
+                             std::size_t levels,
+                             double base_seconds = 0.1);
+
+/// Fully custom workload from a user-supplied space and time function;
+/// also the simplest way for library users to wrap their own black box.
+WorkloadPtr make_custom(
+    std::string name, space::ParameterSpace space,
+    std::function<double(const space::Configuration&)> base_time,
+    sim::NoiseModel noise = sim::NoiseModel::none());
+
+/// "Same kernel, different platform": wraps a base workload with a
+/// monotone time warp plus a small config-dependent perturbation,
+///   t' = scale * t^gamma * (1 + perturbation * z(config)),  z in [-1, 1]
+/// deterministic per config. The warped surface is strongly rank-correlated
+/// with the original but not identical — the regime in which transferring a
+/// source model (paper Section VI future work) should help but cannot
+/// replace target measurements. Shares the base workload's space.
+WorkloadPtr make_platform_variant(WorkloadPtr base, double scale = 1.3,
+                                  double gamma = 0.92,
+                                  double perturbation = 0.15,
+                                  std::uint64_t seed = 1);
+
+}  // namespace pwu::workloads

@@ -1,0 +1,32 @@
+#include "workloads/workload.hpp"
+
+#include <stdexcept>
+
+namespace pwu::workloads {
+
+const sim::NoiseModel& Workload::noise() const {
+  static const sim::NoiseModel default_noise{};
+  return default_noise;
+}
+
+double Workload::evaluate(const space::Configuration& config,
+                          util::Rng& rng) const {
+  const double t = base_time(config);
+  if (!(t > 0.0)) {
+    throw std::logic_error("Workload '" + name() +
+                           "': non-positive base time");
+  }
+  return noise().apply(t, rng);
+}
+
+double Workload::measure(const space::Configuration& config, util::Rng& rng,
+                         int repetitions) const {
+  if (repetitions < 1) {
+    throw std::invalid_argument("Workload::measure: repetitions must be >= 1");
+  }
+  double sum = 0.0;
+  for (int r = 0; r < repetitions; ++r) sum += evaluate(config, rng);
+  return sum / repetitions;
+}
+
+}  // namespace pwu::workloads

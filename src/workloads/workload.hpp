@@ -1,0 +1,44 @@
+// The black-box tuning target: a parameter space plus a config -> time map.
+//
+// Active learning only ever observes `evaluate` (one noisy run) or `measure`
+// (the paper's n-repetition averaged protocol). `base_time` exposes the
+// noiseless model for tests and oracle analyses; a real deployment would not
+// have it.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/noise.hpp"
+#include "space/configuration.hpp"
+#include "space/parameter_space.hpp"
+#include "util/rng.hpp"
+
+namespace pwu::workloads {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const space::ParameterSpace& space() const = 0;
+
+  /// Noiseless model time in seconds (strictly positive).
+  virtual double base_time(const space::Configuration& config) const = 0;
+
+  /// Measurement noise model; subclasses may override.
+  virtual const sim::NoiseModel& noise() const;
+
+  /// One noisy run of the program under `config`.
+  double evaluate(const space::Configuration& config, util::Rng& rng) const;
+
+  /// Mean of `repetitions` noisy runs — the paper's measurement protocol
+  /// (35 repetitions for kernels).
+  double measure(const space::Configuration& config, util::Rng& rng,
+                 int repetitions) const;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+}  // namespace pwu::workloads

@@ -1,0 +1,202 @@
+// Algorithm-1 bookkeeping invariants: pool/train accounting, trace shape,
+// monotone cumulative cost, no repeated evaluations.
+
+#include "core/active_learner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "workloads/synthetic.hpp"
+
+namespace pwu::core {
+namespace {
+
+class ActiveLearnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload_ = workloads::make_quadratic_bowl(4, 8, 0.1, /*noisy=*/true);
+    util::Rng rng(1);
+    const auto split =
+        space::make_pool_split(workload_->space(), 300, 150, rng);
+    pool_ = split.pool;
+    test_ = build_test_set(*workload_, split.test, rng);
+  }
+
+  LearnerConfig small_config() {
+    LearnerConfig cfg;
+    cfg.n_init = 10;
+    cfg.n_batch = 1;
+    cfg.n_max = 40;
+    cfg.forest.num_trees = 15;
+    cfg.eval_every = 5;
+    cfg.eval_alphas = {0.05, 0.10};
+    return cfg;
+  }
+
+  workloads::WorkloadPtr workload_;
+  std::vector<space::Configuration> pool_;
+  TestSet test_;
+};
+
+TEST_F(ActiveLearnerTest, ReachesNMaxTrainingSamples) {
+  ActiveLearner learner(*workload_, small_config());
+  util::Rng rng(2);
+  const auto result =
+      learner.run(*make_pwu(0.05), pool_, test_, rng);
+  EXPECT_EQ(result.train_configs.size(), 40u);
+  EXPECT_EQ(result.train_labels.size(), 40u);
+  EXPECT_TRUE(result.model->fitted());
+}
+
+TEST_F(ActiveLearnerTest, NoConfigurationEvaluatedTwice) {
+  ActiveLearner learner(*workload_, small_config());
+  util::Rng rng(3);
+  const auto result = learner.run(*make_pwu(0.05), pool_, test_, rng);
+  std::unordered_set<space::Configuration, space::ConfigurationHash> seen;
+  for (const auto& c : result.train_configs) {
+    EXPECT_TRUE(seen.insert(c).second) << "duplicate evaluation";
+  }
+}
+
+TEST_F(ActiveLearnerTest, EveryTrainingConfigCameFromThePool) {
+  ActiveLearner learner(*workload_, small_config());
+  util::Rng rng(4);
+  const auto result = learner.run(*make_pwu(0.05), pool_, test_, rng);
+  std::unordered_set<space::Configuration, space::ConfigurationHash> pool_set(
+      pool_.begin(), pool_.end());
+  for (const auto& c : result.train_configs) {
+    EXPECT_TRUE(pool_set.contains(c));
+  }
+}
+
+TEST_F(ActiveLearnerTest, TraceShapeAndMonotoneCost) {
+  ActiveLearner learner(*workload_, small_config());
+  util::Rng rng(5);
+  const auto result = learner.run(*make_pwu(0.05), pool_, test_, rng);
+  ASSERT_GE(result.trace.size(), 2u);
+  // First record is the cold start, last is at n_max.
+  EXPECT_EQ(result.trace.front().num_samples, 10u);
+  EXPECT_EQ(result.trace.back().num_samples, 40u);
+  for (std::size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_GT(result.trace[i].num_samples, result.trace[i - 1].num_samples);
+    EXPECT_GT(result.trace[i].cumulative_cost,
+              result.trace[i - 1].cumulative_cost);
+  }
+  // Two eval alphas requested -> two RMSE entries per record, all finite.
+  for (const auto& rec : result.trace) {
+    ASSERT_EQ(rec.top_alpha_rmse.size(), 2u);
+    EXPECT_TRUE(std::isfinite(rec.top_alpha_rmse[0]));
+    EXPECT_TRUE(std::isfinite(rec.top_alpha_rmse[1]));
+    EXPECT_TRUE(std::isfinite(rec.full_rmse));
+  }
+}
+
+TEST_F(ActiveLearnerTest, CumulativeCostEqualsSumOfLabels) {
+  ActiveLearner learner(*workload_, small_config());
+  util::Rng rng(6);
+  const auto result = learner.run(*make_pwu(0.05), pool_, test_, rng);
+  EXPECT_NEAR(result.trace.back().cumulative_cost,
+              cumulative_cost(result.train_labels), 1e-9);
+}
+
+TEST_F(ActiveLearnerTest, SelectionsRecordedForEveryIterationPick) {
+  ActiveLearner learner(*workload_, small_config());
+  util::Rng rng(7);
+  const auto result = learner.run(*make_pwu(0.05), pool_, test_, rng);
+  // 40 total - 10 cold start = 30 strategy selections.
+  EXPECT_EQ(result.selections.size(), 30u);
+  for (const auto& sel : result.selections) {
+    EXPECT_GE(sel.iteration, 1u);
+    EXPECT_GT(sel.predicted_mean, 0.0);
+    EXPECT_GE(sel.predicted_stddev, 0.0);
+    EXPECT_GT(sel.measured, 0.0);
+  }
+}
+
+TEST_F(ActiveLearnerTest, EvalEveryControlsTraceDensity) {
+  LearnerConfig dense = small_config();
+  dense.eval_every = 1;
+  LearnerConfig sparse = small_config();
+  sparse.eval_every = 10;
+  util::Rng rng_a(8), rng_b(8);
+  const auto dense_result = ActiveLearner(*workload_, dense)
+                                .run(*make_pwu(0.05), pool_, test_, rng_a);
+  const auto sparse_result = ActiveLearner(*workload_, sparse)
+                                 .run(*make_pwu(0.05), pool_, test_, rng_b);
+  EXPECT_GT(dense_result.trace.size(), sparse_result.trace.size());
+  // eval_every=1: cold start + one record per iteration.
+  EXPECT_EQ(dense_result.trace.size(), 31u);
+}
+
+TEST_F(ActiveLearnerTest, BatchGreaterThanOneSupported) {
+  LearnerConfig cfg = small_config();
+  cfg.n_batch = 5;
+  ActiveLearner learner(*workload_, cfg);
+  util::Rng rng(9);
+  const auto result = learner.run(*make_pwu(0.05), pool_, test_, rng);
+  EXPECT_EQ(result.train_configs.size(), 40u);
+  // 30 post-cold-start picks in batches of 5 -> 6 iterations.
+  std::unordered_set<std::size_t> iterations;
+  for (const auto& sel : result.selections) iterations.insert(sel.iteration);
+  EXPECT_EQ(iterations.size(), 6u);
+}
+
+TEST_F(ActiveLearnerTest, SmallPoolTerminatesEarly) {
+  LearnerConfig cfg = small_config();
+  cfg.n_max = 1000;  // far beyond the pool
+  ActiveLearner learner(*workload_, cfg);
+  util::Rng rng(10);
+  std::vector<space::Configuration> tiny_pool(pool_.begin(),
+                                              pool_.begin() + 25);
+  const auto result = learner.run(*make_pwu(0.05), tiny_pool, test_, rng);
+  EXPECT_EQ(result.train_configs.size(), 25u);  // pool exhausted cleanly
+}
+
+TEST_F(ActiveLearnerTest, DeterministicGivenSeed) {
+  ActiveLearner learner(*workload_, small_config());
+  util::Rng rng_a(42), rng_b(42);
+  const auto a = learner.run(*make_pwu(0.05), pool_, test_, rng_a);
+  const auto b = learner.run(*make_pwu(0.05), pool_, test_, rng_b);
+  ASSERT_EQ(a.train_configs.size(), b.train_configs.size());
+  for (std::size_t i = 0; i < a.train_configs.size(); ++i) {
+    EXPECT_EQ(a.train_configs[i], b.train_configs[i]);
+    EXPECT_DOUBLE_EQ(a.train_labels[i], b.train_labels[i]);
+  }
+}
+
+TEST_F(ActiveLearnerTest, StrategiesProduceDifferentTrajectories) {
+  ActiveLearner learner(*workload_, small_config());
+  util::Rng rng_a(11), rng_b(11);
+  const auto pwu = learner.run(*make_pwu(0.05), pool_, test_, rng_a);
+  const auto bestperf =
+      learner.run(*make_best_performance(), pool_, test_, rng_b);
+  EXPECT_NE(pwu.train_configs, bestperf.train_configs);
+}
+
+TEST_F(ActiveLearnerTest, ConfigValidation) {
+  LearnerConfig bad = small_config();
+  bad.n_init = 0;
+  EXPECT_THROW(ActiveLearner(*workload_, bad), std::invalid_argument);
+  bad = small_config();
+  bad.n_batch = 0;
+  EXPECT_THROW(ActiveLearner(*workload_, bad), std::invalid_argument);
+  bad = small_config();
+  bad.n_max = 5;  // < n_init
+  EXPECT_THROW(ActiveLearner(*workload_, bad), std::invalid_argument);
+  bad = small_config();
+  bad.eval_every = 0;
+  EXPECT_THROW(ActiveLearner(*workload_, bad), std::invalid_argument);
+}
+
+TEST_F(ActiveLearnerTest, PoolSmallerThanInitRejected) {
+  ActiveLearner learner(*workload_, small_config());
+  util::Rng rng(12);
+  std::vector<space::Configuration> tiny(pool_.begin(), pool_.begin() + 5);
+  EXPECT_THROW(learner.run(*make_pwu(0.05), tiny, test_, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pwu::core

@@ -1,0 +1,68 @@
+#include "space/configuration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace pwu::space {
+namespace {
+
+TEST(Configuration, EqualityByLevels) {
+  const Configuration a({1, 2, 3});
+  const Configuration b({1, 2, 3});
+  const Configuration c({1, 2, 4});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Configuration, AccessorsAndMutation) {
+  Configuration c({0, 5});
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.level(1), 5u);
+  c.set_level(1, 7);
+  EXPECT_EQ(c.level(1), 7u);
+  EXPECT_THROW(c.level(2), std::out_of_range);
+  EXPECT_THROW(c.set_level(2, 0), std::out_of_range);
+}
+
+TEST(Configuration, HashConsistentWithEquality) {
+  const Configuration a({4, 4, 4});
+  const Configuration b({4, 4, 4});
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Configuration, HashSeparatesNearbyConfigs) {
+  // Swapped levels and shifted levels must hash differently — this is what
+  // pool de-duplication relies on.
+  const Configuration a({1, 2});
+  const Configuration b({2, 1});
+  const Configuration c({1, 3});
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(Configuration, WorksInUnorderedSet) {
+  std::unordered_set<Configuration, ConfigurationHash> set;
+  set.insert(Configuration({0, 1}));
+  set.insert(Configuration({0, 1}));  // duplicate
+  set.insert(Configuration({1, 0}));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(Configuration({0, 1})));
+  EXPECT_FALSE(set.contains(Configuration({9, 9})));
+}
+
+TEST(Configuration, EmptyConfiguration) {
+  const Configuration empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty, Configuration{});
+}
+
+TEST(Configuration, LevelsSpanView) {
+  const Configuration c({3, 1, 4});
+  const auto levels = c.levels();
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[2], 4u);
+}
+
+}  // namespace
+}  // namespace pwu::space

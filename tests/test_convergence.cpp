@@ -1,0 +1,114 @@
+#include "core/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pwu::core {
+namespace {
+
+std::vector<IterationRecord> trace_from(std::vector<double> rmse,
+                                        std::size_t samples_step = 10) {
+  std::vector<IterationRecord> trace;
+  for (std::size_t i = 0; i < rmse.size(); ++i) {
+    IterationRecord rec;
+    rec.num_samples = (i + 1) * samples_step;
+    rec.top_alpha_rmse = {rmse[i]};
+    trace.push_back(rec);
+  }
+  return trace;
+}
+
+ConvergenceCriterion loose() {
+  ConvergenceCriterion c;
+  c.window = 3;
+  c.min_relative_improvement = 0.05;
+  c.min_samples = 0;
+  return c;
+}
+
+TEST(Convergence, FlatTailDetected) {
+  // Sharp improvement, then a flat tail: the detector must fire once the
+  // window covers only the flat part.
+  const auto trace =
+      trace_from({10.0, 5.0, 2.0, 1.0, 0.99, 0.985, 0.984, 0.983});
+  const std::size_t point = convergence_point(trace, loose());
+  ASSERT_LT(point, trace.size());
+  EXPECT_GE(point, 4u);  // not during the steep descent
+}
+
+TEST(Convergence, SteadyImprovementNeverConverges) {
+  // 20% improvement per step throughout.
+  std::vector<double> rmse;
+  double v = 10.0;
+  for (int i = 0; i < 10; ++i) {
+    rmse.push_back(v);
+    v *= 0.8;
+  }
+  const auto trace = trace_from(rmse);
+  EXPECT_EQ(convergence_point(trace, loose()), trace.size());
+}
+
+TEST(Convergence, MinSamplesDelaysDetection) {
+  const auto trace = trace_from({1.0, 1.0, 1.0, 1.0, 1.0, 1.0});
+  ConvergenceCriterion c = loose();
+  c.min_samples = 45;  // records carry 10, 20, ..., 60 samples
+  const std::size_t point = convergence_point(trace, c);
+  ASSERT_LT(point, trace.size());
+  EXPECT_GE(trace[point].num_samples, 45u);
+}
+
+TEST(Convergence, ShortTraceNeverConverges) {
+  const auto trace = trace_from({1.0, 1.0});
+  EXPECT_EQ(convergence_point(trace, loose()), trace.size());
+}
+
+TEST(Convergence, NoiseBumpsDoNotResetDetection) {
+  // Converged level with noisy oscillation — windowed *best* comparison
+  // must still fire.
+  const auto trace =
+      trace_from({5.0, 2.0, 1.0, 1.05, 0.98, 1.1, 0.99, 1.02});
+  EXPECT_LT(convergence_point(trace, loose()), trace.size());
+}
+
+TEST(Convergence, SampleCountHelper) {
+  const auto converged =
+      trace_from({10.0, 1.0, 1.0, 1.0, 1.0, 1.0});
+  EXPECT_GT(converged_sample_count(converged, loose()), 0u);
+  std::vector<double> improving;
+  double v = 8.0;
+  for (int i = 0; i < 8; ++i) {
+    improving.push_back(v);
+    v *= 0.7;
+  }
+  EXPECT_EQ(converged_sample_count(trace_from(improving), loose()), 0u);
+}
+
+TEST(Convergence, Validation) {
+  const auto trace = trace_from({1.0, 1.0, 1.0, 1.0});
+  ConvergenceCriterion c = loose();
+  c.window = 0;
+  EXPECT_THROW(convergence_point(trace, c), std::invalid_argument);
+  EXPECT_THROW(convergence_point(trace, loose(), /*alpha_index=*/5),
+               std::out_of_range);
+}
+
+TEST(Convergence, PaperScaleSanity) {
+  // A curve shaped like the paper's Fig. 2 panels (steep drop then slow
+  // tail, evaluations every 25 samples to 500) converges in the last
+  // third of the budget — consistent with the paper's "begins to converge
+  // when collecting about 500 samples" reading at their scale.
+  std::vector<double> rmse;
+  for (int i = 1; i <= 40; ++i) {
+    rmse.push_back(1.0 / static_cast<double>(i * i) + 0.01);
+  }
+  const auto trace = trace_from(rmse, 12);  // evaluations up to 480 samples
+  ConvergenceCriterion c;
+  c.window = 4;
+  c.min_relative_improvement = 0.02;
+  c.min_samples = 100;
+  const std::size_t point = convergence_point(trace, c);
+  ASSERT_LT(point, trace.size());
+  EXPECT_GT(trace[point].num_samples, 200u);
+}
+
+}  // namespace
+}  // namespace pwu::core

@@ -1,0 +1,95 @@
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pwu::util {
+namespace {
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "pwu_csv_test.csv";
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string read_back() {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+};
+
+TEST_F(CsvWriterTest, WritesPlainRows) {
+  {
+    CsvWriter csv(path_);
+    csv.write_header({"a", "b"});
+    csv.write_row({"1", "2"});
+  }
+  EXPECT_EQ(read_back(), "a,b\n1,2\n");
+}
+
+TEST_F(CsvWriterTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"plain", "has,comma", "has\"quote", "has\nnewline"});
+  }
+  EXPECT_EQ(read_back(),
+            "plain,\"has,comma\",\"has\"\"quote\",\"has\nnewline\"\n");
+}
+
+TEST_F(CsvWriterTest, NumericFieldsRoundTrip) {
+  EXPECT_EQ(CsvWriter::field(std::size_t{42}), "42");
+  const std::string f = CsvWriter::field(0.125);
+  EXPECT_EQ(std::stod(f), 0.125);
+}
+
+TEST_F(CsvWriterTest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/file.csv"), std::runtime_error);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table;
+  table.set_header({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.to_string();
+  // Header, separator rule, two data rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Each line should have consistent column starts: "value" begins after
+  // the widest first column ("longer" = 6 chars + 2 gap).
+  std::istringstream lines(out);
+  std::string header;
+  std::getline(lines, header);
+  EXPECT_EQ(header.find("value"), 8u);
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable table;
+  table.add_row({"a"});
+  table.add_row({"b", "c", "d"});
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_NE(table.to_string().find("d"), std::string::npos);
+}
+
+TEST(TextTable, CellFormatting) {
+  EXPECT_EQ(TextTable::cell(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::cell(2.0, 0), "2");
+  const std::string sci = TextTable::cell_sci(12345.0, 2);
+  EXPECT_NE(sci.find('e'), std::string::npos);
+}
+
+TEST(TextTable, NoHeaderMeansNoRule) {
+  TextTable table;
+  table.add_row({"just", "data"});
+  EXPECT_EQ(table.to_string().find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pwu::util

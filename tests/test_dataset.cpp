@@ -1,0 +1,71 @@
+#include "rf/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pwu::rf {
+namespace {
+
+TEST(Dataset, AddAndAccess) {
+  Dataset d(2);
+  d.add(std::vector<double>{1.0, 2.0}, 10.0);
+  d.add(std::vector<double>{3.0, 4.0}, 20.0);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(d.x(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(d.x(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(d.y(1), 20.0);
+  const auto row = d.row(1);
+  EXPECT_DOUBLE_EQ(row[1], 4.0);
+  EXPECT_DOUBLE_EQ(d.labels()[0], 10.0);
+}
+
+TEST(Dataset, RowWidthMismatchThrows) {
+  Dataset d(2);
+  EXPECT_THROW(d.add(std::vector<double>{1.0}, 5.0), std::invalid_argument);
+}
+
+TEST(Dataset, NonFiniteValuesRejected) {
+  Dataset d(1);
+  EXPECT_THROW(d.add(std::vector<double>{std::nan("")}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(d.add(std::vector<double>{1.0}, INFINITY),
+               std::invalid_argument);
+}
+
+TEST(Dataset, CategoricalSchemaValidated) {
+  // Categorical feature needs a cardinality.
+  EXPECT_THROW(Dataset(2, {true, false}), std::invalid_argument);
+  // Cardinality above 64 unsupported (mask is 64-bit).
+  EXPECT_THROW(Dataset(1, {true}, {65}), std::invalid_argument);
+  // Mask size mismatch.
+  EXPECT_THROW(Dataset(2, {true}), std::invalid_argument);
+  // Valid construction.
+  const Dataset ok(2, {true, false}, {5, 0});
+  EXPECT_TRUE(ok.is_categorical(0));
+  EXPECT_FALSE(ok.is_categorical(1));
+  EXPECT_EQ(ok.cardinality(0), 5u);
+  EXPECT_EQ(ok.cardinality(1), 0u);
+}
+
+TEST(Dataset, AllNumericalByDefault) {
+  const Dataset d(3);
+  EXPECT_FALSE(d.is_categorical(0));
+  EXPECT_FALSE(d.is_categorical(2));
+  EXPECT_EQ(d.cardinality(1), 0u);
+}
+
+TEST(Dataset, EmptyLikePreservesSchema) {
+  Dataset d(2, {true, false}, {4, 0});
+  d.add(std::vector<double>{1.0, 2.0}, 3.0);
+  const Dataset e = d.empty_like();
+  EXPECT_EQ(e.size(), 0u);
+  EXPECT_EQ(e.num_features(), 2u);
+  EXPECT_TRUE(e.is_categorical(0));
+  EXPECT_EQ(e.cardinality(0), 4u);
+}
+
+}  // namespace
+}  // namespace pwu::rf

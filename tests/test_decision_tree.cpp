@@ -1,0 +1,194 @@
+#include "rf/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace pwu::rf {
+namespace {
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  return idx;
+}
+
+Dataset grid_2d(std::size_t side) {
+  Dataset d(2);
+  for (std::size_t i = 0; i < side; ++i) {
+    for (std::size_t j = 0; j < side; ++j) {
+      const double x = static_cast<double>(i);
+      const double y = static_cast<double>(j);
+      d.add(std::vector<double>{x, y}, x * x + 3.0 * y);
+    }
+  }
+  return d;
+}
+
+TreeConfig full_tree() {
+  TreeConfig cfg;
+  cfg.mtry = 2;  // consider every feature
+  return cfg;
+}
+
+TEST(DecisionTree, InterpolatesTrainingDataWhenFullyGrown) {
+  const Dataset d = grid_2d(8);
+  DecisionTree tree;
+  util::Rng rng(1);
+  tree.fit(d, all_indices(d.size()), full_tree(), rng);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_NEAR(tree.predict(d.row(i)), d.y(i), 1e-9);
+  }
+}
+
+TEST(DecisionTree, PredictionsBoundedByLabelRange) {
+  const Dataset d = grid_2d(6);
+  DecisionTree tree;
+  util::Rng rng(2);
+  TreeConfig cfg = full_tree();
+  cfg.max_depth = 3;
+  tree.fit(d, all_indices(d.size()), cfg, rng);
+  double lo = d.y(0), hi = d.y(0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    lo = std::min(lo, d.y(i));
+    hi = std::max(hi, d.y(i));
+  }
+  util::Rng probe(3);
+  for (int t = 0; t < 100; ++t) {
+    const std::vector<double> row = {probe.uniform(-2.0, 8.0),
+                                     probe.uniform(-2.0, 8.0)};
+    const double p = tree.predict(row);
+    EXPECT_GE(p, lo - 1e-9);
+    EXPECT_LE(p, hi + 1e-9);
+  }
+}
+
+TEST(DecisionTree, MaxDepthHonored) {
+  const Dataset d = grid_2d(8);
+  DecisionTree tree;
+  util::Rng rng(4);
+  TreeConfig cfg = full_tree();
+  cfg.max_depth = 2;
+  tree.fit(d, all_indices(d.size()), cfg, rng);
+  EXPECT_LE(tree.depth(), 2u);
+  EXPECT_LE(tree.num_leaves(), 4u);
+}
+
+TEST(DecisionTree, UnlimitedDepthGrowsDeeper) {
+  const Dataset d = grid_2d(8);
+  DecisionTree shallow, deep;
+  util::Rng rng(5);
+  TreeConfig cfg = full_tree();
+  cfg.max_depth = 1;
+  shallow.fit(d, all_indices(d.size()), cfg, rng);
+  cfg.max_depth = 0;
+  deep.fit(d, all_indices(d.size()), cfg, rng);
+  EXPECT_GT(deep.depth(), shallow.depth());
+  EXPECT_GT(deep.num_nodes(), shallow.num_nodes());
+}
+
+TEST(DecisionTree, MinSamplesLeafLimitsLeafSize) {
+  const Dataset d = grid_2d(6);
+  DecisionTree tree;
+  util::Rng rng(6);
+  TreeConfig cfg = full_tree();
+  cfg.min_samples_leaf = 5;
+  tree.fit(d, all_indices(d.size()), cfg, rng);
+  // 36 samples, leaves of >= 5 samples => at most 7 leaves.
+  EXPECT_LE(tree.num_leaves(), 7u);
+}
+
+TEST(DecisionTree, ConstantLabelsGiveSingleLeaf) {
+  Dataset d(1);
+  for (int i = 0; i < 10; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i)}, 7.0);
+  }
+  DecisionTree tree;
+  util::Rng rng(7);
+  tree.fit(d, all_indices(d.size()), full_tree(), rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{99.0}), 7.0);
+}
+
+TEST(DecisionTree, SingleSampleIsALeaf) {
+  Dataset d(1);
+  d.add(std::vector<double>{1.0}, 5.0);
+  DecisionTree tree;
+  util::Rng rng(8);
+  tree.fit(d, all_indices(1), full_tree(), rng);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.0}), 5.0);
+}
+
+TEST(DecisionTree, EmptyIndexSetRejected) {
+  Dataset d(1);
+  d.add(std::vector<double>{1.0}, 5.0);
+  DecisionTree tree;
+  util::Rng rng(9);
+  EXPECT_THROW(tree.fit(d, {}, full_tree(), rng), std::invalid_argument);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  const DecisionTree tree;
+  EXPECT_THROW(tree.predict(std::vector<double>{1.0}), std::logic_error);
+  EXPECT_FALSE(tree.fitted());
+}
+
+TEST(DecisionTree, DeterministicGivenSeed) {
+  const Dataset d = grid_2d(7);
+  DecisionTree a, b;
+  TreeConfig cfg;
+  cfg.mtry = 1;  // force the random feature subspace to matter
+  util::Rng rng_a(42), rng_b(42);
+  a.fit(d, all_indices(d.size()), cfg, rng_a);
+  b.fit(d, all_indices(d.size()), cfg, rng_b);
+  util::Rng probe(10);
+  for (int t = 0; t < 50; ++t) {
+    const std::vector<double> row = {probe.uniform(0.0, 7.0),
+                                     probe.uniform(0.0, 7.0)};
+    EXPECT_DOUBLE_EQ(a.predict(row), b.predict(row));
+  }
+}
+
+TEST(DecisionTree, HandlesCategoricalFeature) {
+  // Label depends on a 5-level categorical only.
+  Dataset d(2, {true, false}, {5, 0});
+  util::Rng rng(11);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (int level = 0; level < 5; ++level) {
+      d.add(std::vector<double>{static_cast<double>(level), rng.uniform()},
+            level % 2 == 0 ? 1.0 : 9.0);
+    }
+  }
+  DecisionTree tree;
+  util::Rng fit_rng(12);
+  tree.fit(d, all_indices(d.size()), full_tree(), fit_rng);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.0, 0.5}), 1.0, 1e-9);
+  EXPECT_NEAR(tree.predict(std::vector<double>{3.0, 0.5}), 9.0, 1e-9);
+}
+
+TEST(DecisionTree, DuplicatedBootstrapIndicesWork) {
+  const Dataset d = grid_2d(5);
+  // A bootstrap-style index multiset (with repeats) must fit cleanly.
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    indices.push_back(i % (d.size() / 2));
+  }
+  DecisionTree tree;
+  util::Rng rng(13);
+  tree.fit(d, std::move(indices), full_tree(), rng);
+  EXPECT_TRUE(tree.fitted());
+}
+
+TEST(TreeConfig, MtryDefaultsToThirdOfFeatures) {
+  TreeConfig cfg;
+  EXPECT_EQ(cfg.resolve_mtry(30), 10u);
+  EXPECT_EQ(cfg.resolve_mtry(2), 1u);  // floor at 1
+  cfg.mtry = 50;
+  EXPECT_EQ(cfg.resolve_mtry(30), 30u);  // clamped to feature count
+}
+
+}  // namespace
+}  // namespace pwu::rf

@@ -1,0 +1,75 @@
+#include "space/design.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pwu::space {
+namespace {
+
+TEST(LatinHypercube, ProducesRequestedCount) {
+  ParameterSpace s;
+  s.add(Parameter::ordinal("t", {1, 16, 32, 64, 128, 256, 512}));
+  s.add(Parameter::int_range("u", 1, 31));
+  util::Rng rng(1);
+  const auto design = latin_hypercube(s, 70, rng);
+  EXPECT_EQ(design.size(), 70u);
+  for (const auto& c : design) EXPECT_TRUE(s.contains(c));
+}
+
+TEST(LatinHypercube, StratifiesEachDimension) {
+  // With count a multiple of the level count, every level of every
+  // dimension appears exactly count/levels times — the defining LHS
+  // property on a discrete grid.
+  ParameterSpace s;
+  s.add(Parameter::ordinal("a", {0, 1, 2, 3, 4}));
+  s.add(Parameter::ordinal("b", {0, 1}));
+  util::Rng rng(2);
+  const std::size_t count = 40;
+  const auto design = latin_hypercube(s, count, rng);
+
+  std::vector<int> counts_a(5, 0);
+  std::vector<int> counts_b(2, 0);
+  for (const auto& c : design) {
+    ++counts_a[c.level(0)];
+    ++counts_b[c.level(1)];
+  }
+  for (int c : counts_a) EXPECT_EQ(c, 8);
+  for (int c : counts_b) EXPECT_EQ(c, 20);
+}
+
+TEST(LatinHypercube, CoversLevelsEvenWithSmallCount) {
+  // count == levels: each level appears exactly once per dimension.
+  ParameterSpace s;
+  s.add(Parameter::ordinal("a", {0, 1, 2, 3, 4, 5, 6}));
+  util::Rng rng(3);
+  const auto design = latin_hypercube(s, 7, rng);
+  std::vector<int> counts(7, 0);
+  for (const auto& c : design) ++counts[c.level(0)];
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(LatinHypercube, DimensionsShuffledIndependently) {
+  // If columns were shuffled together, level(0) would determine level(1).
+  ParameterSpace s;
+  s.add(Parameter::ordinal("a", {0, 1, 2, 3, 4, 5, 6, 7}));
+  s.add(Parameter::ordinal("b", {0, 1, 2, 3, 4, 5, 6, 7}));
+  util::Rng rng(4);
+  const auto design = latin_hypercube(s, 64, rng);
+  int diagonal = 0;
+  for (const auto& c : design) {
+    if (c.level(0) == c.level(1)) ++diagonal;
+  }
+  EXPECT_LT(diagonal, 32);  // perfectly coupled columns would give 64
+}
+
+TEST(LatinHypercube, DeterministicUnderSeed) {
+  ParameterSpace s;
+  s.add(Parameter::int_range("x", 0, 9));
+  util::Rng rng_a(5);
+  util::Rng rng_b(5);
+  EXPECT_EQ(latin_hypercube(s, 20, rng_a), latin_hypercube(s, 20, rng_b));
+}
+
+}  // namespace
+}  // namespace pwu::space

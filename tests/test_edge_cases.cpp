@@ -1,0 +1,158 @@
+// Cross-module edge cases that the per-module suites don't reach.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/active_learner.hpp"
+#include "gp/gaussian_process.hpp"
+#include "space/pool.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/rng.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace pwu {
+namespace {
+
+TEST(GpEdgeCases, DuplicateRowsTriggerJitterEscalation) {
+  // Identical inputs with identical labels make the kernel matrix exactly
+  // singular at zero noise; the fit must survive via jitter escalation.
+  rf::Dataset train(1);
+  for (int i = 0; i < 12; ++i) {
+    train.add(std::vector<double>{1.0}, 2.0);
+    train.add(std::vector<double>{3.0}, 4.0);
+  }
+  gp::GaussianProcess model;
+  gp::GpConfig config;
+  config.noise_variance = 1e-12;  // start from (nearly) no jitter
+  EXPECT_NO_THROW(model.fit(train, config));
+  EXPECT_NEAR(model.predict(std::vector<double>{1.0}), 2.0, 0.2);
+}
+
+TEST(GpEdgeCases, VarianceNearNoiseLevelAtTrainingPoints) {
+  rf::Dataset train(1);
+  util::Rng rng(1);
+  for (int i = 0; i < 25; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    train.add(std::vector<double>{x}, x);
+  }
+  gp::GaussianProcess model;
+  gp::GpConfig config;
+  config.noise_variance = 1e-6;
+  model.fit(train, config);
+  // At an exact training input the posterior collapses toward the noise
+  // floor — far below the prior variance.
+  const auto at_train = model.predict_full(train.row(0));
+  EXPECT_LT(at_train.variance, 0.05);
+}
+
+TEST(RngEdgeCases, UniformIntExtremes) {
+  util::Rng rng(2);
+  // Near-full-range bounds must not overflow.
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t v = rng.uniform_int(-1'000'000'000'000LL,
+                                           1'000'000'000'000LL);
+    EXPECT_GE(v, -1'000'000'000'000LL);
+    EXPECT_LE(v, 1'000'000'000'000LL);
+  }
+  // Negative-only range.
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t v = rng.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(RngEdgeCases, SampleWithoutReplacementFullPopulation) {
+  util::Rng rng(3);
+  auto all = rng.sample_without_replacement(8, 8);
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(LearnerEdgeCases, MeasurementRepetitionsFeedAveragedLabels) {
+  // measure_repetitions = 35 (the paper's kernel protocol): labels are
+  // run averages, so their deviation from the noiseless truth shrinks
+  // relative to single-run labels; CC still sums the averaged labels.
+  auto workload = workloads::make_quadratic_bowl(3, 8, 0.1, /*noisy=*/true);
+  util::Rng rng(4);
+  const auto split =
+      space::make_pool_split(workload->space(), 200, 100, rng);
+  const auto test = core::build_test_set(*workload, split.test, rng);
+
+  auto run_with_reps = [&](int reps) {
+    core::LearnerConfig cfg;
+    cfg.n_init = 10;
+    cfg.n_max = 30;
+    cfg.forest.num_trees = 10;
+    cfg.measure_repetitions = reps;
+    core::ActiveLearner learner(*workload, cfg);
+    util::Rng run_rng(5);
+    return learner.run(*core::make_pwu(0.05), split.pool, test, run_rng);
+  };
+  const auto single = run_with_reps(1);
+  const auto averaged = run_with_reps(35);
+
+  auto label_noise = [&](const core::LearnerResult& r) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < r.train_configs.size(); ++i) {
+      acc += std::abs(r.train_labels[i] -
+                      workload->base_time(r.train_configs[i]));
+    }
+    return acc / static_cast<double>(r.train_configs.size());
+  };
+  EXPECT_LT(label_noise(averaged), label_noise(single));
+  EXPECT_NEAR(averaged.trace.back().cumulative_cost,
+              core::cumulative_cost(averaged.train_labels), 1e-9);
+}
+
+TEST(LearnerEdgeCases, ThreadPoolPathMatchesSerialPath) {
+  auto workload = workloads::make_quadratic_bowl(3, 8, 0.1, true);
+  util::Rng rng(6);
+  const auto split =
+      space::make_pool_split(workload->space(), 300, 100, rng);
+  const auto test = core::build_test_set(*workload, split.test, rng);
+  core::LearnerConfig cfg;
+  cfg.n_init = 10;
+  cfg.n_max = 25;
+  cfg.forest.num_trees = 12;
+  core::ActiveLearner learner(*workload, cfg);
+
+  util::ThreadPool pool(3);
+  util::Rng rng_a(7), rng_b(7);
+  const auto serial =
+      learner.run(*core::make_pwu(0.05), split.pool, test, rng_a, nullptr);
+  const auto threaded =
+      learner.run(*core::make_pwu(0.05), split.pool, test, rng_b, &pool);
+  ASSERT_EQ(serial.train_configs.size(), threaded.train_configs.size());
+  for (std::size_t i = 0; i < serial.train_configs.size(); ++i) {
+    EXPECT_EQ(serial.train_configs[i], threaded.train_configs[i]);
+  }
+}
+
+TEST(ChartEdgeCases, LogXAxisRenders) {
+  util::ChartSeries s;
+  s.label = "decade";
+  s.marker = '*';
+  for (int i = 0; i < 6; ++i) {
+    s.x.push_back(std::pow(10.0, i));
+    s.y.push_back(i);
+  }
+  util::ChartOptions opt;
+  opt.log_x = true;
+  const std::string out = util::render_chart({s}, opt);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(PoolEdgeCases, SplitOnBoundarySizedSpace) {
+  // Space exactly equal to the requested sample count: enumeration path.
+  space::ParameterSpace s;
+  s.add(space::Parameter::int_range("a", 0, 9));
+  s.add(space::Parameter::int_range("b", 0, 9));
+  util::Rng rng(8);
+  const auto split = space::make_pool_split(s, 70, 30, rng);
+  EXPECT_EQ(split.pool.size() + split.test.size(), 100u);
+}
+
+}  // namespace
+}  // namespace pwu

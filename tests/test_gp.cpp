@@ -1,0 +1,208 @@
+#include "gp/gaussian_process.hpp"
+#include "gp/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace pwu::gp {
+namespace {
+
+// ---- kernels ----
+
+TEST(Kernels, RbfBasicProperties) {
+  const auto k = make_rbf(2.0, 0.5);
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.2, 2.3};
+  // Symmetric, maximal at zero distance, positive.
+  EXPECT_DOUBLE_EQ((*k)(x, x), 2.0);
+  EXPECT_DOUBLE_EQ((*k)(x, y), (*k)(y, x));
+  EXPECT_LT((*k)(x, y), 2.0);
+  EXPECT_GT((*k)(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(k->self_variance(), 2.0);
+}
+
+TEST(Kernels, RbfDecaysWithDistance) {
+  const auto k = make_rbf(1.0, 0.5);
+  const std::vector<double> origin = {0.0};
+  double prev = 2.0;
+  for (double d : {0.1, 0.5, 1.0, 2.0}) {
+    const std::vector<double> x = {d};
+    const double v = (*k)(origin, x);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Kernels, Matern52MatchesClosedForm) {
+  const auto k = make_matern52(1.0, 1.0);
+  const std::vector<double> a = {0.0};
+  const std::vector<double> b = {1.0};
+  const double r = 1.0;
+  const double sqrt5 = std::sqrt(5.0);
+  const double expected =
+      (1.0 + sqrt5 * r + 5.0 / 3.0 * r * r) * std::exp(-sqrt5 * r);
+  EXPECT_NEAR((*k)(a, b), expected, 1e-12);
+}
+
+TEST(Kernels, ArdWeighsDimensionsDifferently) {
+  const auto k = make_rbf_ard(1.0, {0.1, 10.0});
+  const std::vector<double> origin = {0.0, 0.0};
+  const std::vector<double> dx = {0.5, 0.0};  // short lengthscale: decays fast
+  const std::vector<double> dy = {0.0, 0.5};  // long lengthscale: barely
+  EXPECT_LT((*k)(origin, dx), (*k)(origin, dy));
+}
+
+TEST(Kernels, ParameterValidation) {
+  EXPECT_THROW(make_rbf(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(make_rbf(1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(make_matern52(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_rbf_ard(1.0, {1.0, 0.0}), std::invalid_argument);
+}
+
+// ---- Gaussian process regression ----
+
+rf::Dataset sine_data(std::size_t n, util::Rng& rng, double noise = 0.0) {
+  rf::Dataset d(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 6.28);
+    d.add(std::vector<double>{x},
+          std::sin(x) + (noise > 0.0 ? rng.normal(0.0, noise) : 0.0));
+  }
+  return d;
+}
+
+TEST(GaussianProcess, InterpolatesNoiseFreeData) {
+  util::Rng rng(1);
+  const rf::Dataset train = sine_data(40, rng);
+  GaussianProcess gp;
+  GpConfig config;
+  config.noise_variance = 1e-8;
+  gp.fit(train, config);
+  for (std::size_t i = 0; i < train.size(); i += 5) {
+    EXPECT_NEAR(gp.predict(train.row(i)), train.y(i), 1e-2);
+  }
+}
+
+TEST(GaussianProcess, PredictsSmoothFunctionOutOfSample) {
+  util::Rng rng(2);
+  const rf::Dataset train = sine_data(80, rng);
+  GaussianProcess gp;
+  gp.fit(train);
+  util::Rng probe(3);
+  double max_err = 0.0;
+  for (int t = 0; t < 50; ++t) {
+    const double x = probe.uniform(0.3, 6.0);
+    max_err = std::max(max_err,
+                       std::abs(gp.predict(std::vector<double>{x}) -
+                                std::sin(x)));
+  }
+  EXPECT_LT(max_err, 0.15);
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData) {
+  // Train only on [0, 2]; the posterior variance at x = 6 must dominate
+  // the variance inside the data.
+  rf::Dataset train(1);
+  util::Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.uniform(0.0, 2.0);
+    train.add(std::vector<double>{x}, x * x);
+  }
+  GaussianProcess gp;
+  GpConfig config;
+  config.median_heuristic = false;
+  config.lengthscale = 0.1;
+  gp.fit(train, config);
+  const double inside = gp.predict_full(std::vector<double>{1.0}).stddev;
+  const double outside = gp.predict_full(std::vector<double>{6.0}).stddev;
+  EXPECT_GT(outside, inside * 3.0);
+}
+
+TEST(GaussianProcess, VarianceNonNegativeEverywhere) {
+  util::Rng rng(5);
+  const rf::Dataset train = sine_data(60, rng, 0.05);
+  GaussianProcess gp;
+  gp.fit(train);
+  util::Rng probe(6);
+  for (int t = 0; t < 100; ++t) {
+    const auto p = gp.predict_full(std::vector<double>{probe.uniform(-2.0, 9.0)});
+    EXPECT_GE(p.variance, 0.0);
+    EXPECT_TRUE(std::isfinite(p.mean));
+  }
+}
+
+TEST(GaussianProcess, HandlesConstantLabels) {
+  rf::Dataset train(1);
+  for (int i = 0; i < 10; ++i) {
+    train.add(std::vector<double>{static_cast<double>(i)}, 3.0);
+  }
+  GaussianProcess gp;
+  gp.fit(train);
+  EXPECT_NEAR(gp.predict(std::vector<double>{4.5}), 3.0, 1e-6);
+}
+
+TEST(GaussianProcess, HandlesConstantFeatures) {
+  rf::Dataset train(2);
+  util::Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    train.add(std::vector<double>{x, 5.0}, 2.0 * x);
+  }
+  GaussianProcess gp;
+  EXPECT_NO_THROW(gp.fit(train));
+  EXPECT_NEAR(gp.predict(std::vector<double>{0.5, 5.0}), 1.0, 0.1);
+}
+
+TEST(GaussianProcess, RejectsEmptyDataAndUnknownKernel) {
+  GaussianProcess gp;
+  rf::Dataset empty(1);
+  EXPECT_THROW(gp.fit(empty), std::invalid_argument);
+  EXPECT_THROW(gp.predict(std::vector<double>{1.0}), std::logic_error);
+
+  rf::Dataset one(1);
+  one.add(std::vector<double>{0.0}, 1.0);
+  GpConfig bad;
+  bad.kernel = "perceptron";
+  EXPECT_THROW(gp.fit(one, bad), std::invalid_argument);
+}
+
+TEST(GaussianProcess, MedianHeuristicBeatsWildFixedLengthscale) {
+  util::Rng rng(8);
+  const rf::Dataset train = sine_data(60, rng);
+  util::Rng probe_rng(9);
+
+  GaussianProcess heuristic, fixed;
+  GpConfig h_cfg;
+  h_cfg.median_heuristic = true;
+  heuristic.fit(train, h_cfg);
+  GpConfig f_cfg;
+  f_cfg.median_heuristic = false;
+  f_cfg.lengthscale = 50.0;  // absurdly wide: everything correlates
+  fixed.fit(train, f_cfg);
+
+  double err_h = 0.0, err_f = 0.0;
+  for (int t = 0; t < 50; ++t) {
+    const double x = probe_rng.uniform(0.5, 5.8);
+    err_h += std::abs(heuristic.predict(std::vector<double>{x}) - std::sin(x));
+    err_f += std::abs(fixed.predict(std::vector<double>{x}) - std::sin(x));
+  }
+  EXPECT_LT(err_h, err_f);
+}
+
+TEST(GaussianProcess, BothKernelFamiliesWork) {
+  util::Rng rng(10);
+  const rf::Dataset train = sine_data(50, rng);
+  for (const char* kernel : {"rbf", "matern52"}) {
+    GaussianProcess gp;
+    GpConfig config;
+    config.kernel = kernel;
+    gp.fit(train, config);
+    EXPECT_NEAR(gp.predict(std::vector<double>{1.57}), 1.0, 0.2) << kernel;
+  }
+}
+
+}  // namespace
+}  // namespace pwu::gp

@@ -1,0 +1,180 @@
+// End-to-end behaviour: the full Algorithm-1 pipeline on synthetic and
+// paper workloads, including the headline qualitative claim — PWU reaches
+// lower top-alpha error than passive sampling at the same budget, and PBUS's
+// redundancy signature (Fig. 9) is visible in the selection records.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/active_learner.hpp"
+#include "core/experiment.hpp"
+#include "util/statistics.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace pwu::core {
+namespace {
+
+TEST(Integration, FullPipelineOnAtaxKernel) {
+  auto atax = workloads::make_workload("atax");
+  util::Rng rng(1);
+  const auto split = space::make_pool_split(atax->space(), 400, 200, rng);
+  const TestSet test = build_test_set(*atax, split.test, rng);
+
+  LearnerConfig cfg;
+  cfg.n_init = 10;
+  cfg.n_max = 60;
+  cfg.forest.num_trees = 20;
+  cfg.eval_every = 10;
+  cfg.eval_alphas = {0.05};
+  ActiveLearner learner(*atax, cfg);
+
+  const auto result = learner.run(*make_pwu(0.05), split.pool, test, rng);
+  EXPECT_EQ(result.train_configs.size(), 60u);
+  // Error at the end must improve on the cold-start error.
+  EXPECT_LT(result.trace.back().top_alpha_rmse[0],
+            result.trace.front().top_alpha_rmse[0]);
+}
+
+TEST(Integration, FullPipelineOnEnumerableApplicationSpace) {
+  // kripke: the pool split enumerates the whole space.
+  auto kripke = workloads::make_workload("kripke");
+  util::Rng rng(2);
+  const auto split =
+      space::make_pool_split(kripke->space(), 7000, 3000, rng);
+  const TestSet test = build_test_set(*kripke, split.test, rng);
+
+  LearnerConfig cfg;
+  cfg.n_init = 10;
+  cfg.n_max = 50;
+  cfg.forest.num_trees = 20;
+  cfg.eval_every = 20;
+  ActiveLearner learner(*kripke, cfg);
+  const auto result = learner.run(*make_pwu(0.05), split.pool, test, rng);
+  EXPECT_EQ(result.train_configs.size(), 50u);
+  EXPECT_TRUE(std::isfinite(result.trace.back().top_alpha_rmse[0]));
+}
+
+TEST(Integration, PwuBeatsPassiveSamplingOnTopAlphaError) {
+  // The paper's core claim, on a controlled synthetic workload where the
+  // high-performance region is a small pocket. Averaged over repeats to be
+  // robust; generous margin (>= means "not worse").
+  auto workload = workloads::make_mixed_modes(4, 3, 12, 0.1);
+  ExperimentSpec spec;
+  spec.strategies = {"pwu", "random"};
+  spec.alpha = 0.05;
+  spec.repeats = 3;
+  spec.pool_size = 400;
+  spec.test_size = 200;
+  spec.learner.n_init = 10;
+  spec.learner.n_max = 80;
+  spec.learner.forest.num_trees = 20;
+  spec.learner.eval_every = 10;
+  spec.seed = 11;
+
+  const ExperimentResult result = run_experiment(*workload, spec);
+  const double pwu_final = result.find("pwu").final_rmse();
+  const double random_final = result.find("random").final_rmse();
+  EXPECT_LE(pwu_final, random_final * 1.05);
+}
+
+TEST(Integration, PwuSelectionsConcentrateOnFastPredictions) {
+  // PWU's picks should sit at lower predicted time than MaxU's (it weights
+  // performance), while still carrying real uncertainty.
+  auto atax = workloads::make_workload("atax");
+  util::Rng rng(3);
+  const auto split = space::make_pool_split(atax->space(), 400, 150, rng);
+  const TestSet test = build_test_set(*atax, split.test, rng);
+  LearnerConfig cfg;
+  cfg.n_init = 10;
+  cfg.n_max = 50;
+  cfg.forest.num_trees = 20;
+  cfg.eval_every = 50;
+  ActiveLearner learner(*atax, cfg);
+
+  util::Rng rng_a(4), rng_b(4);
+  const auto pwu = learner.run(*make_pwu(0.05), split.pool, test, rng_a);
+  const auto maxu =
+      learner.run(*make_max_uncertainty(), split.pool, test, rng_b);
+
+  auto mean_predicted = [](const LearnerResult& r) {
+    std::vector<double> mu;
+    for (const auto& sel : r.selections) mu.push_back(sel.predicted_mean);
+    return util::mean(mu);
+  };
+  EXPECT_LT(mean_predicted(pwu), mean_predicted(maxu));
+}
+
+TEST(Integration, Fig9SignaturePbusPicksLowerUncertaintyThanPwu) {
+  // Section IV-C / Fig. 9: PBUS over-samples the low-uncertainty
+  // high-performance corner; PWU's selections carry more uncertainty.
+  auto atax = workloads::make_workload("atax");
+  util::Rng rng(5);
+  const auto split = space::make_pool_split(atax->space(), 400, 150, rng);
+  const TestSet test = build_test_set(*atax, split.test, rng);
+  LearnerConfig cfg;
+  cfg.n_init = 10;
+  cfg.n_max = 70;
+  cfg.forest.num_trees = 20;
+  cfg.eval_every = 70;
+  ActiveLearner learner(*atax, cfg);
+
+  util::Rng rng_a(6), rng_b(6);
+  const auto pwu = learner.run(*make_pwu(0.01), split.pool, test, rng_a);
+  const auto pbus = learner.run(*make_pbus(0.10), split.pool, test, rng_b);
+
+  auto mean_sigma = [](const LearnerResult& r) {
+    std::vector<double> sigma;
+    for (const auto& sel : r.selections) sigma.push_back(sel.predicted_stddev);
+    return util::mean(sigma);
+  };
+  EXPECT_GT(mean_sigma(pwu), mean_sigma(pbus));
+}
+
+TEST(Integration, AllStandardStrategiesCompleteOnAKernel) {
+  auto gesummv = workloads::make_workload("gesummv");
+  util::Rng rng(7);
+  const auto split = space::make_pool_split(gesummv->space(), 200, 100, rng);
+  const TestSet test = build_test_set(*gesummv, split.test, rng);
+  LearnerConfig cfg;
+  cfg.n_init = 10;
+  cfg.n_max = 30;
+  cfg.forest.num_trees = 10;
+  cfg.eval_every = 10;
+  ActiveLearner learner(*gesummv, cfg);
+  for (const auto& name : standard_strategy_names()) {
+    util::Rng run_rng(8);
+    StrategyPtr strategy = make_strategy(name, 0.05);
+    const auto result = learner.run(*strategy, split.pool, test, run_rng);
+    EXPECT_EQ(result.train_configs.size(), 30u) << name;
+    EXPECT_TRUE(std::isfinite(result.trace.back().top_alpha_rmse[0]))
+        << name;
+  }
+}
+
+TEST(Integration, ConstantLabelWorkloadDoesNotBreakTheLoop) {
+  // Failure injection: a degenerate black box with identical times — the
+  // forest collapses to one leaf and uncertainty is zero everywhere, but
+  // Algorithm 1 must still terminate cleanly.
+  space::ParameterSpace s;
+  s.add(space::Parameter::int_range("x", 0, 31));
+  s.add(space::Parameter::int_range("y", 0, 31));
+  auto constant = workloads::make_custom(
+      "constant", std::move(s),
+      [](const space::Configuration&) { return 0.5; });
+  util::Rng rng(9);
+  const auto split = space::make_pool_split(constant->space(), 100, 50, rng);
+  const TestSet test = build_test_set(*constant, split.test, rng);
+  LearnerConfig cfg;
+  cfg.n_init = 5;
+  cfg.n_max = 20;
+  cfg.forest.num_trees = 5;
+  ActiveLearner learner(*constant, cfg);
+  const auto result = learner.run(*make_pwu(0.05), split.pool, test, rng);
+  EXPECT_EQ(result.train_configs.size(), 20u);
+  EXPECT_NEAR(result.trace.back().top_alpha_rmse[0], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pwu::core

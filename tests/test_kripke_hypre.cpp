@@ -1,0 +1,168 @@
+// Application-model physics: the kripke and hypre simulators must show the
+// qualitative trade-offs the real codes exhibit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/hypre_model.hpp"
+#include "workloads/kripke_model.hpp"
+
+namespace pwu::workloads {
+namespace {
+
+space::Configuration with_param(const space::ParameterSpace& s,
+                                space::Configuration base,
+                                const std::string& name, std::uint32_t level) {
+  base.set_level(s.index_of(name), level);
+  return base;
+}
+
+class KripkeTest : public ::testing::Test {
+ protected:
+  WorkloadPtr kripke_ = make_kripke();
+  const space::ParameterSpace& space_ = kripke_->space();
+
+  space::Configuration base_config() {
+    // layout DGZ, gset 4, dset 16, sweep, 16 procs.
+    space::Configuration c(std::vector<std::uint32_t>(space_.num_params(), 0));
+    c = with_param(space_, c, "layout", 0);
+    c = with_param(space_, c, "gset", 2);
+    c = with_param(space_, c, "dset", 1);
+    c = with_param(space_, c, "pmethod", 0);
+    c = with_param(space_, c, "nprocs", 4);
+    return c;
+  }
+};
+
+TEST_F(KripkeTest, SpaceMatchesTableII) {
+  EXPECT_EQ(space_.num_params(), 5u);
+  EXPECT_EQ(space_.param(space_.index_of("layout")).num_levels(), 6u);
+  EXPECT_EQ(space_.param(space_.index_of("gset")).num_levels(), 8u);
+  EXPECT_EQ(space_.param(space_.index_of("dset")).num_levels(), 3u);
+  EXPECT_EQ(space_.param(space_.index_of("pmethod")).num_levels(), 2u);
+  EXPECT_EQ(space_.param(space_.index_of("nprocs")).num_levels(), 8u);
+  EXPECT_EQ(static_cast<long long>(space_.size()), 6LL * 8 * 3 * 2 * 8);
+}
+
+TEST_F(KripkeTest, StrongScalingHelpsInitially) {
+  // 1 -> 16 processes on a compute-dominated problem must speed it up.
+  const auto p1 = with_param(space_, base_config(), "nprocs", 0);
+  const auto p16 = with_param(space_, base_config(), "nprocs", 4);
+  EXPECT_LT(kripke_->base_time(p16), kripke_->base_time(p1));
+}
+
+TEST_F(KripkeTest, ScalingEventuallySaturates) {
+  // Going from 64 to 128 ranks (beyond the 28-core node, more pipeline
+  // stages) must give much less than the ideal 2x.
+  const auto p64 = with_param(space_, base_config(), "nprocs", 6);
+  const auto p128 = with_param(space_, base_config(), "nprocs", 7);
+  const double speedup =
+      kripke_->base_time(p64) / kripke_->base_time(p128);
+  EXPECT_LT(speedup, 1.7);
+}
+
+TEST_F(KripkeTest, ZoneOutermostLayoutsAreSlower) {
+  const auto dgz = with_param(space_, base_config(), "layout", 0);
+  const auto zgd = with_param(space_, base_config(), "layout", 5);
+  EXPECT_LT(kripke_->base_time(dgz), kripke_->base_time(zgd));
+}
+
+TEST_F(KripkeTest, BlockJacobiTradesPipelineForIterations) {
+  // On one rank there is no pipeline to win back: bj's extra iterations
+  // must make it slower than sweep.
+  auto single = with_param(space_, base_config(), "nprocs", 0);
+  const auto sweep1 = with_param(space_, single, "pmethod", 0);
+  const auto bj1 = with_param(space_, single, "pmethod", 1);
+  EXPECT_LT(kripke_->base_time(sweep1), kripke_->base_time(bj1));
+}
+
+TEST_F(KripkeTest, OversizedGsetWastesPadding) {
+  // gset=128 > 64 groups: degenerate group sets must not be free.
+  const auto g4 = with_param(space_, base_config(), "gset", 2);
+  const auto g128 = with_param(space_, base_config(), "gset", 7);
+  EXPECT_GT(kripke_->base_time(g128), kripke_->base_time(g4));
+}
+
+class HypreTest : public ::testing::Test {
+ protected:
+  WorkloadPtr hypre_ = make_hypre();
+  const space::ParameterSpace& space_ = hypre_->space();
+
+  space::Configuration base_config() {
+    space::Configuration c(std::vector<std::uint32_t>(space_.num_params(), 0));
+    c = with_param(space_, c, "solver", 1);      // AMG-PCG
+    c = with_param(space_, c, "coarsening", 0);  // pmis
+    c = with_param(space_, c, "smtype", 3);      // hybrid GS default
+    c = with_param(space_, c, "nprocs", 2);      // 32 ranks
+    return c;
+  }
+};
+
+TEST_F(HypreTest, SpaceMatchesTableIII) {
+  EXPECT_EQ(space_.num_params(), 4u);
+  EXPECT_EQ(space_.param(space_.index_of("solver")).num_levels(), 24u);
+  EXPECT_EQ(space_.param(space_.index_of("coarsening")).num_levels(), 2u);
+  EXPECT_EQ(space_.param(space_.index_of("smtype")).num_levels(), 9u);
+  EXPECT_EQ(space_.param(space_.index_of("nprocs")).num_levels(), 7u);
+  // #process ordinal starts at 8 (Table III).
+  EXPECT_DOUBLE_EQ(space_.param(space_.index_of("nprocs")).numeric_value(0),
+                   8.0);
+}
+
+TEST_F(HypreTest, SolverParameterIsCategorical) {
+  EXPECT_TRUE(space_.param(space_.index_of("solver")).is_categorical());
+  EXPECT_TRUE(space_.param(space_.index_of("coarsening")).is_categorical());
+}
+
+TEST_F(HypreTest, AmgPcgBeatsDiagonalScaledCgOnLaplacian) {
+  const auto amg = with_param(space_, base_config(), "solver", 1);
+  const auto ds = with_param(space_, base_config(), "solver", 2);
+  EXPECT_LT(hypre_->base_time(amg), hypre_->base_time(ds));
+}
+
+TEST_F(HypreTest, SmootherIrrelevantForNonAmgSolvers) {
+  // DS-PCG has no AMG hierarchy: smtype must be an inactive parameter.
+  auto ds = with_param(space_, base_config(), "solver", 2);
+  const auto sm0 = with_param(space_, ds, "smtype", 0);
+  const auto sm7 = with_param(space_, ds, "smtype", 7);
+  EXPECT_DOUBLE_EQ(hypre_->base_time(sm0), hypre_->base_time(sm7));
+}
+
+TEST_F(HypreTest, SmootherMattersForAmgSolvers) {
+  const auto jacobi = with_param(space_, base_config(), "smtype", 0);
+  const auto cheby = with_param(space_, base_config(), "smtype", 7);
+  EXPECT_NE(hypre_->base_time(jacobi), hypre_->base_time(cheby));
+}
+
+TEST_F(HypreTest, HmisCoarseningChangesAmgCost) {
+  const auto pmis = with_param(space_, base_config(), "coarsening", 0);
+  const auto hmis = with_param(space_, base_config(), "coarsening", 1);
+  EXPECT_NE(hypre_->base_time(pmis), hypre_->base_time(hmis));
+  // And it must not affect a non-AMG solver.
+  auto ds = with_param(space_, base_config(), "solver", 2);
+  EXPECT_DOUBLE_EQ(
+      hypre_->base_time(with_param(space_, ds, "coarsening", 0)),
+      hypre_->base_time(with_param(space_, ds, "coarsening", 1)));
+}
+
+TEST_F(HypreTest, ScalingHelpsThenSaturates) {
+  const auto p8 = with_param(space_, base_config(), "nprocs", 0);
+  const auto p64 = with_param(space_, base_config(), "nprocs", 3);
+  const auto p512 = with_param(space_, base_config(), "nprocs", 6);
+  EXPECT_LT(hypre_->base_time(p64), hypre_->base_time(p8));
+  // 64 -> 512: an 8x rank increase must fall well short of 8x speedup.
+  EXPECT_GT(hypre_->base_time(p512) * 4.0, hypre_->base_time(p64));
+}
+
+TEST_F(HypreTest, ApplicationTimesAreSecondsScale) {
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const double t = hypre_->base_time(space_.random_config(rng));
+    EXPECT_GT(t, 0.1);
+    EXPECT_LT(t, 600.0);
+  }
+}
+
+}  // namespace
+}  // namespace pwu::workloads

@@ -1,0 +1,115 @@
+#include "gp/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pwu::gp {
+namespace {
+
+Matrix spd_3x3() {
+  // A = L L^T with L = [[2,0,0],[1,3,0],[0.5,1,1.5]].
+  Matrix a(3, 3);
+  const double l[3][3] = {{2, 0, 0}, {1, 3, 0}, {0.5, 1, 1.5}};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 3; ++k) sum += l[i][k] * l[j][k];
+      a.at(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = sum;
+    }
+  }
+  return a;
+}
+
+TEST(Matrix, BasicAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.row(0)[1], 7.0);
+}
+
+TEST(Matrix, AddDiagonal) {
+  Matrix m(2, 2, 1.0);
+  m.add_diagonal(0.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0);
+  Matrix rect(2, 3);
+  EXPECT_THROW(rect.add_diagonal(1.0), std::logic_error);
+}
+
+TEST(Cholesky, RecoversKnownFactor) {
+  Matrix a = spd_3x3();
+  ASSERT_TRUE(cholesky_factorize(a));
+  EXPECT_NEAR(a.at(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(a.at(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(a.at(1, 1), 3.0, 1e-12);
+  EXPECT_NEAR(a.at(2, 0), 0.5, 1e-12);
+  EXPECT_NEAR(a.at(2, 1), 1.0, 1e-12);
+  EXPECT_NEAR(a.at(2, 2), 1.5, 1e-12);
+  // Upper triangle zeroed.
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = a.at(1, 0) = 2.0;
+  a.at(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky_factorize(a));
+}
+
+TEST(Cholesky, SolveRoundTrips) {
+  Matrix a = spd_3x3();
+  const Matrix original = a;
+  ASSERT_TRUE(cholesky_factorize(a));
+  const std::vector<double> x_true = {1.0, -2.0, 0.5};
+  // b = A x.
+  std::vector<double> b(3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) b[i] += original.at(i, j) * x_true[j];
+  }
+  const std::vector<double> x = cholesky_solve(a, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Cholesky, TriangularSolvesAreInverses) {
+  Matrix a = spd_3x3();
+  ASSERT_TRUE(cholesky_factorize(a));
+  const std::vector<double> b = {3.0, 1.0, -2.0};
+  const auto y = forward_substitute(a, b);
+  // L y should reproduce b.
+  for (std::size_t i = 0; i < 3; ++i) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) sum += a.at(i, k) * y[k];
+    EXPECT_NEAR(sum, b[i], 1e-12);
+  }
+  const auto x = backward_substitute(a, y);
+  // L^T x should reproduce y.
+  for (std::size_t i = 0; i < 3; ++i) {
+    double sum = 0.0;
+    for (std::size_t k = i; k < 3; ++k) sum += a.at(k, i) * x[k];
+    EXPECT_NEAR(sum, y[i], 1e-12);
+  }
+}
+
+TEST(Cholesky, SizeValidation) {
+  Matrix rect(2, 3);
+  EXPECT_THROW(cholesky_factorize(rect), std::invalid_argument);
+  Matrix l(2, 2, 1.0);
+  const std::vector<double> wrong = {1.0, 2.0, 3.0};
+  EXPECT_THROW(forward_substitute(l, wrong), std::invalid_argument);
+  EXPECT_THROW(backward_substitute(l, wrong), std::invalid_argument);
+}
+
+TEST(Dot, BasicAndValidation) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0 - 10.0 + 18.0);
+  const std::vector<double> c = {1.0};
+  EXPECT_THROW(dot(a, c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pwu::gp

@@ -1,0 +1,106 @@
+#include "util/logging.hpp"
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace pwu::util {
+namespace {
+
+TEST(Logging, ParseLogLevelNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kInfo);
+}
+
+TEST(Logging, SetLevelOverrides) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+TEST(Logging, StreamApiDoesNotCrash) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);  // silence the output below
+  log_info() << "value=" << 42 << " name=" << "test";
+  log_debug() << "below threshold";
+  set_log_level(before);
+}
+
+class OptionsEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name :
+         {"PWU_FULL", "PWU_REPEATS", "PWU_NMAX", "PWU_NINIT", "PWU_POOL",
+          "PWU_TEST", "PWU_TREES", "PWU_EVAL_EVERY", "PWU_SEED", "PWU_OUT"}) {
+      unsetenv(name);
+    }
+  }
+  void TearDown() override { SetUp(); }
+};
+
+TEST_F(OptionsEnvTest, DefaultsAreCiScale) {
+  const BenchOptions opts = BenchOptions::from_env();
+  EXPECT_FALSE(opts.full);
+  EXPECT_EQ(opts.n_init, 10u);
+  EXPECT_GT(opts.n_max, opts.n_init);
+  EXPECT_GT(opts.pool_size, opts.n_max);
+  EXPECT_TRUE(opts.out_dir.empty());
+}
+
+TEST_F(OptionsEnvTest, FullFlagUpgradesToPaperScale) {
+  setenv("PWU_FULL", "1", 1);
+  const BenchOptions opts = BenchOptions::from_env();
+  EXPECT_TRUE(opts.full);
+  EXPECT_EQ(opts.repeats, 10u);
+  EXPECT_EQ(opts.n_max, 500u);
+  EXPECT_EQ(opts.pool_size, 7000u);
+  EXPECT_EQ(opts.test_size, 3000u);
+}
+
+TEST_F(OptionsEnvTest, IndividualOverridesWin) {
+  setenv("PWU_FULL", "1", 1);
+  setenv("PWU_NMAX", "123", 1);
+  setenv("PWU_SEED", "999", 1);
+  setenv("PWU_OUT", "/tmp/pwu-out", 1);
+  const BenchOptions opts = BenchOptions::from_env();
+  EXPECT_EQ(opts.n_max, 123u);
+  EXPECT_EQ(opts.seed, 999u);
+  EXPECT_EQ(opts.out_dir, "/tmp/pwu-out");
+  EXPECT_EQ(opts.pool_size, 7000u);  // untouched full-scale default
+}
+
+TEST_F(OptionsEnvTest, InvalidNumbersAreIgnored) {
+  setenv("PWU_REPEATS", "not-a-number", 1);
+  setenv("PWU_NMAX", "-5", 1);
+  const BenchOptions defaults{};
+  const BenchOptions opts = BenchOptions::from_env();
+  EXPECT_EQ(opts.repeats, defaults.repeats);
+  EXPECT_EQ(opts.n_max, defaults.n_max);
+}
+
+TEST_F(OptionsEnvTest, EnvIntParsesExactly) {
+  setenv("PWU_SEED", "77", 1);
+  EXPECT_EQ(env_int("PWU_SEED").value(), 77);
+  setenv("PWU_SEED", "77x", 1);
+  EXPECT_FALSE(env_int("PWU_SEED").has_value());
+  unsetenv("PWU_SEED");
+  EXPECT_FALSE(env_int("PWU_SEED").has_value());
+}
+
+TEST_F(OptionsEnvTest, DescribeMentionsScale) {
+  const BenchOptions opts = BenchOptions::from_env();
+  EXPECT_NE(opts.describe().find("ci-scale"), std::string::npos);
+  setenv("PWU_FULL", "1", 1);
+  EXPECT_NE(BenchOptions::from_env().describe().find("paper-scale"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pwu::util

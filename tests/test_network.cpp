@@ -1,0 +1,85 @@
+#include "sim/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pwu::sim {
+namespace {
+
+class NetworkModelTest : public ::testing::Test {
+ protected:
+  Platform platform_ = platform_b();
+  NetworkModel net_{platform_};
+};
+
+TEST_F(NetworkModelTest, P2pAlphaBetaStructure) {
+  const double tiny = net_.p2p_seconds(8.0);
+  const double big = net_.p2p_seconds(8.0 * 1024.0 * 1024.0);
+  EXPECT_GT(tiny, 0.0);
+  EXPECT_GT(big, tiny);
+  // Latency term: even a zero-byte message costs about the latency.
+  EXPECT_NEAR(net_.p2p_seconds(0.0), platform_.network_latency_us * 1e-6,
+              1e-9);
+  // Bandwidth term: an 8 MiB message is dominated by bytes/bw.
+  EXPECT_NEAR(big, 8.0 * 1024.0 * 1024.0 /
+                        (platform_.network_bandwidth_gbs * 1e9),
+              big * 0.2);
+}
+
+TEST_F(NetworkModelTest, NoNetworkFallsBackToSharedMemory) {
+  const Platform a = platform_a();
+  const NetworkModel local(a);
+  const double t = local.p2p_seconds(1024.0);
+  EXPECT_GT(t, 0.0);
+  // Intra-node copies should be far cheaper than the OPA latency path for
+  // small messages is on B... but both are sub-microsecond-ish; just check
+  // finiteness and monotonicity.
+  EXPECT_GT(local.p2p_seconds(1024.0 * 1024.0), t);
+}
+
+TEST_F(NetworkModelTest, AllreduceScalesLogarithmically) {
+  const double p2 = net_.allreduce_seconds(1024.0, 2);
+  const double p4 = net_.allreduce_seconds(1024.0, 4);
+  const double p16 = net_.allreduce_seconds(1024.0, 16);
+  EXPECT_GT(p4, p2);
+  EXPECT_GT(p16, p4);
+  // Single rank: free.
+  EXPECT_DOUBLE_EQ(net_.allreduce_seconds(1024.0, 1), 0.0);
+  // log scaling: 16 ranks ~ 4 rounds vs 2 ranks ~ 1 round, modulo
+  // contention. Should be clearly sub-linear in p.
+  EXPECT_LT(p16, 8.0 * p2);
+}
+
+TEST_F(NetworkModelTest, SweepPipelineCostsGrowWithGrid) {
+  const double g1 = net_.sweep_pipeline_seconds(1024.0, 1, 1);
+  const double g22 = net_.sweep_pipeline_seconds(1024.0, 2, 2);
+  const double g44 = net_.sweep_pipeline_seconds(1024.0, 4, 4);
+  EXPECT_DOUBLE_EQ(g1, 0.0);  // no pipeline on a single rank
+  EXPECT_GT(g22, 0.0);
+  EXPECT_GT(g44, g22);
+}
+
+TEST_F(NetworkModelTest, HaloExchangeIsSixFaces) {
+  const double one_face = net_.p2p_seconds(4096.0);
+  EXPECT_NEAR(net_.halo_exchange_seconds(4096.0), 6.0 * one_face, 1e-12);
+}
+
+TEST_F(NetworkModelTest, ContentionKicksInWhenOversubscribed) {
+  const double at_cores =
+      net_.contention_factor(static_cast<std::size_t>(platform_.cores));
+  const double oversubscribed =
+      net_.contention_factor(static_cast<std::size_t>(platform_.cores) * 4);
+  EXPECT_GE(at_cores, 1.0);
+  EXPECT_GT(oversubscribed, at_cores);
+}
+
+TEST_F(NetworkModelTest, ContentionMonotoneInProcs) {
+  double prev = 0.0;
+  for (std::size_t p : {1u, 2u, 8u, 32u, 128u, 512u}) {
+    const double f = net_.contention_factor(p);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+}  // namespace
+}  // namespace pwu::sim

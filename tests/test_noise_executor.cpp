@@ -1,0 +1,116 @@
+#include "sim/executor.hpp"
+#include "sim/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/synthetic.hpp"
+
+namespace pwu::sim {
+namespace {
+
+TEST(NoiseModel, NoneIsIdentity) {
+  const NoiseModel none = NoiseModel::none();
+  util::Rng rng(1);
+  for (double t : {0.001, 1.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(none.apply(t, rng), t);
+  }
+}
+
+TEST(NoiseModel, JitterIsMeanPreserving) {
+  NoiseModel noise;
+  noise.lognormal_sigma = 0.1;
+  noise.spike_probability = 0.0;
+  util::Rng rng(2);
+  double sum = 0.0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) sum += noise.apply(1.0, rng);
+  EXPECT_NEAR(sum / draws, 1.0, 0.01);
+}
+
+TEST(NoiseModel, SpikesOnlyIncrease) {
+  NoiseModel noise;
+  noise.lognormal_sigma = 0.0;
+  noise.spike_probability = 1.0;  // always spike
+  noise.spike_scale = 2.0;
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double v = noise.apply(1.0, rng);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 2.0);
+  }
+}
+
+TEST(NoiseModel, SpikeFrequencyMatchesProbability) {
+  NoiseModel noise;
+  noise.lognormal_sigma = 0.0;
+  noise.spike_probability = 0.2;
+  noise.spike_scale = 3.0;
+  util::Rng rng(4);
+  int spikes = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    if (noise.apply(1.0, rng) > 1.0) ++spikes;
+  }
+  EXPECT_NEAR(static_cast<double>(spikes) / draws, 0.2, 0.02);
+}
+
+TEST(NoiseModel, OutputAlwaysPositive) {
+  NoiseModel noise;
+  noise.lognormal_sigma = 0.5;
+  noise.spike_probability = 0.5;
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(noise.apply(1e-6, rng), 0.0);
+  }
+}
+
+TEST(Executor, AveragesRepetitionsAndAccountsCost) {
+  // Noiseless workload: the measurement equals base time exactly and the
+  // accounted cost is repetitions x base time.
+  auto workload = workloads::make_quadratic_bowl(2, 5, 0.1, /*noisy=*/false);
+  util::Rng rng(6);
+  const space::Configuration config = workload->space().random_config(rng);
+  const double base = workload->base_time(config);
+
+  Executor executor(35);
+  const double measured = executor.measure(*workload, config, rng);
+  EXPECT_NEAR(measured, base, 1e-12);
+  EXPECT_NEAR(executor.total_cost_seconds(), 35.0 * base, 1e-9);
+  EXPECT_EQ(executor.total_runs(), 35u);
+  EXPECT_EQ(executor.total_measurements(), 1u);
+}
+
+TEST(Executor, RepetitionAveragingSuppressesNoise) {
+  auto workload = workloads::make_quadratic_bowl(2, 5, 0.1, /*noisy=*/true);
+  util::Rng rng(7);
+  const space::Configuration config = workload->space().random_config(rng);
+  const double base = workload->base_time(config);
+
+  // Single-run spread vs 35-run-averaged spread around the true value.
+  Executor one(1), many(35);
+  double err_one = 0.0, err_many = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    err_one += std::abs(one.measure(*workload, config, rng) - base);
+    err_many += std::abs(many.measure(*workload, config, rng) - base);
+  }
+  EXPECT_LT(err_many, err_one * 0.5);
+}
+
+TEST(Executor, ResetClearsAccounting) {
+  auto workload = workloads::make_quadratic_bowl(1, 3);
+  util::Rng rng(8);
+  Executor executor(2);
+  executor.measure(*workload, workload->space().random_config(rng), rng);
+  executor.reset();
+  EXPECT_DOUBLE_EQ(executor.total_cost_seconds(), 0.0);
+  EXPECT_EQ(executor.total_runs(), 0u);
+}
+
+TEST(Executor, RejectsNonPositiveRepetitions) {
+  EXPECT_THROW(Executor(0), std::invalid_argument);
+  EXPECT_THROW(Executor(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pwu::sim

@@ -1,0 +1,92 @@
+#include "space/parameter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pwu::space {
+namespace {
+
+TEST(Parameter, IntRangeLevels) {
+  const Parameter p = Parameter::int_range("u", 1, 31);
+  EXPECT_EQ(p.name(), "u");
+  EXPECT_EQ(p.kind(), ParamKind::kIntRange);
+  EXPECT_EQ(p.num_levels(), 31u);
+  EXPECT_DOUBLE_EQ(p.numeric_value(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.numeric_value(30), 31.0);
+  EXPECT_EQ(p.label(4), "5");
+  EXPECT_FALSE(p.is_categorical());
+}
+
+TEST(Parameter, IntRangeWithStep) {
+  const Parameter p = Parameter::int_range("s", 0, 10, 5);
+  EXPECT_EQ(p.num_levels(), 3u);
+  EXPECT_DOUBLE_EQ(p.numeric_value(1), 5.0);
+}
+
+TEST(Parameter, IntRangeRejectsBadArgs) {
+  EXPECT_THROW(Parameter::int_range("x", 5, 1), std::invalid_argument);
+  EXPECT_THROW(Parameter::int_range("x", 1, 5, 0), std::invalid_argument);
+}
+
+TEST(Parameter, OrdinalTileLevels) {
+  const Parameter p =
+      Parameter::ordinal("T1", {1, 16, 32, 64, 128, 256, 512});
+  EXPECT_EQ(p.kind(), ParamKind::kOrdinal);
+  EXPECT_EQ(p.num_levels(), 7u);
+  EXPECT_DOUBLE_EQ(p.numeric_value(3), 64.0);
+  EXPECT_EQ(p.label(3), "64");
+  EXPECT_FALSE(p.is_categorical());
+}
+
+TEST(Parameter, CategoricalUsesLevelIndexAsValue) {
+  const Parameter p = Parameter::categorical("layout", {"DGZ", "ZGD"});
+  EXPECT_EQ(p.kind(), ParamKind::kCategorical);
+  EXPECT_TRUE(p.is_categorical());
+  EXPECT_DOUBLE_EQ(p.numeric_value(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.numeric_value(1), 1.0);
+  EXPECT_EQ(p.label(1), "ZGD");
+}
+
+TEST(Parameter, BooleanLevels) {
+  const Parameter p = Parameter::boolean("VEC");
+  EXPECT_EQ(p.kind(), ParamKind::kBoolean);
+  EXPECT_EQ(p.num_levels(), 2u);
+  EXPECT_FALSE(p.is_categorical());  // ordered 0/1, numeric split works
+  EXPECT_DOUBLE_EQ(p.numeric_value(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.numeric_value(1), 1.0);
+  EXPECT_EQ(p.label(0), "false");
+  EXPECT_EQ(p.label(1), "true");
+}
+
+TEST(Parameter, LevelOutOfRangeThrows) {
+  const Parameter p = Parameter::boolean("b");
+  EXPECT_THROW(p.numeric_value(2), std::out_of_range);
+  EXPECT_THROW(p.label(2), std::out_of_range);
+}
+
+TEST(Parameter, EmptyDomainRejected) {
+  EXPECT_THROW(Parameter::ordinal("e", {}), std::invalid_argument);
+  EXPECT_THROW(Parameter::categorical("e", {}), std::invalid_argument);
+}
+
+TEST(Parameter, NearestLevelSnapsToClosestValue) {
+  const Parameter p = Parameter::ordinal("T", {1, 16, 32, 64});
+  EXPECT_EQ(p.nearest_level(0.0), 0u);
+  EXPECT_EQ(p.nearest_level(20.0), 1u);
+  EXPECT_EQ(p.nearest_level(25.0), 2u);
+  EXPECT_EQ(p.nearest_level(1000.0), 3u);
+}
+
+TEST(Parameter, NearestLevelRejectedForCategorical) {
+  const Parameter p = Parameter::categorical("c", {"a", "b"});
+  EXPECT_THROW(p.nearest_level(0.4), std::logic_error);
+}
+
+TEST(Parameter, KindNames) {
+  EXPECT_STREQ(to_string(ParamKind::kIntRange), "int");
+  EXPECT_STREQ(to_string(ParamKind::kOrdinal), "ordinal");
+  EXPECT_STREQ(to_string(ParamKind::kCategorical), "categorical");
+  EXPECT_STREQ(to_string(ParamKind::kBoolean), "boolean");
+}
+
+}  // namespace
+}  // namespace pwu::space

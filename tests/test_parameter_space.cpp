@@ -1,0 +1,122 @@
+#include "space/parameter_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace pwu::space {
+namespace {
+
+ParameterSpace small_space() {
+  ParameterSpace s;
+  s.add(Parameter::ordinal("tile", {1, 16, 32}));
+  s.add(Parameter::boolean("vec"));
+  s.add(Parameter::categorical("layout", {"a", "b", "c", "d"}));
+  return s;
+}
+
+TEST(ParameterSpace, AddReturnsIndexAndRejectsDuplicates) {
+  ParameterSpace s;
+  EXPECT_EQ(s.add(Parameter::boolean("x")), 0u);
+  EXPECT_EQ(s.add(Parameter::boolean("y")), 1u);
+  EXPECT_THROW(s.add(Parameter::boolean("x")), std::invalid_argument);
+}
+
+TEST(ParameterSpace, IndexOfFindsByName) {
+  const ParameterSpace s = small_space();
+  EXPECT_EQ(s.index_of("vec"), 1u);
+  EXPECT_THROW(s.index_of("nope"), std::out_of_range);
+}
+
+TEST(ParameterSpace, SizeIsProductOfLevels) {
+  const ParameterSpace s = small_space();
+  EXPECT_EQ(static_cast<long long>(s.size()), 3 * 2 * 4);
+  EXPECT_NEAR(s.log10_size(), std::log10(24.0), 1e-12);
+}
+
+TEST(ParameterSpace, RandomConfigIsValid) {
+  const ParameterSpace s = small_space();
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Configuration c = s.random_config(rng);
+    EXPECT_TRUE(s.contains(c));
+  }
+}
+
+TEST(ParameterSpace, RandomConfigCoversSpace) {
+  const ParameterSpace s = small_space();
+  util::Rng rng(6);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(s.random_config(rng).hash());
+  }
+  EXPECT_EQ(seen.size(), 24u);  // all configurations eventually drawn
+}
+
+TEST(ParameterSpace, FeaturesUseNumericValues) {
+  const ParameterSpace s = small_space();
+  const Configuration c({2, 1, 3});
+  const auto f = s.features(c);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f[0], 32.0);  // ordinal actual value
+  EXPECT_DOUBLE_EQ(f[1], 1.0);   // boolean
+  EXPECT_DOUBLE_EQ(f[2], 3.0);   // categorical level index
+}
+
+TEST(ParameterSpace, FeaturesShapeMismatchThrows) {
+  const ParameterSpace s = small_space();
+  EXPECT_THROW(s.features(Configuration({0, 0})), std::invalid_argument);
+}
+
+TEST(ParameterSpace, CategoricalMaskAndCardinalities) {
+  const ParameterSpace s = small_space();
+  const auto mask = s.categorical_mask();
+  ASSERT_EQ(mask.size(), 3u);
+  EXPECT_FALSE(mask[0]);
+  EXPECT_FALSE(mask[1]);
+  EXPECT_TRUE(mask[2]);
+  const auto card = s.cardinalities();
+  EXPECT_EQ(card, (std::vector<std::size_t>{3, 2, 4}));
+}
+
+TEST(ParameterSpace, DescribeNamesEveryParameter) {
+  const ParameterSpace s = small_space();
+  const std::string d = s.describe(Configuration({0, 1, 2}));
+  EXPECT_EQ(d, "tile=1, vec=true, layout=c");
+}
+
+TEST(ParameterSpace, ContainsRejectsBadShapesAndLevels) {
+  const ParameterSpace s = small_space();
+  EXPECT_FALSE(s.contains(Configuration({0, 0})));
+  EXPECT_FALSE(s.contains(Configuration({3, 0, 0})));  // tile has 3 levels
+  EXPECT_TRUE(s.contains(Configuration({2, 1, 3})));
+}
+
+TEST(ParameterSpace, EnumerateProducesAllDistinctConfigs) {
+  const ParameterSpace s = small_space();
+  const auto all = s.enumerate();
+  EXPECT_EQ(all.size(), 24u);
+  std::set<std::size_t> hashes;
+  for (const auto& c : all) {
+    EXPECT_TRUE(s.contains(c));
+    hashes.insert(c.hash());
+  }
+  EXPECT_EQ(hashes.size(), 24u);
+}
+
+TEST(ParameterSpace, EnumerateRespectsLimit) {
+  const ParameterSpace s = small_space();
+  EXPECT_THROW(s.enumerate(10), std::length_error);
+}
+
+TEST(ParameterSpace, EmptySpaceHasSizeOne) {
+  const ParameterSpace s;
+  EXPECT_EQ(static_cast<long long>(s.size()), 1);
+  EXPECT_DOUBLE_EQ(s.log10_size(), 0.0);
+}
+
+}  // namespace
+}  // namespace pwu::space

@@ -1,0 +1,99 @@
+#include "sim/cache_model.hpp"
+#include "sim/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pwu::sim {
+namespace {
+
+TEST(Platform, TableIvValues) {
+  const Platform a = platform_a();
+  EXPECT_EQ(a.name, "Platform A");
+  EXPECT_DOUBLE_EQ(a.freq_ghz, 2.5);
+  EXPECT_EQ(a.cores, 24);
+  EXPECT_DOUBLE_EQ(a.memory_gib, 64.0);
+  EXPECT_FALSE(a.has_network());
+
+  const Platform b = platform_b();
+  EXPECT_EQ(b.name, "Platform B");
+  EXPECT_DOUBLE_EQ(b.freq_ghz, 2.4);
+  EXPECT_EQ(b.cores, 28);
+  EXPECT_DOUBLE_EQ(b.memory_gib, 128.0);
+  EXPECT_TRUE(b.has_network());
+  EXPECT_DOUBLE_EQ(b.network_bandwidth_gbs, 12.5);  // 100 Gbps
+}
+
+TEST(Platform, CycleAndFlopTimes) {
+  const Platform a = platform_a();
+  EXPECT_DOUBLE_EQ(a.cycle_seconds(), 1e-9 / 2.5);
+  // 2 flops/cycle at 2.5 GHz = 5 GFLOP/s scalar.
+  EXPECT_NEAR(a.scalar_flop_seconds(5e9), 1.0, 1e-12);
+}
+
+TEST(CacheModel, AccessTimeMonotoneInWorkingSet) {
+  const Platform p = platform_a();
+  const CacheModel cache(p);
+  double prev = 0.0;
+  // Sweep from 1 KiB to 1 GiB: access time must be non-decreasing.
+  for (double ws = 1024.0; ws <= 1024.0 * 1024.0 * 1024.0; ws *= 2.0) {
+    const double t = cache.access_seconds(ws);
+    EXPECT_GT(t, 0.0);
+    EXPECT_GE(t, prev - 1e-15);
+    prev = t;
+  }
+}
+
+TEST(CacheModel, L1ResidentIsFastMemoryResidentIsSlow) {
+  const Platform p = platform_a();
+  const CacheModel cache(p);
+  const double t_l1 = cache.access_seconds(4.0 * 1024.0);          // 4 KiB
+  const double t_mem = cache.access_seconds(4.0 * 1024e6);         // 4 GB
+  EXPECT_GT(t_mem / t_l1, 2.0);  // clear staircase between extremes
+}
+
+TEST(CacheModel, HitRatioBoundsAndMonotonicity) {
+  const Platform p = platform_a();
+  const CacheModel cache(p);
+  double prev = 1.0;
+  for (double ws = 1024.0; ws <= 8.0 * 1024e6; ws *= 4.0) {
+    const double h = cache.hit_ratio(ws);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 1.0);
+    EXPECT_LE(h, prev + 1e-12);
+    prev = h;
+  }
+  EXPECT_GT(cache.hit_ratio(1024.0), 0.95);
+  EXPECT_LT(cache.hit_ratio(8.0 * 1024e6), 0.1);
+}
+
+TEST(CacheModel, TilingPenaltyAtLeastOne) {
+  const Platform p = platform_a();
+  const CacheModel cache(p);
+  for (double ws = 512.0; ws <= 1024e6; ws *= 8.0) {
+    for (double bpf : {0.5, 2.0, 8.0}) {
+      EXPECT_GE(cache.tiling_penalty(ws, bpf), 1.0);
+    }
+  }
+}
+
+TEST(CacheModel, TilingPenaltyGrowsWithWorkingSet) {
+  const Platform p = platform_a();
+  const CacheModel cache(p);
+  const double small = cache.tiling_penalty(8.0 * 1024.0, 8.0);
+  const double large = cache.tiling_penalty(512.0 * 1024e3, 8.0);
+  EXPECT_GT(large, small);
+}
+
+TEST(CacheModel, HigherIntensityLessMemorySensitive) {
+  // Compute-bound loops (low bytes/flop) are hurt less by spilling out of
+  // cache than bandwidth-bound ones.
+  const Platform p = platform_a();
+  const CacheModel cache(p);
+  const double ws = 64.0 * 1024e3;  // well past L2
+  const double compute_bound = cache.tiling_penalty(ws, 0.5);
+  const double memory_bound = cache.tiling_penalty(ws, 8.0);
+  EXPECT_GT(memory_bound, compute_bound);
+}
+
+}  // namespace
+}  // namespace pwu::sim

@@ -1,0 +1,81 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pwu::core {
+namespace {
+
+ExperimentResult fixture_result() {
+  ExperimentResult result;
+  result.workload = "atax";
+  result.alpha = 0.05;
+  for (const char* name : {"pwu", "pbus"}) {
+    StrategySeries series;
+    series.strategy = name;
+    for (std::size_t i = 1; i <= 4; ++i) {
+      SeriesPoint p;
+      p.num_samples = 10 * i;
+      p.rmse_mean = 1.0 / static_cast<double>(i);
+      p.rmse_stddev = 0.01;
+      p.cc_mean = static_cast<double>(i) * 2.0;
+      p.cc_stddev = 0.1;
+      p.full_rmse_mean = 1.5 / static_cast<double>(i);
+      series.points.push_back(p);
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+TEST(Report, SeriesTableListsAllStrategiesAndRows) {
+  std::ostringstream os;
+  print_series_table(os, fixture_result());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("pwu:rmse"), std::string::npos);
+  EXPECT_NE(out.find("pbus:cc"), std::string::npos);
+  EXPECT_NE(out.find("40"), std::string::npos);  // last sample count
+}
+
+TEST(Report, ChartsRenderWithLegends) {
+  const ExperimentResult result = fixture_result();
+  std::ostringstream rmse, cost, rmse_vs_cost;
+  print_rmse_chart(rmse, result, "Fig 2 style");
+  print_cost_chart(cost, result, "Fig 3 style");
+  print_rmse_vs_cost_chart(rmse_vs_cost, result, "Fig 5 style");
+  EXPECT_NE(rmse.str().find("Fig 2 style"), std::string::npos);
+  EXPECT_NE(rmse.str().find("pwu"), std::string::npos);
+  EXPECT_NE(cost.str().find("cumulative cost"), std::string::npos);
+  EXPECT_NE(rmse_vs_cost.str().find("cumulative cost (s)"),
+            std::string::npos);
+}
+
+TEST(Report, StrategyMarkersAreDistinct) {
+  EXPECT_NE(strategy_marker("pwu"), strategy_marker("pbus"));
+  EXPECT_NE(strategy_marker("maxu"), strategy_marker("brs"));
+  EXPECT_EQ(strategy_marker("unknown-strategy"), '+');
+}
+
+TEST(Report, CsvDumpWritesAllPoints) {
+  const std::string dir = ::testing::TempDir();
+  write_series_csv(dir, fixture_result(), "testtag");
+  const std::string path = dir + "/atax_testtag.csv";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  // Header + 2 strategies x 4 points.
+  EXPECT_EQ(lines, 9u);
+  std::remove(path.c_str());
+}
+
+TEST(Report, EmptyOutDirSkipsCsv) {
+  EXPECT_NO_THROW(write_series_csv("", fixture_result(), "tag"));
+}
+
+}  // namespace
+}  // namespace pwu::core

@@ -1,0 +1,252 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pwu::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng rng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) values.insert(rng.next_u64());
+  EXPECT_GT(values.size(), 45u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(42, 42), 42);
+  }
+}
+
+TEST(Rng, IndexStaysBelowBound) {
+  Rng rng(15);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(rng.index(17), 17u);
+  }
+}
+
+TEST(Rng, IndexIsApproximatelyUniform) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.index(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), draws / 10.0, draws * 0.01);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(21);
+  int hits = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  double sum = 0.0, sq = 0.0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / draws, 0.0, 0.03);
+  EXPECT_NEAR(sq / draws, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(25);
+  double sum = 0.0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / draws, 10.0, 0.1);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(27);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+  }
+}
+
+TEST(Rng, MeanOneLognormal) {
+  // exp(N(-s^2/2, s)) has expectation 1 — the noise model relies on this.
+  Rng rng(29);
+  const double sigma = 0.3;
+  double sum = 0.0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    sum += rng.lognormal(-0.5 * sigma * sigma, sigma);
+  }
+  EXPECT_NEAR(sum / draws, 1.0, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(31);
+  Rng child1 = parent.fork();
+  Rng child2 = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(33);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(35);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  const std::vector<int> original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  for (std::size_t k : {1u, 5u, 50u, 99u, 100u}) {
+    auto sample = rng.sample_without_replacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (std::size_t idx : sample) EXPECT_LT(idx, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversizedK) {
+  Rng rng(39);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementIsUniform) {
+  // Each element of a population of 20 should appear in a k=5 sample with
+  // probability 1/4.
+  Rng rng(41);
+  std::vector<int> counts(20, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t idx : rng.sample_without_replacement(20, 5)) {
+      ++counts[idx];
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.25, 0.02);
+  }
+}
+
+TEST(Rng, BootstrapIndicesShapeAndRange) {
+  Rng rng(43);
+  auto boot = rng.bootstrap_indices(50);
+  EXPECT_EQ(boot.size(), 50u);
+  for (std::size_t idx : boot) EXPECT_LT(idx, 50u);
+}
+
+TEST(Rng, BootstrapHasRepeats) {
+  // A bootstrap of n = 100 leaves ~36.8% of elements out; repeats are near
+  // certain.
+  Rng rng(45);
+  auto boot = rng.bootstrap_indices(100);
+  std::set<std::size_t> unique(boot.begin(), boot.end());
+  EXPECT_LT(unique.size(), 100u);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(47);
+  const std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int draws = 30000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / draws, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / draws, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsBadWeights) {
+  Rng rng(49);
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zero), std::invalid_argument);
+  const std::vector<double> negative = {1.0, -1.0};
+  EXPECT_THROW(rng.weighted_index(negative), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pwu::util

@@ -1,0 +1,114 @@
+// Forest persistence: save/load must round-trip predictions exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "rf/random_forest.hpp"
+#include "util/rng.hpp"
+
+namespace pwu::rf {
+namespace {
+
+Dataset training_data(util::Rng& rng, std::size_t n = 200) {
+  Dataset d(3, {false, false, true}, {0, 0, 4});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0.0, 10.0);
+    const double b = rng.uniform(-5.0, 5.0);
+    const auto cat = static_cast<double>(rng.index(4));
+    d.add(std::vector<double>{a, b, cat}, a * 2.0 + b * b + 10.0 * cat);
+  }
+  return d;
+}
+
+RandomForest fitted_forest(const Dataset& data) {
+  ForestConfig cfg;
+  cfg.num_trees = 15;
+  cfg.tree.max_depth = 9;
+  cfg.tree.min_samples_leaf = 2;
+  RandomForest forest;
+  util::Rng rng(11);
+  forest.fit(data, cfg, rng);
+  return forest;
+}
+
+TEST(Serialization, StreamRoundTripPreservesPredictions) {
+  util::Rng rng(1);
+  const Dataset data = training_data(rng);
+  const RandomForest original = fitted_forest(data);
+
+  std::stringstream stream;
+  original.save(stream);
+  RandomForest restored;
+  restored.load(stream);
+
+  EXPECT_EQ(restored.num_trees(), original.num_trees());
+  EXPECT_EQ(restored.total_nodes(), original.total_nodes());
+  util::Rng probe(2);
+  for (int t = 0; t < 100; ++t) {
+    const std::vector<double> row = {probe.uniform(0.0, 10.0),
+                                     probe.uniform(-5.0, 5.0),
+                                     static_cast<double>(probe.index(4))};
+    EXPECT_DOUBLE_EQ(restored.predict(row), original.predict(row));
+    EXPECT_DOUBLE_EQ(restored.predict_stats(row).stddev,
+                     original.predict_stats(row).stddev);
+  }
+}
+
+TEST(Serialization, ConfigStructureSurvives) {
+  util::Rng rng(3);
+  const Dataset data = training_data(rng);
+  const RandomForest original = fitted_forest(data);
+  std::stringstream stream;
+  original.save(stream);
+  RandomForest restored;
+  restored.load(stream);
+  EXPECT_EQ(restored.config().tree.max_depth, 9u);
+  EXPECT_EQ(restored.config().tree.min_samples_leaf, 2u);
+  EXPECT_EQ(restored.config().num_trees, 15u);
+}
+
+TEST(Serialization, FileRoundTrip) {
+  util::Rng rng(4);
+  const Dataset data = training_data(rng);
+  const RandomForest original = fitted_forest(data);
+  const std::string path = ::testing::TempDir() + "pwu_forest_test.model";
+  original.save_file(path);
+  const RandomForest restored = RandomForest::load_file(path);
+  const std::vector<double> row = {5.0, 0.0, 2.0};
+  EXPECT_DOUBLE_EQ(restored.predict(row), original.predict(row));
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, SaveBeforeFitRejected) {
+  const RandomForest unfitted;
+  std::stringstream stream;
+  EXPECT_THROW(unfitted.save(stream), std::logic_error);
+}
+
+TEST(Serialization, LoadRejectsGarbage) {
+  RandomForest forest;
+  std::stringstream bad_magic("not-a-forest 1\n");
+  EXPECT_THROW(forest.load(bad_magic), std::runtime_error);
+  std::stringstream bad_version("pwu-random-forest 99\n");
+  EXPECT_THROW(forest.load(bad_version), std::runtime_error);
+  std::stringstream truncated("pwu-random-forest 1\n3 0 1 2 0 1\ntree 5\n1 0");
+  EXPECT_THROW(forest.load(truncated), std::runtime_error);
+}
+
+TEST(Serialization, LoadRejectsCorruptChildIndices) {
+  RandomForest forest;
+  // One "tree" whose root claims children beyond the node table.
+  std::stringstream corrupt(
+      "pwu-random-forest 1\n1 0 1 2 0 1\ntree 1\n0 0 0.5 0 1.0 3.0 5 6\n");
+  EXPECT_THROW(forest.load(corrupt), std::runtime_error);
+}
+
+TEST(Serialization, LoadFileMissingPathRejected) {
+  EXPECT_THROW(RandomForest::load_file("/nonexistent/forest.model"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pwu::rf

@@ -1,0 +1,172 @@
+#include "rf/split.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace pwu::rf {
+namespace {
+
+std::vector<std::size_t> all_indices(const Dataset& d) {
+  std::vector<std::size_t> idx(d.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  return idx;
+}
+
+double parent_score(const Dataset& d) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) sum += d.y(i);
+  return sum * sum / static_cast<double>(d.size());
+}
+
+TEST(Split, FindsPerfectNumericalThreshold) {
+  // Labels are 0 below x=10, 100 above: the best split must cut between
+  // 4 and 16 with maximal gain.
+  Dataset d(1);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) d.add(std::vector<double>{x}, 0.0);
+  for (double x : {16.0, 17.0, 18.0, 19.0}) {
+    d.add(std::vector<double>{x}, 100.0);
+  }
+  SplitWorkspace ws;
+  const Split s =
+      best_split_on_feature(d, all_indices(d), 0, parent_score(d), 1, ws);
+  ASSERT_TRUE(s.valid());
+  EXPECT_FALSE(s.categorical);
+  EXPECT_GT(s.threshold, 4.0);
+  EXPECT_LT(s.threshold, 16.0);
+  EXPECT_GT(s.gain, 0.0);
+  EXPECT_TRUE(s.goes_left(4.0));
+  EXPECT_FALSE(s.goes_left(16.0));
+}
+
+TEST(Split, MidpointThresholdBetweenDistinctValues) {
+  Dataset d(1);
+  d.add(std::vector<double>{2.0}, 0.0);
+  d.add(std::vector<double>{6.0}, 10.0);
+  SplitWorkspace ws;
+  const Split s =
+      best_split_on_feature(d, all_indices(d), 0, parent_score(d), 1, ws);
+  ASSERT_TRUE(s.valid());
+  EXPECT_DOUBLE_EQ(s.threshold, 4.0);
+}
+
+TEST(Split, ConstantFeatureYieldsNoSplit) {
+  Dataset d(1);
+  for (double y : {1.0, 2.0, 3.0}) d.add(std::vector<double>{5.0}, y);
+  SplitWorkspace ws;
+  const Split s =
+      best_split_on_feature(d, all_indices(d), 0, parent_score(d), 1, ws);
+  EXPECT_FALSE(s.valid());
+}
+
+TEST(Split, RespectsMinSamplesLeaf) {
+  // 1 sample vs 9 samples: with min_samples_leaf = 2 the lone outlier must
+  // not be split off alone.
+  Dataset d(1);
+  d.add(std::vector<double>{0.0}, 100.0);
+  for (int i = 1; i <= 9; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i * 10)}, 0.0);
+  }
+  SplitWorkspace ws;
+  const Split s =
+      best_split_on_feature(d, all_indices(d), 0, parent_score(d), 2, ws);
+  if (s.valid()) {
+    // Whatever split was chosen, both sides must hold >= 2 samples.
+    std::size_t left = 0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (s.goes_left(d.x(i, 0))) ++left;
+    }
+    EXPECT_GE(left, 2u);
+    EXPECT_GE(d.size() - left, 2u);
+  }
+}
+
+TEST(Split, CategoricalGroupsByMeanLabel) {
+  // Levels {0, 2} are fast, {1, 3} are slow: Breiman's ordering must
+  // recover the grouping regardless of level ids.
+  Dataset d(1, {true}, {4});
+  for (int rep = 0; rep < 3; ++rep) {
+    d.add(std::vector<double>{0.0}, 1.0);
+    d.add(std::vector<double>{2.0}, 1.1);
+    d.add(std::vector<double>{1.0}, 10.0);
+    d.add(std::vector<double>{3.0}, 10.2);
+  }
+  SplitWorkspace ws;
+  const Split s =
+      best_split_on_feature(d, all_indices(d), 0, parent_score(d), 1, ws);
+  ASSERT_TRUE(s.valid());
+  EXPECT_TRUE(s.categorical);
+  const bool fast_left = s.goes_left(0.0);
+  EXPECT_EQ(s.goes_left(2.0), fast_left);
+  EXPECT_EQ(s.goes_left(1.0), !fast_left);
+  EXPECT_EQ(s.goes_left(3.0), !fast_left);
+}
+
+TEST(Split, CategoricalUnseenLevelGoesRight) {
+  Dataset d(1, {true}, {8});
+  for (int rep = 0; rep < 2; ++rep) {
+    d.add(std::vector<double>{0.0}, 1.0);
+    d.add(std::vector<double>{1.0}, 9.0);
+  }
+  SplitWorkspace ws;
+  const Split s =
+      best_split_on_feature(d, all_indices(d), 0, parent_score(d), 1, ws);
+  ASSERT_TRUE(s.valid());
+  EXPECT_FALSE(s.goes_left(7.0));  // level 7 never observed
+}
+
+TEST(Split, CategoricalSingleLevelNoSplit) {
+  Dataset d(1, {true}, {4});
+  for (double y : {1.0, 2.0}) d.add(std::vector<double>{2.0}, y);
+  SplitWorkspace ws;
+  const Split s =
+      best_split_on_feature(d, all_indices(d), 0, parent_score(d), 1, ws);
+  EXPECT_FALSE(s.valid());
+}
+
+TEST(Split, TooFewSamplesNoSplit) {
+  Dataset d(1);
+  d.add(std::vector<double>{1.0}, 1.0);
+  SplitWorkspace ws;
+  const Split s =
+      best_split_on_feature(d, all_indices(d), 0, parent_score(d), 1, ws);
+  EXPECT_FALSE(s.valid());
+}
+
+TEST(Split, GainMatchesVarianceReduction) {
+  // Perfect binary separation: gain must equal the full between-group
+  // sum-of-squares difference. parent = (sum)^2/n; children scores
+  // sum_L^2/n_L + sum_R^2/n_R.
+  Dataset d(1);
+  d.add(std::vector<double>{0.0}, 2.0);
+  d.add(std::vector<double>{0.0}, 2.0);
+  d.add(std::vector<double>{1.0}, 8.0);
+  d.add(std::vector<double>{1.0}, 8.0);
+  SplitWorkspace ws;
+  const double parent = parent_score(d);  // 20^2/4 = 100
+  const Split s = best_split_on_feature(d, all_indices(d), 0, parent, 1, ws);
+  ASSERT_TRUE(s.valid());
+  // Children: 4^2/2 + 16^2/2 = 8 + 128 = 136; gain = 36.
+  EXPECT_NEAR(s.gain, 36.0, 1e-9);
+}
+
+TEST(Split, InvalidSplitRoutingDefaults) {
+  const Split s;
+  EXPECT_FALSE(s.valid());
+  EXPECT_EQ(s.feature, -1);
+}
+
+TEST(Split, CategoricalMaskRoutingAboveRangeIsRight) {
+  Split s;
+  s.feature = 0;
+  s.categorical = true;
+  s.left_mask = 0b101;
+  EXPECT_TRUE(s.goes_left(0.0));
+  EXPECT_FALSE(s.goes_left(1.0));
+  EXPECT_TRUE(s.goes_left(2.0));
+  EXPECT_FALSE(s.goes_left(100.0));  // out-of-mask level
+}
+
+}  // namespace
+}  // namespace pwu::rf

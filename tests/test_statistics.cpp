@@ -1,0 +1,191 @@
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pwu::util {
+namespace {
+
+const std::vector<double> kSample = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(Statistics, MeanOfKnownSample) { EXPECT_DOUBLE_EQ(mean(kSample), 5.0); }
+
+TEST(Statistics, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Statistics, PopulationVarianceOfKnownSample) {
+  EXPECT_DOUBLE_EQ(population_variance(kSample), 4.0);
+}
+
+TEST(Statistics, SampleVarianceUsesBesselCorrection) {
+  EXPECT_NEAR(variance(kSample), 4.0 * 8.0 / 7.0, 1e-12);
+}
+
+TEST(Statistics, VarianceOfSingletonIsZero) {
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Statistics, StddevIsSqrtVariance) {
+  EXPECT_DOUBLE_EQ(stddev(kSample), std::sqrt(variance(kSample)));
+}
+
+TEST(Statistics, MinMax) {
+  EXPECT_DOUBLE_EQ(min_value(kSample), 2.0);
+  EXPECT_DOUBLE_EQ(max_value(kSample), 9.0);
+}
+
+TEST(Statistics, MedianEvenCount) {
+  EXPECT_DOUBLE_EQ(median(kSample), 4.5);
+}
+
+TEST(Statistics, MedianOddCount) {
+  const std::vector<double> odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+}
+
+TEST(Statistics, QuantileEndpoints) {
+  EXPECT_DOUBLE_EQ(quantile(kSample, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(kSample, 1.0), 9.0);
+}
+
+TEST(Statistics, QuantileInterpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(Statistics, QuantileClampsOutOfRangeQ) {
+  EXPECT_DOUBLE_EQ(quantile(kSample, -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(kSample, 2.0), 9.0);
+}
+
+TEST(Statistics, RmsePerfectPredictionIsZero) {
+  EXPECT_DOUBLE_EQ(rmse(kSample, kSample), 0.0);
+}
+
+TEST(Statistics, RmseKnownValue) {
+  const std::vector<double> truth = {0.0, 0.0};
+  const std::vector<double> pred = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rmse(truth, pred), std::sqrt(12.5));
+}
+
+TEST(Statistics, RmseSizeMismatchThrows) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(rmse(a, b), std::invalid_argument);
+}
+
+TEST(Statistics, MaeKnownValue) {
+  const std::vector<double> truth = {1.0, 2.0, 3.0};
+  const std::vector<double> pred = {2.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(mae(truth, pred), 1.0);
+}
+
+TEST(Statistics, MapeSkipsZeroTruth) {
+  const std::vector<double> truth = {0.0, 2.0};
+  const std::vector<double> pred = {5.0, 3.0};
+  EXPECT_DOUBLE_EQ(mape(truth, pred), 0.5);
+}
+
+TEST(Statistics, KendallTauPerfectAgreement) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, a), 1.0);
+}
+
+TEST(Statistics, KendallTauPerfectDisagreement) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, b), -1.0);
+}
+
+TEST(Statistics, KendallTauTinyInput) {
+  const std::vector<double> a = {1.0};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, a), 0.0);
+}
+
+TEST(Statistics, PearsonLinearRelation) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(Statistics, PearsonConstantSideIsZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Statistics, ArgsortIsAscendingAndStable) {
+  const std::vector<double> v = {3.0, 1.0, 2.0, 1.0};
+  const auto idx = argsort(v);
+  ASSERT_EQ(idx.size(), 4u);
+  EXPECT_EQ(idx[0], 1u);  // first 1.0 (stability)
+  EXPECT_EQ(idx[1], 3u);  // second 1.0
+  EXPECT_EQ(idx[2], 2u);
+  EXPECT_EQ(idx[3], 0u);
+}
+
+TEST(Statistics, ArgminArgmax) {
+  const std::vector<double> v = {3.0, -1.0, 7.0, 2.0};
+  EXPECT_EQ(argmin(v), 1u);
+  EXPECT_EQ(argmax(v), 2u);
+  EXPECT_THROW(argmin(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(argmax(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats rs;
+  for (double v : kSample) rs.add(v);
+  EXPECT_EQ(rs.count(), kSample.size());
+  EXPECT_NEAR(rs.mean(), mean(kSample), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(kSample), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats left, right, whole;
+  for (std::size_t i = 0; i < kSample.size(); ++i) {
+    (i < 3 ? left : right).add(kSample[i]);
+    whole.add(kSample[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);  // empty right
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty left
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Statistics, SummarizeKnownSample) {
+  const Summary s = summarize(kSample);
+  EXPECT_EQ(s.count, kSample.size());
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_LE(s.q25, s.median);
+  EXPECT_LE(s.median, s.q75);
+}
+
+TEST(Statistics, SummarizeEmpty) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace pwu::util

@@ -1,0 +1,317 @@
+// Sampling-strategy semantics, including the paper's limit claims for PWU
+// (Section II-C): alpha -> 1 reduces to MaxU, alpha -> 0 to the coefficient
+// of variation.
+
+#include "core/sampling_strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <set>
+
+namespace pwu::core {
+namespace {
+
+PoolPrediction fixture_prediction() {
+  // Six candidates spanning the (mu, sigma) plane:
+  //   idx  mu     sigma
+  //   0    0.10   0.01   fast, certain
+  //   1    0.10   0.20   fast, uncertain        <- PWU favourite
+  //   2    1.00   0.25   slow, most uncertain   <- MaxU favourite
+  //   3    1.00   0.01   slow, certain
+  //   4    0.05   0.02   fastest, fairly certain <- BestPerf favourite
+  //   5    0.50   0.10   middling
+  PoolPrediction p;
+  p.mean = {0.10, 0.10, 1.00, 1.00, 0.05, 0.50};
+  p.stddev = {0.01, 0.20, 0.25, 0.01, 0.02, 0.10};
+  return p;
+}
+
+TEST(PwuScores, MatchesEquationOne) {
+  const PoolPrediction p = fixture_prediction();
+  const double alpha = 0.05;
+  const auto scores = pwu_scores(p, alpha);
+  ASSERT_EQ(scores.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(scores[i], p.stddev[i] / std::pow(p.mean[i], 1.0 - alpha),
+                1e-12);
+  }
+}
+
+TEST(PwuScores, AlphaOneIsPureUncertainty) {
+  const PoolPrediction p = fixture_prediction();
+  const auto scores = pwu_scores(p, 1.0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(scores[i], p.stddev[i], 1e-12);
+  }
+}
+
+TEST(PwuScores, AlphaZeroIsCoefficientOfVariation) {
+  const PoolPrediction p = fixture_prediction();
+  const auto scores = pwu_scores(p, 0.0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(scores[i], p.stddev[i] / p.mean[i], 1e-12);
+  }
+}
+
+TEST(PwuScores, RejectsAlphaOutsideUnitInterval) {
+  const PoolPrediction p = fixture_prediction();
+  EXPECT_THROW(pwu_scores(p, -0.1), std::invalid_argument);
+  EXPECT_THROW(pwu_scores(p, 1.1), std::invalid_argument);
+}
+
+TEST(PwuStrategy, PrefersHighPerformanceAmongEqualUncertainty) {
+  // Equal sigma, different mu: the faster candidate must win.
+  PoolPrediction p;
+  p.mean = {1.0, 0.1};
+  p.stddev = {0.1, 0.1};
+  util::Rng rng(1);
+  const auto pick = make_pwu(0.05)->select(p, 1, rng);
+  ASSERT_EQ(pick.size(), 1u);
+  EXPECT_EQ(pick[0], 1u);
+}
+
+TEST(PwuStrategy, PrefersUncertaintyAmongEqualPerformance) {
+  PoolPrediction p;
+  p.mean = {0.1, 0.1};
+  p.stddev = {0.01, 0.2};
+  util::Rng rng(2);
+  EXPECT_EQ(make_pwu(0.05)->select(p, 1, rng)[0], 1u);
+}
+
+TEST(PwuStrategy, SelectsFastUncertainOverSlowUncertain) {
+  const PoolPrediction p = fixture_prediction();
+  util::Rng rng(3);
+  // Candidate 1 (fast, uncertain) must beat candidate 2 (slow, slightly
+  // more uncertain) at small alpha.
+  EXPECT_EQ(make_pwu(0.05)->select(p, 1, rng)[0], 1u);
+}
+
+TEST(PwuStrategy, AlphaOneMatchesMaxUSelection) {
+  const PoolPrediction p = fixture_prediction();
+  util::Rng rng_a(4), rng_b(4);
+  const auto pwu_pick = make_pwu(1.0)->select(p, 3, rng_a);
+  const auto maxu_pick = make_max_uncertainty()->select(p, 3, rng_b);
+  EXPECT_EQ(pwu_pick, maxu_pick);
+}
+
+TEST(MaxUStrategy, PicksHighestSigma) {
+  const PoolPrediction p = fixture_prediction();
+  util::Rng rng(5);
+  const auto picks = make_max_uncertainty()->select(p, 2, rng);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0], 2u);  // sigma 0.25
+  EXPECT_EQ(picks[1], 1u);  // sigma 0.20
+}
+
+TEST(BestPerfStrategy, PicksLowestMean) {
+  const PoolPrediction p = fixture_prediction();
+  util::Rng rng(6);
+  const auto picks = make_best_performance()->select(p, 2, rng);
+  EXPECT_EQ(picks[0], 4u);  // mu 0.05
+  // mu 0.10 tie between 0 and 1: lowest index wins.
+  EXPECT_EQ(picks[1], 0u);
+}
+
+TEST(PbusStrategy, MostUncertainInsideBiasSet) {
+  const PoolPrediction p = fixture_prediction();
+  util::Rng rng(7);
+  // Bias fraction 0.5 of 6 candidates -> bias set {4, 0, 1} (fastest 3);
+  // the most uncertain there is candidate 1 — NOT the global-max 2.
+  const auto pick = make_pbus(0.5)->select(p, 1, rng);
+  ASSERT_EQ(pick.size(), 1u);
+  EXPECT_EQ(pick[0], 1u);
+}
+
+TEST(PbusStrategy, NeverLeavesTheBiasSet) {
+  const PoolPrediction p = fixture_prediction();
+  util::Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto picks = make_pbus(0.34)->select(p, 2, rng);
+    for (std::size_t idx : picks) {
+      // Bias set of ceil(0.34*6)=3 fastest: {4, 0, 1}.
+      EXPECT_TRUE(idx == 4 || idx == 0 || idx == 1) << idx;
+    }
+  }
+}
+
+TEST(PbusStrategy, BiasSetExpandsToBatch) {
+  PoolPrediction p;
+  p.mean = {3.0, 2.0, 1.0};
+  p.stddev = {0.3, 0.2, 0.1};
+  util::Rng rng(9);
+  // q tiny but batch = 2: bias set must hold at least the batch.
+  const auto picks = make_pbus(0.01)->select(p, 2, rng);
+  std::set<std::size_t> set(picks.begin(), picks.end());
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(PbusStrategy, RejectsBadBiasFraction) {
+  EXPECT_THROW(make_pbus(0.0), std::invalid_argument);
+  EXPECT_THROW(make_pbus(1.5), std::invalid_argument);
+}
+
+TEST(BrsStrategy, StaysInsidePredictedTopFraction) {
+  const PoolPrediction p = fixture_prediction();
+  util::Rng rng(10);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto picks = make_biased_random(0.5)->select(p, 2, rng);
+    for (std::size_t idx : picks) {
+      EXPECT_TRUE(idx == 4 || idx == 0 || idx == 1) << idx;
+    }
+  }
+}
+
+TEST(BrsStrategy, RandomizesWithinTopSet) {
+  const PoolPrediction p = fixture_prediction();
+  util::Rng rng(11);
+  std::set<std::size_t> seen;
+  for (int trial = 0; trial < 100; ++trial) {
+    for (std::size_t idx : make_biased_random(0.5)->select(p, 1, rng)) {
+      seen.insert(idx);
+    }
+  }
+  EXPECT_GT(seen.size(), 1u);  // not stuck on one candidate
+}
+
+TEST(UniformRandomStrategy, CoversThePool) {
+  const PoolPrediction p = fixture_prediction();
+  util::Rng rng(12);
+  std::set<std::size_t> seen;
+  for (int trial = 0; trial < 200; ++trial) {
+    for (std::size_t idx : make_uniform_random()->select(p, 1, rng)) {
+      ASSERT_LT(idx, p.size());
+      seen.insert(idx);
+    }
+  }
+  EXPECT_EQ(seen.size(), p.size());
+}
+
+TEST(EpsilonGreedy, ZeroEpsilonMatchesPwu) {
+  const PoolPrediction p = fixture_prediction();
+  util::Rng rng_a(13), rng_b(13);
+  EXPECT_EQ(make_epsilon_greedy_pwu(0.05, 0.0)->select(p, 2, rng_a),
+            make_pwu(0.05)->select(p, 2, rng_b));
+}
+
+TEST(EpsilonGreedy, SelectionsAreDistinct) {
+  const PoolPrediction p = fixture_prediction();
+  util::Rng rng(14);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto picks = make_epsilon_greedy_pwu(0.05, 0.5)->select(p, 3, rng);
+    std::set<std::size_t> set(picks.begin(), picks.end());
+    EXPECT_EQ(set.size(), 3u);
+  }
+}
+
+TEST(ExpectedImprovement, ScoresMatchClosedForm) {
+  PoolPrediction p;
+  p.mean = {1.0};
+  p.stddev = {0.5};
+  const double incumbent = 1.2;
+  const auto scores = ei_scores(p, incumbent);
+  const double z = (incumbent - 1.0) / 0.5;
+  const double pdf = std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+  EXPECT_NEAR(scores[0], 0.5 * (z * normal_cdf(z) + pdf), 1e-12);
+}
+
+TEST(ExpectedImprovement, ZeroSigmaFallsBackToPlainImprovement) {
+  PoolPrediction p;
+  p.mean = {0.5, 2.0};
+  p.stddev = {0.0, 0.0};
+  const auto scores = ei_scores(p, 1.0);
+  EXPECT_DOUBLE_EQ(scores[0], 0.5);  // improves by 0.5
+  EXPECT_DOUBLE_EQ(scores[1], 0.0);  // no improvement
+}
+
+TEST(ExpectedImprovement, EiIsPositiveAndMonotoneInSigma) {
+  PoolPrediction p;
+  p.mean = {2.0, 2.0, 2.0};          // all worse than the incumbent...
+  p.stddev = {0.1, 0.5, 2.0};        // ...but increasingly uncertain
+  const auto scores = ei_scores(p, 1.0);
+  EXPECT_GT(scores[0], 0.0);
+  EXPECT_LT(scores[0], scores[1]);
+  EXPECT_LT(scores[1], scores[2]);
+}
+
+TEST(ExpectedImprovement, SelectsBestExpectedImprover) {
+  PoolPrediction p;
+  p.mean = {0.10, 0.10, 1.00};
+  p.stddev = {0.001, 0.20, 0.20};
+  p.best_observed = 0.11;
+  util::Rng rng(20);
+  // Candidate 1: predicted at the incumbent but very uncertain -> largest
+  // expected improvement. Candidate 0 is certain (no upside), candidate 2
+  // far worse.
+  EXPECT_EQ(make_expected_improvement()->select(p, 1, rng)[0], 1u);
+}
+
+TEST(ExpectedImprovement, FallsBackWithoutIncumbent) {
+  PoolPrediction p;
+  p.mean = {0.5, 0.4};
+  p.stddev = {0.1, 0.1};
+  // best_observed defaults to NaN -> incumbent = min mean.
+  util::Rng rng(21);
+  const auto picks = make_expected_improvement()->select(p, 1, rng);
+  ASSERT_EQ(picks.size(), 1u);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+class BatchContract
+    : public ::testing::TestWithParam<std::string> {};
+
+// Every strategy must return exactly `batch` distinct in-range indices.
+TEST_P(BatchContract, ReturnsDistinctInRangeBatch) {
+  const PoolPrediction p = fixture_prediction();
+  StrategyPtr strategy = make_strategy(GetParam(), 0.05);
+  util::Rng rng(15);
+  for (std::size_t batch : {1u, 2u, 4u, 6u}) {
+    const auto picks = strategy->select(p, batch, rng);
+    EXPECT_EQ(picks.size(), batch) << strategy->name();
+    std::set<std::size_t> set(picks.begin(), picks.end());
+    EXPECT_EQ(set.size(), batch) << strategy->name();
+    for (std::size_t idx : picks) EXPECT_LT(idx, p.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, BatchContract,
+                         ::testing::Values("pwu", "pbus", "maxu", "bestperf",
+                                           "brs", "random", "cv", "egreedy",
+                                           "ei"),
+                         [](const auto& info) { return info.param; });
+
+TEST(StrategyFactory, KnownNamesAndAlphaPlumbing) {
+  EXPECT_NE(make_strategy("pwu", 0.1), nullptr);
+  EXPECT_THROW(make_strategy("nope"), std::invalid_argument);
+  // "cv" is PWU at alpha 0.
+  const PoolPrediction p = fixture_prediction();
+  util::Rng rng_a(16), rng_b(16);
+  EXPECT_EQ(make_strategy("cv")->select(p, 2, rng_a),
+            make_pwu(0.0)->select(p, 2, rng_b));
+}
+
+TEST(StrategyFactory, StandardNamesMatchThePaper) {
+  const auto names = standard_strategy_names();
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "pwu");
+  EXPECT_EQ(names[1], "pbus");
+}
+
+TEST(TopKHelpers, OrderAndClamp) {
+  const std::vector<double> scores = {1.0, 5.0, 3.0};
+  EXPECT_EQ(top_k_indices(scores, 2),
+            (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(bottom_k_indices(scores, 2),
+            (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(top_k_indices(scores, 10).size(), 3u);  // clamped
+}
+
+}  // namespace
+}  // namespace pwu::core

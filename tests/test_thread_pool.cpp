@@ -1,0 +1,88 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pwu::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPartialRange) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallel_for(10, 20, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForRethrowsBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t i) {
+                                   if (i == 7) throw std::logic_error("bad");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> order;
+  pool.parallel_for(0, 5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ManyTasksComplete) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  futures.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([i] { return i; }));
+  }
+  long sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(sum, 199 * 200 / 2);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace pwu::util

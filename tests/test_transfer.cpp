@@ -1,0 +1,159 @@
+// Warm-started active learning (the paper's Section VI future work) and
+// the platform-variant workload wrapper behind it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/active_learner.hpp"
+#include "space/pool.hpp"
+#include "util/statistics.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace pwu::core {
+namespace {
+
+TEST(PlatformVariant, SharesSpaceAndWarpsTime) {
+  auto base = workloads::make_workload("atax");
+  const auto* base_space = &base->space();
+  auto variant = workloads::make_platform_variant(std::move(base));
+  EXPECT_EQ(&variant->space(), base_space);
+  EXPECT_EQ(variant->name(), "atax-variant");
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto c = variant->space().random_config(rng);
+    const double t = variant->base_time(c);
+    EXPECT_TRUE(std::isfinite(t));
+    EXPECT_GT(t, 0.0);
+  }
+}
+
+TEST(PlatformVariant, DeterministicPerConfig) {
+  auto variant =
+      workloads::make_platform_variant(workloads::make_workload("atax"));
+  util::Rng rng(2);
+  const auto c = variant->space().random_config(rng);
+  EXPECT_DOUBLE_EQ(variant->base_time(c), variant->base_time(c));
+}
+
+TEST(PlatformVariant, StronglyRankCorrelatedWithBase) {
+  auto base = workloads::make_workload("atax");
+  auto variant = workloads::make_platform_variant(
+      workloads::make_workload("atax"));
+  util::Rng rng(3);
+  std::vector<double> base_times, variant_times;
+  for (int i = 0; i < 300; ++i) {
+    const auto c = base->space().random_config(rng);
+    base_times.push_back(base->base_time(c));
+    variant_times.push_back(variant->base_time(c));
+  }
+  const double tau = util::kendall_tau(base_times, variant_times);
+  EXPECT_GT(tau, 0.6);   // related platforms rank alike...
+  EXPECT_LT(tau, 0.999); // ...but not identically
+}
+
+TEST(PlatformVariant, ParameterValidation) {
+  EXPECT_THROW(workloads::make_platform_variant(
+                   workloads::make_workload("atax"), -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(workloads::make_platform_variant(
+                   workloads::make_workload("atax"), 1.0, 1.0, 1.5),
+               std::invalid_argument);
+}
+
+class WarmStartTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    source_ = workloads::make_workload("atax");
+    target_ = workloads::make_platform_variant(
+        workloads::make_workload("atax"));
+    util::Rng rng(4);
+    const auto split =
+        space::make_pool_split(target_->space(), 400, 200, rng);
+    pool_ = split.pool;
+    test_ = build_test_set(*target_, split.test, rng);
+
+    // Source model data: configurations labeled on the *source* task.
+    const auto& s = source_->space();
+    warm_ = std::make_unique<rf::Dataset>(
+        s.num_params(), s.categorical_mask(), s.cardinalities());
+    util::Rng source_rng(5);
+    for (int i = 0; i < 120; ++i) {
+      const auto c = s.random_config(source_rng);
+      warm_->add(s.features(c), source_->measure(c, source_rng, 1));
+    }
+  }
+
+  LearnerConfig config(std::size_t n_max) {
+    LearnerConfig cfg;
+    cfg.n_init = 10;
+    cfg.n_max = n_max;
+    cfg.forest.num_trees = 20;
+    cfg.eval_every = 10;
+    return cfg;
+  }
+
+  workloads::WorkloadPtr source_, target_;
+  std::vector<space::Configuration> pool_;
+  TestSet test_;
+  std::unique_ptr<rf::Dataset> warm_;
+};
+
+TEST_F(WarmStartTest, BudgetCountsOnlyTargetSamples) {
+  ActiveLearner learner(*target_, config(30));
+  util::Rng rng(6);
+  const auto result =
+      learner.run_warm(*make_pwu(0.05), pool_, test_, *warm_, rng);
+  EXPECT_EQ(result.train_configs.size(), 30u);  // target evaluations only
+  EXPECT_EQ(result.trace.front().num_samples, 10u);
+  EXPECT_EQ(result.trace.back().num_samples, 30u);
+  // CC counts target labels only.
+  EXPECT_NEAR(result.trace.back().cumulative_cost,
+              cumulative_cost(result.train_labels), 1e-9);
+}
+
+TEST_F(WarmStartTest, WarmStartLowersEarlyError) {
+  // At a tiny target budget, seeding with 120 related-source samples must
+  // beat learning from scratch (averaged over repeats for robustness).
+  double cold_total = 0.0, warm_total = 0.0;
+  for (std::uint64_t rep = 0; rep < 3; ++rep) {
+    ActiveLearner learner(*target_, config(25));
+    util::Rng rng_cold(100 + rep), rng_warm(100 + rep);
+    const auto cold =
+        learner.run(*make_pwu(0.05), pool_, test_, rng_cold);
+    const auto warm =
+        learner.run_warm(*make_pwu(0.05), pool_, test_, *warm_, rng_warm);
+    cold_total += cold.trace.back().full_rmse;
+    warm_total += warm.trace.back().full_rmse;
+  }
+  EXPECT_LT(warm_total, cold_total);
+}
+
+TEST_F(WarmStartTest, SchemaMismatchRejected) {
+  ActiveLearner learner(*target_, config(20));
+  util::Rng rng(7);
+  rf::Dataset wrong(3);
+  wrong.add(std::vector<double>{1.0, 2.0, 3.0}, 0.5);
+  EXPECT_THROW(
+      learner.run_warm(*make_pwu(0.05), pool_, test_, wrong, rng),
+      std::invalid_argument);
+}
+
+TEST_F(WarmStartTest, EmptyWarmStartEqualsColdStart) {
+  ActiveLearner learner(*target_, config(25));
+  const auto& s = target_->space();
+  const rf::Dataset empty(s.num_params(), s.categorical_mask(),
+                          s.cardinalities());
+  util::Rng rng_a(8), rng_b(8);
+  const auto warm =
+      learner.run_warm(*make_pwu(0.05), pool_, test_, empty, rng_a);
+  const auto cold = learner.run(*make_pwu(0.05), pool_, test_, rng_b);
+  ASSERT_EQ(warm.train_configs.size(), cold.train_configs.size());
+  for (std::size_t i = 0; i < warm.train_configs.size(); ++i) {
+    EXPECT_EQ(warm.train_configs[i], cold.train_configs[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pwu::core

@@ -1,0 +1,98 @@
+#include "core/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/active_learner.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace pwu::core {
+namespace {
+
+class TunerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload_ = workloads::make_quadratic_bowl(4, 8, 0.1, /*noisy=*/true);
+    util::Rng rng(1);
+    candidates_ = space::sample_unique(workload_->space(), 250, rng);
+    config_.n_init = 10;
+    config_.iterations = 30;
+    config_.forest.num_trees = 15;
+  }
+
+  workloads::WorkloadPtr workload_;
+  std::vector<space::Configuration> candidates_;
+  TunerConfig config_;
+};
+
+TEST_F(TunerTest, BestSoFarIsMonotoneNonIncreasing) {
+  util::Rng rng(2);
+  const TuningTrace trace =
+      tune_direct(*workload_, candidates_, config_, rng);
+  ASSERT_EQ(trace.best_true_time.size(),
+            config_.n_init + config_.iterations);
+  for (std::size_t i = 1; i < trace.best_true_time.size(); ++i) {
+    EXPECT_LE(trace.best_true_time[i], trace.best_true_time[i - 1]);
+  }
+}
+
+TEST_F(TunerTest, TunerImprovesOverColdStart) {
+  util::Rng rng(3);
+  const TuningTrace trace =
+      tune_direct(*workload_, candidates_, config_, rng);
+  const double after_cold = trace.best_true_time[config_.n_init - 1];
+  const double final_best = trace.best_true_time.back();
+  EXPECT_LE(final_best, after_cold);
+}
+
+TEST_F(TunerTest, BestConfigMatchesReportedBest) {
+  util::Rng rng(4);
+  const TuningTrace trace =
+      tune_direct(*workload_, candidates_, config_, rng);
+  EXPECT_DOUBLE_EQ(workload_->base_time(trace.best_config),
+                   trace.best_true_time.back());
+}
+
+TEST_F(TunerTest, SurrogateTunerFindsGoodConfigWithoutTrueLabels) {
+  // Train a surrogate via active learning first.
+  util::Rng rng(5);
+  const auto split = space::make_pool_split(workload_->space(), 300, 150, rng);
+  const TestSet test = build_test_set(*workload_, split.test, rng);
+  LearnerConfig lc;
+  lc.n_init = 10;
+  lc.n_max = 80;
+  lc.forest.num_trees = 20;
+  lc.eval_every = 100;
+  ActiveLearner learner(*workload_, lc);
+  const auto learned = learner.run(*make_pwu(0.05), split.pool, test, rng);
+
+  util::Rng tune_rng(6);
+  const TuningTrace surrogate_trace = tune_with_surrogate(
+      *workload_, *learned.model, candidates_, config_, tune_rng);
+
+  // The surrogate-annotated tuner must land within 2x of the candidate-set
+  // optimum (paper Fig. 8: comparable to ground truth).
+  double optimum = 1e300;
+  for (const auto& c : candidates_) {
+    optimum = std::min(optimum, workload_->base_time(c));
+  }
+  EXPECT_LT(surrogate_trace.best_true_time.back(), 2.0 * optimum);
+}
+
+TEST_F(TunerTest, RejectsBudgetLargerThanCandidates) {
+  util::Rng rng(7);
+  TunerConfig big = config_;
+  big.iterations = 1000;
+  EXPECT_THROW(tune_direct(*workload_, candidates_, big, rng),
+               std::invalid_argument);
+}
+
+TEST_F(TunerTest, DeterministicGivenSeed) {
+  util::Rng rng_a(8), rng_b(8);
+  const TuningTrace a = tune_direct(*workload_, candidates_, config_, rng_a);
+  const TuningTrace b = tune_direct(*workload_, candidates_, config_, rng_b);
+  EXPECT_EQ(a.best_true_time, b.best_true_time);
+  EXPECT_EQ(a.best_config, b.best_config);
+}
+
+}  // namespace
+}  // namespace pwu::core

@@ -1,0 +1,177 @@
+// pwu_run — command-line driver for the full experiment pipeline.
+//
+//   pwu_run --workload atax --strategies pwu,pbus,maxu --alpha 0.01 \
+//           --nmax 300 --repeats 3 --pool 3000 --test 1500 \
+//           --surrogate rf --trees 50 --batch 1 --seed 42 \
+//           --csv /tmp/out --chart
+//
+//   pwu_run --list                 # available workloads & strategies
+//
+// Everything the figure benches do, but parameterized for ad-hoc studies.
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/convergence.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace pwu;
+
+struct CliArgs {
+  std::map<std::string, std::string> options;
+  bool list = false;
+  bool chart = false;
+
+  static CliArgs parse(int argc, char** argv) {
+    CliArgs args;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--list") {
+        args.list = true;
+      } else if (arg == "--chart") {
+        args.chart = true;
+      } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+        args.options[arg.substr(2)] = argv[++i];
+      } else {
+        throw std::invalid_argument("unrecognized argument: " + arg);
+      }
+    }
+    return args;
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+
+  std::size_t get_size(const std::string& key, std::size_t fallback) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    const long long v = std::stoll(it->second);
+    if (v <= 0) throw std::invalid_argument("--" + key + " must be positive");
+    return static_cast<std::size_t>(v);
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+};
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void print_catalog() {
+  std::cout << "workloads (paper set):";
+  for (const auto& n : workloads::all_names()) std::cout << " " << n;
+  std::cout << "\nworkloads (extended SPAPT):";
+  for (const auto& n : workloads::extended_kernel_names()) {
+    std::cout << " " << n;
+  }
+  std::cout << "\nstrategies: pwu pbus maxu bestperf brs random cv egreedy ei"
+            << "\nsurrogates: rf gp\n";
+}
+
+int run(const CliArgs& args) {
+  const std::string workload_name = args.get("workload", "atax");
+  const auto workload = workloads::make_workload(workload_name);
+
+  core::ExperimentSpec spec;
+  spec.strategies = split_csv(args.get("strategies", "pwu,pbus"));
+  spec.alpha = args.get_double("alpha", 0.05);
+  spec.repeats = args.get_size("repeats", 2);
+  spec.pool_size = args.get_size("pool", 1500);
+  spec.test_size = args.get_size("test", 800);
+  spec.learner.n_init = args.get_size("ninit", 10);
+  spec.learner.n_max = args.get_size("nmax", 150);
+  spec.learner.n_batch = args.get_size("batch", 1);
+  spec.learner.surrogate = args.get("surrogate", "rf");
+  spec.learner.forest.num_trees = args.get_size("trees", 40);
+  spec.learner.eval_every = args.get_size("eval-every", 10);
+  spec.learner.measure_repetitions =
+      static_cast<int>(args.get_size("measure-reps", 1));
+  spec.seed = args.get_size("seed", 42);
+
+  if (workload->space().size() < 1e6L) {
+    const auto total = static_cast<std::size_t>(workload->space().size());
+    spec.learner.n_max = std::min(spec.learner.n_max, total * 7 / 10);
+  }
+
+  std::cout << "workload " << workload_name << " | alpha " << spec.alpha
+            << " | budget " << spec.learner.n_max << " | surrogate "
+            << spec.learner.surrogate << " | repeats " << spec.repeats
+            << "\n\n";
+
+  const auto result = core::run_experiment(*workload, spec);
+  core::print_series_table(std::cout, result);
+
+  // Budget advice per strategy: where the paper-style trace stops
+  // improving (0 = still improving at the end of the budget).
+  std::cout << "\nconvergence (samples at which the RMSE plateaus):";
+  for (const auto& series : result.series) {
+    const std::size_t at = core::converged_sample_count(series);
+    std::cout << "  " << series.strategy << "="
+              << (at == 0 ? std::string("not yet") : std::to_string(at));
+  }
+  std::cout << "\n";
+  if (args.chart) {
+    core::print_rmse_chart(std::cout, result,
+                           workload_name + ": RMSE vs #samples");
+    core::print_rmse_vs_cost_chart(
+        std::cout, result, workload_name + ": RMSE vs cumulative cost");
+  }
+  const std::string csv_dir = args.get("csv", "");
+  if (!csv_dir.empty()) {
+    core::write_series_csv(csv_dir, result, "cli");
+    std::cout << "\nCSV written to " << csv_dir << "/" << workload_name
+              << "_cli.csv\n";
+  }
+  if (spec.strategies.size() >= 2) {
+    const double speedup =
+        core::cost_speedup(result, spec.strategies[0], spec.strategies[1]);
+    if (std::isfinite(speedup)) {
+      std::cout << "\ncost speedup " << spec.strategies[0] << " vs "
+                << spec.strategies[1] << " at matched error: "
+                << util::TextTable::cell(speedup, 2) << "x\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args = CliArgs::parse(argc, argv);
+    if (args.list) {
+      print_catalog();
+      return 0;
+    }
+    return run(args);
+  } catch (const std::exception& e) {
+    std::cerr << "pwu_run: " << e.what()
+              << "\nusage: pwu_run [--list] [--workload NAME] "
+                 "[--strategies a,b,...] [--alpha F] [--nmax N] [--ninit N] "
+                 "[--batch N] [--repeats N] [--pool N] [--test N] "
+                 "[--surrogate rf|gp] [--trees N] [--eval-every N] "
+                 "[--measure-reps N] [--seed N] [--csv DIR] [--chart]\n";
+    return 1;
+  }
+}
