@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_surrogate.dir/ablation_surrogate.cpp.o"
+  "CMakeFiles/ablation_surrogate.dir/ablation_surrogate.cpp.o.d"
+  "ablation_surrogate"
+  "ablation_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_kernel_rmse.dir/fig2_kernel_rmse.cpp.o"
+  "CMakeFiles/fig2_kernel_rmse.dir/fig2_kernel_rmse.cpp.o.d"
+  "fig2_kernel_rmse"
+  "fig2_kernel_rmse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_kernel_rmse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_apps.dir/fig4_apps.cpp.o"
+  "CMakeFiles/fig4_apps.dir/fig4_apps.cpp.o.d"
+  "fig4_apps"
+  "fig4_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tuning.dir/fig8_tuning.cpp.o"
+  "CMakeFiles/fig8_tuning.dir/fig8_tuning.cpp.o.d"
+  "fig8_tuning"
+  "fig8_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_distribution.dir/fig9_distribution.cpp.o"
+  "CMakeFiles/fig9_distribution.dir/fig9_distribution.cpp.o.d"
+  "fig9_distribution"
+  "fig9_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

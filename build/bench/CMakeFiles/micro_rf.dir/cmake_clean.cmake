@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rf.dir/micro_rf.cpp.o"
+  "CMakeFiles/micro_rf.dir/micro_rf.cpp.o.d"
+  "micro_rf"
+  "micro_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

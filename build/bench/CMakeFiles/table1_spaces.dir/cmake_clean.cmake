@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_spaces.dir/table1_spaces.cpp.o"
+  "CMakeFiles/table1_spaces.dir/table1_spaces.cpp.o.d"
+  "table1_spaces"
+  "table1_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_hypre.dir/tune_hypre.cpp.o"
+  "CMakeFiles/tune_hypre.dir/tune_hypre.cpp.o.d"
+  "tune_hypre"
+  "tune_hypre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_hypre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

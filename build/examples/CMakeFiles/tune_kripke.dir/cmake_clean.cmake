@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_kripke.dir/tune_kripke.cpp.o"
+  "CMakeFiles/tune_kripke.dir/tune_kripke.cpp.o.d"
+  "tune_kripke"
+  "tune_kripke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_kripke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,84 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active_learner.cpp" "src/CMakeFiles/pwu.dir/core/active_learner.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/active_learner.cpp.o.d"
+  "/root/repo/src/core/convergence.cpp" "src/CMakeFiles/pwu.dir/core/convergence.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/convergence.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/pwu.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/pwu.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/pwu.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/sampling_strategy.cpp" "src/CMakeFiles/pwu.dir/core/sampling_strategy.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/sampling_strategy.cpp.o.d"
+  "/root/repo/src/core/strategies/best_performance.cpp" "src/CMakeFiles/pwu.dir/core/strategies/best_performance.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/strategies/best_performance.cpp.o.d"
+  "/root/repo/src/core/strategies/biased_random.cpp" "src/CMakeFiles/pwu.dir/core/strategies/biased_random.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/strategies/biased_random.cpp.o.d"
+  "/root/repo/src/core/strategies/diverse_batch.cpp" "src/CMakeFiles/pwu.dir/core/strategies/diverse_batch.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/strategies/diverse_batch.cpp.o.d"
+  "/root/repo/src/core/strategies/epsilon_greedy.cpp" "src/CMakeFiles/pwu.dir/core/strategies/epsilon_greedy.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/strategies/epsilon_greedy.cpp.o.d"
+  "/root/repo/src/core/strategies/expected_improvement.cpp" "src/CMakeFiles/pwu.dir/core/strategies/expected_improvement.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/strategies/expected_improvement.cpp.o.d"
+  "/root/repo/src/core/strategies/max_uncertainty.cpp" "src/CMakeFiles/pwu.dir/core/strategies/max_uncertainty.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/strategies/max_uncertainty.cpp.o.d"
+  "/root/repo/src/core/strategies/pbus.cpp" "src/CMakeFiles/pwu.dir/core/strategies/pbus.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/strategies/pbus.cpp.o.d"
+  "/root/repo/src/core/strategies/pwu.cpp" "src/CMakeFiles/pwu.dir/core/strategies/pwu.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/strategies/pwu.cpp.o.d"
+  "/root/repo/src/core/strategies/uniform_random.cpp" "src/CMakeFiles/pwu.dir/core/strategies/uniform_random.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/strategies/uniform_random.cpp.o.d"
+  "/root/repo/src/core/surrogate.cpp" "src/CMakeFiles/pwu.dir/core/surrogate.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/surrogate.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/CMakeFiles/pwu.dir/core/tuner.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/core/tuner.cpp.o.d"
+  "/root/repo/src/gp/gaussian_process.cpp" "src/CMakeFiles/pwu.dir/gp/gaussian_process.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/gp/gaussian_process.cpp.o.d"
+  "/root/repo/src/gp/kernel.cpp" "src/CMakeFiles/pwu.dir/gp/kernel.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/gp/kernel.cpp.o.d"
+  "/root/repo/src/gp/linalg.cpp" "src/CMakeFiles/pwu.dir/gp/linalg.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/gp/linalg.cpp.o.d"
+  "/root/repo/src/rf/dataset.cpp" "src/CMakeFiles/pwu.dir/rf/dataset.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/rf/dataset.cpp.o.d"
+  "/root/repo/src/rf/decision_tree.cpp" "src/CMakeFiles/pwu.dir/rf/decision_tree.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/rf/decision_tree.cpp.o.d"
+  "/root/repo/src/rf/random_forest.cpp" "src/CMakeFiles/pwu.dir/rf/random_forest.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/rf/random_forest.cpp.o.d"
+  "/root/repo/src/rf/split.cpp" "src/CMakeFiles/pwu.dir/rf/split.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/rf/split.cpp.o.d"
+  "/root/repo/src/sim/cache_model.cpp" "src/CMakeFiles/pwu.dir/sim/cache_model.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/sim/cache_model.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/CMakeFiles/pwu.dir/sim/executor.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/sim/executor.cpp.o.d"
+  "/root/repo/src/sim/network_model.cpp" "src/CMakeFiles/pwu.dir/sim/network_model.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/sim/network_model.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/CMakeFiles/pwu.dir/sim/noise.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/sim/noise.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/CMakeFiles/pwu.dir/sim/platform.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/sim/platform.cpp.o.d"
+  "/root/repo/src/space/configuration.cpp" "src/CMakeFiles/pwu.dir/space/configuration.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/space/configuration.cpp.o.d"
+  "/root/repo/src/space/design.cpp" "src/CMakeFiles/pwu.dir/space/design.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/space/design.cpp.o.d"
+  "/root/repo/src/space/parameter.cpp" "src/CMakeFiles/pwu.dir/space/parameter.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/space/parameter.cpp.o.d"
+  "/root/repo/src/space/parameter_space.cpp" "src/CMakeFiles/pwu.dir/space/parameter_space.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/space/parameter_space.cpp.o.d"
+  "/root/repo/src/space/pool.cpp" "src/CMakeFiles/pwu.dir/space/pool.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/space/pool.cpp.o.d"
+  "/root/repo/src/util/ascii_chart.cpp" "src/CMakeFiles/pwu.dir/util/ascii_chart.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/util/ascii_chart.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/pwu.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/pwu.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/pwu.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/pwu.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/statistics.cpp" "src/CMakeFiles/pwu.dir/util/statistics.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/util/statistics.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/pwu.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/pwu.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/workloads/hypre_model.cpp" "src/CMakeFiles/pwu.dir/workloads/hypre_model.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/hypre_model.cpp.o.d"
+  "/root/repo/src/workloads/kripke_model.cpp" "src/CMakeFiles/pwu.dir/workloads/kripke_model.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/kripke_model.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/pwu.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/spapt/adi.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/adi.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/adi.cpp.o.d"
+  "/root/repo/src/workloads/spapt/atax.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/atax.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/atax.cpp.o.d"
+  "/root/repo/src/workloads/spapt/bicg.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/bicg.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/bicg.cpp.o.d"
+  "/root/repo/src/workloads/spapt/correlation.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/correlation.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/correlation.cpp.o.d"
+  "/root/repo/src/workloads/spapt/covariance.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/covariance.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/covariance.cpp.o.d"
+  "/root/repo/src/workloads/spapt/dgemv3.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/dgemv3.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/dgemv3.cpp.o.d"
+  "/root/repo/src/workloads/spapt/fdtd.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/fdtd.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/fdtd.cpp.o.d"
+  "/root/repo/src/workloads/spapt/gemver.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/gemver.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/gemver.cpp.o.d"
+  "/root/repo/src/workloads/spapt/gesummv.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/gesummv.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/gesummv.cpp.o.d"
+  "/root/repo/src/workloads/spapt/jacobi.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/jacobi.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/jacobi.cpp.o.d"
+  "/root/repo/src/workloads/spapt/lu.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/lu.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/lu.cpp.o.d"
+  "/root/repo/src/workloads/spapt/mm.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/mm.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/mm.cpp.o.d"
+  "/root/repo/src/workloads/spapt/mvt.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/mvt.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/mvt.cpp.o.d"
+  "/root/repo/src/workloads/spapt/seidel.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/seidel.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/seidel.cpp.o.d"
+  "/root/repo/src/workloads/spapt/spapt_common.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/spapt_common.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/spapt_common.cpp.o.d"
+  "/root/repo/src/workloads/spapt/stencil3d.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/stencil3d.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/stencil3d.cpp.o.d"
+  "/root/repo/src/workloads/spapt/syr2k.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/syr2k.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/syr2k.cpp.o.d"
+  "/root/repo/src/workloads/spapt/syrk.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/syrk.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/syrk.cpp.o.d"
+  "/root/repo/src/workloads/spapt/trmm.cpp" "src/CMakeFiles/pwu.dir/workloads/spapt/trmm.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/spapt/trmm.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/CMakeFiles/pwu.dir/workloads/synthetic.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/synthetic.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/pwu.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/pwu.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_active_learner.cpp" "tests/CMakeFiles/pwu_tests.dir/test_active_learner.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_active_learner.cpp.o.d"
+  "/root/repo/tests/test_ascii_chart.cpp" "tests/CMakeFiles/pwu_tests.dir/test_ascii_chart.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_ascii_chart.cpp.o.d"
+  "/root/repo/tests/test_configuration.cpp" "tests/CMakeFiles/pwu_tests.dir/test_configuration.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_configuration.cpp.o.d"
+  "/root/repo/tests/test_convergence.cpp" "tests/CMakeFiles/pwu_tests.dir/test_convergence.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_convergence.cpp.o.d"
+  "/root/repo/tests/test_csv_table.cpp" "tests/CMakeFiles/pwu_tests.dir/test_csv_table.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_csv_table.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/pwu_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_decision_tree.cpp" "tests/CMakeFiles/pwu_tests.dir/test_decision_tree.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_decision_tree.cpp.o.d"
+  "/root/repo/tests/test_design.cpp" "tests/CMakeFiles/pwu_tests.dir/test_design.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_design.cpp.o.d"
+  "/root/repo/tests/test_diverse_batch.cpp" "tests/CMakeFiles/pwu_tests.dir/test_diverse_batch.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_diverse_batch.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/pwu_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/pwu_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_extended_kernels.cpp" "tests/CMakeFiles/pwu_tests.dir/test_extended_kernels.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_extended_kernels.cpp.o.d"
+  "/root/repo/tests/test_gp.cpp" "tests/CMakeFiles/pwu_tests.dir/test_gp.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_gp.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/pwu_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_kripke_hypre.cpp" "tests/CMakeFiles/pwu_tests.dir/test_kripke_hypre.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_kripke_hypre.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/pwu_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_logging_options.cpp" "tests/CMakeFiles/pwu_tests.dir/test_logging_options.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_logging_options.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/pwu_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/pwu_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_noise_executor.cpp" "tests/CMakeFiles/pwu_tests.dir/test_noise_executor.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_noise_executor.cpp.o.d"
+  "/root/repo/tests/test_parameter.cpp" "tests/CMakeFiles/pwu_tests.dir/test_parameter.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_parameter.cpp.o.d"
+  "/root/repo/tests/test_parameter_space.cpp" "tests/CMakeFiles/pwu_tests.dir/test_parameter_space.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_parameter_space.cpp.o.d"
+  "/root/repo/tests/test_platform_cache.cpp" "tests/CMakeFiles/pwu_tests.dir/test_platform_cache.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_platform_cache.cpp.o.d"
+  "/root/repo/tests/test_pool.cpp" "tests/CMakeFiles/pwu_tests.dir/test_pool.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_pool.cpp.o.d"
+  "/root/repo/tests/test_random_forest.cpp" "tests/CMakeFiles/pwu_tests.dir/test_random_forest.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_random_forest.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/pwu_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/pwu_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_serialization.cpp" "tests/CMakeFiles/pwu_tests.dir/test_serialization.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_serialization.cpp.o.d"
+  "/root/repo/tests/test_spapt_models.cpp" "tests/CMakeFiles/pwu_tests.dir/test_spapt_models.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_spapt_models.cpp.o.d"
+  "/root/repo/tests/test_split.cpp" "tests/CMakeFiles/pwu_tests.dir/test_split.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_split.cpp.o.d"
+  "/root/repo/tests/test_statistics.cpp" "tests/CMakeFiles/pwu_tests.dir/test_statistics.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_statistics.cpp.o.d"
+  "/root/repo/tests/test_strategies.cpp" "tests/CMakeFiles/pwu_tests.dir/test_strategies.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_strategies.cpp.o.d"
+  "/root/repo/tests/test_strategy_workload_matrix.cpp" "tests/CMakeFiles/pwu_tests.dir/test_strategy_workload_matrix.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_strategy_workload_matrix.cpp.o.d"
+  "/root/repo/tests/test_surrogate.cpp" "tests/CMakeFiles/pwu_tests.dir/test_surrogate.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_surrogate.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/pwu_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_transfer.cpp" "tests/CMakeFiles/pwu_tests.dir/test_transfer.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_transfer.cpp.o.d"
+  "/root/repo/tests/test_tuner.cpp" "tests/CMakeFiles/pwu_tests.dir/test_tuner.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_tuner.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/pwu_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/pwu_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pwu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pwu_tests[1]_include.cmake")
+add_test(cli_list "/root/repo/build/tools/pwu_run" "--list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;50;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_tiny_experiment "/root/repo/build/tools/pwu_run" "--workload" "gesummv" "--strategies" "pwu,random" "--nmax" "20" "--pool" "120" "--test" "60" "--trees" "8" "--repeats" "1")
+set_tests_properties(cli_tiny_experiment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;51;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwu_run.dir/pwu_run.cpp.o"
+  "CMakeFiles/pwu_run.dir/pwu_run.cpp.o.d"
+  "pwu_run"
+  "pwu_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwu_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
