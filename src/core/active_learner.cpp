@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "service/ask_tell_session.hpp"
+
 namespace pwu::core {
 
 ActiveLearner::ActiveLearner(const workloads::Workload& workload,
@@ -43,132 +45,69 @@ LearnerResult ActiveLearner::run_warm(
                   thread_pool);
 }
 
+// Thin driver over service::AskTellSession — the single Algorithm-1 loop
+// shared with the tuning service. The driver owns what a service client
+// would: the measurement callback, the held-out evaluation, and the trace.
 LearnerResult ActiveLearner::run_impl(
     const SamplingStrategy& strategy,
     std::vector<space::Configuration> pool_configs, const TestSet& test,
     const rf::Dataset* warm_start, util::Rng& rng,
     util::ThreadPool* thread_pool) const {
-  const auto& param_space = workload_.space();
   if (pool_configs.size() < config_.n_init) {
     throw std::invalid_argument("ActiveLearner::run: pool smaller than n_init");
   }
 
-  space::CandidatePool pool(std::move(pool_configs));
-  rf::Dataset train(param_space.num_params(), param_space.categorical_mask(),
-                    param_space.cardinalities());
-  // Warm-start rows seed the model but are free (source-task labels) and
-  // do not count toward the target budget.
-  std::size_t warm_rows = 0;
-  if (warm_start != nullptr) {
-    for (std::size_t i = 0; i < warm_start->size(); ++i) {
-      train.add(warm_start->row(i), warm_start->y(i));
-    }
-    warm_rows = warm_start->size();
-  }
-  // Target-sample count = train.size() - warm_rows below.
+  // Two independent streams derived from the caller's rng, in the same
+  // order the service derives them from one seed: the session stream
+  // (sampling, strategy tie-breaks, forest fits) and the measurement
+  // stream (the client side of ask/tell). This is what makes a service
+  // session and a batch run with the same seed produce identical training
+  // sets (see tests/test_ask_tell.cpp).
+  const std::uint64_t session_seed = rng.next_u64();
+  util::Rng measure_rng(rng.next_u64());
+
+  service::AskTellSession session(workload_.space(), strategy, config_,
+                                  std::move(pool_configs), warm_start,
+                                  session_seed, thread_pool);
 
   LearnerResult result;
-  double cumulative_cost = 0.0;
-
-  auto evaluate_and_append = [&](space::Configuration config,
-                                 const rf::PredictionStats* stats,
-                                 std::size_t iteration) {
-    const double label =
-        workload_.measure(config, rng, config_.measure_repetitions);
-    cumulative_cost += label;
-    train.add(param_space.features(config), label);
-    if (stats != nullptr) {
-      result.selections.push_back(
-          {iteration, stats->mean, stats->stddev, label});
+  auto measure_batch = [&](const std::vector<service::Candidate>& batch) {
+    for (const auto& candidate : batch) {
+      session.tell(candidate.config,
+                   workload_.measure(candidate.config, measure_rng,
+                                     config_.measure_repetitions));
     }
-    result.train_configs.push_back(std::move(config));
-    result.train_labels.push_back(label);
+    session.refit();
   };
-
-  // ---- Cold start (Algorithm 1, lines 1-4). ----
-  {
-    std::vector<std::size_t> init_indices =
-        pool.sample_indices(std::min(config_.n_init, pool.size()), rng);
-    for (auto& config : pool.take_many(std::move(init_indices))) {
-      evaluate_and_append(std::move(config), nullptr, 0);
-    }
-  }
-
-  std::shared_ptr<Surrogate> model =
-      make_surrogate(config_.surrogate, config_.forest, config_.gp);
-  model->fit(train, rng, thread_pool);
-
   auto record = [&]() {
     IterationRecord rec;
-    rec.num_samples = train.size() - warm_rows;
-    rec.cumulative_cost = cumulative_cost;
+    rec.num_samples = session.num_labeled();
+    rec.cumulative_cost = session.cumulative_cost();
     rec.top_alpha_rmse.reserve(config_.eval_alphas.size());
+    const Surrogate& model = *session.model();
     for (double alpha : config_.eval_alphas) {
-      rec.top_alpha_rmse.push_back(top_alpha_rmse(*model, test, alpha));
+      rec.top_alpha_rmse.push_back(top_alpha_rmse(model, test, alpha));
     }
-    rec.full_rmse = full_rmse(*model, test);
+    rec.full_rmse = full_rmse(model, test);
     result.trace.push_back(std::move(rec));
   };
+
+  // Cold start (Algorithm 1, lines 1-4), then one record.
+  measure_batch(session.ask());
   record();
 
-  // ---- Iteration phase (Algorithm 1, lines 5-9). ----
-  std::size_t iteration = 0;
-  while (train.size() - warm_rows < config_.n_max && !pool.empty()) {
-    ++iteration;
-    const std::size_t batch = std::min(
-        {config_.n_batch, config_.n_max - (train.size() - warm_rows),
-         pool.size()});
-
-    // Predict over the current pool.
-    PoolPrediction prediction;
-    prediction.best_observed =
-        *std::min_element(result.train_labels.begin(),
-                          result.train_labels.end());
-    prediction.mean.resize(pool.size());
-    prediction.stddev.resize(pool.size());
-    std::vector<rf::PredictionStats> stats(pool.size());
-    {
-      std::vector<std::vector<double>> rows;
-      rows.reserve(pool.size());
-      for (std::size_t i = 0; i < pool.size(); ++i) {
-        rows.push_back(param_space.features(pool.at(i)));
-      }
-      stats = model->predict_stats_batch(rows, thread_pool);
-      for (std::size_t i = 0; i < stats.size(); ++i) {
-        prediction.mean[i] = stats[i].mean;
-        prediction.stddev[i] = stats[i].stddev;
-      }
-      // Hand the feature rows to the strategy (diversity-aware batch
-      // selection needs them; everything else ignores them).
-      prediction.features = std::move(rows);
-    }
-
-    std::vector<std::size_t> selected =
-        strategy.select(prediction, batch, rng);
-    if (selected.empty()) {
-      throw std::logic_error("SamplingStrategy returned an empty batch");
-    }
-    // Remove in descending index order so earlier removals (swap-with-last)
-    // cannot disturb later indices, keeping each config paired with the
-    // prediction it was selected under.
-    std::sort(selected.begin(), selected.end());
-    selected.erase(std::unique(selected.begin(), selected.end()),
-                   selected.end());
-    for (auto it = selected.rbegin(); it != selected.rend(); ++it) {
-      const rf::PredictionStats selected_stat = stats.at(*it);
-      evaluate_and_append(pool.take(*it), &selected_stat, iteration);
-    }
-
-    // Refit from scratch on the grown training set (Algorithm 1, line 8).
-    model->fit(train, rng, thread_pool);
-
-    const bool should_eval = iteration % config_.eval_every == 0 ||
-                             train.size() - warm_rows >= config_.n_max ||
-                             pool.empty();
+  // Iteration phase (Algorithm 1, lines 5-9).
+  while (!session.done()) {
+    measure_batch(session.ask());
+    const bool should_eval =
+        session.iteration() % config_.eval_every == 0 || session.done();
     if (should_eval) record();
   }
 
-  result.model = std::move(model);
+  result.selections = session.selections();
+  result.train_configs = session.train_configs();
+  result.train_labels = session.train_labels();
+  result.model = session.model();
   return result;
 }
 

@@ -36,6 +36,16 @@ std::vector<rf::PredictionStats> RandomForestSurrogate::predict_stats_batch(
   return forest_.predict_stats_batch(rows, pool);
 }
 
+bool RandomForestSurrogate::save_model(std::ostream& os) const {
+  forest_.save(os);
+  return true;
+}
+
+bool RandomForestSurrogate::load_model(std::istream& is) {
+  forest_.load(is);
+  return true;
+}
+
 GaussianProcessSurrogate::GaussianProcessSurrogate(gp::GpConfig config)
     : config_(std::move(config)) {}
 

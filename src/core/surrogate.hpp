@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <string>
@@ -46,6 +47,14 @@ class Surrogate {
   double predict(std::span<const double> row) const {
     return predict_stats(row).mean;
   }
+
+  /// Persists the fitted model state; returns false when the family has no
+  /// serialized form (the caller must then refit from the training data —
+  /// bit-identical only for families whose fit consumes no rng draws).
+  virtual bool save_model(std::ostream&) const { return false; }
+  /// Restores state written by save_model(); returns false when
+  /// unsupported.
+  virtual bool load_model(std::istream&) { return false; }
 };
 
 using SurrogatePtr = std::unique_ptr<Surrogate>;
@@ -63,6 +72,11 @@ class RandomForestSurrogate final : public Surrogate {
   std::vector<rf::PredictionStats> predict_stats_batch(
       const std::vector<std::vector<double>>& rows,
       util::ThreadPool* pool) const override;
+
+  /// Forest text serialization — predictions round-trip exactly, which is
+  /// what makes session checkpoint/resume bit-identical.
+  bool save_model(std::ostream& os) const override;
+  bool load_model(std::istream& is) override;
 
   const rf::RandomForest& forest() const { return forest_; }
 

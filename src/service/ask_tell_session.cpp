@@ -1,0 +1,489 @@
+#include "service/ask_tell_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace pwu::service {
+
+namespace {
+
+void validate_config(const core::LearnerConfig& config) {
+  if (config.n_init == 0) {
+    throw std::invalid_argument("AskTellSession: n_init must be > 0");
+  }
+  if (config.n_batch == 0) {
+    throw std::invalid_argument("AskTellSession: n_batch must be > 0");
+  }
+  if (config.n_max < config.n_init) {
+    throw std::invalid_argument("AskTellSession: n_max must be >= n_init");
+  }
+  if (config.eval_every == 0) {
+    throw std::invalid_argument("AskTellSession: eval_every must be > 0");
+  }
+}
+
+}  // namespace
+
+const char* to_string(SessionPhase phase) {
+  switch (phase) {
+    case SessionPhase::ColdStart: return "cold-start";
+    case SessionPhase::AwaitingTells: return "awaiting-tells";
+    case SessionPhase::Ready: return "ready";
+    case SessionPhase::Done: return "done";
+  }
+  return "unknown";
+}
+
+AskTellSession::AskTellSession(const space::ParameterSpace& space,
+                               core::LearnerConfig config,
+                               std::vector<space::Configuration> pool,
+                               std::uint64_t seed, util::ThreadPool* workers)
+    : space_(space),
+      config_(std::move(config)),
+      workers_(workers),
+      pool_(std::move(pool)),
+      train_(space_.num_params(), space_.categorical_mask(),
+             space_.cardinalities()),
+      rng_(seed) {}
+
+AskTellSession::AskTellSession(const space::ParameterSpace& space,
+                               StrategySpec spec, core::LearnerConfig config,
+                               std::vector<space::Configuration> pool,
+                               std::uint64_t seed, util::ThreadPool* workers)
+    : AskTellSession(space, std::move(config), std::move(pool), seed,
+                     workers) {
+  validate_config(config_);
+  if (pool_.size() < config_.n_init) {
+    throw std::invalid_argument("AskTellSession: pool smaller than n_init");
+  }
+  owned_strategy_ = core::make_strategy(spec.name, spec.alpha);
+  strategy_ = owned_strategy_.get();
+  spec_ = std::move(spec);
+}
+
+AskTellSession::AskTellSession(const space::ParameterSpace& space,
+                               const core::SamplingStrategy& strategy,
+                               core::LearnerConfig config,
+                               std::vector<space::Configuration> pool,
+                               const rf::Dataset* warm_start,
+                               std::uint64_t seed, util::ThreadPool* workers)
+    : AskTellSession(space, std::move(config), std::move(pool), seed,
+                     workers) {
+  validate_config(config_);
+  if (pool_.size() < config_.n_init) {
+    throw std::invalid_argument("AskTellSession: pool smaller than n_init");
+  }
+  strategy_ = &strategy;
+  if (warm_start != nullptr) {
+    if (warm_start->num_features() != space_.num_params()) {
+      throw std::invalid_argument(
+          "AskTellSession: warm-start feature schema mismatch");
+    }
+    for (std::size_t i = 0; i < warm_start->size(); ++i) {
+      train_.add(warm_start->row(i), warm_start->y(i));
+    }
+    warm_rows_ = warm_start->size();
+  }
+}
+
+bool AskTellSession::done() const {
+  if (!pending_.empty() || !cold_start_done_) return false;
+  return num_labeled() >= config_.n_max || pool_.empty();
+}
+
+SessionPhase AskTellSession::phase() const {
+  if (!pending_.empty()) return SessionPhase::AwaitingTells;
+  if (!cold_start_done_) return SessionPhase::ColdStart;
+  if (done()) return SessionPhase::Done;
+  return SessionPhase::Ready;
+}
+
+double AskTellSession::best_observed() const {
+  if (train_labels_.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return *std::min_element(train_labels_.begin(), train_labels_.end());
+}
+
+std::vector<Candidate> AskTellSession::ask(std::size_t n) {
+  if (!pending_.empty()) {
+    throw std::logic_error(
+        "AskTellSession::ask: previous batch still awaiting tells");
+  }
+  refit();
+  if (done()) return {};
+
+  if (!cold_start_done_) {
+    // Cold start (Algorithm 1, lines 1-4): exactly n_init uniform picks,
+    // regardless of the requested batch size.
+    std::vector<std::size_t> init_indices =
+        pool_.sample_indices(std::min(config_.n_init, pool_.size()), rng_);
+    for (auto& config : pool_.take_many(std::move(init_indices))) {
+      Candidate cand;
+      cand.config = std::move(config);
+      pending_.push_back(std::move(cand));
+    }
+    return pending_;
+  }
+
+  // Iteration phase (Algorithm 1, lines 5-9): predict over the pool, let
+  // the strategy pick a batch.
+  ++iteration_;
+  const std::size_t want = n == 0 ? config_.n_batch : n;
+  const std::size_t batch =
+      std::min({want, config_.n_max - num_labeled(), pool_.size()});
+
+  core::PoolPrediction prediction;
+  prediction.best_observed = best_observed();
+  prediction.mean.resize(pool_.size());
+  prediction.stddev.resize(pool_.size());
+  std::vector<rf::PredictionStats> stats;
+  {
+    std::vector<std::vector<double>> rows;
+    rows.reserve(pool_.size());
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      rows.push_back(space_.features(pool_.at(i)));
+    }
+    stats = model_->predict_stats_batch(rows, workers_);
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      prediction.mean[i] = stats[i].mean;
+      prediction.stddev[i] = stats[i].stddev;
+    }
+    prediction.features = std::move(rows);
+  }
+
+  std::vector<std::size_t> selected = strategy_->select(prediction, batch, rng_);
+  if (selected.empty()) {
+    throw std::logic_error("SamplingStrategy returned an empty batch");
+  }
+  // Remove in descending index order so earlier removals (swap-with-last)
+  // cannot disturb later indices, keeping each config paired with the
+  // prediction it was selected under.
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+  for (auto it = selected.rbegin(); it != selected.rend(); ++it) {
+    Candidate cand;
+    cand.has_prediction = true;
+    cand.predicted_mean = stats.at(*it).mean;
+    cand.predicted_stddev = stats.at(*it).stddev;
+    cand.iteration = iteration_;
+    cand.config = pool_.take(*it);
+    pending_.push_back(std::move(cand));
+  }
+  return pending_;
+}
+
+bool AskTellSession::tell(const space::Configuration& config,
+                          double measured_time) {
+  const auto it =
+      std::find_if(pending_.begin(), pending_.end(),
+                   [&](const Candidate& c) { return c.config == config; });
+  if (it == pending_.end()) {
+    throw std::invalid_argument(
+        "AskTellSession::tell: configuration is not an outstanding candidate");
+  }
+  append_label(*it, measured_time);
+  pending_.erase(it);
+  if (!pending_.empty()) return false;
+  if (iteration_ == 0) cold_start_done_ = true;
+  refit_due_ = true;
+  return true;
+}
+
+bool AskTellSession::refit() {
+  if (!refit_due_) return false;
+  fit_model();
+  refit_due_ = false;
+  return true;
+}
+
+void AskTellSession::append_label(const Candidate& candidate,
+                                  double measured_time) {
+  cumulative_cost_ += measured_time;
+  train_.add(space_.features(candidate.config), measured_time);
+  if (candidate.has_prediction) {
+    selections_.push_back({candidate.iteration, candidate.predicted_mean,
+                           candidate.predicted_stddev, measured_time});
+  }
+  train_configs_.push_back(candidate.config);
+  train_labels_.push_back(measured_time);
+}
+
+void AskTellSession::fit_model() {
+  if (!model_) {
+    model_ = core::make_surrogate(config_.surrogate, config_.forest,
+                                  config_.gp);
+  }
+  model_->fit(train_, rng_, workers_);
+}
+
+// ---- checkpointing ----
+//
+// Text format in the style of rf::RandomForest::save: a magic/version
+// header followed by sections. Doubles are written with max_digits10
+// precision, which round-trips every finite value exactly.
+
+namespace {
+
+[[noreturn]] void restore_fail(const std::string& what) {
+  throw std::runtime_error("AskTellSession::restore: " + what);
+}
+
+void expect_section(std::istream& is, const char* name) {
+  std::string token;
+  if (!(is >> token) || token != name) {
+    restore_fail(std::string("missing section '") + name + "'");
+  }
+}
+
+void write_levels(std::ostream& os, const space::Configuration& config) {
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    os << config.level(i) << ' ';
+  }
+}
+
+space::Configuration read_levels(std::istream& is,
+                                 const space::ParameterSpace& space) {
+  std::vector<std::uint32_t> levels(space.num_params());
+  for (auto& level : levels) {
+    if (!(is >> level)) restore_fail("bad configuration levels");
+  }
+  space::Configuration config(std::move(levels));
+  if (!space.contains(config)) {
+    restore_fail("configuration out of range for the space");
+  }
+  return config;
+}
+
+}  // namespace
+
+void AskTellSession::save(std::ostream& os) const {
+  if (!spec_.has_value()) {
+    throw std::logic_error(
+        "AskTellSession::save: session wraps an externally owned strategy "
+        "and cannot be checkpointed");
+  }
+  const auto precision = os.precision();
+  os.precision(std::numeric_limits<double>::max_digits10);
+
+  os << "pwu-session 1\n";
+  os << "strategy " << spec_->name << ' ' << spec_->alpha << '\n';
+  os << "learner " << config_.n_init << ' ' << config_.n_batch << ' '
+     << config_.n_max << ' ' << config_.surrogate << ' ' << config_.eval_every
+     << ' ' << config_.measure_repetitions << '\n';
+  os << "alphas " << config_.eval_alphas.size();
+  for (double alpha : config_.eval_alphas) os << ' ' << alpha;
+  os << '\n';
+  os << "forest " << config_.forest.num_trees << ' '
+     << config_.forest.tree.max_depth << ' '
+     << config_.forest.tree.min_samples_leaf << ' '
+     << config_.forest.tree.min_samples_split << ' '
+     << config_.forest.tree.mtry << ' ' << (config_.forest.bootstrap ? 1 : 0)
+     << ' ' << (config_.forest.compute_oob ? 1 : 0) << '\n';
+  os << "gp " << config_.gp.kernel << ' ' << config_.gp.signal_variance << ' '
+     << config_.gp.lengthscale << ' ' << config_.gp.noise_variance << ' '
+     << (config_.gp.median_heuristic ? 1 : 0) << '\n';
+  os << "progress " << iteration_ << ' ' << cumulative_cost_ << ' '
+     << (cold_start_done_ ? 1 : 0) << ' ' << (refit_due_ ? 1 : 0) << '\n';
+  os << "rng ";
+  rng_.save(os);
+
+  os << "warm " << warm_rows_ << ' ' << train_.num_features() << '\n';
+  for (std::size_t r = 0; r < warm_rows_; ++r) {
+    for (double v : train_.row(r)) os << v << ' ';
+    os << train_.y(r) << '\n';
+  }
+  os << "train " << train_configs_.size() << '\n';
+  for (std::size_t i = 0; i < train_configs_.size(); ++i) {
+    write_levels(os, train_configs_[i]);
+    os << train_labels_[i] << '\n';
+  }
+  os << "pool " << pool_.size() << '\n';
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    write_levels(os, pool_.at(i));
+    os << '\n';
+  }
+  os << "pending " << pending_.size() << '\n';
+  for (const auto& cand : pending_) {
+    write_levels(os, cand.config);
+    os << (cand.has_prediction ? 1 : 0) << ' ' << cand.predicted_mean << ' '
+       << cand.predicted_stddev << ' ' << cand.iteration << '\n';
+  }
+  os << "selections " << selections_.size() << '\n';
+  for (const auto& sel : selections_) {
+    os << sel.iteration << ' ' << sel.predicted_mean << ' '
+       << sel.predicted_stddev << ' ' << sel.measured << '\n';
+  }
+
+  os << "model " << (model_ != nullptr ? 1 : 0) << '\n';
+  if (model_ != nullptr) {
+    // Families without a serialized form (the GP) write nothing here;
+    // restore() refits them from the training set, which is exact because
+    // such fits consume no rng draws.
+    model_->save_model(os);
+  }
+  os << "end\n";
+  os.precision(precision);
+}
+
+AskTellSession AskTellSession::restore(const space::ParameterSpace& space,
+                                       std::istream& is,
+                                       util::ThreadPool* workers) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "pwu-session" || version != 1) {
+    restore_fail("bad header");
+  }
+
+  StrategySpec spec;
+  expect_section(is, "strategy");
+  if (!(is >> spec.name >> spec.alpha)) restore_fail("bad strategy line");
+
+  core::LearnerConfig config;
+  expect_section(is, "learner");
+  if (!(is >> config.n_init >> config.n_batch >> config.n_max >>
+        config.surrogate >> config.eval_every >>
+        config.measure_repetitions)) {
+    restore_fail("bad learner line");
+  }
+  expect_section(is, "alphas");
+  std::size_t num_alphas = 0;
+  if (!(is >> num_alphas)) restore_fail("bad alphas line");
+  config.eval_alphas.resize(num_alphas);
+  for (auto& alpha : config.eval_alphas) {
+    if (!(is >> alpha)) restore_fail("bad alphas line");
+  }
+  expect_section(is, "forest");
+  int bootstrap = 1, oob = 0;
+  if (!(is >> config.forest.num_trees >> config.forest.tree.max_depth >>
+        config.forest.tree.min_samples_leaf >>
+        config.forest.tree.min_samples_split >> config.forest.tree.mtry >>
+        bootstrap >> oob)) {
+    restore_fail("bad forest line");
+  }
+  config.forest.bootstrap = bootstrap != 0;
+  config.forest.compute_oob = oob != 0;
+  expect_section(is, "gp");
+  int median = 1;
+  if (!(is >> config.gp.kernel >> config.gp.signal_variance >>
+        config.gp.lengthscale >> config.gp.noise_variance >> median)) {
+    restore_fail("bad gp line");
+  }
+  config.gp.median_heuristic = median != 0;
+
+  expect_section(is, "progress");
+  std::size_t iteration = 0;
+  double cumulative_cost = 0.0;
+  int cold_done = 0, refit_due = 0;
+  if (!(is >> iteration >> cumulative_cost >> cold_done >> refit_due)) {
+    restore_fail("bad progress line");
+  }
+  expect_section(is, "rng");
+  util::Rng rng;
+  rng.load(is);
+
+  expect_section(is, "warm");
+  std::size_t warm_rows = 0, num_features = 0;
+  if (!(is >> warm_rows >> num_features)) restore_fail("bad warm header");
+  if (num_features != space.num_params()) {
+    restore_fail("feature schema does not match the given space");
+  }
+
+  AskTellSession session(space, config, {}, 0, workers);
+  session.spec_ = spec;
+  session.owned_strategy_ = core::make_strategy(spec.name, spec.alpha);
+  session.strategy_ = session.owned_strategy_.get();
+  session.rng_ = rng;
+  session.iteration_ = iteration;
+  session.cumulative_cost_ = cumulative_cost;
+  session.cold_start_done_ = cold_done != 0;
+  session.refit_due_ = refit_due != 0;
+  session.warm_rows_ = warm_rows;
+
+  std::vector<double> row(num_features);
+  for (std::size_t r = 0; r < warm_rows; ++r) {
+    double label = 0.0;
+    for (auto& v : row) {
+      if (!(is >> v)) restore_fail("bad warm row");
+    }
+    if (!(is >> label)) restore_fail("bad warm row");
+    session.train_.add(row, label);
+  }
+
+  expect_section(is, "train");
+  std::size_t train_count = 0;
+  if (!(is >> train_count)) restore_fail("bad train header");
+  session.train_configs_.reserve(train_count);
+  session.train_labels_.reserve(train_count);
+  for (std::size_t i = 0; i < train_count; ++i) {
+    space::Configuration config_i = read_levels(is, space);
+    double label = 0.0;
+    if (!(is >> label)) restore_fail("bad train label");
+    session.train_.add(space.features(config_i), label);
+    session.train_configs_.push_back(std::move(config_i));
+    session.train_labels_.push_back(label);
+  }
+
+  expect_section(is, "pool");
+  std::size_t pool_count = 0;
+  if (!(is >> pool_count)) restore_fail("bad pool header");
+  {
+    std::vector<space::Configuration> pool_configs;
+    pool_configs.reserve(pool_count);
+    for (std::size_t i = 0; i < pool_count; ++i) {
+      pool_configs.push_back(read_levels(is, space));
+    }
+    session.pool_ = space::CandidatePool(std::move(pool_configs));
+  }
+
+  expect_section(is, "pending");
+  std::size_t pending_count = 0;
+  if (!(is >> pending_count)) restore_fail("bad pending header");
+  for (std::size_t i = 0; i < pending_count; ++i) {
+    Candidate cand;
+    cand.config = read_levels(is, space);
+    int has_prediction = 0;
+    if (!(is >> has_prediction >> cand.predicted_mean >>
+          cand.predicted_stddev >> cand.iteration)) {
+      restore_fail("bad pending row");
+    }
+    cand.has_prediction = has_prediction != 0;
+    session.pending_.push_back(std::move(cand));
+  }
+
+  expect_section(is, "selections");
+  std::size_t selection_count = 0;
+  if (!(is >> selection_count)) restore_fail("bad selections header");
+  for (std::size_t i = 0; i < selection_count; ++i) {
+    core::SelectionRecord sel;
+    if (!(is >> sel.iteration >> sel.predicted_mean >> sel.predicted_stddev >>
+          sel.measured)) {
+      restore_fail("bad selection row");
+    }
+    session.selections_.push_back(sel);
+  }
+
+  expect_section(is, "model");
+  int has_model = 0;
+  if (!(is >> has_model)) restore_fail("bad model flag");
+  if (has_model != 0) {
+    session.model_ = core::make_surrogate(config.surrogate, config.forest,
+                                          config.gp);
+    if (!session.model_->load_model(is)) {
+      // No serialized form for this family: refit from the restored
+      // training set. Exact for fits that consume no rng draws (GP); a
+      // scratch copy keeps the real stream untouched either way.
+      util::Rng scratch = session.rng_;
+      session.model_->fit(session.train_, scratch, workers);
+    }
+  }
+  expect_section(is, "end");
+  return session;
+}
+
+}  // namespace pwu::service

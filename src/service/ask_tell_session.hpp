@@ -1,0 +1,190 @@
+// Inverted-control form of Algorithm 1 (the ask/tell pattern of
+// sequential model-based optimization services).
+//
+// The batch loop in core::ActiveLearner owns the measurement callback; a
+// tuning *service* cannot — the expensive run happens on the client's
+// machine. AskTellSession turns the loop inside out:
+//
+//   ask()  -> the next batch of candidate configurations to measure
+//             (cold-start picks first, then strategy selections with the
+//             surrogate's predicted mu/sigma attached)
+//   tell() -> hands one measured label back; when the outstanding batch is
+//             complete the surrogate refit becomes due
+//
+// core::ActiveLearner::run is a thin driver over this class, so the batch
+// benches and the service share one Algorithm-1 implementation. The whole
+// dynamic state (training set, candidate pool, RNG, pending asks, history)
+// serializes through save()/restore(), so a server restart loses no labels
+// and — for the random-forest surrogate, whose trees round-trip exactly —
+// the resumed session continues bit-identically.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/active_learner.hpp"
+#include "core/sampling_strategy.hpp"
+#include "core/surrogate.hpp"
+#include "space/configuration.hpp"
+#include "space/parameter_space.hpp"
+#include "space/pool.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pwu::service {
+
+/// Strategy-by-name (core::make_strategy) — the serializable form a
+/// checkpoint can reconstruct.
+struct StrategySpec {
+  std::string name = "pwu";
+  double alpha = 0.05;
+};
+
+/// One configuration handed out by ask(). Cold-start candidates carry no
+/// prediction (has_prediction = false); strategy selections carry the
+/// mu/sigma they were selected under (the paper's Fig. 9 raw data).
+struct Candidate {
+  space::Configuration config;
+  bool has_prediction = false;
+  double predicted_mean = 0.0;
+  double predicted_stddev = 0.0;
+  /// 0 = cold start, then 1, 2, ... per strategy batch.
+  std::size_t iteration = 0;
+};
+
+enum class SessionPhase {
+  ColdStart,      // nothing asked yet; next ask() returns the n_init picks
+  AwaitingTells,  // an ask() batch is outstanding
+  Ready,          // fitted, budget remaining, no outstanding batch
+  Done,           // n_max reached or pool exhausted
+};
+
+const char* to_string(SessionPhase phase);
+
+class AskTellSession {
+ public:
+  /// Owning-strategy form (the service path). The strategy is built from
+  /// `spec` via core::make_strategy, and the session is checkpointable.
+  AskTellSession(const space::ParameterSpace& space, StrategySpec spec,
+                 core::LearnerConfig config,
+                 std::vector<space::Configuration> pool, std::uint64_t seed,
+                 util::ThreadPool* workers = nullptr);
+
+  /// Non-owning form (the ActiveLearner driver path): `strategy` must
+  /// outlive the session. `warm_start` optionally seeds the training set
+  /// with free source-task rows (they count toward neither budget nor
+  /// cost). save() is unavailable — an externally owned strategy cannot be
+  /// reconstructed from a checkpoint.
+  AskTellSession(const space::ParameterSpace& space,
+                 const core::SamplingStrategy& strategy,
+                 core::LearnerConfig config,
+                 std::vector<space::Configuration> pool,
+                 const rf::Dataset* warm_start, std::uint64_t seed,
+                 util::ThreadPool* workers = nullptr);
+
+  AskTellSession(AskTellSession&&) = default;
+  AskTellSession& operator=(AskTellSession&&) = default;
+
+  /// Next batch to measure. `n` requests a batch size (clamped to the
+  /// remaining budget and pool; 0 = the configured default: n_init during
+  /// cold start, n_batch afterwards). Returns an empty vector when done.
+  /// Throws std::logic_error while a previous batch is still outstanding.
+  /// Performs any due refit first.
+  std::vector<Candidate> ask(std::size_t n = 0);
+
+  /// Reports the measured execution time of an outstanding candidate
+  /// (matched by configuration; any order within the batch is accepted,
+  /// though replaying tells in ask order is what reproduces the batch
+  /// driver bit-for-bit). Returns true when this tell completed the batch,
+  /// i.e. a refit is now due. Throws std::invalid_argument for a
+  /// configuration that is not outstanding.
+  bool tell(const space::Configuration& config, double measured_time);
+
+  /// (Re)fits the surrogate if a completed batch made it due. Kept separate
+  /// from tell() so a session manager can run it on a worker thread;
+  /// ask() calls it implicitly. Returns true when a fit ran.
+  bool refit();
+
+  bool refit_due() const { return refit_due_; }
+
+  /// True once the target budget n_max is labeled or the pool is exhausted
+  /// (and no tells are outstanding).
+  bool done() const;
+
+  SessionPhase phase() const;
+
+  // ---- observers ----
+  std::size_t pending_count() const { return pending_.size(); }
+  /// Target samples labeled so far (excludes warm-start rows).
+  std::size_t num_labeled() const { return train_labels_.size(); }
+  std::size_t iteration() const { return iteration_; }
+  std::size_t pool_remaining() const { return pool_.size(); }
+  double cumulative_cost() const { return cumulative_cost_; }
+  /// Smallest measured time so far; NaN before the first tell.
+  double best_observed() const;
+
+  const space::ParameterSpace& space() const { return space_; }
+  const core::LearnerConfig& config() const { return config_; }
+  /// Strategy spec for owned strategies; nullopt for the non-owning form.
+  const std::optional<StrategySpec>& strategy_spec() const { return spec_; }
+  const rf::Dataset& train() const { return train_; }
+  const std::vector<space::Configuration>& train_configs() const {
+    return train_configs_;
+  }
+  const std::vector<double>& train_labels() const { return train_labels_; }
+  const std::vector<core::SelectionRecord>& selections() const {
+    return selections_;
+  }
+  /// Fitted surrogate (nullptr-fitted only before the cold start
+  /// completes). Shared so LearnerResult can carry it beyond the session.
+  std::shared_ptr<core::Surrogate> model() const { return model_; }
+
+  /// Serializes the complete dynamic state (strategy spec, learner config,
+  /// rng, training set, remaining pool, pending asks, history, fitted
+  /// model). Throws std::logic_error for sessions built around an
+  /// externally owned strategy.
+  void save(std::ostream& os) const;
+
+  /// Rebuilds a session from a save() stream. `space` must be the space
+  /// the checkpoint was taken against (the feature schema is validated).
+  static AskTellSession restore(const space::ParameterSpace& space,
+                                std::istream& is,
+                                util::ThreadPool* workers = nullptr);
+
+ private:
+  AskTellSession(const space::ParameterSpace& space,
+                 core::LearnerConfig config,
+                 std::vector<space::Configuration> pool, std::uint64_t seed,
+                 util::ThreadPool* workers);
+
+  void append_label(const Candidate& candidate, double measured_time);
+  void fit_model();
+
+  space::ParameterSpace space_;
+  core::LearnerConfig config_;
+  std::optional<StrategySpec> spec_;      // set <=> strategy is owned
+  core::StrategyPtr owned_strategy_;
+  const core::SamplingStrategy* strategy_ = nullptr;
+  util::ThreadPool* workers_ = nullptr;
+
+  space::CandidatePool pool_;
+  rf::Dataset train_;
+  std::size_t warm_rows_ = 0;
+  std::vector<space::Configuration> train_configs_;
+  std::vector<double> train_labels_;
+  std::vector<core::SelectionRecord> selections_;
+  std::vector<Candidate> pending_;
+  std::shared_ptr<core::Surrogate> model_;
+  util::Rng rng_;
+  std::size_t iteration_ = 0;
+  double cumulative_cost_ = 0.0;
+  bool refit_due_ = false;
+  bool cold_start_done_ = false;
+};
+
+}  // namespace pwu::service

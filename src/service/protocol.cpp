@@ -1,0 +1,243 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace pwu::service {
+
+namespace json = util::json;
+
+namespace {
+
+std::size_t size_field(const json::Value& request, const std::string& key,
+                       std::size_t fallback) {
+  const double v = request.number_or(key, static_cast<double>(fallback));
+  if (v < 0.0) {
+    throw std::invalid_argument("field '" + key + "' must be non-negative");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::string required_string(const json::Value& request,
+                            const std::string& key) {
+  const json::Value& v = request.at(key);
+  if (!v.is_string()) {
+    throw std::invalid_argument("missing string field '" + key + "'");
+  }
+  return v.as_string();
+}
+
+json::Value error_response(const std::string& message) {
+  json::Object obj;
+  obj.emplace("ok", json::Value(false));
+  obj.emplace("error", json::Value(message));
+  return json::Value(std::move(obj));
+}
+
+json::Value ok_response(json::Object fields = {}) {
+  fields.emplace("ok", json::Value(true));
+  return json::Value(std::move(fields));
+}
+
+}  // namespace
+
+SessionSpec spec_from_json(const json::Value& request) {
+  SessionSpec spec;
+  spec.workload = required_string(request, "workload");
+  spec.strategy = request.string_or("strategy", spec.strategy);
+  spec.alpha = request.number_or("alpha", spec.alpha);
+  spec.learner.n_init = size_field(request, "n_init", spec.learner.n_init);
+  spec.learner.n_batch = size_field(request, "n_batch", spec.learner.n_batch);
+  spec.learner.n_max = size_field(request, "n_max", 150);
+  spec.learner.surrogate =
+      request.string_or("surrogate", spec.learner.surrogate);
+  spec.learner.forest.num_trees =
+      size_field(request, "trees", spec.learner.forest.num_trees);
+  spec.learner.eval_every =
+      size_field(request, "eval_every", spec.learner.eval_every);
+  spec.learner.measure_repetitions = static_cast<int>(
+      size_field(request, "measure_reps",
+                 static_cast<std::size_t>(spec.learner.measure_repetitions)));
+  spec.pool_size = size_field(request, "pool_size", spec.pool_size);
+  spec.test_size = size_field(request, "test_size", spec.test_size);
+  if (request.has("seed")) {
+    const json::Value& seed = request.at("seed");
+    // Accept a number (exact up to 2^53) or a decimal string (full 64-bit).
+    if (seed.is_string()) {
+      spec.seed = std::stoull(seed.as_string());
+    } else {
+      spec.seed = static_cast<std::uint64_t>(seed.as_number());
+    }
+  }
+  return spec;
+}
+
+json::Value status_to_json(const SessionStatus& status) {
+  json::Object obj;
+  obj.emplace("session", json::Value(status.name));
+  obj.emplace("workload", json::Value(status.workload));
+  obj.emplace("strategy", json::Value(status.strategy));
+  obj.emplace("alpha", json::Value(status.alpha));
+  obj.emplace("phase", json::Value(status.phase));
+  obj.emplace("labeled", json::Value(status.labeled));
+  obj.emplace("n_max", json::Value(status.n_max));
+  obj.emplace("pending", json::Value(status.pending));
+  obj.emplace("iteration", json::Value(status.iteration));
+  obj.emplace("pool_remaining", json::Value(status.pool_remaining));
+  obj.emplace("cumulative_cost", json::Value(status.cumulative_cost));
+  if (std::isfinite(status.best_observed)) {
+    obj.emplace("best_observed", json::Value(status.best_observed));
+  }
+  obj.emplace("done", json::Value(status.done));
+  obj.emplace("measure_seed",
+              json::Value(std::to_string(status.measure_seed)));
+  return json::Value(std::move(obj));
+}
+
+json::Value candidate_to_json(const Candidate& candidate) {
+  json::Object obj;
+  json::Array levels;
+  levels.reserve(candidate.config.size());
+  for (std::uint32_t level : candidate.config.levels()) {
+    levels.emplace_back(static_cast<std::size_t>(level));
+  }
+  obj.emplace("levels", json::Value(std::move(levels)));
+  obj.emplace("iteration", json::Value(candidate.iteration));
+  if (candidate.has_prediction) {
+    obj.emplace("mean", json::Value(candidate.predicted_mean));
+    obj.emplace("stddev", json::Value(candidate.predicted_stddev));
+  }
+  return json::Value(std::move(obj));
+}
+
+space::Configuration configuration_from_json(const json::Value& levels) {
+  if (!levels.is_array()) {
+    throw std::invalid_argument("'levels' must be an array of level indices");
+  }
+  std::vector<std::uint32_t> out;
+  out.reserve(levels.as_array().size());
+  for (const json::Value& v : levels.as_array()) {
+    const double d = v.as_number();
+    if (d < 0.0 || d != std::floor(d)) {
+      throw std::invalid_argument("'levels' entries must be non-negative "
+                                  "integers");
+    }
+    out.push_back(static_cast<std::uint32_t>(d));
+  }
+  return space::Configuration(std::move(out));
+}
+
+util::json::Value handle_request(SessionManager& manager,
+                                 const json::Value& request) {
+  try {
+    const std::string op = required_string(request, "op");
+
+    if (op == "shutdown") {
+      return ok_response({{"shutdown", json::Value(true)}});
+    }
+    if (op == "list") {
+      json::Array sessions;
+      for (const SessionStatus& status : manager.list()) {
+        sessions.push_back(status_to_json(status));
+      }
+      return ok_response({{"sessions", json::Value(std::move(sessions))}});
+    }
+
+    // Reject unknown ops before demanding their operands, so a typo'd op
+    // is reported as such rather than as a missing 'session'.
+    if (op != "create" && op != "ask" && op != "tell" && op != "status" &&
+        op != "close" && op != "checkpoint" && op != "resume") {
+      return error_response("unknown op '" + op + "'");
+    }
+    const std::string name = required_string(request, "session");
+    if (op == "create") {
+      const SessionStatus status = manager.create(name, spec_from_json(request));
+      return ok_response(
+          {{"session", json::Value(name)},
+           {"measure_seed", json::Value(std::to_string(status.measure_seed))},
+           {"status", status_to_json(status)}});
+    }
+    if (op == "ask") {
+      const std::size_t count = size_field(request, "count", 0);
+      std::vector<Candidate> candidates = manager.ask(name, count);
+      json::Array arr;
+      arr.reserve(candidates.size());
+      for (const Candidate& cand : candidates) {
+        arr.push_back(candidate_to_json(cand));
+      }
+      return ok_response(
+          {{"candidates", json::Value(std::move(arr))},
+           {"done", json::Value(candidates.empty())}});
+    }
+    if (op == "tell") {
+      const json::Value& time = request.at("time");
+      if (!time.is_number()) {
+        throw std::invalid_argument("missing number field 'time'");
+      }
+      const TellOutcome outcome = manager.tell(
+          name, configuration_from_json(request.at("levels")),
+          time.as_number());
+      return ok_response({{"labeled", json::Value(outcome.labeled)},
+                          {"refit", json::Value(outcome.batch_complete)},
+                          {"done", json::Value(outcome.done)}});
+    }
+    if (op == "status") {
+      return ok_response({{"status", status_to_json(manager.status(name))}});
+    }
+    if (op == "close") {
+      const bool closed = manager.close(name);
+      if (!closed) return error_response("no session named '" + name + "'");
+      return ok_response({{"closed", json::Value(name)}});
+    }
+    if (op == "checkpoint") {
+      const std::string path = required_string(request, "path");
+      std::ofstream out(path);
+      if (!out) return error_response("cannot open '" + path + "' for write");
+      manager.checkpoint(name, out);
+      out.flush();
+      if (!out) return error_response("write failed for '" + path + "'");
+      return ok_response({{"path", json::Value(path)}});
+    }
+    if (op == "resume") {
+      const std::string path = required_string(request, "path");
+      std::ifstream in(path);
+      if (!in) return error_response("cannot open '" + path + "'");
+      const SessionStatus status = manager.resume(name, in);
+      return ok_response(
+          {{"measure_seed", json::Value(std::to_string(status.measure_seed))},
+           {"status", status_to_json(status)}});
+    }
+    return error_response("unknown op '" + op + "'");
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+std::size_t run_serve_loop(std::istream& in, std::ostream& out,
+                           SessionManager& manager) {
+  std::size_t handled = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    json::Value response;
+    bool shutdown = false;
+    try {
+      const json::Value request = json::parse(line);
+      response = handle_request(manager, request);
+      const json::Value& flag = response.at("shutdown");
+      shutdown = flag.is_bool() && flag.as_bool();
+    } catch (const std::exception& e) {
+      response = error_response(e.what());
+    }
+    out << response.dump() << '\n';
+    out.flush();
+    ++handled;
+    if (shutdown) break;
+  }
+  return handled;
+}
+
+}  // namespace pwu::service

@@ -1,0 +1,60 @@
+// JSON-lines request/response protocol for the tuning service.
+//
+// One JSON object per line in, one per line out — pipe-friendly, so
+// `pwu_serve` is scriptable with a shell heredoc and testable with string
+// streams. Every response carries "ok"; failures carry "error" and never
+// tear the server down.
+//
+//   {"op":"create","session":"s1","workload":"atax","strategy":"pwu",
+//    "alpha":0.05,"n_init":10,"n_batch":1,"n_max":60,"pool_size":400,
+//    "test_size":200,"trees":25,"seed":7}
+//     -> {"ok":true,"session":"s1","measure_seed":"1234...","status":{...}}
+//   {"op":"ask","session":"s1","count":1}
+//     -> {"ok":true,"done":false,"candidates":[{"levels":[3,0,5],
+//         "mean":0.41,"stddev":0.07,"iteration":1}]}
+//   {"op":"tell","session":"s1","levels":[3,0,5],"time":0.3977}
+//     -> {"ok":true,"labeled":11,"refit":true,"done":false}
+//   {"op":"status","session":"s1"} | {"op":"list"} |
+//   {"op":"close","session":"s1"} |
+//   {"op":"checkpoint","session":"s1","path":"/tmp/s1.ckpt"} |
+//   {"op":"resume","session":"s1","path":"/tmp/s1.ckpt"} |
+//   {"op":"shutdown"}
+//
+// measure_seed is a decimal *string*: 64-bit seeds do not survive the trip
+// through a JSON double.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "service/session_manager.hpp"
+#include "util/json.hpp"
+
+namespace pwu::service {
+
+/// Parses a create request's tuning fields into a SessionSpec (defaults
+/// match the pwu_run CLI). Throws std::invalid_argument on missing or
+/// malformed fields.
+SessionSpec spec_from_json(const util::json::Value& request);
+
+util::json::Value status_to_json(const SessionStatus& status);
+util::json::Value candidate_to_json(const Candidate& candidate);
+
+/// Converts a "levels" JSON array to a Configuration (validated against
+/// `space` by the session when told).
+space::Configuration configuration_from_json(const util::json::Value& levels);
+
+/// Dispatches one request object against the manager. Never throws for
+/// request-level errors — they come back as {"ok":false,"error":...}.
+/// A {"op":"shutdown"} request responds {"ok":true,"shutdown":true}.
+util::json::Value handle_request(SessionManager& manager,
+                                 const util::json::Value& request);
+
+/// Reads JSON lines from `in` until EOF or a shutdown request, writing one
+/// response line each. Blank lines are skipped; parse errors produce error
+/// responses. Returns the number of requests handled.
+std::size_t run_serve_loop(std::istream& in, std::ostream& out,
+                           SessionManager& manager);
+
+}  // namespace pwu::service

@@ -1,0 +1,236 @@
+#include "service/session_manager.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "space/pool.hpp"
+#include "workloads/registry.hpp"
+
+namespace pwu::service {
+
+SessionManager::SessionManager(util::ThreadPool* workers)
+    : workers_(workers) {}
+
+SessionManager::~SessionManager() {
+  std::lock_guard registry_lock(registry_mutex_);
+  for (auto& [name, entry] : sessions_) {
+    std::lock_guard entry_lock(entry->mutex);
+    join_refit(*entry);
+  }
+}
+
+void SessionManager::join_refit(Entry& entry) {
+  if (entry.refit.valid()) {
+    entry.refit.get();  // rethrows a failed refit to the next caller
+  }
+}
+
+std::shared_ptr<SessionManager::Entry> SessionManager::find(
+    const std::string& name) const {
+  std::lock_guard lock(registry_mutex_);
+  const auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument("SessionManager: no session named '" + name +
+                                "'");
+  }
+  return it->second;
+}
+
+SessionStatus SessionManager::status_locked(const std::string& name,
+                                            const Entry& entry) const {
+  const AskTellSession& session = *entry.session;
+  SessionStatus status;
+  status.name = name;
+  status.workload = entry.spec.workload;
+  status.strategy = entry.spec.strategy;
+  status.alpha = entry.spec.alpha;
+  status.phase = to_string(session.phase());
+  status.labeled = session.num_labeled();
+  status.n_max = session.config().n_max;
+  status.pending = session.pending_count();
+  status.iteration = session.iteration();
+  status.pool_remaining = session.pool_remaining();
+  status.cumulative_cost = session.cumulative_cost();
+  status.best_observed = session.best_observed();
+  status.done = session.done();
+  status.measure_seed = entry.measure_seed;
+  return status;
+}
+
+SessionStatus SessionManager::create(const std::string& name,
+                                     const SessionSpec& spec) {
+  if (name.empty()) {
+    throw std::invalid_argument("SessionManager::create: empty session name");
+  }
+  const workloads::WorkloadPtr workload =
+      workloads::make_workload(spec.workload);
+
+  // Seed derivation mirrors one repeat of core::run_experiment: a split
+  // stream for the pool, then a run stream whose first two draws become
+  // the session seed and the client's measurement seed. A batch
+  // ActiveLearner::run over the same derivation is label-for-label
+  // identical to this session (tests/test_ask_tell.cpp).
+  util::Rng master(spec.seed);
+  util::Rng split_rng = master.fork();
+  space::PoolSplit split = space::make_pool_split(
+      workload->space(), spec.pool_size, spec.test_size, split_rng);
+  util::Rng run_rng = master.fork();
+  const std::uint64_t session_seed = run_rng.next_u64();
+  const std::uint64_t measure_seed = run_rng.next_u64();
+
+  auto entry = std::make_shared<Entry>();
+  entry->session = std::make_unique<AskTellSession>(
+      workload->space(), StrategySpec{spec.strategy, spec.alpha}, spec.learner,
+      std::move(split.pool), session_seed, workers_);
+  entry->spec = spec;
+  entry->measure_seed = measure_seed;
+
+  std::lock_guard lock(registry_mutex_);
+  const auto [it, inserted] = sessions_.emplace(name, std::move(entry));
+  if (!inserted) {
+    throw std::invalid_argument("SessionManager::create: session '" + name +
+                                "' already exists");
+  }
+  return status_locked(name, *it->second);
+}
+
+std::vector<Candidate> SessionManager::ask(const std::string& name,
+                                           std::size_t count) {
+  const std::shared_ptr<Entry> entry = find(name);
+  std::lock_guard lock(entry->mutex);
+  join_refit(*entry);
+  return entry->session->ask(count);
+}
+
+TellOutcome SessionManager::tell(const std::string& name,
+                                 const space::Configuration& config,
+                                 double measured_time) {
+  const std::shared_ptr<Entry> entry = find(name);
+  std::lock_guard lock(entry->mutex);
+  join_refit(*entry);
+  TellOutcome outcome;
+  outcome.batch_complete = entry->session->tell(config, measured_time);
+  outcome.labeled = entry->session->num_labeled();
+  outcome.done = entry->session->done();
+  if (outcome.batch_complete) {
+    // The refit is due; run it off-thread so refits of different sessions
+    // overlap. The entry mutex is NOT held by the task — the next
+    // operation on this session joins the future first.
+    AskTellSession* session = entry->session.get();
+    if (workers_ != nullptr && workers_->num_threads() > 1) {
+      entry->refit = workers_->submit([session] { session->refit(); });
+    } else {
+      session->refit();
+    }
+  }
+  return outcome;
+}
+
+SessionStatus SessionManager::status(const std::string& name) const {
+  const std::shared_ptr<Entry> entry = find(name);
+  std::lock_guard lock(entry->mutex);
+  join_refit(*entry);
+  return status_locked(name, *entry);
+}
+
+std::vector<SessionStatus> SessionManager::list() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard lock(registry_mutex_);
+    names.reserve(sessions_.size());
+    for (const auto& [name, entry] : sessions_) names.push_back(name);
+  }
+  std::vector<SessionStatus> statuses;
+  statuses.reserve(names.size());
+  for (const auto& name : names) {
+    try {
+      statuses.push_back(status(name));
+    } catch (const std::invalid_argument&) {
+      // Closed between the snapshot and the status call — skip.
+    }
+  }
+  return statuses;
+}
+
+bool SessionManager::close(const std::string& name) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard lock(registry_mutex_);
+    const auto it = sessions_.find(name);
+    if (it == sessions_.end()) return false;
+    entry = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Drain the refit outside the registry lock so closing a busy session
+  // does not stall unrelated requests.
+  std::lock_guard entry_lock(entry->mutex);
+  join_refit(*entry);
+  return true;
+}
+
+void SessionManager::checkpoint(const std::string& name,
+                                std::ostream& os) const {
+  const std::shared_ptr<Entry> entry = find(name);
+  std::lock_guard lock(entry->mutex);
+  join_refit(*entry);
+  os << "pwu-session-file 1\n";
+  os << "workload " << entry->spec.workload << '\n';
+  os << "sizes " << entry->spec.pool_size << ' ' << entry->spec.test_size
+     << ' ' << entry->spec.seed << '\n';
+  os << "measure_seed " << entry->measure_seed << '\n';
+  entry->session->save(os);
+}
+
+SessionStatus SessionManager::resume(const std::string& name,
+                                     std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "pwu-session-file" ||
+      version != 1) {
+    throw std::runtime_error("SessionManager::resume: bad checkpoint header");
+  }
+  SessionSpec spec;
+  std::string token;
+  std::uint64_t measure_seed = 0;
+  if (!(is >> token >> spec.workload) || token != "workload") {
+    throw std::runtime_error("SessionManager::resume: bad workload line");
+  }
+  if (!(is >> token >> spec.pool_size >> spec.test_size >> spec.seed) ||
+      token != "sizes") {
+    throw std::runtime_error("SessionManager::resume: bad sizes line");
+  }
+  if (!(is >> token >> measure_seed) || token != "measure_seed") {
+    throw std::runtime_error("SessionManager::resume: bad measure_seed line");
+  }
+
+  const workloads::WorkloadPtr workload =
+      workloads::make_workload(spec.workload);
+  auto entry = std::make_shared<Entry>();
+  entry->session = std::make_unique<AskTellSession>(
+      AskTellSession::restore(workload->space(), is, workers_));
+  // Surface the restored strategy/config in status output.
+  if (entry->session->strategy_spec().has_value()) {
+    spec.strategy = entry->session->strategy_spec()->name;
+    spec.alpha = entry->session->strategy_spec()->alpha;
+  }
+  spec.learner = entry->session->config();
+  entry->spec = std::move(spec);
+  entry->measure_seed = measure_seed;
+
+  std::lock_guard lock(registry_mutex_);
+  const auto [it, inserted] = sessions_.emplace(name, std::move(entry));
+  if (!inserted) {
+    throw std::invalid_argument("SessionManager::resume: session '" + name +
+                                "' already exists");
+  }
+  return status_locked(name, *it->second);
+}
+
+std::size_t SessionManager::size() const {
+  std::lock_guard lock(registry_mutex_);
+  return sessions_.size();
+}
+
+}  // namespace pwu::service

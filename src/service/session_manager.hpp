@@ -1,0 +1,130 @@
+// Thread-safe registry of named, concurrently running AskTellSessions —
+// the stateful heart of the tuning service.
+//
+// Locking is two-level: a registry mutex guards the name -> entry map, and
+// each entry carries its own mutex, so operations on different sessions
+// never serialize against each other. When a tell() completes a batch, the
+// surrogate refit is submitted to the shared util::ThreadPool and joined
+// lazily by the next operation on that session — refits of different
+// sessions proceed in parallel even when all requests arrive on one
+// protocol thread (the pwu_serve stdin loop).
+
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/active_learner.hpp"
+#include "service/ask_tell_session.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pwu::service {
+
+/// Everything needed to (re)create a session deterministically. One master
+/// seed drives the pool split and both session streams, in the same
+/// derivation order core::run_experiment uses for its first repeat — so a
+/// service session is label-for-label comparable to a batch run.
+struct SessionSpec {
+  std::string workload;
+  std::string strategy = "pwu";
+  double alpha = 0.05;
+  core::LearnerConfig learner;
+  std::size_t pool_size = 1500;
+  /// Held-out configurations reserved by the pool split (the service never
+  /// measures them; a client running its own evaluation uses them).
+  std::size_t test_size = 0;
+  std::uint64_t seed = 42;
+};
+
+struct SessionStatus {
+  std::string name;
+  std::string workload;
+  std::string strategy;
+  double alpha = 0.0;
+  std::string phase;
+  std::size_t labeled = 0;
+  std::size_t n_max = 0;
+  std::size_t pending = 0;
+  std::size_t iteration = 0;
+  std::size_t pool_remaining = 0;
+  double cumulative_cost = 0.0;
+  double best_observed = 0.0;  // NaN before the first tell
+  bool done = false;
+  /// Seed of the measurement stream a simulated client must use to
+  /// reproduce the equivalent batch run (core::ActiveLearner::run).
+  std::uint64_t measure_seed = 0;
+};
+
+struct TellOutcome {
+  std::size_t labeled = 0;
+  bool batch_complete = false;  // a refit was scheduled (or ran inline)
+  bool done = false;
+};
+
+class SessionManager {
+ public:
+  /// `workers` parallelizes surrogate refits across sessions and within a
+  /// forest fit; nullptr runs everything on the calling thread.
+  explicit SessionManager(util::ThreadPool* workers = nullptr);
+  /// Joins outstanding background refits.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Creates a named session against a registry workload. Throws
+  /// std::invalid_argument for duplicate names or unknown workloads.
+  SessionStatus create(const std::string& name, const SessionSpec& spec);
+
+  /// Next batch of candidates (count 0 = the session default).
+  std::vector<Candidate> ask(const std::string& name, std::size_t count = 0);
+
+  /// Reports one measured label. The refit triggered by a completed batch
+  /// runs on the worker pool when one is available.
+  TellOutcome tell(const std::string& name,
+                   const space::Configuration& config, double measured_time);
+
+  SessionStatus status(const std::string& name) const;
+  std::vector<SessionStatus> list() const;
+
+  /// Removes the session; returns false when the name is unknown.
+  bool close(const std::string& name);
+
+  /// Serializes the full session state (spec header + AskTellSession
+  /// checkpoint) so a restarted server loses no labels.
+  void checkpoint(const std::string& name, std::ostream& os) const;
+
+  /// Recreates a session from a checkpoint() stream under `name`. The
+  /// workload is rebuilt from the registry; resumed random-forest sessions
+  /// continue bit-identically.
+  SessionStatus resume(const std::string& name, std::istream& is);
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    mutable std::mutex mutex;
+    std::unique_ptr<AskTellSession> session;
+    SessionSpec spec;
+    std::uint64_t measure_seed = 0;
+    /// Pending background refit; joined before the next operation.
+    std::future<void> refit;
+  };
+
+  std::shared_ptr<Entry> find(const std::string& name) const;
+  SessionStatus status_locked(const std::string& name,
+                              const Entry& entry) const;
+  static void join_refit(Entry& entry);
+
+  mutable std::mutex registry_mutex_;
+  std::map<std::string, std::shared_ptr<Entry>> sessions_;
+  util::ThreadPool* workers_ = nullptr;
+};
+
+}  // namespace pwu::service

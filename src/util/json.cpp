@@ -1,0 +1,358 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pwu::util::json {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Type got) {
+  static const char* names[] = {"null",  "boolean", "number",
+                                "string", "array",   "object"};
+  throw std::runtime_error(std::string("json: expected ") + want + ", got " +
+                           names[static_cast<int>(got)]);
+}
+
+const Value& null_value() {
+  static const Value null;
+  return null;
+}
+
+void escape_to(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_to(std::string& out, const Value& v) {
+  switch (v.type()) {
+    case Type::Null:
+      out += "null";
+      break;
+    case Type::Boolean:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Type::Number: {
+      const double d = v.as_number();
+      if (!std::isfinite(d)) {
+        out += "null";  // JSON has no Inf/NaN
+        break;
+      }
+      char buf[32];
+      // Shortest representation that round-trips the double exactly.
+      auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, d);
+      out.append(buf, ptr);
+      break;
+    }
+    case Type::String:
+      escape_to(out, v.as_string());
+      break;
+    case Type::ArrayT: {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& item : v.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_to(out, item);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::ObjectT: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        escape_to(out, key);
+        out.push_back(':');
+        dump_to(out, value);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value run() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.insert_or_assign(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value(std::move(obj));
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Encode the code point as UTF-8 (basic plane only; surrogate
+          // pairs are beyond what the protocol needs).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // JSON forbids leading zeros: 0 may only start a number when followed
+    // by '.', 'e'/'E', or nothing numeric.
+    if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      fail("leading zero in number");
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double d = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    auto [ptr, ec] = std::from_chars(first, last, d);
+    if (ec != std::errc() || ptr != last || first == last) {
+      pos_ = start;
+      fail("bad number");
+    }
+    return Value(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::Boolean) type_error("boolean", type_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (type_ != Type::Number) type_error("number", type_);
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::String) type_error("string", type_);
+  return string_;
+}
+
+const Array& Value::as_array() const {
+  if (type_ != Type::ArrayT) type_error("array", type_);
+  return array_;
+}
+
+const Object& Value::as_object() const {
+  if (type_ != Type::ObjectT) type_error("object", type_);
+  return object_;
+}
+
+Array& Value::as_array() {
+  if (type_ != Type::ArrayT) type_error("array", type_);
+  return array_;
+}
+
+Object& Value::as_object() {
+  if (type_ != Type::ObjectT) type_error("object", type_);
+  return object_;
+}
+
+const Value& Value::at(const std::string& key) const {
+  if (type_ != Type::ObjectT) return null_value();
+  const auto it = object_.find(key);
+  return it == object_.end() ? null_value() : it->second;
+}
+
+bool Value::has(const std::string& key) const { return !at(key).is_null(); }
+
+double Value::number_or(const std::string& key, double fallback) const {
+  const Value& v = at(key);
+  return v.is_number() ? v.as_number() : fallback;
+}
+
+std::string Value::string_or(const std::string& key,
+                             const std::string& fallback) const {
+  const Value& v = at(key);
+  return v.is_string() ? v.as_string() : fallback;
+}
+
+bool Value::bool_or(const std::string& key, bool fallback) const {
+  const Value& v = at(key);
+  return v.is_bool() ? v.as_bool() : fallback;
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out, *this);
+  return out;
+}
+
+Value parse(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace pwu::util::json

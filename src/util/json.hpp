@@ -1,0 +1,81 @@
+// Minimal JSON value type with parse/serialize, sized for the service
+// protocol (src/service/protocol.*): objects, arrays, strings, doubles,
+// bools, null. No external dependency; numbers are always doubles (the
+// protocol's integers stay exact up to 2^53, far beyond any session size).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pwu::util::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps serialization order deterministic (sorted keys), which
+/// makes protocol responses stable for tests and logs.
+using Object = std::map<std::string, Value>;
+
+enum class Type { Null, Boolean, Number, String, ArrayT, ObjectT };
+
+class Value {
+ public:
+  Value() = default;  // null
+  Value(bool b) : type_(Type::Boolean), bool_(b) {}
+  Value(double d) : type_(Type::Number), number_(d) {}
+  Value(int i) : type_(Type::Number), number_(i) {}
+  Value(std::size_t u) : type_(Type::Number), number_(static_cast<double>(u)) {}
+  Value(const char* s) : type_(Type::String), string_(s) {}
+  Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  Value(Array a) : type_(Type::ArrayT), array_(std::move(a)) {}
+  Value(Object o) : type_(Type::ObjectT), object_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Boolean; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::ArrayT; }
+  bool is_object() const { return type_ == Type::ObjectT; }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Object field lookup: null Value when absent (or not an object).
+  const Value& at(const std::string& key) const;
+  bool has(const std::string& key) const;
+
+  /// Convenience getters with defaults for protocol parsing.
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+
+  /// Compact single-line serialization (doubles via shortest exact form).
+  std::string dump() const;
+
+  bool operator==(const Value& other) const = default;
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document; throws std::runtime_error (with a byte offset)
+/// on malformed input or trailing garbage.
+Value parse(const std::string& text);
+
+}  // namespace pwu::util::json

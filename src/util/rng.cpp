@@ -1,10 +1,14 @@
 #include "util/rng.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <istream>
 #include <numbers>
+#include <ostream>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 namespace pwu::util {
@@ -143,6 +147,37 @@ std::vector<std::size_t> Rng::bootstrap_indices(std::size_t n) {
   std::vector<std::size_t> out(n);
   for (auto& v : out) v = index(n);
   return out;
+}
+
+void Rng::save(std::ostream& os) const {
+  // The cached normal is written through its bit pattern so the text
+  // round-trip is exact for every value (including subnormals).
+  os << "pwu-rng 1 " << state_[0] << ' ' << state_[1] << ' ' << state_[2]
+     << ' ' << state_[3] << ' ' << std::bit_cast<std::uint64_t>(cached_normal_)
+     << ' ' << (has_cached_normal_ ? 1 : 0) << '\n';
+}
+
+void Rng::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  std::uint64_t words[4] = {};
+  std::uint64_t normal_bits = 0;
+  int has_normal = 0;
+  if (!(is >> magic >> version >> words[0] >> words[1] >> words[2] >>
+        words[3] >> normal_bits >> has_normal) ||
+      magic != "pwu-rng" || version != 1) {
+    throw std::runtime_error("Rng::load: bad state header");
+  }
+  for (int i = 0; i < 4; ++i) state_[i] = words[i];
+  cached_normal_ = std::bit_cast<double>(normal_bits);
+  has_cached_normal_ = has_normal != 0;
+}
+
+bool Rng::operator==(const Rng& other) const {
+  return std::equal(std::begin(state_), std::end(state_),
+                    std::begin(other.state_)) &&
+         has_cached_normal_ == other.has_cached_normal_ &&
+         (!has_cached_normal_ || cached_normal_ == other.cached_normal_);
 }
 
 std::size_t Rng::weighted_index(std::span<const double> weights) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -77,6 +78,16 @@ class Rng {
   /// Index drawn proportionally to the (non-negative) weights. Requires at
   /// least one strictly positive weight.
   std::size_t weighted_index(std::span<const double> weights);
+
+  /// Writes the full generator state (stream words + Box-Muller cache) as
+  /// text; a loaded generator continues the sequence bit-identically.
+  void save(std::ostream& os) const;
+  /// Restores state written by save(); throws std::runtime_error on
+  /// malformed input.
+  void load(std::istream& is);
+
+  /// Full-state equality (sequence position and normal cache).
+  bool operator==(const Rng& other) const;
 
  private:
   std::uint64_t state_[4];

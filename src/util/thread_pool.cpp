@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace pwu::util {
 
@@ -14,9 +15,12 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
+    if (stopping_) return;
     stopping_ = true;
   }
   cv_.notify_all();
@@ -45,6 +49,12 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
   if (begin >= end) return;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::parallel_for after shutdown");
+    }
+  }
   const std::size_t count = end - begin;
   const unsigned threads = num_threads();
   if (threads <= 1 || count == 1) {

@@ -24,6 +24,11 @@ class ThreadPool {
   /// Drains outstanding work and joins the workers.
   ~ThreadPool();
 
+  /// Explicit early shutdown: drains queued work and joins the workers.
+  /// Subsequent submit()/parallel_for() calls throw std::runtime_error.
+  /// Idempotent; also invoked by the destructor.
+  void shutdown();
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 

@@ -1,0 +1,131 @@
+// util::json — parse/serialize round-trips, accessor contracts, and the
+// error positions the protocol layer depends on for its diagnostics.
+
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace pwu::util::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.25e2").as_number(), -325.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const Value v = parse(R"({"a":[1,2,{"b":null}],"c":{"d":true}})");
+  ASSERT_TRUE(v.is_object());
+  const Array& a = v.at("a").as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[1].as_number(), 2.0);
+  EXPECT_TRUE(a[2].at("b").is_null());
+  EXPECT_TRUE(v.at("c").at("d").as_bool());
+}
+
+TEST(Json, StringEscapes) {
+  const Value v = parse(R"("line\nquote\"slash\\tab\t")");
+  EXPECT_EQ(v.as_string(), "line\nquote\"slash\\tab\t");
+  // \u escapes in the basic plane come out as UTF-8.
+  EXPECT_EQ(parse(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, DumpRoundTripsStructure) {
+  const std::string text =
+      R"({"alpha":0.05,"labels":[0.125,-7,true,null],"name":"pwu"})";
+  const Value v = parse(text);
+  EXPECT_EQ(v.dump(), text);  // keys are sorted, so dump is canonical
+  EXPECT_EQ(parse(v.dump()), v);
+}
+
+TEST(Json, DumpEscapesControlCharacters) {
+  const Value v(std::string("a\"b\\c\nd\x01"));
+  const Value back = parse(v.dump());
+  EXPECT_EQ(back.as_string(), v.as_string());
+}
+
+TEST(Json, DoublesRoundTripExactly) {
+  // Shortest-exact serialization: every double survives dump -> parse.
+  for (double d : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23,
+                   -0.49999999999999994, 1013.2568493815352}) {
+    const Value v(d);
+    EXPECT_EQ(parse(v.dump()).as_number(), d) << v.dump();
+  }
+}
+
+TEST(Json, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, AtReturnsNullForMissingKeys) {
+  const Value v = parse(R"({"x":1})");
+  EXPECT_TRUE(v.at("missing").is_null());
+  EXPECT_FALSE(v.has("missing"));
+  EXPECT_TRUE(v.has("x"));
+  // at() on a non-object is also null, never a throw.
+  EXPECT_TRUE(Value(3.0).at("x").is_null());
+}
+
+TEST(Json, DefaultedGetters) {
+  const Value v = parse(R"({"n":7,"s":"abc","b":true})");
+  EXPECT_DOUBLE_EQ(v.number_or("n", -1.0), 7.0);
+  EXPECT_DOUBLE_EQ(v.number_or("nope", -1.0), -1.0);
+  EXPECT_EQ(v.string_or("s", "zz"), "abc");
+  EXPECT_EQ(v.string_or("nope", "zz"), "zz");
+  EXPECT_TRUE(v.bool_or("b", false));
+  EXPECT_FALSE(v.bool_or("nope", false));
+}
+
+TEST(Json, AccessorsThrowOnTypeMismatch) {
+  const Value v(1.5);
+  EXPECT_THROW(v.as_string(), std::runtime_error);
+  EXPECT_THROW(v.as_array(), std::runtime_error);
+  EXPECT_THROW(v.as_object(), std::runtime_error);
+  EXPECT_THROW(Value("x").as_number(), std::runtime_error);
+}
+
+TEST(Json, ParseErrorsThrow) {
+  EXPECT_THROW(parse(""), std::runtime_error);
+  EXPECT_THROW(parse("{"), std::runtime_error);
+  EXPECT_THROW(parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse("tru"), std::runtime_error);
+  EXPECT_THROW(parse("01"), std::runtime_error);
+  EXPECT_THROW(parse("1 2"), std::runtime_error);  // trailing garbage
+}
+
+TEST(Json, ParseErrorsCarryByteOffsets) {
+  try {
+    parse(R"({"key": )");
+    FAIL() << "expected parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(Json, WhitespaceTolerated) {
+  const Value v = parse("  { \"a\" :\t[ 1 ,\n 2 ] }  ");
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+}
+
+TEST(Json, LargeSeedsSurviveAsStrings) {
+  // The protocol's rationale for string seeds: this value is > 2^53 and
+  // would be rounded as a JSON double.
+  const std::string seed = "17077330957171731598";
+  const Value v = parse("{\"measure_seed\":\"" + seed + "\"}");
+  EXPECT_EQ(v.at("measure_seed").as_string(), seed);
+}
+
+}  // namespace
+}  // namespace pwu::util::json

@@ -1,0 +1,284 @@
+// SessionManager + JSON-lines protocol — registry semantics, worker-pool
+// offloaded refits (results must match the single-threaded path exactly),
+// manager-level checkpoint/resume, and the request/response dispatch.
+
+#include "service/protocol.hpp"
+#include "service/session_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/registry.hpp"
+
+namespace pwu::service {
+namespace {
+
+namespace json = util::json;
+
+SessionSpec small_spec() {
+  SessionSpec spec;
+  spec.workload = "gesummv";
+  spec.learner.n_init = 6;
+  spec.learner.n_batch = 2;
+  spec.learner.n_max = 18;
+  spec.learner.forest.num_trees = 8;
+  spec.pool_size = 150;
+  spec.seed = 13;
+  return spec;
+}
+
+/// Client loop against the manager: measure with the stream the server
+/// hands back, tell in ask order.
+SessionStatus drive(SessionManager& manager, const std::string& name) {
+  const SessionStatus st = manager.status(name);
+  const auto workload = workloads::make_workload(st.workload);
+  util::Rng measure_rng(st.measure_seed);
+  for (;;) {
+    const auto batch = manager.ask(name);
+    if (batch.empty()) break;
+    for (const Candidate& c : batch) {
+      manager.tell(name, c.config,
+                   workload->measure(c.config, measure_rng, 1));
+    }
+  }
+  return manager.status(name);
+}
+
+TEST(SessionManager, CreateAskTellLifecycle) {
+  SessionManager manager;
+  const SessionStatus created = manager.create("s1", small_spec());
+  EXPECT_EQ(created.name, "s1");
+  EXPECT_EQ(created.workload, "gesummv");
+  EXPECT_EQ(created.phase, "cold-start");
+  EXPECT_EQ(created.labeled, 0u);
+  EXPECT_NE(created.measure_seed, 0u);
+  EXPECT_EQ(manager.size(), 1u);
+
+  const SessionStatus final_status = drive(manager, "s1");
+  EXPECT_TRUE(final_status.done);
+  EXPECT_EQ(final_status.labeled, 18u);
+  EXPECT_EQ(final_status.pending, 0u);
+  EXPECT_GT(final_status.cumulative_cost, 0.0);
+
+  EXPECT_TRUE(manager.close("s1"));
+  EXPECT_FALSE(manager.close("s1"));
+  EXPECT_EQ(manager.size(), 0u);
+}
+
+TEST(SessionManager, DuplicateNameAndUnknownWorkloadThrow) {
+  SessionManager manager;
+  manager.create("s1", small_spec());
+  EXPECT_THROW(manager.create("s1", small_spec()), std::invalid_argument);
+  auto bad = small_spec();
+  bad.workload = "no-such-kernel";
+  EXPECT_THROW(manager.create("s2", bad), std::invalid_argument);
+  EXPECT_THROW(manager.ask("missing"), std::invalid_argument);
+  EXPECT_THROW(manager.status("missing"), std::invalid_argument);
+}
+
+TEST(SessionManager, ListReportsAllSessions) {
+  SessionManager manager;
+  manager.create("a", small_spec());
+  auto other = small_spec();
+  other.workload = "atax";
+  other.seed = 99;
+  manager.create("b", other);
+  const auto all = manager.list();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].name, "a");
+  EXPECT_EQ(all[1].name, "b");
+  EXPECT_EQ(all[1].workload, "atax");
+}
+
+TEST(SessionManager, WorkerPoolRefitsMatchSingleThreadedExactly) {
+  // Two managers, same specs; one offloads refits to a pool. The labels
+  // must be bit-identical — threading may change *when* the fit runs,
+  // never its result.
+  util::ThreadPool pool(3);
+  SessionManager threaded(&pool);
+  SessionManager serial;
+  auto spec_x = small_spec();
+  spec_x.seed = 101;
+  auto spec_y = small_spec();
+  spec_y.seed = 202;
+  threaded.create("x", spec_x);
+  threaded.create("y", spec_y);
+  serial.create("x", spec_x);
+  serial.create("y", spec_y);
+  // Interleave the two threaded sessions so their refits overlap.
+  const auto stx = threaded.status("x");
+  const auto sty = threaded.status("y");
+  const auto wl = workloads::make_workload(stx.workload);
+  util::Rng rng_x(stx.measure_seed), rng_y(sty.measure_seed);
+  bool progress = true;
+  while (progress) {
+    const auto bx = threaded.ask("x");
+    for (const Candidate& c : bx) {
+      threaded.tell("x", c.config, wl->measure(c.config, rng_x, 1));
+    }
+    const auto by = threaded.ask("y");
+    for (const Candidate& c : by) {
+      threaded.tell("y", c.config, wl->measure(c.config, rng_y, 1));
+    }
+    progress = !bx.empty() || !by.empty();
+  }
+  const auto fx = drive(serial, "x");
+  const auto fy = drive(serial, "y");
+  EXPECT_EQ(threaded.status("x").cumulative_cost, fx.cumulative_cost);
+  EXPECT_EQ(threaded.status("y").cumulative_cost, fy.cumulative_cost);
+  EXPECT_EQ(threaded.status("x").best_observed, fx.best_observed);
+  EXPECT_EQ(threaded.status("y").best_observed, fy.best_observed);
+}
+
+TEST(SessionManager, CheckpointResumeViaStreams) {
+  SessionManager manager;
+  manager.create("s1", small_spec());
+  const SessionStatus st = manager.status("s1");
+  const auto workload = workloads::make_workload(st.workload);
+  util::Rng measure_rng(st.measure_seed);
+  // Complete the cold start only, then checkpoint.
+  for (const Candidate& c : manager.ask("s1")) {
+    manager.tell("s1", c.config, workload->measure(c.config, measure_rng, 1));
+  }
+  std::stringstream ckpt;
+  manager.checkpoint("s1", ckpt);
+  manager.close("s1");
+
+  const SessionStatus resumed = manager.resume("s1", ckpt);
+  EXPECT_EQ(resumed.labeled, 6u);
+  EXPECT_EQ(resumed.workload, "gesummv");
+  EXPECT_EQ(resumed.strategy, "pwu");
+  EXPECT_EQ(resumed.measure_seed, st.measure_seed);
+
+  const SessionStatus final_status = drive(manager, "s1");
+  EXPECT_TRUE(final_status.done);
+  EXPECT_EQ(final_status.labeled, 18u);
+}
+
+// ---- Protocol layer ----
+
+json::Value req(const std::string& text) { return json::parse(text); }
+
+TEST(Protocol, CreateAskTellRoundTrip) {
+  SessionManager manager;
+  const json::Value created = handle_request(
+      manager,
+      req(R"({"op":"create","session":"p1","workload":"gesummv",
+              "n_init":4,"n_batch":1,"n_max":8,"pool_size":100,
+              "trees":6,"seed":21})"));
+  ASSERT_TRUE(created.at("ok").as_bool()) << created.dump();
+  const std::string seed_str = created.at("measure_seed").as_string();
+  util::Rng measure_rng(std::stoull(seed_str));
+  const auto workload = workloads::make_workload("gesummv");
+
+  const json::Value asked = handle_request(
+      manager, req(R"({"op":"ask","session":"p1"})"));
+  ASSERT_TRUE(asked.at("ok").as_bool());
+  EXPECT_FALSE(asked.at("done").as_bool());
+  const json::Array& candidates = asked.at("candidates").as_array();
+  ASSERT_EQ(candidates.size(), 4u);
+
+  const space::Configuration config =
+      configuration_from_json(candidates[0].at("levels"));
+  const double label = workload->measure(config, measure_rng, 1);
+  json::Object tell_fields{{"op", json::Value("tell")},
+                           {"session", json::Value("p1")},
+                           {"levels", candidates[0].at("levels")},
+                           {"time", json::Value(label)}};
+  const json::Value told =
+      handle_request(manager, json::Value(std::move(tell_fields)));
+  ASSERT_TRUE(told.at("ok").as_bool()) << told.dump();
+  EXPECT_DOUBLE_EQ(told.at("labeled").as_number(), 1.0);
+  EXPECT_FALSE(told.at("refit").as_bool());  // batch not yet complete
+}
+
+TEST(Protocol, ErrorsComeBackAsResponses) {
+  SessionManager manager;
+  const json::Value unknown_op =
+      handle_request(manager, req(R"({"op":"frobnicate"})"));
+  EXPECT_FALSE(unknown_op.at("ok").as_bool());
+  EXPECT_TRUE(unknown_op.at("error").is_string());
+
+  const json::Value missing_session =
+      handle_request(manager, req(R"({"op":"ask","session":"ghost"})"));
+  EXPECT_FALSE(missing_session.at("ok").as_bool());
+
+  const json::Value bad_create = handle_request(
+      manager, req(R"({"op":"create","session":"x"})"));  // no workload
+  EXPECT_FALSE(bad_create.at("ok").as_bool());
+}
+
+TEST(Protocol, ServeLoopHandlesLinesAndShutdown) {
+  SessionManager manager;
+  std::istringstream in(
+      "{\"op\":\"create\",\"session\":\"s\",\"workload\":\"gesummv\","
+      "\"n_init\":4,\"n_max\":8,\"pool_size\":100,\"trees\":6}\n"
+      "\n"                    // blank line skipped
+      "this is not json\n"    // parse error -> error response, loop survives
+      "{\"op\":\"list\"}\n"
+      "{\"op\":\"shutdown\"}\n"
+      "{\"op\":\"list\"}\n");  // never reached
+  std::ostringstream out;
+  const std::size_t handled = run_serve_loop(in, out, manager);
+  EXPECT_EQ(handled, 4u);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<json::Value> responses;
+  while (std::getline(lines, line)) responses.push_back(json::parse(line));
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_TRUE(responses[0].at("ok").as_bool());
+  EXPECT_FALSE(responses[1].at("ok").as_bool());  // the non-JSON line
+  EXPECT_TRUE(responses[2].at("ok").as_bool());
+  EXPECT_TRUE(responses[3].at("shutdown").as_bool());
+}
+
+TEST(Protocol, StatusSerializationIsFaithful) {
+  SessionManager manager;
+  manager.create("s1", small_spec());
+  const SessionStatus st = manager.status("s1");
+  const json::Value v = status_to_json(st);
+  EXPECT_EQ(v.at("session").as_string(), "s1");
+  EXPECT_EQ(v.at("workload").as_string(), "gesummv");
+  EXPECT_EQ(v.at("strategy").as_string(), "pwu");
+  EXPECT_EQ(v.at("phase").as_string(), "cold-start");
+  // 64-bit seed travels as a decimal string, exactly.
+  EXPECT_EQ(v.at("measure_seed").as_string(), std::to_string(st.measure_seed));
+  EXPECT_DOUBLE_EQ(v.at("n_max").as_number(),
+                   static_cast<double>(st.n_max));
+}
+
+TEST(Protocol, CheckpointAndResumeThroughFiles) {
+  SessionManager manager;
+  handle_request(manager,
+                 req(R"({"op":"create","session":"c1","workload":"gesummv",
+                         "n_init":4,"n_max":8,"pool_size":100,"trees":6,
+                         "seed":5})"));
+  const std::string path = ::testing::TempDir() + "pwu_protocol_test.ckpt";
+  json::Object ckpt_fields{{"op", json::Value("checkpoint")},
+                           {"session", json::Value("c1")},
+                           {"path", json::Value(path)}};
+  const json::Value saved =
+      handle_request(manager, json::Value(std::move(ckpt_fields)));
+  ASSERT_TRUE(saved.at("ok").as_bool()) << saved.dump();
+  handle_request(manager, req(R"({"op":"close","session":"c1"})"));
+
+  json::Object resume_fields{{"op", json::Value("resume")},
+                             {"session", json::Value("c1")},
+                             {"path", json::Value(path)}};
+  const json::Value resumed =
+      handle_request(manager, json::Value(std::move(resume_fields)));
+  ASSERT_TRUE(resumed.at("ok").as_bool()) << resumed.dump();
+  EXPECT_EQ(manager.size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pwu::service

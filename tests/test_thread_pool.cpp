@@ -79,6 +79,43 @@ TEST(ThreadPool, ManyTasksComplete) {
   EXPECT_EQ(sum, 199 * 200 / 2);
 }
 
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.parallel_for(0, 4, [](std::size_t) {}),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndDrainsQueuedWork) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&done] { done.fetch_add(1); }));
+  }
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, SingleThreadSubmitAndExceptionPaths) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+  // Inline parallel_for still rethrows body exceptions.
+  EXPECT_THROW(pool.parallel_for(0, 3,
+                                 [](std::size_t i) {
+                                   if (i == 1) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
   EXPECT_GE(ThreadPool::global().num_threads(), 1u);

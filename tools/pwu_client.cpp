@@ -1,0 +1,215 @@
+// pwu_client — end-to-end ask/tell demo and equivalence check.
+//
+// Drives a tuning session through the JSON-lines protocol (the same
+// dispatch pwu_serve runs), playing the client role: it measures each
+// asked configuration on the simulated workload with the measurement
+// stream the server hands back, and tells the label. Optionally the
+// session is checkpointed, closed, and resumed mid-run — exercising the
+// crash-recovery path.
+//
+// Afterwards the equivalent batch run (core::ActiveLearner::run, same
+// seed) is executed and the two training sets are compared label for
+// label. Exit status 0 = identical; 1 = diverged. This is the acceptance
+// property of the service subsystem, wired into ctest as `cli_client_e2e`.
+//
+//   pwu_client --workload mm --strategy pwu --nmax 60 --pool 400 \
+//              --seed 7 --checkpoint-at 30 [--verbose]
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/active_learner.hpp"
+#include "core/metrics.hpp"
+#include "service/protocol.hpp"
+#include "space/pool.hpp"
+#include "util/json.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace pwu;
+namespace json = util::json;
+
+struct Args {
+  std::string workload = "atax";
+  std::string strategy = "pwu";
+  double alpha = 0.05;
+  std::size_t n_init = 10;
+  std::size_t n_batch = 1;
+  std::size_t n_max = 60;
+  std::size_t pool_size = 400;
+  std::size_t test_size = 200;
+  std::size_t trees = 25;
+  std::size_t checkpoint_at = 0;  // 0 = no checkpoint/resume round-trip
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") args.workload = next();
+    else if (arg == "--strategy") args.strategy = next();
+    else if (arg == "--alpha") args.alpha = std::stod(next());
+    else if (arg == "--ninit") args.n_init = std::stoul(next());
+    else if (arg == "--batch") args.n_batch = std::stoul(next());
+    else if (arg == "--nmax") args.n_max = std::stoul(next());
+    else if (arg == "--pool") args.pool_size = std::stoul(next());
+    else if (arg == "--test") args.test_size = std::stoul(next());
+    else if (arg == "--trees") args.trees = std::stoul(next());
+    else if (arg == "--checkpoint-at") args.checkpoint_at = std::stoul(next());
+    else if (arg == "--seed") args.seed = std::stoull(next());
+    else if (arg == "--verbose") args.verbose = true;
+    else throw std::invalid_argument("unrecognized argument: " + arg);
+  }
+  return args;
+}
+
+/// One protocol round-trip, printed when verbose.
+json::Value call(service::SessionManager& manager, const json::Value& request,
+                 bool verbose) {
+  if (verbose) std::cout << ">> " << request.dump() << "\n";
+  json::Value response = service::handle_request(manager, request);
+  if (verbose) std::cout << "<< " << response.dump() << "\n";
+  if (!response.at("ok").as_bool()) {
+    throw std::runtime_error("server error: " +
+                             response.at("error").as_string());
+  }
+  return response;
+}
+
+json::Value obj(std::initializer_list<std::pair<const std::string, json::Value>>
+                    fields) {
+  return json::Value(json::Object(fields));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    const auto workload = workloads::make_workload(args.workload);
+
+    service::SessionManager manager;
+    json::Object create_fields{
+        {"op", json::Value("create")},       {"session", json::Value("demo")},
+        {"workload", json::Value(args.workload)},
+        {"strategy", json::Value(args.strategy)},
+        {"alpha", json::Value(args.alpha)},  {"n_init", json::Value(args.n_init)},
+        {"n_batch", json::Value(args.n_batch)},
+        {"n_max", json::Value(args.n_max)},
+        {"pool_size", json::Value(args.pool_size)},
+        {"test_size", json::Value(args.test_size)},
+        {"trees", json::Value(args.trees)},
+        {"seed", json::Value(std::to_string(args.seed))}};
+    json::Value created =
+        call(manager, json::Value(std::move(create_fields)), args.verbose);
+    util::Rng measure_rng(
+        std::stoull(created.at("measure_seed").as_string()));
+
+    // ---- Drive the session: ask, measure locally, tell. ----
+    std::vector<space::Configuration> told_configs;
+    std::vector<double> told_labels;
+    const std::string ckpt_path =
+        "/tmp/pwu_client_" + std::to_string(args.seed) + ".ckpt";
+    bool checkpointed = args.checkpoint_at == 0;  // "done" when disabled
+    for (;;) {
+      json::Value asked = call(
+          manager,
+          obj({{"op", json::Value("ask")}, {"session", json::Value("demo")}}),
+          args.verbose);
+      if (asked.at("done").as_bool()) break;
+      for (const json::Value& cand : asked.at("candidates").as_array()) {
+        space::Configuration config =
+            service::configuration_from_json(cand.at("levels"));
+        const double label =
+            workload->measure(config, measure_rng, /*repetitions=*/1);
+        json::Array levels = cand.at("levels").as_array();
+        call(manager,
+             obj({{"op", json::Value("tell")},
+                  {"session", json::Value("demo")},
+                  {"levels", json::Value(std::move(levels))},
+                  {"time", json::Value(label)}}),
+             args.verbose);
+        told_configs.push_back(std::move(config));
+        told_labels.push_back(label);
+      }
+      if (!checkpointed && told_labels.size() >= args.checkpoint_at) {
+        // Kill-and-resume drill: persist, drop the live session, restore.
+        call(manager,
+             obj({{"op", json::Value("checkpoint")},
+                  {"session", json::Value("demo")},
+                  {"path", json::Value(ckpt_path)}}),
+             args.verbose);
+        call(manager,
+             obj({{"op", json::Value("close")},
+                  {"session", json::Value("demo")}}),
+             args.verbose);
+        call(manager,
+             obj({{"op", json::Value("resume")},
+                  {"session", json::Value("demo")},
+                  {"path", json::Value(ckpt_path)}}),
+             args.verbose);
+        std::cout << "checkpoint/resume round-trip at " << told_labels.size()
+                  << " samples (" << ckpt_path << ")\n";
+        checkpointed = true;
+      }
+    }
+    json::Value final_status = call(
+        manager,
+        obj({{"op", json::Value("status")}, {"session", json::Value("demo")}}),
+        args.verbose);
+    std::cout << "session finished: " << final_status.at("status").dump()
+              << "\n";
+
+    // ---- Equivalent batch run: same master-seed derivation. ----
+    core::LearnerConfig learner;
+    learner.n_init = args.n_init;
+    learner.n_batch = args.n_batch;
+    learner.n_max = args.n_max;
+    learner.forest.num_trees = args.trees;
+    learner.eval_every = args.n_max;  // evaluation density is irrelevant here
+
+    util::Rng master(args.seed);
+    util::Rng split_rng = master.fork();
+    const space::PoolSplit split = space::make_pool_split(
+        workload->space(), args.pool_size, args.test_size, split_rng);
+    const core::TestSet test =
+        core::build_test_set(*workload, split.test, split_rng);
+    util::Rng run_rng = master.fork();
+    const core::ActiveLearner learner_driver(*workload, learner);
+    const core::LearnerResult batch = learner_driver.run(
+        *core::make_strategy(args.strategy, args.alpha), split.pool, test,
+        run_rng);
+
+    // ---- Compare label-for-label. ----
+    bool identical = batch.train_configs.size() == told_configs.size();
+    for (std::size_t i = 0; identical && i < told_configs.size(); ++i) {
+      identical = batch.train_configs[i] == told_configs[i] &&
+                  batch.train_labels[i] == told_labels[i];
+    }
+    std::cout << "ask/tell samples: " << told_labels.size()
+              << " | batch samples: " << batch.train_labels.size()
+              << " | training sets "
+              << (identical ? "IDENTICAL (bit-exact)" : "DIVERGED") << "\n";
+    if (args.checkpoint_at != 0) std::remove(ckpt_path.c_str());
+    return identical ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "pwu_client: " << e.what()
+              << "\nusage: pwu_client [--workload NAME] [--strategy NAME] "
+                 "[--alpha F] [--ninit N] [--batch N] [--nmax N] [--pool N] "
+                 "[--test N] [--trees N] [--seed N] [--checkpoint-at N] "
+                 "[--verbose]\n";
+    return 2;
+  }
+}

@@ -3,7 +3,7 @@
 //   pwu_run --workload atax --strategies pwu,pbus,maxu --alpha 0.01 \
 //           --nmax 300 --repeats 3 --pool 3000 --test 1500 \
 //           --surrogate rf --trees 50 --batch 1 --seed 42 \
-//           --csv /tmp/out --chart
+//           --threads 8 --csv /tmp/out --chart
 //
 //   pwu_run --list                 # available workloads & strategies
 //
@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/registry.hpp"
 
 namespace {
@@ -114,12 +116,19 @@ int run(const CliArgs& args) {
     spec.learner.n_max = std::min(spec.learner.n_max, total * 7 / 10);
   }
 
+  // Worker pool for forest fit/predict (0 = single-threaded). Results are
+  // identical either way: per-tree rng streams are forked up front.
+  const std::size_t threads = args.get_size("threads", 1);
+  std::optional<util::ThreadPool> pool;
+  if (threads > 1) pool.emplace(static_cast<unsigned>(threads));
+
   std::cout << "workload " << workload_name << " | alpha " << spec.alpha
             << " | budget " << spec.learner.n_max << " | surrogate "
             << spec.learner.surrogate << " | repeats " << spec.repeats
-            << "\n\n";
+            << " | threads " << (pool ? pool->num_threads() : 1) << "\n\n";
 
-  const auto result = core::run_experiment(*workload, spec);
+  const auto result =
+      core::run_experiment(*workload, spec, pool ? &*pool : nullptr);
   core::print_series_table(std::cout, result);
 
   // Budget advice per strategy: where the paper-style trace stops
@@ -171,7 +180,8 @@ int main(int argc, char** argv) {
                  "[--strategies a,b,...] [--alpha F] [--nmax N] [--ninit N] "
                  "[--batch N] [--repeats N] [--pool N] [--test N] "
                  "[--surrogate rf|gp] [--trees N] [--eval-every N] "
-                 "[--measure-reps N] [--seed N] [--csv DIR] [--chart]\n";
+                 "[--measure-reps N] [--seed N] [--threads N] [--csv DIR] "
+                 "[--chart]\n";
     return 1;
   }
 }

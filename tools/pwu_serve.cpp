@@ -1,0 +1,58 @@
+// pwu_serve — JSON-lines tuning service over stdin/stdout.
+//
+// One request object per line in, one response per line out (see
+// src/service/protocol.hpp for the vocabulary). Pipe-friendly:
+//
+//   printf '%s\n' \
+//     '{"op":"create","session":"s","workload":"atax","n_max":30,"pool_size":200,"seed":7}' \
+//     '{"op":"ask","session":"s"}' \
+//     '{"op":"shutdown"}' | pwu_serve
+//
+//   pwu_serve --threads 8     # worker pool for parallel session refits
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "util/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  unsigned threads = 0;  // 0 = serve single-threaded (refits inline)
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      const char* text = argv[++i];
+      char* end = nullptr;
+      const long v = std::strtol(text, &end, 10);
+      if (end == text || *end != '\0' || v < 0) {
+        std::cerr << "pwu_serve: --threads expects a non-negative integer, "
+                     "got '" << text << "'\n";
+        return 1;
+      }
+      threads = static_cast<unsigned>(v);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: pwu_serve [--threads N]\n"
+                   "Reads one JSON request per line on stdin, writes one "
+                   "JSON response per line on stdout.\n";
+      return 0;
+    } else {
+      std::cerr << "pwu_serve: unrecognized argument: " << arg << "\n";
+      return 1;
+    }
+  }
+  try {
+    if (threads > 1) {
+      pwu::util::ThreadPool workers(threads);
+      pwu::service::SessionManager manager(&workers);
+      pwu::service::run_serve_loop(std::cin, std::cout, manager);
+    } else {
+      pwu::service::SessionManager manager(nullptr);
+      pwu::service::run_serve_loop(std::cin, std::cout, manager);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "pwu_serve: fatal: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
