@@ -47,8 +47,8 @@ int main() {
 
     // Pool cloud: predictions of the final model over the test set.
     util::ChartSeries pool_cloud{"pool", {}, {}, '.'};
-    for (const auto& features : test.features) {
-      const auto stats = result.model->predict_stats(features);
+    for (std::size_t i = 0; i < test.features.num_rows(); ++i) {
+      const auto stats = result.model->predict_stats(test.features.row(i));
       pool_cloud.x.push_back(stats.mean);
       pool_cloud.y.push_back(stats.stddev);
     }

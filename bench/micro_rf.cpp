@@ -1,9 +1,25 @@
-// google-benchmark microbenchmarks for the random-forest substrate: fit and
-// predict cost as functions of training-set size, tree count, and feature
-// count — the quantities that dominate the active-learning loop's own
-// overhead (Algorithm 1 refits from scratch every iteration).
+// Random-forest hot-path regression harness.
+//
+// Measures the two costs that dominate the active-learning loop — refitting
+// the forest from scratch and scoring the candidate pool — at the paper's
+// scale (Section III: pools of O(10^4) configurations), and emits the
+// numbers as BENCH_rf.json so perf regressions show up in review diffs.
+//
+// Three variants are timed in one binary:
+//   fit        the presorted-column fitter (2000 x 12 rows, 50 trees)
+//   reference  per-row tree walks over the original node tables ("before")
+//   flat       the blocked FlatForest engine ("after", what predict_stats
+//              actually routes through)
+// plus the bit-exactness check that flat == reference on every pool row.
+// The seed_baseline_* constants are the pre-overhaul numbers measured on
+// the same container (single-threaded), kept for before/after context.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "rf/random_forest.hpp"
 #include "util/rng.hpp"
@@ -11,8 +27,15 @@
 namespace {
 
 using pwu::rf::Dataset;
+using pwu::rf::FeatureMatrix;
 using pwu::rf::ForestConfig;
+using pwu::rf::PredictionStats;
 using pwu::rf::RandomForest;
+
+// Pre-overhaul (seed) timings of this same harness's workloads, measured
+// single-threaded on the reference container with the pointer-walk engine.
+constexpr double kSeedFitMs = 221.701;
+constexpr double kSeedPredictMs = 452.810;
 
 Dataset make_data(std::size_t rows, std::size_t features,
                   std::uint64_t seed) {
@@ -30,86 +53,116 @@ Dataset make_data(std::size_t rows, std::size_t features,
   return data;
 }
 
-void BM_ForestFit(benchmark::State& state) {
-  const auto rows = static_cast<std::size_t>(state.range(0));
-  const auto trees = static_cast<std::size_t>(state.range(1));
-  const Dataset data = make_data(rows, 12, 1);
-  ForestConfig cfg;
-  cfg.num_trees = trees;
-  for (auto _ : state) {
-    pwu::util::Rng rng(2);
-    RandomForest forest;
-    forest.fit(data, cfg, rng);
-    benchmark::DoNotOptimize(forest.num_trees());
+FeatureMatrix make_pool(std::size_t rows, std::size_t features,
+                        std::uint64_t seed) {
+  pwu::util::Rng rng(seed);
+  FeatureMatrix pool = FeatureMatrix::with_capacity(features, rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (double& v : pool.append_row()) v = rng.uniform(0.0, 10.0);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(rows));
+  return pool;
 }
-BENCHMARK(BM_ForestFit)
-    ->Args({100, 25})
-    ->Args({500, 25})
-    ->Args({500, 50})
-    ->Args({2000, 50})
-    ->Unit(benchmark::kMillisecond);
 
-void BM_ForestPredictStats(benchmark::State& state) {
-  const auto trees = static_cast<std::size_t>(state.range(0));
-  const Dataset data = make_data(500, 12, 3);
-  ForestConfig cfg;
-  cfg.num_trees = trees;
-  pwu::util::Rng rng(4);
-  RandomForest forest;
-  forest.fit(data, cfg, rng);
-  const std::vector<double> row(12, 5.0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(forest.predict_stats(row).stddev);
+/// Best-of-`repeats` wall time of `body`, in milliseconds.
+template <typename Fn>
+double time_best_ms(int repeats, Fn&& body) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(stop - start).count());
   }
+  return best;
 }
-BENCHMARK(BM_ForestPredictStats)->Arg(10)->Arg(50)->Arg(200);
-
-void BM_PoolPrediction(benchmark::State& state) {
-  // The per-iteration cost of scoring a 7000-strong pool (paper scale).
-  const auto pool = static_cast<std::size_t>(state.range(0));
-  const Dataset data = make_data(500, 12, 5);
-  ForestConfig cfg;
-  cfg.num_trees = 50;
-  pwu::util::Rng rng(6);
-  RandomForest forest;
-  forest.fit(data, cfg, rng);
-  std::vector<std::vector<double>> rows;
-  pwu::util::Rng row_rng(7);
-  for (std::size_t i = 0; i < pool; ++i) {
-    std::vector<double> row(12);
-    for (auto& v : row) v = row_rng.uniform(0.0, 10.0);
-    rows.push_back(std::move(row));
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(forest.predict_stats_batch(rows).size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(pool));
-}
-BENCHMARK(BM_PoolPrediction)->Arg(1000)->Arg(7000)->Unit(
-    benchmark::kMillisecond);
-
-void BM_FeatureCountScaling(benchmark::State& state) {
-  const auto features = static_cast<std::size_t>(state.range(0));
-  const Dataset data = make_data(400, features, 8);
-  ForestConfig cfg;
-  cfg.num_trees = 25;
-  for (auto _ : state) {
-    pwu::util::Rng rng(9);
-    RandomForest forest;
-    forest.fit(data, cfg, rng);
-    benchmark::DoNotOptimize(forest.total_nodes());
-  }
-}
-BENCHMARK(BM_FeatureCountScaling)
-    ->Arg(8)    // jacobi
-    ->Arg(20)   // adi
-    ->Arg(38)   // dgemv3
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_rf.json";
+
+  // ---- fit: 2000 x 12 rows, 50 trees (single-threaded) ----
+  const Dataset fit_data = make_data(2000, 12, 1);
+  ForestConfig fit_cfg;
+  fit_cfg.num_trees = 50;
+  volatile std::size_t sink = 0;
+  const double fit_ms = time_best_ms(5, [&] {
+    pwu::util::Rng rng(2);
+    RandomForest forest;
+    forest.fit(fit_data, fit_cfg, rng);
+    sink = forest.num_trees();
+  });
+
+  // ---- batch predict_stats: 200 trees, 10k-row pool ----
+  const Dataset train = make_data(500, 12, 3);
+  ForestConfig predict_cfg;
+  predict_cfg.num_trees = 200;
+  pwu::util::Rng fit_rng(4);
+  RandomForest forest;
+  forest.fit(train, predict_cfg, fit_rng);
+
+  const std::size_t pool_rows = 10000;
+  const FeatureMatrix pool = make_pool(pool_rows, 12, 7);
+
+  std::vector<PredictionStats> flat_out;
+  const double flat_ms = time_best_ms(5, [&] {
+    flat_out = forest.predict_stats_batch(pool);
+  });
+
+  std::vector<PredictionStats> ref_out(pool_rows);
+  const double ref_ms = time_best_ms(3, [&] {
+    for (std::size_t i = 0; i < pool_rows; ++i) {
+      ref_out[i] = forest.predict_stats_reference(pool.row(i));
+    }
+  });
+
+  bool bit_exact = true;
+  for (std::size_t i = 0; i < pool_rows; ++i) {
+    if (flat_out[i].mean != ref_out[i].mean ||
+        flat_out[i].variance != ref_out[i].variance) {
+      bit_exact = false;
+      break;
+    }
+  }
+
+  const double flat_rows_per_sec = 1000.0 * pool_rows / flat_ms;
+  const double ref_rows_per_sec = 1000.0 * pool_rows / ref_ms;
+
+  std::ofstream json(out_path);
+  json.precision(6);
+  json << "{\n"
+       << "  \"fit\": {\n"
+       << "    \"rows\": 2000, \"features\": 12, \"trees\": 50,\n"
+       << "    \"ms\": " << fit_ms << ",\n"
+       << "    \"seed_baseline_ms\": " << kSeedFitMs << ",\n"
+       << "    \"speedup_vs_seed\": " << kSeedFitMs / fit_ms << "\n"
+       << "  },\n"
+       << "  \"predict_stats_batch\": {\n"
+       << "    \"pool_rows\": " << pool_rows << ", \"trees\": 200,\n"
+       << "    \"flat_ms\": " << flat_ms << ",\n"
+       << "    \"flat_rows_per_sec\": " << flat_rows_per_sec << ",\n"
+       << "    \"reference_ms\": " << ref_ms << ",\n"
+       << "    \"reference_rows_per_sec\": " << ref_rows_per_sec << ",\n"
+       << "    \"seed_baseline_ms\": " << kSeedPredictMs << ",\n"
+       << "    \"speedup_vs_reference\": " << ref_ms / flat_ms << ",\n"
+       << "    \"speedup_vs_seed\": " << kSeedPredictMs / flat_ms << "\n"
+       << "  },\n"
+       << "  \"bit_exact\": " << (bit_exact ? "true" : "false") << "\n"
+       << "}\n";
+  json.close();
+
+  std::cout << "fit(2000x12, 50 trees):          " << fit_ms << " ms (seed "
+            << kSeedFitMs << " ms)\n"
+            << "predict_stats(10k pool, 200t):\n"
+            << "  flat      " << flat_ms << " ms  (" << flat_rows_per_sec
+            << " rows/s)\n"
+            << "  reference " << ref_ms << " ms  (" << ref_rows_per_sec
+            << " rows/s)\n"
+            << "  seed      " << kSeedPredictMs << " ms\n"
+            << "  flat vs reference: " << ref_ms / flat_ms << "x, vs seed: "
+            << kSeedPredictMs / flat_ms << "x\n"
+            << "bit-exact flat == reference: " << (bit_exact ? "yes" : "NO")
+            << "\nwrote " << out_path << "\n";
+  return bit_exact ? 0 : 1;
+}

@@ -84,7 +84,7 @@ int main() {
   std::size_t best = 0;
   double best_pred = 1e300;
   for (std::size_t i = 0; i < test.size(); ++i) {
-    const double p = result.model->predict(test.features[i]);
+    const double p = result.model->predict(test.features.row(i));
     if (p < best_pred) {
       best_pred = p;
       best = i;

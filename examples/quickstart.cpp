@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   double best_pred = 1e300;
   std::size_t best_idx = 0;
   for (std::size_t i = 0; i < test.size(); ++i) {
-    const double pred = result.model->predict(test.features[i]);
+    const double pred = result.model->predict(test.features.row(i));
     if (pred < best_pred) {
       best_pred = pred;
       best_idx = i;

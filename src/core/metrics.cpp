@@ -13,11 +13,12 @@ TestSet build_test_set(const workloads::Workload& workload,
                        std::span<const space::Configuration> configs,
                        util::Rng& rng, int repetitions) {
   TestSet test;
-  test.features.reserve(configs.size());
-  test.labels.reserve(configs.size());
   const auto& space = workload.space();
+  test.features =
+      rf::FeatureMatrix::with_capacity(space.num_params(), configs.size());
+  test.labels.reserve(configs.size());
   for (const auto& config : configs) {
-    test.features.push_back(space.features(config));
+    space.write_features(config, test.features.append_row());
     test.labels.push_back(workload.measure(config, rng, repetitions));
   }
   test.ranking = util::argsort(test.labels);
@@ -35,7 +36,7 @@ double ranked_prefix_rmse(const PredictFn& predict, const TestSet& test,
   double acc = 0.0;
   for (std::size_t r = 0; r < count; ++r) {
     const std::size_t i = test.ranking[r];
-    const double err = predict(test.features[i]) - test.labels[i];
+    const double err = predict(test.features.row(i)) - test.labels[i];
     acc += err * err;
   }
   return std::sqrt(acc / static_cast<double>(count));
@@ -52,7 +53,7 @@ std::size_t alpha_prefix(const TestSet& test, double alpha) {
 double ranking_tau_impl(const PredictFn& predict, const TestSet& test) {
   std::vector<double> predicted(test.size());
   for (std::size_t i = 0; i < test.size(); ++i) {
-    predicted[i] = predict(test.features[i]);
+    predicted[i] = predict(test.features.row(i));
   }
   return util::kendall_tau(test.labels, predicted);
 }

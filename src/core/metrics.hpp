@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "rf/feature_matrix.hpp"
 #include "space/configuration.hpp"
 #include "space/parameter_space.hpp"
 #include "util/rng.hpp"
@@ -23,7 +24,8 @@ namespace pwu::core {
 /// "the label of every configuration is measured in advance") and its
 /// ascending performance ranking (smallest execution time first).
 struct TestSet {
-  std::vector<std::vector<double>> features;
+  /// One feature row per test configuration, contiguous.
+  rf::FeatureMatrix features;
   std::vector<double> labels;
   /// Indices sorted by label ascending (rank 0 = highest performance).
   std::vector<std::size_t> ranking;

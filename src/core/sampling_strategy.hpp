@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "rf/feature_matrix.hpp"
 #include "util/rng.hpp"
 
 namespace pwu::core {
@@ -34,10 +35,11 @@ struct PoolPrediction {
   /// caller does not track it; EI then treats the smallest predicted mean
   /// as the incumbent.
   double best_observed = std::numeric_limits<double>::quiet_NaN();
-  /// Candidate feature vectors (optional; filled by the active learner).
-  /// Diversity-aware batch strategies need them; plain strategies ignore
-  /// them. Empty = unavailable.
-  std::vector<std::vector<double>> features;
+  /// Candidate feature rows (optional; filled by the active learner), one
+  /// per pool entry in one contiguous matrix. Diversity-aware batch
+  /// strategies need them; plain strategies ignore them. Empty =
+  /// unavailable.
+  rf::FeatureMatrix features;
 
   std::size_t size() const { return mean.size(); }
 };

@@ -41,13 +41,14 @@ class DiversePwuStrategy final : public SamplingStrategy {
     }
 
     const std::size_t n = prediction.size();
-    const std::size_t dims = prediction.features.front().size();
+    const std::size_t dims = prediction.features.num_cols();
 
     // Per-dimension min-max normalization so no feature dominates the
     // distance.
     std::vector<double> lo(dims, std::numeric_limits<double>::infinity());
     std::vector<double> hi(dims, -std::numeric_limits<double>::infinity());
-    for (const auto& row : prediction.features) {
+    for (std::size_t r = 0; r < prediction.features.num_rows(); ++r) {
+      const auto row = prediction.features.row(r);
       for (std::size_t d = 0; d < dims; ++d) {
         lo[d] = std::min(lo[d], row[d]);
         hi[d] = std::max(hi[d], row[d]);
@@ -58,11 +59,11 @@ class DiversePwuStrategy final : public SamplingStrategy {
       inv_range[d] = hi[d] > lo[d] ? 1.0 / (hi[d] - lo[d]) : 0.0;
     }
     auto distance = [&](std::size_t a, std::size_t b) {
+      const auto row_a = prediction.features.row(a);
+      const auto row_b = prediction.features.row(b);
       double sq = 0.0;
       for (std::size_t d = 0; d < dims; ++d) {
-        const double diff = (prediction.features[a][d] -
-                             prediction.features[b][d]) *
-                            inv_range[d];
+        const double diff = (row_a[d] - row_b[d]) * inv_range[d];
         sq += diff * diff;
       }
       return std::sqrt(sq);

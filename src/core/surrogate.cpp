@@ -5,14 +5,14 @@
 namespace pwu::core {
 
 std::vector<rf::PredictionStats> Surrogate::predict_stats_batch(
-    const std::vector<std::vector<double>>& rows,
-    util::ThreadPool* pool) const {
-  std::vector<rf::PredictionStats> out(rows.size());
-  auto body = [&](std::size_t i) { out[i] = predict_stats(rows[i]); };
-  if (pool != nullptr && pool->num_threads() > 1 && rows.size() > 256) {
-    pool->parallel_for(0, rows.size(), body);
+    const rf::FeatureMatrix& rows, util::ThreadPool* pool) const {
+  const std::size_t n = rows.num_rows();
+  std::vector<rf::PredictionStats> out(n);
+  auto body = [&](std::size_t i) { out[i] = predict_stats(rows.row(i)); };
+  if (pool != nullptr && pool->num_threads() > 1 && n > 256) {
+    pool->parallel_for(0, n, body);
   } else {
-    for (std::size_t i = 0; i < rows.size(); ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) body(i);
   }
   return out;
 }
@@ -31,8 +31,7 @@ rf::PredictionStats RandomForestSurrogate::predict_stats(
 }
 
 std::vector<rf::PredictionStats> RandomForestSurrogate::predict_stats_batch(
-    const std::vector<std::vector<double>>& rows,
-    util::ThreadPool* pool) const {
+    const rf::FeatureMatrix& rows, util::ThreadPool* pool) const {
   return forest_.predict_stats_batch(rows, pool);
 }
 

@@ -37,11 +37,11 @@ class Surrogate {
   virtual rf::PredictionStats predict_stats(
       std::span<const double> row) const = 0;
 
-  /// Batched prediction; the default implementation loops (optionally in
-  /// parallel via `pool`).
+  /// Batched prediction over a contiguous row matrix; the default
+  /// implementation loops (optionally in parallel via `pool`), the forest
+  /// routes to its flat blocked evaluator.
   virtual std::vector<rf::PredictionStats> predict_stats_batch(
-      const std::vector<std::vector<double>>& rows,
-      util::ThreadPool* pool = nullptr) const;
+      const rf::FeatureMatrix& rows, util::ThreadPool* pool = nullptr) const;
 
   /// Point prediction (the posterior/ensemble mean).
   double predict(std::span<const double> row) const {
@@ -70,8 +70,7 @@ class RandomForestSurrogate final : public Surrogate {
   bool fitted() const override { return forest_.fitted(); }
   rf::PredictionStats predict_stats(std::span<const double> row) const override;
   std::vector<rf::PredictionStats> predict_stats_batch(
-      const std::vector<std::vector<double>>& rows,
-      util::ThreadPool* pool) const override;
+      const rf::FeatureMatrix& rows, util::ThreadPool* pool) const override;
 
   /// Forest text serialization — predictions round-trip exactly, which is
   /// what makes session checkpoint/resume bit-identical.

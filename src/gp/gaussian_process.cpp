@@ -54,9 +54,14 @@ void GaussianProcess::fit(const rf::Dataset& data, const GpConfig& config) {
     feat_range_[f] = std::max(feat_max[f] - feat_min_[f], 1e-12);
   }
 
-  train_.clear();
-  train_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) train_.push_back(normalize(data.row(i)));
+  train_ = rf::FeatureMatrix::with_capacity(d, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = data.row(i);
+    auto dst = train_.append_row();
+    for (std::size_t f = 0; f < d; ++f) {
+      dst[f] = (src[f] - feat_min_[f]) / feat_range_[f];
+    }
+  }
 
   // Label standardization.
   label_mean_ = util::mean(data.labels());
@@ -75,7 +80,7 @@ void GaussianProcess::fit(const rf::Dataset& data, const GpConfig& config) {
       for (std::size_t j = i + stride; j < n; j += stride) {
         double sq = 0.0;
         for (std::size_t f = 0; f < d; ++f) {
-          const double diff = train_[i][f] - train_[j][f];
+          const double diff = train_(i, f) - train_(j, f);
           sq += diff * diff;
         }
         distances.push_back(std::sqrt(sq));
@@ -92,7 +97,7 @@ void GaussianProcess::fit(const rf::Dataset& data, const GpConfig& config) {
     Matrix k(n, n);
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = 0; j <= i; ++j) {
-        const double v = (*kernel_)(train_[i], train_[j]);
+        const double v = (*kernel_)(train_.row(i), train_.row(j));
         k.at(i, j) = v;
         k.at(j, i) = v;
       }
@@ -120,9 +125,11 @@ GpPrediction GaussianProcess::predict_full(std::span<const double> row) const {
     throw std::logic_error("GaussianProcess::predict before fit");
   }
   const std::vector<double> x = normalize(row);
-  const std::size_t n = train_.size();
+  const std::size_t n = train_.num_rows();
   std::vector<double> k_star(n);
-  for (std::size_t i = 0; i < n; ++i) k_star[i] = (*kernel_)(x, train_[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    k_star[i] = (*kernel_)(x, train_.row(i));
+  }
 
   GpPrediction pred;
   pred.mean = label_mean_ + label_std_ * dot(k_star, alpha_);

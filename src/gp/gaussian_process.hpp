@@ -17,6 +17,7 @@
 #include "gp/kernel.hpp"
 #include "gp/linalg.hpp"
 #include "rf/dataset.hpp"
+#include "rf/feature_matrix.hpp"
 
 namespace pwu::gp {
 
@@ -47,7 +48,7 @@ class GaussianProcess {
   void fit(const rf::Dataset& data, const GpConfig& config = {});
 
   bool fitted() const { return fitted_; }
-  std::size_t num_train() const { return train_.size(); }
+  std::size_t num_train() const { return train_.num_rows(); }
 
   /// Posterior mean (de-standardized to label units).
   double predict(std::span<const double> row) const;
@@ -62,7 +63,7 @@ class GaussianProcess {
 
   GpConfig config_;
   KernelPtr kernel_;
-  std::vector<std::vector<double>> train_;  // normalized inputs
+  rf::FeatureMatrix train_;  // normalized inputs, one contiguous buffer
   Matrix chol_;                             // lower Cholesky of K + noise I
   std::vector<double> alpha_;               // (K + noise I)^-1 y~
   std::vector<double> feat_min_, feat_range_;

@@ -37,9 +37,23 @@ void Dataset::add(std::span<const double> row, double label) {
   if (!std::isfinite(label)) {
     throw std::invalid_argument("Dataset::add: non-finite label");
   }
-  for (double v : row) {
+  for (std::size_t f = 0; f < row.size(); ++f) {
+    const double v = row[f];
     if (!std::isfinite(v)) {
       throw std::invalid_argument("Dataset::add: non-finite feature");
+    }
+    if (is_categorical(f)) {
+      // Split finding rounds a categorical value to its level index and
+      // shifts a 64-bit mask by it; an out-of-range level would index
+      // out of the per-level scan buffers (or shift by >= 64) downstream,
+      // so reject it at the door.
+      const double level = std::round(v);
+      if (level != v || level < 0.0 ||
+          level >= static_cast<double>(cardinality(f))) {
+        throw std::invalid_argument(
+            "Dataset::add: categorical feature value is not a level index "
+            "in [0, cardinality)");
+      }
     }
   }
   features_.insert(features_.end(), row.begin(), row.end());

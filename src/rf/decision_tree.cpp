@@ -16,30 +16,40 @@ std::size_t TreeConfig::resolve_mtry(std::size_t num_features) const {
 }
 
 void DecisionTree::fit(const Dataset& data, std::vector<std::size_t> indices,
-                       const TreeConfig& config, util::Rng& rng) {
+                       const TreeConfig& config, util::Rng& rng,
+                       const SortedColumns* presorted) {
   if (indices.empty()) {
     throw std::invalid_argument("DecisionTree::fit: empty sample set");
   }
   nodes_.clear();
   nodes_.reserve(2 * indices.size());
+  SortedColumns local_sorted;
+  if (presorted == nullptr) {
+    local_sorted.build(data);
+    presorted = &local_sorted;
+  }
   SplitWorkspace workspace;
+  workspace.init(data, *presorted, indices);
   std::vector<std::size_t> feature_scratch(data.num_features());
   std::iota(feature_scratch.begin(), feature_scratch.end(), std::size_t{0});
-  build(data, indices, 0, indices.size(), 0, config, rng, workspace,
-        feature_scratch);
+  const bool columns_live = indices.size() >= SplitWorkspace::kColumnCutoff;
+  build(data, 0, indices.size(), 0, config, rng, workspace, feature_scratch,
+        columns_live);
 }
 
-std::int32_t DecisionTree::build(const Dataset& data,
-                                 std::vector<std::size_t>& indices,
-                                 std::size_t lo, std::size_t hi,
-                                 std::size_t depth, const TreeConfig& config,
-                                 util::Rng& rng, SplitWorkspace& workspace,
-                                 std::vector<std::size_t>& feature_scratch) {
+std::int32_t DecisionTree::build(const Dataset& data, std::size_t lo,
+                                 std::size_t hi, std::size_t depth,
+                                 const TreeConfig& config, util::Rng& rng,
+                                 SplitWorkspace& workspace,
+                                 std::vector<std::size_t>& feature_scratch,
+                                 bool columns_live) {
   const std::size_t n = hi - lo;
   assert(n > 0);
 
   double sum = 0.0;
-  for (std::size_t i = lo; i < hi; ++i) sum += data.y(indices[i]);
+  for (std::size_t i = lo; i < hi; ++i) {
+    sum += workspace.inst_label[workspace.node_insts[i]];
+  }
   const double node_mean = sum / static_cast<double>(n);
 
   const auto node_id = static_cast<std::int32_t>(nodes_.size());
@@ -53,9 +63,11 @@ std::int32_t DecisionTree::build(const Dataset& data,
   }
 
   // Constant labels: nothing to gain.
+  const double first_label =
+      workspace.inst_label[workspace.node_insts[lo]];
   bool constant = true;
   for (std::size_t i = lo + 1; i < hi; ++i) {
-    if (data.y(indices[i]) != data.y(indices[lo])) {
+    if (workspace.inst_label[workspace.node_insts[i]] != first_label) {
       constant = false;
       break;
     }
@@ -72,28 +84,23 @@ std::int32_t DecisionTree::build(const Dataset& data,
     std::swap(feature_scratch[i], feature_scratch[j]);
   }
 
-  const std::span<const std::size_t> node_indices(indices.data() + lo, n);
   Split best;
   for (std::size_t f = 0; f < mtry; ++f) {
-    Split candidate =
-        best_split_on_feature(data, node_indices, feature_scratch[f],
-                              parent_score, config.min_samples_leaf,
-                              workspace);
+    Split candidate = best_split_presorted(data, workspace, lo, hi,
+                                           columns_live, feature_scratch[f],
+                                           sum, parent_score,
+                                           config.min_samples_leaf);
     if (candidate.valid() && candidate.gain > best.gain) best = candidate;
   }
   if (!best.valid() || best.gain <= 1e-12 * std::max(1.0, parent_score)) {
     return node_id;
   }
 
-  // In-place partition of the index range by the chosen split.
-  auto boundary = std::partition(
-      indices.begin() + static_cast<std::ptrdiff_t>(lo),
-      indices.begin() + static_cast<std::ptrdiff_t>(hi),
-      [&](std::size_t idx) {
-        return best.goes_left(
-            data.x(idx, static_cast<std::size_t>(best.feature)));
-      });
-  const auto mid = static_cast<std::size_t>(boundary - indices.begin());
+  // Stable partition of the instance range by the chosen split; the columns
+  // are carried along only while some child is big enough to read them.
+  const auto part =
+      partition_presorted(data, workspace, lo, hi, best, columns_live);
+  const std::size_t mid = part.mid;
   if (mid == lo || mid == hi) {
     // Shouldn't happen given leaf constraints, but guard against pathological
     // floating-point edge cases by keeping the node a leaf.
@@ -101,10 +108,12 @@ std::int32_t DecisionTree::build(const Dataset& data,
   }
 
   nodes_[static_cast<std::size_t>(node_id)].split = best;
-  const std::int32_t left = build(data, indices, lo, mid, depth + 1, config,
-                                  rng, workspace, feature_scratch);
-  const std::int32_t right = build(data, indices, mid, hi, depth + 1, config,
-                                   rng, workspace, feature_scratch);
+  const std::int32_t left = build(data, lo, mid, depth + 1, config, rng,
+                                  workspace, feature_scratch,
+                                  part.columns_partitioned);
+  const std::int32_t right = build(data, mid, hi, depth + 1, config, rng,
+                                   workspace, feature_scratch,
+                                   part.columns_partitioned);
   nodes_[static_cast<std::size_t>(node_id)].left = left;
   nodes_[static_cast<std::size_t>(node_id)].right = right;
   return node_id;

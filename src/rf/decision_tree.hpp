@@ -28,10 +28,23 @@ struct TreeConfig {
 
 class DecisionTree {
  public:
+  struct Node {
+    Split split;        // invalid split => leaf
+    double value = 0.0; // leaf prediction (mean label)
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    bool is_leaf() const { return !split.valid(); }
+    bool operator==(const Node& other) const = default;
+  };
+
   /// Fits the tree to the samples referenced by `indices` (typically a
   /// bootstrap resample). `indices` is consumed (reordered in place).
+  /// `presorted` is the forest-level sorted-column cache; when null the
+  /// tree builds its own (the cache only pays for itself when shared
+  /// across an ensemble).
   void fit(const Dataset& data, std::vector<std::size_t> indices,
-           const TreeConfig& config, util::Rng& rng);
+           const TreeConfig& config, util::Rng& rng,
+           const SortedColumns* presorted = nullptr);
 
   /// Mean label of the leaf that `row` falls into.
   double predict(std::span<const double> row) const;
@@ -50,22 +63,19 @@ class DecisionTree {
 
   bool operator==(const DecisionTree& other) const;
 
- private:
-  struct Node {
-    Split split;        // invalid split => leaf
-    double value = 0.0; // leaf prediction (mean label)
-    std::int32_t left = -1;
-    std::int32_t right = -1;
-    bool is_leaf() const { return !split.valid(); }
-    bool operator==(const Node& other) const = default;
-  };
+  /// Read-only node table (node 0 is the root) — what FlatForest compiles
+  /// into its contiguous evaluation layout.
+  const std::vector<Node>& nodes() const { return nodes_; }
 
-  /// Recursively builds the subtree over indices[lo, hi); returns the node id.
-  std::int32_t build(const Dataset& data, std::vector<std::size_t>& indices,
-                     std::size_t lo, std::size_t hi, std::size_t depth,
-                     const TreeConfig& config, util::Rng& rng,
-                     SplitWorkspace& workspace,
-                     std::vector<std::size_t>& feature_scratch);
+ private:
+  /// Recursively builds the subtree over instances [lo, hi) of the presorted
+  /// workspace; `columns_live` says whether the workspace's feature columns
+  /// are partitioned down to this node. Returns the node id.
+  std::int32_t build(const Dataset& data, std::size_t lo, std::size_t hi,
+                     std::size_t depth, const TreeConfig& config,
+                     util::Rng& rng, SplitWorkspace& workspace,
+                     std::vector<std::size_t>& feature_scratch,
+                     bool columns_live);
 
   std::size_t depth_of(std::int32_t node) const;
 

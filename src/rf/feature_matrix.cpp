@@ -1,0 +1,49 @@
+#include "rf/feature_matrix.hpp"
+
+#include <algorithm>
+
+namespace pwu::rf {
+
+FeatureMatrix FeatureMatrix::from_rows(
+    const std::vector<std::vector<double>>& rows) {
+  FeatureMatrix m;
+  if (rows.empty()) return m;
+  m.cols_ = rows.front().size();
+  m.data_.reserve(rows.size() * m.cols_);
+  for (const auto& row : rows) {
+    m.add_row(row);
+  }
+  return m;
+}
+
+void FeatureMatrix::add_row(std::span<const double> values) {
+  if (cols_ == 0 && data_.empty()) {
+    cols_ = values.size();
+  }
+  if (values.size() != cols_) {
+    throw std::invalid_argument("FeatureMatrix::add_row: width mismatch");
+  }
+  data_.insert(data_.end(), values.begin(), values.end());
+}
+
+std::span<double> FeatureMatrix::append_row() {
+  if (cols_ == 0) {
+    throw std::logic_error("FeatureMatrix::append_row: width not set");
+  }
+  data_.resize(data_.size() + cols_);
+  return std::span<double>(data_.data() + data_.size() - cols_, cols_);
+}
+
+void FeatureMatrix::remove_row_swap(std::size_t r) {
+  const std::size_t rows = num_rows();
+  if (r >= rows) {
+    throw std::out_of_range("FeatureMatrix::remove_row_swap: bad row");
+  }
+  if (r + 1 != rows) {
+    std::copy_n(data_.data() + (rows - 1) * cols_, cols_,
+                data_.data() + r * cols_);
+  }
+  data_.resize(data_.size() - cols_);
+}
+
+}  // namespace pwu::rf

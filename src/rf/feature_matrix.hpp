@@ -1,0 +1,76 @@
+// Contiguous row-major feature matrix — the batched-prediction currency.
+//
+// Every pool-scoring and evaluation path used to carry a
+// std::vector<std::vector<double>> (one heap allocation per candidate,
+// scattered rows). FeatureMatrix stores all rows in one buffer and hands out
+// spans, so a 10^4-row pool is a single allocation that stays resident in
+// cache while the forest's flat node array streams over it.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace pwu::rf {
+
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+
+  /// Zero-initialized rows x cols matrix.
+  FeatureMatrix(std::size_t rows, std::size_t cols)
+      : cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Empty matrix with the given width and row capacity reserved.
+  static FeatureMatrix with_capacity(std::size_t cols, std::size_t rows) {
+    FeatureMatrix m;
+    m.cols_ = cols;
+    m.data_.reserve(rows * cols);
+    return m;
+  }
+
+  /// Copies nested rows (all must share one width).
+  static FeatureMatrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t num_rows() const { return cols_ == 0 ? 0 : data_.size() / cols_; }
+  std::size_t num_cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  std::span<const double> row(std::size_t r) const {
+    return std::span<const double>(data_.data() + r * cols_, cols_);
+  }
+  std::span<double> row(std::size_t r) {
+    return std::span<double>(data_.data() + r * cols_, cols_);
+  }
+
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+
+  /// Appends one row; the width must match (first append fixes it when the
+  /// matrix was default-constructed).
+  void add_row(std::span<const double> values);
+
+  /// Appends an uninitialized row and returns a writable span over it.
+  std::span<double> append_row();
+
+  /// Swap-with-last row removal, mirroring CandidatePool::take so a pool
+  /// and its feature rows stay index-aligned.
+  void remove_row_swap(std::size_t r);
+
+  void clear() { data_.clear(); }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace pwu::rf

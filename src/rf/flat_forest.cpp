@@ -1,0 +1,301 @@
+#include "rf/flat_forest.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace pwu::rf {
+
+namespace {
+
+/// Leaf value for one row in one tree. Routing replicates Split::goes_left
+/// exactly: numerical go left iff value <= threshold, categorical go left
+/// iff the level's mask bit is set (levels >= 64 go right).
+inline double traverse(const FlatNode* nodes, const double* row) {
+  std::uint32_t i = 0;
+  for (;;) {
+    const FlatNode node = nodes[i];
+    if (node.feature < 0) return node.payload;
+    const double v = row[node.feature & FlatNode::kFeatureMask];
+    bool left;
+    if (node.feature & FlatNode::kCategoricalFlag) {
+      const auto level = static_cast<std::uint64_t>(std::llround(v));
+      left = level < 64 &&
+             ((std::bit_cast<std::uint64_t>(node.payload) >> level) & 1ULL);
+    } else {
+      left = v <= node.payload;
+    }
+    i = static_cast<std::uint32_t>(node.left) + (left ? 0u : 1u);
+  }
+}
+
+/// Rows interleaved per traversal step. A single row's walk is a chain of
+/// dependent loads (each node address depends on the previous node's
+/// outcome); stepping a group of rows through the same tree in lockstep
+/// keeps that many independent chains in flight, so the node-load latency
+/// overlaps instead of serializing.
+constexpr std::size_t kGroup = 8;
+
+/// Walks `g` (<= kGroup) rows through one tree simultaneously and writes
+/// each row's leaf value to out[j]. Rows that reach a leaf early just
+/// re-test the (cached) leaf node until the stragglers finish; outputs are
+/// identical to per-row traverse().
+inline void traverse_group(const FlatNode* nodes,
+                           const double* const* row_ptrs, std::size_t g,
+                           double* out) {
+  std::uint32_t cur[kGroup] = {};
+  for (;;) {
+    bool active = false;
+    for (std::size_t j = 0; j < g; ++j) {
+      const FlatNode node = nodes[cur[j]];
+      if (node.feature < 0) continue;
+      active = true;
+      const double v = row_ptrs[j][node.feature & FlatNode::kFeatureMask];
+      bool left;
+      if (node.feature & FlatNode::kCategoricalFlag) {
+        const auto level = static_cast<std::uint64_t>(std::llround(v));
+        left = level < 64 &&
+               ((std::bit_cast<std::uint64_t>(node.payload) >> level) & 1ULL);
+      } else {
+        left = v <= node.payload;
+      }
+      cur[j] = static_cast<std::uint32_t>(node.left) + (left ? 0u : 1u);
+    }
+    if (!active) break;
+  }
+  for (std::size_t j = 0; j < g; ++j) out[j] = nodes[cur[j]].payload;
+}
+
+}  // namespace
+
+void FlatForest::build(std::span<const DecisionTree> trees) {
+  clear();
+  std::size_t total = 0;
+  for (const auto& tree : trees) total += tree.num_nodes();
+  nodes_.reserve(total);
+  tree_offsets_.reserve(trees.size() + 1);
+
+  std::vector<std::int32_t> bfs;  // original node ids in breadth-first order
+  for (const auto& tree : trees) {
+    const auto& src_nodes = tree.nodes();
+    if (src_nodes.empty()) {
+      throw std::logic_error("FlatForest::build: unfitted tree");
+    }
+    bfs.assign(1, 0);
+    // Flat local index of a node == its position in the BFS order; children
+    // are appended together, so right child = left child + 1 by layout.
+    for (std::size_t head = 0; head < bfs.size(); ++head) {
+      const auto& src = src_nodes[static_cast<std::size_t>(bfs[head])];
+      FlatNode node;
+      if (src.is_leaf()) {
+        node.payload = src.value;
+      } else {
+        node.feature = src.split.feature |
+                       (src.split.categorical ? FlatNode::kCategoricalFlag : 0);
+        node.payload = src.split.categorical
+                           ? std::bit_cast<double>(src.split.left_mask)
+                           : src.split.threshold;
+        node.left = static_cast<std::int32_t>(bfs.size());
+        bfs.push_back(src.left);
+        bfs.push_back(src.right);
+      }
+      nodes_.push_back(node);
+    }
+    tree_offsets_.push_back(
+        static_cast<std::uint32_t>(nodes_.size() - src_nodes.size()));
+  }
+  tree_offsets_.push_back(static_cast<std::uint32_t>(nodes_.size()));
+}
+
+void FlatForest::clear() {
+  nodes_.clear();
+  tree_offsets_.clear();
+}
+
+double FlatForest::predict_one(std::span<const double> row) const {
+  const std::size_t num = num_trees();
+  if (num == 0) {
+    throw std::logic_error("FlatForest::predict_one: empty forest");
+  }
+  double sum = 0.0;
+  for (std::size_t t = 0; t < num; ++t) {
+    sum += traverse(nodes_.data() + tree_offsets_[t], row.data());
+  }
+  return sum / static_cast<double>(num);
+}
+
+PredictionStats FlatForest::predict_stats_one(
+    std::span<const double> row) const {
+  const std::size_t num = num_trees();
+  if (num == 0) {
+    throw std::logic_error("FlatForest::predict_stats_one: empty forest");
+  }
+  thread_local std::vector<double> per_tree;
+  per_tree.resize(num);
+  predict_per_tree(row, per_tree);
+  // Two passes (deviation form) to match the reference exactly and avoid
+  // sum-of-squares cancellation when trees agree to many digits.
+  double sum = 0.0;
+  for (double p : per_tree) sum += p;
+  const auto b = static_cast<double>(num);
+  PredictionStats stats;
+  stats.mean = sum / b;
+  double sq_dev = 0.0;
+  for (double p : per_tree) {
+    const double d = p - stats.mean;
+    sq_dev += d * d;
+  }
+  stats.variance = sq_dev / b;
+  stats.stddev = std::sqrt(stats.variance);
+  return stats;
+}
+
+void FlatForest::predict_per_tree(std::span<const double> row,
+                                  std::span<double> out) const {
+  const std::size_t num = num_trees();
+  if (out.size() != num) {
+    throw std::invalid_argument("FlatForest::predict_per_tree: size mismatch");
+  }
+  for (std::size_t t = 0; t < num; ++t) {
+    out[t] = traverse(nodes_.data() + tree_offsets_[t], row.data());
+  }
+}
+
+void FlatForest::predict_per_tree_block(const double* const* rows,
+                                        std::size_t n,
+                                        std::span<double> out) const {
+  const std::size_t num = num_trees();
+  if (out.size() != num * n) {
+    throw std::invalid_argument(
+        "FlatForest::predict_per_tree_block: size mismatch");
+  }
+  for (std::size_t t = 0; t < num; ++t) {
+    const FlatNode* tree = nodes_.data() + tree_offsets_[t];
+    double* dst = out.data() + t * n;
+    for (std::size_t r = 0; r < n; r += kGroup) {
+      const std::size_t g = std::min(kGroup, n - r);
+      traverse_group(tree, rows + r, g, dst + r);
+    }
+  }
+}
+
+void FlatForest::stats_block(const FeatureMatrix& rows, std::size_t begin,
+                             std::size_t end, std::span<PredictionStats> out,
+                             std::vector<double>& scratch) const {
+  const std::size_t nb = end - begin;
+  const std::size_t num = num_trees();
+  scratch.resize(num * nb);
+  const double* row_ptrs[kGroup];
+  // Tree-major fill: one tree's nodes stay hot while the whole row block
+  // passes through it, kGroup rows at a time for memory-level parallelism.
+  for (std::size_t t = 0; t < num; ++t) {
+    const FlatNode* tree = nodes_.data() + tree_offsets_[t];
+    double* dst = scratch.data() + t * nb;
+    for (std::size_t r = 0; r < nb; r += kGroup) {
+      const std::size_t g = std::min(kGroup, nb - r);
+      for (std::size_t j = 0; j < g; ++j) {
+        row_ptrs[j] = rows.row(begin + r + j).data();
+      }
+      traverse_group(tree, row_ptrs, g, dst + r);
+    }
+  }
+  const auto b = static_cast<double>(num);
+  for (std::size_t r = 0; r < nb; ++r) {
+    double sum = 0.0;
+    for (std::size_t t = 0; t < num; ++t) sum += scratch[t * nb + r];
+    PredictionStats stats;
+    stats.mean = sum / b;
+    double sq_dev = 0.0;
+    for (std::size_t t = 0; t < num; ++t) {
+      const double d = scratch[t * nb + r] - stats.mean;
+      sq_dev += d * d;
+    }
+    stats.variance = sq_dev / b;
+    stats.stddev = std::sqrt(stats.variance);
+    out[begin + r] = stats;
+  }
+}
+
+void FlatForest::mean_block(const FeatureMatrix& rows, std::size_t begin,
+                            std::size_t end, std::span<double> out,
+                            std::vector<double>& scratch) const {
+  const std::size_t nb = end - begin;
+  const std::size_t num = num_trees();
+  scratch.assign(nb, 0.0);
+  const double* row_ptrs[kGroup];
+  double leaf[kGroup];
+  for (std::size_t t = 0; t < num; ++t) {
+    const FlatNode* tree = nodes_.data() + tree_offsets_[t];
+    for (std::size_t r = 0; r < nb; r += kGroup) {
+      const std::size_t g = std::min(kGroup, nb - r);
+      for (std::size_t j = 0; j < g; ++j) {
+        row_ptrs[j] = rows.row(begin + r + j).data();
+      }
+      traverse_group(tree, row_ptrs, g, leaf);
+      for (std::size_t j = 0; j < g; ++j) scratch[r + j] += leaf[j];
+    }
+  }
+  const auto b = static_cast<double>(num);
+  for (std::size_t r = 0; r < nb; ++r) out[begin + r] = scratch[r] / b;
+}
+
+void FlatForest::predict_stats(const FeatureMatrix& rows,
+                               std::span<PredictionStats> out,
+                               util::ThreadPool* pool) const {
+  const std::size_t n = rows.num_rows();
+  if (out.size() != n) {
+    throw std::invalid_argument("FlatForest::predict_stats: size mismatch");
+  }
+  if (empty()) {
+    throw std::logic_error("FlatForest::predict_stats: empty forest");
+  }
+  if (n == 0) return;
+  const std::size_t blocks = (n + kRowBlock - 1) / kRowBlock;
+  auto run_block = [&](std::size_t block, std::vector<double>& scratch) {
+    const std::size_t begin = block * kRowBlock;
+    const std::size_t end = std::min(begin + kRowBlock, n);
+    stats_block(rows, begin, end, out, scratch);
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && n > 256) {
+    pool->parallel_for(0, blocks, [&](std::size_t block) {
+      thread_local std::vector<double> scratch;
+      run_block(block, scratch);
+    });
+  } else {
+    std::vector<double> scratch;
+    for (std::size_t block = 0; block < blocks; ++block) {
+      run_block(block, scratch);
+    }
+  }
+}
+
+void FlatForest::predict_mean(const FeatureMatrix& rows, std::span<double> out,
+                              util::ThreadPool* pool) const {
+  const std::size_t n = rows.num_rows();
+  if (out.size() != n) {
+    throw std::invalid_argument("FlatForest::predict_mean: size mismatch");
+  }
+  if (empty()) {
+    throw std::logic_error("FlatForest::predict_mean: empty forest");
+  }
+  if (n == 0) return;
+  const std::size_t blocks = (n + kRowBlock - 1) / kRowBlock;
+  auto run_block = [&](std::size_t block, std::vector<double>& scratch) {
+    const std::size_t begin = block * kRowBlock;
+    const std::size_t end = std::min(begin + kRowBlock, n);
+    mean_block(rows, begin, end, out, scratch);
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && n > 256) {
+    pool->parallel_for(0, blocks, [&](std::size_t block) {
+      thread_local std::vector<double> scratch;
+      run_block(block, scratch);
+    });
+  } else {
+    std::vector<double> scratch;
+    for (std::size_t block = 0; block < blocks; ++block) {
+      run_block(block, scratch);
+    }
+  }
+}
+
+}  // namespace pwu::rf

@@ -33,11 +33,13 @@ void RandomForest::fit(const Dataset& data, const ForestConfig& config,
     tree_rngs.push_back(rng.fork());
   }
 
-  // Per-tree bootstrap index sets (drawn from the per-tree stream so the
-  // whole tree is a pure function of its stream).
-  std::vector<std::vector<std::size_t>> samples(config.num_trees);
   std::vector<std::vector<char>> in_bag;
   if (config.compute_oob) in_bag.assign(config.num_trees, {});
+
+  // Sort the dataset's feature columns once; every tree expands this shared
+  // read-only order through its own bootstrap in linear time.
+  SortedColumns sorted_columns;
+  sorted_columns.build(data);
 
   auto build_tree = [&](std::size_t t) {
     std::vector<std::size_t> indices;
@@ -51,7 +53,8 @@ void RandomForest::fit(const Dataset& data, const ForestConfig& config,
       in_bag[t].assign(n, 0);
       for (std::size_t idx : indices) in_bag[t][idx] = 1;
     }
-    trees_[t].fit(data, std::move(indices), config.tree, tree_rngs[t]);
+    trees_[t].fit(data, std::move(indices), config.tree, tree_rngs[t],
+                  &sorted_columns);
   };
 
   if (pool != nullptr && pool->num_threads() > 1) {
@@ -60,22 +63,62 @@ void RandomForest::fit(const Dataset& data, const ForestConfig& config,
     for (std::size_t t = 0; t < config.num_trees; ++t) build_tree(t);
   }
 
+  flat_.build(trees_);
+
   has_oob_ = false;
   if (config.compute_oob) {
+    // Per-sample OOB errors computed block-wise through the flat per-tree
+    // evaluator (parallel over blocks when a pool is given), then reduced in
+    // ascending sample order so the result matches the serial pass
+    // bit-for-bit: each sample's vote sum runs over trees ascending either
+    // way.
+    constexpr std::size_t kOobBlock = 64;
+    std::vector<double> sq_err(n);
+    std::vector<char> has_vote(n, 0);
+    const std::size_t blocks = (n + kOobBlock - 1) / kOobBlock;
+    auto oob_block = [&](std::size_t block, std::vector<double>& scratch) {
+      const std::size_t begin = block * kOobBlock;
+      const std::size_t end = std::min(begin + kOobBlock, n);
+      const std::size_t nb = end - begin;
+      const double* row_ptrs[kOobBlock];
+      for (std::size_t r = 0; r < nb; ++r) {
+        row_ptrs[r] = data.row(begin + r).data();
+      }
+      scratch.resize(config_.num_trees * nb);
+      flat_.predict_per_tree_block(row_ptrs, nb, scratch);
+      for (std::size_t r = 0; r < nb; ++r) {
+        const std::size_t i = begin + r;
+        double sum = 0.0;
+        std::size_t votes = 0;
+        for (std::size_t t = 0; t < config_.num_trees; ++t) {
+          if (!in_bag[t][i]) {
+            sum += scratch[t * nb + r];
+            ++votes;
+          }
+        }
+        if (votes > 0) {
+          const double err = sum / static_cast<double>(votes) - data.y(i);
+          sq_err[i] = err * err;
+          has_vote[i] = 1;
+        }
+      }
+    };
+    if (pool != nullptr && pool->num_threads() > 1 && n > 64) {
+      pool->parallel_for(0, blocks, [&](std::size_t block) {
+        thread_local std::vector<double> scratch;
+        oob_block(block, scratch);
+      });
+    } else {
+      std::vector<double> scratch;
+      for (std::size_t block = 0; block < blocks; ++block) {
+        oob_block(block, scratch);
+      }
+    }
     double sq_sum = 0.0;
     std::size_t counted = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      double sum = 0.0;
-      std::size_t votes = 0;
-      for (std::size_t t = 0; t < config.num_trees; ++t) {
-        if (!in_bag[t][i]) {
-          sum += trees_[t].predict(data.row(i));
-          ++votes;
-        }
-      }
-      if (votes > 0) {
-        const double err = sum / static_cast<double>(votes) - data.y(i);
-        sq_sum += err * err;
+      if (has_vote[i]) {
+        sq_sum += sq_err[i];
         ++counted;
       }
     }
@@ -90,20 +133,25 @@ double RandomForest::predict(std::span<const double> row) const {
   if (trees_.empty()) {
     throw std::logic_error("RandomForest::predict before fit");
   }
-  double sum = 0.0;
-  for (const auto& tree : trees_) sum += tree.predict(row);
-  return sum / static_cast<double>(trees_.size());
+  return flat_.predict_one(row);
 }
 
 PredictionStats RandomForest::predict_stats(std::span<const double> row) const {
   if (trees_.empty()) {
     throw std::logic_error("RandomForest::predict_stats before fit");
   }
+  return flat_.predict_stats_one(row);
+}
+
+PredictionStats RandomForest::predict_stats_reference(
+    std::span<const double> row) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest::predict_stats_reference before fit");
+  }
   // Two passes over the per-tree outputs: the deviation form avoids the
   // catastrophic cancellation of sum-of-squares minus squared-mean when
   // trees agree to many digits.
-  thread_local std::vector<double> per_tree;
-  per_tree.clear();
+  std::vector<double> per_tree;
   per_tree.reserve(trees_.size());
   double sum = 0.0;
   for (const auto& tree : trees_) {
@@ -125,15 +173,12 @@ PredictionStats RandomForest::predict_stats(std::span<const double> row) const {
 }
 
 std::vector<PredictionStats> RandomForest::predict_stats_batch(
-    const std::vector<std::vector<double>>& rows,
-    util::ThreadPool* pool) const {
-  std::vector<PredictionStats> out(rows.size());
-  auto body = [&](std::size_t i) { out[i] = predict_stats(rows[i]); };
-  if (pool != nullptr && pool->num_threads() > 1 && rows.size() > 256) {
-    pool->parallel_for(0, rows.size(), body);
-  } else {
-    for (std::size_t i = 0; i < rows.size(); ++i) body(i);
+    const FeatureMatrix& rows, util::ThreadPool* pool) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest::predict_stats_batch before fit");
   }
+  std::vector<PredictionStats> out(rows.num_rows());
+  flat_.predict_stats(rows, out, pool);
   return out;
 }
 
@@ -142,7 +187,7 @@ double RandomForest::oob_rmse() const {
 }
 
 std::vector<double> RandomForest::permutation_importance(
-    const Dataset& reference, util::Rng& rng) const {
+    const Dataset& reference, util::Rng& rng, util::ThreadPool* pool) const {
   if (trees_.empty()) {
     throw std::logic_error("RandomForest::permutation_importance before fit");
   }
@@ -150,29 +195,39 @@ std::vector<double> RandomForest::permutation_importance(
   const std::size_t d = reference.num_features();
   if (n == 0) return std::vector<double>(d, 0.0);
 
-  auto mse_with_column = [&](std::size_t feature,
-                             const std::vector<std::size_t>* perm) {
-    std::vector<double> row(d);
+  // One scratch matrix for the whole sweep: permute a column in place,
+  // batch-predict, restore it from the reference.
+  FeatureMatrix scratch = FeatureMatrix::with_capacity(d, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = reference.row(i);
+    auto dst = scratch.append_row();
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  std::vector<double> predictions(n);
+
+  auto mse = [&]() {
+    flat_.predict_mean(scratch, predictions, pool);
     double acc = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      const auto src = reference.row(i);
-      std::copy(src.begin(), src.end(), row.begin());
-      if (perm != nullptr) {
-        row[feature] = reference.x((*perm)[i], feature);
-      }
-      const double err = predict(row) - reference.y(i);
+      const double err = predictions[i] - reference.y(i);
       acc += err * err;
     }
     return acc / static_cast<double>(n);
   };
 
-  const double baseline = mse_with_column(0, nullptr);
+  const double baseline = mse();
   std::vector<double> importance(d);
   std::vector<std::size_t> perm(n);
   std::iota(perm.begin(), perm.end(), std::size_t{0});
   for (std::size_t f = 0; f < d; ++f) {
     rng.shuffle(perm);
-    importance[f] = mse_with_column(f, &perm) - baseline;
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch(i, f) = reference.x(perm[i], f);
+    }
+    importance[f] = mse() - baseline;
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch(i, f) = reference.x(i, f);
+    }
   }
   return importance;
 }
@@ -222,6 +277,7 @@ void RandomForest::load(std::istream& is) {
   std::vector<DecisionTree> trees(num_trees);
   for (auto& tree : trees) tree.load(is);
   trees_ = std::move(trees);
+  flat_.build(trees_);
   config_ = config;
   has_oob_ = false;
 }

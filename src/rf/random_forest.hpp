@@ -5,6 +5,12 @@
 // prediction is the mean over trees and the predictive uncertainty is the
 // spread (variance) of the per-tree predictions. That uncertainty drives
 // every sampling strategy in core/.
+//
+// After fit/load the ensemble is compiled into a FlatForest — a contiguous
+// breadth-first node array — and all prediction entry points route through
+// it. The original node tables are kept for serialization and structural
+// queries; predict_stats_reference() walks them directly and exists to pin
+// the flat engine's bit-exactness in tests.
 
 #pragma once
 
@@ -15,6 +21,8 @@
 
 #include "rf/dataset.hpp"
 #include "rf/decision_tree.hpp"
+#include "rf/feature_matrix.hpp"
+#include "rf/flat_forest.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -28,12 +36,6 @@ struct ForestConfig {
   bool bootstrap = true;
   /// Track per-sample out-of-bag predictions during fit.
   bool compute_oob = false;
-};
-
-struct PredictionStats {
-  double mean = 0.0;
-  double variance = 0.0;  // across trees (population variance)
-  double stddev = 0.0;
 };
 
 class RandomForest {
@@ -54,10 +56,17 @@ class RandomForest {
   /// Mean and across-tree spread for one row.
   PredictionStats predict_stats(std::span<const double> row) const;
 
-  /// Batched predict_stats over many rows, optionally parallel.
+  /// predict_stats computed by walking the original tree node tables — the
+  /// slow reference implementation the flat engine must match bit-for-bit.
+  PredictionStats predict_stats_reference(std::span<const double> row) const;
+
+  /// Batched predict_stats over a contiguous row matrix, optionally
+  /// parallel. Bit-identical to calling predict_stats row by row.
   std::vector<PredictionStats> predict_stats_batch(
-      const std::vector<std::vector<double>>& rows,
-      util::ThreadPool* pool = nullptr) const;
+      const FeatureMatrix& rows, util::ThreadPool* pool = nullptr) const;
+
+  /// The compiled evaluation layout (valid whenever fitted()).
+  const FlatForest& flat() const { return flat_; }
 
   /// Out-of-bag RMSE (requires compute_oob at fit time; NaN when no sample
   /// ended up out of bag, e.g. a 1-tree forest without bootstrap).
@@ -65,8 +74,9 @@ class RandomForest {
 
   /// Mean-squared-error increase per feature when that feature's column is
   /// permuted in `reference` — a model-agnostic importance measure.
-  std::vector<double> permutation_importance(const Dataset& reference,
-                                             util::Rng& rng) const;
+  std::vector<double> permutation_importance(
+      const Dataset& reference, util::Rng& rng,
+      util::ThreadPool* pool = nullptr) const;
 
   /// Structural statistics (for tests/diagnostics).
   std::size_t total_nodes() const;
@@ -83,6 +93,7 @@ class RandomForest {
 
  private:
   std::vector<DecisionTree> trees_;
+  FlatForest flat_;
   ForestConfig config_;
   double oob_rmse_ = 0.0;
   bool has_oob_ = false;

@@ -48,7 +48,17 @@ AskTellSession::AskTellSession(const space::ParameterSpace& space,
       pool_(std::move(pool)),
       train_(space_.num_params(), space_.categorical_mask(),
              space_.cardinalities()),
-      rng_(seed) {}
+      rng_(seed) {
+  rebuild_pool_features();
+}
+
+void AskTellSession::rebuild_pool_features() {
+  pool_features_ =
+      rf::FeatureMatrix::with_capacity(space_.num_params(), pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    space_.write_features(pool_.at(i), pool_features_.append_row());
+  }
+}
 
 AskTellSession::AskTellSession(const space::ParameterSpace& space,
                                StrategySpec spec, core::LearnerConfig config,
@@ -122,6 +132,15 @@ std::vector<Candidate> AskTellSession::ask(std::size_t n) {
     // regardless of the requested batch size.
     std::vector<std::size_t> init_indices =
         pool_.sample_indices(std::min(config_.n_init, pool_.size()), rng_);
+    // Mirror take_many's removal sequence (sorted unique, descending) on the
+    // feature rows so pool_ and pool_features_ stay index-aligned.
+    std::sort(init_indices.begin(), init_indices.end());
+    init_indices.erase(
+        std::unique(init_indices.begin(), init_indices.end()),
+        init_indices.end());
+    for (auto it = init_indices.rbegin(); it != init_indices.rend(); ++it) {
+      pool_features_.remove_row_swap(*it);
+    }
     for (auto& config : pool_.take_many(std::move(init_indices))) {
       Candidate cand;
       cand.config = std::move(config);
@@ -141,20 +160,13 @@ std::vector<Candidate> AskTellSession::ask(std::size_t n) {
   prediction.best_observed = best_observed();
   prediction.mean.resize(pool_.size());
   prediction.stddev.resize(pool_.size());
-  std::vector<rf::PredictionStats> stats;
-  {
-    std::vector<std::vector<double>> rows;
-    rows.reserve(pool_.size());
-    for (std::size_t i = 0; i < pool_.size(); ++i) {
-      rows.push_back(space_.features(pool_.at(i)));
-    }
-    stats = model_->predict_stats_batch(rows, workers_);
-    for (std::size_t i = 0; i < stats.size(); ++i) {
-      prediction.mean[i] = stats[i].mean;
-      prediction.stddev[i] = stats[i].stddev;
-    }
-    prediction.features = std::move(rows);
+  const std::vector<rf::PredictionStats> stats =
+      model_->predict_stats_batch(pool_features_, workers_);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    prediction.mean[i] = stats[i].mean;
+    prediction.stddev[i] = stats[i].stddev;
   }
+  prediction.features = pool_features_;
 
   std::vector<std::size_t> selected = strategy_->select(prediction, batch, rng_);
   if (selected.empty()) {
@@ -173,6 +185,7 @@ std::vector<Candidate> AskTellSession::ask(std::size_t n) {
     cand.predicted_stddev = stats.at(*it).stddev;
     cand.iteration = iteration_;
     cand.config = pool_.take(*it);
+    pool_features_.remove_row_swap(*it);
     pending_.push_back(std::move(cand));
   }
   return pending_;
@@ -439,6 +452,7 @@ AskTellSession AskTellSession::restore(const space::ParameterSpace& space,
       pool_configs.push_back(read_levels(is, space));
     }
     session.pool_ = space::CandidatePool(std::move(pool_configs));
+    session.rebuild_pool_features();
   }
 
   expect_section(is, "pending");

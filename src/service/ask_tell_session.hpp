@@ -164,6 +164,9 @@ class AskTellSession {
 
   void append_label(const Candidate& candidate, double measured_time);
   void fit_model();
+  /// Re-encodes every pool configuration into pool_features_ (row i =
+  /// features of pool_.at(i)).
+  void rebuild_pool_features();
 
   space::ParameterSpace space_;
   core::LearnerConfig config_;
@@ -173,6 +176,10 @@ class AskTellSession {
   util::ThreadPool* workers_ = nullptr;
 
   space::CandidatePool pool_;
+  /// Encoded pool rows, index-aligned with pool_ across every swap-with-last
+  /// removal — the batch the surrogate scores each iteration, encoded once
+  /// per session instead of once per iteration.
+  rf::FeatureMatrix pool_features_;
   rf::Dataset train_;
   std::size_t warm_rows_ = 0;
   std::vector<space::Configuration> train_configs_;

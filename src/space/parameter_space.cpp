@@ -68,14 +68,19 @@ std::vector<Configuration> ParameterSpace::enumerate(std::size_t limit) const {
 }
 
 std::vector<double> ParameterSpace::features(const Configuration& config) const {
-  if (config.size() != params_.size()) {
-    throw std::invalid_argument("ParameterSpace::features: shape mismatch");
-  }
   std::vector<double> f(params_.size());
-  for (std::size_t i = 0; i < params_.size(); ++i) {
-    f[i] = params_[i].numeric_value(config.level(i));
-  }
+  write_features(config, f);
   return f;
+}
+
+void ParameterSpace::write_features(const Configuration& config,
+                                    std::span<double> out) const {
+  if (config.size() != params_.size() || out.size() != params_.size()) {
+    throw std::invalid_argument("ParameterSpace::write_features: shape mismatch");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    out[i] = params_[i].numeric_value(config.level(i));
+  }
 }
 
 std::vector<bool> ParameterSpace::categorical_mask() const {

@@ -3,6 +3,7 @@
 
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,11 @@ class ParameterSpace {
   /// Numeric feature vector (one entry per parameter, see
   /// Parameter::numeric_value).
   std::vector<double> features(const Configuration& config) const;
+
+  /// Allocation-free variant: encodes into `out` (size num_params()) — the
+  /// row-filling primitive for contiguous feature matrices.
+  void write_features(const Configuration& config,
+                      std::span<double> out) const;
 
   /// Per-feature categorical flags for the random forest.
   std::vector<bool> categorical_mask() const;

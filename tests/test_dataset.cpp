@@ -50,6 +50,26 @@ TEST(Dataset, CategoricalSchemaValidated) {
   EXPECT_EQ(ok.cardinality(1), 0u);
 }
 
+TEST(Dataset, CategoricalValuesValidatedOnAdd) {
+  // Regression: an out-of-range categorical value used to flow into split
+  // finding, where the level index walks past the per-level buffers and a
+  // level >= 64 shifts a 64-bit mask out of range (undefined behavior).
+  // Now the offending row is rejected at insertion.
+  Dataset d(2, {true, false}, {5, 0});
+  d.add(std::vector<double>{4.0, 1.5}, 1.0);   // top level is fine
+  EXPECT_THROW(d.add(std::vector<double>{5.0, 0.0}, 1.0),
+               std::invalid_argument);         // == cardinality
+  EXPECT_THROW(d.add(std::vector<double>{-1.0, 0.0}, 1.0),
+               std::invalid_argument);         // negative level
+  EXPECT_THROW(d.add(std::vector<double>{2.5, 0.0}, 1.0),
+               std::invalid_argument);         // non-integral level
+  EXPECT_THROW(d.add(std::vector<double>{100.0, 0.0}, 1.0),
+               std::invalid_argument);         // would shift a mask by >= 64
+  // The numerical column stays unrestricted.
+  d.add(std::vector<double>{0.0, -123.75}, 2.0);
+  EXPECT_EQ(d.size(), 2u);
+}
+
 TEST(Dataset, AllNumericalByDefault) {
   const Dataset d(3);
   EXPECT_FALSE(d.is_categorical(0));

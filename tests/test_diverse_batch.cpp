@@ -20,11 +20,11 @@ PoolPrediction clustered_prediction() {
   PoolPrediction p;
   p.mean = {0.10, 0.10, 0.10, 0.12, 0.50};
   p.stddev = {0.20, 0.19, 0.18, 0.15, 0.05};
-  p.features = {{0.0, 0.0},
-                {0.01, 0.0},
-                {0.0, 0.01},
-                {1.0, 1.0},
-                {0.0, 1.0}};
+  p.features = rf::FeatureMatrix::from_rows({{0.0, 0.0},
+                                             {0.01, 0.0},
+                                             {0.0, 0.01},
+                                             {1.0, 1.0},
+                                             {0.0, 1.0}});
   return p;
 }
 

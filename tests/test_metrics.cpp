@@ -42,7 +42,7 @@ class MetricsTest : public ::testing::Test {
 
 TEST_F(MetricsTest, TestSetLabelsAndRanking) {
   EXPECT_EQ(test_.size(), 200u);
-  EXPECT_EQ(test_.features.size(), test_.labels.size());
+  EXPECT_EQ(test_.features.num_rows(), test_.labels.size());
   // Ranking is a permutation sorted by label ascending.
   ASSERT_EQ(test_.ranking.size(), 200u);
   for (std::size_t r = 1; r < test_.ranking.size(); ++r) {

@@ -148,17 +148,19 @@ TEST(RandomForest, PredictStatsBatchMatchesScalar) {
   RandomForest forest;
   util::Rng fit_rng(18);
   forest.fit(train, default_forest(), fit_rng);
-  std::vector<std::vector<double>> rows;
+  FeatureMatrix rows;
   util::Rng probe(19);
   for (int t = 0; t < 300; ++t) {
-    rows.push_back({probe.uniform(0.0, 10.0), probe.uniform(0.0, 10.0),
-                    probe.uniform(0.0, 10.0)});
+    const std::vector<double> row = {probe.uniform(0.0, 10.0),
+                                     probe.uniform(0.0, 10.0),
+                                     probe.uniform(0.0, 10.0)};
+    rows.add_row(row);
   }
   util::ThreadPool pool(3);
   const auto batch = forest.predict_stats_batch(rows, &pool);
-  ASSERT_EQ(batch.size(), rows.size());
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    EXPECT_DOUBLE_EQ(batch[i].mean, forest.predict_stats(rows[i]).mean);
+  ASSERT_EQ(batch.size(), rows.num_rows());
+  for (std::size_t i = 0; i < rows.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i].mean, forest.predict_stats(rows.row(i)).mean);
   }
 }
 

@@ -67,11 +67,12 @@ TEST(Surrogate, BatchDefaultMatchesScalar) {
   GaussianProcessSurrogate gp{gp::GpConfig{}};
   util::Rng fit_rng(5);
   gp.fit(data, fit_rng, nullptr);
-  std::vector<std::vector<double>> rows = {{1.0, 1.0}, {4.0, 0.5}};
+  const rf::FeatureMatrix rows =
+      rf::FeatureMatrix::from_rows({{1.0, 1.0}, {4.0, 0.5}});
   const auto batch = gp.predict_stats_batch(rows);
   ASSERT_EQ(batch.size(), 2u);
-  EXPECT_DOUBLE_EQ(batch[0].mean, gp.predict_stats(rows[0]).mean);
-  EXPECT_DOUBLE_EQ(batch[1].mean, gp.predict_stats(rows[1]).mean);
+  EXPECT_DOUBLE_EQ(batch[0].mean, gp.predict_stats(rows.row(0)).mean);
+  EXPECT_DOUBLE_EQ(batch[1].mean, gp.predict_stats(rows.row(1)).mean);
 }
 
 TEST(Surrogate, AsForestExposesOnlyForests) {
