@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# One-command correctness gate:
+#
+#   scripts/check.sh [--jobs N]
+#
+#   1. pwu_lint        — project-invariant static analysis (Release build)
+#   2. asan-fast       — unit suite under Address/UB sanitizers + contracts
+#   3. tsan-fast       — unit suite (incl. race stress tests) under
+#                        ThreadSanitizer + contracts
+#
+# Contracts (PWU_REQUIRE/PWU_ENSURE/PWU_ASSERT) are active in both sanitizer
+# passes because those presets build Debug. Exits non-zero on the first
+# failing gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+if [[ "${1:-}" == "--jobs" && -n "${2:-}" ]]; then
+  jobs="$2"
+fi
+
+echo "== gate 1/3: pwu_lint =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs" --target pwu_lint >/dev/null
+./build/tools/pwu_lint --root . --baseline tools/lint/pwu_lint.baseline
+
+echo "== gate 2/3: asan-fast =="
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "$jobs" >/dev/null
+ctest --preset asan-fast -j "$jobs"
+
+echo "== gate 3/3: tsan-fast =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$jobs" >/dev/null
+ctest --preset tsan-fast -j "$jobs"
+
+echo "check.sh: all correctness gates passed"

@@ -12,6 +12,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/contracts.hpp"
+
 namespace pwu::rf {
 
 class Dataset {
@@ -30,11 +32,18 @@ class Dataset {
   bool empty() const { return labels_.empty(); }
 
   double x(std::size_t row, std::size_t col) const {
+    PWU_REQUIRE(row < size() && col < num_features_,
+                "Dataset::x: row=" << row << " col=" << col << " size="
+                                   << size() << " width=" << num_features_);
     return features_[row * num_features_ + col];
   }
-  double y(std::size_t row) const { return labels_[row]; }
+  double y(std::size_t row) const {
+    PWU_REQUIRE(row < size(), "Dataset::y: row=" << row << " size=" << size());
+    return labels_[row];
+  }
 
   std::span<const double> row(std::size_t r) const {
+    PWU_REQUIRE(r < size(), "Dataset::row: row=" << r << " size=" << size());
     return std::span<const double>(features_.data() + r * num_features_,
                                    num_features_);
   }

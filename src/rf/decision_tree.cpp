@@ -1,12 +1,13 @@
 #include "rf/decision_tree.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <istream>
 #include <limits>
 #include <numeric>
 #include <ostream>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace pwu::rf {
 
@@ -44,7 +45,7 @@ std::int32_t DecisionTree::build(const Dataset& data, std::size_t lo,
                                  std::vector<std::size_t>& feature_scratch,
                                  bool columns_live) {
   const std::size_t n = hi - lo;
-  assert(n > 0);
+  PWU_ASSERT(n > 0, "build: empty node range [" << lo << ", " << hi << ")");
 
   double sum = 0.0;
   for (std::size_t i = lo; i < hi; ++i) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace pwu::rf {
 
 namespace {
@@ -101,10 +103,26 @@ void FlatForest::build(std::span<const DecisionTree> trees) {
       }
       nodes_.push_back(node);
     }
-    tree_offsets_.push_back(
-        static_cast<std::uint32_t>(nodes_.size() - src_nodes.size()));
+    // Every BFS slot was visited exactly once and every split's left child
+    // (and its implicit right sibling) stays inside this tree's node table.
+    PWU_ENSURE(bfs.size() == src_nodes.size(),
+               "FlatForest::build: BFS covered " << bfs.size() << " of "
+                                                 << src_nodes.size()
+                                                 << " nodes");
+    const std::size_t base = nodes_.size() - src_nodes.size();
+    for (std::size_t i = base; i < nodes_.size(); ++i) {
+      PWU_ASSERT(nodes_[i].feature < 0 ||
+                     static_cast<std::size_t>(nodes_[i].left) + 1 <
+                         src_nodes.size(),
+                 "FlatForest::build: child index " << nodes_[i].left
+                                                   << " out of tree range "
+                                                   << src_nodes.size());
+    }
+    tree_offsets_.push_back(static_cast<std::uint32_t>(base));
   }
   tree_offsets_.push_back(static_cast<std::uint32_t>(nodes_.size()));
+  PWU_ENSURE(tree_offsets_.back() == nodes_.size() && nodes_.size() == total,
+             "FlatForest::build: node table/offset mismatch");
 }
 
 void FlatForest::clear() {
@@ -184,6 +202,9 @@ void FlatForest::stats_block(const FeatureMatrix& rows, std::size_t begin,
                              std::vector<double>& scratch) const {
   const std::size_t nb = end - begin;
   const std::size_t num = num_trees();
+  PWU_REQUIRE(begin < end && end <= rows.num_rows() && nb <= kRowBlock,
+              "FlatForest::stats_block: [" << begin << ", " << end
+                                           << ") of " << rows.num_rows());
   scratch.resize(num * nb);
   const double* row_ptrs[kGroup];
   // Tree-major fill: one tree's nodes stay hot while the whole row block
@@ -221,6 +242,9 @@ void FlatForest::mean_block(const FeatureMatrix& rows, std::size_t begin,
                             std::vector<double>& scratch) const {
   const std::size_t nb = end - begin;
   const std::size_t num = num_trees();
+  PWU_REQUIRE(begin < end && end <= rows.num_rows() && nb <= kRowBlock,
+              "FlatForest::mean_block: [" << begin << ", " << end << ") of "
+                                          << rows.num_rows());
   scratch.assign(nb, 0.0);
   const double* row_ptrs[kGroup];
   double leaf[kGroup];

@@ -7,6 +7,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace pwu::service {
 
 namespace {
@@ -146,11 +148,19 @@ std::vector<Candidate> AskTellSession::ask(std::size_t n) {
       cand.config = std::move(config);
       pending_.push_back(std::move(cand));
     }
+    PWU_ENSURE(phase() == SessionPhase::AwaitingTells,
+               "ask: cold start must leave the session awaiting tells, got "
+                   << to_string(phase()));
+    PWU_ENSURE(pool_.size() == pool_features_.num_rows(),
+               "ask: pool/features desync " << pool_.size() << " vs "
+                                            << pool_features_.num_rows());
     return pending_;
   }
 
   // Iteration phase (Algorithm 1, lines 5-9): predict over the pool, let
   // the strategy pick a batch.
+  PWU_ASSERT(model_ != nullptr,
+             "ask: cold start complete but no fitted surrogate");
   ++iteration_;
   const std::size_t want = n == 0 ? config_.n_batch : n;
   const std::size_t batch =
@@ -188,6 +198,11 @@ std::vector<Candidate> AskTellSession::ask(std::size_t n) {
     pool_features_.remove_row_swap(*it);
     pending_.push_back(std::move(cand));
   }
+  PWU_ENSURE(phase() == SessionPhase::AwaitingTells,
+             "ask: a non-empty batch must leave the session awaiting tells");
+  PWU_ENSURE(pool_.size() == pool_features_.num_rows(),
+             "ask: pool/features desync " << pool_.size() << " vs "
+                                          << pool_features_.num_rows());
   return pending_;
 }
 
@@ -225,6 +240,13 @@ void AskTellSession::append_label(const Candidate& candidate,
   }
   train_configs_.push_back(candidate.config);
   train_labels_.push_back(measured_time);
+  PWU_ENSURE(train_configs_.size() == train_labels_.size() &&
+                 train_.size() == warm_rows_ + train_labels_.size(),
+             "append_label: training-set desync: " << train_.size()
+                                                   << " rows, " << warm_rows_
+                                                   << " warm, "
+                                                   << train_labels_.size()
+                                                   << " labels");
 }
 
 void AskTellSession::fit_model() {

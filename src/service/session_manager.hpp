@@ -114,7 +114,7 @@ class SessionManager {
     SessionSpec spec;
     std::uint64_t measure_seed = 0;
     /// Pending background refit; joined before the next operation.
-    std::future<void> refit;
+    std::future<void> refit;  // pwu-lint: guarded-by(mutex)
   };
 
   std::shared_ptr<Entry> find(const std::string& name) const;
@@ -123,7 +123,7 @@ class SessionManager {
   static void join_refit(Entry& entry);
 
   mutable std::mutex registry_mutex_;
-  std::map<std::string, std::shared_ptr<Entry>> sessions_;
+  std::map<std::string, std::shared_ptr<Entry>> sessions_;  // pwu-lint: guarded-by(registry_mutex_)
   util::ThreadPool* workers_ = nullptr;
 };
 

@@ -1,0 +1,51 @@
+#include "util/contracts.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pwu::util {
+
+ContractViolation::ContractViolation(std::string kind, std::string expression,
+                                     std::string file, int line,
+                                     std::string message)
+    : std::logic_error("pwu contract violation: " + kind + " failed: " +
+                       expression + " at " + file + ":" +
+                       std::to_string(line) +
+                       (message.empty() ? "" : " (" + message + ")")),
+      kind_(std::move(kind)),
+      expression_(std::move(expression)),
+      file_(std::move(file)),
+      line_(line),
+      message_(std::move(message)) {}
+
+namespace {
+
+std::atomic<ContractHandler> g_handler{nullptr};
+
+}  // namespace
+
+ContractHandler set_contract_handler(ContractHandler handler) {
+  return g_handler.exchange(handler);
+}
+
+void contract_fail(const char* kind, const char* expression, const char* file,
+                   int line, const std::string& message) {
+  const ContractViolation violation(kind, expression, file, line, message);
+  if (ContractHandler handler = g_handler.load()) {
+    handler(violation);  // a throwing handler never returns here
+  }
+  // The abort path writes straight to stderr: the process is about to die
+  // and the leveled logger's formatting machinery is not worth trusting.
+  // pwu-lint: allow-next-line(no-cout-logging)
+  std::fprintf(stderr,
+               "pwu contract violation: %s failed\n"
+               "  expression: %s\n"
+               "  location:   %s:%d\n"
+               "  message:    %s\n",
+               kind, expression, file, line,
+               message.empty() ? "(none)" : message.c_str());
+  std::abort();
+}
+
+}  // namespace pwu::util

@@ -1,0 +1,124 @@
+// Contract macros with formatted diagnostics.
+//
+// PWU_REQUIRE (precondition), PWU_ENSURE (postcondition) and PWU_ASSERT
+// (invariant) check hot internal assumptions — index bounds, state-machine
+// transitions, geometry of batched buffers — that the public API's
+// exception-based validation deliberately does not re-check on every call.
+//
+// Checked builds (Debug and the asan/tsan presets, i.e. whenever NDEBUG is
+// absent) evaluate the condition and, on failure, print a formatted
+// diagnostic and abort:
+//
+//     pwu contract violation: precondition failed
+//       expression: lo <= hi
+//       location:   src/util/rng.cpp:58
+//       message:    uniform_int: lo=5 hi=2
+//
+// Release builds compile the checks out entirely (the condition is parsed,
+// never evaluated), so contracts are free on the hot path. The optional
+// message is a '<<'-chain evaluated only on failure:
+//
+//     PWU_REQUIRE(row < size(), "row=" << row << " size=" << size());
+//
+// Tests install a throwing handler (set_contract_handler) to assert on
+// violations without death tests; override the default with
+// -DPWU_CONTRACTS_ENABLED=0/1 to force either mode.
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#ifndef PWU_CONTRACTS_ENABLED
+#ifdef NDEBUG
+#define PWU_CONTRACTS_ENABLED 0
+#else
+#define PWU_CONTRACTS_ENABLED 1
+#endif
+#endif
+
+namespace pwu::util {
+
+/// Thrown by the (test-oriented) throwing handler; carries the structured
+/// pieces of the diagnostic in addition to the formatted what().
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(std::string kind, std::string expression, std::string file,
+                    int line, std::string message);
+
+  const std::string& kind() const { return kind_; }
+  const std::string& expression() const { return expression_; }
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  std::string kind_;
+  std::string expression_;
+  std::string file_;
+  int line_;
+  std::string message_;
+};
+
+/// Called with the violation; returning hands control back to contract_fail,
+/// which aborts. A handler may throw instead (the test idiom).
+using ContractHandler = void (*)(const ContractViolation&);
+
+/// Installs `handler` (nullptr restores the default) and returns the
+/// previous one. The default prints the diagnostic to stderr and aborts.
+ContractHandler set_contract_handler(ContractHandler handler);
+
+/// Invoked by the macros on a failed check. Runs the installed handler;
+/// aborts if the handler returns.
+[[noreturn]] void contract_fail(const char* kind, const char* expression,
+                                const char* file, int line,
+                                const std::string& message);
+
+namespace detail {
+/// Rvalue-friendly message builder so the macros can stream into a
+/// temporary: (ContractMessage{} << "n=" << n).str().
+class ContractMessage {
+ public:
+  template <typename T>
+  ContractMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace pwu::util
+
+#if PWU_CONTRACTS_ENABLED
+#define PWU_CONTRACT_CHECK_(kind, cond, ...)                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::pwu::util::contract_fail(                                     \
+          kind, #cond, __FILE__, __LINE__,                            \
+          (::pwu::util::detail::ContractMessage {}                    \
+           __VA_OPT__(<< __VA_ARGS__))                                \
+              .str());                                                \
+    }                                                                 \
+  } while (false)
+#else
+// Parsed but never evaluated: no runtime cost, and identifiers used only in
+// contracts never become "unused" in Release.
+#define PWU_CONTRACT_CHECK_(kind, cond, ...) \
+  do {                                       \
+    if (false) {                             \
+      (void)(cond);                          \
+    }                                        \
+  } while (false)
+#endif
+
+/// Precondition on a function's arguments / callable state.
+#define PWU_REQUIRE(cond, ...) PWU_CONTRACT_CHECK_("precondition", cond, __VA_ARGS__)
+/// Postcondition a function guarantees on exit.
+#define PWU_ENSURE(cond, ...) PWU_CONTRACT_CHECK_("postcondition", cond, __VA_ARGS__)
+/// Internal invariant that must hold mid-computation.
+#define PWU_ASSERT(cond, ...) PWU_CONTRACT_CHECK_("invariant", cond, __VA_ARGS__)

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
 #include <cmath>
 #include <istream>
 #include <numbers>
@@ -10,6 +9,8 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_set>
+
+#include "util/contracts.hpp"
 
 namespace pwu::util {
 
@@ -53,7 +54,7 @@ double Rng::uniform() {
 double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  PWU_REQUIRE(lo <= hi, "uniform_int: lo=" << lo << " hi=" << hi);
   const std::uint64_t span =
       static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
   if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
@@ -73,7 +74,7 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
 }
 
 std::size_t Rng::index(std::size_t n) {
-  assert(n > 0);
+  PWU_REQUIRE(n > 0, "index: drawing from an empty range");
   return static_cast<std::size_t>(
       uniform_int(0, static_cast<std::int64_t>(n) - 1));
 }

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 namespace pwu::util {
@@ -73,7 +74,28 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) body(i);
     }));
   }
-  for (auto& f : futures) f.get();  // propagates the first exception
+  // Helping join: run queued jobs while waiting so a nested call — a pool
+  // worker blocking on its own pool, e.g. a background surrogate refit
+  // fanning a forest fit out over the same workers — always makes progress.
+  // A plain f.get() here deadlocks once every worker sits in this wait.
+  for (auto& f : futures) {
+    while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      std::function<void()> job;
+      {
+        std::lock_guard lock(mutex_);
+        if (!queue_.empty()) {
+          job = std::move(queue_.front());
+          queue_.pop();
+        }
+      }
+      if (job) {
+        job();
+      } else {
+        f.wait_for(std::chrono::milliseconds(1));
+      }
+    }
+    f.get();  // propagates the first exception
+  }
 }
 
 ThreadPool& ThreadPool::global() {

@@ -66,10 +66,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<std::function<void()>> queue_;  // pwu-lint: guarded-by(mutex_)
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool stopping_ = false;
+  bool stopping_ = false;  // pwu-lint: guarded-by(mutex_)
 };
 
 }  // namespace pwu::util

@@ -1,0 +1,6 @@
+// Fixture: a file-wide exemption silences every hit of that rule.
+// pwu-lint: allow-file(no-wallclock)
+#include <chrono>
+
+long first() { return std::chrono::system_clock::now().time_since_epoch().count(); }
+long second() { return std::chrono::steady_clock::now().time_since_epoch().count(); }

@@ -1,0 +1,4 @@
+// Fixture: direct stdout from library code — one no-cout-logging hit.
+#include <iostream>
+
+void chatty() { std::cout << "library code must not own stdout\n"; }

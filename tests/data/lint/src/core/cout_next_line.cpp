@@ -1,0 +1,8 @@
+// Fixture: allow-next-line covers exactly one line.
+#include <iostream>
+
+void next_line_demo() {
+  // pwu-lint: allow-next-line(no-cout-logging)
+  std::cout << "suppressed\n";
+  std::cout << "still a finding\n";
+}

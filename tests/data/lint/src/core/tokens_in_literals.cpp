@@ -1,0 +1,7 @@
+// Fixture: rule tokens inside string literals and comments never fire.
+// Mentioning system_clock, mt19937, std::cout or new here is fine.
+
+const char* kLiterals =
+    "std::chrono::system_clock mt19937 std::cout new delete time(";
+const char* kRaw = R"(random_device steady_clock printf("x"))";
+/* block comment: srand(42); high_resolution_clock */

@@ -1,0 +1,6 @@
+// Fixture: wall-clock read in checkpointable code — one no-wallclock hit.
+#include <chrono>
+
+long wallclock_now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,8 @@
+// Fixture: same wall-clock read, silenced by a same-line allow comment.
+#include <chrono>
+
+long wallclock_now_suppressed() {
+  return std::chrono::steady_clock::now()  // pwu-lint: allow(no-wallclock)
+      .time_since_epoch()
+      .count();
+}

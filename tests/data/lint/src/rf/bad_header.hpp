@@ -1,0 +1,7 @@
+// Fixture: missing #pragma once and a file-scope using-directive — two
+// header-hygiene hits.
+#include <vector>
+
+using namespace std;
+
+inline vector<int> three() { return {1, 2, 3}; }

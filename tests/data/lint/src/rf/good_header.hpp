@@ -1,0 +1,8 @@
+// Fixture: hygienic header — no findings.
+#pragma once
+
+#include <vector>
+
+namespace fixture {
+inline std::vector<int> three() { return {1, 2, 3}; }
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: owning new + delete — two no-raw-new hits.
+
+int leak_prone() {
+  int* p = new int(3);
+  int v = *p;
+  delete p;
+  return v;
+}

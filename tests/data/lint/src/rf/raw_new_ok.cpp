@@ -1,0 +1,11 @@
+// Fixture: deleted special members and factory helpers are not owning
+// allocations — no no-raw-new findings.
+#include <memory>
+
+struct NoCopy {
+  NoCopy() = default;
+  NoCopy(const NoCopy&) = delete;
+  NoCopy& operator=(const NoCopy&) = delete;
+};
+
+std::unique_ptr<int> factory() { return std::make_unique<int>(3); }

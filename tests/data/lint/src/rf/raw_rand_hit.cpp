@@ -1,0 +1,7 @@
+// Fixture: raw generator construction outside util/rng — one no-raw-rand hit.
+#include <random>
+
+unsigned unseeded() {
+  std::mt19937 gen(42);
+  return gen();
+}

@@ -1,0 +1,16 @@
+// Fixture: guarded-field access — locked (miss), unlocked (hit), and
+// unlocked-but-suppressed (annotated region).
+#include "guarded.hpp"
+
+void Guarded::locked_add() {
+  std::lock_guard lock(mu_);
+  count_ += 1;
+}
+
+void Guarded::unlocked_add() {
+  count_ += 1;
+}
+
+void Guarded::suppressed_add() {
+  count_ += 1;  // pwu-lint: allow(no-unlocked-mutable)
+}

@@ -1,0 +1,16 @@
+// Fixture for no-unlocked-mutable: `count_` is annotated as guarded by
+// `mu_`; the annotation applies to every same-stem file (guarded.cpp).
+#pragma once
+
+#include <mutex>
+
+class Guarded {
+ public:
+  void locked_add();
+  void unlocked_add();
+  void suppressed_add();
+
+ private:
+  int count_ = 0;  // pwu-lint: guarded-by(mu_)
+  std::mutex mu_;
+};

@@ -1,0 +1,9 @@
+// Fixture: src/util/rng.* is the sanctioned home of raw RNG machinery, so
+// generator tokens here are exempt from no-raw-rand.
+#include <random>
+
+unsigned sanctioned() {
+  std::random_device device;
+  std::mt19937 gen(device());
+  return gen();
+}

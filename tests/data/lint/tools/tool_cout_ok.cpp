@@ -1,0 +1,7 @@
+// Fixture: tools own their stdout — std::cout here is not a finding.
+#include <iostream>
+
+int main() {
+  std::cout << "tools may print\n";
+  return 0;
+}

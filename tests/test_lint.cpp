@@ -1,0 +1,175 @@
+// pwu_lint engine tests — each rule's hit/miss/suppression paths run over
+// the fixture tree under tests/data/lint/, which mirrors the repo layout
+// (src/core, src/rf, src/service, src/util, tools) so the path-scoped rules
+// exercise their real scoping logic.
+
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#ifndef PWU_TEST_DATA_DIR
+#define PWU_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace pwu::lint {
+namespace {
+
+const char* kFixtureRoot = PWU_TEST_DATA_DIR "/lint";
+
+Report scan(Options options = {}) { return run(kFixtureRoot, options); }
+
+bool has_finding(const Report& report, const std::string& rule,
+                 const std::string& file, std::size_t line) {
+  return std::any_of(report.findings.begin(), report.findings.end(),
+                     [&](const Finding& f) {
+                       return f.rule == rule && f.file == file &&
+                              f.line == line;
+                     });
+}
+
+std::size_t count_rule(const Report& report, const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(report.findings.begin(), report.findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
+  const Report report = scan();
+  EXPECT_EQ(report.files_scanned, 15u);
+  EXPECT_EQ(report.baselined, 0u);
+  EXPECT_EQ(report.active_count(), 9u);
+
+  // Hits, one per fixture trap.
+  EXPECT_TRUE(has_finding(report, "no-cout-logging",
+                          "src/core/cout_hit.cpp", 4));
+  EXPECT_TRUE(has_finding(report, "no-cout-logging",
+                          "src/core/cout_next_line.cpp", 7));
+  EXPECT_TRUE(has_finding(report, "no-wallclock",
+                          "src/core/wallclock_hit.cpp", 5));
+  EXPECT_TRUE(has_finding(report, "header-hygiene",
+                          "src/rf/bad_header.hpp", 1));  // missing pragma once
+  EXPECT_TRUE(has_finding(report, "header-hygiene",
+                          "src/rf/bad_header.hpp", 5));  // using namespace
+  EXPECT_TRUE(has_finding(report, "no-raw-new",
+                          "src/rf/raw_new_hit.cpp", 4));
+  EXPECT_TRUE(has_finding(report, "no-raw-new",
+                          "src/rf/raw_new_hit.cpp", 6));
+  EXPECT_TRUE(has_finding(report, "no-raw-rand",
+                          "src/rf/raw_rand_hit.cpp", 5));
+  EXPECT_TRUE(has_finding(report, "no-unlocked-mutable",
+                          "src/service/guarded.cpp", 11));
+
+  // Misses: clean fixtures and path exemptions contribute nothing.
+  EXPECT_EQ(count_rule(report, "no-raw-rand"), 1u);   // src/util/rng.cpp exempt
+  EXPECT_EQ(count_rule(report, "no-cout-logging"), 2u);  // tools/ exempt
+  EXPECT_EQ(count_rule(report, "no-raw-new"), 2u);    // `= delete` is not a hit
+  EXPECT_EQ(count_rule(report, "header-hygiene"), 2u);  // good_header.hpp clean
+  // Tokens inside strings, raw strings, and comments never fire.
+  for (const Finding& f : report.findings) {
+    EXPECT_NE(f.file, "src/core/tokens_in_literals.cpp") << f.rule;
+  }
+
+  // Suppressions: allow (wallclock_suppressed) + allow-next-line (one of the
+  // two couts in cout_next_line) + allow-file (two wallclock reads in
+  // allow_file.cpp). Same-line allows on no-unlocked-mutable fields are
+  // skipped before matching, so guarded.cpp's suppressed_add adds nothing.
+  EXPECT_EQ(report.suppressed, 4u);
+
+  // Deterministic ordering: sorted by (file, line, rule).
+  const auto before = [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  };
+  EXPECT_TRUE(std::is_sorted(report.findings.begin(), report.findings.end(),
+                             before));
+}
+
+TEST(PwuLint, BaselineRoundTripGrandfathersEveryFinding) {
+  const Report dirty = scan();
+  ASSERT_EQ(dirty.active_count(), 9u);
+
+  const std::string path = testing::TempDir() + "pwu_lint_test.baseline";
+  {
+    std::ofstream os(path);
+    ASSERT_TRUE(os.good());
+    write_baseline(os, dirty);
+  }
+
+  Options options;
+  options.baseline_path = path;
+  const Report clean = scan(options);
+  EXPECT_EQ(clean.findings.size(), 9u);  // still visible...
+  EXPECT_EQ(clean.baselined, 9u);        // ...but all grandfathered
+  EXPECT_EQ(clean.active_count(), 0u);   // so the run passes
+  std::remove(path.c_str());
+}
+
+TEST(PwuLint, MissingBaselineFileActsAsEmpty) {
+  Options options;
+  options.baseline_path = testing::TempDir() + "does_not_exist.baseline";
+  const Report report = scan(options);
+  EXPECT_EQ(report.baselined, 0u);
+  EXPECT_EQ(report.active_count(), 9u);
+}
+
+TEST(PwuLint, RulesFilterRestrictsTheScan) {
+  Options options;
+  options.rules = {"no-cout-logging"};
+  const Report report = scan(options);
+  EXPECT_EQ(report.findings.size(), 2u);
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.rule, "no-cout-logging");
+  }
+}
+
+TEST(PwuLint, UnknownRuleAndMissingRootThrow) {
+  Options options;
+  options.rules = {"no-such-rule"};
+  EXPECT_THROW(scan(options), std::runtime_error);
+  EXPECT_THROW(run("/nonexistent/scan/root", Options{}), std::runtime_error);
+}
+
+TEST(PwuLint, BaselineKeyIgnoresLineNumbers) {
+  Finding a{"no-raw-new", "src/x.cpp", 10, "msg", "int* p = new int;", false};
+  Finding b = a;
+  b.line = 99;  // content hash keys the baseline, not position
+  EXPECT_EQ(baseline_key(a), baseline_key(b));
+  b.excerpt = "int* q = new int;";
+  EXPECT_NE(baseline_key(a), baseline_key(b));
+}
+
+TEST(PwuLint, CatalogListsEveryRuleOnce) {
+  const auto& catalog = rule_catalog();
+  std::vector<std::string> names;
+  for (const RuleInfo& rule : catalog) names.emplace_back(rule.name);
+  std::sort(names.begin(), names.end());
+  EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
+  const std::vector<std::string> expected = {
+      "header-hygiene",    "no-cout-logging", "no-raw-new",
+      "no-raw-rand",       "no-unlocked-mutable", "no-wallclock"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(PwuLint, JsonAndTextOutputsCarryTheFindings) {
+  const Report report = scan();
+  std::ostringstream text;
+  print_text(text, report);
+  EXPECT_NE(text.str().find("no-raw-rand"), std::string::npos);
+  EXPECT_NE(text.str().find("9 finding(s)"), std::string::npos);
+
+  std::ostringstream json;
+  print_json(json, report);
+  EXPECT_EQ(json.str().front(), '{');
+  EXPECT_NE(json.str().find("\"findings\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"no-unlocked-mutable\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"suppressed\":4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pwu::lint

@@ -1,0 +1,769 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pwu::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small string helpers
+// ---------------------------------------------------------------------------
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Finds `token` in `line` with identifier boundaries on both sides. The
+/// token itself may contain non-identifier characters (e.g. "std::rand");
+/// boundaries are only enforced against identifier characters adjacent to
+/// the match. With `require_call`, the first non-space character after the
+/// match must be '('.
+bool has_token(const std::string& line, const std::string& token,
+               bool require_call = false) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    std::size_t after = pos + token.size();
+    const bool right_ok = after >= line.size() || !is_ident_char(line[after]);
+    if (left_ok && right_ok) {
+      if (!require_call) return true;
+      while (after < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[after])) != 0) {
+        ++after;
+      }
+      if (after < line.size() && line[after] == '(') return true;
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: comment/literal stripping + directive extraction
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  std::string rel_path;  // '/'-separated, relative to scan root
+  std::vector<std::string> raw;      // original lines
+  std::vector<std::string> code;     // comments + literals blanked out
+  std::vector<std::string> comment;  // comment text seen on each line
+};
+
+/// Strips // and /* */ comments and string/char literals (including raw
+/// strings), preserving line structure. Comment text is collected per line
+/// so lint directives survive the stripping.
+void strip_source(SourceFile& file) {
+  enum class State { Code, LineComment, BlockComment, String, Char, Raw };
+  State state = State::Code;
+  std::string raw_delim;  // raw-string delimiter, e.g. )foo"
+
+  file.code.resize(file.raw.size());
+  file.comment.resize(file.raw.size());
+  for (std::size_t li = 0; li < file.raw.size(); ++li) {
+    const std::string& in = file.raw[li];
+    std::string& out = file.code[li];
+    std::string& com = file.comment[li];
+    out.reserve(in.size());
+    if (state == State::LineComment) state = State::Code;
+
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const char c = in[i];
+      const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+      switch (state) {
+        case State::Code:
+          if (c == '/' && next == '/') {
+            state = State::LineComment;
+            com.append(in, i + 2, std::string::npos);
+            i = in.size();
+          } else if (c == '/' && next == '*') {
+            state = State::BlockComment;
+            out += ' ';
+            ++i;
+          } else if (c == '"') {
+            // Raw string? Look back for R (possibly u8R/LR/uR/UR).
+            bool raw = false;
+            if (i > 0 && in[i - 1] == 'R' &&
+                (i == 1 || !is_ident_char(in[i - 2]) || in[i - 2] == '8' ||
+                 in[i - 2] == 'u' || in[i - 2] == 'U' || in[i - 2] == 'L')) {
+              raw = true;
+            }
+            out += '"';
+            if (raw) {
+              std::size_t paren = in.find('(', i + 1);
+              if (paren == std::string::npos) {
+                state = State::Raw;  // malformed; swallow the rest
+                raw_delim = ")\"";
+                i = in.size();
+              } else {
+                raw_delim = ")" + in.substr(i + 1, paren - i - 1) + "\"";
+                state = State::Raw;
+                i = paren;
+              }
+            } else {
+              state = State::String;
+            }
+          } else if (c == '\'') {
+            out += '\'';
+            state = State::Char;
+          } else {
+            out += c;
+          }
+          break;
+        case State::LineComment:
+          break;  // unreachable: handled by the line reset above
+        case State::BlockComment:
+          if (c == '*' && next == '/') {
+            state = State::Code;
+            ++i;
+          } else {
+            com += c;
+          }
+          break;
+        case State::String:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            out += '"';
+            state = State::Code;
+          }
+          break;
+        case State::Char:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            out += '\'';
+            state = State::Code;
+          }
+          break;
+        case State::Raw: {
+          const std::size_t end = in.find(raw_delim, i);
+          if (end == std::string::npos) {
+            i = in.size();
+          } else {
+            out += '"';
+            i = end + raw_delim.size() - 1;
+            state = State::Code;
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+/// One file's parsed lint directives.
+struct Directives {
+  /// allowed[line] = rules suppressed on that 1-based line.
+  std::map<std::size_t, std::set<std::string>> allowed;
+  std::set<std::string> allowed_file;
+  /// guarded-by annotations: field name declared on the annotation line.
+  std::vector<std::string> guarded_fields;
+  /// Lines carrying any pwu-lint directive (never flagged themselves).
+  std::set<std::size_t> directive_lines;
+};
+
+std::vector<std::string> parse_rule_list(const std::string& args) {
+  std::vector<std::string> rules;
+  std::string current;
+  for (char c : args) {
+    if (c == ',' || std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!current.empty()) rules.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) rules.push_back(current);
+  return rules;
+}
+
+/// Last identifier before the final ';' of a declaration line — the field
+/// name a guarded-by annotation refers to.
+std::string declared_field_name(const std::string& code_line) {
+  const std::size_t semi = code_line.rfind(';');
+  if (semi == std::string::npos) return {};
+  std::size_t end = semi;
+  while (end > 0 && !is_ident_char(code_line[end - 1])) {
+    // Skip default member initializers like "= 0" backwards.
+    --end;
+  }
+  // Walk back over a possible initializer: find the identifier immediately
+  // left of '=' when one is present between it and ';'.
+  const std::size_t eq = code_line.rfind('=', semi);
+  if (eq != std::string::npos) end = eq;
+  while (end > 0 && !is_ident_char(code_line[end - 1])) --end;
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(code_line[begin - 1])) --begin;
+  return code_line.substr(begin, end - begin);
+}
+
+Directives parse_directives(const SourceFile& file) {
+  Directives d;
+  for (std::size_t li = 0; li < file.comment.size(); ++li) {
+    const std::string& com = file.comment[li];
+    std::size_t pos = com.find("pwu-lint:");
+    if (pos == std::string::npos) continue;
+    d.directive_lines.insert(li + 1);
+    std::string rest = trim(com.substr(pos + 9));
+    const std::size_t open = rest.find('(');
+    const std::size_t close = rest.find(')', open == std::string::npos
+                                                    ? std::string::npos
+                                                    : open + 1);
+    if (open == std::string::npos || close == std::string::npos) continue;
+    const std::string verb = trim(rest.substr(0, open));
+    const std::string args = rest.substr(open + 1, close - open - 1);
+    if (verb == "allow") {
+      for (auto& rule : parse_rule_list(args)) d.allowed[li + 1].insert(rule);
+    } else if (verb == "allow-next-line") {
+      for (auto& rule : parse_rule_list(args)) d.allowed[li + 2].insert(rule);
+    } else if (verb == "allow-file") {
+      for (auto& rule : parse_rule_list(args)) d.allowed_file.insert(rule);
+    } else if (verb == "guarded-by") {
+      const std::string field = declared_field_name(file.code[li]);
+      if (!field.empty()) d.guarded_fields.push_back(field);
+    }
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine
+// ---------------------------------------------------------------------------
+
+struct TokenSpec {
+  const char* token;
+  bool require_call = false;
+};
+
+bool path_in(const std::string& rel, const char* prefix) {
+  return starts_with(rel, prefix);
+}
+
+bool is_header(const std::string& rel) {
+  return rel.ends_with(".hpp") || rel.ends_with(".h");
+}
+
+class Context {
+ public:
+  Context(const SourceFile& file, const Directives& directives,
+          std::vector<Finding>& findings, std::size_t& suppressed)
+      : file_(file),
+        directives_(directives),
+        findings_(findings),
+        suppressed_(suppressed) {}
+
+  /// Records a finding unless an allow-comment covers it.
+  void report(const char* rule, std::size_t line, std::string message) {
+    if (directives_.allowed_file.count(rule) != 0) {
+      ++suppressed_;
+      return;
+    }
+    const auto it = directives_.allowed.find(line);
+    if (it != directives_.allowed.end() && it->second.count(rule) != 0) {
+      ++suppressed_;
+      return;
+    }
+    Finding f;
+    f.rule = rule;
+    f.file = file_.rel_path;
+    f.line = line;
+    f.message = std::move(message);
+    f.excerpt = line >= 1 && line <= file_.raw.size()
+                    ? trim(file_.raw[line - 1])
+                    : std::string();
+    findings_.push_back(std::move(f));
+  }
+
+  const SourceFile& file() const { return file_; }
+  const Directives& directives() const { return directives_; }
+
+ private:
+  const SourceFile& file_;
+  const Directives& directives_;
+  std::vector<Finding>& findings_;
+  std::size_t& suppressed_;
+};
+
+// ---- no-raw-rand -----------------------------------------------------------
+
+void rule_no_raw_rand(Context& ctx) {
+  static constexpr TokenSpec kTokens[] = {
+      {"std::rand"},        {"srand"},
+      {"rand", true},       {"random_device"},
+      {"mt19937"},          {"mt19937_64"},
+      {"minstd_rand"},      {"minstd_rand0"},
+      {"default_random_engine"},
+      {"ranlux24"},         {"ranlux48"},
+      {"knuth_b"},          {"random_shuffle"},
+  };
+  const std::string& rel = ctx.file().rel_path;
+  // util/rng is the one sanctioned home of raw generator machinery.
+  if (path_in(rel, "src/util/rng.")) return;
+  for (std::size_t li = 0; li < ctx.file().code.size(); ++li) {
+    for (const auto& t : kTokens) {
+      if (has_token(ctx.file().code[li], t.token, t.require_call)) {
+        ctx.report("no-raw-rand", li + 1,
+                   std::string("raw RNG '") + t.token +
+                       "' outside util/rng breaks seed-threaded determinism");
+        break;
+      }
+    }
+  }
+}
+
+// ---- no-wallclock ----------------------------------------------------------
+
+void rule_no_wallclock(Context& ctx) {
+  static constexpr TokenSpec kTokens[] = {
+      {"system_clock"},   {"steady_clock"},      {"high_resolution_clock"},
+      {"gettimeofday"},   {"clock_gettime"},     {"time", true},
+      {"clock", true},    {"localtime"},         {"gmtime"},
+  };
+  const std::string& rel = ctx.file().rel_path;
+  const bool scoped = path_in(rel, "src/core/") || path_in(rel, "src/rf/") ||
+                      path_in(rel, "src/service/");
+  if (!scoped) return;
+  for (std::size_t li = 0; li < ctx.file().code.size(); ++li) {
+    for (const auto& t : kTokens) {
+      if (has_token(ctx.file().code[li], t.token, t.require_call)) {
+        ctx.report("no-wallclock", li + 1,
+                   std::string("wall-clock read '") + t.token +
+                       "' in checkpointable code breaks bit-identical resume");
+        break;
+      }
+    }
+  }
+}
+
+// ---- no-cout-logging -------------------------------------------------------
+
+void rule_no_cout_logging(Context& ctx) {
+  static constexpr TokenSpec kTokens[] = {
+      {"std::cout"},      {"std::cerr"},   {"printf", true},
+      {"fprintf", true},  {"puts", true},
+  };
+  const std::string& rel = ctx.file().rel_path;
+  if (!path_in(rel, "src/")) return;  // tools/bench/tests own their stdout
+  if (path_in(rel, "src/util/logging.")) return;  // the sanctioned sink
+  for (std::size_t li = 0; li < ctx.file().code.size(); ++li) {
+    for (const auto& t : kTokens) {
+      if (has_token(ctx.file().code[li], t.token, t.require_call)) {
+        ctx.report("no-cout-logging", li + 1,
+                   std::string("direct console output '") + t.token +
+                       "' in library code; route through util/logging");
+        break;
+      }
+    }
+  }
+}
+
+// ---- header-hygiene --------------------------------------------------------
+
+void rule_header_hygiene(Context& ctx) {
+  if (!is_header(ctx.file().rel_path)) return;
+  bool pragma_once = false;
+  for (const auto& line : ctx.file().code) {
+    if (starts_with(trim(line), "#pragma once")) {
+      pragma_once = true;
+      break;
+    }
+  }
+  if (!pragma_once) {
+    ctx.report("header-hygiene", 1, "header is missing '#pragma once'");
+  }
+  for (std::size_t li = 0; li < ctx.file().code.size(); ++li) {
+    if (has_token(ctx.file().code[li], "using namespace")) {
+      ctx.report("header-hygiene", li + 1,
+                 "'using namespace' in a header pollutes every includer");
+    }
+  }
+}
+
+// ---- no-raw-new ------------------------------------------------------------
+
+void rule_no_raw_new(Context& ctx) {
+  for (std::size_t li = 0; li < ctx.file().code.size(); ++li) {
+    const std::string& line = ctx.file().code[li];
+    std::size_t pos = 0;
+    while ((pos = line.find("new", pos)) != std::string::npos) {
+      const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+      const std::size_t after = pos + 3;
+      const bool right_ok = after >= line.size() || !is_ident_char(line[after]);
+      if (left_ok && right_ok && !has_token(line, "operator new")) {
+        ctx.report("no-raw-new", li + 1,
+                   "owning 'new'; use make_unique/make_shared or a container");
+        break;
+      }
+      pos = after;
+    }
+    pos = 0;
+    while ((pos = line.find("delete", pos)) != std::string::npos) {
+      const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+      const std::size_t after = pos + 6;
+      const bool right_ok = after >= line.size() || !is_ident_char(line[after]);
+      if (left_ok && right_ok) {
+        // "= delete" (deleted special member) is the RAII-friendly use.
+        std::size_t prev = pos;
+        while (prev > 0 &&
+               std::isspace(static_cast<unsigned char>(line[prev - 1])) != 0) {
+          --prev;
+        }
+        const bool deleted_fn = prev > 0 && line[prev - 1] == '=';
+        if (!deleted_fn && !has_token(line, "operator delete")) {
+          ctx.report("no-raw-new", li + 1,
+                     "owning 'delete'; ownership belongs in a RAII type");
+          break;
+        }
+      }
+      pos = after;
+    }
+  }
+}
+
+// ---- no-unlocked-mutable ---------------------------------------------------
+
+/// Heuristic lock-discipline check over guarded-by annotated fields.
+///
+/// A brace-scope tracker classifies each opened scope as function-like (its
+/// introducer contains a parameter list and no class/struct/enum/namespace
+/// keyword). Acquiring a lock (lock_guard / unique_lock / scoped_lock /
+/// shared_lock) marks the current scope; a guarded field mentioned inside a
+/// function-like scope with no lock in its scope chain is a finding.
+/// Annotations are shared across same-stem files, so a field declared in
+/// foo.hpp is checked in foo.cpp too.
+void rule_no_unlocked_mutable(Context& ctx,
+                              const std::vector<std::string>& guarded) {
+  if (guarded.empty()) return;
+  static constexpr const char* kLockTokens[] = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+
+  struct Scope {
+    bool function = false;
+    bool lock_held = false;
+  };
+  std::vector<Scope> stack;
+  std::string introducer;
+
+  for (std::size_t li = 0; li < ctx.file().code.size(); ++li) {
+    const std::string& line = ctx.file().code[li];
+
+    // Lock acquisitions anywhere on the line cover the line itself and the
+    // remainder of the current scope.
+    bool locks_here = false;
+    for (const char* t : kLockTokens) {
+      if (has_token(line, t)) {
+        locks_here = true;
+        break;
+      }
+    }
+
+    for (char c : line) {
+      if (c == '{') {
+        Scope scope;
+        scope.lock_held = !stack.empty() && stack.back().lock_held;
+        const bool has_params = introducer.find('(') != std::string::npos &&
+                                introducer.find(')') != std::string::npos;
+        const bool type_scope = has_token(introducer, "class") ||
+                                has_token(introducer, "struct") ||
+                                has_token(introducer, "union") ||
+                                has_token(introducer, "enum") ||
+                                has_token(introducer, "namespace");
+        scope.function =
+            (has_params && !type_scope) ||
+            (!stack.empty() && stack.back().function);
+        stack.push_back(scope);
+        introducer.clear();
+      } else if (c == '}') {
+        if (!stack.empty()) stack.pop_back();
+        introducer.clear();
+      } else if (c == ';') {
+        introducer.clear();
+      } else {
+        introducer += c;
+      }
+    }
+    if (locks_here && !stack.empty()) stack.back().lock_held = true;
+
+    if (ctx.directives().directive_lines.count(li + 1) != 0) continue;
+    const bool in_function = !stack.empty() && stack.back().function;
+    const bool locked = locks_here ||
+                        std::any_of(stack.begin(), stack.end(),
+                                    [](const Scope& s) { return s.lock_held; });
+    if (!in_function || locked) continue;
+    for (const auto& field : guarded) {
+      if (has_token(line, field)) {
+        ctx.report("no-unlocked-mutable", li + 1,
+                   "guarded field '" + field +
+                       "' accessed without an in-scope lock");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Walking + driving
+// ---------------------------------------------------------------------------
+
+bool scannable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+bool skip_dir(const std::string& name) {
+  return name == "data" || starts_with(name, "build") ||
+         starts_with(name, ".");
+}
+
+std::string file_stem(const std::string& rel) {
+  const std::size_t slash = rel.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? rel : rel.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+SourceFile load_file(const fs::path& path, std::string rel) {
+  SourceFile file;
+  file.rel_path = std::move(rel);
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("pwu_lint: cannot read " + path.string());
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    file.raw.push_back(std::move(line));
+  }
+  strip_source(file);
+  return file;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kRules = {
+      {"no-raw-rand",
+       "no std::rand/random_device/mt19937/... outside src/util/rng"},
+      {"no-wallclock",
+       "no wall-clock reads in src/core, src/rf, src/service"},
+      {"no-cout-logging",
+       "no direct console output in src/ outside util/logging"},
+      {"header-hygiene", "#pragma once required; no 'using namespace' in headers"},
+      {"no-raw-new", "no owning new/delete outside RAII types"},
+      {"no-unlocked-mutable",
+       "guarded-by annotated fields only touched under a lock"},
+  };
+  return kRules;
+}
+
+std::size_t Report::active_count() const {
+  std::size_t n = 0;
+  for (const auto& f : findings) {
+    if (!f.baselined) ++n;
+  }
+  return n;
+}
+
+std::string baseline_key(const Finding& finding) {
+  std::ostringstream os;
+  os << finding.rule << '\t' << finding.file << '\t' << std::hex
+     << fnv1a(finding.excerpt);
+  return os.str();
+}
+
+void write_baseline(std::ostream& os, const Report& report) {
+  os << "# pwu_lint baseline — grandfathered findings, one per line:\n"
+     << "# <rule>\\t<file>\\t<fnv1a of the trimmed source line>\n";
+  for (const auto& f : report.findings) os << baseline_key(f) << '\n';
+}
+
+Report run(const std::string& root, const Options& options) {
+  const fs::path root_path(root);
+  if (!fs::is_directory(root_path)) {
+    throw std::runtime_error("pwu_lint: root is not a directory: " + root);
+  }
+  std::set<std::string> enabled;
+  for (const auto& name : options.rules) {
+    const bool known =
+        std::any_of(rule_catalog().begin(), rule_catalog().end(),
+                    [&](const RuleInfo& r) { return name == r.name; });
+    if (!known) throw std::runtime_error("pwu_lint: unknown rule: " + name);
+    enabled.insert(name);
+  }
+  const auto rule_on = [&](const char* name) {
+    return enabled.empty() || enabled.count(name) != 0;
+  };
+
+  // Collect files (sorted for deterministic reports).
+  std::vector<fs::path> paths;
+  for (const auto& subdir : options.subdirs) {
+    const fs::path base = root_path / subdir;
+    if (!fs::is_directory(base)) continue;
+    auto it = fs::recursive_directory_iterator(base);
+    for (const auto& entry : it) {
+      if (entry.is_directory() && skip_dir(entry.path().filename().string())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (entry.is_regular_file() && scannable(entry.path())) {
+        paths.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<SourceFile> files;
+  std::vector<Directives> directives;
+  files.reserve(paths.size());
+  for (const auto& path : paths) {
+    std::string rel = fs::relative(path, root_path).generic_string();
+    files.push_back(load_file(path, std::move(rel)));
+    directives.push_back(parse_directives(files.back()));
+  }
+
+  // Pass 1: guarded-field annotations, shared across same-stem files so a
+  // field declared in foo.hpp is enforced in foo.cpp.
+  std::map<std::string, std::vector<std::string>> guarded_by_stem;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    for (const auto& field : directives[i].guarded_fields) {
+      guarded_by_stem[file_stem(files[i].rel_path)].push_back(field);
+    }
+  }
+
+  Report report;
+  report.files_scanned = files.size();
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    Context ctx(files[i], directives[i], report.findings, report.suppressed);
+    if (rule_on("no-raw-rand")) rule_no_raw_rand(ctx);
+    if (rule_on("no-wallclock")) rule_no_wallclock(ctx);
+    if (rule_on("no-cout-logging")) rule_no_cout_logging(ctx);
+    if (rule_on("header-hygiene")) rule_header_hygiene(ctx);
+    if (rule_on("no-raw-new")) rule_no_raw_new(ctx);
+    if (rule_on("no-unlocked-mutable")) {
+      const auto it = guarded_by_stem.find(file_stem(files[i].rel_path));
+      if (it != guarded_by_stem.end()) {
+        rule_no_unlocked_mutable(ctx, it->second);
+      }
+    }
+  }
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  // Baseline pass.
+  if (!options.baseline_path.empty()) {
+    std::set<std::string> baseline;
+    std::ifstream is(options.baseline_path);
+    std::string line;
+    while (is && std::getline(is, line)) {
+      line = trim(line);
+      if (line.empty() || line[0] == '#') continue;
+      baseline.insert(line);
+    }
+    for (auto& f : report.findings) {
+      if (baseline.count(baseline_key(f)) != 0) {
+        f.baselined = true;
+        ++report.baselined;
+      }
+    }
+  }
+  return report;
+}
+
+void print_text(std::ostream& os, const Report& report) {
+  for (const auto& f : report.findings) {
+    os << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message;
+    if (f.baselined) os << " (baselined)";
+    os << "\n    " << f.excerpt << '\n';
+  }
+  os << "pwu_lint: " << report.files_scanned << " files, "
+     << report.active_count() << " finding(s), " << report.baselined
+     << " baselined, " << report.suppressed << " suppressed\n";
+}
+
+namespace {
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void print_json(std::ostream& os, const Report& report) {
+  os << "{\"files_scanned\":" << report.files_scanned
+     << ",\"active\":" << report.active_count()
+     << ",\"baselined\":" << report.baselined
+     << ",\"suppressed\":" << report.suppressed << ",\"findings\":[";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    if (i != 0) os << ',';
+    os << "{\"rule\":";
+    json_string(os, f.rule);
+    os << ",\"file\":";
+    json_string(os, f.file);
+    os << ",\"line\":" << f.line << ",\"message\":";
+    json_string(os, f.message);
+    os << ",\"excerpt\":";
+    json_string(os, f.excerpt);
+    os << ",\"baselined\":" << (f.baselined ? "true" : "false") << '}';
+  }
+  os << "]}\n";
+}
+
+}  // namespace pwu::lint

@@ -1,0 +1,92 @@
+// pwu_lint — project-invariant static analysis.
+//
+// A token/line-level scanner (no compiler front end, no external
+// dependencies) that walks the project sources and enforces the invariants
+// the reproduction's claims rest on: seed-threaded determinism (no raw RNG
+// construction, no wall-clock reads in checkpointable code), disciplined
+// output (stdout only through util/logging or in tools), header hygiene,
+// RAII ownership, and lock discipline around annotated mutable state.
+//
+// The scanner strips comments and string/character literals before matching,
+// so a rule token inside a literal or a comment never fires. Suppression is
+// comment-driven:
+//
+//   // pwu-lint: allow(<rule>[, <rule>...])        same-line suppression
+//   // pwu-lint: allow-next-line(<rule>[, ...])    next-line suppression
+//   // pwu-lint: allow-file(<rule>[, ...])         whole-file suppression
+//   // pwu-lint: guarded-by(<mutex>)               marks the field declared
+//                                                  on this line as guarded
+//                                                  (see no-unlocked-mutable)
+//
+// Grandfathered findings live in a checked-in baseline file keyed by
+// (rule, file, content-hash) so they survive unrelated line-number churn;
+// anything not in the baseline fails the run.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pwu::lint {
+
+struct RuleInfo {
+  const char* name;
+  const char* description;
+};
+
+/// All rules, in reporting order.
+const std::vector<RuleInfo>& rule_catalog();
+
+struct Finding {
+  std::string rule;
+  std::string file;  // path relative to the scan root, '/'-separated
+  std::size_t line = 0;  // 1-based
+  std::string message;
+  std::string excerpt;  // trimmed original source line
+  bool baselined = false;
+};
+
+struct Options {
+  /// Subdirectories of the root to walk (directories named "data", hidden
+  /// directories, and build trees are always skipped).
+  std::vector<std::string> subdirs = {"src", "tools", "bench", "tests"};
+  /// Restrict to these rule names; empty = every rule.
+  std::vector<std::string> rules;
+  /// Baseline file path ("" = no baseline). Missing files are treated as an
+  /// empty baseline, so a clean repo needs no baseline at all.
+  std::string baseline_path;
+};
+
+struct Report {
+  std::vector<Finding> findings;  // sorted by (file, line, rule)
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;  // findings silenced by allow-comments
+  /// Number of findings flagged `baselined` (present in `findings` for
+  /// visibility but not counted as failures).
+  std::size_t baselined = 0;
+
+  /// Findings that fail the run (not baselined).
+  std::size_t active_count() const;
+};
+
+/// Scans `root` per `options`. Throws std::runtime_error when the root or a
+/// requested rule does not exist.
+Report run(const std::string& root, const Options& options);
+
+/// Stable baseline key for a finding: rule, path, and an FNV-1a hash of the
+/// trimmed source line (line numbers churn; content mostly does not).
+std::string baseline_key(const Finding& finding);
+
+/// Writes every finding of `report` as a baseline file.
+void write_baseline(std::ostream& os, const Report& report);
+
+/// Human-readable report.
+void print_text(std::ostream& os, const Report& report);
+
+/// Machine-readable report (one JSON object).
+void print_json(std::ostream& os, const Report& report);
+
+}  // namespace pwu::lint

@@ -1,0 +1,97 @@
+// pwu_lint CLI — scans the repository for project-invariant violations.
+//
+//   pwu_lint --root <dir> [--json] [--baseline <file>]
+//            [--write-baseline <file>] [--rules <r1,r2,...>] [--list-rules]
+//
+// Exit codes: 0 = clean (every finding baselined or none), 1 = active
+// findings, 2 = usage or I/O error.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: pwu_lint [--root DIR] [--json] [--baseline FILE]\n"
+        "                [--write-baseline FILE] [--rules r1,r2,...]\n"
+        "                [--list-rules]\n";
+  return code;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string write_baseline_path;
+  bool json = false;
+  pwu::lint::Options options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "pwu_lint: " << arg << " needs a value\n";
+        std::exit(usage(std::cerr, 2));
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = next();
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--baseline") {
+      options.baseline_path = next();
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = next();
+    } else if (arg == "--rules") {
+      options.rules = split_csv(next());
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : pwu::lint::rule_catalog()) {
+        std::cout << rule.name << "\n    " << rule.description << '\n';
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else {
+      std::cerr << "pwu_lint: unknown argument: " << arg << '\n';
+      return usage(std::cerr, 2);
+    }
+  }
+
+  try {
+    const pwu::lint::Report report = pwu::lint::run(root, options);
+    if (!write_baseline_path.empty()) {
+      std::ofstream os(write_baseline_path);
+      if (!os) {
+        std::cerr << "pwu_lint: cannot write " << write_baseline_path << '\n';
+        return 2;
+      }
+      pwu::lint::write_baseline(os, report);
+    }
+    if (json) {
+      pwu::lint::print_json(std::cout, report);
+    } else {
+      pwu::lint::print_text(std::cout, report);
+    }
+    return report.active_count() == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "pwu_lint: " << e.what() << '\n';
+    return 2;
+  }
+}
