@@ -7,6 +7,9 @@
 #   2. asan-fast       — unit suite under Address/UB sanitizers + contracts
 #   3. tsan-fast       — unit suite (incl. race stress tests) under
 #                        ThreadSanitizer + contracts
+#   4. chaos           — deterministic crash-injection harness: kill points
+#                        mid-checkpoint-write and mid-batch, resume must be
+#                        bit-identical (Release build, `ctest -L chaos`)
 #
 # Contracts (PWU_REQUIRE/PWU_ENSURE/PWU_ASSERT) are active in both sanitizer
 # passes because those presets build Debug. Exits non-zero on the first
@@ -19,19 +22,23 @@ if [[ "${1:-}" == "--jobs" && -n "${2:-}" ]]; then
   jobs="$2"
 fi
 
-echo "== gate 1/3: pwu_lint =="
+echo "== gate 1/4: pwu_lint =="
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$jobs" --target pwu_lint >/dev/null
 ./build/tools/pwu_lint --root . --baseline tools/lint/pwu_lint.baseline
 
-echo "== gate 2/3: asan-fast =="
+echo "== gate 2/4: asan-fast =="
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$jobs" >/dev/null
 ctest --preset asan-fast -j "$jobs"
 
-echo "== gate 3/3: tsan-fast =="
+echo "== gate 3/4: tsan-fast =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" >/dev/null
 ctest --preset tsan-fast -j "$jobs"
+
+echo "== gate 4/4: chaos =="
+cmake --build --preset default -j "$jobs" --target pwu_chaos_tests >/dev/null
+ctest --preset chaos -j "$jobs"
 
 echo "check.sh: all correctness gates passed"

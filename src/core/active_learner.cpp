@@ -1,11 +1,23 @@
 #include "core/active_learner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "service/ask_tell_session.hpp"
 
 namespace pwu::core {
+
+double FailurePolicy::backoff_seconds(std::size_t attempt) const {
+  if (attempt == 0) return 0.0;
+  // base * 2^(attempt-1), capped. Computed multiplicatively so large
+  // attempt counts saturate at the cap instead of overflowing.
+  double wait = backoff_base_seconds;
+  for (std::size_t i = 1; i < attempt && wait < backoff_cap_seconds; ++i) {
+    wait *= 2.0;
+  }
+  return std::min(wait, backoff_cap_seconds);
+}
 
 ActiveLearner::ActiveLearner(const workloads::Workload& workload,
                              LearnerConfig config)
@@ -43,6 +55,83 @@ LearnerResult ActiveLearner::run_warm(
   }
   return run_impl(strategy, std::move(pool_configs), test, &warm_start, rng,
                   thread_pool);
+}
+
+// Failure-aware driver: identical loop shape to run_impl, but every
+// measurement goes through the executor and can fail. Transient failures
+// are re-measured after the rest of the batch (still in ask order);
+// deterministic ones drop into the session's failed set. The evaluation
+// record is skipped while no surrogate exists yet — possible when failures
+// stretch the cold start across several top-up batches.
+LearnerResult ActiveLearner::run_with_executor(
+    const SamplingStrategy& strategy,
+    std::vector<space::Configuration> pool_configs, const TestSet& test,
+    sim::Executor& executor, util::Rng& rng,
+    util::ThreadPool* thread_pool) const {
+  if (pool_configs.size() < config_.n_init) {
+    throw std::invalid_argument(
+        "ActiveLearner::run_with_executor: pool smaller than n_init");
+  }
+
+  const std::uint64_t session_seed = rng.next_u64();
+  util::Rng measure_rng(rng.next_u64());
+
+  service::AskTellSession session(workload_.space(), strategy, config_,
+                                  std::move(pool_configs), nullptr,
+                                  session_seed, thread_pool);
+
+  LearnerResult result;
+  auto measure_batch = [&](std::vector<service::Candidate> batch) {
+    while (!batch.empty()) {
+      std::vector<service::Candidate> retry;
+      for (const auto& candidate : batch) {
+        const sim::MeasurementResult measured =
+            executor.measure(workload_, candidate.config, measure_rng);
+        if (measured.ok()) {
+          session.tell(candidate.config, measured.time);
+          continue;
+        }
+        const service::FailureOutcome outcome = session.tell_failure(
+            candidate.config, measured.status, measured.cost);
+        if (outcome.action == service::FailureAction::Retry) {
+          retry.push_back(candidate);
+        }
+      }
+      batch = std::move(retry);
+    }
+    session.refit();
+  };
+  auto record = [&]() {
+    if (session.model() == nullptr) return;
+    IterationRecord rec;
+    rec.num_samples = session.num_labeled();
+    rec.cumulative_cost = session.cumulative_cost();
+    rec.top_alpha_rmse.reserve(config_.eval_alphas.size());
+    const Surrogate& model = *session.model();
+    for (double alpha : config_.eval_alphas) {
+      rec.top_alpha_rmse.push_back(top_alpha_rmse(model, test, alpha));
+    }
+    rec.full_rmse = full_rmse(model, test);
+    result.trace.push_back(std::move(rec));
+  };
+
+  measure_batch(session.ask());
+  record();
+  while (!session.done()) {
+    measure_batch(session.ask());
+    const bool should_eval =
+        session.iteration() % config_.eval_every == 0 || session.done();
+    if (should_eval) record();
+  }
+
+  result.selections = session.selections();
+  result.train_configs = session.train_configs();
+  result.train_labels = session.train_labels();
+  result.model = session.model();
+  result.failed_configs = session.failed().size();
+  result.transient_retries = session.transient_retries();
+  result.failure_cost = session.failure_cost();
+  return result;
 }
 
 // Thin driver over service::AskTellSession — the single Algorithm-1 loop

@@ -20,10 +20,29 @@
 #include "core/sampling_strategy.hpp"
 #include "core/surrogate.hpp"
 #include "rf/random_forest.hpp"
+#include "sim/executor.hpp"
 #include "space/pool.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pwu::core {
+
+/// How the learner reacts to failed measurements (sim::FailureKind).
+/// Transient failures (crashes) are retried with capped exponential
+/// backoff whose wait is charged to cumulative cost — a real tuner blocks
+/// on the re-run; deterministic failures (compile errors, timeouts) and
+/// exhausted retries enter a persisted failed-config set that is never
+/// proposed again.
+struct FailurePolicy {
+  /// Transient retries per candidate before it is dropped as failed.
+  std::size_t max_retries = 3;
+  /// First retry waits this long (simulated seconds, charged to CC)...
+  double backoff_base_seconds = 0.5;
+  /// ...doubling per attempt up to this cap.
+  double backoff_cap_seconds = 8.0;
+
+  /// Deterministic backoff charge for the attempt-th retry (1-based).
+  double backoff_seconds(std::size_t attempt) const;
+};
 
 struct LearnerConfig {
   std::size_t n_init = 10;   // paper Section III-D
@@ -39,6 +58,7 @@ struct LearnerConfig {
   /// Repetitions averaged per measurement (paper: 35 for kernels); the
   /// *averaged* label feeds both training and CC, matching the paper.
   int measure_repetitions = 1;
+  FailurePolicy failure;
 };
 
 struct IterationRecord {
@@ -65,6 +85,10 @@ struct LearnerResult {
   std::shared_ptr<Surrogate> model;
   std::vector<space::Configuration> train_configs;
   std::vector<double> train_labels;
+  /// Failure accounting (run_with_executor only; zero otherwise).
+  std::size_t failed_configs = 0;
+  std::size_t transient_retries = 0;
+  double failure_cost = 0.0;
 };
 
 class ActiveLearner {
@@ -90,6 +114,19 @@ class ActiveLearner {
                          const TestSet& test, const rf::Dataset& warm_start,
                          util::Rng& rng,
                          util::ThreadPool* thread_pool = nullptr) const;
+
+  /// Failure-aware variant: measurements go through `executor` (typically
+  /// carrying a sim::FaultModel) and failed ones follow config().failure —
+  /// transient crashes are retried with backoff, deterministic failures are
+  /// dropped into the session's failed set, and censored labels never reach
+  /// the training set. With an all-healthy executor this is label-for-label
+  /// identical to run() when executor.repetitions() ==
+  /// config().measure_repetitions.
+  LearnerResult run_with_executor(const SamplingStrategy& strategy,
+                                  std::vector<space::Configuration> pool,
+                                  const TestSet& test, sim::Executor& executor,
+                                  util::Rng& rng,
+                                  util::ThreadPool* thread_pool = nullptr) const;
 
   const LearnerConfig& config() const { return config_; }
 

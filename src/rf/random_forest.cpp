@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fs_atomic.hpp"
 #include "util/statistics.hpp"
 
 namespace pwu::rf {
@@ -283,23 +284,30 @@ void RandomForest::load(std::istream& is) {
 }
 
 void RandomForest::save_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("RandomForest::save_file: cannot open " + path);
-  }
+  std::ostringstream out;
   save(out);
   if (!out) {
-    throw std::runtime_error("RandomForest::save_file: write failed for " +
-                             path);
+    throw std::runtime_error("RandomForest::save_file: serialization failed");
   }
+  // Torn forest files are unrecoverable (and silently poison resumed
+  // sessions), so the write goes through the crash-safe path: tmp + CRC
+  // footer + fsync + rename.
+  util::atomic_write_file(path, out.str());
 }
 
 RandomForest RandomForest::load_file(const std::string& path) {
+  RandomForest forest;
+  const util::VerifiedRead verified = util::read_verified_file(path);
+  if (verified.status == util::ReadStatus::Ok) {
+    std::istringstream in(verified.payload);
+    forest.load(in);
+    return forest;
+  }
+  // Legacy / golden-fixture files predate the CRC footer; read them as-is.
   std::ifstream in(path);
   if (!in) {
     throw std::runtime_error("RandomForest::load_file: cannot open " + path);
   }
-  RandomForest forest;
   forest.load(in);
   return forest;
 }

@@ -26,6 +26,12 @@ void validate_config(const core::LearnerConfig& config) {
   if (config.eval_every == 0) {
     throw std::invalid_argument("AskTellSession: eval_every must be > 0");
   }
+  if (!(config.failure.backoff_base_seconds >= 0.0) ||
+      !(config.failure.backoff_cap_seconds >=
+        config.failure.backoff_base_seconds)) {
+    throw std::invalid_argument(
+        "AskTellSession: failure backoff must satisfy 0 <= base <= cap");
+  }
 }
 
 }  // namespace
@@ -103,8 +109,11 @@ AskTellSession::AskTellSession(const space::ParameterSpace& space,
 }
 
 bool AskTellSession::done() const {
-  if (!pending_.empty() || !cold_start_done_) return false;
-  return num_labeled() >= config_.n_max || pool_.empty();
+  if (!pending_.empty()) return false;
+  // An exhausted pool ends the session even mid-cold-start (every candidate
+  // may have failed); otherwise the budget decides once cold start is over.
+  if (pool_.empty()) return true;
+  return cold_start_done_ && num_labeled() >= config_.n_max;
 }
 
 SessionPhase AskTellSession::phase() const {
@@ -131,9 +140,14 @@ std::vector<Candidate> AskTellSession::ask(std::size_t n) {
 
   if (!cold_start_done_) {
     // Cold start (Algorithm 1, lines 1-4): exactly n_init uniform picks,
-    // regardless of the requested batch size.
-    std::vector<std::size_t> init_indices =
-        pool_.sample_indices(std::min(config_.n_init, pool_.size()), rng_);
+    // regardless of the requested batch size. When failures dropped part of
+    // a previous cold-start batch, top up with the shortfall only — the
+    // first ask (num_labeled() == 0) is bit-identical to the pre-failure
+    // behavior.
+    PWU_ASSERT(num_labeled() < config_.n_init,
+               "ask: cold start still open with n_init labels");
+    std::vector<std::size_t> init_indices = pool_.sample_indices(
+        std::min(config_.n_init - num_labeled(), pool_.size()), rng_);
     // Mirror take_many's removal sequence (sorted unique, descending) on the
     // feature rows so pool_ and pool_features_ stay index-aligned.
     std::sort(init_indices.begin(), init_indices.end());
@@ -218,9 +232,90 @@ bool AskTellSession::tell(const space::Configuration& config,
   append_label(*it, measured_time);
   pending_.erase(it);
   if (!pending_.empty()) return false;
-  if (iteration_ == 0) cold_start_done_ = true;
-  refit_due_ = true;
+  on_batch_drained();
   return true;
+}
+
+FailureOutcome AskTellSession::tell_failure(const space::Configuration& config,
+                                            sim::FailureKind kind,
+                                            double cost_seconds) {
+  if (kind == sim::FailureKind::None) {
+    throw std::invalid_argument(
+        "AskTellSession::tell_failure: kind None is a success; use tell()");
+  }
+  if (!(cost_seconds >= 0.0)) {  // also rejects NaN
+    throw std::invalid_argument(
+        "AskTellSession::tell_failure: cost_seconds must be >= 0");
+  }
+  const auto it =
+      std::find_if(pending_.begin(), pending_.end(),
+                   [&](const Candidate& c) { return c.config == config; });
+  if (it == pending_.end()) {
+    throw std::invalid_argument(
+        "AskTellSession::tell_failure: configuration is not an outstanding "
+        "candidate");
+  }
+
+  // The failed attempt's wall-clock is real tuning time: charge it.
+  cumulative_cost_ += cost_seconds;
+  failure_cost_ += cost_seconds;
+  ++it->failures;
+
+  FailureOutcome outcome;
+  outcome.attempts = it->failures;
+  if (kind == sim::FailureKind::Crash &&
+      it->failures <= config_.failure.max_retries) {
+    // Transient: keep the candidate outstanding and charge the backoff wait
+    // the tuner would block on before re-running.
+    ++transient_retries_;
+    outcome.action = FailureAction::Retry;
+    outcome.backoff_seconds = config_.failure.backoff_seconds(it->failures);
+    cumulative_cost_ += outcome.backoff_seconds;
+    failure_cost_ += outcome.backoff_seconds;
+    return outcome;
+  }
+
+  // Deterministic failure or retries exhausted: the configuration enters
+  // the failed set and is never proposed again. A timeout additionally
+  // yields a right-censored observation (true time > cost_seconds) that is
+  // recorded but deliberately kept out of the training set.
+  if (kind == sim::FailureKind::Timeout) {
+    censored_.push_back({it->config, cost_seconds});
+  }
+  add_failed({it->config, kind, it->failures});
+  pending_.erase(it);
+  outcome.action = FailureAction::Dropped;
+  if (pending_.empty()) {
+    outcome.batch_complete = true;
+    on_batch_drained();
+  }
+  return outcome;
+}
+
+void AskTellSession::on_batch_drained() {
+  PWU_ASSERT(pending_.empty(), "on_batch_drained: batch not drained");
+  if (!cold_start_done_) {
+    if (num_labeled() < config_.n_init && !pool_.empty()) {
+      // Failures left the cold start short and the pool can still top it
+      // up: the next ask() draws the shortfall, no refit yet.
+      return;
+    }
+    cold_start_done_ = true;
+    refit_due_ = num_labeled() > 0 || warm_rows_ > 0;
+    labels_in_batch_ = 0;
+    return;
+  }
+  refit_due_ = labels_in_batch_ > 0;
+  labels_in_batch_ = 0;
+}
+
+void AskTellSession::add_failed(FailedConfig failed) {
+  failed_lookup_.insert(failed.config);
+  failed_.push_back(std::move(failed));
+  PWU_ENSURE(failed_lookup_.size() == failed_.size(),
+             "add_failed: duplicate entry in the failed set ("
+                 << failed_.size() << " records, " << failed_lookup_.size()
+                 << " unique)");
 }
 
 bool AskTellSession::refit() {
@@ -240,6 +335,7 @@ void AskTellSession::append_label(const Candidate& candidate,
   }
   train_configs_.push_back(candidate.config);
   train_labels_.push_back(measured_time);
+  ++labels_in_batch_;
   PWU_ENSURE(train_configs_.size() == train_labels_.size() &&
                  train_.size() == warm_rows_ + train_labels_.size(),
              "append_label: training-set desync: " << train_.size()
@@ -306,7 +402,7 @@ void AskTellSession::save(std::ostream& os) const {
   const auto precision = os.precision();
   os.precision(std::numeric_limits<double>::max_digits10);
 
-  os << "pwu-session 1\n";
+  os << "pwu-session 2\n";
   os << "strategy " << spec_->name << ' ' << spec_->alpha << '\n';
   os << "learner " << config_.n_init << ' ' << config_.n_batch << ' '
      << config_.n_max << ' ' << config_.surrogate << ' ' << config_.eval_every
@@ -323,8 +419,13 @@ void AskTellSession::save(std::ostream& os) const {
   os << "gp " << config_.gp.kernel << ' ' << config_.gp.signal_variance << ' '
      << config_.gp.lengthscale << ' ' << config_.gp.noise_variance << ' '
      << (config_.gp.median_heuristic ? 1 : 0) << '\n';
+  os << "failure_policy " << config_.failure.max_retries << ' '
+     << config_.failure.backoff_base_seconds << ' '
+     << config_.failure.backoff_cap_seconds << '\n';
   os << "progress " << iteration_ << ' ' << cumulative_cost_ << ' '
      << (cold_start_done_ ? 1 : 0) << ' ' << (refit_due_ ? 1 : 0) << '\n';
+  os << "failprogress " << failure_cost_ << ' ' << transient_retries_ << ' '
+     << labels_in_batch_ << '\n';
   os << "rng ";
   rng_.save(os);
 
@@ -347,7 +448,18 @@ void AskTellSession::save(std::ostream& os) const {
   for (const auto& cand : pending_) {
     write_levels(os, cand.config);
     os << (cand.has_prediction ? 1 : 0) << ' ' << cand.predicted_mean << ' '
-       << cand.predicted_stddev << ' ' << cand.iteration << '\n';
+       << cand.predicted_stddev << ' ' << cand.iteration << ' '
+       << cand.failures << '\n';
+  }
+  os << "failed " << failed_.size() << '\n';
+  for (const auto& failed : failed_) {
+    write_levels(os, failed.config);
+    os << sim::to_string(failed.kind) << ' ' << failed.attempts << '\n';
+  }
+  os << "censored " << censored_.size() << '\n';
+  for (const auto& censored : censored_) {
+    write_levels(os, censored.config);
+    os << censored.lower_bound << '\n';
   }
   os << "selections " << selections_.size() << '\n';
   for (const auto& sel : selections_) {
@@ -371,7 +483,8 @@ AskTellSession AskTellSession::restore(const space::ParameterSpace& space,
                                        util::ThreadPool* workers) {
   std::string magic;
   int version = 0;
-  if (!(is >> magic >> version) || magic != "pwu-session" || version != 1) {
+  if (!(is >> magic >> version) || magic != "pwu-session" ||
+      (version != 1 && version != 2)) {
     restore_fail("bad header");
   }
 
@@ -410,6 +523,14 @@ AskTellSession AskTellSession::restore(const space::ParameterSpace& space,
     restore_fail("bad gp line");
   }
   config.gp.median_heuristic = median != 0;
+  if (version >= 2) {
+    expect_section(is, "failure_policy");
+    if (!(is >> config.failure.max_retries >>
+          config.failure.backoff_base_seconds >>
+          config.failure.backoff_cap_seconds)) {
+      restore_fail("bad failure_policy line");
+    }
+  }
 
   expect_section(is, "progress");
   std::size_t iteration = 0;
@@ -417,6 +538,14 @@ AskTellSession AskTellSession::restore(const space::ParameterSpace& space,
   int cold_done = 0, refit_due = 0;
   if (!(is >> iteration >> cumulative_cost >> cold_done >> refit_due)) {
     restore_fail("bad progress line");
+  }
+  double failure_cost = 0.0;
+  std::size_t transient_retries = 0, labels_in_batch = 0;
+  if (version >= 2) {
+    expect_section(is, "failprogress");
+    if (!(is >> failure_cost >> transient_retries >> labels_in_batch)) {
+      restore_fail("bad failprogress line");
+    }
   }
   expect_section(is, "rng");
   util::Rng rng;
@@ -438,6 +567,9 @@ AskTellSession AskTellSession::restore(const space::ParameterSpace& space,
   session.cumulative_cost_ = cumulative_cost;
   session.cold_start_done_ = cold_done != 0;
   session.refit_due_ = refit_due != 0;
+  session.failure_cost_ = failure_cost;
+  session.transient_retries_ = transient_retries;
+  session.labels_in_batch_ = labels_in_batch;
   session.warm_rows_ = warm_rows;
 
   std::vector<double> row(num_features);
@@ -488,8 +620,54 @@ AskTellSession AskTellSession::restore(const space::ParameterSpace& space,
           cand.predicted_stddev >> cand.iteration)) {
       restore_fail("bad pending row");
     }
+    if (version >= 2 && !(is >> cand.failures)) {
+      restore_fail("bad pending row");
+    }
     cand.has_prediction = has_prediction != 0;
     session.pending_.push_back(std::move(cand));
+  }
+
+  if (version >= 2) {
+    expect_section(is, "failed");
+    std::size_t failed_count = 0;
+    if (!(is >> failed_count)) restore_fail("bad failed header");
+    for (std::size_t i = 0; i < failed_count; ++i) {
+      FailedConfig failed;
+      failed.config = read_levels(is, space);
+      std::string kind;
+      if (!(is >> kind >> failed.attempts)) restore_fail("bad failed row");
+      const auto parsed = sim::failure_kind_from_string(kind);
+      if (!parsed.has_value() || *parsed == sim::FailureKind::None) {
+        restore_fail("bad failure kind '" + kind + "'");
+      }
+      failed.kind = *parsed;
+      session.add_failed(std::move(failed));
+    }
+    expect_section(is, "censored");
+    std::size_t censored_count = 0;
+    if (!(is >> censored_count)) restore_fail("bad censored header");
+    for (std::size_t i = 0; i < censored_count; ++i) {
+      CensoredObservation censored;
+      censored.config = read_levels(is, space);
+      if (!(is >> censored.lower_bound)) restore_fail("bad censored row");
+      session.censored_.push_back(std::move(censored));
+    }
+    // A well-formed checkpoint never lists a failed configuration in the
+    // pool (it was removed when asked), but a hand-edited or merged one
+    // might; drop such entries rather than risk re-proposing them.
+    if (!session.failed_.empty()) {
+      std::vector<space::Configuration> kept;
+      kept.reserve(session.pool_.size());
+      for (std::size_t i = 0; i < session.pool_.size(); ++i) {
+        if (!session.is_failed(session.pool_.at(i))) {
+          kept.push_back(session.pool_.at(i));
+        }
+      }
+      if (kept.size() != session.pool_.size()) {
+        session.pool_ = space::CandidatePool(std::move(kept));
+        session.rebuild_pool_features();
+      }
+    }
   }
 
   expect_section(is, "selections");

@@ -25,11 +25,13 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/active_learner.hpp"
 #include "core/sampling_strategy.hpp"
 #include "core/surrogate.hpp"
+#include "sim/fault_model.hpp"
 #include "space/configuration.hpp"
 #include "space/parameter_space.hpp"
 #include "space/pool.hpp"
@@ -55,6 +57,42 @@ struct Candidate {
   double predicted_stddev = 0.0;
   /// 0 = cold start, then 1, 2, ... per strategy batch.
   std::size_t iteration = 0;
+  /// Failed measurement attempts reported via tell_failure so far.
+  std::size_t failures = 0;
+};
+
+/// What the session decided about a failed measurement.
+enum class FailureAction {
+  Retry,    // transient: candidate stays outstanding, re-measure it
+  Dropped,  // deterministic or retries exhausted: entered the failed set
+};
+
+struct FailureOutcome {
+  FailureAction action = FailureAction::Dropped;
+  /// Failed attempts for this candidate so far (including this one).
+  std::size_t attempts = 0;
+  /// Simulated wait charged to cumulative cost before the retry (0 when
+  /// Dropped).
+  double backoff_seconds = 0.0;
+  /// True when this failure drained the batch (a refit may now be due).
+  bool batch_complete = false;
+};
+
+/// A configuration the session gave up on. Never re-proposed; excluded
+/// from best-performance tracking; persisted across checkpoint/resume.
+struct FailedConfig {
+  space::Configuration config;
+  sim::FailureKind kind = sim::FailureKind::Crash;
+  std::size_t attempts = 1;
+};
+
+/// A right-censored observation (the run exceeded `lower_bound` seconds —
+/// a timeout). Kept out of the RF training set: tree surrogates treat any
+/// stand-in value as a real label and skew both the model and uncertainty
+/// estimates, so censored points are recorded but never trained on.
+struct CensoredObservation {
+  space::Configuration config;
+  double lower_bound = 0.0;
 };
 
 enum class SessionPhase {
@@ -105,6 +143,20 @@ class AskTellSession {
   /// configuration that is not outstanding.
   bool tell(const space::Configuration& config, double measured_time);
 
+  /// Reports a *failed* measurement of an outstanding candidate.
+  /// `cost_seconds` is the simulated wall-clock the failed attempt burned
+  /// (crashed partial run, harness timeout) and is charged to cumulative
+  /// cost. Transient kinds (Crash) are retried — the candidate stays
+  /// outstanding and a capped exponential backoff wait is charged — until
+  /// config().failure.max_retries is exhausted; deterministic kinds
+  /// (CompileError, Timeout) drop the candidate into the failed set
+  /// immediately. Timeouts additionally record a censored observation.
+  /// No failure path ever writes a label into the training set. Throws
+  /// std::invalid_argument for unknown candidates or kind == None.
+  FailureOutcome tell_failure(const space::Configuration& config,
+                              sim::FailureKind kind,
+                              double cost_seconds = 0.0);
+
   /// (Re)fits the surrogate if a completed batch made it due. Kept separate
   /// from tell() so a session manager can run it on a worker thread;
   /// ask() calls it implicitly. Returns true when a fit ran.
@@ -125,8 +177,22 @@ class AskTellSession {
   std::size_t iteration() const { return iteration_; }
   std::size_t pool_remaining() const { return pool_.size(); }
   double cumulative_cost() const { return cumulative_cost_; }
-  /// Smallest measured time so far; NaN before the first tell.
+  /// Smallest measured time so far; NaN before the first tell. Failed and
+  /// censored configurations never participate.
   double best_observed() const;
+
+  // ---- failure observers ----
+  const std::vector<FailedConfig>& failed() const { return failed_; }
+  const std::vector<CensoredObservation>& censored() const {
+    return censored_;
+  }
+  bool is_failed(const space::Configuration& config) const {
+    return failed_lookup_.count(config) != 0;
+  }
+  /// Portion of cumulative_cost() spent on failed attempts and backoff.
+  double failure_cost() const { return failure_cost_; }
+  /// Transient retries granted across the whole session.
+  std::size_t transient_retries() const { return transient_retries_; }
 
   const space::ParameterSpace& space() const { return space_; }
   const core::LearnerConfig& config() const { return config_; }
@@ -163,6 +229,11 @@ class AskTellSession {
                  util::ThreadPool* workers);
 
   void append_label(const Candidate& candidate, double measured_time);
+  /// Batch-completion bookkeeping shared by tell and tell_failure: decides
+  /// cold-start completion (with failure top-up) and whether a refit is due
+  /// (only when the drained batch added labels).
+  void on_batch_drained();
+  void add_failed(FailedConfig failed);
   void fit_model();
   /// Re-encodes every pool configuration into pool_features_ (row i =
   /// features of pool_.at(i)).
@@ -186,10 +257,20 @@ class AskTellSession {
   std::vector<double> train_labels_;
   std::vector<core::SelectionRecord> selections_;
   std::vector<Candidate> pending_;
+  std::vector<FailedConfig> failed_;
+  std::unordered_set<space::Configuration, space::ConfigurationHash>
+      failed_lookup_;
+  std::vector<CensoredObservation> censored_;
   std::shared_ptr<core::Surrogate> model_;
   util::Rng rng_;
   std::size_t iteration_ = 0;
   double cumulative_cost_ = 0.0;
+  double failure_cost_ = 0.0;
+  std::size_t transient_retries_ = 0;
+  /// Labels added since the last completed batch — a drained batch only
+  /// schedules a refit when this is non-zero (all-failed batches leave the
+  /// training set, and therefore the model, unchanged).
+  std::size_t labels_in_batch_ = 0;
   bool refit_due_ = false;
   bool cold_start_done_ = false;
 };

@@ -1,10 +1,11 @@
 #include "service/protocol.hpp"
 
 #include <cmath>
-#include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+
+#include "sim/fault_model.hpp"
 
 namespace pwu::service {
 
@@ -136,6 +137,9 @@ util::json::Value handle_request(SessionManager& manager,
     const std::string op = required_string(request, "op");
 
     if (op == "shutdown") {
+      // Graceful: join in-flight refits and flush final auto-checkpoints
+      // before acknowledging, so a scripted shutdown never loses a tell.
+      manager.drain();
       return ok_response({{"shutdown", json::Value(true)}});
     }
     if (op == "list") {
@@ -173,16 +177,51 @@ util::json::Value handle_request(SessionManager& manager,
            {"done", json::Value(candidates.empty())}});
     }
     if (op == "tell") {
-      const json::Value& time = request.at("time");
-      if (!time.is_number()) {
-        throw std::invalid_argument("missing number field 'time'");
+      // Optional "status" routes failed measurements: "ok" (default) is a
+      // successful label, anything else goes through the failure path.
+      const std::string status_name = request.string_or("status", "ok");
+      const std::optional<sim::FailureKind> kind =
+          sim::failure_kind_from_string(status_name);
+      if (!kind.has_value()) {
+        throw std::invalid_argument("unknown status '" + status_name + "'");
       }
-      const TellOutcome outcome = manager.tell(
-          name, configuration_from_json(request.at("levels")),
-          time.as_number());
-      return ok_response({{"labeled", json::Value(outcome.labeled)},
-                          {"refit", json::Value(outcome.batch_complete)},
-                          {"done", json::Value(outcome.done)}});
+      if (*kind == sim::FailureKind::None) {
+        const json::Value& time = request.at("time");
+        if (!time.is_number()) {
+          throw std::invalid_argument("missing number field 'time'");
+        }
+        const TellOutcome outcome = manager.tell(
+            name, configuration_from_json(request.at("levels")),
+            time.as_number());
+        json::Object fields{{"labeled", json::Value(outcome.labeled)},
+                            {"refit", json::Value(outcome.batch_complete)},
+                            {"done", json::Value(outcome.done)}};
+        if (!outcome.checkpoint_path.empty()) {
+          fields.emplace("checkpoint", json::Value(outcome.checkpoint_path));
+        }
+        return ok_response(std::move(fields));
+      }
+      const double cost = request.number_or("cost", 0.0);
+      if (!(cost >= 0.0)) {
+        throw std::invalid_argument("field 'cost' must be non-negative");
+      }
+      const FailureTellOutcome outcome = manager.tell_failure(
+          name, configuration_from_json(request.at("levels")), *kind, cost);
+      json::Object fields{
+          {"failure", json::Value(std::string(sim::to_string(*kind)))},
+          {"action",
+           json::Value(std::string(outcome.action == FailureAction::Retry
+                                       ? "retry"
+                                       : "dropped"))},
+          {"attempts", json::Value(outcome.attempts)},
+          {"backoff_seconds", json::Value(outcome.backoff_seconds)},
+          {"refit", json::Value(outcome.batch_complete)},
+          {"done", json::Value(outcome.done)},
+          {"failed_total", json::Value(outcome.failed_total)}};
+      if (!outcome.checkpoint_path.empty()) {
+        fields.emplace("checkpoint", json::Value(outcome.checkpoint_path));
+      }
+      return ok_response(std::move(fields));
     }
     if (op == "status") {
       return ok_response({{"status", status_to_json(manager.status(name))}});
@@ -194,21 +233,18 @@ util::json::Value handle_request(SessionManager& manager,
     }
     if (op == "checkpoint") {
       const std::string path = required_string(request, "path");
-      std::ofstream out(path);
-      if (!out) return error_response("cannot open '" + path + "' for write");
-      manager.checkpoint(name, out);
-      out.flush();
-      if (!out) return error_response("write failed for '" + path + "'");
+      manager.checkpoint_to_file(name, path);
       return ok_response({{"path", json::Value(path)}});
     }
     if (op == "resume") {
       const std::string path = required_string(request, "path");
-      std::ifstream in(path);
-      if (!in) return error_response("cannot open '" + path + "'");
-      const SessionStatus status = manager.resume(name, in);
+      const ResumeOutcome outcome = manager.resume_from_file(name, path);
       return ok_response(
-          {{"measure_seed", json::Value(std::to_string(status.measure_seed))},
-           {"status", status_to_json(status)}});
+          {{"measure_seed",
+            json::Value(std::to_string(outcome.status.measure_seed))},
+           {"recovered", json::Value(outcome.used_fallback)},
+           {"source", json::Value(outcome.source_path)},
+           {"status", status_to_json(outcome.status)}});
     }
     return error_response("unknown op '" + op + "'");
   } catch (const std::exception& e) {
@@ -218,10 +254,20 @@ util::json::Value handle_request(SessionManager& manager,
 
 std::size_t run_serve_loop(std::istream& in, std::ostream& out,
                            SessionManager& manager) {
+  // Requests beyond this size are rejected up front: a runaway or
+  // malicious line must not balloon the JSON parser, and the loop (and
+  // every other session) keeps serving afterwards.
+  constexpr std::size_t kMaxRequestBytes = 1 << 20;
   std::size_t handled = 0;
   std::string line;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (line.size() > kMaxRequestBytes) {
+      out << error_response("request line exceeds 1 MiB").dump() << '\n';
+      out.flush();
+      ++handled;
+      continue;
+    }
     json::Value response;
     bool shutdown = false;
     try {

@@ -14,11 +14,22 @@
 //         "mean":0.41,"stddev":0.07,"iteration":1}]}
 //   {"op":"tell","session":"s1","levels":[3,0,5],"time":0.3977}
 //     -> {"ok":true,"labeled":11,"refit":true,"done":false}
+//   {"op":"tell","session":"s1","levels":[3,0,5],"status":"crash","cost":0.2}
+//     -> {"ok":true,"failure":"crash","action":"retry","attempts":1,
+//         "backoff_seconds":0.5,"refit":false,"done":false,"failed_total":0}
 //   {"op":"status","session":"s1"} | {"op":"list"} |
 //   {"op":"close","session":"s1"} |
 //   {"op":"checkpoint","session":"s1","path":"/tmp/s1.ckpt"} |
 //   {"op":"resume","session":"s1","path":"/tmp/s1.ckpt"} |
 //   {"op":"shutdown"}
+//
+// tell's optional "status" ("ok" | "compile_error" | "crash" | "timeout")
+// routes failed measurements; "cost" is the simulated seconds the failed
+// attempt burned. checkpoint writes atomically (tmp + CRC footer + fsync +
+// rename, previous copy kept as .bak); resume verifies the CRC and falls
+// back to the .bak — reporting "recovered":true — when the newest copy is
+// torn. shutdown drains in-flight refits (and final auto-checkpoints)
+// before acknowledging.
 //
 // measure_seed is a decimal *string*: 64-bit seeds do not survive the trip
 // through a JSON double.

@@ -2,14 +2,43 @@
 
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "space/pool.hpp"
 #include "util/contracts.hpp"
+#include "util/fs_atomic.hpp"
+#include "util/killpoints.hpp"
+#include "util/logging.hpp"
 #include "workloads/registry.hpp"
 
 namespace pwu::service {
+
+namespace {
+
+/// Session names become checkpoint file names, so they must be
+/// filesystem-safe: no separators, no traversal, no shell surprises.
+void validate_session_name(const std::string& name, const char* who) {
+  if (name.empty()) {
+    throw std::invalid_argument(std::string(who) + ": empty session name");
+  }
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) {
+      throw std::invalid_argument(
+          std::string(who) + ": session name '" + name +
+          "' contains characters outside [A-Za-z0-9._-]");
+    }
+  }
+  if (name[0] == '.') {
+    throw std::invalid_argument(std::string(who) + ": session name '" + name +
+                                "' must not start with '.'");
+  }
+}
+
+}  // namespace
 
 SessionManager::SessionManager(util::ThreadPool* workers)
     : workers_(workers) {}
@@ -69,9 +98,7 @@ SessionStatus SessionManager::status_locked(const std::string& name,
 
 SessionStatus SessionManager::create(const std::string& name,
                                      const SessionSpec& spec) {
-  if (name.empty()) {
-    throw std::invalid_argument("SessionManager::create: empty session name");
-  }
+  validate_session_name(name, "SessionManager::create");
   const workloads::WorkloadPtr workload =
       workloads::make_workload(spec.workload);
 
@@ -112,27 +139,82 @@ std::vector<Candidate> SessionManager::ask(const std::string& name,
   return entry->session->ask(count);
 }
 
+void SessionManager::schedule_refit(Entry& entry) {
+  // The refit is due; run it off-thread so refits of different sessions
+  // overlap. The entry mutex is NOT held by the task — the next
+  // operation on this session joins the future first.
+  AskTellSession* session = entry.session.get();
+  if (workers_ != nullptr && workers_->num_threads() > 1) {
+    // Caller holds entry.mutex (same contract as join_refit).
+    // pwu-lint: allow-next-line(no-unlocked-mutable)
+    entry.refit = workers_->submit([session] { session->refit(); });
+  } else {
+    session->refit();  // pwu-lint: allow(no-unlocked-mutable)
+  }
+}
+
+SessionManager::AutoCheckpointPolicy SessionManager::auto_checkpoint_policy()
+    const {
+  std::lock_guard lock(registry_mutex_);
+  return AutoCheckpointPolicy{auto_checkpoint_dir_, auto_checkpoint_every_};
+}
+
+void SessionManager::maybe_auto_checkpoint(const std::string& name,
+                                           Entry& entry,
+                                           const AutoCheckpointPolicy& policy,
+                                           std::string& checkpoint_path) {
+  if (policy.every == 0) return;
+  // Caller holds entry.mutex (same contract as join_refit).
+  if (++entry.tells_since_checkpoint < policy.every) return;  // pwu-lint: allow(no-unlocked-mutable)
+  entry.tells_since_checkpoint = 0;  // pwu-lint: allow(no-unlocked-mutable)
+  const std::string path = policy.dir + "/" + name + ".ckpt";
+  std::ostringstream image;
+  serialize_locked(entry, image);
+  util::atomic_write_file(path, image.str());
+  checkpoint_path = path;
+}
+
 TellOutcome SessionManager::tell(const std::string& name,
                                  const space::Configuration& config,
                                  double measured_time) {
+  // Snapshot before locking the entry: registry_mutex_ is ordered before
+  // entry mutexes, so it must never be acquired while one is held.
+  const AutoCheckpointPolicy policy = auto_checkpoint_policy();
   const std::shared_ptr<Entry> entry = find(name);
   std::lock_guard lock(entry->mutex);
   join_refit(*entry);
   TellOutcome outcome;
   outcome.batch_complete = entry->session->tell(config, measured_time);
+  util::killpoint("session_manager.tell.applied");
   outcome.labeled = entry->session->num_labeled();
   outcome.done = entry->session->done();
-  if (outcome.batch_complete) {
-    // The refit is due; run it off-thread so refits of different sessions
-    // overlap. The entry mutex is NOT held by the task — the next
-    // operation on this session joins the future first.
-    AskTellSession* session = entry->session.get();
-    if (workers_ != nullptr && workers_->num_threads() > 1) {
-      entry->refit = workers_->submit([session] { session->refit(); });
-    } else {
-      session->refit();
-    }
-  }
+  // Checkpoint before scheduling the refit: a refit-due session image
+  // restores exactly (the refit replays from the saved rng), and writing
+  // now avoids blocking on the background fit.
+  maybe_auto_checkpoint(name, *entry, policy, outcome.checkpoint_path);
+  if (outcome.batch_complete) schedule_refit(*entry);
+  return outcome;
+}
+
+FailureTellOutcome SessionManager::tell_failure(
+    const std::string& name, const space::Configuration& config,
+    sim::FailureKind kind, double cost_seconds) {
+  const AutoCheckpointPolicy policy = auto_checkpoint_policy();
+  const std::shared_ptr<Entry> entry = find(name);
+  std::lock_guard lock(entry->mutex);
+  join_refit(*entry);
+  const FailureOutcome result =
+      entry->session->tell_failure(config, kind, cost_seconds);
+  util::killpoint("session_manager.tell.applied");
+  FailureTellOutcome outcome;
+  outcome.action = result.action;
+  outcome.attempts = result.attempts;
+  outcome.backoff_seconds = result.backoff_seconds;
+  outcome.batch_complete = result.batch_complete;
+  outcome.done = entry->session->done();
+  outcome.failed_total = entry->session->failed().size();
+  maybe_auto_checkpoint(name, *entry, policy, outcome.checkpoint_path);
+  if (outcome.batch_complete) schedule_refit(*entry);
   return outcome;
 }
 
@@ -178,21 +260,89 @@ bool SessionManager::close(const std::string& name) {
   return true;
 }
 
+void SessionManager::serialize_locked(const Entry& entry, std::ostream& os) {
+  os << "pwu-session-file 1\n";
+  os << "workload " << entry.spec.workload << '\n';
+  os << "sizes " << entry.spec.pool_size << ' ' << entry.spec.test_size << ' '
+     << entry.spec.seed << '\n';
+  os << "measure_seed " << entry.measure_seed << '\n';
+  entry.session->save(os);
+}
+
 void SessionManager::checkpoint(const std::string& name,
                                 std::ostream& os) const {
   const std::shared_ptr<Entry> entry = find(name);
   std::lock_guard lock(entry->mutex);
   join_refit(*entry);
-  os << "pwu-session-file 1\n";
-  os << "workload " << entry->spec.workload << '\n';
-  os << "sizes " << entry->spec.pool_size << ' ' << entry->spec.test_size
-     << ' ' << entry->spec.seed << '\n';
-  os << "measure_seed " << entry->measure_seed << '\n';
-  entry->session->save(os);
+  serialize_locked(*entry, os);
+}
+
+std::string SessionManager::checkpoint_to_file(const std::string& name,
+                                               const std::string& path) const {
+  const std::shared_ptr<Entry> entry = find(name);
+  std::lock_guard lock(entry->mutex);
+  join_refit(*entry);
+  std::ostringstream image;
+  serialize_locked(*entry, image);
+  util::atomic_write_file(path, image.str());
+  return path;
+}
+
+ResumeOutcome SessionManager::resume_from_file(const std::string& name,
+                                               const std::string& path) {
+  const util::RecoveredRead read = util::read_checkpoint_with_fallback(path);
+  if (read.status != util::ReadStatus::Ok) {
+    throw std::runtime_error(std::string("SessionManager::resume_from_file: ") +
+                             util::to_string(read.status) + " checkpoint '" +
+                             path + "'");
+  }
+  if (read.used_fallback) {
+    util::log_warn() << "checkpoint '" << path
+                     << "' is truncated or corrupt; restoring from last good "
+                        "copy '"
+                     << read.source_path << "'";
+  }
+  std::istringstream is(read.payload);
+  ResumeOutcome outcome;
+  outcome.status = resume(name, is);
+  outcome.used_fallback = read.used_fallback;
+  outcome.source_path = read.source_path;
+  return outcome;
+}
+
+void SessionManager::enable_auto_checkpoint(std::string directory,
+                                            std::size_t every_tells) {
+  std::lock_guard lock(registry_mutex_);
+  auto_checkpoint_dir_ = std::move(directory);
+  auto_checkpoint_every_ = every_tells;
+}
+
+void SessionManager::drain() {
+  std::string dir;
+  bool auto_enabled = false;
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> entries;
+  {
+    std::lock_guard lock(registry_mutex_);
+    dir = auto_checkpoint_dir_;
+    auto_enabled = auto_checkpoint_every_ != 0;
+    entries.reserve(sessions_.size());
+    for (const auto& [name, entry] : sessions_) entries.emplace_back(name, entry);
+  }
+  for (const auto& [name, entry] : entries) {
+    std::lock_guard entry_lock(entry->mutex);
+    join_refit(*entry);
+    if (auto_enabled) {
+      std::ostringstream image;
+      serialize_locked(*entry, image);
+      util::atomic_write_file(dir + "/" + name + ".ckpt", image.str());
+      entry->tells_since_checkpoint = 0;
+    }
+  }
 }
 
 SessionStatus SessionManager::resume(const std::string& name,
                                      std::istream& is) {
+  validate_session_name(name, "SessionManager::resume");
   std::string magic;
   int version = 0;
   if (!(is >> magic >> version) || magic != "pwu-session-file" ||

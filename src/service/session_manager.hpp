@@ -65,6 +65,29 @@ struct TellOutcome {
   std::size_t labeled = 0;
   bool batch_complete = false;  // a refit was scheduled (or ran inline)
   bool done = false;
+  /// Non-empty when this tell triggered an auto-checkpoint (the file it
+  /// was atomically written to).
+  std::string checkpoint_path;
+};
+
+struct FailureTellOutcome {
+  FailureAction action = FailureAction::Dropped;
+  std::size_t attempts = 0;
+  double backoff_seconds = 0.0;
+  bool batch_complete = false;
+  bool done = false;
+  /// Failed-set size after this report.
+  std::size_t failed_total = 0;
+  std::string checkpoint_path;
+};
+
+/// Result of a file-based resume, including whether crash recovery had to
+/// fall back to the previous-good checkpoint copy.
+struct ResumeOutcome {
+  SessionStatus status;
+  bool used_fallback = false;
+  /// The file that actually supplied the state.
+  std::string source_path;
 };
 
 class SessionManager {
@@ -90,6 +113,12 @@ class SessionManager {
   TellOutcome tell(const std::string& name,
                    const space::Configuration& config, double measured_time);
 
+  /// Reports one *failed* measurement (see AskTellSession::tell_failure).
+  FailureTellOutcome tell_failure(const std::string& name,
+                                  const space::Configuration& config,
+                                  sim::FailureKind kind,
+                                  double cost_seconds = 0.0);
+
   SessionStatus status(const std::string& name) const;
   std::vector<SessionStatus> list() const;
 
@@ -105,6 +134,30 @@ class SessionManager {
   /// continue bit-identically.
   SessionStatus resume(const std::string& name, std::istream& is);
 
+  /// Atomically writes a checkpoint() image of the session to `path`
+  /// (util::atomic_write_file: tmp + CRC footer + fsync + rename, previous
+  /// good copy rotated to its .bak). Returns the path written.
+  std::string checkpoint_to_file(const std::string& name,
+                                 const std::string& path) const;
+
+  /// resume() from a file written by checkpoint_to_file, falling back to
+  /// the .bak copy — with a warning logged — when the newest copy is
+  /// truncated or corrupt. Throws std::runtime_error when no good copy
+  /// exists.
+  ResumeOutcome resume_from_file(const std::string& name,
+                                 const std::string& path);
+
+  /// Auto-checkpoint every `every_tells` tells per session, to
+  /// `<directory>/<session>.ckpt`. 0 disables. Session names are validated
+  /// to be filesystem-safe at create/resume time, so the path is always
+  /// well-formed.
+  void enable_auto_checkpoint(std::string directory, std::size_t every_tells);
+
+  /// Graceful-shutdown barrier: joins every in-flight background refit and
+  /// (when auto-checkpointing is enabled) writes a final checkpoint of
+  /// every session, so nothing told before shutdown is lost.
+  void drain();
+
   std::size_t size() const;
 
  private:
@@ -115,16 +168,39 @@ class SessionManager {
     std::uint64_t measure_seed = 0;
     /// Pending background refit; joined before the next operation.
     std::future<void> refit;  // pwu-lint: guarded-by(mutex)
+    /// Tells since the last auto-checkpoint.
+    std::size_t tells_since_checkpoint = 0;  // pwu-lint: guarded-by(mutex)
   };
 
   std::shared_ptr<Entry> find(const std::string& name) const;
   SessionStatus status_locked(const std::string& name,
                               const Entry& entry) const;
   static void join_refit(Entry& entry);
+  /// Writes the checkpoint image (spec header + session save) of a locked
+  /// entry into `os`.
+  static void serialize_locked(const Entry& entry, std::ostream& os);
+  /// Snapshot of the auto-checkpoint settings, read under registry_mutex_.
+  /// Callers take it *before* locking an entry mutex: the registry mutex is
+  /// always ordered before entry mutexes, never acquired under one.
+  struct AutoCheckpointPolicy {
+    std::string dir;
+    std::size_t every = 0;
+  };
+  AutoCheckpointPolicy auto_checkpoint_policy() const;
+  /// Runs the every-N auto-checkpoint policy on a locked entry after a
+  /// tell; sets `checkpoint_path` when a file was written. Takes the
+  /// policy snapshot by value so it never touches registry_mutex_ while
+  /// the caller holds entry.mutex.
+  static void maybe_auto_checkpoint(const std::string& name, Entry& entry,
+                                    const AutoCheckpointPolicy& policy,
+                                    std::string& checkpoint_path);
+  void schedule_refit(Entry& entry);
 
   mutable std::mutex registry_mutex_;
   std::map<std::string, std::shared_ptr<Entry>> sessions_;  // pwu-lint: guarded-by(registry_mutex_)
   util::ThreadPool* workers_ = nullptr;
+  std::string auto_checkpoint_dir_;          // pwu-lint: guarded-by(registry_mutex_)
+  std::size_t auto_checkpoint_every_ = 0;    // pwu-lint: guarded-by(registry_mutex_)
 };
 
 }  // namespace pwu::service

@@ -4,29 +4,68 @@
 
 namespace pwu::sim {
 
-Executor::Executor(int repetitions) : repetitions_(repetitions) {
+Executor::Executor(int repetitions, const FaultModel* faults)
+    : repetitions_(repetitions), faults_(faults) {
   if (repetitions < 1) {
     throw std::invalid_argument("Executor: repetitions must be >= 1");
   }
 }
 
-double Executor::measure(const workloads::Workload& workload,
-                         const space::Configuration& config, util::Rng& rng) {
+MeasurementResult Executor::measure(const workloads::Workload& workload,
+                                    const space::Configuration& config,
+                                    util::Rng& rng) {
+  MeasurementResult result;
+  ++total_measurements_;
+  const FailureKind region =
+      faults_ != nullptr ? faults_->region(config) : FailureKind::None;
+
+  if (region == FailureKind::CompileError) {
+    // The variant never built: no runs happen, no execution time accrues.
+    result.status = FailureKind::CompileError;
+    ++failed_measurements_;
+    return result;
+  }
+  if (region == FailureKind::Timeout) {
+    // The first run hangs; the harness kills it at the timeout and charges
+    // the full wait — one timeout per measurement, as a real harness would
+    // not re-run a variant that just hung.
+    result.status = FailureKind::Timeout;
+    result.cost = faults_->config().timeout_seconds;
+    total_cost_ += result.cost;
+    ++total_runs_;
+    ++failed_measurements_;
+    return result;
+  }
+
   double sum = 0.0;
   for (int r = 0; r < repetitions_; ++r) {
     const double t = workload.evaluate(config, rng);
+    if (region == FailureKind::Crash &&
+        rng.bernoulli(faults_->config().crash_probability)) {
+      // The run died partway: charge the fraction it ran, abort the
+      // measurement. The already-completed repetitions stay charged too.
+      const double partial = rng.uniform() * t;
+      result.status = FailureKind::Crash;
+      result.cost += partial;
+      total_cost_ += partial;
+      ++total_runs_;
+      ++failed_measurements_;
+      return result;
+    }
     sum += t;
+    result.cost += t;
     total_cost_ += t;
     ++total_runs_;
   }
-  ++total_measurements_;
-  return sum / repetitions_;
+  result.time = sum / repetitions_;
+  return result;
 }
 
 void Executor::reset() {
   total_cost_ = 0.0;
   total_runs_ = 0;
   total_measurements_ = 0;
+  failed_measurements_ = 0;
 }
 
 }  // namespace pwu::sim

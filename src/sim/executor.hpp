@@ -1,43 +1,73 @@
 // Measurement protocol wrapper: runs a workload configuration the paper's
 // way (k repetitions averaged) while accounting the *simulated wall-clock
 // cost* of all runs — the quantity behind the paper's cumulative cost (CC).
+//
+// With a FaultModel attached, measure() follows the failure semantics of a
+// real autotuning harness: compile failures cost nothing but yield no
+// label, a crash aborts the measurement after charging the partial run, and
+// a hang is killed at the harness timeout — whose full duration is charged
+// to cumulative cost, exactly how a real tuner pays for timeouts.
 
 #pragma once
 
 #include <cstddef>
+#include <limits>
 
+#include "sim/fault_model.hpp"
 #include "space/configuration.hpp"
 #include "util/rng.hpp"
 #include "workloads/workload.hpp"
 
 namespace pwu::sim {
 
+/// Outcome of one (possibly multi-repetition) measurement.
+struct MeasurementResult {
+  FailureKind status = FailureKind::None;
+  /// Averaged execution time; NaN unless status == None.
+  double time = std::numeric_limits<double>::quiet_NaN();
+  /// Simulated seconds charged for this measurement (completed runs,
+  /// partial crashed run, or the harness timeout).
+  double cost = 0.0;
+
+  bool ok() const { return status == FailureKind::None; }
+};
+
 class Executor {
  public:
   /// `repetitions`: runs averaged per measurement (paper: 35 for kernels,
-  /// "several" for applications).
-  explicit Executor(int repetitions = 1);
+  /// "several" for applications). `faults` (optional, non-owning, must
+  /// outlive the executor) injects the failure model; nullptr = all runs
+  /// succeed.
+  explicit Executor(int repetitions = 1, const FaultModel* faults = nullptr);
 
-  /// Averaged measurement; accumulates the simulated cost of every
-  /// individual run.
-  double measure(const workloads::Workload& workload,
-                 const space::Configuration& config, util::Rng& rng);
+  /// One measurement under the failure model. Draw order per run is fixed
+  /// (noise draw, then crash coin, then crash-fraction draw) so a seeded
+  /// measurement stream replays bit-identically. Every charged second also
+  /// accumulates into total_cost_seconds().
+  MeasurementResult measure(const workloads::Workload& workload,
+                            const space::Configuration& config,
+                            util::Rng& rng);
 
-  /// Total simulated seconds spent executing programs so far.
+  /// Total simulated seconds spent executing programs so far (successful
+  /// runs, crashed partial runs, and timeouts alike).
   double total_cost_seconds() const { return total_cost_; }
 
   std::size_t total_runs() const { return total_runs_; }
   std::size_t total_measurements() const { return total_measurements_; }
+  std::size_t failed_measurements() const { return failed_measurements_; }
 
   int repetitions() const { return repetitions_; }
+  const FaultModel* fault_model() const { return faults_; }
 
   void reset();
 
  private:
   int repetitions_;
+  const FaultModel* faults_ = nullptr;
   double total_cost_ = 0.0;
   std::size_t total_runs_ = 0;
   std::size_t total_measurements_ = 0;
+  std::size_t failed_measurements_ = 0;
 };
 
 }  // namespace pwu::sim

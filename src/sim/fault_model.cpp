@@ -1,0 +1,90 @@
+#include "sim/fault_model.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pwu::sim {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixer util::Rng seeds through, giving
+/// well-distributed region assignment even for near-identical level
+/// vectors.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::None: return "ok";
+    case FailureKind::CompileError: return "compile_error";
+    case FailureKind::Crash: return "crash";
+    case FailureKind::Timeout: return "timeout";
+  }
+  return "unknown";
+}
+
+std::optional<FailureKind> failure_kind_from_string(const std::string& name) {
+  if (name == "ok") return FailureKind::None;
+  if (name == "compile_error") return FailureKind::CompileError;
+  if (name == "crash") return FailureKind::Crash;
+  if (name == "timeout") return FailureKind::Timeout;
+  return std::nullopt;
+}
+
+FaultModel::FaultModel() {
+  config_.compile_fail_fraction = 0.0;
+  config_.crash_fraction = 0.0;
+  config_.timeout_fraction = 0.0;
+}
+
+FaultModel::FaultModel(FaultConfig config) : config_(config) {
+  if (config_.compile_fail_fraction < 0.0 || config_.crash_fraction < 0.0 ||
+      config_.timeout_fraction < 0.0) {
+    throw std::invalid_argument("FaultModel: negative region fraction");
+  }
+  if (config_.compile_fail_fraction + config_.crash_fraction +
+          config_.timeout_fraction >
+      1.0) {
+    throw std::invalid_argument("FaultModel: region fractions exceed 1");
+  }
+  if (config_.crash_probability < 0.0 || config_.crash_probability > 1.0) {
+    throw std::invalid_argument("FaultModel: crash_probability outside [0,1]");
+  }
+  if (!(config_.timeout_seconds > 0.0)) {
+    throw std::invalid_argument("FaultModel: timeout_seconds must be > 0");
+  }
+}
+
+double FaultModel::hash_unit(const space::Configuration& config) const {
+  std::uint64_t h = mix64(config_.seed ^ 0x5bf036258ed6c2d1ULL);
+  for (std::uint32_t level : config.levels()) {
+    h = mix64(h ^ level);
+  }
+  // Top 53 bits -> [0, 1), the same construction util::Rng::uniform uses.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FailureKind FaultModel::region(const space::Configuration& config) const {
+  if (all_healthy()) return FailureKind::None;
+  const double u = hash_unit(config);
+  double edge = config_.compile_fail_fraction;
+  if (u < edge) return FailureKind::CompileError;
+  edge += config_.crash_fraction;
+  if (u < edge) return FailureKind::Crash;
+  edge += config_.timeout_fraction;
+  if (u < edge) return FailureKind::Timeout;
+  return FailureKind::None;
+}
+
+bool FaultModel::all_healthy() const {
+  return config_.compile_fail_fraction == 0.0 &&
+         config_.crash_fraction == 0.0 && config_.timeout_fraction == 0.0;
+}
+
+}  // namespace pwu::sim

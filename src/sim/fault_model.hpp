@@ -1,0 +1,80 @@
+// Seeded, deterministic measurement-failure model.
+//
+// In the real system the paper describes, Orio-generated variants fail
+// constantly: some configurations do not compile (too much unrolling, bad
+// pragma combinations), some crash intermittently, and some run so slowly
+// the harness kills them at a timeout — and the tuner still pays the
+// timeout's wall-clock. The FaultModel reproduces these modes over the
+// simulated workloads by hashing each configuration into [0,1) and carving
+// that interval into failure regions:
+//
+//   [0, compile)                      -> CompileError   deterministic
+//   [compile, compile+crash)          -> Crash region   transient, per-run p
+//   [.., .. + timeout)                -> Timeout        deterministic hang
+//   rest                              -> healthy
+//
+// The mapping is a pure function of (configuration, seed): the same config
+// always lands in the same region, so deterministic failures are stable
+// across retries and restarts, while crash-region *runs* flip a coin from
+// the measurement rng — transient, exactly like flaky real hardware.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "space/configuration.hpp"
+
+namespace pwu::sim {
+
+/// Outcome taxonomy of one measurement attempt (None = success).
+enum class FailureKind { None, CompileError, Crash, Timeout };
+
+const char* to_string(FailureKind kind);
+
+/// Parses to_string's names ("ok", "compile_error", "crash", "timeout");
+/// nullopt otherwise — callers parsing untrusted input (protocol,
+/// checkpoints) decide their own error path.
+std::optional<FailureKind> failure_kind_from_string(const std::string& name);
+
+struct FaultConfig {
+  /// Fraction of the configuration space that fails to compile.
+  double compile_fail_fraction = 0.04;
+  /// Fraction of the space whose runs crash transiently...
+  double crash_fraction = 0.04;
+  /// ...each run with this probability.
+  double crash_probability = 0.6;
+  /// Fraction of the space that hangs until the harness timeout.
+  double timeout_fraction = 0.02;
+  /// Seconds charged to cumulative cost per timed-out measurement.
+  double timeout_seconds = 30.0;
+  /// Salt for the config -> region hash; different seeds move the regions.
+  std::uint64_t seed = 0;
+};
+
+class FaultModel {
+ public:
+  /// All-healthy model (every region empty).
+  FaultModel();
+  /// Throws std::invalid_argument for negative fractions, fraction sums
+  /// above 1, probabilities outside [0,1], or non-positive timeouts.
+  explicit FaultModel(FaultConfig config);
+
+  /// Deterministic region lookup — pure in (config, seed).
+  FailureKind region(const space::Configuration& config) const;
+
+  /// Position of `config` in [0,1) under this model's salt (for tests and
+  /// diagnostics; region() is a partition of this value).
+  double hash_unit(const space::Configuration& config) const;
+
+  const FaultConfig& config() const { return config_; }
+
+  /// True when every failure region is empty (the default model).
+  bool all_healthy() const;
+
+ private:
+  FaultConfig config_;
+};
+
+}  // namespace pwu::sim

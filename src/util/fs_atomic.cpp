@@ -1,0 +1,183 @@
+#include "util/fs_atomic.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/killpoints.hpp"
+
+namespace pwu::util {
+
+namespace {
+
+constexpr char kFooterTag[] = "pwu-crc32";
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("atomic_write_file: " + what + " for '" + path +
+                           "': " + std::strerror(errno));
+}
+
+/// Writes all of `data` to `fd`, honouring short writes.
+void write_all(int fd, std::string_view data, const std::string& path) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ::ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write failed", path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (char c : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string crc_footer(std::string_view payload) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s %08x %zu\n", kFooterTag, crc32(payload),
+                payload.size());
+  return buf;
+}
+
+std::string backup_path(const std::string& path) { return path + ".bak"; }
+
+const char* to_string(ReadStatus status) {
+  switch (status) {
+    case ReadStatus::Ok: return "ok";
+    case ReadStatus::Missing: return "missing";
+    case ReadStatus::Corrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+void atomic_write_file(const std::string& path, std::string_view payload,
+                       bool keep_backup) {
+  const std::string tmp = path + ".tmp";
+  const std::string footer = crc_footer(payload);
+
+  killpoint("atomic_write.begin");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open temp file", tmp);
+  try {
+    // Split the payload so a mid-write kill point leaves a genuinely torn
+    // temp file (first half, no footer) for the chaos harness to find.
+    const std::size_t half = payload.size() / 2;
+    write_all(fd, payload.substr(0, half), tmp);
+    killpoint("atomic_write.mid_write");
+    write_all(fd, payload.substr(half), tmp);
+    write_all(fd, footer, tmp);
+    if (::fsync(fd) != 0) fail("fsync failed", tmp);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  if (::close(fd) != 0) fail("close failed", tmp);
+
+  killpoint("atomic_write.before_rename");
+  if (keep_backup) {
+    // Rotate the previous good file out of the way. ENOENT (first write)
+    // is fine; the rename below fully replaces `path` either way.
+    if (::rename(path.c_str(), backup_path(path).c_str()) != 0 &&
+        errno != ENOENT) {
+      fail("backup rotation failed", path);
+    }
+    killpoint("atomic_write.after_backup");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) fail("rename failed", path);
+  killpoint("atomic_write.done");
+}
+
+VerifiedRead read_verified_file(const std::string& path) {
+  VerifiedRead result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    result.status = ReadStatus::Missing;
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string contents = buffer.str();
+
+  // The footer is the final line: "pwu-crc32 <hex8> <bytes>\n".
+  result.status = ReadStatus::Corrupt;
+  if (contents.empty() || contents.back() != '\n') return result;
+  const std::size_t line_start =
+      contents.find_last_of('\n', contents.size() - 2);
+  const std::size_t footer_pos =
+      line_start == std::string::npos ? 0 : line_start + 1;
+  std::istringstream footer(contents.substr(footer_pos));
+  std::string tag;
+  std::string hex;
+  std::size_t size = 0;
+  if (!(footer >> tag >> hex >> size) || tag != kFooterTag) return result;
+  std::uint32_t stored = 0;
+  try {
+    stored = static_cast<std::uint32_t>(std::stoul(hex, nullptr, 16));
+  } catch (const std::exception&) {
+    return result;
+  }
+  contents.resize(footer_pos);
+  if (contents.size() != size || crc32(contents) != stored) return result;
+  result.status = ReadStatus::Ok;
+  result.payload = std::move(contents);
+  return result;
+}
+
+RecoveredRead read_checkpoint_with_fallback(const std::string& path) {
+  RecoveredRead result;
+  VerifiedRead primary = read_verified_file(path);
+  if (primary.status == ReadStatus::Ok) {
+    result.status = ReadStatus::Ok;
+    result.payload = std::move(primary.payload);
+    result.source_path = path;
+    return result;
+  }
+  VerifiedRead backup = read_verified_file(backup_path(path));
+  if (backup.status == ReadStatus::Ok) {
+    result.status = ReadStatus::Ok;
+    result.payload = std::move(backup.payload);
+    result.used_fallback = true;
+    result.source_path = backup_path(path);
+    return result;
+  }
+  // Corrupt dominates Missing: "there was a checkpoint but it is bad" is
+  // the actionable diagnosis.
+  result.status = primary.status == ReadStatus::Corrupt ||
+                          backup.status == ReadStatus::Corrupt
+                      ? ReadStatus::Corrupt
+                      : ReadStatus::Missing;
+  return result;
+}
+
+}  // namespace pwu::util

@@ -1,0 +1,67 @@
+// Crash-safe file persistence: the one sanctioned way to write a
+// checkpoint (or any other must-not-be-torn file) to its final path.
+//
+// atomic_write_file() writes payload + a CRC32 footer to `<path>.tmp`,
+// fsyncs, and renames over `path`, optionally rotating the previous good
+// file to `<path>.bak` first. A crash at any instant therefore leaves
+// either the old good file, the new good file, or (mid-rotation) the good
+// file under the backup name — never a torn final file without a fallback.
+// read_checkpoint_with_fallback() is the matching recovery read: it
+// verifies the footer and falls back to the backup when the newest copy is
+// truncated or corrupt.
+//
+// The pwu_lint rule `atomic-checkpoint` enforces that persistence code
+// routes final-path writes through this helper.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pwu::util {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`.
+std::uint32_t crc32(std::string_view data);
+
+/// The footer line appended to every atomically written file:
+/// "pwu-crc32 <hex8> <payload-bytes>\n".
+std::string crc_footer(std::string_view payload);
+
+/// Path of the previous-good rotation target for `path` ("<path>.bak").
+std::string backup_path(const std::string& path);
+
+/// Durably replaces `path` with payload + CRC footer (tmp, fsync, rename).
+/// With `keep_backup`, an existing `path` is rotated to backup_path(path)
+/// first. Throws std::runtime_error when any filesystem step fails.
+void atomic_write_file(const std::string& path, std::string_view payload,
+                       bool keep_backup = true);
+
+enum class ReadStatus { Ok, Missing, Corrupt };
+
+const char* to_string(ReadStatus status);
+
+struct VerifiedRead {
+  ReadStatus status = ReadStatus::Missing;
+  /// Payload with the CRC footer stripped; empty unless status == Ok.
+  std::string payload;
+};
+
+/// Reads `path` and verifies the CRC footer. Truncated, torn, or
+/// footer-less files come back Corrupt, absent files Missing.
+VerifiedRead read_verified_file(const std::string& path);
+
+struct RecoveredRead {
+  ReadStatus status = ReadStatus::Missing;
+  std::string payload;
+  /// True when the newest file was bad and the backup supplied the payload.
+  bool used_fallback = false;
+  /// The file that supplied the payload (empty unless status == Ok).
+  std::string source_path;
+};
+
+/// Recovery read: `path` first, then backup_path(path) when the newest copy
+/// is missing or fails verification. Corrupt means *both* copies are bad.
+RecoveredRead read_checkpoint_with_fallback(const std::string& path);
+
+}  // namespace pwu::util

@@ -1,0 +1,69 @@
+#include "util/killpoints.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace pwu::util {
+
+namespace {
+
+struct KillState {
+  std::mutex mutex;
+  /// name -> remaining passes before the throw (0 = next pass throws).
+  std::map<std::string, int> armed;  // pwu-lint: guarded-by(mutex)
+  std::map<std::string, int> hits;   // pwu-lint: guarded-by(mutex)
+};
+
+KillState& state() {
+  static KillState s;
+  return s;
+}
+
+/// Fast-path gate so disarmed production code pays one relaxed load.
+std::atomic<bool> g_any_armed{false};
+
+}  // namespace
+
+void arm_killpoint(const std::string& name, int after_hits) {
+  KillState& s = state();
+  std::lock_guard lock(s.mutex);
+  s.armed[name] = after_hits;
+  s.hits[name] = 0;
+  g_any_armed.store(true, std::memory_order_release);
+}
+
+void disarm_killpoints() {
+  KillState& s = state();
+  std::lock_guard lock(s.mutex);
+  s.armed.clear();
+  s.hits.clear();
+  g_any_armed.store(false, std::memory_order_release);
+}
+
+int killpoint_hits(const std::string& name) {
+  KillState& s = state();
+  std::lock_guard lock(s.mutex);
+  const auto it = s.hits.find(name);
+  return it == s.hits.end() ? 0 : it->second;
+}
+
+void killpoint(const char* name) {
+  if (!g_any_armed.load(std::memory_order_acquire)) return;
+  KillState& s = state();
+  std::unique_lock lock(s.mutex);
+  const auto it = s.armed.find(name);
+  if (it == s.armed.end()) return;
+  ++s.hits[name];
+  if (it->second > 0) {
+    --it->second;
+    return;
+  }
+  // One shot: a dead process cannot die twice at the same site.
+  s.armed.erase(it);
+  KillSignal signal{name};
+  lock.unlock();
+  throw signal;
+}
+
+}  // namespace pwu::util

@@ -1,0 +1,38 @@
+// Deterministic crash injection for the chaos harness.
+//
+// Production code marks crash-relevant instants with killpoint("name");
+// a test arms a point with arm_killpoint("name", n) and the (n+1)-th pass
+// throws KillSignal — simulating a process death at exactly that instant,
+// reproducibly. KillSignal deliberately does NOT derive from
+// std::exception so generic catch(std::exception&) recovery layers (e.g.
+// the protocol dispatcher) cannot swallow a simulated crash: it unwinds to
+// the test harness like a real kill would end the process.
+//
+// Disarmed (the default, and always in production), killpoint() is a
+// single relaxed atomic load.
+
+#pragma once
+
+#include <string>
+
+namespace pwu::util {
+
+/// Thrown by an armed kill point. Intentionally not a std::exception.
+struct KillSignal {
+  std::string point;
+};
+
+/// Arms `name`: after `after_hits` passes, the next killpoint(name) throws.
+/// Re-arming a name replaces its countdown.
+void arm_killpoint(const std::string& name, int after_hits = 0);
+
+/// Disarms every kill point (test teardown).
+void disarm_killpoints();
+
+/// Number of times killpoint(name) has fired or decremented since arming.
+int killpoint_hits(const std::string& name);
+
+/// Crash-site marker; no-op unless `name` is armed.
+void killpoint(const char* name);
+
+}  // namespace pwu::util

@@ -1,0 +1,13 @@
+// Fixture: the sanctioned persistence path -> no atomic-checkpoint finding.
+#include <sstream>
+#include <string>
+
+namespace pwu::util {
+void atomic_write_file(const std::string&, const std::string&);
+}
+
+void save_checkpoint(const std::string& path) {
+  std::ostringstream image;
+  image << "state\n";
+  pwu::util::atomic_write_file(path, image.str());
+}

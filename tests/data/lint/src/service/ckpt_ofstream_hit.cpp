@@ -1,0 +1,7 @@
+// Fixture: direct final-path ofstream in service code -> atomic-checkpoint.
+#include <fstream>
+
+void save_checkpoint(const char* path) {
+  std::ofstream out(path);  // truncates in place: a crash here tears the file
+  out << "state\n";
+}

@@ -1,0 +1,8 @@
+// Fixture: tools are in atomic-checkpoint scope; an allow-comment silences
+// a deliberate non-checkpoint write (counts as suppressed, not a finding).
+#include <fstream>
+
+void dump_scratch(const char* path) {
+  std::ofstream out(path);  // pwu-lint: allow(atomic-checkpoint)
+  out << "scratch\n";
+}

@@ -1,0 +1,377 @@
+// Deterministic chaos harness (ctest label: chaos; *Fast* tests also run
+// in the fast suite). Kill points simulate a process death at exact
+// instants inside the checkpoint write and the tell path; the tests then
+// recover the service from disk the way a restarted pwu_serve would and
+// assert the resumed session replays the remaining schedule bit-identically
+// against an uninterrupted control run.
+
+#include "util/fs_atomic.hpp"
+#include "util/killpoints.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/session_manager.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+
+namespace pwu::util {
+namespace {
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "pwu_chaos_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    disarm_killpoints();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string path(const std::string& file) const { return dir_ + "/" + file; }
+
+  std::string dir_;
+};
+
+TEST_F(ChaosTest, Crc32AndFooterMatchTheKnownVectorFast) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  const std::string footer = crc_footer("123456789");
+  EXPECT_EQ(footer, "pwu-crc32 cbf43926 9\n");
+}
+
+TEST_F(ChaosTest, AtomicWriteRoundTripsAndRotatesTheBackupFast) {
+  const std::string file = path("state.txt");
+  atomic_write_file(file, "version one\n");
+  VerifiedRead read = read_verified_file(file);
+  ASSERT_EQ(read.status, ReadStatus::Ok);
+  EXPECT_EQ(read.payload, "version one\n");
+
+  atomic_write_file(file, "version two\n");
+  read = read_verified_file(file);
+  ASSERT_EQ(read.status, ReadStatus::Ok);
+  EXPECT_EQ(read.payload, "version two\n");
+  // The previous good copy rotated to the backup.
+  const VerifiedRead backup = read_verified_file(backup_path(file));
+  ASSERT_EQ(backup.status, ReadStatus::Ok);
+  EXPECT_EQ(backup.payload, "version one\n");
+}
+
+TEST_F(ChaosTest, TornAndFooterlessFilesReadCorruptMissingReadsMissingFast) {
+  EXPECT_EQ(read_verified_file(path("absent")).status, ReadStatus::Missing);
+
+  const std::string file = path("state.txt");
+  atomic_write_file(file, "a payload that will be torn in half\n");
+  const auto size = std::filesystem::file_size(file);
+  std::filesystem::resize_file(file, size / 2);
+  EXPECT_EQ(read_verified_file(file).status, ReadStatus::Corrupt);
+
+  std::ofstream(path("no_footer")) << "just some text\n";
+  EXPECT_EQ(read_verified_file(path("no_footer")).status,
+            ReadStatus::Corrupt);
+}
+
+TEST_F(ChaosTest, FallbackReadPrefersNewestThenBackupFast) {
+  const std::string file = path("state.txt");
+  atomic_write_file(file, "v1\n");
+  atomic_write_file(file, "v2\n");
+
+  RecoveredRead read = read_checkpoint_with_fallback(file);
+  ASSERT_EQ(read.status, ReadStatus::Ok);
+  EXPECT_EQ(read.payload, "v2\n");
+  EXPECT_FALSE(read.used_fallback);
+  EXPECT_EQ(read.source_path, file);
+
+  // Corrupt the newest copy: the backup supplies the payload.
+  std::filesystem::resize_file(file, 3);
+  read = read_checkpoint_with_fallback(file);
+  ASSERT_EQ(read.status, ReadStatus::Ok);
+  EXPECT_EQ(read.payload, "v1\n");
+  EXPECT_TRUE(read.used_fallback);
+  EXPECT_EQ(read.source_path, backup_path(file));
+
+  // Both copies bad: Corrupt dominates Missing — a torn file existed.
+  std::filesystem::resize_file(backup_path(file), 2);
+  EXPECT_EQ(read_checkpoint_with_fallback(file).status, ReadStatus::Corrupt);
+  EXPECT_EQ(read_checkpoint_with_fallback(path("never")).status,
+            ReadStatus::Missing);
+}
+
+TEST_F(ChaosTest, KillpointsFireOnceAfterTheArmedCountFast) {
+  killpoint("chaos.test.point");  // disarmed: a no-op
+  EXPECT_EQ(killpoint_hits("chaos.test.point"), 0);
+
+  arm_killpoint("chaos.test.point", 2);
+  killpoint("chaos.test.point");
+  killpoint("chaos.test.point");
+  EXPECT_EQ(killpoint_hits("chaos.test.point"), 2);
+  EXPECT_THROW(killpoint("chaos.test.point"), KillSignal);
+  // One-shot: once fired, the point is spent.
+  killpoint("chaos.test.point");
+
+  try {
+    arm_killpoint("chaos.test.point");
+    killpoint("chaos.test.point");
+    FAIL() << "armed kill point did not fire";
+  } catch (const KillSignal& signal) {
+    EXPECT_EQ(signal.point, "chaos.test.point");
+  }
+  disarm_killpoints();
+  killpoint("chaos.test.point");
+}
+
+TEST_F(ChaosTest, KillMidWriteLeavesThePreviousFileIntact) {
+  const std::string file = path("state.txt");
+  atomic_write_file(file, "old good state\n");
+
+  arm_killpoint("atomic_write.mid_write");
+  EXPECT_THROW(atomic_write_file(file, "new state, never completed\n"),
+               KillSignal);
+  disarm_killpoints();
+
+  // The tmp file was torn, the final path never touched.
+  const RecoveredRead read = read_checkpoint_with_fallback(file);
+  ASSERT_EQ(read.status, ReadStatus::Ok);
+  EXPECT_EQ(read.payload, "old good state\n");
+  EXPECT_FALSE(read.used_fallback);
+}
+
+TEST_F(ChaosTest, KillAfterBackupRotationRecoversFromTheBackup) {
+  const std::string file = path("state.txt");
+  atomic_write_file(file, "old good state\n");
+
+  // Die after the previous good file rotated to .bak but before the new
+  // file renamed into place: the final path is momentarily absent.
+  arm_killpoint("atomic_write.after_backup");
+  EXPECT_THROW(atomic_write_file(file, "new state\n"), KillSignal);
+  disarm_killpoints();
+
+  EXPECT_FALSE(std::filesystem::exists(file));
+  const RecoveredRead read = read_checkpoint_with_fallback(file);
+  ASSERT_EQ(read.status, ReadStatus::Ok);
+  EXPECT_EQ(read.payload, "old good state\n");
+  EXPECT_TRUE(read.used_fallback);
+  EXPECT_EQ(read.source_path, backup_path(file));
+}
+
+// ---------------------------------------------------------------------------
+// Full-service chaos: a client drives a session with auto-checkpointing
+// while scheduled kills tear the process down at exact instants. After each
+// kill the client recovers exactly like a restarted service would — resume
+// from the newest good checkpoint file, rewind its measurement stream to
+// the recovered label count — and the finished run must be bit-identical
+// to a run that never crashed.
+
+service::SessionSpec chaos_spec() {
+  service::SessionSpec spec;
+  spec.workload = "gesummv";
+  spec.learner.n_init = 6;
+  spec.learner.n_batch = 3;
+  spec.learner.n_max = 15;
+  spec.learner.forest.num_trees = 6;
+  spec.pool_size = 120;
+  spec.seed = 13;
+  return spec;
+}
+
+std::string rng_state(const util::Rng& rng) {
+  std::ostringstream os;
+  rng.save(os);
+  return os.str();
+}
+
+void rng_rewind(util::Rng& rng, const std::string& state) {
+  std::istringstream is(state);
+  rng.load(is);
+}
+
+struct DriveResult {
+  int crashes = 0;
+  bool used_fallback = false;
+  service::SessionStatus status;
+  /// Full serialized session state at the end of the run.
+  std::string final_image;
+};
+
+/// Drives one session to completion, killing and recovering the manager at
+/// each scheduled (kill point, after_hits) instant. An empty schedule is
+/// the uninterrupted control run over the identical code path.
+DriveResult drive_with_crashes(
+    const std::string& dir,
+    std::vector<std::pair<std::string, int>> kill_schedule) {
+  const service::SessionSpec spec = chaos_spec();
+  const std::string ckpt = dir + "/s.ckpt";
+
+  auto manager = std::make_unique<service::SessionManager>();
+  manager->enable_auto_checkpoint(dir, 1);
+  const service::SessionStatus created = manager->create("s", spec);
+  // Baseline checkpoint so even a death on the very first tell recovers.
+  manager->checkpoint_to_file("s", ckpt);
+
+  const auto workload = workloads::make_workload(spec.workload);
+  util::Rng measure_rng(created.measure_seed);
+  // Measurement-stream snapshot per label count — what a persistent client
+  // keeps next to its own state to make recovery deterministic.
+  std::map<std::size_t, std::string> rng_at;
+  std::size_t labeled = 0;
+  rng_at[labeled] = rng_state(measure_rng);
+
+  auto next_kill = kill_schedule.begin();
+  if (next_kill != kill_schedule.end()) {
+    arm_killpoint(next_kill->first, next_kill->second);
+  }
+
+  DriveResult result;
+  std::vector<service::Candidate> batch;
+  std::size_t next = 0;
+  std::size_t batch_start = 0;  // label count when `batch` was asked
+  for (;;) {
+    if (next >= batch.size()) {
+      batch = manager->ask("s");
+      next = 0;
+      batch_start = labeled;
+      if (batch.empty()) break;
+    }
+    const service::Candidate& c = batch[next];
+    const double label = workload->measure(c.config, measure_rng, 1);
+    try {
+      const service::TellOutcome outcome = manager->tell("s", c.config, label);
+      ++next;
+      labeled = outcome.labeled;
+      rng_at[labeled] = rng_state(measure_rng);
+    } catch (const KillSignal&) {
+      // -- the process died here --
+      ++result.crashes;
+      disarm_killpoints();
+      manager.reset();  // whatever was in memory is gone
+
+      manager = std::make_unique<service::SessionManager>();
+      manager->enable_auto_checkpoint(dir, 1);
+      const service::ResumeOutcome recovered =
+          manager->resume_from_file("s", ckpt);
+      result.used_fallback |= recovered.used_fallback;
+      labeled = recovered.status.labeled;
+      rng_rewind(measure_rng, rng_at.at(labeled));
+      if (recovered.status.pending == 0) {
+        // Recovered to a batch boundary: re-ask (the restored RNG state
+        // makes the next ask reproduce the same batch).
+        batch.clear();
+        next = 0;
+      } else {
+        // Recovered mid-batch: replay the lost suffix of this batch.
+        EXPECT_GE(labeled, batch_start);
+        next = labeled - batch_start;
+      }
+      if (++next_kill != kill_schedule.end()) {
+        arm_killpoint(next_kill->first, next_kill->second);
+      }
+    }
+  }
+
+  result.status = manager->status("s");
+  std::ostringstream image;
+  manager->checkpoint("s", image);
+  result.final_image = image.str();
+  return result;
+}
+
+void expect_bit_identical(const DriveResult& chaos,
+                          const DriveResult& control) {
+  EXPECT_EQ(chaos.status.labeled, control.status.labeled);
+  EXPECT_EQ(chaos.status.iteration, control.status.iteration);
+  EXPECT_EQ(chaos.status.pool_remaining, control.status.pool_remaining);
+  // Bit-identical, not approximately equal.
+  EXPECT_EQ(chaos.status.cumulative_cost, control.status.cumulative_cost);
+  EXPECT_EQ(chaos.status.best_observed, control.status.best_observed);
+  EXPECT_TRUE(chaos.status.done);
+  // The strongest form: the complete serialized session state matches.
+  EXPECT_EQ(chaos.final_image, control.final_image);
+}
+
+TEST_F(ChaosTest, SessionKilledMidCheckpointWriteResumesBitIdentically) {
+  const std::string control_dir = path("control");
+  const std::string chaos_dir = path("chaos");
+  std::filesystem::create_directories(control_dir);
+  std::filesystem::create_directories(chaos_dir);
+
+  const DriveResult control = drive_with_crashes(control_dir, {});
+  ASSERT_EQ(control.crashes, 0);
+  ASSERT_EQ(control.status.labeled, chaos_spec().learner.n_max);
+
+  // Die inside the 4th and (after recovery) 7th checkpoint write — torn
+  // tmp files mid cold start and mid strategy batch.
+  const DriveResult chaos = drive_with_crashes(
+      chaos_dir,
+      {{"atomic_write.mid_write", 3}, {"atomic_write.mid_write", 6}});
+  EXPECT_EQ(chaos.crashes, 2);
+  expect_bit_identical(chaos, control);
+}
+
+TEST_F(ChaosTest, SessionKilledMidBatchResumesBitIdentically) {
+  const std::string control_dir = path("control");
+  const std::string chaos_dir = path("chaos");
+  std::filesystem::create_directories(control_dir);
+  std::filesystem::create_directories(chaos_dir);
+
+  const DriveResult control = drive_with_crashes(control_dir, {});
+
+  // Die after the tell mutated the in-memory session but before its
+  // checkpoint was written: first at the 8th tell (mid-way through the
+  // first strategy batch), then at the 7th tell after recovery (mid-way
+  // through the final batch). The label each dying tell applied is lost
+  // with the process and must be re-measured on replay.
+  const DriveResult chaos = drive_with_crashes(
+      chaos_dir, {{"session_manager.tell.applied", 7},
+                  {"session_manager.tell.applied", 6}});
+  EXPECT_EQ(chaos.crashes, 2);
+  expect_bit_identical(chaos, control);
+}
+
+TEST_F(ChaosTest, CorruptNewestCheckpointFallsBackToThePreviousGood) {
+  service::SessionManager manager;
+  manager.enable_auto_checkpoint(dir_, 1);
+  const service::SessionStatus created = manager.create("s", chaos_spec());
+  const auto workload = workloads::make_workload("gesummv");
+  util::Rng measure_rng(created.measure_seed);
+
+  const auto batch = manager.ask("s");
+  ASSERT_GE(batch.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    manager.tell("s", batch[i].config,
+                 workload->measure(batch[i].config, measure_rng, 1));
+  }
+
+  // Tear the newest checkpoint (labeled=3); its .bak holds labeled=2.
+  const std::string ckpt = path("s.ckpt");
+  std::filesystem::resize_file(ckpt, std::filesystem::file_size(ckpt) / 2);
+
+  service::SessionManager restarted;
+  const service::ResumeOutcome recovered =
+      restarted.resume_from_file("s", ckpt);
+  EXPECT_TRUE(recovered.used_fallback);
+  EXPECT_EQ(recovered.source_path, backup_path(ckpt));
+  EXPECT_EQ(recovered.status.labeled, 2u);
+
+  // With the backup torn as well, recovery correctly refuses.
+  std::filesystem::resize_file(backup_path(ckpt),
+                               std::filesystem::file_size(backup_path(ckpt)) /
+                                   2);
+  service::SessionManager no_luck;
+  EXPECT_THROW(no_luck.resume_from_file("s2", ckpt), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pwu::util

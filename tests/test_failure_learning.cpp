@@ -1,0 +1,395 @@
+// Failure-aware active learning: the FailurePolicy backoff schedule, the
+// session's tell_failure state machine (retry/drop/censor), and the
+// acceptance property — a full learning run under an injected FaultModel on
+// real SPAPT workloads completes with failed configurations never
+// re-proposed, retries within budget, timeout cost charged to CC, and no
+// censored label in the RF training set.
+
+#include "core/active_learner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/sampling_strategy.hpp"
+#include "service/ask_tell_session.hpp"
+#include "sim/executor.hpp"
+#include "sim/fault_model.hpp"
+#include "space/pool.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace pwu::core {
+namespace {
+
+using service::AskTellSession;
+using service::Candidate;
+using service::FailureAction;
+using service::StrategySpec;
+
+TEST(FailurePolicy, BackoffDoublesFromBaseAndCaps) {
+  FailurePolicy policy;
+  policy.backoff_base_seconds = 0.5;
+  policy.backoff_cap_seconds = 8.0;
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(1), 0.5);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(2), 1.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(3), 2.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(4), 4.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(5), 8.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(6), 8.0);  // capped
+}
+
+class TellFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload_ = workloads::make_quadratic_bowl(4, 8, 0.1, /*noisy=*/true);
+    util::Rng rng(11);
+    pool_ = space::make_pool_split(workload_->space(), 300, 0, rng).pool;
+  }
+
+  LearnerConfig small_config() {
+    LearnerConfig cfg;
+    cfg.n_init = 8;
+    cfg.n_batch = 2;
+    cfg.n_max = 24;
+    cfg.forest.num_trees = 10;
+    return cfg;
+  }
+
+  workloads::WorkloadPtr workload_;
+  std::vector<space::Configuration> pool_;
+};
+
+TEST_F(TellFailureTest, CrashRetriesWithBackoffThenDrops) {
+  AskTellSession session(workload_->space(), StrategySpec{}, small_config(),
+                         pool_, /*seed=*/5);
+  const auto batch = session.ask();
+  ASSERT_FALSE(batch.empty());
+  const auto& victim = batch.front().config;
+  const FailurePolicy& policy = session.config().failure;
+
+  double expected_cost = 0.0;
+  for (std::size_t attempt = 1; attempt <= policy.max_retries; ++attempt) {
+    const auto outcome =
+        session.tell_failure(victim, sim::FailureKind::Crash, 0.25);
+    EXPECT_EQ(outcome.action, FailureAction::Retry);
+    EXPECT_EQ(outcome.attempts, attempt);
+    EXPECT_DOUBLE_EQ(outcome.backoff_seconds,
+                     policy.backoff_seconds(attempt));
+    expected_cost += 0.25 + outcome.backoff_seconds;
+    // Still outstanding: the candidate must be re-measured, not dropped.
+    EXPECT_FALSE(session.is_failed(victim));
+    EXPECT_EQ(session.pending_count(), batch.size());
+  }
+  EXPECT_EQ(session.transient_retries(), policy.max_retries);
+
+  // One failure past the budget drops it into the failed set.
+  const auto dropped =
+      session.tell_failure(victim, sim::FailureKind::Crash, 0.25);
+  EXPECT_EQ(dropped.action, FailureAction::Dropped);
+  EXPECT_EQ(dropped.attempts, policy.max_retries + 1);
+  EXPECT_DOUBLE_EQ(dropped.backoff_seconds, 0.0);
+  expected_cost += 0.25;
+  EXPECT_TRUE(session.is_failed(victim));
+  ASSERT_EQ(session.failed().size(), 1u);
+  EXPECT_EQ(session.failed().front().kind, sim::FailureKind::Crash);
+  EXPECT_EQ(session.failed().front().attempts, policy.max_retries + 1);
+  EXPECT_EQ(session.pending_count(), batch.size() - 1);
+  EXPECT_NEAR(session.cumulative_cost(), expected_cost, 1e-12);
+  EXPECT_NEAR(session.failure_cost(), expected_cost, 1e-12);
+  // No failure path ever writes a training label.
+  EXPECT_EQ(session.num_labeled(), 0u);
+}
+
+TEST_F(TellFailureTest, CompileErrorDropsImmediately) {
+  AskTellSession session(workload_->space(), StrategySpec{}, small_config(),
+                         pool_, /*seed=*/6);
+  const auto batch = session.ask();
+  const auto outcome = session.tell_failure(
+      batch.front().config, sim::FailureKind::CompileError, 0.0);
+  EXPECT_EQ(outcome.action, FailureAction::Dropped);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_TRUE(session.is_failed(batch.front().config));
+  EXPECT_TRUE(session.censored().empty());
+  EXPECT_DOUBLE_EQ(session.cumulative_cost(), 0.0);
+}
+
+TEST_F(TellFailureTest, TimeoutChargesCostAndRecordsCensoredObservation) {
+  AskTellSession session(workload_->space(), StrategySpec{}, small_config(),
+                         pool_, /*seed=*/7);
+  const auto batch = session.ask();
+  const auto& slow = batch.front().config;
+  const auto outcome =
+      session.tell_failure(slow, sim::FailureKind::Timeout, 30.0);
+  EXPECT_EQ(outcome.action, FailureAction::Dropped);
+  EXPECT_TRUE(session.is_failed(slow));
+  ASSERT_EQ(session.censored().size(), 1u);
+  EXPECT_EQ(session.censored().front().config, slow);
+  EXPECT_DOUBLE_EQ(session.censored().front().lower_bound, 30.0);
+  // The harness timeout is real wall-clock the tuner paid.
+  EXPECT_DOUBLE_EQ(session.cumulative_cost(), 30.0);
+  EXPECT_DOUBLE_EQ(session.failure_cost(), 30.0);
+  // Censored observations carry no label and never enter best tracking.
+  EXPECT_EQ(session.num_labeled(), 0u);
+  EXPECT_TRUE(std::isnan(session.best_observed()));
+}
+
+TEST_F(TellFailureTest, RejectsUnknownCandidatesAndKindNone) {
+  AskTellSession session(workload_->space(), StrategySpec{}, small_config(),
+                         pool_, /*seed=*/8);
+  const auto batch = session.ask();
+  EXPECT_THROW(
+      session.tell_failure(batch.front().config, sim::FailureKind::None),
+      std::invalid_argument);
+  util::Rng rng(99);
+  space::Configuration stranger = workload_->space().random_config(rng);
+  while (std::any_of(batch.begin(), batch.end(), [&](const Candidate& c) {
+    return c.config == stranger;
+  })) {
+    stranger = workload_->space().random_config(rng);
+  }
+  EXPECT_THROW(session.tell_failure(stranger, sim::FailureKind::Crash),
+               std::invalid_argument);
+}
+
+// The acceptance scenario, observable end to end: drive a session over a
+// real SPAPT workload with an injected FaultModel and check every
+// robustness invariant along the way.
+void drive_spapt_with_faults(const std::string& workload_name,
+                             std::uint64_t seed) {
+  SCOPED_TRACE(workload_name);
+  const auto workload = workloads::make_workload(workload_name);
+
+  sim::FaultConfig fc;
+  fc.compile_fail_fraction = 0.10;
+  fc.crash_fraction = 0.10;
+  fc.crash_probability = 0.5;
+  fc.timeout_fraction = 0.05;
+  fc.timeout_seconds = 30.0;
+  fc.seed = seed;
+  const sim::FaultModel faults(fc);
+  sim::Executor executor(1, &faults);
+
+  LearnerConfig cfg;
+  cfg.n_init = 8;
+  cfg.n_batch = 2;
+  cfg.n_max = 24;
+  cfg.forest.num_trees = 10;
+
+  util::Rng rng(seed);
+  auto pool = space::make_pool_split(workload->space(), 300, 0, rng).pool;
+  AskTellSession session(workload->space(), StrategySpec{}, cfg, pool, seed);
+  util::Rng measure_rng(rng.next_u64());
+
+  std::set<std::vector<std::uint32_t>> proposed;
+  const auto levels_of = [](const space::Configuration& c) {
+    const auto levels = c.levels();
+    return std::vector<std::uint32_t>(levels.begin(), levels.end());
+  };
+
+  while (!session.done()) {
+    auto batch = session.ask();
+    if (batch.empty()) break;
+    for (const Candidate& c : batch) {
+      // Never re-proposed: neither a failed nor an already-asked config
+      // may ever come out of ask() again.
+      EXPECT_FALSE(session.is_failed(c.config));
+      EXPECT_TRUE(proposed.insert(levels_of(c.config)).second);
+    }
+    while (!batch.empty()) {
+      std::vector<Candidate> retry;
+      for (const Candidate& c : batch) {
+        const auto measured = executor.measure(*workload, c.config,
+                                               measure_rng);
+        if (measured.ok()) {
+          session.tell(c.config, measured.time);
+          continue;
+        }
+        const auto outcome =
+            session.tell_failure(c.config, measured.status, measured.cost);
+        // Retries stay within the configured budget.
+        EXPECT_LE(outcome.attempts, cfg.failure.max_retries + 1);
+        if (outcome.action == FailureAction::Retry) retry.push_back(c);
+      }
+      batch = std::move(retry);
+    }
+  }
+
+  // The run completed its budget despite the failures.
+  EXPECT_EQ(session.num_labeled(), cfg.n_max);
+  EXPECT_GT(session.failed().size(), 0u);  // 25% fault mass over 80+ asks
+
+  // Failed and censored configurations never reached the training set.
+  std::set<std::vector<std::uint32_t>> trained;
+  for (const auto& c : session.train_configs()) {
+    trained.insert(levels_of(c));
+  }
+  EXPECT_EQ(trained.size(), session.train_configs().size());
+  for (const auto& f : session.failed()) {
+    EXPECT_EQ(trained.count(levels_of(f.config)), 0u);
+  }
+  for (const auto& censored : session.censored()) {
+    EXPECT_EQ(trained.count(levels_of(censored.config)), 0u);
+    EXPECT_DOUBLE_EQ(censored.lower_bound, fc.timeout_seconds);
+  }
+  EXPECT_EQ(session.train_labels().size(), session.train_configs().size());
+
+  // Cost accounting: CC = sum of labels + every failure charge, and each
+  // timeout contributed its full harness timeout to the failure side.
+  const double label_cost =
+      std::accumulate(session.train_labels().begin(),
+                      session.train_labels().end(), 0.0);
+  EXPECT_NEAR(session.cumulative_cost(),
+              label_cost + session.failure_cost(), 1e-6);
+  EXPECT_GE(session.failure_cost(),
+            fc.timeout_seconds * static_cast<double>(
+                                     session.censored().size()));
+}
+
+TEST(FailureLearning, SpaptAtaxCompletesUnderFaults) {
+  drive_spapt_with_faults("atax", 17);
+}
+
+TEST(FailureLearning, SpaptGesummvCompletesUnderFaults) {
+  drive_spapt_with_faults("gesummv", 29);
+}
+
+TEST(FailureLearning, RunWithExecutorReportsFailureAccounting) {
+  const auto workload = workloads::make_workload("atax");
+  sim::FaultConfig fc;
+  fc.compile_fail_fraction = 0.10;
+  fc.crash_fraction = 0.10;
+  fc.crash_probability = 0.5;
+  fc.timeout_fraction = 0.05;
+  fc.seed = 23;
+  const sim::FaultModel faults(fc);
+  sim::Executor executor(1, &faults);
+
+  LearnerConfig cfg;
+  cfg.n_init = 8;
+  cfg.n_batch = 2;
+  cfg.n_max = 24;
+  cfg.forest.num_trees = 10;
+  cfg.eval_every = 4;
+
+  util::Rng rng(31);
+  auto split = space::make_pool_split(workload->space(), 300, 120, rng);
+  const TestSet test = build_test_set(*workload, split.test, rng);
+  const StrategyPtr strategy = make_strategy("pwu", 0.05);
+  const ActiveLearner learner(*workload, cfg);
+  const LearnerResult result = learner.run_with_executor(
+      *strategy, split.pool, test, executor, rng);
+
+  EXPECT_EQ(result.train_labels.size(), cfg.n_max);
+  EXPECT_GT(result.failed_configs, 0u);
+  EXPECT_GT(result.failure_cost, 0.0);
+  ASSERT_FALSE(result.trace.empty());
+  const double label_cost = std::accumulate(
+      result.train_labels.begin(), result.train_labels.end(), 0.0);
+  EXPECT_NEAR(result.trace.back().cumulative_cost,
+              label_cost + result.failure_cost, 1e-6);
+  // The executor saw every failure the session recorded, plus retries.
+  EXPECT_GE(executor.failed_measurements(),
+            result.failed_configs);
+  EXPECT_NE(result.model, nullptr);
+}
+
+TEST(FailureLearning, HealthyExecutorMatchesPlainRunExactly) {
+  const auto workload = workloads::make_workload("gesummv");
+  LearnerConfig cfg;
+  cfg.n_init = 8;
+  cfg.n_batch = 2;
+  cfg.n_max = 20;
+  cfg.forest.num_trees = 8;
+  cfg.eval_every = 4;
+
+  util::Rng split_rng(41);
+  const auto split =
+      space::make_pool_split(workload->space(), 250, 100, split_rng);
+  const TestSet test = build_test_set(*workload, split.test, split_rng);
+  const StrategyPtr strategy = make_strategy("pwu", 0.05);
+  const ActiveLearner learner(*workload, cfg);
+
+  util::Rng rng_plain(55), rng_exec(55);
+  const LearnerResult plain =
+      learner.run(*strategy, split.pool, test, rng_plain);
+  sim::Executor executor(cfg.measure_repetitions);
+  const LearnerResult viaexec = learner.run_with_executor(
+      *strategy, split.pool, test, executor, rng_exec);
+
+  ASSERT_EQ(viaexec.train_labels.size(), plain.train_labels.size());
+  for (std::size_t i = 0; i < plain.train_labels.size(); ++i) {
+    EXPECT_EQ(viaexec.train_labels[i], plain.train_labels[i]) << i;
+    EXPECT_EQ(viaexec.train_configs[i], plain.train_configs[i]) << i;
+  }
+  EXPECT_EQ(viaexec.failed_configs, 0u);
+  EXPECT_EQ(viaexec.transient_retries, 0u);
+  EXPECT_DOUBLE_EQ(viaexec.failure_cost, 0.0);
+}
+
+TEST_F(TellFailureTest, FailureStateSurvivesCheckpointRoundTrip) {
+  AskTellSession session(workload_->space(), StrategySpec{}, small_config(),
+                         pool_, /*seed=*/61);
+  util::Rng measure_rng(62);
+
+  // First batch: one crash retry in flight, one timeout, one compile
+  // error, the rest labeled — a checkpoint mid-battle.
+  auto batch = session.ask();
+  ASSERT_GE(batch.size(), 4u);
+  session.tell_failure(batch[0].config, sim::FailureKind::Crash, 0.2);
+  session.tell_failure(batch[1].config, sim::FailureKind::Timeout, 30.0);
+  session.tell_failure(batch[2].config, sim::FailureKind::CompileError, 0.0);
+  for (std::size_t i = 3; i < batch.size(); ++i) {
+    session.tell(batch[i].config,
+                 workload_->measure(batch[i].config, measure_rng, 1));
+  }
+
+  std::ostringstream image;
+  session.save(image);
+  std::istringstream in(image.str());
+  AskTellSession restored = AskTellSession::restore(workload_->space(), in);
+
+  // The failure state round-trips exactly...
+  EXPECT_EQ(restored.failed().size(), session.failed().size());
+  EXPECT_EQ(restored.censored().size(), session.censored().size());
+  EXPECT_DOUBLE_EQ(restored.failure_cost(), session.failure_cost());
+  EXPECT_EQ(restored.transient_retries(), session.transient_retries());
+  EXPECT_TRUE(restored.is_failed(batch[1].config));
+  EXPECT_TRUE(restored.is_failed(batch[2].config));
+  // ...including the in-flight retry counter of the pending crash.
+  std::ostringstream image2;
+  restored.save(image2);
+  EXPECT_EQ(image.str(), image2.str());
+
+  // Both copies, driven identically, finish bit-identically.
+  util::Rng rng_a(63), rng_b(63);
+  const space::Configuration crasher = batch[0].config;
+  const auto finish = [&](AskTellSession& s, util::Rng& mrng) {
+    // The only candidate still outstanding is the crash-retry; let it
+    // succeed now, then drive the rest of the session normally.
+    if (s.pending_count() > 0) {
+      s.tell(crasher, workload_->measure(crasher, mrng, 1));
+    }
+    while (!s.done()) {
+      for (const Candidate& c : s.ask()) {
+        s.tell(c.config, workload_->measure(c.config, mrng, 1));
+      }
+    }
+  };
+  finish(session, rng_a);
+  finish(restored, rng_b);
+  EXPECT_EQ(session.train_labels(), restored.train_labels());
+  EXPECT_EQ(session.cumulative_cost(), restored.cumulative_cost());
+}
+
+}  // namespace
+}  // namespace pwu::core

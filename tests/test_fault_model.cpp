@@ -1,0 +1,223 @@
+// FaultModel — the seeded config -> failure-region hash — and the
+// Executor's failure semantics: what each region costs, what it returns,
+// and that the whole thing replays bit-identically from a seeded stream.
+
+#include "sim/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/executor.hpp"
+#include "space/pool.hpp"
+#include "util/rng.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace pwu::sim {
+namespace {
+
+FaultConfig lively_config(std::uint64_t seed = 7) {
+  FaultConfig fc;
+  fc.compile_fail_fraction = 0.10;
+  fc.crash_fraction = 0.10;
+  fc.crash_probability = 0.5;
+  fc.timeout_fraction = 0.05;
+  fc.timeout_seconds = 30.0;
+  fc.seed = seed;
+  return fc;
+}
+
+std::vector<space::Configuration> sample_configs(std::size_t count,
+                                                 std::uint64_t seed = 3) {
+  auto workload = workloads::make_quadratic_bowl(4, 8, 0.1, /*noisy=*/false);
+  util::Rng rng(seed);
+  return space::sample_unique(workload->space(), count, rng);
+}
+
+TEST(FailureKind, StringNamesRoundTrip) {
+  for (FailureKind kind : {FailureKind::None, FailureKind::CompileError,
+                           FailureKind::Crash, FailureKind::Timeout}) {
+    const auto parsed = failure_kind_from_string(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(failure_kind_from_string("exploded").has_value());
+  EXPECT_FALSE(failure_kind_from_string("").has_value());
+}
+
+TEST(FaultModel, DefaultModelIsAllHealthy) {
+  const FaultModel model;
+  EXPECT_TRUE(model.all_healthy());
+  for (const auto& config : sample_configs(50)) {
+    EXPECT_EQ(model.region(config), FailureKind::None);
+  }
+}
+
+TEST(FaultModel, ConstructorValidatesItsConfig) {
+  auto bad = lively_config();
+  bad.compile_fail_fraction = -0.1;
+  EXPECT_THROW(FaultModel{bad}, std::invalid_argument);
+  bad = lively_config();
+  bad.compile_fail_fraction = 0.5;
+  bad.crash_fraction = 0.4;
+  bad.timeout_fraction = 0.2;  // sums to 1.1
+  EXPECT_THROW(FaultModel{bad}, std::invalid_argument);
+  bad = lively_config();
+  bad.crash_probability = 1.5;
+  EXPECT_THROW(FaultModel{bad}, std::invalid_argument);
+  bad = lively_config();
+  bad.timeout_seconds = 0.0;
+  EXPECT_THROW(FaultModel{bad}, std::invalid_argument);
+}
+
+TEST(FaultModel, RegionIsAPureFunctionOfConfigAndSeed) {
+  const FaultModel a(lively_config(7));
+  const FaultModel b(lively_config(7));
+  const FaultModel other_seed(lively_config(8));
+  bool any_seed_difference = false;
+  for (const auto& config : sample_configs(200)) {
+    const FailureKind kind = a.region(config);
+    // Stable across calls and across independently built models.
+    EXPECT_EQ(a.region(config), kind);
+    EXPECT_EQ(b.region(config), kind);
+    const double u = a.hash_unit(config);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    any_seed_difference |= (other_seed.region(config) != kind);
+  }
+  // A different salt must actually move the regions.
+  EXPECT_TRUE(any_seed_difference);
+}
+
+TEST(FaultModel, RegionPartitionsTheHashInOrder) {
+  const FaultConfig fc = lively_config();
+  const FaultModel model(fc);
+  for (const auto& config : sample_configs(500)) {
+    const double u = model.hash_unit(config);
+    FailureKind expected = FailureKind::None;
+    if (u < fc.compile_fail_fraction) {
+      expected = FailureKind::CompileError;
+    } else if (u < fc.compile_fail_fraction + fc.crash_fraction) {
+      expected = FailureKind::Crash;
+    } else if (u < fc.compile_fail_fraction + fc.crash_fraction +
+                       fc.timeout_fraction) {
+      expected = FailureKind::Timeout;
+    }
+    EXPECT_EQ(model.region(config), expected);
+  }
+}
+
+TEST(FaultModel, RegionFractionsRoughlyMatchTheConfig) {
+  const FaultConfig fc = lively_config();
+  const FaultModel model(fc);
+  std::map<FailureKind, int> counts;
+  const auto configs = sample_configs(4000);
+  for (const auto& config : configs) ++counts[model.region(config)];
+  const double n = static_cast<double>(configs.size());
+  EXPECT_NEAR(counts[FailureKind::CompileError] / n,
+              fc.compile_fail_fraction, 0.02);
+  EXPECT_NEAR(counts[FailureKind::Crash] / n, fc.crash_fraction, 0.02);
+  EXPECT_NEAR(counts[FailureKind::Timeout] / n, fc.timeout_fraction, 0.015);
+}
+
+TEST(Executor, CompileErrorCostsNothingAndYieldsNoLabel) {
+  auto workload = workloads::make_quadratic_bowl(4, 8, 0.1, /*noisy=*/false);
+  FaultConfig fc = lively_config();
+  fc.compile_fail_fraction = 1.0;  // the whole space fails to compile
+  fc.crash_fraction = fc.timeout_fraction = 0.0;
+  const FaultModel model(fc);
+  Executor executor(5, &model);
+  util::Rng rng(11);
+  const auto result =
+      executor.measure(*workload, workload->space().random_config(rng), rng);
+  EXPECT_EQ(result.status, FailureKind::CompileError);
+  EXPECT_TRUE(std::isnan(result.time));
+  EXPECT_EQ(result.cost, 0.0);
+  EXPECT_EQ(executor.total_runs(), 0u);
+  EXPECT_EQ(executor.failed_measurements(), 1u);
+  EXPECT_EQ(executor.total_cost_seconds(), 0.0);
+}
+
+TEST(Executor, TimeoutChargesTheFullHarnessTimeout) {
+  auto workload = workloads::make_quadratic_bowl(4, 8, 0.1, /*noisy=*/false);
+  FaultConfig fc = lively_config();
+  fc.timeout_fraction = 1.0;
+  fc.compile_fail_fraction = fc.crash_fraction = 0.0;
+  const FaultModel model(fc);
+  Executor executor(5, &model);
+  util::Rng rng(12);
+  const auto result =
+      executor.measure(*workload, workload->space().random_config(rng), rng);
+  EXPECT_EQ(result.status, FailureKind::Timeout);
+  EXPECT_TRUE(std::isnan(result.time));
+  // The tuner pays the timeout in full — once, not per repetition.
+  EXPECT_DOUBLE_EQ(result.cost, fc.timeout_seconds);
+  EXPECT_DOUBLE_EQ(executor.total_cost_seconds(), fc.timeout_seconds);
+  EXPECT_EQ(executor.failed_measurements(), 1u);
+}
+
+TEST(Executor, CrashChargesAPartialRunAndIsTransient) {
+  auto workload = workloads::make_quadratic_bowl(4, 8, 0.1, /*noisy=*/false);
+  FaultConfig fc = lively_config();
+  fc.crash_fraction = 1.0;
+  fc.crash_probability = 1.0;  // every run crashes
+  fc.compile_fail_fraction = fc.timeout_fraction = 0.0;
+  const FaultModel model(fc);
+  Executor executor(5, &model);
+  util::Rng rng(13);
+  const auto config = workload->space().random_config(rng);
+  const auto result = executor.measure(*workload, config, rng);
+  EXPECT_EQ(result.status, FailureKind::Crash);
+  EXPECT_TRUE(std::isnan(result.time));
+  // A crashed run burns part of one run, never the full repetition sweep.
+  EXPECT_GT(result.cost, 0.0);
+  EXPECT_LE(result.cost, workload->base_time(config) * 10.0);
+
+  // With crash probability 0 the same region always measures cleanly.
+  fc.crash_probability = 0.0;
+  const FaultModel calm(fc);
+  Executor healthy_executor(5, &calm);
+  const auto ok = healthy_executor.measure(*workload, config, rng);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NEAR(ok.time, workload->base_time(config), 1e-12);
+}
+
+TEST(Executor, SeededStreamReplaysBitIdentically) {
+  auto workload = workloads::make_quadratic_bowl(4, 8, 0.1, /*noisy=*/true);
+  const FaultModel model(lively_config());
+  const auto configs = sample_configs(60);
+
+  const auto run = [&](std::vector<MeasurementResult>& out) {
+    Executor executor(3, &model);
+    util::Rng rng(21);
+    for (const auto& config : configs) {
+      out.push_back(executor.measure(*workload, config, rng));
+    }
+    return executor.total_cost_seconds();
+  };
+  std::vector<MeasurementResult> first, second;
+  const double cost_a = run(first);
+  const double cost_b = run(second);
+  EXPECT_EQ(cost_a, cost_b);
+  ASSERT_EQ(first.size(), second.size());
+  bool saw_failure = false, saw_success = false;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].status, second[i].status);
+    EXPECT_EQ(first[i].cost, second[i].cost);
+    if (first[i].ok()) {
+      saw_success = true;
+      EXPECT_EQ(first[i].time, second[i].time);
+    } else {
+      saw_failure = true;
+    }
+  }
+  // The fractions above make both outcomes near-certain over 60 configs.
+  EXPECT_TRUE(saw_failure);
+  EXPECT_TRUE(saw_success);
+}
+
+}  // namespace
+}  // namespace pwu::sim

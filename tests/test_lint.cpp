@@ -42,9 +42,9 @@ std::size_t count_rule(const Report& report, const std::string& rule) {
 
 TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
   const Report report = scan();
-  EXPECT_EQ(report.files_scanned, 15u);
+  EXPECT_EQ(report.files_scanned, 18u);
   EXPECT_EQ(report.baselined, 0u);
-  EXPECT_EQ(report.active_count(), 9u);
+  EXPECT_EQ(report.active_count(), 10u);
 
   // Hits, one per fixture trap.
   EXPECT_TRUE(has_finding(report, "no-cout-logging",
@@ -65,12 +65,16 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
                           "src/rf/raw_rand_hit.cpp", 5));
   EXPECT_TRUE(has_finding(report, "no-unlocked-mutable",
                           "src/service/guarded.cpp", 11));
+  EXPECT_TRUE(has_finding(report, "atomic-checkpoint",
+                          "src/service/ckpt_ofstream_hit.cpp", 5));
 
   // Misses: clean fixtures and path exemptions contribute nothing.
   EXPECT_EQ(count_rule(report, "no-raw-rand"), 1u);   // src/util/rng.cpp exempt
   EXPECT_EQ(count_rule(report, "no-cout-logging"), 2u);  // tools/ exempt
   EXPECT_EQ(count_rule(report, "no-raw-new"), 2u);    // `= delete` is not a hit
   EXPECT_EQ(count_rule(report, "header-hygiene"), 2u);  // good_header.hpp clean
+  // atomic_write_file call sites are clean; only the raw ofstream fires.
+  EXPECT_EQ(count_rule(report, "atomic-checkpoint"), 1u);
   // Tokens inside strings, raw strings, and comments never fire.
   for (const Finding& f : report.findings) {
     EXPECT_NE(f.file, "src/core/tokens_in_literals.cpp") << f.rule;
@@ -78,9 +82,11 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
 
   // Suppressions: allow (wallclock_suppressed) + allow-next-line (one of the
   // two couts in cout_next_line) + allow-file (two wallclock reads in
-  // allow_file.cpp). Same-line allows on no-unlocked-mutable fields are
-  // skipped before matching, so guarded.cpp's suppressed_add adds nothing.
-  EXPECT_EQ(report.suppressed, 4u);
+  // allow_file.cpp) + allow (ckpt_tool_allowed's ofstream — which also
+  // proves tools/ is inside atomic-checkpoint's scope). Same-line allows on
+  // no-unlocked-mutable fields are skipped before matching, so guarded.cpp's
+  // suppressed_add adds nothing.
+  EXPECT_EQ(report.suppressed, 5u);
 
   // Deterministic ordering: sorted by (file, line, rule).
   const auto before = [](const Finding& a, const Finding& b) {
@@ -92,7 +98,7 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
 
 TEST(PwuLint, BaselineRoundTripGrandfathersEveryFinding) {
   const Report dirty = scan();
-  ASSERT_EQ(dirty.active_count(), 9u);
+  ASSERT_EQ(dirty.active_count(), 10u);
 
   const std::string path = testing::TempDir() + "pwu_lint_test.baseline";
   {
@@ -104,8 +110,8 @@ TEST(PwuLint, BaselineRoundTripGrandfathersEveryFinding) {
   Options options;
   options.baseline_path = path;
   const Report clean = scan(options);
-  EXPECT_EQ(clean.findings.size(), 9u);  // still visible...
-  EXPECT_EQ(clean.baselined, 9u);        // ...but all grandfathered
+  EXPECT_EQ(clean.findings.size(), 10u);  // still visible...
+  EXPECT_EQ(clean.baselined, 10u);        // ...but all grandfathered
   EXPECT_EQ(clean.active_count(), 0u);   // so the run passes
   std::remove(path.c_str());
 }
@@ -115,7 +121,7 @@ TEST(PwuLint, MissingBaselineFileActsAsEmpty) {
   options.baseline_path = testing::TempDir() + "does_not_exist.baseline";
   const Report report = scan(options);
   EXPECT_EQ(report.baselined, 0u);
-  EXPECT_EQ(report.active_count(), 9u);
+  EXPECT_EQ(report.active_count(), 10u);
 }
 
 TEST(PwuLint, RulesFilterRestrictsTheScan) {
@@ -151,8 +157,9 @@ TEST(PwuLint, CatalogListsEveryRuleOnce) {
   std::sort(names.begin(), names.end());
   EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
   const std::vector<std::string> expected = {
-      "header-hygiene",    "no-cout-logging", "no-raw-new",
-      "no-raw-rand",       "no-unlocked-mutable", "no-wallclock"};
+      "atomic-checkpoint", "header-hygiene",      "no-cout-logging",
+      "no-raw-new",        "no-raw-rand",         "no-unlocked-mutable",
+      "no-wallclock"};
   EXPECT_EQ(names, expected);
 }
 
@@ -161,14 +168,14 @@ TEST(PwuLint, JsonAndTextOutputsCarryTheFindings) {
   std::ostringstream text;
   print_text(text, report);
   EXPECT_NE(text.str().find("no-raw-rand"), std::string::npos);
-  EXPECT_NE(text.str().find("9 finding(s)"), std::string::npos);
+  EXPECT_NE(text.str().find("10 finding(s)"), std::string::npos);
 
   std::ostringstream json;
   print_json(json, report);
   EXPECT_EQ(json.str().front(), '{');
   EXPECT_NE(json.str().find("\"findings\""), std::string::npos);
   EXPECT_NE(json.str().find("\"no-unlocked-mutable\""), std::string::npos);
-  EXPECT_NE(json.str().find("\"suppressed\":4"), std::string::npos);
+  EXPECT_NE(json.str().find("\"suppressed\":5"), std::string::npos);
 }
 
 }  // namespace

@@ -73,8 +73,10 @@ TEST(Executor, AveragesRepetitionsAndAccountsCost) {
   const double base = workload->base_time(config);
 
   Executor executor(35);
-  const double measured = executor.measure(*workload, config, rng);
-  EXPECT_NEAR(measured, base, 1e-12);
+  const MeasurementResult measured = executor.measure(*workload, config, rng);
+  ASSERT_TRUE(measured.ok());
+  EXPECT_NEAR(measured.time, base, 1e-12);
+  EXPECT_NEAR(measured.cost, 35.0 * base, 1e-9);
   EXPECT_NEAR(executor.total_cost_seconds(), 35.0 * base, 1e-9);
   EXPECT_EQ(executor.total_runs(), 35u);
   EXPECT_EQ(executor.total_measurements(), 1u);
@@ -91,8 +93,8 @@ TEST(Executor, RepetitionAveragingSuppressesNoise) {
   double err_one = 0.0, err_many = 0.0;
   const int trials = 300;
   for (int t = 0; t < trials; ++t) {
-    err_one += std::abs(one.measure(*workload, config, rng) - base);
-    err_many += std::abs(many.measure(*workload, config, rng) - base);
+    err_one += std::abs(one.measure(*workload, config, rng).time - base);
+    err_many += std::abs(many.measure(*workload, config, rng).time - base);
   }
   EXPECT_LT(err_many, err_one * 0.5);
 }

@@ -455,6 +455,28 @@ void rule_no_raw_new(Context& ctx) {
   }
 }
 
+// ---- atomic-checkpoint -----------------------------------------------------
+
+/// Persistence discipline: code that writes checkpoints or other
+/// must-not-be-torn files (src/service, src/core, src/rf, src/sim, tools)
+/// must not open a final path with std::ofstream — a crash mid-write leaves
+/// a torn file with no fallback. util::atomic_write_file (tmp + CRC footer
+/// + fsync + rename) is the one sanctioned final-path writer.
+void rule_atomic_checkpoint(Context& ctx) {
+  const std::string& rel = ctx.file().rel_path;
+  const bool scoped = path_in(rel, "src/service/") ||
+                      path_in(rel, "src/core/") || path_in(rel, "src/rf/") ||
+                      path_in(rel, "src/sim/") || path_in(rel, "tools/");
+  if (!scoped) return;
+  for (std::size_t li = 0; li < ctx.file().code.size(); ++li) {
+    if (has_token(ctx.file().code[li], "ofstream")) {
+      ctx.report("atomic-checkpoint", li + 1,
+                 "direct std::ofstream in persistence code; write final "
+                 "paths through util::atomic_write_file");
+    }
+  }
+}
+
 // ---- no-unlocked-mutable ---------------------------------------------------
 
 /// Heuristic lock-discipline check over guarded-by annotated fields.
@@ -584,6 +606,9 @@ const std::vector<RuleInfo>& rule_catalog() {
        "no direct console output in src/ outside util/logging"},
       {"header-hygiene", "#pragma once required; no 'using namespace' in headers"},
       {"no-raw-new", "no owning new/delete outside RAII types"},
+      {"atomic-checkpoint",
+       "persistence code writes final paths via util::atomic_write_file, "
+       "never a direct std::ofstream"},
       {"no-unlocked-mutable",
        "guarded-by annotated fields only touched under a lock"},
   };
@@ -673,6 +698,7 @@ Report run(const std::string& root, const Options& options) {
     if (rule_on("no-cout-logging")) rule_no_cout_logging(ctx);
     if (rule_on("header-hygiene")) rule_header_hygiene(ctx);
     if (rule_on("no-raw-new")) rule_no_raw_new(ctx);
+    if (rule_on("atomic-checkpoint")) rule_atomic_checkpoint(ctx);
     if (rule_on("no-unlocked-mutable")) {
       const auto it = guarded_by_stem.find(file_stem(files[i].rel_path));
       if (it != guarded_by_stem.end()) {

@@ -77,7 +77,8 @@ int main(int argc, char** argv) {
   try {
     const pwu::lint::Report report = pwu::lint::run(root, options);
     if (!write_baseline_path.empty()) {
-      std::ofstream os(write_baseline_path);
+      // A baseline is regenerable developer state, not a checkpoint.
+      std::ofstream os(write_baseline_path);  // pwu-lint: allow(atomic-checkpoint)
       if (!os) {
         std::cerr << "pwu_lint: cannot write " << write_baseline_path << '\n';
         return 2;

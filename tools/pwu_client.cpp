@@ -1,24 +1,45 @@
 // pwu_client — end-to-end ask/tell demo and equivalence check.
 //
-// Drives a tuning session through the JSON-lines protocol (the same
-// dispatch pwu_serve runs), playing the client role: it measures each
-// asked configuration on the simulated workload with the measurement
-// stream the server hands back, and tells the label. Optionally the
-// session is checkpointed, closed, and resumed mid-run — exercising the
-// crash-recovery path.
+// Drives a tuning session through the JSON-lines protocol, playing the
+// client role: it measures each asked configuration on the simulated
+// workload with the measurement stream the server hands back, and tells
+// the label. Optionally the session is checkpointed, closed, and resumed
+// mid-run — exercising the crash-recovery path.
+//
+// Two transports:
+//   (default)      in-process: requests dispatch straight into a
+//                  SessionManager (the same handle_request pwu_serve runs)
+//   --server CMD   pipe: CMD (e.g. "./pwu_serve") is spawned under
+//                  /bin/sh with the JSON-lines protocol on its stdin/
+//                  stdout. Requests honor --timeout, and transport
+//                  failures (dead server, hung response) are retried with
+//                  jittered exponential backoff before giving up with
+//                  exit status 3.
 //
 // Afterwards the equivalent batch run (core::ActiveLearner::run, same
 // seed) is executed and the two training sets are compared label for
-// label. Exit status 0 = identical; 1 = diverged. This is the acceptance
-// property of the service subsystem, wired into ctest as `cli_client_e2e`.
+// label. Exit status 0 = identical; 1 = diverged; 2 = usage/server error;
+// 3 = server unavailable. The equivalence property is wired into ctest as
+// `cli_client_e2e` (in-process) and `cli_client_pipe_e2e` (pipe).
 //
 //   pwu_client --workload mm --strategy pwu --nmax 60 --pool 400 \
 //              --seed 7 --checkpoint-at 30 [--verbose]
+//   pwu_client --server ./pwu_serve --timeout 30 --retries 3
 
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/active_learner.hpp"
@@ -26,6 +47,7 @@
 #include "service/protocol.hpp"
 #include "space/pool.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 #include "workloads/registry.hpp"
 
 namespace {
@@ -45,6 +67,10 @@ struct Args {
   std::size_t trees = 25;
   std::size_t checkpoint_at = 0;  // 0 = no checkpoint/resume round-trip
   std::uint64_t seed = 7;
+  std::string server;        // empty = in-process transport
+  double timeout = 30.0;     // per-request response timeout (seconds)
+  int retries = 3;           // transport-failure retries per request
+  int backoff_ms = 100;      // first retry backoff (doubles, jittered)
   bool verbose = false;
 };
 
@@ -69,23 +95,202 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--trees") args.trees = std::stoul(next());
     else if (arg == "--checkpoint-at") args.checkpoint_at = std::stoul(next());
     else if (arg == "--seed") args.seed = std::stoull(next());
+    else if (arg == "--server") args.server = next();
+    else if (arg == "--timeout") args.timeout = std::stod(next());
+    else if (arg == "--retries") args.retries = std::stoi(next());
+    else if (arg == "--backoff") args.backoff_ms = std::stoi(next());
     else if (arg == "--verbose") args.verbose = true;
     else throw std::invalid_argument("unrecognized argument: " + arg);
   }
+  if (args.timeout <= 0.0) {
+    throw std::invalid_argument("--timeout must be positive");
+  }
+  if (args.retries < 0) throw std::invalid_argument("--retries must be >= 0");
   return args;
 }
 
-/// One protocol round-trip, printed when verbose.
-json::Value call(service::SessionManager& manager, const json::Value& request,
-                 bool verbose) {
-  if (verbose) std::cout << ">> " << request.dump() << "\n";
-  json::Value response = service::handle_request(manager, request);
-  if (verbose) std::cout << "<< " << response.dump() << "\n";
-  if (!response.at("ok").as_bool()) {
-    throw std::runtime_error("server error: " +
-                             response.at("error").as_string());
+/// Connection-level failure (dead server, hung response, broken pipe) —
+/// retryable, unlike a structured server-side error.
+struct TransportError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Sends one JSON request line, returns the raw JSON response line.
+  /// Throws TransportError on connection-level failure.
+  virtual std::string request(const std::string& line) = 0;
+  /// (Re)establishes the connection if it is down; no-op when healthy.
+  virtual void ensure_running() {}
+};
+
+/// Dispatches straight into a SessionManager — no process boundary.
+class InProcessTransport : public Transport {
+ public:
+  std::string request(const std::string& line) override {
+    return service::handle_request(manager_, json::parse(line)).dump();
   }
-  return response;
+
+ private:
+  service::SessionManager manager_;
+};
+
+/// Runs the server command under /bin/sh with the protocol on its
+/// stdin/stdout; reads responses with a poll() deadline.
+class PipeTransport : public Transport {
+ public:
+  PipeTransport(std::string command, double timeout_seconds)
+      : command_(std::move(command)), timeout_(timeout_seconds) {}
+
+  ~PipeTransport() override { teardown(); }
+
+  void ensure_running() override {
+    if (pid_ > 0) return;
+    int to_child[2];    // parent writes -> child stdin
+    int from_child[2];  // child stdout -> parent reads
+    if (pipe(to_child) != 0 || pipe(from_child) != 0) {
+      throw TransportError("pipe: " + std::string(std::strerror(errno)));
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      throw TransportError("fork: " + std::string(std::strerror(errno)));
+    }
+    if (pid == 0) {
+      dup2(to_child[0], STDIN_FILENO);
+      dup2(from_child[1], STDOUT_FILENO);
+      close(to_child[0]);
+      close(to_child[1]);
+      close(from_child[0]);
+      close(from_child[1]);
+      execl("/bin/sh", "sh", "-c", command_.c_str(),
+            static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    close(to_child[0]);
+    close(from_child[1]);
+    pid_ = pid;
+    to_child_ = to_child[1];
+    from_child_ = from_child[0];
+    buffer_.clear();
+  }
+
+  std::string request(const std::string& line) override {
+    ensure_running();
+    write_line(line);
+    return read_line();
+  }
+
+ private:
+  void write_line(const std::string& line) {
+    std::string payload = line;
+    payload.push_back('\n');
+    std::size_t written = 0;
+    while (written < payload.size()) {
+      const ssize_t n =
+          write(to_child_, payload.data() + written, payload.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        fail("server closed the connection (write: " +
+             std::string(std::strerror(errno)) + ")");
+      }
+      written += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string read_line() {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(static_cast<long>(timeout_ * 1000.0));
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      const auto remaining = deadline - std::chrono::steady_clock::now();
+      const long remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+              .count();
+      if (remaining_ms <= 0) fail("response timed out");
+      struct pollfd pfd;
+      pfd.fd = from_child_;
+      pfd.events = POLLIN;
+      const int ready = poll(&pfd, 1, static_cast<int>(remaining_ms));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        fail("poll: " + std::string(std::strerror(errno)));
+      }
+      if (ready == 0) fail("response timed out");
+      char chunk[4096];
+      const ssize_t n = read(from_child_, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        fail("read: " + std::string(std::strerror(errno)));
+      }
+      if (n == 0) fail("server closed the connection");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Tears the dead connection down (so the next attempt respawns) and
+  /// reports the failure as retryable.
+  [[noreturn]] void fail(const std::string& what) {
+    teardown();
+    throw TransportError(what);
+  }
+
+  void teardown() {
+    if (to_child_ >= 0) close(to_child_);
+    if (from_child_ >= 0) close(from_child_);
+    to_child_ = from_child_ = -1;
+    if (pid_ > 0) {
+      kill(pid_, SIGTERM);
+      waitpid(pid_, nullptr, 0);
+      pid_ = -1;
+    }
+    buffer_.clear();
+  }
+
+  std::string command_;
+  double timeout_;
+  pid_t pid_ = -1;
+  int to_child_ = -1;
+  int from_child_ = -1;
+  std::string buffer_;
+};
+
+/// One protocol round-trip with transport-failure retry: exponential
+/// backoff from --backoff ms, doubled per attempt, jittered to [0.5, 1.5)x
+/// so a fleet of clients does not stampede a recovering server.
+json::Value call(Transport& transport, const json::Value& request,
+                 const Args& args, util::Rng& backoff_rng) {
+  const std::string line = request.dump();
+  if (args.verbose) std::cout << ">> " << line << "\n";
+  for (int attempt = 0;; ++attempt) {
+    try {
+      const std::string reply = transport.request(line);
+      json::Value response = json::parse(reply);
+      if (args.verbose) std::cout << "<< " << response.dump() << "\n";
+      if (!response.at("ok").as_bool()) {
+        throw std::runtime_error("server error: " +
+                                 response.at("error").as_string());
+      }
+      return response;
+    } catch (const TransportError& e) {
+      if (attempt >= args.retries) throw;
+      const double base =
+          static_cast<double>(args.backoff_ms) * static_cast<double>(1 << attempt);
+      const double wait_ms = base * (0.5 + backoff_rng.uniform());
+      std::cerr << "pwu_client: " << e.what() << "; retry " << (attempt + 1)
+                << "/" << args.retries << " in " << static_cast<int>(wait_ms)
+                << " ms\n";
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(wait_ms)));
+      transport.ensure_running();
+    }
+  }
 }
 
 json::Value obj(std::initializer_list<std::pair<const std::string, json::Value>>
@@ -96,11 +301,35 @@ json::Value obj(std::initializer_list<std::pair<const std::string, json::Value>>
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);  // broken server pipe reports via errno
+  Args args;
   try {
-    const Args args = parse_args(argc, argv);
+    args = parse_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "pwu_client: " << e.what()
+              << "\nusage: pwu_client [--workload NAME] [--strategy NAME] "
+                 "[--alpha F] [--ninit N] [--batch N] [--nmax N] [--pool N] "
+                 "[--test N] [--trees N] [--seed N] [--checkpoint-at N] "
+                 "[--server CMD] [--timeout SEC] [--retries N] [--backoff MS] "
+                 "[--verbose]\n";
+    return 2;
+  }
+  try {
     const auto workload = workloads::make_workload(args.workload);
 
-    service::SessionManager manager;
+    std::unique_ptr<Transport> transport;
+    if (args.server.empty()) {
+      transport = std::make_unique<InProcessTransport>();
+    } else {
+      transport = std::make_unique<PipeTransport>(args.server, args.timeout);
+    }
+    // Jitter stream independent of the tuning seed: retry timing must not
+    // perturb the reproducible measurement stream.
+    util::Rng backoff_rng(args.seed ^ 0x9e3779b97f4a7c15ULL);
+    auto rpc = [&](const json::Value& request) {
+      return call(*transport, request, args, backoff_rng);
+    };
+
     json::Object create_fields{
         {"op", json::Value("create")},       {"session", json::Value("demo")},
         {"workload", json::Value(args.workload)},
@@ -112,8 +341,7 @@ int main(int argc, char** argv) {
         {"test_size", json::Value(args.test_size)},
         {"trees", json::Value(args.trees)},
         {"seed", json::Value(std::to_string(args.seed))}};
-    json::Value created =
-        call(manager, json::Value(std::move(create_fields)), args.verbose);
+    json::Value created = rpc(json::Value(std::move(create_fields)));
     util::Rng measure_rng(
         std::stoull(created.at("measure_seed").as_string()));
 
@@ -124,10 +352,8 @@ int main(int argc, char** argv) {
         "/tmp/pwu_client_" + std::to_string(args.seed) + ".ckpt";
     bool checkpointed = args.checkpoint_at == 0;  // "done" when disabled
     for (;;) {
-      json::Value asked = call(
-          manager,
-          obj({{"op", json::Value("ask")}, {"session", json::Value("demo")}}),
-          args.verbose);
+      json::Value asked = rpc(
+          obj({{"op", json::Value("ask")}, {"session", json::Value("demo")}}));
       if (asked.at("done").as_bool()) break;
       for (const json::Value& cand : asked.at("candidates").as_array()) {
         space::Configuration config =
@@ -135,42 +361,35 @@ int main(int argc, char** argv) {
         const double label =
             workload->measure(config, measure_rng, /*repetitions=*/1);
         json::Array levels = cand.at("levels").as_array();
-        call(manager,
-             obj({{"op", json::Value("tell")},
-                  {"session", json::Value("demo")},
-                  {"levels", json::Value(std::move(levels))},
-                  {"time", json::Value(label)}}),
-             args.verbose);
+        rpc(obj({{"op", json::Value("tell")},
+                 {"session", json::Value("demo")},
+                 {"levels", json::Value(std::move(levels))},
+                 {"time", json::Value(label)}}));
         told_configs.push_back(std::move(config));
         told_labels.push_back(label);
       }
       if (!checkpointed && told_labels.size() >= args.checkpoint_at) {
         // Kill-and-resume drill: persist, drop the live session, restore.
-        call(manager,
-             obj({{"op", json::Value("checkpoint")},
-                  {"session", json::Value("demo")},
-                  {"path", json::Value(ckpt_path)}}),
-             args.verbose);
-        call(manager,
-             obj({{"op", json::Value("close")},
-                  {"session", json::Value("demo")}}),
-             args.verbose);
-        call(manager,
-             obj({{"op", json::Value("resume")},
-                  {"session", json::Value("demo")},
-                  {"path", json::Value(ckpt_path)}}),
-             args.verbose);
+        rpc(obj({{"op", json::Value("checkpoint")},
+                 {"session", json::Value("demo")},
+                 {"path", json::Value(ckpt_path)}}));
+        rpc(obj({{"op", json::Value("close")},
+                 {"session", json::Value("demo")}}));
+        rpc(obj({{"op", json::Value("resume")},
+                 {"session", json::Value("demo")},
+                 {"path", json::Value(ckpt_path)}}));
         std::cout << "checkpoint/resume round-trip at " << told_labels.size()
                   << " samples (" << ckpt_path << ")\n";
         checkpointed = true;
       }
     }
-    json::Value final_status = call(
-        manager,
-        obj({{"op", json::Value("status")}, {"session", json::Value("demo")}}),
-        args.verbose);
+    json::Value final_status = rpc(
+        obj({{"op", json::Value("status")}, {"session", json::Value("demo")}}));
     std::cout << "session finished: " << final_status.at("status").dump()
               << "\n";
+    if (!args.server.empty()) {
+      rpc(obj({{"op", json::Value("shutdown")}}));
+    }
 
     // ---- Equivalent batch run: same master-seed derivation. ----
     core::LearnerConfig learner;
@@ -202,14 +421,16 @@ int main(int argc, char** argv) {
               << " | batch samples: " << batch.train_labels.size()
               << " | training sets "
               << (identical ? "IDENTICAL (bit-exact)" : "DIVERGED") << "\n";
-    if (args.checkpoint_at != 0) std::remove(ckpt_path.c_str());
+    if (args.checkpoint_at != 0) {
+      std::remove(ckpt_path.c_str());
+      std::remove((ckpt_path + ".bak").c_str());
+    }
     return identical ? 0 : 1;
+  } catch (const TransportError& e) {
+    std::cerr << "pwu_client: server unavailable: " << e.what() << "\n";
+    return 3;
   } catch (const std::exception& e) {
-    std::cerr << "pwu_client: " << e.what()
-              << "\nusage: pwu_client [--workload NAME] [--strategy NAME] "
-                 "[--alpha F] [--ninit N] [--batch N] [--nmax N] [--pool N] "
-                 "[--test N] [--trees N] [--seed N] [--checkpoint-at N] "
-                 "[--verbose]\n";
+    std::cerr << "pwu_client: " << e.what() << "\n";
     return 2;
   }
 }

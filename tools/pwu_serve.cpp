@@ -9,6 +9,9 @@
 //     '{"op":"shutdown"}' | pwu_serve
 //
 //   pwu_serve --threads 8     # worker pool for parallel session refits
+//   pwu_serve --checkpoint-dir /var/lib/pwu --checkpoint-every 5
+//     # crash safety: atomically checkpoint each session to
+//     # <dir>/<session>.ckpt every 5 tells (and again at shutdown)
 
 #include <cstdlib>
 #include <iostream>
@@ -17,37 +20,71 @@
 #include "service/protocol.hpp"
 #include "util/thread_pool.hpp"
 
+namespace {
+
+bool parse_count(const char* text, long& out) {
+  char* end = nullptr;
+  out = std::strtol(text, &end, 10);
+  return end != text && *end == '\0' && out >= 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   unsigned threads = 0;  // 0 = serve single-threaded (refits inline)
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
-      const char* text = argv[++i];
-      char* end = nullptr;
-      const long v = std::strtol(text, &end, 10);
-      if (end == text || *end != '\0' || v < 0) {
+      long v = 0;
+      if (!parse_count(argv[++i], v)) {
         std::cerr << "pwu_serve: --threads expects a non-negative integer, "
-                     "got '" << text << "'\n";
+                     "got '" << argv[i] << "'\n";
         return 1;
       }
       threads = static_cast<unsigned>(v);
+    } else if (arg == "--checkpoint-dir" && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+    } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+      long v = 0;
+      if (!parse_count(argv[++i], v)) {
+        std::cerr << "pwu_serve: --checkpoint-every expects a non-negative "
+                     "integer, got '" << argv[i] << "'\n";
+        return 1;
+      }
+      checkpoint_every = static_cast<std::size_t>(v);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: pwu_serve [--threads N]\n"
+      std::cout << "usage: pwu_serve [--threads N] [--checkpoint-dir DIR "
+                   "--checkpoint-every N]\n"
                    "Reads one JSON request per line on stdin, writes one "
-                   "JSON response per line on stdout.\n";
+                   "JSON response per line on stdout.\n"
+                   "With --checkpoint-dir, every session is atomically "
+                   "checkpointed to DIR/<session>.ckpt every N tells.\n";
       return 0;
     } else {
       std::cerr << "pwu_serve: unrecognized argument: " << arg << "\n";
       return 1;
     }
   }
+  if (checkpoint_every != 0 && checkpoint_dir.empty()) {
+    std::cerr << "pwu_serve: --checkpoint-every requires --checkpoint-dir\n";
+    return 1;
+  }
+  if (!checkpoint_dir.empty() && checkpoint_every == 0) checkpoint_every = 1;
   try {
     if (threads > 1) {
       pwu::util::ThreadPool workers(threads);
       pwu::service::SessionManager manager(&workers);
+      if (checkpoint_every != 0) {
+        manager.enable_auto_checkpoint(checkpoint_dir, checkpoint_every);
+      }
       pwu::service::run_serve_loop(std::cin, std::cout, manager);
     } else {
       pwu::service::SessionManager manager(nullptr);
+      if (checkpoint_every != 0) {
+        manager.enable_auto_checkpoint(checkpoint_dir, checkpoint_every);
+      }
       pwu::service::run_serve_loop(std::cin, std::cout, manager);
     }
   } catch (const std::exception& e) {
