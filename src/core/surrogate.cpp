@@ -21,8 +21,9 @@ RandomForestSurrogate::RandomForestSurrogate(rf::ForestConfig config)
     : config_(config) {}
 
 void RandomForestSurrogate::fit(const rf::Dataset& data, util::Rng& rng,
-                                util::ThreadPool* pool) {
-  forest_.fit(data, config_, rng, pool);
+                                util::ThreadPool* pool,
+                                const util::CancelToken* cancel) {
+  forest_.fit(data, config_, rng, pool, cancel);
 }
 
 rf::PredictionStats RandomForestSurrogate::predict_stats(
@@ -50,7 +51,11 @@ GaussianProcessSurrogate::GaussianProcessSurrogate(gp::GpConfig config)
 
 void GaussianProcessSurrogate::fit(const rf::Dataset& data,
                                    util::Rng& /*rng*/,
-                                   util::ThreadPool* /*pool*/) {
+                                   util::ThreadPool* /*pool*/,
+                                   const util::CancelToken* cancel) {
+  // The GP fit is one monolithic Cholesky — no interior safe point, so the
+  // token is only honored at the boundary.
+  if (cancel != nullptr) cancel->throw_if_requested();
   gp_.fit(data, config_);
 }
 
@@ -58,6 +63,12 @@ rf::PredictionStats GaussianProcessSurrogate::predict_stats(
     std::span<const double> row) const {
   const gp::GpPrediction p = gp_.predict_full(row);
   return rf::PredictionStats{p.mean, p.variance, p.stddev};
+}
+
+std::size_t GaussianProcessSurrogate::memory_bytes() const {
+  // Dominated by the n x n kernel matrix and its Cholesky factor.
+  const std::size_t n = gp_.num_train();
+  return n * n * 2 * sizeof(double);
 }
 
 SurrogatePtr make_surrogate(const std::string& kind,

@@ -18,6 +18,7 @@
 #include "rf/random_forest.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/watchdog.hpp"
 
 namespace pwu::core {
 
@@ -27,9 +28,12 @@ class Surrogate {
 
   virtual const std::string& name() const = 0;
 
-  /// (Re)fits the model from scratch on the dataset.
+  /// (Re)fits the model from scratch on the dataset. `cancel` is polled at
+  /// family-specific safe points (between forest trees); a requested
+  /// cancellation throws util::Cancelled and leaves the model unfitted.
   virtual void fit(const rf::Dataset& data, util::Rng& rng,
-                   util::ThreadPool* pool = nullptr) = 0;
+                   util::ThreadPool* pool = nullptr,
+                   const util::CancelToken* cancel = nullptr) = 0;
 
   virtual bool fitted() const = 0;
 
@@ -55,6 +59,10 @@ class Surrogate {
   /// Restores state written by save_model(); returns false when
   /// unsupported.
   virtual bool load_model(std::istream&) { return false; }
+
+  /// Approximate resident heap footprint of the fitted model (0 when a
+  /// family does not account for itself).
+  virtual std::size_t memory_bytes() const { return 0; }
 };
 
 using SurrogatePtr = std::unique_ptr<Surrogate>;
@@ -66,7 +74,8 @@ class RandomForestSurrogate final : public Surrogate {
 
   const std::string& name() const override { return name_; }
   void fit(const rf::Dataset& data, util::Rng& rng,
-           util::ThreadPool* pool) override;
+           util::ThreadPool* pool = nullptr,
+           const util::CancelToken* cancel = nullptr) override;
   bool fitted() const override { return forest_.fitted(); }
   rf::PredictionStats predict_stats(std::span<const double> row) const override;
   std::vector<rf::PredictionStats> predict_stats_batch(
@@ -76,6 +85,7 @@ class RandomForestSurrogate final : public Surrogate {
   /// what makes session checkpoint/resume bit-identical.
   bool save_model(std::ostream& os) const override;
   bool load_model(std::istream& is) override;
+  std::size_t memory_bytes() const override { return forest_.memory_bytes(); }
 
   const rf::RandomForest& forest() const { return forest_; }
 
@@ -93,9 +103,11 @@ class GaussianProcessSurrogate final : public Surrogate {
 
   const std::string& name() const override { return name_; }
   void fit(const rf::Dataset& data, util::Rng& rng,
-           util::ThreadPool* pool) override;
+           util::ThreadPool* pool = nullptr,
+           const util::CancelToken* cancel = nullptr) override;
   bool fitted() const override { return gp_.fitted(); }
   rf::PredictionStats predict_stats(std::span<const double> row) const override;
+  std::size_t memory_bytes() const override;
 
   const gp::GaussianProcess& model() const { return gp_; }
 

@@ -66,6 +66,12 @@ class Dataset {
   /// Copy with the same schema but no rows.
   Dataset empty_like() const;
 
+  /// Resident heap footprint of the feature and label buffers.
+  std::size_t memory_bytes() const {
+    return (features_.capacity() + labels_.capacity()) * sizeof(double) +
+           cardinalities_.capacity() * sizeof(std::size_t);
+  }
+
  private:
   std::size_t num_features_;
   std::vector<bool> categorical_;

@@ -67,6 +67,9 @@ class DecisionTree {
   /// into its contiguous evaluation layout.
   const std::vector<Node>& nodes() const { return nodes_; }
 
+  /// Resident heap footprint of the node table.
+  std::size_t memory_bytes() const { return nodes_.capacity() * sizeof(Node); }
+
  private:
   /// Recursively builds the subtree over instances [lo, hi) of the presorted
   /// workspace; `columns_live` says whether the workspace's feature columns

@@ -68,6 +68,9 @@ class FeatureMatrix {
   const double* data() const { return data_.data(); }
   double* data() { return data_.data(); }
 
+  /// Resident heap footprint (capacity, not size — what the allocator holds).
+  std::size_t memory_bytes() const { return data_.capacity() * sizeof(double); }
+
  private:
   std::size_t cols_ = 0;
   std::vector<double> data_;

@@ -76,6 +76,12 @@ class FlatForest {
   void predict_per_tree_block(const double* const* rows, std::size_t n,
                               std::span<double> out) const;
 
+  /// Resident heap footprint of the compiled layout.
+  std::size_t memory_bytes() const {
+    return nodes_.capacity() * sizeof(FlatNode) +
+           tree_offsets_.capacity() * sizeof(std::uint32_t);
+  }
+
   /// Blocked batch evaluation; row blocks run on `pool` when provided.
   void predict_stats(const FeatureMatrix& rows, std::span<PredictionStats> out,
                      util::ThreadPool* pool = nullptr) const;

@@ -14,7 +14,8 @@
 namespace pwu::rf {
 
 void RandomForest::fit(const Dataset& data, const ForestConfig& config,
-                       util::Rng& rng, util::ThreadPool* pool) {
+                       util::Rng& rng, util::ThreadPool* pool,
+                       const util::CancelToken* cancel) {
   if (data.empty()) {
     throw std::invalid_argument("RandomForest::fit: empty dataset");
   }
@@ -43,6 +44,10 @@ void RandomForest::fit(const Dataset& data, const ForestConfig& config,
   sorted_columns.build(data);
 
   auto build_tree = [&](std::size_t t) {
+    // Tree boundaries are the cancellation checkpoints: cheap enough to poll
+    // (one relaxed atomic load per tree), frequent enough that a cancelled
+    // refit unwinds within one tree's build time.
+    if (cancel != nullptr) cancel->throw_if_requested();
     std::vector<std::size_t> indices;
     if (config.bootstrap) {
       indices = tree_rngs[t].bootstrap_indices(n);
@@ -58,10 +63,18 @@ void RandomForest::fit(const Dataset& data, const ForestConfig& config,
                   &sorted_columns);
   };
 
-  if (pool != nullptr && pool->num_threads() > 1) {
-    pool->parallel_for(0, config.num_trees, build_tree);
-  } else {
-    for (std::size_t t = 0; t < config.num_trees; ++t) build_tree(t);
+  try {
+    if (pool != nullptr && pool->num_threads() > 1) {
+      pool->parallel_for(0, config.num_trees, build_tree);
+    } else {
+      for (std::size_t t = 0; t < config.num_trees; ++t) build_tree(t);
+    }
+  } catch (...) {
+    // Cancelled (or failed) mid-ensemble: drop the partial trees so
+    // fitted() reports false instead of exposing a half-built forest.
+    trees_.clear();
+    flat_.clear();
+    throw;
   }
 
   flat_.build(trees_);
@@ -236,6 +249,12 @@ std::vector<double> RandomForest::permutation_importance(
 std::size_t RandomForest::total_nodes() const {
   std::size_t total = 0;
   for (const auto& tree : trees_) total += tree.num_nodes();
+  return total;
+}
+
+std::size_t RandomForest::memory_bytes() const {
+  std::size_t total = flat_.memory_bytes();
+  for (const auto& tree : trees_) total += tree.memory_bytes();
   return total;
 }
 

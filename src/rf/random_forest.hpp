@@ -25,6 +25,7 @@
 #include "rf/flat_forest.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/watchdog.hpp"
 
 namespace pwu::rf {
 
@@ -43,8 +44,12 @@ class RandomForest {
   /// Fits `config.num_trees` trees. Tree construction is deterministic given
   /// `rng`'s state: per-tree child streams are forked up front, so results
   /// are identical whether trees are built serially or on `pool`'s workers.
+  /// `cancel` is polled between trees; a requested cancellation throws
+  /// util::Cancelled and leaves the forest in an unfitted (discardable)
+  /// state — callers that need the previous model must fit a fresh instance.
   void fit(const Dataset& data, const ForestConfig& config, util::Rng& rng,
-           util::ThreadPool* pool = nullptr);
+           util::ThreadPool* pool = nullptr,
+           const util::CancelToken* cancel = nullptr);
 
   bool fitted() const { return !trees_.empty(); }
   std::size_t num_trees() const { return trees_.size(); }
@@ -81,6 +86,9 @@ class RandomForest {
   /// Structural statistics (for tests/diagnostics).
   std::size_t total_nodes() const;
   std::size_t max_depth() const;
+
+  /// Resident heap footprint: original node tables plus the flat layout.
+  std::size_t memory_bytes() const;
 
   /// Serializes the fitted ensemble as text (trees + the structural bits of
   /// the config). Predictions round-trip exactly through save/load; OOB

@@ -56,7 +56,10 @@ AskTellSession::AskTellSession(const space::ParameterSpace& space,
       pool_(std::move(pool)),
       train_(space_.num_params(), space_.categorical_mask(),
              space_.cardinalities()),
-      rng_(seed) {
+      rng_(seed),
+      // Fixed decorrelation constant: the degraded stream is a deterministic
+      // function of the session seed but statistically independent of rng_.
+      degraded_rng_(seed ^ 0xd5a61266f0c9392dULL) {
   rebuild_pool_features();
 }
 
@@ -220,6 +223,70 @@ std::vector<Candidate> AskTellSession::ask(std::size_t n) {
   return pending_;
 }
 
+std::vector<Candidate> AskTellSession::ask_degraded(
+    std::size_t n, const core::Surrogate* stale) {
+  if (!pending_.empty()) {
+    throw std::logic_error(
+        "AskTellSession::ask_degraded: previous batch still awaiting tells");
+  }
+  if (done()) return {};
+
+  ++iteration_;
+  const std::size_t want = n == 0 ? config_.n_batch : n;
+  const std::size_t batch =
+      std::min({want, config_.n_max - num_labeled(), pool_.size()});
+
+  std::vector<std::size_t> selected;
+  std::vector<rf::PredictionStats> stats;
+  const bool scored = stale != nullptr && stale->fitted();
+  if (scored) {
+    // Score the pool with the caller's last-good snapshot — serially
+    // (nullptr pool): the worker threads are busy with the very refit this
+    // ask is degrading around.
+    stats = stale->predict_stats_batch(pool_features_, nullptr);
+    core::PoolPrediction prediction;
+    prediction.best_observed = best_observed();
+    prediction.mean.resize(pool_.size());
+    prediction.stddev.resize(pool_.size());
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      prediction.mean[i] = stats[i].mean;
+      prediction.stddev[i] = stats[i].stddev;
+    }
+    prediction.features = pool_features_;
+    selected = strategy_->select(prediction, batch, degraded_rng_);
+    if (selected.empty()) {
+      throw std::logic_error("SamplingStrategy returned an empty batch");
+    }
+    ++degraded_stale_asks_;
+  } else {
+    selected = pool_.sample_indices(batch, degraded_rng_);
+    ++degraded_random_asks_;
+  }
+
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+  for (auto it = selected.rbegin(); it != selected.rend(); ++it) {
+    Candidate cand;
+    if (scored) {
+      cand.has_prediction = true;
+      cand.predicted_mean = stats.at(*it).mean;
+      cand.predicted_stddev = stats.at(*it).stddev;
+    }
+    cand.iteration = iteration_;
+    cand.config = pool_.take(*it);
+    pool_features_.remove_row_swap(*it);
+    pending_.push_back(std::move(cand));
+  }
+  PWU_ENSURE(phase() == SessionPhase::AwaitingTells,
+             "ask_degraded: a non-empty batch must leave the session "
+             "awaiting tells");
+  PWU_ENSURE(pool_.size() == pool_features_.num_rows(),
+             "ask_degraded: pool/features desync "
+                 << pool_.size() << " vs " << pool_features_.num_rows());
+  return pending_;
+}
+
 bool AskTellSession::tell(const space::Configuration& config,
                           double measured_time) {
   const auto it =
@@ -318,9 +385,19 @@ void AskTellSession::add_failed(FailedConfig failed) {
                  << " unique)");
 }
 
-bool AskTellSession::refit() {
+bool AskTellSession::refit(const util::CancelToken* cancel) {
   if (!refit_due_) return false;
-  fit_model();
+  if (cancel != nullptr) cancel->throw_if_requested();
+  // Snapshot the rng so a cancelled fit consumes no draws: the requeued
+  // fit replays the identical tree streams, keeping cancelled-then-retried
+  // sessions bit-identical to undisturbed ones.
+  util::Rng snapshot = rng_;
+  try {
+    fit_model(cancel);
+  } catch (...) {
+    rng_ = snapshot;
+    throw;  // refit_due_ stays true: the fit is still owed
+  }
   refit_due_ = false;
   return true;
 }
@@ -345,12 +422,31 @@ void AskTellSession::append_label(const Candidate& candidate,
                                                    << " labels");
 }
 
-void AskTellSession::fit_model() {
-  if (!model_) {
-    model_ = core::make_surrogate(config_.surrogate, config_.forest,
-                                  config_.gp);
-  }
-  model_->fit(train_, rng_, workers_);
+void AskTellSession::fit_model(const util::CancelToken* cancel) {
+  // Fit into a fresh surrogate and swap on success. Fits are from-scratch,
+  // so this is bit-identical to refitting in place — and it keeps the
+  // previous model_ (and every snapshot other threads hold of it) intact
+  // when the fit is cancelled or throws.
+  core::SurrogatePtr fresh =
+      core::make_surrogate(config_.surrogate, config_.forest, config_.gp);
+  fresh->fit(train_, rng_, workers_, cancel);
+  model_ = std::move(fresh);
+}
+
+std::size_t AskTellSession::memory_bytes() const {
+  const std::size_t per_config =
+      sizeof(space::Configuration) +
+      space_.num_params() * sizeof(std::uint32_t);
+  std::size_t total = pool_features_.memory_bytes() + train_.memory_bytes();
+  if (model_ != nullptr) total += model_->memory_bytes();
+  total += pool_.size() * per_config;
+  total += (train_configs_.capacity() + pending_.capacity() +
+            failed_.capacity()) *
+           per_config;
+  total += pending_.capacity() * (sizeof(Candidate) - sizeof(space::Configuration));
+  total += train_labels_.capacity() * sizeof(double);
+  total += selections_.capacity() * sizeof(core::SelectionRecord);
+  return total;
 }
 
 // ---- checkpointing ----
@@ -402,7 +498,7 @@ void AskTellSession::save(std::ostream& os) const {
   const auto precision = os.precision();
   os.precision(std::numeric_limits<double>::max_digits10);
 
-  os << "pwu-session 2\n";
+  os << "pwu-session 3\n";
   os << "strategy " << spec_->name << ' ' << spec_->alpha << '\n';
   os << "learner " << config_.n_init << ' ' << config_.n_batch << ' '
      << config_.n_max << ' ' << config_.surrogate << ' ' << config_.eval_every
@@ -426,6 +522,9 @@ void AskTellSession::save(std::ostream& os) const {
      << (cold_start_done_ ? 1 : 0) << ' ' << (refit_due_ ? 1 : 0) << '\n';
   os << "failprogress " << failure_cost_ << ' ' << transient_retries_ << ' '
      << labels_in_batch_ << '\n';
+  os << "degraded " << degraded_stale_asks_ << ' ' << degraded_random_asks_
+     << ' ';
+  degraded_rng_.save(os);
   os << "rng ";
   rng_.save(os);
 
@@ -483,8 +582,8 @@ AskTellSession AskTellSession::restore(const space::ParameterSpace& space,
                                        util::ThreadPool* workers) {
   std::string magic;
   int version = 0;
-  if (!(is >> magic >> version) || magic != "pwu-session" ||
-      (version != 1 && version != 2)) {
+  if (!(is >> magic >> version) || magic != "pwu-session" || version < 1 ||
+      version > 3) {
     restore_fail("bad header");
   }
 
@@ -547,6 +646,16 @@ AskTellSession AskTellSession::restore(const space::ParameterSpace& space,
       restore_fail("bad failprogress line");
     }
   }
+  std::size_t degraded_stale = 0, degraded_random = 0;
+  std::optional<util::Rng> degraded_rng;
+  if (version >= 3) {
+    expect_section(is, "degraded");
+    if (!(is >> degraded_stale >> degraded_random)) {
+      restore_fail("bad degraded line");
+    }
+    degraded_rng.emplace();
+    degraded_rng->load(is);
+  }
   expect_section(is, "rng");
   util::Rng rng;
   rng.load(is);
@@ -570,6 +679,14 @@ AskTellSession AskTellSession::restore(const space::ParameterSpace& space,
   session.failure_cost_ = failure_cost;
   session.transient_retries_ = transient_retries;
   session.labels_in_batch_ = labels_in_batch;
+  session.degraded_stale_asks_ = degraded_stale;
+  session.degraded_random_asks_ = degraded_random;
+  if (degraded_rng.has_value()) {
+    session.degraded_rng_ = *degraded_rng;
+  }
+  // v1/v2 checkpoints predate the degraded stream: the constructor seeded
+  // it from seed 0 (deterministically), which is fine — such sessions have
+  // never consumed a degraded draw.
   session.warm_rows_ = warm_rows;
 
   std::vector<double> row(num_features);

@@ -37,6 +37,7 @@
 #include "space/pool.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/watchdog.hpp"
 
 namespace pwu::service {
 
@@ -135,6 +136,18 @@ class AskTellSession {
   /// Performs any due refit first.
   std::vector<Candidate> ask(std::size_t n = 0);
 
+  /// Deadline-expired form of ask(): answers *now*, without the due refit.
+  /// When `stale` is a fitted surrogate (the caller's last-good snapshot)
+  /// the pool is scored with it — serially, since the worker pool is busy
+  /// with the refit being degraded around; otherwise the batch is drawn
+  /// uniformly from the pool. Either way selection consumes the dedicated
+  /// degraded rng stream, never rng_, so a later non-degraded ask of an
+  /// *undisturbed* session replays bit-identically. Deliberately does not
+  /// touch model_ or train_: it is safe to call while a refit for this
+  /// session is running on another thread.
+  std::vector<Candidate> ask_degraded(std::size_t n,
+                                      const core::Surrogate* stale);
+
   /// Reports the measured execution time of an outstanding candidate
   /// (matched by configuration; any order within the batch is accepted,
   /// though replaying tells in ask order is what reproduces the batch
@@ -159,8 +172,11 @@ class AskTellSession {
 
   /// (Re)fits the surrogate if a completed batch made it due. Kept separate
   /// from tell() so a session manager can run it on a worker thread;
-  /// ask() calls it implicitly. Returns true when a fit ran.
-  bool refit();
+  /// ask() calls it implicitly. Returns true when a fit ran. `cancel` is
+  /// polled between forest trees: a cancelled refit throws util::Cancelled,
+  /// keeps the previous model_, rolls rng_ back to its pre-fit state (so a
+  /// retried fit replays identically), and leaves the refit due.
+  bool refit(const util::CancelToken* cancel = nullptr);
 
   bool refit_due() const { return refit_due_; }
 
@@ -193,6 +209,17 @@ class AskTellSession {
   double failure_cost() const { return failure_cost_; }
   /// Transient retries granted across the whole session.
   std::size_t transient_retries() const { return transient_retries_; }
+
+  // ---- degraded-ask observers ----
+  /// Asks answered from a stale last-good model snapshot.
+  std::size_t degraded_stale_asks() const { return degraded_stale_asks_; }
+  /// Asks answered with seeded-random picks (no model available).
+  std::size_t degraded_random_asks() const { return degraded_random_asks_; }
+
+  /// Approximate resident heap footprint of the session's dynamic state
+  /// (model, encoded pool, training set, histories) — what a
+  /// util::ResourceBudget charges per session.
+  std::size_t memory_bytes() const;
 
   const space::ParameterSpace& space() const { return space_; }
   const core::LearnerConfig& config() const { return config_; }
@@ -234,7 +261,7 @@ class AskTellSession {
   /// (only when the drained batch added labels).
   void on_batch_drained();
   void add_failed(FailedConfig failed);
-  void fit_model();
+  void fit_model(const util::CancelToken* cancel);
   /// Re-encodes every pool configuration into pool_features_ (row i =
   /// features of pool_.at(i)).
   void rebuild_pool_features();
@@ -263,6 +290,11 @@ class AskTellSession {
   std::vector<CensoredObservation> censored_;
   std::shared_ptr<core::Surrogate> model_;
   util::Rng rng_;
+  /// Separate stream for degraded asks so they never perturb rng_ (the
+  /// replayable Algorithm-1 stream) — and can run while a refit owns rng_.
+  util::Rng degraded_rng_;
+  std::size_t degraded_stale_asks_ = 0;
+  std::size_t degraded_random_asks_ = 0;
   std::size_t iteration_ = 0;
   double cumulative_cost_ = 0.0;
   double failure_cost_ = 0.0;

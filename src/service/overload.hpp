@@ -1,0 +1,96 @@
+// Shared vocabulary of the overload-resilience layer.
+//
+// The service degrades along three axes, each with its own signal:
+//
+//   shed     — a cap was hit (sessions, pending asks, refit queue, memory).
+//              The request is refused *structurally*: OverloadError carries a
+//              retry_after_ms hint, the protocol turns it into
+//              {"ok":false,"overloaded":true,...}, and pwu_client backs off
+//              and retries. Nothing blocks, nothing aborts.
+//   degrade  — an ask's deadline expired before the fresh surrogate was
+//              ready. The session answers anyway, from the last-good model
+//              snapshot (stale_model) or seeded-random picks during cold
+//              start (random), and tags the response so the client knows
+//              the prediction quality it got.
+//   quarantine — refits for one session repeatedly blew the watchdog
+//              budget. The session is fenced off (asks/tells shed) so it
+//              cannot keep occupying a refit worker; close/checkpoint still
+//              work.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "service/ask_tell_session.hpp"
+
+namespace pwu::service {
+
+/// Caps and budgets for a SessionManager. Every cap follows the same
+/// convention: 0 (or a negative deadline) means "unlimited / legacy
+/// blocking behavior", so a default-constructed ServiceLimits reproduces
+/// the un-governed manager exactly.
+struct ServiceLimits {
+  /// Live (registered) sessions; 0 = unlimited.
+  std::size_t max_sessions = 0;
+  /// Candidates one ask may leave outstanding; 0 = unlimited.
+  std::size_t max_pending_asks = 0;
+  /// Refits allowed in flight across the manager before new ones are
+  /// deferred to the next session touch; 0 = unlimited.
+  std::size_t max_refit_queue = 0;
+  /// Process-wide byte budget for session footprints; 0 = unlimited.
+  /// Enforcement evicts idle sessions to checkpoint, so a budget requires
+  /// auto-checkpointing to be enabled.
+  std::size_t memory_budget_bytes = 0;
+  /// Default ask/tell deadline: how long to wait for an in-flight refit
+  /// before degrading (ask) or shedding (tell). Negative = block until the
+  /// refit settles (legacy behavior); 0 = never wait.
+  std::int64_t ask_deadline_ms = -1;
+  /// Wall-clock budget per refit before the watchdog cancels it; 0 = off.
+  std::int64_t refit_watchdog_ms = 0;
+  /// Cancelled refits re-queued before the session is quarantined.
+  std::size_t refit_retries = 1;
+  /// Hint attached to every OverloadError.
+  std::int64_t retry_after_ms = 100;
+};
+
+/// A request refused by admission control. Carries the back-off hint the
+/// protocol layer forwards to clients.
+class OverloadError : public std::runtime_error {
+ public:
+  OverloadError(const std::string& what, std::int64_t retry_after_ms)
+      : std::runtime_error(what), retry_after_ms_(retry_after_ms) {}
+
+  std::int64_t retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  std::int64_t retry_after_ms_;
+};
+
+/// How an ask's candidates were produced.
+enum class DegradedMode {
+  None,        // fresh surrogate (normal path)
+  StaleModel,  // last-good surrogate snapshot scored the pool
+  Random,      // seeded-random picks (no model available yet)
+};
+
+inline const char* to_string(DegradedMode mode) {
+  switch (mode) {
+    case DegradedMode::None: return "none";
+    case DegradedMode::StaleModel: return "stale_model";
+    case DegradedMode::Random: return "random";
+  }
+  return "none";
+}
+
+/// An ask answered under a deadline: the candidates plus how they were
+/// produced.
+struct AskOutcome {
+  std::vector<Candidate> candidates;
+  DegradedMode degraded = DegradedMode::None;
+};
+
+}  // namespace pwu::service

@@ -16,10 +16,26 @@ namespace {
 std::size_t size_field(const json::Value& request, const std::string& key,
                        std::size_t fallback) {
   const double v = request.number_or(key, static_cast<double>(fallback));
-  if (v < 0.0) {
-    throw std::invalid_argument("field '" + key + "' must be non-negative");
+  // Doubles above 2^53 (or fractional ones) do not denote an exact count;
+  // casting them to size_t would be UB-adjacent nonsense. Reject instead.
+  if (v < 0.0 || v != std::floor(v) || v > 9007199254740992.0) {
+    throw std::invalid_argument("field '" + key +
+                                "' must be a non-negative integer");
   }
   return static_cast<std::size_t>(v);
+}
+
+/// size_field with a sanity ceiling: session-shape fields this large are
+/// typos or attacks, and either way would try to allocate the moon.
+std::size_t bounded_size_field(const json::Value& request,
+                               const std::string& key, std::size_t fallback) {
+  constexpr std::size_t kMaxSaneSize = std::size_t{1} << 24;
+  const std::size_t v = size_field(request, key, fallback);
+  if (v > kMaxSaneSize) {
+    throw std::invalid_argument("field '" + key + "' exceeds the sane limit (" +
+                                std::to_string(kMaxSaneSize) + ")");
+  }
+  return v;
 }
 
 std::string required_string(const json::Value& request,
@@ -43,6 +59,52 @@ json::Value ok_response(json::Object fields = {}) {
   return json::Value(std::move(fields));
 }
 
+json::Value health_to_json(const HealthReport& report) {
+  json::Object obj;
+  obj.emplace("sessions_live", json::Value(report.sessions_live));
+  obj.emplace("sessions_evicted", json::Value(report.sessions_evicted));
+  obj.emplace("sessions_quarantined",
+              json::Value(report.sessions_quarantined));
+  obj.emplace("sessions_busy", json::Value(report.sessions_busy));
+  obj.emplace("refits_in_flight", json::Value(report.refits_in_flight));
+  obj.emplace("refits_deferred", json::Value(report.refits_deferred));
+  obj.emplace("budget_used_bytes", json::Value(report.budget_used_bytes));
+  obj.emplace("budget_capacity_bytes",
+              json::Value(report.budget_capacity_bytes));
+  obj.emplace("overloaded_sheds",
+              json::Value(static_cast<std::size_t>(report.overloaded_sheds)));
+  obj.emplace("degraded_stale_asks", json::Value(static_cast<std::size_t>(
+                                         report.degraded_stale_asks)));
+  obj.emplace("degraded_random_asks", json::Value(static_cast<std::size_t>(
+                                          report.degraded_random_asks)));
+  obj.emplace("evictions",
+              json::Value(static_cast<std::size_t>(report.evictions)));
+  obj.emplace("lazy_resumes",
+              json::Value(static_cast<std::size_t>(report.lazy_resumes)));
+  obj.emplace("watchdog_timeouts", json::Value(static_cast<std::size_t>(
+                                       report.watchdog_timeouts)));
+  json::Array sessions;
+  sessions.reserve(report.sessions.size());
+  for (const SessionHealth& sh : report.sessions) {
+    json::Object s;
+    s.emplace("session", json::Value(sh.name));
+    s.emplace("state", json::Value(sh.state));
+    s.emplace("footprint_bytes", json::Value(sh.footprint_bytes));
+    if (!sh.phase.empty()) {
+      s.emplace("phase", json::Value(sh.phase));
+      s.emplace("pending", json::Value(sh.pending));
+      s.emplace("refit_in_flight", json::Value(sh.refit_in_flight));
+      s.emplace("refit_deferred", json::Value(sh.refit_deferred));
+      s.emplace("refit_timeouts", json::Value(sh.refit_timeouts));
+      s.emplace("degraded_stale_asks", json::Value(sh.degraded_stale_asks));
+      s.emplace("degraded_random_asks", json::Value(sh.degraded_random_asks));
+    }
+    sessions.push_back(json::Value(std::move(s)));
+  }
+  obj.emplace("sessions", json::Value(std::move(sessions)));
+  return json::Value(std::move(obj));
+}
+
 }  // namespace
 
 SessionSpec spec_from_json(const json::Value& request) {
@@ -50,20 +112,21 @@ SessionSpec spec_from_json(const json::Value& request) {
   spec.workload = required_string(request, "workload");
   spec.strategy = request.string_or("strategy", spec.strategy);
   spec.alpha = request.number_or("alpha", spec.alpha);
-  spec.learner.n_init = size_field(request, "n_init", spec.learner.n_init);
-  spec.learner.n_batch = size_field(request, "n_batch", spec.learner.n_batch);
-  spec.learner.n_max = size_field(request, "n_max", 150);
+  spec.learner.n_init = bounded_size_field(request, "n_init", spec.learner.n_init);
+  spec.learner.n_batch =
+      bounded_size_field(request, "n_batch", spec.learner.n_batch);
+  spec.learner.n_max = bounded_size_field(request, "n_max", 150);
   spec.learner.surrogate =
       request.string_or("surrogate", spec.learner.surrogate);
   spec.learner.forest.num_trees =
-      size_field(request, "trees", spec.learner.forest.num_trees);
+      bounded_size_field(request, "trees", spec.learner.forest.num_trees);
   spec.learner.eval_every =
-      size_field(request, "eval_every", spec.learner.eval_every);
-  spec.learner.measure_repetitions = static_cast<int>(
-      size_field(request, "measure_reps",
-                 static_cast<std::size_t>(spec.learner.measure_repetitions)));
-  spec.pool_size = size_field(request, "pool_size", spec.pool_size);
-  spec.test_size = size_field(request, "test_size", spec.test_size);
+      bounded_size_field(request, "eval_every", spec.learner.eval_every);
+  spec.learner.measure_repetitions = static_cast<int>(bounded_size_field(
+      request, "measure_reps",
+      static_cast<std::size_t>(spec.learner.measure_repetitions)));
+  spec.pool_size = bounded_size_field(request, "pool_size", spec.pool_size);
+  spec.test_size = bounded_size_field(request, "test_size", spec.test_size);
   if (request.has("seed")) {
     const json::Value& seed = request.at("seed");
     // Accept a number (exact up to 2^53) or a decimal string (full 64-bit).
@@ -122,9 +185,9 @@ space::Configuration configuration_from_json(const json::Value& levels) {
   out.reserve(levels.as_array().size());
   for (const json::Value& v : levels.as_array()) {
     const double d = v.as_number();
-    if (d < 0.0 || d != std::floor(d)) {
-      throw std::invalid_argument("'levels' entries must be non-negative "
-                                  "integers");
+    if (d < 0.0 || d != std::floor(d) || d > 4294967295.0) {
+      throw std::invalid_argument("'levels' entries must be integers in "
+                                  "[0, 2^32)");
     }
     out.push_back(static_cast<std::uint32_t>(d));
   }
@@ -149,6 +212,9 @@ util::json::Value handle_request(SessionManager& manager,
       }
       return ok_response({{"sessions", json::Value(std::move(sessions))}});
     }
+    if (op == "health") {
+      return ok_response({{"health", health_to_json(manager.health())}});
+    }
 
     // Reject unknown ops before demanding their operands, so a typo'd op
     // is reported as such rather than as a missing 'session'.
@@ -165,16 +231,31 @@ util::json::Value handle_request(SessionManager& manager,
            {"status", status_to_json(status)}});
     }
     if (op == "ask") {
-      const std::size_t count = size_field(request, "count", 0);
-      std::vector<Candidate> candidates = manager.ask(name, count);
+      const std::size_t count = bounded_size_field(request, "count", 0);
+      // Per-request deadline override; -1 = block for the fresh model.
+      std::int64_t deadline_ms = manager.limits().ask_deadline_ms;
+      if (request.has("deadline_ms")) {
+        const double d = request.at("deadline_ms").as_number();
+        if (d != std::floor(d) || d < -1.0 || d > 86400000.0) {
+          throw std::invalid_argument(
+              "field 'deadline_ms' must be an integer in [-1, 86400000]");
+        }
+        deadline_ms = static_cast<std::int64_t>(d);
+      }
+      const AskOutcome outcome =
+          manager.ask_with_deadline(name, count, deadline_ms);
       json::Array arr;
-      arr.reserve(candidates.size());
-      for (const Candidate& cand : candidates) {
+      arr.reserve(outcome.candidates.size());
+      for (const Candidate& cand : outcome.candidates) {
         arr.push_back(candidate_to_json(cand));
       }
-      return ok_response(
-          {{"candidates", json::Value(std::move(arr))},
-           {"done", json::Value(candidates.empty())}});
+      json::Object fields{{"candidates", json::Value(std::move(arr))},
+                          {"done", json::Value(outcome.candidates.empty())}};
+      if (outcome.degraded != DegradedMode::None) {
+        fields.emplace("degraded",
+                       json::Value(std::string(to_string(outcome.degraded))));
+      }
+      return ok_response(std::move(fields));
     }
     if (op == "tell") {
       // Optional "status" routes failed measurements: "ok" (default) is a
@@ -233,11 +314,17 @@ util::json::Value handle_request(SessionManager& manager,
     }
     if (op == "checkpoint") {
       const std::string path = required_string(request, "path");
+      if (path.empty()) {
+        throw std::invalid_argument("'path' must be a non-empty string");
+      }
       manager.checkpoint_to_file(name, path);
       return ok_response({{"path", json::Value(path)}});
     }
     if (op == "resume") {
       const std::string path = required_string(request, "path");
+      if (path.empty()) {
+        throw std::invalid_argument("'path' must be a non-empty string");
+      }
       const ResumeOutcome outcome = manager.resume_from_file(name, path);
       return ok_response(
           {{"measure_seed",
@@ -247,6 +334,15 @@ util::json::Value handle_request(SessionManager& manager,
            {"status", status_to_json(outcome.status)}});
     }
     return error_response("unknown op '" + op + "'");
+  } catch (const OverloadError& e) {
+    // Structural refusal, not a failure: the client is told when to come
+    // back instead of being disconnected or blocked.
+    json::Value response = error_response(e.what());
+    response.as_object().emplace("overloaded", json::Value(true));
+    response.as_object().emplace(
+        "retry_after_ms",
+        json::Value(static_cast<double>(e.retry_after_ms())));
+    return response;
   } catch (const std::exception& e) {
     return error_response(e.what());
   }

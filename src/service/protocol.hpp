@@ -17,7 +17,7 @@
 //   {"op":"tell","session":"s1","levels":[3,0,5],"status":"crash","cost":0.2}
 //     -> {"ok":true,"failure":"crash","action":"retry","attempts":1,
 //         "backoff_seconds":0.5,"refit":false,"done":false,"failed_total":0}
-//   {"op":"status","session":"s1"} | {"op":"list"} |
+//   {"op":"status","session":"s1"} | {"op":"list"} | {"op":"health"} |
 //   {"op":"close","session":"s1"} |
 //   {"op":"checkpoint","session":"s1","path":"/tmp/s1.ckpt"} |
 //   {"op":"resume","session":"s1","path":"/tmp/s1.ckpt"} |
@@ -30,6 +30,14 @@
 // back to the .bak — reporting "recovered":true — when the newest copy is
 // torn. shutdown drains in-flight refits (and final auto-checkpoints)
 // before acknowledging.
+//
+// Overload behavior (see service/overload.hpp): a request refused by
+// admission control answers {"ok":false,"overloaded":true,
+// "retry_after_ms":N,...} — clients back off and retry. ask accepts an
+// optional "deadline_ms" (-1 = block for the fresh model); a batch served
+// past its deadline carries "degraded":"stale_model"|"random". health
+// reports per-session state, queue depths, budget usage, and the
+// shed/degraded counters without blocking on busy sessions.
 //
 // measure_seed is a decimal *string*: 64-bit seeds do not survive the trip
 // through a JSON double.

@@ -1,5 +1,7 @@
 #include "service/session_manager.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -38,16 +40,68 @@ void validate_session_name(const std::string& name, const char* who) {
   }
 }
 
+/// Parsed form of a checkpoint() stream: the wrapper header plus the
+/// restored session. Shared by resume() and the lazy eviction-resume path.
+struct ParsedCheckpoint {
+  SessionSpec spec;
+  std::uint64_t measure_seed = 0;
+  std::unique_ptr<AskTellSession> session;
+};
+
+ParsedCheckpoint parse_checkpoint(std::istream& is,
+                                  util::ThreadPool* workers) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "pwu-session-file" ||
+      version != 1) {
+    throw std::runtime_error("SessionManager::resume: bad checkpoint header");
+  }
+  ParsedCheckpoint parsed;
+  std::string token;
+  if (!(is >> token >> parsed.spec.workload) || token != "workload") {
+    throw std::runtime_error("SessionManager::resume: bad workload line");
+  }
+  if (!(is >> token >> parsed.spec.pool_size >> parsed.spec.test_size >>
+        parsed.spec.seed) ||
+      token != "sizes") {
+    throw std::runtime_error("SessionManager::resume: bad sizes line");
+  }
+  if (!(is >> token >> parsed.measure_seed) || token != "measure_seed") {
+    throw std::runtime_error("SessionManager::resume: bad measure_seed line");
+  }
+
+  const workloads::WorkloadPtr workload =
+      workloads::make_workload(parsed.spec.workload);
+  parsed.session = std::make_unique<AskTellSession>(
+      AskTellSession::restore(workload->space(), is, workers));
+  // Surface the restored strategy/config in status output.
+  if (parsed.session->strategy_spec().has_value()) {
+    parsed.spec.strategy = parsed.session->strategy_spec()->name;
+    parsed.spec.alpha = parsed.session->strategy_spec()->alpha;
+  }
+  parsed.spec.learner = parsed.session->config();
+  return parsed;
+}
+
 }  // namespace
 
-SessionManager::SessionManager(util::ThreadPool* workers)
-    : workers_(workers) {}
+SessionManager::SessionManager(util::ThreadPool* workers, ServiceLimits limits,
+                               const util::TickSource* ticks)
+    : workers_(workers),
+      limits_(limits),
+      ticks_(ticks != nullptr ? ticks : &default_ticks_),
+      budget_(limits.memory_budget_bytes) {}
 
 SessionManager::~SessionManager() {
   std::lock_guard registry_lock(registry_mutex_);
   for (auto& [name, entry] : sessions_) {
     std::lock_guard entry_lock(entry->mutex);
-    join_refit(*entry);
+    try {
+      join_refit(*entry);
+    } catch (...) {
+      // A refit that was cancelled (or failed) with nobody left to care:
+      // destruction must not throw.
+    }
   }
 }
 
@@ -60,6 +114,26 @@ void SessionManager::join_refit(Entry& entry) {
   }
 }
 
+void SessionManager::touch(Entry& entry) const {
+  entry.last_touch.store(
+      touch_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+}
+
+void SessionManager::shed(const std::string& what) const {
+  overloaded_sheds_.fetch_add(1, std::memory_order_relaxed);
+  throw OverloadError(what, limits_.retry_after_ms);
+}
+
+void SessionManager::update_footprint(const std::string& name,
+                                      Entry& entry) const {
+  // Caller holds entry.mutex with no refit in flight (memory_bytes reads
+  // the model the fit would be replacing).
+  const std::size_t bytes = entry.session->memory_bytes();
+  entry.footprint.store(bytes, std::memory_order_relaxed);
+  budget_.charge(name, bytes);
+}
+
 std::shared_ptr<SessionManager::Entry> SessionManager::find(
     const std::string& name) const {
   std::lock_guard lock(registry_mutex_);
@@ -68,7 +142,9 @@ std::shared_ptr<SessionManager::Entry> SessionManager::find(
     throw std::invalid_argument("SessionManager: no session named '" + name +
                                 "'");
   }
-  PWU_ENSURE(it->second != nullptr && it->second->session != nullptr,
+  PWU_ENSURE(it->second != nullptr &&
+                 (it->second->session != nullptr ||
+                  it->second->evicted.load(std::memory_order_relaxed)),
              "find: registry entry for '" << name << "' lost its session");
   return it->second;
 }
@@ -96,9 +172,39 @@ SessionStatus SessionManager::status_locked(const std::string& name,
   return status;
 }
 
+void SessionManager::ensure_resumed(const std::string& name, Entry& entry,
+                                    const AutoCheckpointPolicy& policy) const {
+  if (entry.session != nullptr) return;
+  PWU_ASSERT(entry.evicted.load(std::memory_order_relaxed),
+             "ensure_resumed: entry '" << name
+                                       << "' has no session but is not "
+                                          "marked evicted");
+  const std::string path = policy.dir + "/" + name + ".ckpt";
+  const util::RecoveredRead read = util::read_checkpoint_with_fallback(path);
+  if (read.status != util::ReadStatus::Ok) {
+    throw std::runtime_error(
+        std::string("SessionManager: cannot resume evicted session '") + name +
+        "': " + util::to_string(read.status) + " checkpoint '" + path + "'");
+  }
+  std::istringstream is(read.payload);
+  ParsedCheckpoint parsed = parse_checkpoint(is, workers_);
+  entry.session = std::move(parsed.session);  // pwu-lint: allow(no-unlocked-mutable)
+  entry.spec = std::move(parsed.spec);
+  entry.measure_seed = parsed.measure_seed;
+  entry.evicted.store(false, std::memory_order_relaxed);
+  lazy_resumes_.fetch_add(1, std::memory_order_relaxed);
+  update_footprint(name, entry);
+}
+
 SessionStatus SessionManager::create(const std::string& name,
                                      const SessionSpec& spec) {
   validate_session_name(name, "SessionManager::create");
+  // Cheap admission pre-check before the expensive pool build; the
+  // authoritative check happens again under the registry lock at insert.
+  if (limits_.max_sessions != 0 && size() >= limits_.max_sessions) {
+    shed("session cap (" + std::to_string(limits_.max_sessions) +
+         ") reached");
+  }
   const workloads::WorkloadPtr workload =
       workloads::make_workload(spec.workload);
 
@@ -122,56 +228,190 @@ SessionStatus SessionManager::create(const std::string& name,
   entry->spec = spec;
   entry->measure_seed = measure_seed;
 
-  std::lock_guard lock(registry_mutex_);
-  const auto [it, inserted] = sessions_.emplace(name, std::move(entry));
-  if (!inserted) {
-    throw std::invalid_argument("SessionManager::create: session '" + name +
-                                "' already exists");
+  SessionStatus status;
+  {
+    std::lock_guard lock(registry_mutex_);
+    if (limits_.max_sessions != 0 &&
+        sessions_.size() >= limits_.max_sessions) {
+      shed("session cap (" + std::to_string(limits_.max_sessions) +
+           ") reached");
+    }
+    const auto [it, inserted] = sessions_.emplace(name, std::move(entry));
+    if (!inserted) {
+      throw std::invalid_argument("SessionManager::create: session '" + name +
+                                  "' already exists");
+    }
+    touch(*it->second);
+    it->second->footprint.store(it->second->session->memory_bytes(),
+                                std::memory_order_relaxed);
+    budget_.charge(name, it->second->footprint.load(std::memory_order_relaxed));
+    status = status_locked(name, *it->second);
   }
-  return status_locked(name, *it->second);
+  enforce_budget();
+  return status;
 }
 
 std::vector<Candidate> SessionManager::ask(const std::string& name,
                                            std::size_t count) {
-  const std::shared_ptr<Entry> entry = find(name);
-  std::lock_guard lock(entry->mutex);
-  join_refit(*entry);
-  return entry->session->ask(count);
+  return ask_with_deadline(name, count, limits_.ask_deadline_ms).candidates;
 }
 
-void SessionManager::schedule_refit(Entry& entry) {
-  // The refit is due; run it off-thread so refits of different sessions
-  // overlap. The entry mutex is NOT held by the task — the next
-  // operation on this session joins the future first.
-  AskTellSession* session = entry.session.get();
+AskOutcome SessionManager::ask_with_deadline(const std::string& name,
+                                             std::size_t count,
+                                             std::int64_t deadline_ms) {
+  const AutoCheckpointPolicy policy = auto_checkpoint_policy();
+  const std::shared_ptr<Entry> entry = find(name);
+  AskOutcome outcome;
+  {
+    std::lock_guard lock(entry->mutex);
+    touch(*entry);
+    ensure_resumed(name, *entry, policy);
+    if (entry->quarantined) {
+      shed("session '" + name + "' is quarantined (repeated refit timeouts)");
+    }
+    if (limits_.max_pending_asks != 0) {
+      const auto& config = entry->session->config();
+      // Cold start always serves exactly n_init, regardless of any explicit
+      // count (Algorithm 1, lines 1-4); size the admission check the way
+      // the session will actually answer.
+      const std::size_t want =
+          entry->session->phase() == SessionPhase::ColdStart
+              ? config.n_init
+              : (count != 0 ? count : config.n_batch);
+      if (want > limits_.max_pending_asks) {
+        shed("ask for " + std::to_string(want) +
+             " candidates exceeds the pending-ask cap (" +
+             std::to_string(limits_.max_pending_asks) + ")");
+      }
+    }
+    bool fresh = settle_refit(entry, deadline_ms);
+    if (fresh && entry->session->refit_due() && deadline_ms >= 0 &&
+        workers_ != nullptr && workers_->num_threads() > 1) {
+      // A due-but-unscheduled refit (restored checkpoint, lazy resume):
+      // run it on the pool and hold it to the same deadline instead of
+      // letting ask() block on it inline.
+      schedule_refit(entry);
+      fresh = settle_refit(entry, deadline_ms);
+    }
+    if (entry->quarantined) {
+      shed("session '" + name + "' is quarantined (repeated refit timeouts)");
+    }
+    if (fresh) {
+      outcome.candidates = entry->session->ask(count);
+      update_footprint(name, *entry);
+    } else {
+      const core::Surrogate* stale = entry->last_good.get();
+      const bool scored = stale != nullptr && stale->fitted();
+      outcome.candidates = entry->session->ask_degraded(count, stale);
+      if (!outcome.candidates.empty()) {
+        outcome.degraded =
+            scored ? DegradedMode::StaleModel : DegradedMode::Random;
+        (scored ? degraded_stale_total_ : degraded_random_total_)
+            .fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  enforce_budget();
+  return outcome;
+}
+
+void SessionManager::schedule_refit(const std::shared_ptr<Entry>& entry) const {
+  // Caller holds entry->mutex. Snapshot the current model first: it is
+  // what deadline-expired asks score the pool with while the fresh fit
+  // runs, and shared ownership keeps it alive even after the fit swaps
+  // session->model().
+  entry->last_good = entry->session->model();  // pwu-lint: allow(no-unlocked-mutable)
   if (workers_ != nullptr && workers_->num_threads() > 1) {
-    // Caller holds entry.mutex (same contract as join_refit).
+    if (limits_.max_refit_queue != 0 &&
+        refits_in_flight_.load(std::memory_order_relaxed) >=
+            limits_.max_refit_queue) {
+      // Queue full: leave the fit due inside the session (it survives
+      // checkpoints that way) and re-attempt on the next touch.
+      entry->refit_deferred = true;  // pwu-lint: allow(no-unlocked-mutable)
+      return;
+    }
+    auto cancel = std::make_shared<util::CancelToken>();
+    entry->refit_cancel = cancel;  // pwu-lint: allow(no-unlocked-mutable)
+    entry->refit_watchdog.arm(*ticks_, limits_.refit_watchdog_ms);
+    refits_in_flight_.fetch_add(1, std::memory_order_relaxed);
+    // The task owns the entry shared_ptr (never a raw session pointer):
+    // close(), eviction, or manager destruction cannot free session state
+    // while the fit is running. It runs without entry->mutex — every other
+    // session operation settles the future before touching fields the fit
+    // uses (model_, rng_, the training set).
     // pwu-lint: allow-next-line(no-unlocked-mutable)
-    entry.refit = workers_->submit([session] { session->refit(); });
+    entry->refit = workers_->submit([this, entry, cancel] {
+      struct Decrement {
+        const std::atomic<std::size_t>& counter;
+        ~Decrement() {
+          const_cast<std::atomic<std::size_t>&>(counter).fetch_sub(
+              1, std::memory_order_relaxed);
+        }
+      } decrement{refits_in_flight_};
+      // pwu-lint: allow-next-line(no-unlocked-mutable)
+      entry->session->refit(cancel.get());
+    });
   } else {
-    session->refit();  // pwu-lint: allow(no-unlocked-mutable)
+    entry->session->refit();  // pwu-lint: allow(no-unlocked-mutable)
   }
 }
 
-SessionManager::AutoCheckpointPolicy SessionManager::auto_checkpoint_policy()
-    const {
-  std::lock_guard lock(registry_mutex_);
-  return AutoCheckpointPolicy{auto_checkpoint_dir_, auto_checkpoint_every_};
-}
+bool SessionManager::settle_refit(const std::shared_ptr<Entry>& entry,
+                                  std::int64_t deadline_ms) const {
+  // Caller holds entry->mutex.
+  for (;;) {
+    // pwu-lint: allow-next-line(no-unlocked-mutable)
+    if (entry->refit_deferred && !entry->refit.valid()) {
+      entry->refit_deferred = false;  // pwu-lint: allow(no-unlocked-mutable)
+      schedule_refit(entry);
+      if (entry->refit_deferred) {  // pwu-lint: allow(no-unlocked-mutable)
+        // Still no queue slot. A blocking caller runs the fit inline
+        // rather than busy-wait for a slot; a deadline caller degrades.
+        if (deadline_ms >= 0) return false;
+        entry->refit_deferred = false;  // pwu-lint: allow(no-unlocked-mutable)
+        entry->session->refit();  // pwu-lint: allow(no-unlocked-mutable)
+        return true;
+      }
+    }
+    if (!entry->refit.valid()) return true;  // pwu-lint: allow(no-unlocked-mutable)
 
-void SessionManager::maybe_auto_checkpoint(const std::string& name,
-                                           Entry& entry,
-                                           const AutoCheckpointPolicy& policy,
-                                           std::string& checkpoint_path) {
-  if (policy.every == 0) return;
-  // Caller holds entry.mutex (same contract as join_refit).
-  if (++entry.tells_since_checkpoint < policy.every) return;  // pwu-lint: allow(no-unlocked-mutable)
-  entry.tells_since_checkpoint = 0;  // pwu-lint: allow(no-unlocked-mutable)
-  const std::string path = policy.dir + "/" + name + ".ckpt";
-  std::ostringstream image;
-  serialize_locked(entry, image);
-  util::atomic_write_file(path, image.str());
-  checkpoint_path = path;
+    if (deadline_ms < 0) {
+      entry->refit.wait();  // pwu-lint: allow(no-unlocked-mutable)
+      // pwu-lint: allow-next-line(no-unlocked-mutable)
+    } else if (entry->refit.wait_for(std::chrono::milliseconds(
+                   deadline_ms)) !=
+               std::future_status::ready) {
+      // Deadline expired with the fit still running. If it has also blown
+      // its watchdog budget, ask it to stop burning a worker; the
+      // cancellation is harvested (and the fit requeued or the session
+      // quarantined) on a later settle.
+      // pwu-lint: allow-next-line(no-unlocked-mutable)
+      if (entry->refit_watchdog.expired() && entry->refit_cancel != nullptr &&
+          !entry->refit_cancel->requested()) {  // pwu-lint: allow(no-unlocked-mutable)
+        entry->refit_cancel->request();  // pwu-lint: allow(no-unlocked-mutable)
+        watchdog_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return false;
+    }
+
+    std::future<void> settled = std::move(entry->refit);  // pwu-lint: allow(no-unlocked-mutable)
+    entry->refit_watchdog.disarm();
+    entry->refit_cancel.reset();  // pwu-lint: allow(no-unlocked-mutable)
+    try {
+      settled.get();
+      return true;
+    } catch (const util::Cancelled&) {
+      // The watchdog cancelled this fit. The session rolled its rng back,
+      // so a requeued fit replays identically.
+      ++entry->refit_timeouts;  // pwu-lint: allow(no-unlocked-mutable)
+      if (entry->refit_timeouts > limits_.refit_retries) {  // pwu-lint: allow(no-unlocked-mutable)
+        entry->quarantined = true;  // pwu-lint: allow(no-unlocked-mutable)
+        return false;
+      }
+      schedule_refit(entry);
+      // Loop: wait for (or degrade around) the requeued fit.
+    }
+  }
 }
 
 TellOutcome SessionManager::tell(const std::string& name,
@@ -181,18 +421,36 @@ TellOutcome SessionManager::tell(const std::string& name,
   // entry mutexes, so it must never be acquired while one is held.
   const AutoCheckpointPolicy policy = auto_checkpoint_policy();
   const std::shared_ptr<Entry> entry = find(name);
-  std::lock_guard lock(entry->mutex);
-  join_refit(*entry);
   TellOutcome outcome;
-  outcome.batch_complete = entry->session->tell(config, measured_time);
-  util::killpoint("session_manager.tell.applied");
-  outcome.labeled = entry->session->num_labeled();
-  outcome.done = entry->session->done();
-  // Checkpoint before scheduling the refit: a refit-due session image
-  // restores exactly (the refit replays from the saved rng), and writing
-  // now avoids blocking on the background fit.
-  maybe_auto_checkpoint(name, *entry, policy, outcome.checkpoint_path);
-  if (outcome.batch_complete) schedule_refit(*entry);
+  {
+    std::lock_guard lock(entry->mutex);
+    touch(*entry);
+    ensure_resumed(name, *entry, policy);
+    if (entry->quarantined) {
+      shed("session '" + name + "' is quarantined (repeated refit timeouts)");
+    }
+    // A tell writes the training set the refit is reading — it must never
+    // overlap an in-flight fit. Within the deadline we wait; past it we
+    // shed (degrading is not an option for writes).
+    if (!settle_refit(entry, limits_.ask_deadline_ms)) {
+      if (entry->quarantined) {
+        shed("session '" + name +
+             "' is quarantined (repeated refit timeouts)");
+      }
+      shed("session '" + name + "' refit still in flight");
+    }
+    outcome.batch_complete = entry->session->tell(config, measured_time);
+    util::killpoint("session_manager.tell.applied");
+    outcome.labeled = entry->session->num_labeled();
+    outcome.done = entry->session->done();
+    // Checkpoint before scheduling the refit: a refit-due session image
+    // restores exactly (the refit replays from the saved rng), and writing
+    // now avoids blocking on the background fit.
+    maybe_auto_checkpoint(name, *entry, policy, outcome.checkpoint_path);
+    update_footprint(name, *entry);
+    if (outcome.batch_complete) schedule_refit(entry);
+  }
+  enforce_budget();
   return outcome;
 }
 
@@ -201,27 +459,47 @@ FailureTellOutcome SessionManager::tell_failure(
     sim::FailureKind kind, double cost_seconds) {
   const AutoCheckpointPolicy policy = auto_checkpoint_policy();
   const std::shared_ptr<Entry> entry = find(name);
-  std::lock_guard lock(entry->mutex);
-  join_refit(*entry);
-  const FailureOutcome result =
-      entry->session->tell_failure(config, kind, cost_seconds);
-  util::killpoint("session_manager.tell.applied");
   FailureTellOutcome outcome;
-  outcome.action = result.action;
-  outcome.attempts = result.attempts;
-  outcome.backoff_seconds = result.backoff_seconds;
-  outcome.batch_complete = result.batch_complete;
-  outcome.done = entry->session->done();
-  outcome.failed_total = entry->session->failed().size();
-  maybe_auto_checkpoint(name, *entry, policy, outcome.checkpoint_path);
-  if (outcome.batch_complete) schedule_refit(*entry);
+  {
+    std::lock_guard lock(entry->mutex);
+    touch(*entry);
+    ensure_resumed(name, *entry, policy);
+    if (entry->quarantined) {
+      shed("session '" + name + "' is quarantined (repeated refit timeouts)");
+    }
+    if (!settle_refit(entry, limits_.ask_deadline_ms)) {
+      if (entry->quarantined) {
+        shed("session '" + name +
+             "' is quarantined (repeated refit timeouts)");
+      }
+      shed("session '" + name + "' refit still in flight");
+    }
+    const FailureOutcome result =
+        entry->session->tell_failure(config, kind, cost_seconds);
+    util::killpoint("session_manager.tell.applied");
+    outcome.action = result.action;
+    outcome.attempts = result.attempts;
+    outcome.backoff_seconds = result.backoff_seconds;
+    outcome.batch_complete = result.batch_complete;
+    outcome.done = entry->session->done();
+    outcome.failed_total = entry->session->failed().size();
+    maybe_auto_checkpoint(name, *entry, policy, outcome.checkpoint_path);
+    update_footprint(name, *entry);
+    if (outcome.batch_complete) schedule_refit(entry);
+  }
+  enforce_budget();
   return outcome;
 }
 
 SessionStatus SessionManager::status(const std::string& name) const {
+  const AutoCheckpointPolicy policy = auto_checkpoint_policy();
   const std::shared_ptr<Entry> entry = find(name);
   std::lock_guard lock(entry->mutex);
-  join_refit(*entry);
+  ensure_resumed(name, *entry, policy);
+  // Bring the refit to rest within the configured deadline; when it is
+  // still running past the deadline, report anyway — everything
+  // status_locked reads is disjoint from what the fit writes.
+  settle_refit(entry, limits_.ask_deadline_ms);
   return status_locked(name, *entry);
 }
 
@@ -244,6 +522,61 @@ std::vector<SessionStatus> SessionManager::list() const {
   return statuses;
 }
 
+HealthReport SessionManager::health() const {
+  HealthReport report;
+  report.refits_in_flight = refits_in_flight_.load(std::memory_order_relaxed);
+  report.budget_used_bytes = budget_.used();
+  report.budget_capacity_bytes = budget_.capacity();
+  report.overloaded_sheds = overloaded_sheds_.load(std::memory_order_relaxed);
+  report.degraded_stale_asks =
+      degraded_stale_total_.load(std::memory_order_relaxed);
+  report.degraded_random_asks =
+      degraded_random_total_.load(std::memory_order_relaxed);
+  report.evictions = evictions_.load(std::memory_order_relaxed);
+  report.lazy_resumes = lazy_resumes_.load(std::memory_order_relaxed);
+  report.watchdog_timeouts =
+      watchdog_timeouts_.load(std::memory_order_relaxed);
+
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> entries;
+  {
+    std::lock_guard lock(registry_mutex_);
+    entries.reserve(sessions_.size());
+    for (const auto& [name, entry] : sessions_) {
+      entries.emplace_back(name, entry);
+    }
+  }
+  for (const auto& [name, entry] : entries) {
+    SessionHealth sh;
+    sh.name = name;
+    sh.footprint_bytes = entry->footprint.load(std::memory_order_relaxed);
+    std::unique_lock lock(entry->mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      sh.state = "busy";
+      ++report.sessions_busy;
+    } else if (entry->session == nullptr) {
+      sh.state = "evicted";
+      ++report.sessions_evicted;
+    } else {
+      sh.state = entry->quarantined ? "quarantined" : "live";
+      sh.phase = to_string(entry->session->phase());
+      sh.pending = entry->session->pending_count();
+      sh.refit_in_flight = entry->refit.valid();
+      sh.refit_deferred = entry->refit_deferred;
+      sh.refit_timeouts = entry->refit_timeouts;
+      sh.degraded_stale_asks = entry->session->degraded_stale_asks();
+      sh.degraded_random_asks = entry->session->degraded_random_asks();
+      if (entry->quarantined) {
+        ++report.sessions_quarantined;
+      } else {
+        ++report.sessions_live;
+      }
+      if (sh.refit_deferred) ++report.refits_deferred;
+    }
+    report.sessions.push_back(std::move(sh));
+  }
+  return report;
+}
+
 bool SessionManager::close(const std::string& name) {
   std::shared_ptr<Entry> entry;
   {
@@ -255,8 +588,16 @@ bool SessionManager::close(const std::string& name) {
   }
   // Drain the refit outside the registry lock so closing a busy session
   // does not stall unrelated requests.
-  std::lock_guard entry_lock(entry->mutex);
-  join_refit(*entry);
+  {
+    std::lock_guard entry_lock(entry->mutex);
+    try {
+      join_refit(*entry);
+    } catch (...) {
+      // The session is being discarded; a failed or cancelled refit has
+      // nobody left to report to.
+    }
+  }
+  budget_.charge(name, 0);
   return true;
 }
 
@@ -271,21 +612,46 @@ void SessionManager::serialize_locked(const Entry& entry, std::ostream& os) {
 
 void SessionManager::checkpoint(const std::string& name,
                                 std::ostream& os) const {
+  const AutoCheckpointPolicy policy = auto_checkpoint_policy();
   const std::shared_ptr<Entry> entry = find(name);
   std::lock_guard lock(entry->mutex);
+  ensure_resumed(name, *entry, policy);
   join_refit(*entry);
   serialize_locked(*entry, os);
 }
 
 std::string SessionManager::checkpoint_to_file(const std::string& name,
                                                const std::string& path) const {
+  const AutoCheckpointPolicy policy = auto_checkpoint_policy();
   const std::shared_ptr<Entry> entry = find(name);
   std::lock_guard lock(entry->mutex);
+  ensure_resumed(name, *entry, policy);
   join_refit(*entry);
   std::ostringstream image;
   serialize_locked(*entry, image);
   util::atomic_write_file(path, image.str());
   return path;
+}
+
+SessionManager::AutoCheckpointPolicy SessionManager::auto_checkpoint_policy()
+    const {
+  std::lock_guard lock(registry_mutex_);
+  return AutoCheckpointPolicy{auto_checkpoint_dir_, auto_checkpoint_every_};
+}
+
+void SessionManager::maybe_auto_checkpoint(const std::string& name,
+                                           Entry& entry,
+                                           const AutoCheckpointPolicy& policy,
+                                           std::string& checkpoint_path) {
+  if (policy.every == 0) return;
+  // Caller holds entry.mutex (same contract as join_refit).
+  if (++entry.tells_since_checkpoint < policy.every) return;  // pwu-lint: allow(no-unlocked-mutable)
+  entry.tells_since_checkpoint = 0;  // pwu-lint: allow(no-unlocked-mutable)
+  const std::string path = policy.dir + "/" + name + ".ckpt";
+  std::ostringstream image;
+  serialize_locked(entry, image);
+  util::atomic_write_file(path, image.str());
+  checkpoint_path = path;
 }
 
 ResumeOutcome SessionManager::resume_from_file(const std::string& name,
@@ -317,6 +683,49 @@ void SessionManager::enable_auto_checkpoint(std::string directory,
   auto_checkpoint_every_ = every_tells;
 }
 
+void SessionManager::enforce_budget() {
+  if (limits_.memory_budget_bytes == 0) return;
+  if (!budget_.over_capacity()) return;
+  const AutoCheckpointPolicy policy = auto_checkpoint_policy();
+  if (policy.dir.empty()) return;  // nowhere to evict to
+
+  // Oldest logical touch first. try_lock only: a session someone is using
+  // is by definition not idle, and eviction must never wait behind it.
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> entries;
+  {
+    std::lock_guard lock(registry_mutex_);
+    entries.reserve(sessions_.size());
+    for (const auto& [name, entry] : sessions_) {
+      entries.emplace_back(name, entry);
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.second->last_touch.load(std::memory_order_relaxed) <
+                     b.second->last_touch.load(std::memory_order_relaxed);
+            });
+  for (const auto& [name, entry] : entries) {
+    if (!budget_.over_capacity()) break;
+    std::unique_lock lock(entry->mutex, std::try_to_lock);
+    if (!lock.owns_lock()) continue;
+    if (entry->session == nullptr) continue;          // already evicted
+    if (entry->refit.valid()) continue;  // fit in flight — not idle
+    std::ostringstream image;
+    serialize_locked(*entry, image);
+    util::atomic_write_file(policy.dir + "/" + name + ".ckpt", image.str());
+    entry->tells_since_checkpoint = 0;
+    // A deferred fit is captured by the session's refit_due flag inside
+    // the checkpoint; it replays after the lazy resume.
+    entry->refit_deferred = false;
+    entry->session.reset();
+    entry->last_good.reset();
+    entry->evicted.store(true, std::memory_order_relaxed);
+    entry->footprint.store(0, std::memory_order_relaxed);
+    budget_.charge(name, 0);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void SessionManager::drain() {
   std::string dir;
   bool auto_enabled = false;
@@ -330,7 +739,14 @@ void SessionManager::drain() {
   }
   for (const auto& [name, entry] : entries) {
     std::lock_guard entry_lock(entry->mutex);
-    join_refit(*entry);
+    try {
+      join_refit(*entry);
+    } catch (...) {
+      // A cancelled or failed refit must not abort the shutdown barrier:
+      // the fit stays recorded as due inside the session, so the final
+      // checkpoint replays it on resume.
+    }
+    if (entry->session == nullptr) continue;  // evicted: already on disk
     if (auto_enabled) {
       std::ostringstream image;
       serialize_locked(*entry, image);
@@ -343,47 +759,37 @@ void SessionManager::drain() {
 SessionStatus SessionManager::resume(const std::string& name,
                                      std::istream& is) {
   validate_session_name(name, "SessionManager::resume");
-  std::string magic;
-  int version = 0;
-  if (!(is >> magic >> version) || magic != "pwu-session-file" ||
-      version != 1) {
-    throw std::runtime_error("SessionManager::resume: bad checkpoint header");
+  if (limits_.max_sessions != 0 && size() >= limits_.max_sessions) {
+    shed("session cap (" + std::to_string(limits_.max_sessions) +
+         ") reached");
   }
-  SessionSpec spec;
-  std::string token;
-  std::uint64_t measure_seed = 0;
-  if (!(is >> token >> spec.workload) || token != "workload") {
-    throw std::runtime_error("SessionManager::resume: bad workload line");
-  }
-  if (!(is >> token >> spec.pool_size >> spec.test_size >> spec.seed) ||
-      token != "sizes") {
-    throw std::runtime_error("SessionManager::resume: bad sizes line");
-  }
-  if (!(is >> token >> measure_seed) || token != "measure_seed") {
-    throw std::runtime_error("SessionManager::resume: bad measure_seed line");
-  }
-
-  const workloads::WorkloadPtr workload =
-      workloads::make_workload(spec.workload);
+  ParsedCheckpoint parsed = parse_checkpoint(is, workers_);
   auto entry = std::make_shared<Entry>();
-  entry->session = std::make_unique<AskTellSession>(
-      AskTellSession::restore(workload->space(), is, workers_));
-  // Surface the restored strategy/config in status output.
-  if (entry->session->strategy_spec().has_value()) {
-    spec.strategy = entry->session->strategy_spec()->name;
-    spec.alpha = entry->session->strategy_spec()->alpha;
-  }
-  spec.learner = entry->session->config();
-  entry->spec = std::move(spec);
-  entry->measure_seed = measure_seed;
+  entry->session = std::move(parsed.session);
+  entry->spec = std::move(parsed.spec);
+  entry->measure_seed = parsed.measure_seed;
 
-  std::lock_guard lock(registry_mutex_);
-  const auto [it, inserted] = sessions_.emplace(name, std::move(entry));
-  if (!inserted) {
-    throw std::invalid_argument("SessionManager::resume: session '" + name +
-                                "' already exists");
+  SessionStatus status;
+  {
+    std::lock_guard lock(registry_mutex_);
+    if (limits_.max_sessions != 0 &&
+        sessions_.size() >= limits_.max_sessions) {
+      shed("session cap (" + std::to_string(limits_.max_sessions) +
+           ") reached");
+    }
+    const auto [it, inserted] = sessions_.emplace(name, std::move(entry));
+    if (!inserted) {
+      throw std::invalid_argument("SessionManager::resume: session '" + name +
+                                  "' already exists");
+    }
+    touch(*it->second);
+    it->second->footprint.store(it->second->session->memory_bytes(),
+                                std::memory_order_relaxed);
+    budget_.charge(name, it->second->footprint.load(std::memory_order_relaxed));
+    status = status_locked(name, *it->second);
   }
-  return status_locked(name, *it->second);
+  enforce_budget();
+  return status;
 }
 
 std::size_t SessionManager::size() const {

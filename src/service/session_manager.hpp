@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <iosfwd>
@@ -22,7 +23,10 @@
 
 #include "core/active_learner.hpp"
 #include "service/ask_tell_session.hpp"
+#include "service/overload.hpp"
+#include "util/resource_budget.hpp"
 #include "util/thread_pool.hpp"
+#include "util/watchdog.hpp"
 
 namespace pwu::service {
 
@@ -90,11 +94,53 @@ struct ResumeOutcome {
   std::string source_path;
 };
 
+/// One session's row in a health() report.
+struct SessionHealth {
+  std::string name;
+  /// "live", "evicted" (checkpointed out under memory pressure),
+  /// "quarantined" (repeated refit timeouts), or "busy" (another thread
+  /// holds the session; health never blocks to find out more).
+  std::string state;
+  std::string phase;  // empty when busy or evicted
+  std::size_t pending = 0;
+  bool refit_in_flight = false;
+  bool refit_deferred = false;
+  std::size_t footprint_bytes = 0;
+  std::size_t refit_timeouts = 0;
+  std::size_t degraded_stale_asks = 0;
+  std::size_t degraded_random_asks = 0;
+};
+
+/// Non-blocking process-level health snapshot (the `health` protocol op).
+struct HealthReport {
+  std::size_t sessions_live = 0;
+  std::size_t sessions_evicted = 0;
+  std::size_t sessions_quarantined = 0;
+  std::size_t sessions_busy = 0;
+  std::size_t refits_in_flight = 0;
+  std::size_t refits_deferred = 0;
+  std::size_t budget_used_bytes = 0;
+  std::size_t budget_capacity_bytes = 0;  // 0 = unlimited
+  std::uint64_t overloaded_sheds = 0;
+  std::uint64_t degraded_stale_asks = 0;
+  std::uint64_t degraded_random_asks = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t lazy_resumes = 0;
+  std::uint64_t watchdog_timeouts = 0;
+  std::vector<SessionHealth> sessions;
+};
+
 class SessionManager {
  public:
   /// `workers` parallelizes surrogate refits across sessions and within a
-  /// forest fit; nullptr runs everything on the calling thread.
-  explicit SessionManager(util::ThreadPool* workers = nullptr);
+  /// forest fit; nullptr runs everything on the calling thread. `limits`
+  /// turns on admission control / degraded asks / budgets; the default
+  /// (all zeros, deadline -1) reproduces the un-governed legacy behavior
+  /// exactly. `ticks` injects a clock for the refit watchdog — tests pass
+  /// a util::ManualTickSource; nullptr uses the OS monotonic clock.
+  explicit SessionManager(util::ThreadPool* workers = nullptr,
+                          ServiceLimits limits = {},
+                          const util::TickSource* ticks = nullptr);
   /// Joins outstanding background refits.
   ~SessionManager();
 
@@ -105,8 +151,21 @@ class SessionManager {
   /// std::invalid_argument for duplicate names or unknown workloads.
   SessionStatus create(const std::string& name, const SessionSpec& spec);
 
-  /// Next batch of candidates (count 0 = the session default).
+  /// Next batch of candidates (count 0 = the session default). Uses the
+  /// configured default deadline (limits().ask_deadline_ms); with the
+  /// default limits this blocks on any in-flight refit, exactly like the
+  /// pre-overload manager.
   std::vector<Candidate> ask(const std::string& name, std::size_t count = 0);
+
+  /// ask() with an explicit deadline budget in milliseconds. Negative =
+  /// block until the fresh surrogate is ready; otherwise, when an
+  /// in-flight (or deferred) refit cannot settle within the budget, the
+  /// batch is served degraded — scored by the last-good model snapshot
+  /// (DegradedMode::StaleModel) or drawn seeded-random when no snapshot
+  /// exists (DegradedMode::Random). Throws OverloadError when the session
+  /// is quarantined or the request exceeds the pending-ask cap.
+  AskOutcome ask_with_deadline(const std::string& name, std::size_t count,
+                               std::int64_t deadline_ms);
 
   /// Reports one measured label. The refit triggered by a completed batch
   /// runs on the worker pool when one is available.
@@ -121,6 +180,13 @@ class SessionManager {
 
   SessionStatus status(const std::string& name) const;
   std::vector<SessionStatus> list() const;
+
+  /// Process-level health snapshot: per-session state, queue depths,
+  /// budget usage, shed/degraded counters. Never blocks on a busy session
+  /// and never triggers a lazy resume (health is a probe, not a touch).
+  HealthReport health() const;
+
+  const ServiceLimits& limits() const { return limits_; }
 
   /// Removes the session; returns false when the name is unknown.
   bool close(const std::string& name);
@@ -163,13 +229,38 @@ class SessionManager {
  private:
   struct Entry {
     mutable std::mutex mutex;
+    /// Null while the session is evicted to checkpoint (evicted == true);
+    /// ensure_resumed() restores it on the next touch.
     std::unique_ptr<AskTellSession> session;
     SessionSpec spec;
     std::uint64_t measure_seed = 0;
-    /// Pending background refit; joined before the next operation.
+    /// Pending background refit; settled before the next operation.
     std::future<void> refit;  // pwu-lint: guarded-by(mutex)
     /// Tells since the last auto-checkpoint.
     std::size_t tells_since_checkpoint = 0;  // pwu-lint: guarded-by(mutex)
+    /// Model snapshot taken just before each refit starts — what a
+    /// deadline-expired ask scores the pool with. Shared: the snapshot
+    /// stays valid even while the refit replaces session->model().
+    std::shared_ptr<core::Surrogate> last_good;  // pwu-lint: guarded-by(mutex)
+    /// Token of the in-flight refit; requested when the watchdog expires.
+    std::shared_ptr<util::CancelToken> refit_cancel;  // pwu-lint: guarded-by(mutex)
+    /// Armed for the lifetime of each in-flight refit (internally locked).
+    util::Watchdog refit_watchdog;
+    /// Refits of this session cancelled by the watchdog so far.
+    std::size_t refit_timeouts = 0;  // pwu-lint: guarded-by(mutex)
+    /// A due refit could not be queued (refit-queue cap); re-attempted on
+    /// the next touch. The fit itself stays recorded in the session's
+    /// refit_due flag, so deferral survives checkpoint/eviction.
+    bool refit_deferred = false;  // pwu-lint: guarded-by(mutex)
+    /// Repeated refit timeouts exceeded limits_.refit_retries: asks and
+    /// tells are shed; status/close/checkpoint still work.
+    bool quarantined = false;  // pwu-lint: guarded-by(mutex)
+    /// Session state lives in `<checkpoint dir>/<name>.ckpt`, not memory.
+    std::atomic<bool> evicted{false};
+    /// Last memory_bytes() charged to the process budget.
+    std::atomic<std::size_t> footprint{0};
+    /// Logical LRU stamp (global touch counter, not wall-clock).
+    std::atomic<std::uint64_t> last_touch{0};
   };
 
   std::shared_ptr<Entry> find(const std::string& name) const;
@@ -194,13 +285,52 @@ class SessionManager {
   static void maybe_auto_checkpoint(const std::string& name, Entry& entry,
                                     const AutoCheckpointPolicy& policy,
                                     std::string& checkpoint_path);
-  void schedule_refit(Entry& entry);
+  /// Submits the session's due refit to the worker pool (caller holds
+  /// entry->mutex). The task captures the entry shared_ptr — never a raw
+  /// session pointer — so close()/~SessionManager()/eviction cannot free
+  /// state under a running fit. Sets entry->refit_deferred instead when
+  /// the refit-queue cap is full.
+  void schedule_refit(const std::shared_ptr<Entry>& entry) const;
+  /// Brings the entry's refit to rest within `deadline_ms` (caller holds
+  /// entry->mutex). Returns true when no refit is outstanding afterwards
+  /// (the model is fresh); false when the caller should degrade. Harvests
+  /// watchdog-cancelled fits: requeues them up to limits_.refit_retries,
+  /// then marks the entry quarantined.
+  bool settle_refit(const std::shared_ptr<Entry>& entry,
+                    std::int64_t deadline_ms) const;
+  /// Lazily restores an evicted session from its checkpoint file (caller
+  /// holds entry->mutex).
+  void ensure_resumed(const std::string& name, Entry& entry,
+                      const AutoCheckpointPolicy& policy) const;
+  /// Recomputes the session footprint and charges it to the budget
+  /// (caller holds entry->mutex with no refit in flight).
+  void update_footprint(const std::string& name, Entry& entry) const;
+  /// Evicts least-recently-touched idle sessions to checkpoint until the
+  /// budget is back under capacity. Takes no entry locks it cannot get
+  /// without blocking; callers must hold no locks.
+  void enforce_budget();
+  /// Stamps the entry's LRU counter.
+  void touch(Entry& entry) const;
+  /// Counts a shed and throws OverloadError with the configured hint.
+  [[noreturn]] void shed(const std::string& what) const;
 
   mutable std::mutex registry_mutex_;
   std::map<std::string, std::shared_ptr<Entry>> sessions_;  // pwu-lint: guarded-by(registry_mutex_)
   util::ThreadPool* workers_ = nullptr;
+  ServiceLimits limits_;
+  util::SteadyTickSource default_ticks_;
+  const util::TickSource* ticks_ = nullptr;
+  mutable util::ResourceBudget budget_;
   std::string auto_checkpoint_dir_;          // pwu-lint: guarded-by(registry_mutex_)
   std::size_t auto_checkpoint_every_ = 0;    // pwu-lint: guarded-by(registry_mutex_)
+  mutable std::atomic<std::size_t> refits_in_flight_{0};
+  mutable std::atomic<std::uint64_t> touch_clock_{0};
+  mutable std::atomic<std::uint64_t> overloaded_sheds_{0};
+  mutable std::atomic<std::uint64_t> degraded_stale_total_{0};
+  mutable std::atomic<std::uint64_t> degraded_random_total_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> lazy_resumes_{0};
+  mutable std::atomic<std::uint64_t> watchdog_timeouts_{0};
 };
 
 }  // namespace pwu::service

@@ -110,11 +110,17 @@ void atomic_write_file(const std::string& path, std::string_view payload,
     // is fine; the rename below fully replaces `path` either way.
     if (::rename(path.c_str(), backup_path(path).c_str()) != 0 &&
         errno != ENOENT) {
+      ::unlink(tmp.c_str());  // genuine failure: don't leak the temp file
       fail("backup rotation failed", path);
     }
     killpoint("atomic_write.after_backup");
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) fail("rename failed", path);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int rename_errno = errno;
+    ::unlink(tmp.c_str());  // genuine failure (bad path): don't leak
+    errno = rename_errno;
+    fail("rename failed", path);
+  }
   killpoint("atomic_write.done");
 }
 

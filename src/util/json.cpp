@@ -139,6 +139,19 @@ class Parser {
     return true;
   }
 
+  // Containers nested past this depth are rejected rather than recursed
+  // into: the parser is recursive-descent, and a hostile "[[[[..." line
+  // must exhaust the error path, not the stack.
+  static constexpr std::size_t kMaxDepth = 100;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) parser_.fail("nesting too deep");
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    Parser& parser_;
+  };
+
   Value parse_value() {
     skip_ws();
     switch (peek()) {
@@ -159,6 +172,7 @@ class Parser {
   }
 
   Value parse_object() {
+    DepthGuard depth(*this);
     expect('{');
     Object obj;
     skip_ws();
@@ -183,6 +197,7 @@ class Parser {
   }
 
   Value parse_array() {
+    DepthGuard depth(*this);
     expect('[');
     Array arr;
     skip_ws();
@@ -284,6 +299,7 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

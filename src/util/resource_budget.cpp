@@ -1,0 +1,55 @@
+#include "util/resource_budget.hpp"
+
+namespace pwu::util {
+
+std::size_t ResourceBudget::capacity() const {
+  std::lock_guard lock(mutex_);
+  return capacity_;
+}
+
+void ResourceBudget::set_capacity(std::size_t bytes) {
+  std::lock_guard lock(mutex_);
+  capacity_ = bytes;
+}
+
+std::size_t ResourceBudget::charge(const std::string& key, std::size_t bytes) {
+  std::lock_guard lock(mutex_);
+  const auto it = charges_.find(key);
+  if (it != charges_.end()) {
+    total_ -= it->second;
+    if (bytes == 0) {
+      charges_.erase(it);
+    } else {
+      it->second = bytes;
+      total_ += bytes;
+    }
+  } else if (bytes != 0) {
+    charges_.emplace(key, bytes);
+    total_ += bytes;
+  }
+  return total_;
+}
+
+std::size_t ResourceBudget::used() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+std::size_t ResourceBudget::used(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = charges_.find(key);
+  return it == charges_.end() ? 0 : it->second;
+}
+
+bool ResourceBudget::over_capacity() const {
+  std::lock_guard lock(mutex_);
+  return capacity_ != 0 && total_ > capacity_;
+}
+
+std::size_t ResourceBudget::excess() const {
+  std::lock_guard lock(mutex_);
+  if (capacity_ == 0 || total_ <= capacity_) return 0;
+  return total_ - capacity_;
+}
+
+}  // namespace pwu::util

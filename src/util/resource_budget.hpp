@@ -1,0 +1,49 @@
+// Byte accounting of named charges against a process-wide cap.
+//
+// The tuning service charges each session's resident footprint (forest
+// nodes, encoded pool rows, training set) under its session name; the
+// manager consults the total to decide when idle sessions must be evicted
+// to checkpoint. The budget itself never evicts anything — it is a pure,
+// thread-safe ledger with a leaf mutex (no callback ever runs under it),
+// so it can be charged from worker threads without lock-order concerns.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace pwu::util {
+
+class ResourceBudget {
+ public:
+  ResourceBudget() = default;  // unlimited
+  explicit ResourceBudget(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// 0 = unlimited.
+  std::size_t capacity() const;
+  void set_capacity(std::size_t bytes);
+
+  /// Replaces `key`'s charge with `bytes` (0 erases it). Returns the new
+  /// total. Charging never fails — enforcement is the caller's policy.
+  std::size_t charge(const std::string& key, std::size_t bytes);
+  void release(const std::string& key) { charge(key, 0); }
+
+  std::size_t used() const;
+  std::size_t used(const std::string& key) const;
+
+  /// True when a capacity is set and the total exceeds it.
+  bool over_capacity() const;
+  /// Bytes above capacity (0 when within budget or unlimited).
+  std::size_t excess() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_ = 0;                    // pwu-lint: guarded-by(mutex_)
+  std::size_t total_ = 0;                       // pwu-lint: guarded-by(mutex_)
+  std::map<std::string, std::size_t> charges_;  // pwu-lint: guarded-by(mutex_)
+};
+
+}  // namespace pwu::util

@@ -1,0 +1,48 @@
+#include "util/watchdog.hpp"
+
+#include <chrono>
+
+namespace pwu::util {
+
+std::int64_t SteadyTickSource::now_ms() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Watchdog::arm(const TickSource& ticks, std::int64_t budget_ms) {
+  std::lock_guard lock(mutex_);
+  if (budget_ms <= 0) {
+    ticks_ = nullptr;
+    budget_ms_ = 0;
+    return;
+  }
+  ticks_ = &ticks;
+  budget_ms_ = budget_ms;
+  armed_at_ms_ = ticks.now_ms();
+}
+
+void Watchdog::disarm() {
+  std::lock_guard lock(mutex_);
+  ticks_ = nullptr;
+  budget_ms_ = 0;
+}
+
+bool Watchdog::armed() const {
+  std::lock_guard lock(mutex_);
+  return ticks_ != nullptr;
+}
+
+bool Watchdog::expired() const {
+  std::lock_guard lock(mutex_);
+  if (ticks_ == nullptr) return false;
+  return ticks_->now_ms() - armed_at_ms_ > budget_ms_;
+}
+
+std::int64_t Watchdog::elapsed_ms() const {
+  std::lock_guard lock(mutex_);
+  if (ticks_ == nullptr) return 0;
+  return ticks_->now_ms() - armed_at_ms_;
+}
+
+}  // namespace pwu::util

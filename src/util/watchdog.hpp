@@ -1,0 +1,110 @@
+// Deadline supervision primitives for the overload-resilient service.
+//
+// Three pieces, deliberately separated so each is testable on its own:
+//
+//   TickSource   — a monotonic millisecond clock behind a virtual call.
+//                  SteadyTickSource reads the OS monotonic clock;
+//                  ManualTickSource is a hand-cranked clock for
+//                  deterministic tests (the soak harness advances it
+//                  explicitly, so "a refit exceeded its wall-clock bound"
+//                  is a scripted event, not a scheduler accident).
+//   CancelToken  — a cooperative cancellation flag checked at safe points
+//                  (between trees in a forest fit). Cancellation is
+//                  *requested*, never forced: the cancelled work unwinds
+//                  by throwing Cancelled from a checkpoint it chose.
+//   Watchdog     — arms a budget against a TickSource and answers
+//                  "has the supervised operation overrun?" without ever
+//                  blocking. The service polls it on session touches and
+//                  requests cancellation when it expires.
+//
+// src/service code is barred from naming clocks directly (pwu_lint
+// no-wallclock), so this header is the only doorway between wall-clock
+// time and checkpointable code — and the virtual TickSource keeps even
+// that doorway mockable.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace pwu::util {
+
+/// Monotonic millisecond clock behind a virtual call.
+class TickSource {
+ public:
+  virtual ~TickSource() = default;
+  virtual std::int64_t now_ms() const = 0;
+};
+
+/// Reads the OS monotonic clock.
+class SteadyTickSource final : public TickSource {
+ public:
+  std::int64_t now_ms() const override;
+};
+
+/// Hand-cranked clock for deterministic tests.
+class ManualTickSource final : public TickSource {
+ public:
+  std::int64_t now_ms() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void set(std::int64_t ms) { now_.store(ms, std::memory_order_relaxed); }
+  void advance(std::int64_t delta_ms) {
+    now_.fetch_add(delta_ms, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> now_{0};
+};
+
+/// Thrown by cancelled work when it reaches a cancellation checkpoint.
+class Cancelled : public std::runtime_error {
+ public:
+  Cancelled() : std::runtime_error("operation cancelled") {}
+  explicit Cancelled(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Cooperative cancellation flag, shared between the supervisor (who
+/// requests) and the worker (who polls at safe points).
+class CancelToken {
+ public:
+  void request() { requested_.store(true, std::memory_order_relaxed); }
+  void reset() { requested_.store(false, std::memory_order_relaxed); }
+  bool requested() const {
+    return requested_.load(std::memory_order_relaxed);
+  }
+  /// Throws Cancelled when a cancellation has been requested.
+  void throw_if_requested() const {
+    if (requested()) throw Cancelled();
+  }
+
+ private:
+  std::atomic<bool> requested_{false};
+};
+
+/// Non-blocking overrun detector: arm() records "now" against a budget,
+/// expired() answers whether the budget has elapsed. Internally locked so
+/// a health probe may poll it while the owner re-arms.
+class Watchdog {
+ public:
+  /// Starts (or restarts) supervision with `budget_ms` on `ticks`, which
+  /// must outlive the armed period. A budget of 0 disarms.
+  void arm(const TickSource& ticks, std::int64_t budget_ms);
+  void disarm();
+  bool armed() const;
+  /// True when armed and the budget has fully elapsed.
+  bool expired() const;
+  /// Milliseconds since arm(); 0 when disarmed.
+  std::int64_t elapsed_ms() const;
+
+ private:
+  mutable std::mutex mutex_;
+  const TickSource* ticks_ = nullptr;  // pwu-lint: guarded-by(mutex_)
+  std::int64_t armed_at_ms_ = 0;       // pwu-lint: guarded-by(mutex_)
+  std::int64_t budget_ms_ = 0;         // pwu-lint: guarded-by(mutex_)
+};
+
+}  // namespace pwu::util

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace fixture {
+
+// Bounded: the cap is declared right next to the buffer, so every reader
+// (and the lint rule) can see the limit from the declaration.
+struct BoundedBacklog {
+  std::size_t max_backlog = 64;
+  std::deque<int> backlog_;
+};
+
+}  // namespace fixture

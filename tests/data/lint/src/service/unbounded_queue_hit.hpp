@@ -1,0 +1,18 @@
+#pragma once
+
+#include <deque>
+#include <queue>
+
+namespace fixture {
+
+// A backlog that grows without restraint: the rule fires.
+struct PendingBacklog {
+  std::deque<int> backlog_;
+};
+
+struct SuppressedBacklog {
+  // Documented elsewhere; locally waived.
+  std::queue<int> waiting_;  // pwu-lint: allow(no-unbounded-queue)
+};
+
+}  // namespace fixture

@@ -373,5 +373,142 @@ TEST_F(ChaosTest, CorruptNewestCheckpointFallsBackToThePreviousGood) {
   EXPECT_THROW(no_luck.resume_from_file("s2", ckpt), std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// Eviction chaos: the memory-budget enforcer constantly checkpoints idle
+// sessions to disk and drops them; the next touch lazily resumes them. Two
+// interleaved sessions under a budget that can hold only one must finish
+// with exactly the serialized state of an unevicted control run — eviction
+// is invisible apart from latency.
+
+TEST_F(ChaosTest, EvictedSessionsResumeBitIdenticallyFast) {
+  auto run = [&](std::size_t budget_bytes, const std::string& dir)
+      -> std::vector<std::string> {
+    service::ServiceLimits limits;
+    limits.memory_budget_bytes = budget_bytes;
+    service::SessionManager manager(nullptr, limits);
+    manager.enable_auto_checkpoint(dir, 1);
+    const auto workload = workloads::make_workload("gesummv");
+
+    std::vector<std::string> names = {"ea", "eb"};
+    std::map<std::string, util::Rng> measure;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      service::SessionSpec spec = chaos_spec();
+      spec.seed = 77 + i;
+      const service::SessionStatus st = manager.create(names[i], spec);
+      measure.emplace(names[i], util::Rng(st.measure_seed));
+    }
+    // Interleave one batch at a time: every ask on one session makes the
+    // other one the LRU eviction victim under the tight budget.
+    for (bool progress = true; progress;) {
+      progress = false;
+      for (const std::string& name : names) {
+        const auto batch = manager.ask(name);
+        if (batch.empty()) continue;
+        progress = true;
+        for (const service::Candidate& c : batch) {
+          manager.tell(name, c.config,
+                       workload->measure(c.config, measure.at(name), 1));
+        }
+      }
+    }
+    std::vector<std::string> images;
+    for (const std::string& name : names) {
+      EXPECT_TRUE(manager.status(name).done);
+      std::ostringstream image;
+      manager.checkpoint(name, image);
+      images.push_back(image.str());
+    }
+    if (budget_bytes != 0) {
+      const service::HealthReport health = manager.health();
+      EXPECT_GT(health.evictions, 0u);
+      EXPECT_GT(health.lazy_resumes, 0u);
+    }
+    return images;
+  };
+
+  const std::string evicted_dir = path("evicted");
+  const std::string control_dir = path("control");
+  std::filesystem::create_directories(evicted_dir);
+  std::filesystem::create_directories(control_dir);
+  // 1 byte: every idle session is over budget, so eviction churns on every
+  // touch. 0: unlimited, the control never evicts.
+  const std::vector<std::string> churned = run(1, evicted_dir);
+  const std::vector<std::string> control = run(0, control_dir);
+  ASSERT_EQ(churned.size(), control.size());
+  for (std::size_t i = 0; i < control.size(); ++i) {
+    EXPECT_EQ(churned[i], control[i]) << "session " << i;
+  }
+}
+
+TEST_F(ChaosTest, KillWhileEvictionChurnsRecoversBitIdentically) {
+  // Eviction and crash-recovery share the checkpoint files. A process
+  // death in the middle of an eviction-churning run must recover from the
+  // same files eviction wrote — and still finish bit-identical to the
+  // undisturbed control.
+  const service::SessionSpec spec = chaos_spec();
+  const auto workload = workloads::make_workload(spec.workload);
+
+  auto run = [&](const std::string& dir, bool crash) -> std::string {
+    service::ServiceLimits limits;
+    limits.memory_budget_bytes = 1;
+    auto manager = std::make_unique<service::SessionManager>(nullptr, limits);
+    manager->enable_auto_checkpoint(dir, 1);
+    const service::SessionStatus created = manager->create("s", spec);
+    manager->checkpoint_to_file("s", dir + "/s.ckpt");
+
+    util::Rng measure_rng(created.measure_seed);
+    std::map<std::size_t, std::string> rng_at;
+    std::size_t labeled = 0;
+    rng_at[labeled] = rng_state(measure_rng);
+    if (crash) arm_killpoint("session_manager.tell.applied", 8);
+
+    std::vector<service::Candidate> batch;
+    std::size_t next = 0;
+    std::size_t batch_start = 0;  // label count when `batch` was asked
+    for (;;) {
+      if (next >= batch.size()) {
+        batch = manager->ask("s");
+        next = 0;
+        batch_start = labeled;
+        if (batch.empty()) break;
+      }
+      const double label =
+          workload->measure(batch[next].config, measure_rng, 1);
+      try {
+        labeled = manager->tell("s", batch[next].config, label).labeled;
+        ++next;
+        rng_at[labeled] = rng_state(measure_rng);
+      } catch (const KillSignal&) {
+        disarm_killpoints();
+        manager.reset();
+        manager = std::make_unique<service::SessionManager>(nullptr, limits);
+        manager->enable_auto_checkpoint(dir, 1);
+        const service::ResumeOutcome recovered =
+            manager->resume_from_file("s", dir + "/s.ckpt");
+        labeled = recovered.status.labeled;
+        rng_rewind(measure_rng, rng_at.at(labeled));
+        if (recovered.status.pending == 0) {
+          batch.clear();
+          next = 0;
+        } else {
+          // Recovered mid-batch: replay the lost suffix of this batch.
+          EXPECT_GE(labeled, batch_start);
+          next = labeled - batch_start;
+        }
+      }
+    }
+    EXPECT_TRUE(manager->status("s").done);
+    std::ostringstream image;
+    manager->checkpoint("s", image);
+    return image.str();
+  };
+
+  const std::string crash_dir = path("crash");
+  const std::string control_dir = path("control");
+  std::filesystem::create_directories(crash_dir);
+  std::filesystem::create_directories(control_dir);
+  EXPECT_EQ(run(crash_dir, true), run(control_dir, false));
+}
+
 }  // namespace
 }  // namespace pwu::util

@@ -42,9 +42,9 @@ std::size_t count_rule(const Report& report, const std::string& rule) {
 
 TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
   const Report report = scan();
-  EXPECT_EQ(report.files_scanned, 18u);
+  EXPECT_EQ(report.files_scanned, 20u);
   EXPECT_EQ(report.baselined, 0u);
-  EXPECT_EQ(report.active_count(), 10u);
+  EXPECT_EQ(report.active_count(), 11u);
 
   // Hits, one per fixture trap.
   EXPECT_TRUE(has_finding(report, "no-cout-logging",
@@ -67,6 +67,8 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
                           "src/service/guarded.cpp", 11));
   EXPECT_TRUE(has_finding(report, "atomic-checkpoint",
                           "src/service/ckpt_ofstream_hit.cpp", 5));
+  EXPECT_TRUE(has_finding(report, "no-unbounded-queue",
+                          "src/service/unbounded_queue_hit.hpp", 10));
 
   // Misses: clean fixtures and path exemptions contribute nothing.
   EXPECT_EQ(count_rule(report, "no-raw-rand"), 1u);   // src/util/rng.cpp exempt
@@ -75,6 +77,8 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
   EXPECT_EQ(count_rule(report, "header-hygiene"), 2u);  // good_header.hpp clean
   // atomic_write_file call sites are clean; only the raw ofstream fires.
   EXPECT_EQ(count_rule(report, "atomic-checkpoint"), 1u);
+  // bounded_queue_ok.hpp declares its cap next to the deque: no finding.
+  EXPECT_EQ(count_rule(report, "no-unbounded-queue"), 1u);
   // Tokens inside strings, raw strings, and comments never fire.
   for (const Finding& f : report.findings) {
     EXPECT_NE(f.file, "src/core/tokens_in_literals.cpp") << f.rule;
@@ -85,8 +89,9 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
   // allow_file.cpp) + allow (ckpt_tool_allowed's ofstream — which also
   // proves tools/ is inside atomic-checkpoint's scope). Same-line allows on
   // no-unlocked-mutable fields are skipped before matching, so guarded.cpp's
-  // suppressed_add adds nothing.
-  EXPECT_EQ(report.suppressed, 5u);
+  // suppressed_add adds nothing. The allow on unbounded_queue_hit.hpp's
+  // second queue member is the sixth suppression.
+  EXPECT_EQ(report.suppressed, 6u);
 
   // Deterministic ordering: sorted by (file, line, rule).
   const auto before = [](const Finding& a, const Finding& b) {
@@ -98,7 +103,7 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
 
 TEST(PwuLint, BaselineRoundTripGrandfathersEveryFinding) {
   const Report dirty = scan();
-  ASSERT_EQ(dirty.active_count(), 10u);
+  ASSERT_EQ(dirty.active_count(), 11u);
 
   const std::string path = testing::TempDir() + "pwu_lint_test.baseline";
   {
@@ -110,8 +115,8 @@ TEST(PwuLint, BaselineRoundTripGrandfathersEveryFinding) {
   Options options;
   options.baseline_path = path;
   const Report clean = scan(options);
-  EXPECT_EQ(clean.findings.size(), 10u);  // still visible...
-  EXPECT_EQ(clean.baselined, 10u);        // ...but all grandfathered
+  EXPECT_EQ(clean.findings.size(), 11u);  // still visible...
+  EXPECT_EQ(clean.baselined, 11u);        // ...but all grandfathered
   EXPECT_EQ(clean.active_count(), 0u);   // so the run passes
   std::remove(path.c_str());
 }
@@ -121,7 +126,7 @@ TEST(PwuLint, MissingBaselineFileActsAsEmpty) {
   options.baseline_path = testing::TempDir() + "does_not_exist.baseline";
   const Report report = scan(options);
   EXPECT_EQ(report.baselined, 0u);
-  EXPECT_EQ(report.active_count(), 10u);
+  EXPECT_EQ(report.active_count(), 11u);
 }
 
 TEST(PwuLint, RulesFilterRestrictsTheScan) {
@@ -157,9 +162,9 @@ TEST(PwuLint, CatalogListsEveryRuleOnce) {
   std::sort(names.begin(), names.end());
   EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
   const std::vector<std::string> expected = {
-      "atomic-checkpoint", "header-hygiene",      "no-cout-logging",
-      "no-raw-new",        "no-raw-rand",         "no-unlocked-mutable",
-      "no-wallclock"};
+      "atomic-checkpoint",  "header-hygiene", "no-cout-logging",
+      "no-raw-new",         "no-raw-rand",    "no-unbounded-queue",
+      "no-unlocked-mutable", "no-wallclock"};
   EXPECT_EQ(names, expected);
 }
 
@@ -168,14 +173,14 @@ TEST(PwuLint, JsonAndTextOutputsCarryTheFindings) {
   std::ostringstream text;
   print_text(text, report);
   EXPECT_NE(text.str().find("no-raw-rand"), std::string::npos);
-  EXPECT_NE(text.str().find("10 finding(s)"), std::string::npos);
+  EXPECT_NE(text.str().find("11 finding(s)"), std::string::npos);
 
   std::ostringstream json;
   print_json(json, report);
   EXPECT_EQ(json.str().front(), '{');
   EXPECT_NE(json.str().find("\"findings\""), std::string::npos);
   EXPECT_NE(json.str().find("\"no-unlocked-mutable\""), std::string::npos);
-  EXPECT_NE(json.str().find("\"suppressed\":5"), std::string::npos);
+  EXPECT_NE(json.str().find("\"suppressed\":6"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,543 @@
+// Unit coverage for the overload-resilience layer: watchdog/cancellation
+// primitives, resource budgets, cancellable forest fits, admission control,
+// deadline-degraded asks, quarantine, eviction/lazy-resume, and the
+// hardened protocol surface. The multi-hundred-session schedules live in
+// test_soak.cpp; these are the building blocks, one behavior at a time.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rf/dataset.hpp"
+#include "rf/random_forest.hpp"
+#include "service/overload.hpp"
+#include "service/protocol.hpp"
+#include "service/session_manager.hpp"
+#include "space/pool.hpp"
+#include "util/json.hpp"
+#include "util/resource_budget.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/watchdog.hpp"
+#include "workloads/registry.hpp"
+
+namespace pwu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// util primitives
+// ---------------------------------------------------------------------------
+
+TEST(Watchdog, ExpiresOnManualClock) {
+  util::ManualTickSource ticks;
+  util::Watchdog dog;
+  EXPECT_FALSE(dog.armed());
+  EXPECT_FALSE(dog.expired());
+
+  dog.arm(ticks, 10);
+  EXPECT_TRUE(dog.armed());
+  EXPECT_FALSE(dog.expired());
+  EXPECT_EQ(dog.elapsed_ms(), 0);
+
+  ticks.advance(10);
+  EXPECT_FALSE(dog.expired());  // budget not *exceeded* yet
+  ticks.advance(1);
+  EXPECT_TRUE(dog.expired());
+  EXPECT_EQ(dog.elapsed_ms(), 11);
+
+  dog.disarm();
+  EXPECT_FALSE(dog.armed());
+  EXPECT_FALSE(dog.expired());
+  EXPECT_EQ(dog.elapsed_ms(), 0);
+}
+
+TEST(Watchdog, ZeroBudgetMeansUnsupervised) {
+  util::ManualTickSource ticks;
+  util::Watchdog dog;
+  dog.arm(ticks, 0);
+  ticks.advance(1000000);
+  EXPECT_FALSE(dog.armed());
+  EXPECT_FALSE(dog.expired());
+}
+
+TEST(CancelToken, RequestAndThrow) {
+  util::CancelToken token;
+  EXPECT_FALSE(token.requested());
+  EXPECT_NO_THROW(token.throw_if_requested());
+  token.request();
+  EXPECT_TRUE(token.requested());
+  EXPECT_THROW(token.throw_if_requested(), util::Cancelled);
+  token.reset();
+  EXPECT_NO_THROW(token.throw_if_requested());
+}
+
+TEST(ResourceBudget, ChargesReplaceAndRelease) {
+  util::ResourceBudget budget(100);
+  EXPECT_EQ(budget.capacity(), 100u);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_FALSE(budget.over_capacity());
+
+  EXPECT_EQ(budget.charge("a", 60), 60u);
+  EXPECT_EQ(budget.charge("b", 30), 90u);
+  EXPECT_FALSE(budget.over_capacity());
+  EXPECT_EQ(budget.excess(), 0u);
+
+  // A new charge for the same key replaces, never accumulates.
+  EXPECT_EQ(budget.charge("a", 80), 110u);
+  EXPECT_TRUE(budget.over_capacity());
+  EXPECT_EQ(budget.excess(), 10u);
+  EXPECT_EQ(budget.used("a"), 80u);
+
+  EXPECT_EQ(budget.charge("a", 0), 30u);  // released
+  EXPECT_EQ(budget.used("a"), 0u);
+  EXPECT_FALSE(budget.over_capacity());
+}
+
+TEST(ResourceBudget, ZeroCapacityIsUnlimited) {
+  util::ResourceBudget budget;
+  budget.charge("a", std::size_t{1} << 40);
+  EXPECT_FALSE(budget.over_capacity());
+  EXPECT_EQ(budget.excess(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// cancellable forest fit
+// ---------------------------------------------------------------------------
+
+rf::Dataset tiny_dataset(std::size_t rows) {
+  const auto workload = workloads::make_workload("gesummv");
+  const auto& space = workload->space();
+  util::Rng rng(11);
+  rf::Dataset data(space.num_params(), space.categorical_mask(),
+                   space.cardinalities());
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto config = space.random_config(rng);
+    data.add(space.features(config), workload->measure(config, rng, 1));
+  }
+  return data;
+}
+
+TEST(CancellableFit, PreRequestedCancelLeavesForestUnfitted) {
+  const rf::Dataset data = tiny_dataset(30);
+  rf::ForestConfig cfg;
+  cfg.num_trees = 8;
+  util::CancelToken cancel;
+  cancel.request();
+
+  rf::RandomForest forest;
+  util::Rng rng(5);
+  EXPECT_THROW(forest.fit(data, cfg, rng, nullptr, &cancel), util::Cancelled);
+  EXPECT_FALSE(forest.fitted());
+
+  // The same forest object fits fine once the cancellation is withdrawn.
+  cancel.reset();
+  util::Rng rng2(5);
+  EXPECT_NO_THROW(forest.fit(data, cfg, rng2, nullptr, &cancel));
+  EXPECT_TRUE(forest.fitted());
+  EXPECT_GT(forest.memory_bytes(), 0u);
+}
+
+TEST(CancellableFit, CancelledSessionRefitRetriesIdentically) {
+  // A cancelled AskTellSession::refit must roll its rng back so the retried
+  // fit replays the exact model an uncancelled fit would have produced.
+  const auto workload = workloads::make_workload("gesummv");
+  core::LearnerConfig learner;
+  learner.n_init = 4;
+  learner.n_batch = 2;
+  learner.n_max = 8;
+  learner.forest.num_trees = 4;
+
+  auto make_session = [&]() {
+    util::Rng split_rng(77);
+    auto split = space::make_pool_split(workload->space(), 40, 0, split_rng);
+    return service::AskTellSession(workload->space(), service::StrategySpec{},
+                                   learner, std::move(split.pool), 123);
+  };
+  auto drive_cold = [&](service::AskTellSession& session) {
+    util::Rng measure(9);
+    for (const auto& c : session.ask()) {
+      session.tell(c.config, workload->measure(c.config, measure, 1));
+    }
+  };
+
+  service::AskTellSession cancelled = make_session();
+  service::AskTellSession plain = make_session();
+  drive_cold(cancelled);
+  drive_cold(plain);
+  ASSERT_TRUE(cancelled.refit_due());
+
+  util::CancelToken token;
+  token.request();
+  EXPECT_THROW(cancelled.refit(&token), util::Cancelled);
+  EXPECT_TRUE(cancelled.refit_due());  // still due, rng rolled back
+  EXPECT_TRUE(cancelled.refit());
+  EXPECT_TRUE(plain.refit());
+
+  // Same asks after the retried fit == never-cancelled fit, bit for bit.
+  const auto a = cancelled.ask();
+  const auto b = plain.ask();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].config, b[i].config);
+    EXPECT_EQ(a[i].predicted_mean, b[i].predicted_mean);
+    EXPECT_EQ(a[i].predicted_stddev, b[i].predicted_stddev);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// session-level degraded asks + v3 checkpoint
+// ---------------------------------------------------------------------------
+
+TEST(DegradedSession, RandomFallbackCountsAndCheckpoints) {
+  const auto workload = workloads::make_workload("gesummv");
+  core::LearnerConfig learner;
+  learner.n_init = 4;
+  learner.n_batch = 2;
+  learner.n_max = 12;
+  learner.forest.num_trees = 4;
+  util::Rng split_rng(3);
+  auto split = space::make_pool_split(workload->space(), 40, 0, split_rng);
+  service::AskTellSession session(workload->space(), service::StrategySpec{},
+                                  learner, std::move(split.pool), 55);
+
+  // Cold start, no model anywhere: degraded ask falls back to seeded
+  // random picks and counts them.
+  const auto batch = session.ask_degraded(0, nullptr);
+  ASSERT_EQ(batch.size(), 2u);  // n_batch (no cold-start special case)
+  for (const auto& c : batch) EXPECT_FALSE(c.has_prediction);
+  EXPECT_EQ(session.degraded_random_asks(), 1u);
+  EXPECT_EQ(session.degraded_stale_asks(), 0u);
+
+  // A second degraded ask with a batch outstanding is a logic error, same
+  // contract as ask().
+  EXPECT_THROW(session.ask_degraded(0, nullptr), std::logic_error);
+
+  // v3 checkpoint round-trip preserves the degraded state.
+  std::stringstream image;
+  session.save(image);
+  service::AskTellSession restored =
+      service::AskTellSession::restore(workload->space(), image);
+  EXPECT_EQ(restored.degraded_random_asks(), 1u);
+  EXPECT_EQ(restored.pending_count(), session.pending_count());
+
+  // Both copies continue identically through the pending batch.
+  util::Rng measure(21);
+  for (const auto& c : batch) {
+    const double label = workload->measure(c.config, measure, 1);
+    session.tell(c.config, label);
+    restored.tell(c.config, label);
+  }
+  EXPECT_EQ(session.num_labeled(), restored.num_labeled());
+  EXPECT_EQ(session.best_observed(), restored.best_observed());
+  EXPECT_GT(session.memory_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// manager-level admission, degradation, quarantine, eviction
+// ---------------------------------------------------------------------------
+
+service::SessionSpec tiny_spec(std::uint64_t seed) {
+  service::SessionSpec spec;
+  spec.workload = "gesummv";
+  spec.learner.n_init = 4;
+  spec.learner.n_batch = 2;
+  spec.learner.n_max = 16;
+  spec.learner.forest.num_trees = 4;
+  spec.pool_size = 60;
+  spec.test_size = 0;
+  spec.seed = seed;
+  return spec;
+}
+
+/// Occupies every worker of `pool` until the returned promise is
+/// fulfilled — queued refits cannot start while the gate is closed.
+class PoolGate {
+ public:
+  PoolGate(util::ThreadPool& pool, unsigned workers) {
+    std::shared_future<void> open = open_.get_future().share();
+    blockers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      blockers_.push_back(pool.submit([open] { open.wait(); }));
+    }
+  }
+  void release() {
+    if (released_) return;
+    released_ = true;
+    open_.set_value();
+    for (auto& f : blockers_) f.get();
+  }
+  ~PoolGate() { release(); }
+
+ private:
+  std::promise<void> open_;
+  std::vector<std::future<void>> blockers_;
+  bool released_ = false;
+};
+
+TEST(Admission, SessionCapShedsWithRetryHint) {
+  service::ServiceLimits limits;
+  limits.max_sessions = 1;
+  limits.retry_after_ms = 250;
+  service::SessionManager manager(nullptr, limits);
+  manager.create("one", tiny_spec(1));
+  try {
+    manager.create("two", tiny_spec(2));
+    FAIL() << "expected OverloadError";
+  } catch (const service::OverloadError& e) {
+    EXPECT_EQ(e.retry_after_ms(), 250);
+  }
+  EXPECT_EQ(manager.size(), 1u);
+  EXPECT_EQ(manager.health().overloaded_sheds, 1u);
+
+  // Closing frees the slot.
+  EXPECT_TRUE(manager.close("one"));
+  EXPECT_NO_THROW(manager.create("two", tiny_spec(2)));
+}
+
+TEST(Admission, PendingAskCapShedsOversizedAsks) {
+  service::ServiceLimits limits;
+  limits.max_pending_asks = 3;
+  service::SessionManager manager(nullptr, limits);
+  manager.create("s", tiny_spec(5));
+  // Cold start always serves exactly n_init=4 > 3 — an explicit smaller
+  // count does not shrink it, so the admission check sheds either way.
+  EXPECT_THROW(manager.ask("s"), service::OverloadError);
+  EXPECT_THROW(manager.ask("s", 2), service::OverloadError);
+  EXPECT_EQ(manager.health().overloaded_sheds, 2u);
+
+  // A cap that admits the cold batch: n_init passes, and in the iteration
+  // phase explicit counts are honored against the same cap.
+  service::ServiceLimits roomy;
+  roomy.max_pending_asks = 4;
+  service::SessionManager manager2(nullptr, roomy);
+  manager2.create("s", tiny_spec(5));
+  const auto workload = workloads::make_workload("gesummv");
+  util::Rng measure(manager2.status("s").measure_seed);
+  for (const auto& c : manager2.ask("s")) {
+    manager2.tell("s", c.config, workload->measure(c.config, measure, 1));
+  }
+  EXPECT_THROW(manager2.ask("s", 5), service::OverloadError);
+  EXPECT_EQ(manager2.ask("s", 2).size(), 2u);
+}
+
+TEST(DegradedAsks, StaleModelThenRandomUnderBusyPool) {
+  util::ThreadPool workers(2);
+  service::SessionManager manager(&workers);
+  manager.create("s", tiny_spec(9));
+  const auto workload = workloads::make_workload("gesummv");
+  util::Rng measure(manager.status("s").measure_seed);
+
+  auto tell_all = [&](const std::vector<service::Candidate>& batch) {
+    for (const auto& c : batch) {
+      manager.tell("s", c.config, workload->measure(c.config, measure, 1));
+    }
+  };
+
+  // Cold start with the pool gated: the refit is queued but cannot run, and
+  // there is no previous model — a zero-deadline ask degrades to random.
+  {
+    PoolGate gate(workers, 2);
+    tell_all(manager.ask("s"));
+    const service::AskOutcome degraded = manager.ask_with_deadline("s", 0, 0);
+    EXPECT_EQ(degraded.degraded, service::DegradedMode::Random);
+    ASSERT_EQ(degraded.candidates.size(), 2u);
+    for (const auto& c : degraded.candidates) {
+      EXPECT_FALSE(c.has_prediction);
+    }
+    gate.release();
+    tell_all(degraded.candidates);
+  }
+
+  // Let a fit complete so a last-good snapshot exists, then gate *before*
+  // the tells that schedule the next refit: it queues behind the gate, and
+  // the next zero-deadline ask serves from the stale model.
+  const std::vector<service::Candidate> fresh =
+      manager.ask_with_deadline("s", 0, -1).candidates;
+  {
+    PoolGate gate(workers, 2);
+    tell_all(fresh);
+    const service::AskOutcome degraded = manager.ask_with_deadline("s", 0, 0);
+    EXPECT_EQ(degraded.degraded, service::DegradedMode::StaleModel);
+    ASSERT_FALSE(degraded.candidates.empty());
+    for (const auto& c : degraded.candidates) {
+      EXPECT_TRUE(c.has_prediction);
+      EXPECT_GE(c.predicted_stddev, 0.0);
+    }
+    gate.release();
+    tell_all(degraded.candidates);
+  }
+
+  const service::HealthReport health = manager.health();
+  EXPECT_EQ(health.degraded_random_asks, 1u);
+  EXPECT_EQ(health.degraded_stale_asks, 1u);
+  EXPECT_EQ(health.overloaded_sheds, 0u);
+}
+
+TEST(Quarantine, RepeatedWatchdogTimeoutsFenceTheSession) {
+  util::ManualTickSource ticks;
+  service::ServiceLimits limits;
+  limits.refit_watchdog_ms = 10;
+  limits.refit_retries = 0;
+  util::ThreadPool workers(2);
+  service::SessionManager manager(&workers, limits, &ticks);
+  manager.create("s", tiny_spec(13));
+  const auto workload = workloads::make_workload("gesummv");
+  util::Rng measure(manager.status("s").measure_seed);
+
+  std::vector<service::Candidate> degraded;
+  {
+    PoolGate gate(workers, 2);
+    for (const auto& c : manager.ask("s")) {
+      manager.tell("s", c.config, workload->measure(c.config, measure, 1));
+    }
+    // The refit is queued behind the gate; blow its wall-clock budget.
+    ticks.advance(100);
+    const service::AskOutcome outcome = manager.ask_with_deadline("s", 0, 0);
+    EXPECT_EQ(outcome.degraded, service::DegradedMode::Random);
+    degraded = outcome.candidates;
+    EXPECT_EQ(manager.health().watchdog_timeouts, 1u);
+    gate.release();
+  }
+  // The cancelled fit is harvested by the next touch; with zero retries the
+  // session is quarantined and its writes shed.
+  ASSERT_FALSE(degraded.empty());
+  EXPECT_THROW(manager.tell("s", degraded.front().config, 0.5),
+               service::OverloadError);
+
+  const service::HealthReport health = manager.health();
+  EXPECT_EQ(health.sessions_quarantined, 1u);
+  ASSERT_EQ(health.sessions.size(), 1u);
+  EXPECT_EQ(health.sessions.front().state, "quarantined");
+  EXPECT_EQ(health.sessions.front().refit_timeouts, 1u);
+
+  // Reads and teardown still work on a quarantined session.
+  EXPECT_NO_THROW(manager.status("s"));
+  EXPECT_TRUE(manager.close("s"));
+}
+
+TEST(Eviction, BudgetPressureEvictsAndLazilyResumes) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "pwu_overload_evict_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  service::ServiceLimits limits;
+  limits.memory_budget_bytes = 1;  // everything is over budget
+  service::SessionManager manager(nullptr, limits);
+  manager.enable_auto_checkpoint(dir.string(), 1);
+
+  manager.create("a", tiny_spec(21));
+  manager.create("b", tiny_spec(22));
+  {
+    const service::HealthReport health = manager.health();
+    EXPECT_EQ(health.sessions_evicted, 2u);
+    EXPECT_GE(health.evictions, 2u);
+    EXPECT_TRUE(std::filesystem::exists(dir / "a.ckpt"));
+  }
+
+  // Any touch transparently resumes; the session is fully usable.
+  const auto workload = workloads::make_workload("gesummv");
+  util::Rng measure(manager.status("a").measure_seed);
+  for (const auto& c : manager.ask("a")) {
+    manager.tell("a", c.config, workload->measure(c.config, measure, 1));
+  }
+  const service::SessionStatus status = manager.status("a");
+  EXPECT_EQ(status.labeled, 4u);
+  EXPECT_GT(manager.health().lazy_resumes, 0u);
+
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// hardened protocol surface
+// ---------------------------------------------------------------------------
+
+util::json::Value rpc(service::SessionManager& manager,
+                      const std::string& line) {
+  return service::handle_request(manager, util::json::parse(line));
+}
+
+TEST(ProtocolHardening, OverloadedResponsesAreStructured) {
+  service::ServiceLimits limits;
+  limits.max_sessions = 1;
+  limits.retry_after_ms = 42;
+  service::SessionManager manager(nullptr, limits);
+  ASSERT_TRUE(
+      rpc(manager,
+          R"({"op":"create","session":"a","workload":"gesummv","pool_size":40})")
+          .at("ok")
+          .as_bool());
+  const util::json::Value shed = rpc(
+      manager,
+      R"({"op":"create","session":"b","workload":"gesummv","pool_size":40})");
+  EXPECT_FALSE(shed.at("ok").as_bool());
+  EXPECT_TRUE(shed.bool_or("overloaded", false));
+  EXPECT_EQ(shed.number_or("retry_after_ms", 0), 42.0);
+}
+
+TEST(ProtocolHardening, HealthOpReportsCounters) {
+  service::SessionManager manager;
+  rpc(manager,
+      R"({"op":"create","session":"a","workload":"gesummv","pool_size":40})");
+  const util::json::Value response = rpc(manager, R"({"op":"health"})");
+  ASSERT_TRUE(response.at("ok").as_bool());
+  const util::json::Value& health = response.at("health");
+  EXPECT_EQ(health.number_or("sessions_live", -1), 1.0);
+  EXPECT_EQ(health.at("sessions").as_array().size(), 1u);
+  EXPECT_EQ(health.at("sessions").as_array().front().string_or("state", ""),
+            "live");
+}
+
+TEST(ProtocolHardening, MalformedNumbersAreRejectedNotCast) {
+  service::SessionManager manager;
+  // Fractional, huge, and out-of-range numeric fields must produce
+  // structured errors, never a bogus cast.
+  for (const char* line : {
+           R"({"op":"create","session":"x","workload":"gesummv","pool_size":2.5})",
+           R"({"op":"create","session":"x","workload":"gesummv","n_max":1e300})",
+           R"({"op":"create","session":"x","workload":"gesummv","trees":999999999999})",
+           R"({"op":"ask","session":"x","deadline_ms":1e300})",
+           R"({"op":"ask","session":"x","count":-3})",
+       }) {
+    const util::json::Value response = rpc(manager, line);
+    EXPECT_FALSE(response.at("ok").as_bool()) << line;
+    EXPECT_FALSE(response.at("error").as_string().empty()) << line;
+  }
+  // Levels outside uint32 range.
+  rpc(manager,
+      R"({"op":"create","session":"x","workload":"gesummv","pool_size":40})");
+  const util::json::Value bad_levels = rpc(
+      manager,
+      R"({"op":"tell","session":"x","levels":[4294967296],"time":1.0})");
+  EXPECT_FALSE(bad_levels.at("ok").as_bool());
+}
+
+TEST(ProtocolHardening, DeepNestingIsRejectedNotRecursed) {
+  std::string bomb = R"({"op":"ask","session":)";
+  bomb.append(5000, '[');
+  bomb.append(5000, ']');
+  bomb.push_back('}');
+  EXPECT_THROW(util::json::parse(bomb), std::runtime_error);
+
+  // Sane nesting still parses.
+  EXPECT_NO_THROW(util::json::parse(R"({"a":[[[[{"b":[1,2,[3]]}]]]]})"));
+
+  // Through the serve loop: one structured error line, loop survives.
+  service::SessionManager manager;
+  std::istringstream in(bomb + "\n" + R"({"op":"list"})" + "\n");
+  std::ostringstream out;
+  service::run_serve_loop(in, out, manager);
+  std::istringstream lines(out.str());
+  std::string first, second;
+  ASSERT_TRUE(std::getline(lines, first));
+  ASSERT_TRUE(std::getline(lines, second));
+  EXPECT_FALSE(util::json::parse(first).at("ok").as_bool());
+  EXPECT_TRUE(util::json::parse(second).at("ok").as_bool());
+}
+
+}  // namespace
+}  // namespace pwu

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -156,6 +157,93 @@ TEST(RaceStress, SessionManagerCreateCloseChurnWhileDriving) {
   EXPECT_TRUE(manager.status("a").done);
   EXPECT_TRUE(manager.status("b").done);
   EXPECT_EQ(manager.size(), 2u);
+}
+
+TEST(RaceStress, CloseAndDestroyWithRefitsInFlight) {
+  // Regression for a use-after-free: the refit task used to capture a raw
+  // AskTellSession*, so close() (or ~SessionManager) could free the
+  // session while the pool was still fitting it. The task now owns the
+  // Entry via shared_ptr, making teardown-while-fitting safe. Each round
+  // schedules refits on a slow-ish pool and immediately tears down; ASAN /
+  // TSAN turn any revival of the bug into a failure.
+  const auto workload = workloads::make_workload("gesummv");
+  for (int round = 0; round < 6; ++round) {
+    util::ThreadPool workers(2);
+    auto manager = std::make_unique<SessionManager>(&workers);
+    for (int s = 0; s < 3; ++s) {
+      const std::string name = "r" + std::to_string(s);
+      manager->create(name, stress_spec(400 + 10 * round + s));
+      // Complete the cold batch: the tell of the last label schedules a
+      // background refit on the pool.
+      util::Rng measure(manager->status(name).measure_seed);
+      for (const Candidate& c : manager->ask(name)) {
+        manager->tell(name, c.config, workload->measure(c.config, measure, 1));
+      }
+    }
+    // Close one session with its refit possibly still running, then drop
+    // the whole manager the same way. Both must block on (or safely
+    // disown) the in-flight fits — never free state under them.
+    EXPECT_TRUE(manager->close("r0"));
+    if (round % 2 == 0) manager->drain();
+    manager.reset();
+  }
+}
+
+TEST(RaceStress, ConcurrentDegradedAsksWhileRefitsRun) {
+  // Deadline-0 drivers race their own background refits: every ask is
+  // answered immediately (fresh or degraded), tells block only for the
+  // fit in flight, and the run still finishes every session's budget.
+  // Under TSAN this exercises last_good snapshots, the degraded rng, and
+  // the watchdog fields against the refit worker.
+  constexpr std::size_t kSessions = 4;
+  util::ThreadPool workers(4);
+  SessionManager manager(&workers);
+  const auto workload = workloads::make_workload("gesummv");
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    manager.create("d" + std::to_string(i), stress_spec(600 + 23 * i));
+  }
+
+  std::atomic<std::size_t> finished{0};
+  std::atomic<std::size_t> degraded{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(kSessions);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    drivers.emplace_back([&, i] {
+      const std::string name = "d" + std::to_string(i);
+      util::Rng measure(manager.status(name).measure_seed);
+      for (;;) {
+        const AskOutcome out = manager.ask_with_deadline(name, 0, 0);
+        if (out.degraded != DegradedMode::None) {
+          degraded.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (out.candidates.empty()) break;
+        for (const Candidate& c : out.candidates) {
+          manager.tell(name, c.config,
+                       workload->measure(c.config, measure, 1));
+        }
+      }
+      finished.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  std::thread poller([&] {
+    while (finished.load(std::memory_order_relaxed) < kSessions) {
+      const HealthReport health = manager.health();
+      EXPECT_EQ(health.sessions.size(), kSessions);
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : drivers) t.join();
+  poller.join();
+
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    const SessionStatus st = manager.status("d" + std::to_string(i));
+    EXPECT_TRUE(st.done);
+    EXPECT_EQ(st.labeled, 14u);
+  }
+  const HealthReport health = manager.health();
+  EXPECT_EQ(health.degraded_stale_asks + health.degraded_random_asks,
+            degraded.load());
+  EXPECT_EQ(health.overloaded_sheds, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,481 @@
+// Deterministic overload soak harness (`ctest -L soak`, `soak` preset).
+//
+// Drives hundreds of sessions through burst, churn, slow-refit, and
+// memory-pressure schedules against a capped SessionManager and asserts
+// the service-level overload contract end to end:
+//
+//   * no deadlock — every schedule runs to completion;
+//   * every request is answered: a normal reply, a degraded batch, or a
+//     structured OverloadError — never a crash, hang, or silent drop;
+//   * memory stays bounded — the budget enforcer keeps charged footprints
+//     under the configured capacity;
+//   * sessions the overload never touched ("undisturbed") finish
+//     bit-identical to an unloaded run — load may change timing and
+//     *other* sessions, never their labels.
+//
+// Slow refits are scripted, not raced: a PoolGate occupies every worker so
+// queued refits cannot start, and a util::ManualTickSource advances the
+// watchdog clock explicitly. The *Fast* subset (single-threaded schedules)
+// also runs in the fast suite; the threaded schedules are soak-only.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/overload.hpp"
+#include "service/protocol.hpp"
+#include "service/session_manager.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/watchdog.hpp"
+#include "workloads/registry.hpp"
+
+namespace pwu::service {
+namespace {
+
+SessionSpec soak_spec(std::uint64_t seed) {
+  SessionSpec spec;
+  spec.workload = "gesummv";
+  spec.learner.n_init = 4;
+  spec.learner.n_batch = 2;
+  spec.learner.n_max = 10;
+  spec.learner.forest.num_trees = 4;
+  spec.pool_size = 60;
+  spec.test_size = 0;
+  spec.seed = seed;
+  return spec;
+}
+
+struct DriveResult {
+  std::vector<double> labels;
+  double best = 0.0;
+  std::size_t degraded_asks = 0;
+};
+
+/// Client loop with a per-ask deadline. Measures with the stream the
+/// server hands back and tells in ask order, so a deadline of -1 (never
+/// degrade) reproduces the batch driver label for label.
+DriveResult drive(SessionManager& manager, const std::string& name,
+                  std::int64_t deadline_ms) {
+  DriveResult result;
+  const SessionStatus st = manager.status(name);
+  const auto workload = workloads::make_workload(st.workload);
+  util::Rng measure(st.measure_seed);
+  for (;;) {
+    const AskOutcome out = manager.ask_with_deadline(name, 0, deadline_ms);
+    if (out.degraded != DegradedMode::None) ++result.degraded_asks;
+    if (out.candidates.empty()) break;
+    for (const Candidate& c : out.candidates) {
+      const double label = workload->measure(c.config, measure, 1);
+      manager.tell(name, c.config, label);
+      result.labels.push_back(label);
+    }
+  }
+  result.best = manager.status(name).best_observed;
+  return result;
+}
+
+/// Reference result from a dedicated unloaded, un-capped manager.
+DriveResult unloaded_reference(std::uint64_t seed) {
+  SessionManager manager;
+  manager.create("ref", soak_spec(seed));
+  return drive(manager, "ref", -1);
+}
+
+/// Occupies every worker of `pool` until released — queued refits cannot
+/// start while the gate is closed, making "the refit is slow" a scripted
+/// fact instead of a scheduler accident.
+class PoolGate {
+ public:
+  PoolGate(util::ThreadPool& pool, unsigned workers) {
+    std::shared_future<void> open = open_.get_future().share();
+    blockers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      blockers_.push_back(pool.submit([open] { open.wait(); }));
+    }
+  }
+  void release() {
+    if (released_) return;
+    released_ = true;
+    open_.set_value();
+    for (auto& f : blockers_) f.get();
+  }
+  ~PoolGate() { release(); }
+
+ private:
+  std::promise<void> open_;
+  std::vector<std::future<void>> blockers_;
+  bool released_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Burst: 200 create requests against a 12-session cap, via the protocol.
+// ---------------------------------------------------------------------------
+
+TEST(Soak, BurstAdmissionEveryRequestAnsweredFast) {
+  constexpr std::size_t kBurst = 200;
+  constexpr std::size_t kCap = 12;
+  ServiceLimits limits;
+  limits.max_sessions = kCap;
+  limits.retry_after_ms = 5;
+  SessionManager manager(nullptr, limits);
+
+  std::size_t accepted = 0;
+  std::size_t shed = 0;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    const util::json::Value response = handle_request(
+        manager,
+        util::json::parse(
+            R"({"op":"create","session":"burst)" + std::to_string(i) +
+            R"(","workload":"gesummv","n_init":4,"n_batch":2,"n_max":10,"pool_size":60,"test_size":0,"trees":4,"seed":)" +
+            std::to_string(100 + i) + "}"));
+    // The contract: every request is answered, structurally.
+    ASSERT_TRUE(response.at("ok").is_bool());
+    if (response.at("ok").as_bool()) {
+      ++accepted;
+    } else {
+      ASSERT_TRUE(response.bool_or("overloaded", false));
+      ASSERT_EQ(response.number_or("retry_after_ms", 0), 5.0);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(accepted, kCap);
+  EXPECT_EQ(shed, kBurst - kCap);
+  EXPECT_EQ(manager.size(), kCap);
+  EXPECT_EQ(manager.health().overloaded_sheds, shed);
+
+  // The admitted sessions are fully functional and finish bit-identically
+  // to an unloaded run — shedding the rest disturbed nothing.
+  const DriveResult first = drive(manager, "burst0", -1);
+  EXPECT_EQ(first.labels, unloaded_reference(100).labels);
+
+  // Freed slots are immediately reusable.
+  EXPECT_TRUE(manager.close("burst1"));
+  EXPECT_NO_THROW(manager.create("late", soak_spec(999)));
+}
+
+// ---------------------------------------------------------------------------
+// Slow refits: deadline-0 clients are always answered (degraded when the
+// fit is not ready), and a patient session in the same manager stays
+// bit-identical.
+// ---------------------------------------------------------------------------
+
+TEST(Soak, SlowRefitDegradedAsksAnsweredFast) {
+  util::ThreadPool workers(2);
+  SessionManager manager(&workers);
+  manager.create("impatient", soak_spec(500));
+  manager.create("patient", soak_spec(501));
+  const auto workload = workloads::make_workload("gesummv");
+
+  // Script one degraded round on the impatient session: gate the pool,
+  // finish its cold batch (refit queues behind the gate), ask with a zero
+  // deadline.
+  util::Rng measure(manager.status("impatient").measure_seed);
+  std::vector<double> impatient_labels;
+  std::vector<Candidate> degraded_batch;
+  {
+    PoolGate gate(workers, 2);
+    for (const Candidate& c :
+         manager.ask_with_deadline("impatient", 0, 0).candidates) {
+      const double label = workload->measure(c.config, measure, 1);
+      manager.tell("impatient", c.config, label);
+      impatient_labels.push_back(label);
+    }
+    const AskOutcome degraded = manager.ask_with_deadline("impatient", 0, 0);
+    EXPECT_EQ(degraded.degraded, DegradedMode::Random);
+    ASSERT_FALSE(degraded.candidates.empty());
+    degraded_batch = degraded.candidates;
+    gate.release();
+  }
+  for (const Candidate& c : degraded_batch) {
+    const double label = workload->measure(c.config, measure, 1);
+    manager.tell("impatient", c.config, label);
+    impatient_labels.push_back(label);
+  }
+  // Finish out the budget: every remaining request is answered too.
+  const DriveResult rest = drive(manager, "impatient", 0);
+  EXPECT_EQ(impatient_labels.size() + rest.labels.size(), 10u);
+  EXPECT_TRUE(manager.status("impatient").done);
+
+  // The patient session shared the manager and the worker pool with all of
+  // that — and is label-for-label what an unloaded run produces.
+  const DriveResult patient = drive(manager, "patient", -1);
+  EXPECT_EQ(patient.degraded_asks, 0u);
+  EXPECT_EQ(patient.labels, unloaded_reference(501).labels);
+
+  const HealthReport health = manager.health();
+  EXPECT_GE(health.degraded_random_asks, 1u);
+  EXPECT_EQ(health.overloaded_sheds, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog schedule: refits for every third session blow their wall-clock
+// budget (on a hand-cranked clock) and, with zero retries, quarantine the
+// session; every other session runs to completion, bit-identical.
+// ---------------------------------------------------------------------------
+
+TEST(Soak, WatchdogQuarantineScheduleFast) {
+  constexpr std::size_t kSessions = 30;
+  util::ManualTickSource ticks;
+  ServiceLimits limits;
+  limits.refit_watchdog_ms = 10;
+  limits.refit_retries = 0;
+  util::ThreadPool workers(2);
+  SessionManager manager(&workers, limits, &ticks);
+  const auto workload = workloads::make_workload("gesummv");
+
+  std::size_t quarantined = 0;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    const std::string name = "w" + std::to_string(i);
+    manager.create(name, soak_spec(3000 + i));
+    if (i % 3 == 0) {
+      // Scripted slow refit: queue it behind a gate, blow the budget,
+      // observe the degraded answer, then let the cancellation land.
+      util::Rng measure(manager.status(name).measure_seed);
+      std::vector<Candidate> degraded;
+      {
+        PoolGate gate(workers, 2);
+        for (const Candidate& c :
+             manager.ask_with_deadline(name, 0, 0).candidates) {
+          manager.tell(name, c.config, workload->measure(c.config, measure, 1));
+        }
+        ticks.advance(100);
+        const AskOutcome out = manager.ask_with_deadline(name, 0, 0);
+        EXPECT_EQ(out.degraded, DegradedMode::Random);
+        degraded = out.candidates;
+        gate.release();
+      }
+      // The harvested cancellation exceeds the retry budget: the session
+      // is fenced, and every further write is shed structurally.
+      ASSERT_FALSE(degraded.empty());
+      EXPECT_THROW(manager.tell(name, degraded.front().config, 0.5),
+                   OverloadError);
+      EXPECT_THROW(manager.ask_with_deadline(name, 0, 0), OverloadError);
+      ++quarantined;
+    } else {
+      // Undisturbed neighbors: full run, no degradation, identical labels.
+      const DriveResult run = drive(manager, name, -1);
+      EXPECT_EQ(run.degraded_asks, 0u);
+      EXPECT_EQ(run.labels, unloaded_reference(3000 + i).labels) << name;
+    }
+  }
+
+  const HealthReport health = manager.health();
+  EXPECT_EQ(health.sessions_quarantined, quarantined);
+  EXPECT_EQ(health.watchdog_timeouts, quarantined);
+  EXPECT_EQ(health.sessions_live + health.sessions_quarantined, kSessions);
+  // Reads and teardown still work on every session, fenced or not.
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    EXPECT_NO_THROW(manager.status("w" + std::to_string(i)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Memory pressure: 40 sessions against a budget that holds only a few,
+// driven round-robin so eviction/lazy-resume cycles constantly. Labels
+// must survive the churn bit for bit, and the charged footprint must stay
+// under the budget after every round.
+// ---------------------------------------------------------------------------
+
+TEST(Soak, MemoryBudgetRoundRobinEvictionFast) {
+  constexpr std::size_t kSessions = 40;
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "pwu_soak_evict";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  ServiceLimits limits;
+  limits.memory_budget_bytes = 64 * 1024;
+  SessionManager manager(nullptr, limits);
+  manager.enable_auto_checkpoint(dir.string(), 1);
+
+  std::vector<std::string> names;
+  std::vector<util::Rng> measures;
+  const auto workload = workloads::make_workload("gesummv");
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    names.push_back("m" + std::to_string(i));
+    const SessionStatus st = manager.create(names.back(), soak_spec(7000 + i));
+    measures.emplace_back(st.measure_seed);
+  }
+
+  // Round-robin one batch at a time across all sessions until all done —
+  // the worst case for the LRU: every touch lands on the coldest entry.
+  std::vector<std::vector<double>> labels(kSessions);
+  for (bool progress = true; progress;) {
+    progress = false;
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      const AskOutcome out = manager.ask_with_deadline(names[i], 0, -1);
+      if (out.candidates.empty()) continue;
+      progress = true;
+      for (const Candidate& c : out.candidates) {
+        const double label = workload->measure(c.config, measures[i], 1);
+        manager.tell(names[i], c.config, label);
+        labels[i].push_back(label);
+      }
+      // Bounded memory: the enforcer ran after the ops above.
+      EXPECT_LE(manager.health().budget_used_bytes,
+                limits.memory_budget_bytes);
+    }
+  }
+
+  const HealthReport health = manager.health();
+  EXPECT_GT(health.evictions, 0u);
+  EXPECT_GT(health.lazy_resumes, 0u);
+  EXPECT_EQ(health.degraded_stale_asks + health.degraded_random_asks, 0u);
+
+  // Bit-identical through arbitrarily many evict/resume cycles.
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    EXPECT_TRUE(manager.status(names[i]).done);
+    EXPECT_EQ(labels[i], unloaded_reference(7000 + i).labels) << names[i];
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Threaded churn (soak-only): 8 driver threads over 64 capped sessions
+// with a deferral-prone refit queue, create/close churn, and a health
+// poller. No deadlock, every session bit-identical.
+// ---------------------------------------------------------------------------
+
+TEST(Soak, ThreadedChurnBitIdentical) {
+  constexpr std::size_t kSessions = 64;
+  constexpr std::size_t kThreads = 8;
+
+  // References first, from unloaded managers.
+  std::vector<std::vector<double>> reference(kSessions);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    reference[i] = unloaded_reference(5000 + i).labels;
+  }
+
+  ServiceLimits limits;
+  limits.max_sessions = kSessions + 4;  // room for the churn sessions
+  limits.max_refit_queue = 2;           // force deferrals under load
+  util::ThreadPool workers(4);
+  SessionManager manager(&workers, limits);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    manager.create("t" + std::to_string(i), soak_spec(5000 + i));
+  }
+
+  std::atomic<std::size_t> finished{0};
+  std::atomic<std::size_t> violations{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    drivers.emplace_back([&, t] {
+      for (std::size_t i = t; i < kSessions; i += kThreads) {
+        const DriveResult run = drive(manager, "t" + std::to_string(i), -1);
+        if (run.degraded_asks != 0 || run.labels != reference[i]) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      finished.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  // Churn thread: short-lived sessions appear and vanish. Creates may shed
+  // at the cap (structured), which is itself part of the contract.
+  std::thread churn([&] {
+    std::size_t n = 0;
+    std::size_t shed = 0;
+    while (finished.load(std::memory_order_relaxed) < kThreads) {
+      const std::string name = "churn" + std::to_string(n++ % 4);
+      try {
+        manager.create(name, soak_spec(9000 + n));
+        manager.ask_with_deadline(name, 0, 0);
+        manager.close(name);
+      } catch (const OverloadError&) {
+        ++shed;  // structurally refused — acceptable under churn
+        manager.close(name);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  // Health poller: must never block or throw while everything churns.
+  std::thread poller([&] {
+    while (finished.load(std::memory_order_relaxed) < kThreads) {
+      const HealthReport health = manager.health();
+      if (health.sessions.size() < kSessions) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& t : drivers) t.join();
+  churn.join();
+  poller.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    EXPECT_TRUE(manager.status("t" + std::to_string(i)).done);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mixed pressure (soak-only): impatient (deadline-0) and patient drivers
+// share one capped manager; every impatient request is answered (fresh,
+// degraded, or shed), and every patient session stays bit-identical.
+// ---------------------------------------------------------------------------
+
+TEST(Soak, MixedDeadlinePressureUndisturbedBitIdentical) {
+  constexpr std::size_t kPairs = 24;
+
+  std::vector<std::vector<double>> reference(kPairs);
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    reference[i] = unloaded_reference(6000 + i).labels;
+  }
+
+  ServiceLimits limits;
+  limits.max_refit_queue = 1;
+  util::ThreadPool workers(4);
+  SessionManager manager(&workers, limits);
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    manager.create("patient" + std::to_string(i), soak_spec(6000 + i));
+    manager.create("rushed" + std::to_string(i), soak_spec(8000 + i));
+  }
+
+  std::atomic<std::size_t> violations{0};
+  std::atomic<std::size_t> degraded_total{0};
+  std::thread patient_thread([&] {
+    for (std::size_t i = 0; i < kPairs; ++i) {
+      const DriveResult run =
+          drive(manager, "patient" + std::to_string(i), -1);
+      if (run.degraded_asks != 0 || run.labels != reference[i]) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::thread rushed_thread([&] {
+    for (std::size_t i = 0; i < kPairs; ++i) {
+      const DriveResult run = drive(manager, "rushed" + std::to_string(i), 0);
+      degraded_total.fetch_add(run.degraded_asks, std::memory_order_relaxed);
+      // Rushed sessions still finish their budget — degraded batches are
+      // answers, not drops.
+      if (run.labels.size() != 10) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  patient_thread.join();
+  rushed_thread.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    EXPECT_TRUE(manager.status("patient" + std::to_string(i)).done);
+    EXPECT_TRUE(manager.status("rushed" + std::to_string(i)).done);
+  }
+  const HealthReport health = manager.health();
+  EXPECT_EQ(health.degraded_stale_asks + health.degraded_random_asks,
+            degraded_total.load());
+}
+
+}  // namespace
+}  // namespace pwu::service

@@ -477,6 +477,50 @@ void rule_atomic_checkpoint(Context& ctx) {
   }
 }
 
+// ---- no-unbounded-queue ----------------------------------------------------
+
+/// Backpressure discipline in the serving layer: a std::deque / std::queue
+/// member in src/service/ is an unbounded buffer unless a capacity check is
+/// visible next to it. Heuristic: the declaration or one of the three lines
+/// on either side must mention a bound (max / cap / limit / bound,
+/// case-insensitive; comments count — the point is that the cap is
+/// discoverable at the declaration, wherever it is enforced). Lines carrying
+/// pwu-lint directives are excluded from that scan so an allow-comment for
+/// this rule (whose own name contains "bound") cannot satisfy it.
+void rule_no_unbounded_queue(Context& ctx) {
+  const std::string& rel = ctx.file().rel_path;
+  if (!path_in(rel, "src/service/")) return;
+  static constexpr const char* kQueueTokens[] = {"std::deque", "std::queue"};
+  static constexpr const char* kBoundWords[] = {"max", "cap", "limit",
+                                                "bound"};
+  const auto bounded_nearby = [&](std::size_t li) {
+    const std::size_t begin = li >= 3 ? li - 3 : 0;
+    const std::size_t end = std::min(li + 3, ctx.file().raw.size() - 1);
+    for (std::size_t i = begin; i <= end; ++i) {
+      if (ctx.directives().directive_lines.count(i + 1) != 0) continue;
+      std::string low = ctx.file().raw[i];
+      std::transform(low.begin(), low.end(), low.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+      });
+      for (const char* word : kBoundWords) {
+        if (low.find(word) != std::string::npos) return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t li = 0; li < ctx.file().code.size(); ++li) {
+    for (const char* token : kQueueTokens) {
+      if (has_token(ctx.file().code[li], token) && !bounded_nearby(li)) {
+        ctx.report("no-unbounded-queue", li + 1,
+                   std::string("'") + token +
+                       "' in service code with no capacity check in sight "
+                       "invites unbounded buffering under overload");
+        break;
+      }
+    }
+  }
+}
+
 // ---- no-unlocked-mutable ---------------------------------------------------
 
 /// Heuristic lock-discipline check over guarded-by annotated fields.
@@ -609,6 +653,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"atomic-checkpoint",
        "persistence code writes final paths via util::atomic_write_file, "
        "never a direct std::ofstream"},
+      {"no-unbounded-queue",
+       "std::deque/std::queue in src/service needs an adjacent capacity "
+       "check"},
       {"no-unlocked-mutable",
        "guarded-by annotated fields only touched under a lock"},
   };
@@ -699,6 +746,7 @@ Report run(const std::string& root, const Options& options) {
     if (rule_on("header-hygiene")) rule_header_hygiene(ctx);
     if (rule_on("no-raw-new")) rule_no_raw_new(ctx);
     if (rule_on("atomic-checkpoint")) rule_atomic_checkpoint(ctx);
+    if (rule_on("no-unbounded-queue")) rule_no_unbounded_queue(ctx);
     if (rule_on("no-unlocked-mutable")) {
       const auto it = guarded_by_stem.find(file_stem(files[i].rel_path));
       if (it != guarded_by_stem.end()) {

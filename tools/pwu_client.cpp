@@ -263,7 +263,9 @@ class PipeTransport : public Transport {
 
 /// One protocol round-trip with transport-failure retry: exponential
 /// backoff from --backoff ms, doubled per attempt, jittered to [0.5, 1.5)x
-/// so a fleet of clients does not stampede a recovering server.
+/// so a fleet of clients does not stampede a recovering server. A
+/// structured {"ok":false,"overloaded":true} refusal is also retried,
+/// honoring the server's retry_after_ms hint instead of the local backoff.
 json::Value call(Transport& transport, const json::Value& request,
                  const Args& args, util::Rng& backoff_rng) {
   const std::string line = request.dump();
@@ -274,6 +276,18 @@ json::Value call(Transport& transport, const json::Value& request,
       json::Value response = json::parse(reply);
       if (args.verbose) std::cout << "<< " << response.dump() << "\n";
       if (!response.at("ok").as_bool()) {
+        if (response.bool_or("overloaded", false) && attempt < args.retries) {
+          const double hint_ms = response.number_or(
+              "retry_after_ms", static_cast<double>(args.backoff_ms));
+          const double wait_ms = hint_ms * (0.5 + backoff_rng.uniform());
+          std::cerr << "pwu_client: server overloaded ("
+                    << response.at("error").as_string() << "); retry "
+                    << (attempt + 1) << "/" << args.retries << " in "
+                    << static_cast<int>(wait_ms) << " ms\n";
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(static_cast<long>(wait_ms)));
+          continue;
+        }
         throw std::runtime_error("server error: " +
                                  response.at("error").as_string());
       }

@@ -12,6 +12,21 @@
 //   pwu_serve --checkpoint-dir /var/lib/pwu --checkpoint-every 5
 //     # crash safety: atomically checkpoint each session to
 //     # <dir>/<session>.ckpt every 5 tells (and again at shutdown)
+//
+// Overload controls (all optional; defaults reproduce the un-governed
+// server — see README "Operating limits"):
+//
+//   --max-sessions N       shed create/resume past N live sessions
+//   --max-pending-asks N   shed asks requesting more than N candidates
+//   --max-refit-queue N    defer background refits past N in flight
+//   --ask-deadline-ms N    serve asks degraded (stale model / random) when
+//                          the fresh refit is not ready within N ms
+//                          (-1 = block, the legacy behavior)
+//   --memory-budget-mb N   evict idle sessions to checkpoint past N MiB
+//                          (requires --checkpoint-dir)
+//   --refit-watchdog-ms N  cancel refits running longer than N ms
+//   --refit-retries N      cancelled-refit retries before quarantine
+//   --retry-after-ms N     back-off hint attached to overloaded errors
 
 #include <cstdlib>
 #include <iostream>
@@ -28,14 +43,48 @@ bool parse_count(const char* text, long& out) {
   return end != text && *end == '\0' && out >= 0;
 }
 
+/// parse_count that additionally admits -1 (for --ask-deadline-ms).
+bool parse_deadline(const char* text, long& out) {
+  char* end = nullptr;
+  out = std::strtol(text, &end, 10);
+  return end != text && *end == '\0' && out >= -1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   unsigned threads = 0;  // 0 = serve single-threaded (refits inline)
   std::string checkpoint_dir;
   std::size_t checkpoint_every = 0;
+  pwu::service::ServiceLimits limits;
+  struct CountFlag {
+    const char* name;
+    std::size_t* target;
+  };
+  const CountFlag count_flags[] = {
+      {"--max-sessions", &limits.max_sessions},
+      {"--max-pending-asks", &limits.max_pending_asks},
+      {"--max-refit-queue", &limits.max_refit_queue},
+      {"--refit-retries", &limits.refit_retries},
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    bool matched = false;
+    for (const CountFlag& flag : count_flags) {
+      if (arg == flag.name && i + 1 < argc) {
+        long v = 0;
+        if (!parse_count(argv[++i], v)) {
+          std::cerr << "pwu_serve: " << flag.name
+                    << " expects a non-negative integer, got '" << argv[i]
+                    << "'\n";
+          return 1;
+        }
+        *flag.target = static_cast<std::size_t>(v);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
     if (arg == "--threads" && i + 1 < argc) {
       long v = 0;
       if (!parse_count(argv[++i], v)) {
@@ -54,13 +103,56 @@ int main(int argc, char** argv) {
         return 1;
       }
       checkpoint_every = static_cast<std::size_t>(v);
+    } else if (arg == "--ask-deadline-ms" && i + 1 < argc) {
+      long v = 0;
+      if (!parse_deadline(argv[++i], v)) {
+        std::cerr << "pwu_serve: --ask-deadline-ms expects an integer >= -1, "
+                     "got '" << argv[i] << "'\n";
+        return 1;
+      }
+      limits.ask_deadline_ms = v;
+    } else if (arg == "--memory-budget-mb" && i + 1 < argc) {
+      long v = 0;
+      if (!parse_count(argv[++i], v)) {
+        std::cerr << "pwu_serve: --memory-budget-mb expects a non-negative "
+                     "integer, got '" << argv[i] << "'\n";
+        return 1;
+      }
+      limits.memory_budget_bytes =
+          static_cast<std::size_t>(v) * std::size_t{1024} * 1024;
+    } else if (arg == "--refit-watchdog-ms" && i + 1 < argc) {
+      long v = 0;
+      if (!parse_count(argv[++i], v)) {
+        std::cerr << "pwu_serve: --refit-watchdog-ms expects a non-negative "
+                     "integer, got '" << argv[i] << "'\n";
+        return 1;
+      }
+      limits.refit_watchdog_ms = v;
+    } else if (arg == "--retry-after-ms" && i + 1 < argc) {
+      long v = 0;
+      if (!parse_count(argv[++i], v)) {
+        std::cerr << "pwu_serve: --retry-after-ms expects a non-negative "
+                     "integer, got '" << argv[i] << "'\n";
+        return 1;
+      }
+      limits.retry_after_ms = v;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: pwu_serve [--threads N] [--checkpoint-dir DIR "
                    "--checkpoint-every N]\n"
+                   "                 [--max-sessions N] [--max-pending-asks N] "
+                   "[--max-refit-queue N]\n"
+                   "                 [--ask-deadline-ms N|-1] "
+                   "[--memory-budget-mb N]\n"
+                   "                 [--refit-watchdog-ms N] "
+                   "[--refit-retries N] [--retry-after-ms N]\n"
                    "Reads one JSON request per line on stdin, writes one "
                    "JSON response per line on stdout.\n"
                    "With --checkpoint-dir, every session is atomically "
-                   "checkpointed to DIR/<session>.ckpt every N tells.\n";
+                   "checkpointed to DIR/<session>.ckpt every N tells.\n"
+                   "Overload flags cap live sessions, ask sizes, refit "
+                   "concurrency, and memory; capped\n"
+                   "requests answer {\"ok\":false,\"overloaded\":true,"
+                   "\"retry_after_ms\":N} instead of blocking.\n";
       return 0;
     } else {
       std::cerr << "pwu_serve: unrecognized argument: " << arg << "\n";
@@ -71,17 +163,23 @@ int main(int argc, char** argv) {
     std::cerr << "pwu_serve: --checkpoint-every requires --checkpoint-dir\n";
     return 1;
   }
+  if (limits.memory_budget_bytes != 0 && checkpoint_dir.empty()) {
+    // The budget is enforced by evicting idle sessions *to checkpoint*;
+    // without a directory there is nowhere to evict to.
+    std::cerr << "pwu_serve: --memory-budget-mb requires --checkpoint-dir\n";
+    return 1;
+  }
   if (!checkpoint_dir.empty() && checkpoint_every == 0) checkpoint_every = 1;
   try {
     if (threads > 1) {
       pwu::util::ThreadPool workers(threads);
-      pwu::service::SessionManager manager(&workers);
+      pwu::service::SessionManager manager(&workers, limits);
       if (checkpoint_every != 0) {
         manager.enable_auto_checkpoint(checkpoint_dir, checkpoint_every);
       }
       pwu::service::run_serve_loop(std::cin, std::cout, manager);
     } else {
-      pwu::service::SessionManager manager(nullptr);
+      pwu::service::SessionManager manager(nullptr, limits);
       if (checkpoint_every != 0) {
         manager.enable_auto_checkpoint(checkpoint_dir, checkpoint_every);
       }
