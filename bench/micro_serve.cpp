@@ -1,0 +1,347 @@
+// Service-level serving benchmark (emits BENCH_serve.json).
+//
+// Drives a fleet of ask/tell sessions to completion through three serving
+// topologies and reports the numbers the scaling story rests on:
+//
+//   direct           handle_request on an in-process SessionManager — the
+//                    no-transport, no-durability upper bound;
+//   pipe_1worker     one forked pwu_serve behind a PipeTransport, auto-
+//                    checkpointing every tell — a durable single-server
+//                    deployment;
+//   router_4workers  the pwu_router tier over four equally durable forked
+//                    workers — consistent-hash placement plus per-shard
+//                    pipelining, the same per-tell fsync cost per worker.
+//
+// Both multi-process topologies checkpoint every tell (the substrate
+// failover rides on), so the pipe-vs-router delta isolates what the
+// routing tier itself costs/buys rather than mixing in durability.
+//
+// Metrics per topology: overall requests/sec, asks/sec through the
+// batched ask windows (where the router's per-shard pipelining shows up),
+// per-tell round-trip latency percentiles (tell-to-fresh-model: the ack
+// arrives only after the inline refit for refit-triggering tells), and
+// the overload shed rate.
+//
+// Usage: micro_serve [OUT.json] [PWU_SERVE_BIN]
+// The serve binary defaults to ../tools/pwu_serve next to this binary.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "router/router.hpp"
+#include "service/protocol.hpp"
+#include "service/session_manager.hpp"
+#include "service/transport.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+namespace json = pwu::util::json;
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kSessions = 8;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+/// One serving topology: a single-request call and a batched window call
+/// (the window is where transports get to pipeline).
+struct Topology {
+  std::string name;
+  std::function<json::Value(const json::Value&)> call;
+  std::function<std::vector<json::Value>(const std::vector<json::Value>&)>
+      call_batch;
+};
+
+struct Metrics {
+  std::size_t requests = 0;
+  std::size_t sheds = 0;
+  std::size_t asks = 0;
+  double ask_window_s = 0.0;
+  std::vector<double> tell_ms;
+  double wall_s = 0.0;
+  bool completed = true;
+};
+
+json::Value create_request(const std::string& name, unsigned seed) {
+  return json::parse(
+      R"({"op":"create","session":")" + name +
+      R"(","workload":"gesummv","n_init":6,"n_batch":2,"n_max":18,)"
+      R"("trees":8,"pool_size":150,"seed":)" + std::to_string(seed) + "}");
+}
+
+json::Value ask_request(const std::string& name) {
+  json::Object obj;
+  obj.emplace("op", json::Value("ask"));
+  obj.emplace("session", json::Value(name));
+  return json::Value(std::move(obj));
+}
+
+/// Calls with structured-overload retry, counting sheds.
+json::Value call_patiently(const Topology& topo, const json::Value& request,
+                           Metrics& metrics) {
+  for (;;) {
+    json::Value response = topo.call(request);
+    metrics.requests += 1;
+    if (!response.bool_or("overloaded", false) &&
+        !response.bool_or("redirected", false)) {
+      return response;
+    }
+    metrics.sheds += 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<long>(response.number_or("retry_after_ms", 25.0))));
+  }
+}
+
+/// Drives kSessions sessions to completion: each round batches one ask
+/// window across every live session, then tells the returned candidates
+/// one by one (timed individually).
+Metrics drive(const Topology& topo) {
+  Metrics metrics;
+  const auto wall_start = Clock::now();
+
+  struct Live {
+    std::string name;
+    pwu::util::Rng rng{1};
+    bool done = false;
+  };
+  const auto workload = pwu::workloads::make_workload("gesummv");
+  std::vector<Live> sessions(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    sessions[s].name = "bench-" + std::to_string(s);
+    const json::Value created = call_patiently(
+        topo, create_request(sessions[s].name, 100 + static_cast<unsigned>(s)),
+        metrics);
+    if (!created.bool_or("ok", false)) {
+      std::cerr << "create failed: " << created.dump() << "\n";
+      metrics.completed = false;
+      return metrics;
+    }
+    sessions[s].rng =
+        pwu::util::Rng(std::stoull(created.at("measure_seed").as_string()));
+  }
+
+  for (;;) {
+    std::vector<std::size_t> live;
+    std::vector<json::Value> window;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      if (sessions[s].done) continue;
+      live.push_back(s);
+      window.push_back(ask_request(sessions[s].name));
+    }
+    if (live.empty()) break;
+
+    const auto ask_start = Clock::now();
+    const std::vector<json::Value> batches = topo.call_batch(window);
+    metrics.ask_window_s += ms_between(ask_start, Clock::now()) / 1000.0;
+    metrics.requests += window.size();
+    metrics.asks += window.size();
+
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      Live& session = sessions[live[k]];
+      const json::Value& batch = batches[k];
+      if (!batch.bool_or("ok", false)) {
+        std::cerr << "ask failed: " << batch.dump() << "\n";
+        metrics.completed = false;
+        return metrics;
+      }
+      const json::Array& candidates = batch.at("candidates").as_array();
+      if (candidates.empty()) {
+        session.done = true;
+        continue;
+      }
+      for (const json::Value& candidate : candidates) {
+        const auto config = pwu::service::configuration_from_json(
+            candidate.at("levels"));
+        const double t = workload->measure(config, session.rng, 1);
+        json::Object tell;
+        tell.emplace("op", json::Value("tell"));
+        tell.emplace("session", json::Value(session.name));
+        tell.emplace("levels", candidate.at("levels"));
+        tell.emplace("time", json::Value(t));
+        const json::Value request(std::move(tell));
+        const auto tell_start = Clock::now();
+        const json::Value told = call_patiently(topo, request, metrics);
+        metrics.tell_ms.push_back(ms_between(tell_start, Clock::now()));
+        if (!told.bool_or("ok", false)) {
+          std::cerr << "tell failed: " << told.dump() << "\n";
+          metrics.completed = false;
+          return metrics;
+        }
+      }
+    }
+  }
+
+  metrics.wall_s = ms_between(wall_start, Clock::now()) / 1000.0;
+  return metrics;
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() / ("pwu_bench_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+void emit(std::ostream& out, const std::string& name, const Metrics& m,
+          bool last) {
+  const double tput = m.wall_s > 0.0
+                          ? static_cast<double>(m.requests) / m.wall_s
+                          : 0.0;
+  const double asks_per_sec =
+      m.ask_window_s > 0.0 ? static_cast<double>(m.asks) / m.ask_window_s
+                           : 0.0;
+  const double shed_rate =
+      m.requests > 0
+          ? static_cast<double>(m.sheds) / static_cast<double>(m.requests)
+          : 0.0;
+  out << "  \"" << name << "\": {\n"
+      << "    \"sessions\": " << kSessions << ",\n"
+      << "    \"completed\": " << (m.completed ? "true" : "false") << ",\n"
+      << "    \"requests\": " << m.requests << ",\n"
+      << "    \"wall_s\": " << m.wall_s << ",\n"
+      << "    \"requests_per_sec\": " << tput << ",\n"
+      << "    \"asks_per_sec\": " << asks_per_sec << ",\n"
+      << "    \"tell_ms\": {\"p50\": " << percentile(m.tell_ms, 0.50)
+      << ", \"p90\": " << percentile(m.tell_ms, 0.90)
+      << ", \"p99\": " << percentile(m.tell_ms, 0.99) << "},\n"
+      << "    \"shed_rate\": " << shed_rate << "\n"
+      << "  }" << (last ? "\n" : ",\n");
+  std::cout << name << ": " << m.requests << " req in " << m.wall_s
+            << " s (" << tput << " req/s, " << asks_per_sec
+            << " asks/s batched, tell p50 " << percentile(m.tell_ms, 0.50)
+            << " ms / p99 " << percentile(m.tell_ms, 0.99)
+            << " ms, shed " << 100.0 * shed_rate << "%)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  std::string serve_bin;
+  if (argc > 2) {
+    serve_bin = argv[2];
+  } else {
+    std::error_code ec;
+    const fs::path self = fs::read_symlink("/proc/self/exe", ec);
+    if (!ec) {
+      serve_bin =
+          (self.parent_path().parent_path() / "tools" / "pwu_serve").string();
+    }
+  }
+  const bool have_serve = !serve_bin.empty() && fs::exists(serve_bin);
+  if (!have_serve) {
+    std::cerr << "micro_serve: pwu_serve not found (" << serve_bin
+              << "); running the in-process topology only\n";
+  }
+
+  // ---- direct: in-process SessionManager ----
+  pwu::service::SessionManager direct_manager;
+  const Topology direct{
+      "direct",
+      [&](const json::Value& request) {
+        return pwu::service::handle_request(direct_manager, request);
+      },
+      [&](const std::vector<json::Value>& window) {
+        std::vector<json::Value> responses;
+        responses.reserve(window.size());
+        for (const json::Value& request : window) {
+          responses.push_back(
+              pwu::service::handle_request(direct_manager, request));
+        }
+        return responses;
+      }};
+  const Metrics direct_metrics = drive(direct);
+
+  // ---- pipe_1worker: one forked pwu_serve ----
+  Metrics pipe_metrics;
+  if (have_serve) {
+    pwu::service::PipeTransport pipe("'" + serve_bin + "' --checkpoint-dir '" +
+                                         fresh_dir("pipe") +
+                                         "' --checkpoint-every 1",
+                                     120.0);
+    const Topology topo{
+        "pipe_1worker",
+        [&](const json::Value& request) {
+          return json::parse(pipe.request(request.dump()));
+        },
+        [&](const std::vector<json::Value>& window) {
+          // The transport-level pipelining the router generalizes: write
+          // the whole window, then drain.
+          for (const json::Value& request : window) pipe.send(request.dump());
+          std::vector<json::Value> responses;
+          responses.reserve(window.size());
+          for (std::size_t i = 0; i < window.size(); ++i) {
+            responses.push_back(json::parse(pipe.recv()));
+          }
+          return responses;
+        }};
+    pipe_metrics = drive(topo);
+    pipe.request(R"({"op":"shutdown"})");
+  }
+
+  // ---- router_4workers: the sharded tier ----
+  Metrics router_metrics;
+  if (have_serve) {
+    std::vector<pwu::router::ShardSpec> specs(4);
+    for (int i = 0; i < 4; ++i) {
+      const std::string dir = fresh_dir("router_" + std::to_string(i));
+      specs[i].name = "shard-" + std::to_string(i);
+      specs[i].transport = std::make_unique<pwu::service::PipeTransport>(
+          "'" + serve_bin + "' --checkpoint-dir '" + dir +
+              "' --checkpoint-every 1",
+          120.0);
+      specs[i].checkpoint_dir = dir;
+    }
+    pwu::router::Router router(std::move(specs));
+    const Topology topo{
+        "router_4workers",
+        [&](const json::Value& request) { return router.handle(request); },
+        [&](const std::vector<json::Value>& window) {
+          return router.handle_batch(window);
+        }};
+    router_metrics = drive(topo);
+    router.handle(json::parse(R"({"op":"shutdown"})"));
+  }
+
+  std::ofstream out(out_path);
+  out.precision(6);
+  out << "{\n";
+  emit(out, "direct", direct_metrics, !have_serve);
+  if (have_serve) {
+    emit(out, "pipe_1worker", pipe_metrics, false);
+    emit(out, "router_4workers", router_metrics, true);
+  }
+  out << "}\n";
+  out.close();
+  std::cout << "wrote " << out_path << "\n";
+
+  const bool ok = direct_metrics.completed &&
+                  (!have_serve ||
+                   (pipe_metrics.completed && router_metrics.completed));
+  return ok ? 0 : 1;
+}

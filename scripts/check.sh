@@ -13,6 +13,10 @@
 #   5. soak + fuzz     — overload soak harness under both sanitizers
 #                        (`ctest -L soak` on the asan and tsan builds) plus a
 #                        long seeded campaign of the protocol fuzzer
+#   6. shard           — multi-process router chaos: real forked workers
+#                        killed at armed kill points; the client-visible
+#                        stream must stay bit-identical to an unkilled
+#                        control fleet (`ctest -L shard`)
 #
 # Contracts (PWU_REQUIRE/PWU_ENSURE/PWU_ASSERT) are active in both sanitizer
 # passes because those presets build Debug. Exits non-zero on the first
@@ -25,29 +29,35 @@ if [[ "${1:-}" == "--jobs" && -n "${2:-}" ]]; then
   jobs="$2"
 fi
 
-echo "== gate 1/5: pwu_lint =="
+echo "== gate 1/6: pwu_lint =="
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$jobs" --target pwu_lint >/dev/null
 ./build/tools/pwu_lint --root . --baseline tools/lint/pwu_lint.baseline
 
-echo "== gate 2/5: asan-fast =="
+echo "== gate 2/6: asan-fast =="
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$jobs" >/dev/null
 ctest --preset asan-fast -j "$jobs"
 
-echo "== gate 3/5: tsan-fast =="
+echo "== gate 3/6: tsan-fast =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" >/dev/null
 ctest --preset tsan-fast -j "$jobs"
 
-echo "== gate 4/5: chaos =="
+echo "== gate 4/6: chaos =="
 cmake --build --preset default -j "$jobs" --target pwu_chaos_tests >/dev/null
 ctest --preset chaos -j "$jobs"
 
-echo "== gate 5/5: soak + fuzz =="
+echo "== gate 5/6: soak + fuzz =="
 ctest --preset asan-soak -j "$jobs"
 ctest --preset tsan-soak -j "$jobs"
 cmake --build --preset default -j "$jobs" --target pwu_fuzz >/dev/null
 ./build/tools/pwu_fuzz --iters 20000 --seed 1
+
+echo "== gate 6/6: shard (router failover chaos) =="
+cmake --build --preset default -j "$jobs" --target pwu_shard_tests \
+  --target pwu_serve >/dev/null
+ctest --preset shard -j "$jobs"
+ctest --preset asan-shard -j "$jobs"
 
 echo "check.sh: all correctness gates passed"

@@ -1,0 +1,101 @@
+#include "router/hash_ring.hpp"
+
+#include <stdexcept>
+
+namespace pwu::router {
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+namespace {
+
+/// splitmix64 finalizer on top of FNV-1a: plain FNV of short, similar
+/// strings ("shard-0#1", "shard-0#2", ...) leaves the high bits — the
+/// bits that order the ring — poorly dispersed, which skews the spread.
+/// The finalizer avalanches them; still a pure deterministic function.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t ring_point(const std::string& text) {
+  return mix64(fnv1a64(text));
+}
+
+std::uint64_t vnode_hash(const std::string& shard, std::size_t vnode) {
+  return ring_point(shard + "#" + std::to_string(vnode));
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(vnodes == 0 ? 1 : vnodes) {}
+
+void HashRing::add(const std::string& shard) {
+  const auto [member, inserted] = members_.emplace(shard, true);
+  if (!inserted) return;
+  const std::string* stable = &member->first;
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    ring_.emplace(std::make_pair(vnode_hash(shard, v), shard), stable);
+  }
+}
+
+bool HashRing::remove(const std::string& shard) {
+  const auto member = members_.find(shard);
+  if (member == members_.end()) return false;
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    ring_.erase(std::make_pair(vnode_hash(shard, v), shard));
+  }
+  members_.erase(member);
+  return true;
+}
+
+bool HashRing::contains(const std::string& shard) const {
+  return members_.count(shard) != 0;
+}
+
+std::vector<std::string> HashRing::members() const {
+  std::vector<std::string> out;
+  out.reserve(members_.size());
+  for (const auto& [name, _] : members_) out.push_back(name);
+  return out;
+}
+
+const std::string& HashRing::owner(const std::string& key) const {
+  if (ring_.empty()) {
+    throw std::logic_error("HashRing::owner: the ring has no members");
+  }
+  // First point clockwise of the key's hash, wrapping past the top.
+  auto it = ring_.lower_bound(std::make_pair(ring_point(key), std::string()));
+  if (it == ring_.end()) it = ring_.begin();
+  return *it->second;
+}
+
+std::vector<std::string> HashRing::owners(const std::string& key,
+                                          std::size_t n) const {
+  std::vector<std::string> out;
+  if (ring_.empty() || n == 0) return out;
+  auto it = ring_.lower_bound(std::make_pair(ring_point(key), std::string()));
+  // Walk at most one full revolution, collecting distinct shards in
+  // clockwise order.
+  for (std::size_t steps = 0; steps < ring_.size() && out.size() < n;
+       ++steps, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    const std::string& shard = *it->second;
+    bool seen = false;
+    for (const std::string& s : out) seen = seen || s == shard;
+    if (!seen) out.push_back(shard);
+  }
+  return out;
+}
+
+}  // namespace pwu::router

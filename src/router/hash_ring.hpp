@@ -1,0 +1,76 @@
+// Deterministic consistent-hash ring mapping session names to shards.
+//
+// Each shard contributes `vnodes` virtual points placed by FNV-1a (plus a
+// splitmix64 finalizer for high-bit dispersion) over "<shard>#<vnode>"; a
+// key is owned by the first point clockwise of its finalized hash. The
+// properties the router (and the test suite) rely on:
+//
+//   deterministic  — placement is a pure function of (members, vnodes);
+//                    identical across processes, runs, and platforms
+//                    (FNV-1a, never std::hash).
+//   balanced       — with enough vnodes, keys spread across shards within
+//                    a small factor of the mean.
+//   minimal        — removing a shard moves only the keys it owned
+//                    (each to its ring successor); adding one moves only
+//                    the keys the new shard now owns. Every other
+//                    key -> shard assignment is untouched, which is what
+//                    lets the router re-home a dead shard's sessions
+//                    without disturbing the survivors'.
+//
+// Ring points are keyed by (hash, shard) pairs, so vnode hash collisions
+// have a deterministic order instead of an insertion-order one.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pwu::router {
+
+/// FNV-1a 64-bit — the ring's (and the lint baseline's) portable hash.
+std::uint64_t fnv1a64(const std::string& text);
+
+class HashRing {
+ public:
+  /// `vnodes` virtual points per shard; more points = tighter balance at
+  /// the cost of a larger ring map. 128 keeps the spread within ~25% of
+  /// the mean for small fleets.
+  explicit HashRing(std::size_t vnodes = 128);
+
+  /// Adds a shard's vnodes. Adding a present member is a no-op.
+  void add(const std::string& shard);
+
+  /// Removes a shard's vnodes; returns false when it was not a member.
+  bool remove(const std::string& shard);
+
+  bool contains(const std::string& shard) const;
+  bool empty() const { return members_.empty(); }
+  std::size_t size() const { return members_.size(); }
+  std::size_t vnodes() const { return vnodes_; }
+
+  /// Members in sorted order (deterministic listing for health reports).
+  std::vector<std::string> members() const;
+
+  /// The shard owning `key`. Throws std::logic_error on an empty ring.
+  const std::string& owner(const std::string& key) const;
+
+  /// The first `n` *distinct* shards clockwise of `key` — owner first,
+  /// then its successors (the failover order: owners(key, 2)[1] is the
+  /// shard that inherits `key` if its owner dies). Returns fewer when the
+  /// ring has fewer members.
+  std::vector<std::string> owners(const std::string& key,
+                                  std::size_t n) const;
+
+ private:
+  std::size_t vnodes_;
+  /// (point hash, shard) -> shard. The shard in the key makes collision
+  /// order deterministic; the mapped value avoids re-deriving it.
+  std::map<std::pair<std::uint64_t, std::string>, const std::string*> ring_;
+  /// Stable storage for member names (ring_ points into this map's keys).
+  std::map<std::string, bool> members_;
+};
+
+}  // namespace pwu::router

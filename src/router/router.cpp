@@ -1,0 +1,660 @@
+#include "router/router.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace pwu::router {
+
+namespace json = util::json;
+
+namespace {
+
+/// Acked-but-not-yet-durable asks above this count force an explicit
+/// checkpoint instead of growing the replay log without bound.
+constexpr std::size_t kMaxReplayLog = 64;
+
+json::Value error_response(const std::string& message) {
+  json::Object obj;
+  obj.emplace("ok", json::Value(false));
+  obj.emplace("error", json::Value(message));
+  return json::Value(std::move(obj));
+}
+
+json::Value ok_response(json::Object fields) {
+  fields.emplace("ok", json::Value(true));
+  return json::Value(std::move(fields));
+}
+
+std::string required_op(const json::Value& request) {
+  const json::Value& op = request.at("op");
+  if (!op.is_string()) {
+    throw std::invalid_argument("missing string field 'op'");
+  }
+  return op.as_string();
+}
+
+bool is_session_op(const std::string& op) {
+  return op == "create" || op == "ask" || op == "tell" || op == "status" ||
+         op == "close" || op == "checkpoint" || op == "resume";
+}
+
+/// A tell carrying a successful measurement — the one request kind whose
+/// replay could double-apply (it appends to the training set exactly once
+/// per label).
+bool is_success_tell(const json::Value& request) {
+  return request.string_or("op", "") == "tell" &&
+         request.string_or("status", "ok") == "ok";
+}
+
+std::size_t status_count(const json::Value& status, const std::string& key) {
+  return static_cast<std::size_t>(status.number_or(key, 0.0));
+}
+
+json::Value make_request(json::Object fields) {
+  return json::Value(std::move(fields));
+}
+
+}  // namespace
+
+Router::Router(std::vector<ShardSpec> shards, RouterOptions options,
+               ShardClientOptions client_options)
+    : ring_(options.vnodes), options_(options) {
+  if (shards.empty()) {
+    throw std::invalid_argument("Router: at least one shard is required");
+  }
+  shards_.reserve(shards.size());
+  for (ShardSpec& spec : shards) {
+    if (spec.name.empty()) {
+      throw std::invalid_argument("Router: shard names must be non-empty");
+    }
+    if (ring_.contains(spec.name)) {
+      throw std::invalid_argument("Router: duplicate shard name '" +
+                                  spec.name + "'");
+    }
+    Shard shard;
+    shard.name = spec.name;
+    shard.checkpoint_dir = std::move(spec.checkpoint_dir);
+    shard.client = std::make_unique<ShardClient>(
+        spec.name, std::move(spec.transport), client_options);
+    ring_.add(shard.name);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::size_t Router::parked_sessions() const {
+  std::size_t n = 0;
+  for (const auto& [name, rec] : records_) n += rec.parked ? 1 : 0;
+  return n;
+}
+
+bool Router::shard_up(const std::string& name) const {
+  for (const Shard& shard : shards_) {
+    if (shard.name == name) return shard.up;
+  }
+  return false;
+}
+
+std::size_t Router::shard_of(const std::string& session) const {
+  const std::string& owner = ring_.owner(session);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].name == owner) return i;
+  }
+  throw std::logic_error("Router: ring owner '" + owner +
+                         "' is not a known shard");
+}
+
+std::string Router::checkpoint_path(std::size_t shard,
+                                    const std::string& session) const {
+  // Same path the worker's auto-checkpoints use (<dir>/<session>.ckpt), so
+  // the baseline write and every subsequent tell refresh one file and
+  // failover always resumes the newest image.
+  return shards_[shard].checkpoint_dir + "/" + session + ".ckpt";
+}
+
+json::Value Router::redirected_response(const std::string& why) {
+  ++stats_.redirects;
+  json::Object obj;
+  obj.emplace("ok", json::Value(false));
+  obj.emplace("error", json::Value(why));
+  obj.emplace("redirected", json::Value(true));
+  obj.emplace("retry_after_ms",
+              json::Value(static_cast<double>(options_.retry_after_ms)));
+  return json::Value(std::move(obj));
+}
+
+json::Value Router::handle(const json::Value& request) {
+  ++stats_.requests;
+  if (options_.probe_every != 0 &&
+      stats_.requests % options_.probe_every == 0) {
+    probe_all();
+  }
+  try {
+    return dispatch(request);
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+json::Value Router::dispatch(const json::Value& request) {
+  const std::string op = required_op(request);
+  if (op == "shutdown") return handle_shutdown();
+  if (op == "list") return handle_list();
+  if (op == "health") return handle_health();
+  if (!is_session_op(op)) return error_response("unknown op '" + op + "'");
+  const json::Value& session = request.at("session");
+  if (!session.is_string()) {
+    throw std::invalid_argument("missing string field 'session'");
+  }
+  return forward_session_request(session.as_string(), request);
+}
+
+json::Value Router::forward_session_request(const std::string& name,
+                                            const json::Value& request) {
+  auto it = records_.find(name);
+  if (it != records_.end() && it->second.parked) {
+    // A touch is the retry trigger for parked sessions: try to re-home
+    // now, and only redirect the client when that still fails.
+    if (!rehome_session(name, it->second)) {
+      return redirected_response("session '" + name +
+                                 "' is re-homing after shard failure");
+    }
+  }
+  if (ring_.empty()) {
+    return error_response("all shards are down");
+  }
+  const std::size_t target = (it != records_.end() && !it->second.parked)
+                                 ? it->second.home
+                                 : shard_of(name);
+  try {
+    json::Value response = shards_[target].client->call(request);
+    ++stats_.forwards;
+    bookkeep(name, required_op(request), target, request, response);
+    return response;
+  } catch (const service::TransportError&) {
+    failover(target);
+    return resolve_interrupted(name, request);
+  }
+}
+
+json::Value Router::resolve_interrupted(const std::string& name,
+                                        const json::Value& request) {
+  // `request` was in flight — sent, possibly applied, but unanswered —
+  // when its shard died; failover() has already run.
+  const auto it = records_.find(name);
+  if (it != records_.end() && !it->second.parked &&
+      it->second.resumed_valid && is_success_tell(request) &&
+      it->second.resumed_labeled >= it->second.labeled + 1) {
+    // The dying worker applied and checkpointed this tell (workers
+    // checkpoint before the inline refit, so crash-mid-fit lands here)
+    // but the response was lost. Replaying would double-apply the label,
+    // so the response is synthesized from the resumed status instead.
+    // With pipelined same-session tells several may be unacked; each
+    // synthesis advances by one, reconstructing the pending count that
+    // label saw (later applied tells each consumed one pending
+    // candidate).
+    SessionRecord& rec = it->second;
+    const std::size_t labeled = rec.labeled + 1;
+    const std::size_t pending_then =
+        rec.resumed_pending + (rec.resumed_labeled - labeled);
+    json::Object fields;
+    fields.emplace("ok", json::Value(true));
+    fields.emplace("labeled", json::Value(labeled));
+    fields.emplace("refit", json::Value(pending_then == 0));
+    fields.emplace("done", json::Value(rec.resumed_done &&
+                                       labeled == rec.resumed_labeled));
+    rec.labeled = labeled;
+    ++stats_.synthesized;
+    return json::Value(std::move(fields));
+  }
+  if (!options_.replay_in_flight) {
+    return redirected_response("shard died mid-request; session '" + name +
+                               "' re-homed");
+  }
+  // Not (provably) applied: replay verbatim on the session's new home.
+  // Safe for asks/status/creates (resume rolled the state back to before
+  // them) and for the not-yet-applied tell. A further death during the
+  // replay recurses, bounded by the shard count.
+  ++stats_.replays;
+  return forward_session_request(name, request);
+}
+
+void Router::bookkeep(const std::string& name, const std::string& op,
+                      std::size_t shard, const json::Value& request,
+                      const json::Value& response) {
+  if (!response.bool_or("ok", false)) return;
+  if (op == "create" || op == "resume") {
+    // Baseline checkpoint before installing the record: a session becomes
+    // the router's responsibility only once it has a durable image. If the
+    // shard dies in between, the create/resume simply replays on the new
+    // ring owner — nothing durable was lost.
+    const json::Value ack = shards_[shard].client->call(
+        make_request({{"op", json::Value("checkpoint")},
+                      {"session", json::Value(name)},
+                      {"path", json::Value(checkpoint_path(shard, name))}}));
+    if (!ack.bool_or("ok", false)) {
+      util::log_warn() << "router: baseline checkpoint for session '" << name
+                       << "' on shard '" << shards_[shard].name
+                       << "' failed: " << ack.string_or("error", "unknown");
+    }
+    SessionRecord rec;
+    rec.home = shard;
+    rec.labeled = status_count(response.at("status"), "labeled");
+    records_[name] = std::move(rec);
+    return;
+  }
+  const auto it = records_.find(name);
+  if (it == records_.end()) return;
+  SessionRecord& rec = it->second;
+  if (op == "ask") {
+    // Asks mutate only in-memory worker state (the outstanding-candidate
+    // set); they become durable at the next tell checkpoint. Until then
+    // the acked request is kept for replay so failover can reconstruct
+    // exactly what the client holds.
+    rec.replay_log.push_back(request.dump());
+    if (rec.replay_log.size() > kMaxReplayLog) {
+      shards_[shard].client->call(
+          make_request({{"op", json::Value("checkpoint")},
+                        {"session", json::Value(name)},
+                        {"path", json::Value(checkpoint_path(shard, name))}}));
+      rec.replay_log.clear();
+    }
+    return;
+  }
+  if (op == "tell") {
+    rec.labeled = static_cast<std::size_t>(response.number_or(
+        "labeled", static_cast<double>(rec.labeled)));
+    // A checkpoint path in the response means the worker persisted the
+    // post-tell state — every ask before it is durable now.
+    if (response.has("checkpoint")) rec.replay_log.clear();
+    return;
+  }
+  if (op == "checkpoint") {
+    // An explicit checkpoint to the home directory is as good as an
+    // auto-checkpoint (same file failover reads).
+    if (request.string_or("path", "") == checkpoint_path(shard, name)) {
+      rec.replay_log.clear();
+    }
+    return;
+  }
+  if (op == "close") {
+    records_.erase(it);
+    return;
+  }
+}
+
+void Router::failover(std::size_t dead) {
+  Shard& shard = shards_[dead];
+  if (!shard.up) return;
+  shard.up = false;
+  shard.client->mark_dead();
+  ring_.remove(shard.name);
+  ++stats_.failovers;
+  util::log_warn() << "router: shard '" << shard.name
+                   << "' is down; re-homing its sessions onto "
+                   << ring_.size() << " survivor(s)";
+  for (auto& [name, rec] : records_) {
+    if (rec.home != dead || rec.parked) continue;
+    rec.parked = true;
+    rec.resumed_valid = false;
+    rehome_session(name, rec);
+  }
+}
+
+bool Router::rehome_session(const std::string& name, SessionRecord& record) {
+  // record.home is the shard the session last lived on; its checkpoint
+  // directory holds the newest durable image (auto-checkpoints and the
+  // router's baseline write share one path).
+  const std::string source = checkpoint_path(record.home, name);
+  for (;;) {
+    if (ring_.empty()) {
+      util::log_error() << "router: no shard left to re-home session '"
+                        << name << "' onto";
+      return false;
+    }
+    const std::size_t target = shard_of(name);
+    try {
+      const json::Value resumed = shards_[target].client->call(
+          make_request({{"op", json::Value("resume")},
+                        {"session", json::Value(name)},
+                        {"path", json::Value(source)}}));
+      if (!resumed.bool_or("ok", false)) {
+        util::log_warn() << "router: re-homing session '" << name
+                         << "' onto shard '" << shards_[target].name
+                         << "' failed: "
+                         << resumed.string_or("error", "unknown");
+        return false;  // stays parked; the next touch retries
+      }
+      // Replay the asks acked since the last durable checkpoint: resuming
+      // rolled the worker back to that checkpoint, and replaying the same
+      // requests from the same state regenerates bit-identical candidates
+      // — exactly the set the client is still measuring. One subtlety: the
+      // dying worker may have checkpointed *past* the router's ack horizon
+      // (a tell it applied but never answered — the crash-mid-fit case).
+      // The resume status detects that: more labels than acked means the
+      // image postdates every logged ask (they preceded the unacked tell
+      // in session order), so replaying would double-consume candidates.
+      const std::size_t labels_at_resume =
+          status_count(resumed.at("status"), "labeled");
+      if (labels_at_resume == record.labeled) {
+        for (const std::string& line : record.replay_log) {
+          const json::Value replayed =
+              shards_[target].client->call(json::parse(line));
+          if (!replayed.bool_or("ok", false)) {
+            util::log_warn() << "router: ask replay for session '" << name
+                             << "' failed: "
+                             << replayed.string_or("error", "unknown");
+          }
+        }
+      } else if (labels_at_resume < record.labeled) {
+        // Should be impossible with checkpoint-every-tell workers: the
+        // newest image lags labels the client was already told about.
+        util::log_error() << "router: session '" << name << "' resumed at "
+                          << labels_at_resume << " labels but " <<
+            record.labeled << " were acknowledged — checkpoint lag?";
+      }
+      // Fresh status after the replays — the synthesize-vs-replay decision
+      // for the in-flight request reads these counts.
+      const json::Value status = shards_[target].client->call(
+          make_request({{"op", json::Value("status")},
+                        {"session", json::Value(name)}}));
+      const json::Value& body = status.at("status");
+      // Make the re-homed state (including replayed asks) durable at the
+      // new home so a further failover starts from here.
+      shards_[target].client->call(
+          make_request({{"op", json::Value("checkpoint")},
+                        {"session", json::Value(name)},
+                        {"path", json::Value(checkpoint_path(target, name))}}));
+      shards_[record.home].rehomed_away += 1;
+      record.home = target;
+      record.parked = false;
+      record.resumed_valid = true;
+      record.resumed_labeled = status_count(body, "labeled");
+      record.resumed_pending = status_count(body, "pending");
+      record.resumed_done = body.bool_or("done", false);
+      record.replay_log.clear();
+      ++stats_.rehomes;
+      return true;
+    } catch (const service::TransportError&) {
+      // The chosen survivor died during the re-home. Cascade: declare it
+      // down too (re-homing *its* sessions) and retry this session on the
+      // next ring owner, still from the original source image — nothing
+      // new became durable on the dead target.
+      failover(target);
+    }
+  }
+}
+
+void Router::probe_all() {
+  const json::Value probe = make_request({{"op", json::Value("health")}});
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i].up) continue;
+    try {
+      shards_[i].client->call(probe);
+    } catch (const service::TransportError&) {
+      failover(i);
+    }
+  }
+}
+
+json::Value Router::handle_list() {
+  // A shard death mid-listing re-homes its sessions onto shards that may
+  // already have been listed; restart the sweep so the merged view is a
+  // consistent snapshot. Bounded: each restart removed a shard.
+  for (;;) {
+    json::Array sessions;
+    bool restart = false;
+    for (std::size_t i = 0; i < shards_.size() && !restart; ++i) {
+      if (!shards_[i].up) continue;
+      try {
+        const json::Value response = shards_[i].client->call(
+            make_request({{"op", json::Value("list")}}));
+        if (response.bool_or("ok", false) &&
+            response.at("sessions").is_array()) {
+          for (const json::Value& s : response.at("sessions").as_array()) {
+            sessions.push_back(s);
+          }
+        }
+      } catch (const service::TransportError&) {
+        failover(i);
+        restart = true;
+      }
+    }
+    if (!restart) {
+      return ok_response({{"sessions", json::Value(std::move(sessions))}});
+    }
+  }
+}
+
+json::Value Router::handle_health() {
+  // Settle membership first: dead-but-undetected workers fail over here,
+  // so the report describes a stable fleet.
+  probe_all();
+  json::Array shard_arr;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = shards_[i];
+    json::Object entry;
+    entry.emplace("shard", json::Value(shard.name));
+    entry.emplace("state", json::Value(shard.up ? "up" : "down"));
+    std::size_t homed = 0;
+    for (const auto& [name, rec] : records_) {
+      homed += (rec.home == i && !rec.parked) ? 1 : 0;
+    }
+    entry.emplace("sessions", json::Value(homed));
+    entry.emplace("rehomed_away", json::Value(shard.rehomed_away));
+    entry.emplace("requests", json::Value(static_cast<std::size_t>(
+                                  shard.client->requests())));
+    entry.emplace("overload_retries",
+                  json::Value(static_cast<std::size_t>(
+                      shard.client->overload_retries())));
+    if (shard.up) {
+      try {
+        const json::Value response = shard.client->call(
+            make_request({{"op", json::Value("health")}}));
+        if (response.bool_or("ok", false)) {
+          entry.emplace("worker", response.at("health"));
+        }
+      } catch (const service::TransportError&) {
+        // Raced a death between probe and report; the next health call
+        // will show it down with its sessions re-homed.
+        entry["state"] = json::Value("down");
+      }
+    }
+    shard_arr.push_back(json::Value(std::move(entry)));
+  }
+  json::Object ring;
+  ring.emplace("vnodes", json::Value(ring_.vnodes()));
+  json::Array members;
+  for (const std::string& m : ring_.members()) members.emplace_back(m);
+  ring.emplace("members", json::Value(std::move(members)));
+
+  json::Object counters;
+  counters.emplace("requests", json::Value(static_cast<std::size_t>(
+                                   stats_.requests)));
+  counters.emplace("forwards", json::Value(static_cast<std::size_t>(
+                                   stats_.forwards)));
+  counters.emplace("failovers", json::Value(static_cast<std::size_t>(
+                                    stats_.failovers)));
+  counters.emplace("rehomes", json::Value(static_cast<std::size_t>(
+                                  stats_.rehomes)));
+  counters.emplace("replays", json::Value(static_cast<std::size_t>(
+                                  stats_.replays)));
+  counters.emplace("synthesized", json::Value(static_cast<std::size_t>(
+                                      stats_.synthesized)));
+  counters.emplace("redirects", json::Value(static_cast<std::size_t>(
+                                    stats_.redirects)));
+
+  json::Object health;
+  health.emplace("role", json::Value("router"));
+  health.emplace("ring", json::Value(std::move(ring)));
+  health.emplace("shards", json::Value(std::move(shard_arr)));
+  health.emplace("sessions_tracked", json::Value(records_.size()));
+  health.emplace("sessions_parked", json::Value(parked_sessions()));
+  health.emplace("counters", json::Value(std::move(counters)));
+  return ok_response({{"health", json::Value(std::move(health))}});
+}
+
+json::Value Router::handle_shutdown() {
+  // Fan the graceful shutdown out: each worker drains refits and flushes
+  // final checkpoints before acking. A worker that dies here is simply
+  // marked down — no failover, the fleet is going away.
+  const json::Value request = make_request({{"op", json::Value("shutdown")}});
+  for (Shard& shard : shards_) {
+    if (!shard.up) continue;
+    try {
+      shard.client->call(request);
+    } catch (const service::TransportError&) {
+      util::log_warn() << "router: shard '" << shard.name
+                       << "' died during shutdown";
+    }
+    shard.up = false;
+    shard.client->mark_dead();
+    // Leave the ring too: a down shard that still owns keys would make a
+    // late session request target it forever (failover is a no-op on an
+    // already-down shard). With the ring empty, stragglers get the
+    // structured "all shards are down" error instead.
+    ring_.remove(shard.name);
+  }
+  return ok_response({{"shutdown", json::Value(true)}});
+}
+
+std::vector<json::Value> Router::handle_batch(
+    const std::vector<json::Value>& requests) {
+  std::vector<json::Value> responses(requests.size());
+  // Per-shard windows accumulate until a request that cannot pipeline
+  // (create/resume/close, admin ops, parked sessions, malformed) forces a
+  // flush; that keeps per-session order intact while independent sessions
+  // on one shard share a send/drain round.
+  std::map<std::size_t, std::vector<std::size_t>> windows;
+
+  const auto flush = [&]() {
+    for (auto& [shard, indexes] : windows) {
+      std::vector<json::Value> window;
+      window.reserve(indexes.size());
+      for (const std::size_t idx : indexes) window.push_back(requests[idx]);
+      ShardClient::PipelineResult result =
+          shards_[shard].client->call_pipelined(window);
+      for (std::size_t k = 0; k < result.responses.size(); ++k) {
+        const std::size_t idx = indexes[k];
+        ++stats_.forwards;
+        ++stats_.requests;
+        bookkeep(requests[idx].at("session").as_string(),
+                 requests[idx].string_or("op", ""), shard, requests[idx],
+                 result.responses[k]);
+        responses[idx] = std::move(result.responses[k]);
+      }
+      if (result.died) {
+        failover(shard);
+        // The unanswered tail was in flight when the shard died: resolve
+        // each request in order — applied tells synthesize, the rest
+        // replay on the sessions' new homes (or redirect while parked).
+        for (std::size_t k = result.responses.size(); k < indexes.size();
+             ++k) {
+          const std::size_t idx = indexes[k];
+          ++stats_.requests;
+          responses[idx] = resolve_interrupted(
+              requests[idx].at("session").as_string(), requests[idx]);
+        }
+      }
+    }
+    windows.clear();
+  };
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const json::Value& request = requests[i];
+    std::string op;
+    bool pipelinable = false;
+    try {
+      op = required_op(request);
+      if ((op == "ask" || op == "tell" || op == "status" ||
+           op == "checkpoint") &&
+          request.at("session").is_string()) {
+        const std::string& name = request.at("session").as_string();
+        const auto it = records_.find(name);
+        const bool parked = it != records_.end() && it->second.parked;
+        if (!parked && !ring_.empty()) {
+          const std::size_t target =
+              it != records_.end() ? it->second.home : shard_of(name);
+          windows[target].push_back(i);
+          pipelinable = true;
+        }
+      }
+    } catch (const std::exception&) {
+      pipelinable = false;
+    }
+    if (!pipelinable) {
+      flush();
+      responses[i] = handle(request);
+    }
+  }
+  flush();
+  return responses;
+}
+
+std::size_t run_router_loop(std::istream& in, std::ostream& out,
+                            Router& router) {
+  constexpr std::size_t kMaxRequestBytes = 1 << 20;
+  constexpr std::size_t kMaxWindow = 256;
+  std::size_t handled = 0;
+  std::string line;
+  bool shutdown = false;
+  while (!shutdown && std::getline(in, line)) {
+    // Greedy read: whatever further lines are already buffered join this
+    // window, so clients that pipeline get shard-level pipelining for
+    // free. The first line always blocks — no busy wait.
+    std::vector<std::string> lines;
+    lines.push_back(line);
+    while (lines.size() < kMaxWindow && in.rdbuf()->in_avail() > 0 &&
+           std::getline(in, line)) {
+      lines.push_back(line);
+    }
+
+    std::vector<json::Value> batch;
+    // Slot i of the window maps to batch position slots[i], or npos for
+    // lines answered (or skipped) without forwarding.
+    constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> slots(lines.size(), kNoSlot);
+    std::vector<json::Value> immediate(lines.size());
+    std::vector<bool> skip(lines.size(), false);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::string& text = lines[i];
+      if (text.find_first_not_of(" \t\r") == std::string::npos) {
+        skip[i] = true;
+        continue;
+      }
+      if (text.size() > kMaxRequestBytes) {
+        immediate[i] = error_response("request line exceeds 1 MiB");
+        continue;
+      }
+      try {
+        slots[i] = batch.size();
+        batch.push_back(json::parse(text));
+      } catch (const std::exception& e) {
+        slots[i] = kNoSlot;
+        immediate[i] = error_response(e.what());
+      }
+    }
+
+    const std::vector<json::Value> batch_responses =
+        router.handle_batch(batch);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (skip[i]) continue;
+      const json::Value& response =
+          slots[i] == kNoSlot ? immediate[i] : batch_responses[slots[i]];
+      out << response.dump() << '\n';
+      ++handled;
+      const json::Value& flag = response.at("shutdown");
+      if (flag.is_bool() && flag.as_bool()) {
+        shutdown = true;
+        break;
+      }
+    }
+    out.flush();
+  }
+  return handled;
+}
+
+}  // namespace pwu::router

@@ -1,0 +1,203 @@
+// Front-end of the sharded serving tier: speaks the JSON-lines protocol
+// to clients and fans requests out to N backend pwu_serve workers over
+// the same protocol.
+//
+// Placement  — session names map to shards through a deterministic
+//              consistent-hash ring (HashRing); membership only shrinks
+//              (on shard death), so surviving sessions never move.
+// Replication— every worker auto-checkpoints each session to its own
+//              directory after every tell (the PR-4 atomic-write
+//              substrate); the router additionally writes a baseline
+//              checkpoint right after each create/resume/re-home so even
+//              a session that never told a label can fail over.
+// Failover   — a connection-level failure (dead or wedged worker)
+//              declares the shard down: it leaves the ring and every
+//              session homed there is resumed — bit-identically, from its
+//              newest good checkpoint — onto its new ring owner. The
+//              request that *detected* the death is then resolved
+//              exactly-once:
+//                * a success-tell whose label the dying worker already
+//                  applied and checkpointed (the worker checkpoints
+//                  before the inline refit, so "killed mid-fit" lands
+//                  here) is answered synthetically from the resumed
+//                  status — replaying it would double-apply the label;
+//                * everything else (asks, not-yet-applied tells, status,
+//                  ...) is replayed verbatim on the new home.
+//              Sessions that cannot be re-homed yet (no survivor, target
+//              overloaded) are parked: their requests answer
+//              {"ok":false,"redirected":true,"retry_after_ms":N} until a
+//              later touch re-homes them — clients back off and retry,
+//              never observing a lost session.
+//
+// The router is deliberately single-threaded and wall-clock-free in its
+// decision logic (health probing is request-count based), so multi-
+// process chaos runs are deterministic. Failure-report tells
+// (status != "ok") are replayed at-least-once on failover: they never
+// enter the training set, but the per-candidate attempt counter may count
+// one extra attempt for the crashed instant.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "router/hash_ring.hpp"
+#include "router/shard_client.hpp"
+#include "service/transport.hpp"
+#include "util/json.hpp"
+
+namespace pwu::router {
+
+struct RouterOptions {
+  /// Virtual nodes per shard on the placement ring.
+  std::size_t vnodes = 128;
+  /// Back-off hint attached to redirected responses.
+  std::int64_t retry_after_ms = 100;
+  /// When false, an in-flight request interrupted by shard death answers
+  /// redirected instead of being replayed on the new home (already-applied
+  /// tells are still answered synthetically — a client retry of those
+  /// would double-apply). Chaos tests use this to exercise the client's
+  /// redirected handling.
+  bool replay_in_flight = true;
+  /// Probe every up shard's health after this many handled requests
+  /// (deterministic cadence; 0 = probe only on demand via the health op).
+  std::size_t probe_every = 0;
+};
+
+/// One backend worker: a transport speaking the JSON-lines protocol and
+/// the directory its auto-checkpoints land in (which failover reads).
+struct ShardSpec {
+  std::string name;
+  std::unique_ptr<service::Transport> transport;
+  std::string checkpoint_dir;
+};
+
+struct RouterStats {
+  std::uint64_t requests = 0;     // client requests handled
+  std::uint64_t forwards = 0;     // requests forwarded to shards
+  std::uint64_t failovers = 0;    // shards declared dead
+  std::uint64_t rehomes = 0;      // sessions resumed onto a new home
+  std::uint64_t replays = 0;      // in-flight requests replayed after failover
+  std::uint64_t synthesized = 0;  // applied-tell responses synthesized
+  std::uint64_t redirects = 0;    // redirected responses sent to clients
+};
+
+class Router {
+ public:
+  Router(std::vector<ShardSpec> shards, RouterOptions options = {},
+         ShardClientOptions client_options = {});
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Dispatches one request. Never throws for request-level errors — they
+  /// come back as {"ok":false,...} responses, exactly like
+  /// service::handle_request.
+  util::json::Value handle(const util::json::Value& request);
+
+  /// Dispatches a window of requests, pipelining per shard: consecutive
+  /// ask/tell/status runs targeting one shard cost one send/drain round
+  /// while other shards compute concurrently. Per-session request order
+  /// is preserved; responses come back in request order.
+  std::vector<util::json::Value> handle_batch(
+      const std::vector<util::json::Value>& requests);
+
+  // ---- introspection (tests, health) ----
+  const HashRing& ring() const { return ring_; }
+  const RouterStats& stats() const { return stats_; }
+  std::size_t sessions_tracked() const { return records_.size(); }
+  std::size_t parked_sessions() const;
+  bool shard_up(const std::string& name) const;
+
+ private:
+  struct Shard {
+    std::string name;
+    std::string checkpoint_dir;
+    std::unique_ptr<ShardClient> client;
+    bool up = true;
+    /// Sessions re-homed away from this shard after it died.
+    std::size_t rehomed_away = 0;
+  };
+
+  /// What the router remembers per session — enough to route, to decide
+  /// replay-vs-synthesize, and to enumerate a dead shard's tenants.
+  struct SessionRecord {
+    std::size_t home = 0;  // index into shards_
+    /// Labels acknowledged to the client so far (from forwarded tell /
+    /// create / resume responses).
+    std::size_t labeled = 0;
+    /// Home shard died and no survivor has resumed the session yet.
+    bool parked = false;
+    /// Status captured from the most recent re-home resume (what an
+    /// in-flight tell is synthesized from).
+    bool resumed_valid = false;
+    std::size_t resumed_labeled = 0;
+    std::size_t resumed_pending = 0;
+    bool resumed_done = false;
+    /// Acked ask requests since the session's last durable checkpoint.
+    /// Asks mutate only in-memory worker state, so failover replays them
+    /// after the resume — from the same state they first ran against,
+    /// which regenerates bit-identical candidates (the set the client is
+    /// still measuring). Cleared whenever a checkpoint lands; bounded by
+    /// forcing a checkpoint past kMaxReplayLog entries.
+    std::vector<std::string> replay_log;
+  };
+
+  util::json::Value dispatch(const util::json::Value& request);
+  util::json::Value handle_list();
+  util::json::Value handle_health();
+  util::json::Value handle_shutdown();
+
+  /// Forward-with-failover loop for a session-scoped request (see the
+  /// failover contract in the header comment).
+  util::json::Value forward_session_request(const std::string& name,
+                                            const util::json::Value& request);
+
+  /// Resolves a request that was in flight when its shard died (failover
+  /// already ran): synthesize the response if the lost request was a tell
+  /// the dying worker provably applied and checkpointed, redirect when
+  /// replay is disabled, replay on the new home otherwise.
+  util::json::Value resolve_interrupted(const std::string& name,
+                                        const util::json::Value& request);
+
+  /// Updates the session table from a successful forwarded response and
+  /// writes the post-create/post-resume baseline checkpoint.
+  void bookkeep(const std::string& name, const std::string& op,
+                std::size_t shard, const util::json::Value& request,
+                const util::json::Value& response);
+
+  /// Declares a shard dead: drops it from the ring and re-homes every
+  /// session it hosted onto the sessions' new ring owners. Idempotent.
+  void failover(std::size_t dead);
+
+  /// Resumes one parked-or-dying session onto its current ring owner from
+  /// its newest checkpoint. Returns true when the session is live again.
+  bool rehome_session(const std::string& name, SessionRecord& record);
+
+  /// Request-count-based health probe of every up shard (probe_every).
+  void probe_all();
+
+  std::size_t shard_of(const std::string& session) const;
+  std::string checkpoint_path(std::size_t shard,
+                              const std::string& session) const;
+  util::json::Value redirected_response(const std::string& why);
+
+  std::vector<Shard> shards_;
+  HashRing ring_;
+  RouterOptions options_;
+  std::map<std::string, SessionRecord> records_;
+  RouterStats stats_;
+};
+
+/// Reads JSON lines from `in` until EOF or a shutdown request, writing one
+/// response line each — the pwu_router main loop, mirroring
+/// service::run_serve_loop (same 1 MiB line cap, same blank-line and
+/// parse-error behavior). Returns the number of requests handled.
+std::size_t run_router_loop(std::istream& in, std::ostream& out,
+                            Router& router);
+
+}  // namespace pwu::router

@@ -1,0 +1,100 @@
+#include "router/shard_client.hpp"
+
+#include "router/hash_ring.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace pwu::router {
+
+namespace json = util::json;
+
+ShardClient::ShardClient(std::string name,
+                         std::unique_ptr<service::Transport> transport,
+                         ShardClientOptions options)
+    : name_(std::move(name)),
+      transport_(std::move(transport)),
+      options_(options),
+      jitter_(options.jitter_seed ^ fnv1a64(name_)) {}
+
+namespace {
+
+bool is_overloaded(const json::Value& response) {
+  return response.is_object() && !response.bool_or("ok", true) &&
+         response.bool_or("overloaded", false);
+}
+
+}  // namespace
+
+json::Value ShardClient::call(const json::Value& request) {
+  if (!alive()) {
+    throw service::TransportError("shard '" + name_ + "' is down");
+  }
+  try {
+    json::Value response = json::parse(transport_->request(request.dump()));
+    ++requests_;
+    if (is_overloaded(response)) {
+      response = retry_overloaded(request, std::move(response));
+    }
+    return response;
+  } catch (const service::TransportError&) {
+    alive_ = false;
+    throw;
+  }
+}
+
+ShardClient::PipelineResult ShardClient::call_pipelined(
+    const std::vector<json::Value>& requests) {
+  PipelineResult result;
+  if (!alive()) {
+    result.died = true;
+    result.error = "shard '" + name_ + "' is down";
+    return result;
+  }
+  result.responses.reserve(requests.size());
+  std::vector<std::size_t> overloaded;
+  try {
+    for (const json::Value& request : requests) {
+      transport_->send(request.dump());
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      json::Value response = json::parse(transport_->recv());
+      ++requests_;
+      if (is_overloaded(response)) overloaded.push_back(i);
+      result.responses.push_back(std::move(response));
+    }
+    // Overloaded slots are re-requested only after the window drains — a
+    // mid-drain resend would read a later slot's queued response as its
+    // own. Admission control refused them before touching any state, so
+    // the late resend is safe (and pipelined windows carry independent
+    // sessions, so the reordering is invisible).
+    for (const std::size_t i : overloaded) {
+      result.responses[i] =
+          retry_overloaded(requests[i], std::move(result.responses[i]));
+    }
+  } catch (const service::TransportError& e) {
+    alive_ = false;
+    result.died = true;
+    result.error = e.what();
+  }
+  return result;
+}
+
+json::Value ShardClient::retry_overloaded(const json::Value& request,
+                                          json::Value response) {
+  for (int attempt = 0; attempt < options_.retries; ++attempt) {
+    if (!is_overloaded(response)) return response;
+    const double hint_ms = response.number_or(
+        "retry_after_ms", static_cast<double>(options_.backoff_ms));
+    const double wait_ms = hint_ms * (0.5 + jitter_.uniform());
+    ++overload_retries_;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long>(wait_ms)));
+    response = json::parse(transport_->request(request.dump()));
+    ++requests_;
+  }
+  return response;
+}
+
+}  // namespace pwu::router

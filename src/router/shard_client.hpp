@@ -1,0 +1,100 @@
+// Per-shard connection of the router tier.
+//
+// Wraps a service::Transport with the policies a front-end needs:
+//
+//   pipelining  — call_pipelined() writes a window of requests before
+//                 draining the (in-order) responses, so N independent
+//                 sessions on one shard cost one round of syscalls and the
+//                 worker process computes while later requests are in its
+//                 stdin buffer.
+//   overload    — a structured {"ok":false,"overloaded":true} refusal is
+//                 retried up to `retries` times, honoring the server's
+//                 retry_after_ms hint jittered to [0.5, 1.5)x from a
+//                 seeded stream (a recovering worker must not be
+//                 stampeded, and tests must be reproducible). Safe for
+//                 every op: admission control sheds *before* mutating.
+//   fail-fast   — a connection-level failure (dead worker, response past
+//                 the transport deadline) marks the client dead and
+//                 surfaces as service::TransportError. The router treats
+//                 that as shard death and fails over from checkpoints; a
+//                 wedged worker is indistinguishable from a crashed one
+//                 and is handled the same way.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/transport.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace pwu::router {
+
+struct ShardClientOptions {
+  /// Structured-overload retries per request (transport failures are never
+  /// retried — they are shard death).
+  int retries = 3;
+  /// Fallback backoff when the server sends no retry_after_ms hint.
+  int backoff_ms = 50;
+  /// Seed of the jitter stream (independent of all tuning streams).
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+};
+
+class ShardClient {
+ public:
+  ShardClient(std::string name, std::unique_ptr<service::Transport> transport,
+              ShardClientOptions options = {});
+
+  const std::string& name() const { return name_; }
+  bool alive() const { return alive_ && transport_->alive(); }
+
+  /// One request round-trip with overload retry. Throws
+  /// service::TransportError on connection death (after marking the
+  /// client dead); returns the parsed response otherwise (including
+  /// {"ok":false} protocol errors — those are the caller's to interpret).
+  util::json::Value call(const util::json::Value& request);
+
+  /// Pipelined window: sends every request, then drains the responses in
+  /// order. An overloaded response is retried individually (the rest of
+  /// the window is already in flight). On transport failure mid-window
+  /// the client is marked dead and the partial result says how far the
+  /// drain got — the router resolves the unanswered tail through
+  /// failover. Never throws for the window itself.
+  struct PipelineResult {
+    /// In-order responses for requests [0, responses.size()).
+    std::vector<util::json::Value> responses;
+    /// True when the connection died before the window drained; requests
+    /// [responses.size(), window) are unanswered.
+    bool died = false;
+    std::string error;
+  };
+  PipelineResult call_pipelined(
+      const std::vector<util::json::Value>& requests);
+
+  /// Requests answered / transport failures / overload retries so far.
+  std::uint64_t requests() const { return requests_; }
+  std::uint64_t overload_retries() const { return overload_retries_; }
+
+  /// Marks the shard dead without touching the transport (used when a
+  /// sibling operation already detected the death).
+  void mark_dead() { alive_ = false; }
+
+ private:
+  /// Re-requests `request` while the response is a structured overload
+  /// refusal, sleeping the jittered hint between attempts.
+  util::json::Value retry_overloaded(const util::json::Value& request,
+                                     util::json::Value response);
+
+  std::string name_;
+  std::unique_ptr<service::Transport> transport_;
+  ShardClientOptions options_;
+  util::Rng jitter_;
+  bool alive_ = true;
+  std::uint64_t requests_ = 0;
+  std::uint64_t overload_retries_ = 0;
+};
+
+}  // namespace pwu::router

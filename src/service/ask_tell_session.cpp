@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "util/contracts.hpp"
+#include "util/killpoints.hpp"
 
 namespace pwu::service {
 
@@ -427,6 +428,12 @@ void AskTellSession::fit_model(const util::CancelToken* cancel) {
   // so this is bit-identical to refitting in place — and it keeps the
   // previous model_ (and every snapshot other threads hold of it) intact
   // when the fit is cancelled or throws.
+  //
+  // Crash site for the shard-failover harness: a worker killed here has
+  // already applied and auto-checkpointed the tell that triggered the
+  // refit, but never answers it — the router must synthesize the lost
+  // response rather than replay (double-apply) it.
+  util::killpoint("ask_tell_session.fit_model");
   core::SurrogatePtr fresh =
       core::make_surrogate(config_.surrogate, config_.forest, config_.gp);
   fresh->fit(train_, rng_, workers_, cancel);

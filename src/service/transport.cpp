@@ -1,0 +1,168 @@
+#include "service/transport.hpp"
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include "service/protocol.hpp"
+#include "util/json.hpp"
+
+namespace pwu::service {
+
+// ---- InProcessTransport ----------------------------------------------------
+
+InProcessTransport::InProcessTransport(util::ThreadPool* workers,
+                                       ServiceLimits limits,
+                                       const std::string& checkpoint_dir,
+                                       std::size_t checkpoint_every)
+    : manager_(workers, limits) {
+  if (!checkpoint_dir.empty() && checkpoint_every != 0) {
+    manager_.enable_auto_checkpoint(checkpoint_dir, checkpoint_every);
+  }
+}
+
+void InProcessTransport::send(const std::string& line) {
+  util::json::Value response;
+  try {
+    response = handle_request(manager_, util::json::parse(line));
+  } catch (const std::exception& e) {
+    util::json::Object err;
+    err.emplace("ok", util::json::Value(false));
+    err.emplace("error", util::json::Value(std::string(e.what())));
+    response = util::json::Value(std::move(err));
+  }
+  replies_.push_back(response.dump());
+}
+
+std::string InProcessTransport::recv() {
+  if (next_reply_ >= replies_.size()) {
+    throw TransportError("recv without a pending request");
+  }
+  std::string line = std::move(replies_[next_reply_]);
+  ++next_reply_;
+  if (next_reply_ == replies_.size()) {
+    replies_.clear();
+    next_reply_ = 0;
+  }
+  return line;
+}
+
+// ---- PipeTransport ---------------------------------------------------------
+
+PipeTransport::PipeTransport(std::string command, double timeout_seconds)
+    : command_(std::move(command)), timeout_(timeout_seconds) {}
+
+PipeTransport::~PipeTransport() { teardown(); }
+
+void PipeTransport::ensure_running() {
+  if (pid_ > 0) return;
+  failed_ = false;
+  int to_child[2];    // parent writes -> child stdin
+  int from_child[2];  // child stdout -> parent reads
+  if (pipe(to_child) != 0 || pipe(from_child) != 0) {
+    throw TransportError("pipe: " + std::string(std::strerror(errno)));
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    throw TransportError("fork: " + std::string(std::strerror(errno)));
+  }
+  if (pid == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    execl("/bin/sh", "sh", "-c", command_.c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+  pid_ = pid;
+  to_child_ = to_child[1];
+  from_child_ = from_child[0];
+  buffer_.clear();
+}
+
+void PipeTransport::send(const std::string& line) {
+  ensure_running();
+  std::string payload = line;
+  payload.push_back('\n');
+  std::size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n =
+        write(to_child_, payload.data() + written, payload.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("server closed the connection (write: " +
+           std::string(std::strerror(errno)) + ")");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+std::string PipeTransport::recv() {
+  if (pid_ <= 0) throw TransportError("recv on a dead connection");
+  // Transport deadlines are genuinely wall-clock: they time out a peer
+  // *process*, not checkpointable tuning state.
+  const auto deadline =
+      std::chrono::steady_clock::now() +  // pwu-lint: allow(no-wallclock)
+      std::chrono::milliseconds(static_cast<long>(timeout_ * 1000.0));
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    const auto remaining =
+        deadline - std::chrono::steady_clock::now();  // pwu-lint: allow(no-wallclock)
+    const long remaining_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+            .count();
+    if (remaining_ms <= 0) fail("response timed out");
+    struct pollfd pfd;
+    pfd.fd = from_child_;
+    pfd.events = POLLIN;
+    const int ready = poll(&pfd, 1, static_cast<int>(remaining_ms));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      fail("poll: " + std::string(std::strerror(errno)));
+    }
+    if (ready == 0) fail("response timed out");
+    char chunk[4096];
+    const ssize_t n = read(from_child_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("read: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) fail("server closed the connection");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void PipeTransport::fail(const std::string& what) {
+  failed_ = true;
+  teardown();
+  throw TransportError(what);
+}
+
+void PipeTransport::teardown() {
+  if (to_child_ >= 0) close(to_child_);
+  if (from_child_ >= 0) close(from_child_);
+  to_child_ = from_child_ = -1;
+  if (pid_ > 0) {
+    kill(pid_, SIGTERM);
+    waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace pwu::service

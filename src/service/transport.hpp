@@ -1,0 +1,129 @@
+// Connection layer of the JSON-lines protocol, shared by every client of
+// a tuning server: pwu_client, the pwu_router shard tier, benches, tests.
+//
+// A Transport moves protocol *lines*; it knows nothing about ops or
+// sessions. Two implementations:
+//
+//   InProcessTransport  dispatches straight into an owned SessionManager —
+//                       no process boundary, for tests and benches.
+//   PipeTransport       spawns a server command under /bin/sh with the
+//                       protocol on its stdin/stdout and reads responses
+//                       with a poll() deadline.
+//
+// send()/recv() are split so callers can *pipeline*: write a window of
+// requests before draining the (in-order) responses — the router fans a
+// batch out to its shards this way. Connection-level failures (dead
+// server, hung response, broken pipe) throw TransportError, which is the
+// retryable category; structured {"ok":false} responses are not transport
+// errors and come back as ordinary lines.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "service/session_manager.hpp"
+
+namespace pwu::service {
+
+/// Connection-level failure (dead server, hung response, broken pipe) —
+/// retryable, unlike a structured server-side error.
+struct TransportError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues/writes one JSON request line. Throws TransportError when the
+  /// connection is down and cannot accept it.
+  virtual void send(const std::string& line) = 0;
+
+  /// Returns the next response line, in request order. Throws
+  /// TransportError on connection failure or deadline expiry.
+  virtual std::string recv() = 0;
+
+  /// One round-trip: send + recv.
+  std::string request(const std::string& line) {
+    send(line);
+    return recv();
+  }
+
+  /// (Re)establishes the connection if it is down; no-op when healthy.
+  /// NOTE: for a stateful server this starts a *fresh* process — any
+  /// session state of the previous incarnation is gone (recoverable only
+  /// through checkpoints).
+  virtual void ensure_running() {}
+
+  /// False once the connection has failed (until ensure_running()).
+  virtual bool alive() const { return true; }
+};
+
+/// Dispatches straight into an owned SessionManager — no process boundary.
+/// send() handles the request immediately and queues the response line for
+/// recv(), preserving the pipelining contract.
+class InProcessTransport : public Transport {
+ public:
+  /// `workers`/`limits` configure the embedded manager; a non-empty
+  /// `checkpoint_dir` enables auto-checkpointing every
+  /// `checkpoint_every` tells (the substrate router failover rides on).
+  explicit InProcessTransport(util::ThreadPool* workers = nullptr,
+                              ServiceLimits limits = {},
+                              const std::string& checkpoint_dir = "",
+                              std::size_t checkpoint_every = 1);
+
+  void send(const std::string& line) override;
+  std::string recv() override;
+
+  SessionManager& manager() { return manager_; }
+
+ private:
+  SessionManager manager_;
+  // Queued responses: vector + cursor instead of a deque so the growth is
+  // bounded by the pipelining window (compacted once drained).
+  std::vector<std::string> replies_;
+  std::size_t next_reply_ = 0;
+};
+
+/// Runs the server command under /bin/sh with the protocol on its
+/// stdin/stdout; recv() honors a per-response poll() deadline. The
+/// destructor (and any failure) terminates the child.
+class PipeTransport : public Transport {
+ public:
+  PipeTransport(std::string command, double timeout_seconds);
+  ~PipeTransport() override;
+
+  PipeTransport(const PipeTransport&) = delete;
+  PipeTransport& operator=(const PipeTransport&) = delete;
+
+  void send(const std::string& line) override;
+  std::string recv() override;
+  void ensure_running() override;
+  /// "Not spawned yet" is alive (the child starts lazily on first send);
+  /// only an observed connection failure marks the transport dead.
+  bool alive() const override { return !failed_; }
+
+  /// The command this transport (re)spawns.
+  const std::string& command() const { return command_; }
+
+ private:
+  /// Tears the dead connection down (so the next ensure_running respawns)
+  /// and reports the failure as retryable.
+  [[noreturn]] void fail(const std::string& what);
+  void teardown();
+
+  std::string command_;
+  double timeout_;
+  pid_t pid_ = -1;
+  int to_child_ = -1;
+  int from_child_ = -1;
+  bool failed_ = false;
+  std::string buffer_;
+};
+
+}  // namespace pwu::service

@@ -1,0 +1,188 @@
+// HashRing — the properties the router's placement and failover logic
+// rely on (see the header contract): deterministic placement, bounded
+// spread, minimal remapping on membership change, and the distinct-owner
+// failover order.
+
+#include "router/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pwu::router {
+namespace {
+
+std::vector<std::string> make_keys(std::size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back("session-" + std::to_string(i));
+  }
+  return keys;
+}
+
+HashRing make_ring(std::size_t shards, std::size_t vnodes = 128) {
+  HashRing ring(vnodes);
+  for (std::size_t i = 0; i < shards; ++i) {
+    ring.add("shard-" + std::to_string(i));
+  }
+  return ring;
+}
+
+TEST(Fnv1a64, MatchesReferenceVectors) {
+  // Published FNV-1a 64 test vectors — the ring must hash identically on
+  // every platform, which std::hash does not guarantee.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashRing, PlacementIsDeterministicAcrossInstances) {
+  const HashRing a = make_ring(5);
+  const HashRing b = make_ring(5);
+  for (const std::string& key : make_keys(2000)) {
+    EXPECT_EQ(a.owner(key), b.owner(key)) << key;
+  }
+}
+
+TEST(HashRing, InsertionOrderDoesNotAffectPlacement) {
+  HashRing forward(64);
+  HashRing backward(64);
+  const std::vector<std::string> members = {"a", "b", "c", "d"};
+  for (const std::string& m : members) forward.add(m);
+  for (auto it = members.rbegin(); it != members.rend(); ++it) {
+    backward.add(*it);
+  }
+  for (const std::string& key : make_keys(1000)) {
+    EXPECT_EQ(forward.owner(key), backward.owner(key)) << key;
+  }
+}
+
+TEST(HashRing, SpreadStaysNearTheMean) {
+  // 128 vnodes keeps every shard within a modest factor of the mean — the
+  // property that makes "re-home onto the ring owner" a balanced policy.
+  const HashRing ring = make_ring(4);
+  const auto keys = make_keys(20000);
+  std::map<std::string, std::size_t> counts;
+  for (const std::string& key : keys) counts[ring.owner(key)] += 1;
+  ASSERT_EQ(counts.size(), 4u);
+  const double mean = static_cast<double>(keys.size()) / 4.0;
+  for (const auto& [shard, count] : counts) {
+    EXPECT_GT(count, 0.5 * mean) << shard;
+    EXPECT_LT(count, 1.6 * mean) << shard;
+  }
+}
+
+TEST(HashRing, RemovingAShardOnlyMovesItsOwnKeys) {
+  HashRing ring = make_ring(5);
+  const auto keys = make_keys(5000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.owner(key);
+
+  ASSERT_TRUE(ring.remove("shard-2"));
+  std::size_t moved = 0;
+  for (const std::string& key : keys) {
+    const std::string& now = ring.owner(key);
+    if (before[key] == "shard-2") {
+      EXPECT_NE(now, "shard-2");
+      ++moved;
+    } else {
+      // The failover guarantee: survivors' sessions never move.
+      EXPECT_EQ(now, before[key]) << key;
+    }
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(HashRing, AddingAShardOnlyClaimsKeys) {
+  HashRing ring = make_ring(4);
+  const auto keys = make_keys(5000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.owner(key);
+
+  ring.add("shard-new");
+  for (const std::string& key : keys) {
+    const std::string& now = ring.owner(key);
+    // A key either stays put or moves to the new shard — never between
+    // two old shards.
+    if (now != before[key]) EXPECT_EQ(now, "shard-new") << key;
+  }
+}
+
+TEST(HashRing, RemoveThenReaddRestoresPlacement) {
+  HashRing ring = make_ring(4);
+  const auto keys = make_keys(1000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.owner(key);
+  ASSERT_TRUE(ring.remove("shard-1"));
+  ring.add("shard-1");
+  for (const std::string& key : keys) {
+    EXPECT_EQ(ring.owner(key), before[key]) << key;
+  }
+}
+
+TEST(HashRing, OwnersGivesDistinctFailoverOrder) {
+  const HashRing ring = make_ring(4);
+  for (const std::string& key : make_keys(500)) {
+    const auto order = ring.owners(key, 3);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], ring.owner(key));
+    EXPECT_NE(order[0], order[1]);
+    EXPECT_NE(order[0], order[2]);
+    EXPECT_NE(order[1], order[2]);
+  }
+}
+
+TEST(HashRing, OwnersPredictsFailoverTarget) {
+  // owners(key, 2)[1] is the shard that inherits `key` when its owner
+  // dies — the exact re-home target the router picks.
+  HashRing ring = make_ring(4);
+  for (const std::string& key : make_keys(500)) {
+    const auto order = ring.owners(key, 2);
+    ASSERT_EQ(order.size(), 2u);
+    HashRing after = make_ring(4);
+    ASSERT_TRUE(after.remove(order[0]));
+    EXPECT_EQ(after.owner(key), order[1]) << key;
+  }
+}
+
+TEST(HashRing, OwnersCapsAtMembership) {
+  const HashRing ring = make_ring(2);
+  const auto order = ring.owners("key", 5);
+  EXPECT_EQ(order.size(), 2u);
+}
+
+TEST(HashRing, MembershipEdgeCases) {
+  HashRing ring(16);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW(ring.owner("key"), std::logic_error);
+  EXPECT_FALSE(ring.remove("ghost"));
+
+  ring.add("only");
+  ring.add("only");  // idempotent
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.owner("anything"), "only");
+  EXPECT_TRUE(ring.contains("only"));
+
+  EXPECT_TRUE(ring.remove("only"));
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW(ring.owner("key"), std::logic_error);
+}
+
+TEST(HashRing, MembersListsSorted) {
+  HashRing ring(8);
+  ring.add("zeta");
+  ring.add("alpha");
+  ring.add("mid");
+  const auto members = ring.members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0], "alpha");
+  EXPECT_EQ(members[1], "mid");
+  EXPECT_EQ(members[2], "zeta");
+}
+
+}  // namespace
+}  // namespace pwu::router

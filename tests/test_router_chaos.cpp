@@ -1,0 +1,236 @@
+// Multi-process chaos harness for the router tier (`ctest -L shard`).
+//
+// Real pwu_serve workers forked behind PipeTransports, killed at armed
+// kill points (--kill-at) so the crash is a genuine process abort at a
+// precise protocol instant, with real torn pipes and real checkpoint
+// files. Three crash instants cover the failover decision table:
+//
+//   ask_tell_session.fit_model     tell applied AND auto-checkpointed,
+//                                  worker dies in the refit → the router
+//                                  must SYNTHESIZE the lost ack;
+//   session_manager.tell.applied   tell applied in memory only, nothing
+//                                  durable → the router must REPLAY it;
+//   atomic_write.mid_write         worker dies half-way through writing
+//                                  the post-tell checkpoint → the torn
+//                                  temp file is invisible, the previous
+//                                  image resumes, the tell REPLAYS.
+//
+// Acceptance in every case: the client-visible response stream (modulo
+// the "checkpoint" path field) is bit-identical to an unkilled control
+// fleet, and the session finishes with zero lost state.
+
+#include "router/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "router/hash_ring.hpp"
+#include "service/protocol.hpp"
+#include "service/transport.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+
+#ifndef PWU_SERVE_BIN
+#define PWU_SERVE_BIN "pwu_serve"  // overridden by CMake with the real path
+#endif
+
+namespace pwu::router {
+namespace {
+
+namespace json = util::json;
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() / ("pwu_shard_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// A two-worker fleet over real forked pwu_serve processes. `kill_spec`
+/// (NAME[:HITS], empty = healthy) arms the shard that owns `victim`.
+std::unique_ptr<Router> make_fleet(const std::string& tag,
+                                   const std::string& victim,
+                                   const std::string& kill_spec) {
+  HashRing ring;
+  ring.add("shard-0");
+  ring.add("shard-1");
+  const std::string owner = ring.owner(victim);
+  std::vector<ShardSpec> specs(2);
+  for (int i = 0; i < 2; ++i) {
+    const std::string name = "shard-" + std::to_string(i);
+    const std::string dir = fresh_dir(tag + "_" + std::to_string(i));
+    std::string command = std::string("'") + PWU_SERVE_BIN +
+                          "' --checkpoint-dir '" + dir +
+                          "' --checkpoint-every 1";
+    if (!kill_spec.empty() && name == owner) {
+      command += " --kill-at " + kill_spec;
+    }
+    specs[i].name = name;
+    specs[i].transport =
+        std::make_unique<service::PipeTransport>(command, 120.0);
+    specs[i].checkpoint_dir = dir;
+  }
+  return std::make_unique<Router>(std::move(specs));
+}
+
+json::Value create_request(const std::string& name, unsigned seed) {
+  return json::parse(
+      R"({"op":"create","session":")" + name +
+      R"(","workload":"gesummv","n_init":6,"n_batch":2,"n_max":16,)"
+      R"("trees":8,"pool_size":120,"seed":)" + std::to_string(seed) + "}");
+}
+
+json::Value session_request(const std::string& op, const std::string& name) {
+  json::Object obj;
+  obj.emplace("op", json::Value(op));
+  obj.emplace("session", json::Value(name));
+  return json::Value(std::move(obj));
+}
+
+/// Checkpoint paths legitimately differ across homes; everything else in
+/// the stream must match bit for bit.
+std::string canonical(json::Value response) {
+  if (response.is_object()) response.as_object().erase("checkpoint");
+  return response.dump();
+}
+
+/// Drives one session to completion, recording every canonicalized
+/// response. Redirects (re-home in progress) are retried like pwu_client
+/// does, without entering the stream — the control fleet never emits
+/// them, and the contract is about the *accepted* responses.
+std::vector<std::string> drive(Router& router, const std::string& name,
+                               unsigned seed) {
+  const auto call = [&](const json::Value& request) {
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      json::Value response = router.handle(request);
+      if (!response.bool_or("redirected", false)) return response;
+    }
+    ADD_FAILURE() << "request redirected 20 times: " << request.dump();
+    return json::Value();
+  };
+
+  std::vector<std::string> stream;
+  const json::Value created = call(create_request(name, seed));
+  EXPECT_TRUE(created.bool_or("ok", false)) << created.dump();
+  stream.push_back(canonical(created));
+  const auto workload = workloads::make_workload("gesummv");
+  util::Rng measure_rng(std::stoull(created.at("measure_seed").as_string()));
+  for (;;) {
+    const json::Value batch = call(session_request("ask", name));
+    EXPECT_TRUE(batch.bool_or("ok", false)) << batch.dump();
+    stream.push_back(canonical(batch));
+    const json::Array& candidates = batch.at("candidates").as_array();
+    if (candidates.empty()) break;
+    for (const json::Value& candidate : candidates) {
+      const auto config =
+          service::configuration_from_json(candidate.at("levels"));
+      const double t = workload->measure(config, measure_rng, 1);
+      json::Object tell;
+      tell.emplace("op", json::Value("tell"));
+      tell.emplace("session", json::Value(name));
+      tell.emplace("levels", candidate.at("levels"));
+      tell.emplace("time", json::Value(t));
+      const json::Value told = call(json::Value(std::move(tell)));
+      EXPECT_TRUE(told.bool_or("ok", false)) << told.dump();
+      stream.push_back(canonical(told));
+    }
+  }
+  stream.push_back(canonical(call(session_request("status", name))));
+  return stream;
+}
+
+/// Runs the kill scenario against its control and asserts the streams are
+/// bit-identical and the session survived to completion.
+void expect_bit_identical_failover(const std::string& tag,
+                                   const std::string& kill_spec,
+                                   unsigned seed) {
+  const std::string name = "chaos-" + tag;
+  auto control = make_fleet(tag + "_ctl", name, "");
+  auto chaos = make_fleet(tag + "_kill", name, kill_spec);
+
+  const auto expected = drive(*control, name, seed);
+  const auto observed = drive(*chaos, name, seed);
+
+  ASSERT_EQ(observed.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(observed[i], expected[i]) << "response " << i;
+  }
+
+  // The kill really happened and really failed over.
+  EXPECT_EQ(chaos->stats().failovers, 1u);
+  EXPECT_EQ(chaos->stats().rehomes, 1u);
+  EXPECT_EQ(control->stats().failovers, 0u);
+
+  // Zero lost sessions: the fleet still lists and serves it.
+  const json::Value listed = chaos->handle(json::parse(R"({"op":"list"})"));
+  ASSERT_TRUE(listed.bool_or("ok", false));
+  const json::Array& sessions = listed.at("sessions").as_array();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].string_or("session", ""), name);
+  EXPECT_TRUE(sessions[0].bool_or("done", false));
+  EXPECT_EQ(sessions[0].number_or("labeled", 0.0), 16.0);
+
+  chaos->handle(json::parse(R"({"op":"shutdown"})"));
+  control->handle(json::parse(R"({"op":"shutdown"})"));
+}
+
+TEST(RouterChaos, KillMidFitSynthesizesTheCheckpointedTell) {
+  // The worker dies inside the refit: the triggering tell is already
+  // durable (workers checkpoint before fitting), only the ack was lost.
+  expect_bit_identical_failover("fit", "ask_tell_session.fit_model:3", 101);
+}
+
+TEST(RouterChaos, KillAfterTellAppliedReplaysTheUndurableTell) {
+  // The worker dies after applying the tell in memory but before the
+  // auto-checkpoint: nothing durable changed, so the replay on the new
+  // home is the first real application.
+  expect_bit_identical_failover("tell", "session_manager.tell.applied:4",
+                                103);
+}
+
+TEST(RouterChaos, KillMidCheckpointWriteResumesThePreviousImage) {
+  // The worker dies half-way through writing the post-tell checkpoint.
+  // The atomic-write protocol leaves the previous image intact (the torn
+  // temp never renamed over it), so failover resumes one tell back and
+  // replays the in-flight tell.
+  expect_bit_identical_failover("ckpt", "atomic_write.mid_write:2", 107);
+}
+
+TEST(RouterChaos, HealthReportsTheFailoverAftermath) {
+  const std::string name = "chaos-health";
+  auto fleet = make_fleet("health", name, "ask_tell_session.fit_model:1");
+  drive(*fleet, name, 109);
+
+  const json::Value response =
+      fleet->handle(json::parse(R"({"op":"health"})"));
+  ASSERT_TRUE(response.bool_or("ok", false));
+  const json::Value& health = response.at("health");
+  EXPECT_EQ(health.string_or("role", ""), "router");
+  EXPECT_EQ(health.at("ring").at("members").as_array().size(), 1u);
+  EXPECT_EQ(health.at("counters").number_or("failovers", 0.0), 1.0);
+  EXPECT_EQ(health.at("counters").number_or("rehomes", 0.0), 1.0);
+  EXPECT_EQ(health.number_or("sessions_parked", -1.0), 0.0);
+
+  std::size_t up = 0, down = 0;
+  for (const json::Value& shard : health.at("shards").as_array()) {
+    if (shard.string_or("state", "") == "up") {
+      ++up;
+      EXPECT_TRUE(shard.at("worker").is_object());
+    } else {
+      ++down;
+    }
+  }
+  EXPECT_EQ(up, 1u);
+  EXPECT_EQ(down, 1u);
+  fleet->handle(json::parse(R"({"op":"shutdown"})"));
+}
+
+}  // namespace
+}  // namespace pwu::router

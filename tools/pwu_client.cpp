@@ -6,38 +6,44 @@
 // the label. Optionally the session is checkpointed, closed, and resumed
 // mid-run — exercising the crash-recovery path.
 //
-// Two transports:
-//   (default)      in-process: requests dispatch straight into a
-//                  SessionManager (the same handle_request pwu_serve runs)
-//   --server CMD   pipe: CMD (e.g. "./pwu_serve") is spawned under
-//                  /bin/sh with the JSON-lines protocol on its stdin/
-//                  stdout. Requests honor --timeout, and transport
-//                  failures (dead server, hung response) are retried with
-//                  jittered exponential backoff before giving up with
-//                  exit status 3.
+// Transports (src/service/transport.hpp — shared with the router tier):
+//   (default)        in-process: requests dispatch straight into a
+//                    SessionManager (the same handle_request pwu_serve runs)
+//   --server CMD     pipe: CMD (e.g. "./pwu_serve" or "./pwu_router ...")
+//                    is spawned under /bin/sh with the JSON-lines protocol
+//                    on its stdin/stdout. Requests honor --timeout, and
+//                    transport failures (dead server, hung response) are
+//                    retried with jittered exponential backoff before
+//                    giving up with exit status 3.
+//   --endpoints A,B  fallback list: like --server, but a transport failure
+//                    rotates to the next command in the list before
+//                    retrying. Meant for equivalent front-ends (e.g.
+//                    router replicas over one worker fleet) — a fresh
+//                    pwu_serve would not have the session.
+//
+// Structured refusals are honored, not treated as failures: an
+// {"ok":false,"overloaded":true} response retries after the server's
+// retry_after_ms hint, and {"ok":false,"redirected":true} (a router
+// re-homing the session after a shard death) waits the same way and
+// retries on the same connection.
 //
 // Afterwards the equivalent batch run (core::ActiveLearner::run, same
 // seed) is executed and the two training sets are compared label for
 // label. Exit status 0 = identical; 1 = diverged; 2 = usage/server error;
 // 3 = server unavailable. The equivalence property is wired into ctest as
-// `cli_client_e2e` (in-process) and `cli_client_pipe_e2e` (pipe).
+// `cli_client_e2e` (in-process), `cli_client_pipe_e2e` (pipe),
+// `cli_client_router_e2e` (through pwu_router), and
+// `cli_client_endpoints` (fallback rotation).
 //
 //   pwu_client --workload mm --strategy pwu --nmax 60 --pool 400 \
 //              --seed 7 --checkpoint-at 30 [--verbose]
 //   pwu_client --server ./pwu_serve --timeout 30 --retries 3
 
-#include <poll.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
-#include <cerrno>
+#include <cstdio>
 #include <chrono>
 #include <csignal>
-#include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +51,7 @@
 #include "core/active_learner.hpp"
 #include "core/metrics.hpp"
 #include "service/protocol.hpp"
+#include "service/transport.hpp"
 #include "space/pool.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -67,12 +74,25 @@ struct Args {
   std::size_t trees = 25;
   std::size_t checkpoint_at = 0;  // 0 = no checkpoint/resume round-trip
   std::uint64_t seed = 7;
-  std::string server;        // empty = in-process transport
+  std::vector<std::string> endpoints;  // empty = in-process transport
   double timeout = 30.0;     // per-request response timeout (seconds)
   int retries = 3;           // transport-failure retries per request
   int backoff_ms = 100;      // first retry backoff (doubles, jittered)
   bool verbose = false;
 };
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) out.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
 
 Args parse_args(int argc, char** argv) {
   Args args;
@@ -95,7 +115,8 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--trees") args.trees = std::stoul(next());
     else if (arg == "--checkpoint-at") args.checkpoint_at = std::stoul(next());
     else if (arg == "--seed") args.seed = std::stoull(next());
-    else if (arg == "--server") args.server = next();
+    else if (arg == "--server") args.endpoints = {next()};
+    else if (arg == "--endpoints") args.endpoints = split_commas(next());
     else if (arg == "--timeout") args.timeout = std::stod(next());
     else if (arg == "--retries") args.retries = std::stoi(next());
     else if (arg == "--backoff") args.backoff_ms = std::stoi(next());
@@ -109,179 +130,65 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
-/// Connection-level failure (dead server, hung response, broken pipe) —
-/// retryable, unlike a structured server-side error.
-struct TransportError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
-
-class Transport {
+/// The client's view of the server side: one transport at a time, with the
+/// rest of the --endpoints list as fallbacks a transport failure rotates
+/// to. The in-process default is a single-entry pool.
+class EndpointPool {
  public:
-  virtual ~Transport() = default;
-  /// Sends one JSON request line, returns the raw JSON response line.
-  /// Throws TransportError on connection-level failure.
-  virtual std::string request(const std::string& line) = 0;
-  /// (Re)establishes the connection if it is down; no-op when healthy.
-  virtual void ensure_running() {}
-};
-
-/// Dispatches straight into a SessionManager — no process boundary.
-class InProcessTransport : public Transport {
- public:
-  std::string request(const std::string& line) override {
-    return service::handle_request(manager_, json::parse(line)).dump();
+  /// In-process endpoint (no fallbacks — there is nothing to fall back to).
+  EndpointPool() {
+    transports_.push_back(std::make_unique<service::InProcessTransport>());
+    labels_.push_back("(in-process)");
   }
+
+  EndpointPool(const std::vector<std::string>& commands, double timeout) {
+    for (const std::string& command : commands) {
+      transports_.push_back(
+          std::make_unique<service::PipeTransport>(command, timeout));
+      labels_.push_back(command);
+    }
+  }
+
+  service::Transport& current() { return *transports_[index_]; }
+  const std::string& label() const { return labels_[index_]; }
+  std::size_t size() const { return transports_.size(); }
+
+  /// Advances to the next endpoint (wrapping). With one endpoint this is a
+  /// no-op and the retry respawns/reuses the same connection.
+  void rotate() { index_ = (index_ + 1) % transports_.size(); }
 
  private:
-  service::SessionManager manager_;
+  std::vector<std::unique_ptr<service::Transport>> transports_;
+  std::vector<std::string> labels_;
+  std::size_t index_ = 0;
 };
 
-/// Runs the server command under /bin/sh with the protocol on its
-/// stdin/stdout; reads responses with a poll() deadline.
-class PipeTransport : public Transport {
- public:
-  PipeTransport(std::string command, double timeout_seconds)
-      : command_(std::move(command)), timeout_(timeout_seconds) {}
-
-  ~PipeTransport() override { teardown(); }
-
-  void ensure_running() override {
-    if (pid_ > 0) return;
-    int to_child[2];    // parent writes -> child stdin
-    int from_child[2];  // child stdout -> parent reads
-    if (pipe(to_child) != 0 || pipe(from_child) != 0) {
-      throw TransportError("pipe: " + std::string(std::strerror(errno)));
-    }
-    const pid_t pid = fork();
-    if (pid < 0) {
-      throw TransportError("fork: " + std::string(std::strerror(errno)));
-    }
-    if (pid == 0) {
-      dup2(to_child[0], STDIN_FILENO);
-      dup2(from_child[1], STDOUT_FILENO);
-      close(to_child[0]);
-      close(to_child[1]);
-      close(from_child[0]);
-      close(from_child[1]);
-      execl("/bin/sh", "sh", "-c", command_.c_str(),
-            static_cast<char*>(nullptr));
-      _exit(127);
-    }
-    close(to_child[0]);
-    close(from_child[1]);
-    pid_ = pid;
-    to_child_ = to_child[1];
-    from_child_ = from_child[0];
-    buffer_.clear();
-  }
-
-  std::string request(const std::string& line) override {
-    ensure_running();
-    write_line(line);
-    return read_line();
-  }
-
- private:
-  void write_line(const std::string& line) {
-    std::string payload = line;
-    payload.push_back('\n');
-    std::size_t written = 0;
-    while (written < payload.size()) {
-      const ssize_t n =
-          write(to_child_, payload.data() + written, payload.size() - written);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        fail("server closed the connection (write: " +
-             std::string(std::strerror(errno)) + ")");
-      }
-      written += static_cast<std::size_t>(n);
-    }
-  }
-
-  std::string read_line() {
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::milliseconds(static_cast<long>(timeout_ * 1000.0));
-    for (;;) {
-      const std::size_t newline = buffer_.find('\n');
-      if (newline != std::string::npos) {
-        std::string line = buffer_.substr(0, newline);
-        buffer_.erase(0, newline + 1);
-        return line;
-      }
-      const auto remaining = deadline - std::chrono::steady_clock::now();
-      const long remaining_ms =
-          std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
-              .count();
-      if (remaining_ms <= 0) fail("response timed out");
-      struct pollfd pfd;
-      pfd.fd = from_child_;
-      pfd.events = POLLIN;
-      const int ready = poll(&pfd, 1, static_cast<int>(remaining_ms));
-      if (ready < 0) {
-        if (errno == EINTR) continue;
-        fail("poll: " + std::string(std::strerror(errno)));
-      }
-      if (ready == 0) fail("response timed out");
-      char chunk[4096];
-      const ssize_t n = read(from_child_, chunk, sizeof chunk);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        fail("read: " + std::string(std::strerror(errno)));
-      }
-      if (n == 0) fail("server closed the connection");
-      buffer_.append(chunk, static_cast<std::size_t>(n));
-    }
-  }
-
-  /// Tears the dead connection down (so the next attempt respawns) and
-  /// reports the failure as retryable.
-  [[noreturn]] void fail(const std::string& what) {
-    teardown();
-    throw TransportError(what);
-  }
-
-  void teardown() {
-    if (to_child_ >= 0) close(to_child_);
-    if (from_child_ >= 0) close(from_child_);
-    to_child_ = from_child_ = -1;
-    if (pid_ > 0) {
-      kill(pid_, SIGTERM);
-      waitpid(pid_, nullptr, 0);
-      pid_ = -1;
-    }
-    buffer_.clear();
-  }
-
-  std::string command_;
-  double timeout_;
-  pid_t pid_ = -1;
-  int to_child_ = -1;
-  int from_child_ = -1;
-  std::string buffer_;
-};
-
-/// One protocol round-trip with transport-failure retry: exponential
-/// backoff from --backoff ms, doubled per attempt, jittered to [0.5, 1.5)x
-/// so a fleet of clients does not stampede a recovering server. A
-/// structured {"ok":false,"overloaded":true} refusal is also retried,
-/// honoring the server's retry_after_ms hint instead of the local backoff.
-json::Value call(Transport& transport, const json::Value& request,
+/// One protocol round-trip with retry policy:
+///   transport failure — exponential backoff from --backoff ms, doubled
+///     per attempt, jittered to [0.5, 1.5)x so a fleet of clients does not
+///     stampede a recovering server; then rotate to the next endpoint.
+///   overloaded/redirected refusal — wait the server's retry_after_ms hint
+///     (jittered the same way) and re-send on the same connection: the
+///     server is alive and told us when to come back.
+json::Value call(EndpointPool& pool, const json::Value& request,
                  const Args& args, util::Rng& backoff_rng) {
   const std::string line = request.dump();
   if (args.verbose) std::cout << ">> " << line << "\n";
   for (int attempt = 0;; ++attempt) {
     try {
-      const std::string reply = transport.request(line);
+      const std::string reply = pool.current().request(line);
       json::Value response = json::parse(reply);
       if (args.verbose) std::cout << "<< " << response.dump() << "\n";
       if (!response.at("ok").as_bool()) {
-        if (response.bool_or("overloaded", false) && attempt < args.retries) {
+        const bool overloaded = response.bool_or("overloaded", false);
+        const bool redirected = response.bool_or("redirected", false);
+        if ((overloaded || redirected) && attempt < args.retries) {
           const double hint_ms = response.number_or(
               "retry_after_ms", static_cast<double>(args.backoff_ms));
           const double wait_ms = hint_ms * (0.5 + backoff_rng.uniform());
-          std::cerr << "pwu_client: server overloaded ("
-                    << response.at("error").as_string() << "); retry "
+          std::cerr << "pwu_client: "
+                    << (overloaded ? "server overloaded" : "session re-homing")
+                    << " (" << response.at("error").as_string() << "); retry "
                     << (attempt + 1) << "/" << args.retries << " in "
                     << static_cast<int>(wait_ms) << " ms\n";
           std::this_thread::sleep_for(
@@ -292,17 +199,19 @@ json::Value call(Transport& transport, const json::Value& request,
                                  response.at("error").as_string());
       }
       return response;
-    } catch (const TransportError& e) {
+    } catch (const service::TransportError& e) {
       if (attempt >= args.retries) throw;
       const double base =
           static_cast<double>(args.backoff_ms) * static_cast<double>(1 << attempt);
       const double wait_ms = base * (0.5 + backoff_rng.uniform());
       std::cerr << "pwu_client: " << e.what() << "; retry " << (attempt + 1)
                 << "/" << args.retries << " in " << static_cast<int>(wait_ms)
-                << " ms\n";
+                << " ms";
+      pool.rotate();
+      if (pool.size() > 1) std::cerr << " via " << pool.label();
+      std::cerr << "\n";
       std::this_thread::sleep_for(
           std::chrono::milliseconds(static_cast<long>(wait_ms)));
-      transport.ensure_running();
     }
   }
 }
@@ -324,24 +233,21 @@ int main(int argc, char** argv) {
               << "\nusage: pwu_client [--workload NAME] [--strategy NAME] "
                  "[--alpha F] [--ninit N] [--batch N] [--nmax N] [--pool N] "
                  "[--test N] [--trees N] [--seed N] [--checkpoint-at N] "
-                 "[--server CMD] [--timeout SEC] [--retries N] [--backoff MS] "
-                 "[--verbose]\n";
+                 "[--server CMD | --endpoints CMD1,CMD2,...] [--timeout SEC] "
+                 "[--retries N] [--backoff MS] [--verbose]\n";
     return 2;
   }
   try {
     const auto workload = workloads::make_workload(args.workload);
 
-    std::unique_ptr<Transport> transport;
-    if (args.server.empty()) {
-      transport = std::make_unique<InProcessTransport>();
-    } else {
-      transport = std::make_unique<PipeTransport>(args.server, args.timeout);
-    }
+    EndpointPool pool = args.endpoints.empty()
+                            ? EndpointPool()
+                            : EndpointPool(args.endpoints, args.timeout);
     // Jitter stream independent of the tuning seed: retry timing must not
     // perturb the reproducible measurement stream.
     util::Rng backoff_rng(args.seed ^ 0x9e3779b97f4a7c15ULL);
     auto rpc = [&](const json::Value& request) {
-      return call(*transport, request, args, backoff_rng);
+      return call(pool, request, args, backoff_rng);
     };
 
     json::Object create_fields{
@@ -401,7 +307,7 @@ int main(int argc, char** argv) {
         obj({{"op", json::Value("status")}, {"session", json::Value("demo")}}));
     std::cout << "session finished: " << final_status.at("status").dump()
               << "\n";
-    if (!args.server.empty()) {
+    if (!args.endpoints.empty()) {
       rpc(obj({{"op", json::Value("shutdown")}}));
     }
 
@@ -440,7 +346,7 @@ int main(int argc, char** argv) {
       std::remove((ckpt_path + ".bak").c_str());
     }
     return identical ? 0 : 1;
-  } catch (const TransportError& e) {
+  } catch (const service::TransportError& e) {
     std::cerr << "pwu_client: server unavailable: " << e.what() << "\n";
     return 3;
   } catch (const std::exception& e) {

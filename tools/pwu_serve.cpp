@@ -33,6 +33,7 @@
 #include <string>
 
 #include "service/protocol.hpp"
+#include "util/killpoints.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -128,6 +129,28 @@ int main(int argc, char** argv) {
         return 1;
       }
       limits.refit_watchdog_ms = v;
+    } else if (arg == "--kill-at" && i + 1 < argc) {
+      // Chaos-only: arm a deterministic kill point (see
+      // src/util/killpoints.hpp) so the multi-process harness can crash
+      // this worker at an exact instant. NAME[:HITS] dies on the
+      // (HITS+1)-th pass of the point; the KillSignal deliberately
+      // escapes every recovery layer and terminates the process.
+      const std::string spec = argv[++i];
+      const std::size_t colon = spec.rfind(':');
+      std::string point = spec.substr(0, colon);
+      long hits = 0;
+      if (colon != std::string::npos &&
+          !parse_count(spec.c_str() + colon + 1, hits)) {
+        std::cerr << "pwu_serve: --kill-at expects NAME[:HITS] with a "
+                     "non-negative HITS, got '" << spec << "'\n";
+        return 1;
+      }
+      if (point.empty()) {
+        std::cerr << "pwu_serve: --kill-at expects NAME[:HITS], got '" << spec
+                  << "'\n";
+        return 1;
+      }
+      pwu::util::arm_killpoint(point, static_cast<int>(hits));
     } else if (arg == "--retry-after-ms" && i + 1 < argc) {
       long v = 0;
       if (!parse_count(argv[++i], v)) {
@@ -145,6 +168,8 @@ int main(int argc, char** argv) {
                    "[--memory-budget-mb N]\n"
                    "                 [--refit-watchdog-ms N] "
                    "[--refit-retries N] [--retry-after-ms N]\n"
+                   "                 [--kill-at NAME[:HITS]]   (chaos "
+                   "testing: crash at an armed kill point)\n"
                    "Reads one JSON request per line on stdin, writes one "
                    "JSON response per line on stdout.\n"
                    "With --checkpoint-dir, every session is atomically "
