@@ -21,7 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "rf/quantized_layout.hpp"
 #include "rf/random_forest.hpp"
+#include "rf/simd_eval.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -129,6 +131,66 @@ int main(int argc, char** argv) {
   const double flat_rows_per_sec = 1000.0 * pool_rows / flat_ms;
   const double ref_rows_per_sec = 1000.0 * pool_rows / ref_ms;
 
+  // ---- SIMD matrix: dispatch level x node layout over the same pool ----
+  // Each cell is timed with the level pinned via set_level_override, checked
+  // bit-for-bit against the reference walks, and reported relative to the
+  // scalar 16-byte row so the kernel speedup is separated from the engine
+  // speedup above.
+  namespace simd = pwu::rf::simd;
+  pwu::rf::QuantizedForest quant;
+  const bool quant_built = quant.build(forest.flat());
+
+  struct MatrixCell {
+    const char* level;
+    const char* layout;
+    double ms = 0.0;
+    bool bit_exact = true;
+    bool available = false;
+  };
+  std::vector<MatrixCell> matrix;
+  std::vector<PredictionStats> simd_out(pool_rows);
+  const auto exact_vs_ref = [&](const std::vector<PredictionStats>& got) {
+    for (std::size_t i = 0; i < pool_rows; ++i) {
+      if (got[i].mean != ref_out[i].mean ||
+          got[i].variance != ref_out[i].variance) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (const simd::Level level :
+       {simd::Level::Scalar, simd::Level::Sse2, simd::Level::Avx2}) {
+    MatrixCell flat_cell{simd::level_name(level), "flat16"};
+    MatrixCell quant_cell{simd::level_name(level), "quant8"};
+    if (level <= simd::detected_level()) {
+      simd::set_level_override(level);
+      flat_cell.available = true;
+      flat_cell.ms = time_best_ms(5, [&] {
+        forest.flat().predict_stats(pool, simd_out);
+      });
+      flat_cell.bit_exact = exact_vs_ref(simd_out);
+      if (quant_built) {
+        quant_cell.available = true;
+        quant_cell.ms = time_best_ms(5, [&] {
+          quant.predict_stats(pool, simd_out);
+        });
+        quant_cell.bit_exact = exact_vs_ref(simd_out);
+      }
+      simd::clear_level_override();
+    }
+    matrix.push_back(flat_cell);
+    matrix.push_back(quant_cell);
+  }
+  const double scalar_flat_ms = matrix[0].ms;
+  double best_kernel_speedup = 1.0;
+  bool matrix_exact = true;
+  for (const MatrixCell& cell : matrix) {
+    if (!cell.available) continue;
+    matrix_exact = matrix_exact && cell.bit_exact;
+    best_kernel_speedup =
+        std::max(best_kernel_speedup, scalar_flat_ms / cell.ms);
+  }
+
   std::ofstream json(out_path);
   json.precision(6);
   json << "{\n"
@@ -148,6 +210,32 @@ int main(int argc, char** argv) {
        << "    \"speedup_vs_reference\": " << ref_ms / flat_ms << ",\n"
        << "    \"speedup_vs_seed\": " << kSeedPredictMs / flat_ms << "\n"
        << "  },\n"
+       << "  \"simd_matrix\": {\n"
+       << "    \"detected_level\": \""
+       << simd::level_name(simd::detected_level()) << "\",\n"
+       << "    \"pool_rows\": " << pool_rows << ", \"trees\": 200,\n"
+       << "    \"cells\": [\n";
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    const MatrixCell& cell = matrix[i];
+    json << "      {\"level\": \"" << cell.level << "\", \"layout\": \""
+         << cell.layout << "\", \"available\": "
+         << (cell.available ? "true" : "false");
+    if (cell.available) {
+      json << ", \"ms\": " << cell.ms << ", \"rows_per_sec\": "
+           << 1000.0 * pool_rows / cell.ms << ", \"speedup_vs_scalar\": "
+           << scalar_flat_ms / cell.ms << ", \"bit_exact\": "
+           << (cell.bit_exact ? "true" : "false");
+    }
+    json << "}" << (i + 1 < matrix.size() ? "," : "") << "\n";
+  }
+  json << "    ],\n"
+       << "    \"best_kernel_speedup_vs_scalar\": " << best_kernel_speedup
+       << ",\n"
+       << "    \"target_speedup\": 2.0,\n"
+       << "    \"target_met\": "
+       << (best_kernel_speedup >= 2.0 ? "true" : "false") << ",\n"
+       << "    \"bit_exact\": " << (matrix_exact ? "true" : "false") << "\n"
+       << "  },\n"
        << "  \"bit_exact\": " << (bit_exact ? "true" : "false") << "\n"
        << "}\n";
   json.close();
@@ -163,6 +251,20 @@ int main(int argc, char** argv) {
             << "  flat vs reference: " << ref_ms / flat_ms << "x, vs seed: "
             << kSeedPredictMs / flat_ms << "x\n"
             << "bit-exact flat == reference: " << (bit_exact ? "yes" : "NO")
-            << "\nwrote " << out_path << "\n";
-  return bit_exact ? 0 : 1;
+            << "\nsimd matrix (detected " << simd::level_name(simd::detected_level())
+            << "):\n";
+  for (const MatrixCell& cell : matrix) {
+    std::cout << "  " << cell.level << " x " << cell.layout << ": ";
+    if (cell.available) {
+      std::cout << cell.ms << " ms (" << scalar_flat_ms / cell.ms
+                << "x scalar, bit-exact " << (cell.bit_exact ? "yes" : "NO")
+                << ")\n";
+    } else {
+      std::cout << "unavailable on this host\n";
+    }
+  }
+  std::cout << "  best kernel speedup vs scalar: " << best_kernel_speedup
+            << "x (target 2x " << (best_kernel_speedup >= 2.0 ? "met" : "MISSED")
+            << ")\nwrote " << out_path << "\n";
+  return bit_exact && matrix_exact ? 0 : 1;
 }

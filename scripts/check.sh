@@ -17,6 +17,10 @@
 #                        killed at armed kill points; the client-visible
 #                        stream must stay bit-identical to an unkilled
 #                        control fleet (`ctest -L shard`)
+#   7. simd            — the full fast suite re-run with PWU_SIMD_LEVEL=
+#                        scalar (Release and asan builds), so the scalar
+#                        dispatch fallback stays tested on hosts whose CPUs
+#                        would otherwise always take the AVX2 kernels
 #
 # Contracts (PWU_REQUIRE/PWU_ENSURE/PWU_ASSERT) are active in both sanitizer
 # passes because those presets build Debug. Exits non-zero on the first
@@ -29,35 +33,40 @@ if [[ "${1:-}" == "--jobs" && -n "${2:-}" ]]; then
   jobs="$2"
 fi
 
-echo "== gate 1/6: pwu_lint =="
+echo "== gate 1/7: pwu_lint =="
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$jobs" --target pwu_lint >/dev/null
 ./build/tools/pwu_lint --root . --baseline tools/lint/pwu_lint.baseline
 
-echo "== gate 2/6: asan-fast =="
+echo "== gate 2/7: asan-fast =="
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$jobs" >/dev/null
 ctest --preset asan-fast -j "$jobs"
 
-echo "== gate 3/6: tsan-fast =="
+echo "== gate 3/7: tsan-fast =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" >/dev/null
 ctest --preset tsan-fast -j "$jobs"
 
-echo "== gate 4/6: chaos =="
+echo "== gate 4/7: chaos =="
 cmake --build --preset default -j "$jobs" --target pwu_chaos_tests >/dev/null
 ctest --preset chaos -j "$jobs"
 
-echo "== gate 5/6: soak + fuzz =="
+echo "== gate 5/7: soak + fuzz =="
 ctest --preset asan-soak -j "$jobs"
 ctest --preset tsan-soak -j "$jobs"
 cmake --build --preset default -j "$jobs" --target pwu_fuzz >/dev/null
 ./build/tools/pwu_fuzz --iters 20000 --seed 1
 
-echo "== gate 6/6: shard (router failover chaos) =="
+echo "== gate 6/7: shard (router failover chaos) =="
 cmake --build --preset default -j "$jobs" --target pwu_shard_tests \
   --target pwu_serve >/dev/null
 ctest --preset shard -j "$jobs"
 ctest --preset asan-shard -j "$jobs"
+
+echo "== gate 7/7: simd (scalar dispatch fallback) =="
+cmake --build --preset default -j "$jobs" --target pwu_tests >/dev/null
+ctest --preset simd -j "$jobs"
+ctest --preset asan-simd -j "$jobs"
 
 echo "check.sh: all correctness gates passed"

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "rf/simd_eval.hpp"
 #include "util/contracts.hpp"
 
 namespace pwu::rf {
@@ -77,6 +78,8 @@ void FlatForest::build(std::span<const DecisionTree> trees) {
   nodes_.reserve(total);
   tree_offsets_.reserve(trees.size() + 1);
 
+  tree_categorical_.reserve(trees.size());
+
   std::vector<std::int32_t> bfs;  // original node ids in breadth-first order
   for (const auto& tree : trees) {
     const auto& src_nodes = tree.nodes();
@@ -84,6 +87,7 @@ void FlatForest::build(std::span<const DecisionTree> trees) {
       throw std::logic_error("FlatForest::build: unfitted tree");
     }
     bfs.assign(1, 0);
+    bool categorical = false;
     // Flat local index of a node == its position in the BFS order; children
     // are appended together, so right child = left child + 1 by layout.
     for (std::size_t head = 0; head < bfs.size(); ++head) {
@@ -92,6 +96,7 @@ void FlatForest::build(std::span<const DecisionTree> trees) {
       if (src.is_leaf()) {
         node.payload = src.value;
       } else {
+        categorical = categorical || src.split.categorical;
         node.feature = src.split.feature |
                        (src.split.categorical ? FlatNode::kCategoricalFlag : 0);
         node.payload = src.split.categorical
@@ -119,6 +124,7 @@ void FlatForest::build(std::span<const DecisionTree> trees) {
                                                    << src_nodes.size());
     }
     tree_offsets_.push_back(static_cast<std::uint32_t>(base));
+    tree_categorical_.push_back(categorical ? 1 : 0);
   }
   tree_offsets_.push_back(static_cast<std::uint32_t>(nodes_.size()));
   PWU_ENSURE(tree_offsets_.back() == nodes_.size() && nodes_.size() == total,
@@ -128,6 +134,7 @@ void FlatForest::build(std::span<const DecisionTree> trees) {
 void FlatForest::clear() {
   nodes_.clear();
   tree_offsets_.clear();
+  tree_categorical_.clear();
 }
 
 double FlatForest::predict_one(std::span<const double> row) const {
@@ -206,18 +213,27 @@ void FlatForest::stats_block(const FeatureMatrix& rows, std::size_t begin,
               "FlatForest::stats_block: [" << begin << ", " << end
                                            << ") of " << rows.num_rows());
   scratch.resize(num * nb);
+  const double* base = rows.row(begin).data();
+  const std::size_t stride = rows.num_cols();
+  const simd::FlatTreeKernel kernel = simd::flat_tree_kernel(simd::active_level());
   const double* row_ptrs[kGroup];
   // Tree-major fill: one tree's nodes stay hot while the whole row block
-  // passes through it, kGroup rows at a time for memory-level parallelism.
+  // passes through it. Numerical-only trees take the dispatched SIMD kernel
+  // (bit-exact with traverse_group by construction); trees with categorical
+  // splits keep the scalar set-membership walk.
   for (std::size_t t = 0; t < num; ++t) {
     const FlatNode* tree = nodes_.data() + tree_offsets_[t];
     double* dst = scratch.data() + t * nb;
-    for (std::size_t r = 0; r < nb; r += kGroup) {
-      const std::size_t g = std::min(kGroup, nb - r);
-      for (std::size_t j = 0; j < g; ++j) {
-        row_ptrs[j] = rows.row(begin + r + j).data();
+    if (tree_categorical_[t] != 0) {
+      for (std::size_t r = 0; r < nb; r += kGroup) {
+        const std::size_t g = std::min(kGroup, nb - r);
+        for (std::size_t j = 0; j < g; ++j) {
+          row_ptrs[j] = rows.row(begin + r + j).data();
+        }
+        traverse_group(tree, row_ptrs, g, dst + r);
       }
-      traverse_group(tree, row_ptrs, g, dst + r);
+    } else {
+      kernel(tree, base, stride, nb, dst);
     }
   }
   const auto b = static_cast<double>(num);
@@ -246,18 +262,25 @@ void FlatForest::mean_block(const FeatureMatrix& rows, std::size_t begin,
               "FlatForest::mean_block: [" << begin << ", " << end << ") of "
                                           << rows.num_rows());
   scratch.assign(nb, 0.0);
+  const double* base = rows.row(begin).data();
+  const std::size_t stride = rows.num_cols();
+  const simd::FlatTreeKernel kernel = simd::flat_tree_kernel(simd::active_level());
   const double* row_ptrs[kGroup];
-  double leaf[kGroup];
+  double leaf[kRowBlock];
   for (std::size_t t = 0; t < num; ++t) {
     const FlatNode* tree = nodes_.data() + tree_offsets_[t];
-    for (std::size_t r = 0; r < nb; r += kGroup) {
-      const std::size_t g = std::min(kGroup, nb - r);
-      for (std::size_t j = 0; j < g; ++j) {
-        row_ptrs[j] = rows.row(begin + r + j).data();
+    if (tree_categorical_[t] != 0) {
+      for (std::size_t r = 0; r < nb; r += kGroup) {
+        const std::size_t g = std::min(kGroup, nb - r);
+        for (std::size_t j = 0; j < g; ++j) {
+          row_ptrs[j] = rows.row(begin + r + j).data();
+        }
+        traverse_group(tree, row_ptrs, g, leaf + r);
       }
-      traverse_group(tree, row_ptrs, g, leaf);
-      for (std::size_t j = 0; j < g; ++j) scratch[r + j] += leaf[j];
+    } else {
+      kernel(tree, base, stride, nb, leaf);
     }
+    for (std::size_t r = 0; r < nb; ++r) scratch[r] += leaf[r];
   }
   const auto b = static_cast<double>(num);
   for (std::size_t r = 0; r < nb; ++r) out[begin + r] = scratch[r] / b;

@@ -79,7 +79,8 @@ class FlatForest {
   /// Resident heap footprint of the compiled layout.
   std::size_t memory_bytes() const {
     return nodes_.capacity() * sizeof(FlatNode) +
-           tree_offsets_.capacity() * sizeof(std::uint32_t);
+           tree_offsets_.capacity() * sizeof(std::uint32_t) +
+           tree_categorical_.capacity() * sizeof(std::uint8_t);
   }
 
   /// Blocked batch evaluation; row blocks run on `pool` when provided.
@@ -88,11 +89,30 @@ class FlatForest {
   void predict_mean(const FeatureMatrix& rows, std::span<double> out,
                     util::ThreadPool* pool = nullptr) const;
 
- private:
-  /// Rows per cache block: 64 rows x 200 trees of scratch is 100 KB, inside
-  /// L2, while one tree's nodes stream through L1.
-  static constexpr std::size_t kRowBlock = 64;
+  /// Rows per cache block: 256 rows x 200 trees of scratch is 400 KB,
+  /// inside L2, while one tree's nodes stream through L1; the wide block
+  /// amortizes each tree's node-table sweep over enough rows to keep the
+  /// SIMD kernels' gather chains fed (64 left them latency-bound on node
+  /// refetches). Public so external schedulers (the SessionManager's
+  /// cross-session ask fusion) can carve their own block grids.
+  static constexpr std::size_t kRowBlock = 256;
 
+  /// One cache block of predict_stats, exposed for fused scoring: fills
+  /// out[begin, end) for rows [begin, end) (end - begin <= kRowBlock).
+  /// Blocks are independent, so any schedule over them — including one
+  /// interleaving blocks of *different* forests — produces bit-identical
+  /// results to predict_stats.
+  void predict_stats_block(const FeatureMatrix& rows, std::size_t begin,
+                           std::size_t end, std::span<PredictionStats> out,
+                           std::vector<double>& scratch) const {
+    stats_block(rows, begin, end, out, scratch);
+  }
+
+  /// Raw compiled layout (the QuantizedForest compaction pass reads it).
+  std::span<const FlatNode> nodes() const { return nodes_; }
+  std::span<const std::uint32_t> tree_offsets() const { return tree_offsets_; }
+
+ private:
   void stats_block(const FeatureMatrix& rows, std::size_t begin,
                    std::size_t end, std::span<PredictionStats> out,
                    std::vector<double>& scratch) const;
@@ -103,6 +123,10 @@ class FlatForest {
   std::vector<FlatNode> nodes_;
   /// Tree t owns nodes_[tree_offsets_[t], tree_offsets_[t + 1]).
   std::vector<std::uint32_t> tree_offsets_;
+  /// Trees containing categorical splits take the scalar set-membership
+  /// walk in the batch evaluators; SIMD kernels only see numerical-only
+  /// trees (rf/simd_eval.hpp).
+  std::vector<std::uint8_t> tree_categorical_;
 };
 
 }  // namespace pwu::rf

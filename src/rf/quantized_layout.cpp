@@ -1,0 +1,296 @@
+#include "rf/quantized_layout.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "rf/simd_eval.hpp"
+#include "util/contracts.hpp"
+
+namespace pwu::rf {
+
+namespace {
+
+/// Full scalar walk over the compacted layout, including categorical
+/// set-membership splits — the path trees with categorical splits always
+/// take (SIMD kernels only see numerical-only trees). Routing replicates
+/// the FlatForest walk exactly: the threshold table holds the original
+/// split doubles, so `v <= thresholds[code]` sees bit-identical operands.
+double traverse_quant(const QuantNode* nodes, const double* thresholds,
+                      const std::uint64_t* masks, const double* leaf_values,
+                      const double* row) {
+  std::uint32_t i = 0;
+  for (;;) {
+    const QuantNode node = nodes[i];
+    if (node.is_leaf()) return leaf_values[node.left];
+    const double v = row[node.feature & QuantNode::kFeatureMask];
+    bool left;
+    if ((node.feature & QuantNode::kCategoricalBit) != 0) {
+      const auto level = static_cast<std::uint64_t>(std::llround(v));
+      left = level < 64 && ((masks[node.code] >> level) & 1ULL);
+    } else {
+      left = v <= thresholds[node.code];
+    }
+    i = static_cast<std::uint32_t>(node.left) + (left ? 0u : 1u);
+  }
+}
+
+}  // namespace
+
+bool QuantizedForest::build(const FlatForest& forest) {
+  clear();
+  const std::span<const FlatNode> src = forest.nodes();
+  const std::span<const std::uint32_t> offsets = forest.tree_offsets();
+  if (offsets.size() < 2) return false;  // nothing to compact
+
+  // Pass 1: per-feature threshold codebooks (sorted distinct doubles) and
+  // the categorical-mask table.
+  std::vector<std::vector<double>> per_feature;
+  std::map<std::uint64_t, std::uint16_t> mask_codes;
+  for (const FlatNode& node : src) {
+    if (node.feature < 0) continue;
+    const std::int32_t feat = node.feature & FlatNode::kFeatureMask;
+    if (feat >= QuantNode::kFeatureMask) return false;  // u16 overflow
+    if ((node.feature & FlatNode::kCategoricalFlag) != 0) {
+      mask_codes.emplace(std::bit_cast<std::uint64_t>(node.payload),
+                         static_cast<std::uint16_t>(0));
+      if (mask_codes.size() > 65536) return false;
+      continue;
+    }
+    if (std::isnan(node.payload)) return false;  // would break sort/unique
+    if (per_feature.size() <= static_cast<std::size_t>(feat)) {
+      per_feature.resize(static_cast<std::size_t>(feat) + 1);
+    }
+    per_feature[static_cast<std::size_t>(feat)].push_back(node.payload);
+  }
+  std::vector<std::size_t> base(per_feature.size(), 0);
+  for (std::size_t f = 0; f < per_feature.size(); ++f) {
+    auto& codebook = per_feature[f];
+    std::sort(codebook.begin(), codebook.end());
+    codebook.erase(std::unique(codebook.begin(), codebook.end()),
+                   codebook.end());
+    base[f] = thresholds_.size();
+    thresholds_.insert(thresholds_.end(), codebook.begin(), codebook.end());
+  }
+  if (thresholds_.size() > 65536) {
+    clear();
+    return false;
+  }
+  feature_base_.reserve(per_feature.size() + 1);
+  for (const std::size_t b : base) {
+    feature_base_.push_back(static_cast<std::uint32_t>(b));
+  }
+  feature_base_.push_back(static_cast<std::uint32_t>(thresholds_.size()));
+  cat_masks_.reserve(mask_codes.size());
+  for (auto& [mask, code] : mask_codes) {
+    code = static_cast<std::uint16_t>(cat_masks_.size());
+    cat_masks_.push_back(mask);
+  }
+
+  // Pass 2: rewrite every node. Child indices are tree-local in both
+  // layouts, so they carry over unchanged.
+  nodes_.reserve(src.size());
+  tree_offsets_.reserve(offsets.size());
+  const std::size_t num = offsets.size() - 1;
+  tree_categorical_.assign(num, 0);
+  for (std::size_t t = 0; t < num; ++t) {
+    tree_offsets_.push_back(static_cast<std::uint32_t>(nodes_.size()));
+    for (std::uint32_t i = offsets[t]; i < offsets[t + 1]; ++i) {
+      const FlatNode& node = src[i];
+      QuantNode q;
+      if (node.feature < 0) {
+        q.left = static_cast<std::int32_t>(leaf_values_.size());
+        leaf_values_.push_back(node.payload);
+      } else if ((node.feature & FlatNode::kCategoricalFlag) != 0) {
+        tree_categorical_[t] = 1;
+        const auto feat =
+            static_cast<std::uint16_t>(node.feature & FlatNode::kFeatureMask);
+        q.feature =
+            static_cast<std::uint16_t>(feat | QuantNode::kCategoricalBit);
+        q.code = mask_codes.at(std::bit_cast<std::uint64_t>(node.payload));
+        q.left = node.left;
+      } else {
+        const auto feat =
+            static_cast<std::size_t>(node.feature & FlatNode::kFeatureMask);
+        const auto& codebook = per_feature[feat];
+        const auto it = std::lower_bound(codebook.begin(), codebook.end(),
+                                         node.payload);
+        PWU_ASSERT(it != codebook.end() && *it == node.payload,
+                   "QuantizedForest::build: threshold missing from codebook");
+        q.feature = static_cast<std::uint16_t>(feat);
+        q.code = static_cast<std::uint16_t>(
+            base[feat] +
+            static_cast<std::size_t>(it - codebook.begin()));
+        q.left = node.left;
+      }
+      nodes_.push_back(q);
+    }
+  }
+  tree_offsets_.push_back(static_cast<std::uint32_t>(nodes_.size()));
+  PWU_ENSURE(nodes_.size() == src.size(),
+             "QuantizedForest::build: node count mismatch " << nodes_.size()
+                                                            << " vs "
+                                                            << src.size());
+  return true;
+}
+
+void QuantizedForest::clear() {
+  nodes_.clear();
+  tree_offsets_.clear();
+  thresholds_.clear();
+  feature_base_.clear();
+  cat_masks_.clear();
+  leaf_values_.clear();
+  tree_categorical_.clear();
+}
+
+void QuantizedForest::compute_ranks(const double* base, std::size_t stride,
+                                    std::size_t nb,
+                                    std::vector<std::int32_t>& ranks) const {
+  const std::size_t nf = feature_base_.size() - 1;
+  ranks.resize(nb * nf);
+  const double* tab = thresholds_.data();
+  // Feature-major so each codebook stays cache-hot across the whole block.
+  // The search counts codebook entries < v with the power-of-two bit-set
+  // form of lower_bound: fixed trip count per feature, conditions folding
+  // to cmov (no mispredicts), which lets four rows' searches run
+  // interleaved — four independent load chains instead of one serial one.
+  // The result is the first codebook entry >= v: every smaller code fails
+  // `v <= threshold`, every code from the result on passes — the exact
+  // ordered-compare semantics. NaN compares false against everything, so
+  // the search leaves cur at 0; pick the past-the-end rank explicitly so
+  // NaN always routes right, like every other tier.
+  for (std::size_t f = 0; f < nf; ++f) {
+    const double* cb = tab + feature_base_[f];
+    const std::uint32_t size = feature_base_[f + 1] - feature_base_[f];
+    const auto fb = static_cast<std::int32_t>(feature_base_[f]);
+    std::int32_t* dst = ranks.data() + f;
+    const std::uint32_t top = size == 0 ? 0 : std::bit_floor(size);
+    const auto search_step = [&](std::uint32_t cur, std::uint32_t step,
+                                 double v) {
+      const std::uint32_t cand = cur + step;
+      const bool in = cand <= size;
+      const double probe = cb[in ? cand - 1 : 0];
+      return (in & (probe < v)) ? cand : cur;
+    };
+    const auto emit = [&](std::size_t r, double v, std::uint32_t cur) {
+      dst[r * nf] = std::isnan(v) ? fb + static_cast<std::int32_t>(size)
+                                  : fb + static_cast<std::int32_t>(cur);
+    };
+    std::size_t r = 0;
+    for (; r + 4 <= nb; r += 4) {
+      double v[4];
+      std::uint32_t cur[4] = {0, 0, 0, 0};
+      for (std::size_t j = 0; j < 4; ++j) v[j] = base[(r + j) * stride + f];
+      for (std::uint32_t step = top; step != 0; step >>= 1) {
+        for (std::size_t j = 0; j < 4; ++j) {
+          cur[j] = search_step(cur[j], step, v[j]);
+        }
+      }
+      for (std::size_t j = 0; j < 4; ++j) emit(r + j, v[j], cur[j]);
+    }
+    for (; r < nb; ++r) {
+      const double v = base[r * stride + f];
+      std::uint32_t cur = 0;
+      for (std::uint32_t step = top; step != 0; step >>= 1) {
+        cur = search_step(cur, step, v);
+      }
+      emit(r, v, cur);
+    }
+  }
+}
+
+void QuantizedForest::stats_block(const FeatureMatrix& rows, std::size_t begin,
+                                  std::size_t end,
+                                  std::span<PredictionStats> out,
+                                  std::vector<double>& scratch,
+                                  std::vector<std::int32_t>& rank_scratch) const {
+  const std::size_t nb = end - begin;
+  const std::size_t num = num_trees();
+  PWU_REQUIRE(begin < end && end <= rows.num_rows() &&
+                  nb <= FlatForest::kRowBlock,
+              "QuantizedForest::stats_block: [" << begin << ", " << end
+                                                << ") of " << rows.num_rows());
+  scratch.resize(num * nb);
+  const double* base = rows.row(begin).data();
+  const std::size_t stride = rows.num_cols();
+  const simd::QuantTreeKernel kernel =
+      simd::quant_tree_kernel(simd::active_level());
+  // One rank precompute per block, amortized across every numerical tree:
+  // O(rows x features x log codebook) binary searches buy O(trees x depth)
+  // integer-only walk steps.
+  const std::size_t nf = feature_base_.empty() ? 0 : feature_base_.size() - 1;
+  const bool any_numerical =
+      std::find(tree_categorical_.begin(), tree_categorical_.end(),
+                static_cast<std::uint8_t>(0)) != tree_categorical_.end();
+  if (any_numerical && nf > 0) compute_ranks(base, stride, nb, rank_scratch);
+  for (std::size_t t = 0; t < num; ++t) {
+    const QuantNode* tree = nodes_.data() + tree_offsets_[t];
+    double* dst = scratch.data() + t * nb;
+    if (tree_categorical_[t] != 0) {
+      for (std::size_t r = 0; r < nb; ++r) {
+        dst[r] = traverse_quant(tree, thresholds_.data(), cat_masks_.data(),
+                                leaf_values_.data(), base + r * stride);
+      }
+    } else {
+      kernel(tree, rank_scratch.data(), nf, leaf_values_.data(), nb, dst);
+    }
+  }
+  // Identical per-row accumulation (two-pass deviation form, tree order) to
+  // FlatForest::stats_block — the layouts agree bit-for-bit because every
+  // scratch double already does.
+  const auto b = static_cast<double>(num);
+  for (std::size_t r = 0; r < nb; ++r) {
+    double sum = 0.0;
+    for (std::size_t t = 0; t < num; ++t) sum += scratch[t * nb + r];
+    PredictionStats stats;
+    stats.mean = sum / b;
+    double sq_dev = 0.0;
+    for (std::size_t t = 0; t < num; ++t) {
+      const double d = scratch[t * nb + r] - stats.mean;
+      sq_dev += d * d;
+    }
+    stats.variance = sq_dev / b;
+    stats.stddev = std::sqrt(stats.variance);
+    out[begin + r] = stats;
+  }
+}
+
+void QuantizedForest::predict_stats(const FeatureMatrix& rows,
+                                    std::span<PredictionStats> out,
+                                    util::ThreadPool* pool) const {
+  const std::size_t n = rows.num_rows();
+  if (out.size() != n) {
+    throw std::invalid_argument(
+        "QuantizedForest::predict_stats: size mismatch");
+  }
+  if (empty()) {
+    throw std::logic_error("QuantizedForest::predict_stats: empty forest");
+  }
+  if (n == 0) return;
+  const std::size_t blocks =
+      (n + FlatForest::kRowBlock - 1) / FlatForest::kRowBlock;
+  auto run_block = [&](std::size_t block, std::vector<double>& scratch,
+                       std::vector<std::int32_t>& ranks) {
+    const std::size_t begin = block * FlatForest::kRowBlock;
+    const std::size_t end = std::min(begin + FlatForest::kRowBlock, n);
+    stats_block(rows, begin, end, out, scratch, ranks);
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && n > 256) {
+    pool->parallel_for(0, blocks, [&](std::size_t block) {
+      thread_local std::vector<double> scratch;
+      thread_local std::vector<std::int32_t> ranks;
+      run_block(block, scratch, ranks);
+    });
+  } else {
+    std::vector<double> scratch;
+    std::vector<std::int32_t> ranks;
+    for (std::size_t block = 0; block < blocks; ++block) {
+      run_block(block, scratch, ranks);
+    }
+  }
+}
+
+}  // namespace pwu::rf

@@ -1,0 +1,137 @@
+// Optional 8-byte compacted node layout for fitted FlatForests.
+//
+// A post-build() compaction pass rewrites each 16-byte FlatNode into a
+// QuantNode half its size, so roughly twice the tree working set fits in
+// L1/L2 during blocked batch evaluation:
+//
+//   - split thresholds are deduplicated into per-feature codebooks (laid
+//     out back-to-back in one flat `thresholds_` table) and nodes store a
+//     16-bit code instead of the 8-byte double;
+//   - categorical left-level masks move to a side table, referenced by the
+//     same 16-bit code field;
+//   - leaf payloads move to `leaf_values_`, indexed by the leaf's child
+//     field.
+//
+// Exactness: codes index the *original* threshold doubles (a rank coding,
+// stricter than midpoint snapping), so every `value <= threshold` compare
+// sees bit-identical operands and the quantized walk routes every row to
+// the same leaf as the full-width walk — predictions agree bit-for-bit,
+// which tests/test_simd_eval.cpp asserts across all registry workloads.
+//
+// The rank coding also makes the batch walk integer-only: because each
+// feature's codebook is sorted, `value <= thresholds[code]` is exactly
+// `code >= rank`, where rank is the index of the first codebook entry
+// >= value (one past the codebook for NaN, which must route right).
+// stats_block computes that rank once per (row, feature) per block and
+// every numerical tree then walks on 32-bit integer compares — no double
+// loads at all — which is what the quant SIMD kernels exploit.
+//
+// Capacity: codes and feature indices are 16-bit. build() returns false
+// (leaving the forest empty) when a forest exceeds them — > 65536 distinct
+// thresholds or masks, or feature index >= 0x7FFF — and callers simply
+// keep the full-width layout. The tuning spaces here are far inside the
+// limits; the fallback keeps the layout safe to apply blindly.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rf/feature_matrix.hpp"
+#include "rf/flat_forest.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pwu::rf {
+
+/// One node of the compacted layout. 8 bytes.
+struct QuantNode {
+  /// kLeafSentinel for a leaf; otherwise the feature index with
+  /// kCategoricalBit set for set-membership splits.
+  std::uint16_t feature = kLeafSentinel;
+  /// Numerical split: index into the forest's thresholds() table.
+  /// Categorical split: index into the cat_masks() table. Leaf: 0.
+  std::uint16_t code = 0;
+  /// Split: tree-local flat index of the left child (right = left + 1).
+  /// Leaf: index into the leaf_values() table.
+  std::int32_t left = -1;
+
+  static constexpr std::uint16_t kLeafSentinel = 0xFFFF;
+  static constexpr std::uint16_t kCategoricalBit = 0x8000;
+  static constexpr std::uint16_t kFeatureMask = 0x7FFF;
+
+  bool is_leaf() const { return feature == kLeafSentinel; }
+};
+static_assert(sizeof(QuantNode) == 8, "QuantNode must stay 8 bytes");
+
+class QuantizedForest {
+ public:
+  /// Compacts a built FlatForest (replacing any previous contents).
+  /// Returns false — leaving this forest empty — when the source exceeds
+  /// the 16-bit code/feature capacity; prediction results are bit-identical
+  /// to the source otherwise.
+  bool build(const FlatForest& forest);
+  void clear();
+
+  bool empty() const { return tree_offsets_.size() < 2; }
+  std::size_t num_trees() const {
+    return tree_offsets_.empty() ? 0 : tree_offsets_.size() - 1;
+  }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Blocked batch evaluation, mirroring FlatForest::predict_stats: the
+  /// same block geometry and the same per-row accumulation order, so the
+  /// two layouts agree bit-for-bit.
+  void predict_stats(const FeatureMatrix& rows, std::span<PredictionStats> out,
+                     util::ThreadPool* pool = nullptr) const;
+
+  /// Resident heap footprint of the compacted layout and side tables.
+  std::size_t memory_bytes() const {
+    return nodes_.capacity() * sizeof(QuantNode) +
+           tree_offsets_.capacity() * sizeof(std::uint32_t) +
+           thresholds_.capacity() * sizeof(double) +
+           feature_base_.capacity() * sizeof(std::uint32_t) +
+           cat_masks_.capacity() * sizeof(std::uint64_t) +
+           leaf_values_.capacity() * sizeof(double) +
+           tree_categorical_.capacity() * sizeof(std::uint8_t);
+  }
+
+  // ---- introspection (tests/bench) ----
+  std::span<const QuantNode> nodes() const { return nodes_; }
+  std::span<const double> thresholds() const { return thresholds_; }
+  std::span<const double> leaf_values() const { return leaf_values_; }
+  /// Feature f's codebook spans thresholds()[feature_base()[f],
+  /// feature_base()[f + 1]).
+  std::span<const std::uint32_t> feature_base() const { return feature_base_; }
+  std::size_t num_cat_masks() const { return cat_masks_.size(); }
+
+ private:
+  void stats_block(const FeatureMatrix& rows, std::size_t begin,
+                   std::size_t end, std::span<PredictionStats> out,
+                   std::vector<double>& scratch,
+                   std::vector<std::int32_t>& rank_scratch) const;
+
+  /// Fills `ranks` (row-major, stride = number of codebook features) with
+  /// the global code of the first threshold >= the row's value per (row,
+  /// feature) — the feature's past-the-end code for NaN. `code >= rank`
+  /// then reproduces `value <= thresholds[code]` exactly.
+  void compute_ranks(const double* base, std::size_t stride, std::size_t nb,
+                     std::vector<std::int32_t>& ranks) const;
+
+  std::vector<QuantNode> nodes_;
+  /// Tree t owns nodes_[tree_offsets_[t], tree_offsets_[t + 1]).
+  std::vector<std::uint32_t> tree_offsets_;
+  /// Per-feature threshold codebooks, concatenated; QuantNode::code indexes
+  /// this table directly (codes already carry the feature's base offset).
+  std::vector<double> thresholds_;
+  /// Prefix offsets of each feature's codebook inside thresholds_ (size
+  /// num-features + 1); drives the per-block rank precompute.
+  std::vector<std::uint32_t> feature_base_;
+  std::vector<std::uint64_t> cat_masks_;
+  std::vector<double> leaf_values_;
+  /// Trees containing categorical splits take the scalar set-membership
+  /// walk; SIMD kernels only ever see numerical-only trees.
+  std::vector<std::uint8_t> tree_categorical_;
+};
+
+}  // namespace pwu::rf

@@ -135,12 +135,21 @@ double AskTellSession::best_observed() const {
 }
 
 std::vector<Candidate> AskTellSession::ask(std::size_t n) {
+  AskPlan plan = plan_ask(n);
+  if (!plan.needs_scores) return std::move(plan.candidates);
+  const std::vector<rf::PredictionStats> stats =
+      model_->predict_stats_batch(pool_features_, workers_);
+  return finish_ask(plan, stats);
+}
+
+AskPlan AskTellSession::plan_ask(std::size_t n) {
+  AskPlan plan;
   if (!pending_.empty()) {
     throw std::logic_error(
         "AskTellSession::ask: previous batch still awaiting tells");
   }
   refit();
-  if (done()) return {};
+  if (done()) return plan;
 
   if (!cold_start_done_) {
     // Cold start (Algorithm 1, lines 1-4): exactly n_init uniform picks,
@@ -172,31 +181,41 @@ std::vector<Candidate> AskTellSession::ask(std::size_t n) {
     PWU_ENSURE(pool_.size() == pool_features_.num_rows(),
                "ask: pool/features desync " << pool_.size() << " vs "
                                             << pool_features_.num_rows());
-    return pending_;
+    plan.candidates = pending_;
+    return plan;
   }
 
   // Iteration phase (Algorithm 1, lines 5-9): predict over the pool, let
-  // the strategy pick a batch.
+  // the strategy pick a batch. The prediction pass itself is deferred to
+  // finish_ask so a fused caller can batch it with other sessions'.
   PWU_ASSERT(model_ != nullptr,
              "ask: cold start complete but no fitted surrogate");
   ++iteration_;
   const std::size_t want = n == 0 ? config_.n_batch : n;
-  const std::size_t batch =
-      std::min({want, config_.n_max - num_labeled(), pool_.size()});
+  plan.batch = std::min({want, config_.n_max - num_labeled(), pool_.size()});
+  plan.needs_scores = true;
+  return plan;
+}
 
+std::vector<Candidate> AskTellSession::finish_ask(
+    const AskPlan& plan, const std::vector<rf::PredictionStats>& stats) {
+  PWU_REQUIRE(plan.needs_scores,
+              "finish_ask: plan was already complete (cold start or done)");
+  PWU_REQUIRE(stats.size() == pool_.size(),
+              "finish_ask: " << stats.size() << " scores for "
+                             << pool_.size() << " pool rows");
   core::PoolPrediction prediction;
   prediction.best_observed = best_observed();
   prediction.mean.resize(pool_.size());
   prediction.stddev.resize(pool_.size());
-  const std::vector<rf::PredictionStats> stats =
-      model_->predict_stats_batch(pool_features_, workers_);
   for (std::size_t i = 0; i < stats.size(); ++i) {
     prediction.mean[i] = stats[i].mean;
     prediction.stddev[i] = stats[i].stddev;
   }
   prediction.features = pool_features_;
 
-  std::vector<std::size_t> selected = strategy_->select(prediction, batch, rng_);
+  std::vector<std::size_t> selected =
+      strategy_->select(prediction, plan.batch, rng_);
   if (selected.empty()) {
     throw std::logic_error("SamplingStrategy returned an empty batch");
   }

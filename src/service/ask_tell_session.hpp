@@ -96,6 +96,25 @@ struct CensoredObservation {
   double lower_bound = 0.0;
 };
 
+/// Deferred form of ask() for cross-session ask fusion
+/// (SessionManager::ask_fused). plan_ask() runs everything up to — but not
+/// including — the pool scoring pass; when `needs_scores` is set the caller
+/// computes exactly what ask() would have computed inline
+/// (model()->predict_stats_batch over pool_features(), bit for bit — any
+/// block schedule of the flat evaluator qualifies) and hands the stats to
+/// finish_ask(), which replays the strategy selection on the session's own
+/// rng stream. ask() itself is plan_ask + inline scoring + finish_ask, so
+/// the fused and unfused paths share one implementation and cannot drift.
+struct AskPlan {
+  /// False: `candidates` already holds the complete answer (the session is
+  /// done, or cold start — neither consults the surrogate). True: score
+  /// the pool, then call finish_ask().
+  bool needs_scores = false;
+  std::vector<Candidate> candidates;
+  /// Clamped batch size the strategy will be asked for.
+  std::size_t batch = 0;
+};
+
 enum class SessionPhase {
   ColdStart,      // nothing asked yet; next ask() returns the n_init picks
   AwaitingTells,  // an ask() batch is outstanding
@@ -135,6 +154,22 @@ class AskTellSession {
   /// Throws std::logic_error while a previous batch is still outstanding.
   /// Performs any due refit first.
   std::vector<Candidate> ask(std::size_t n = 0);
+
+  /// First half of ask(): identical admission, refit, cold start, and
+  /// iteration accounting, stopping where ask() would score the pool. See
+  /// AskPlan. Throws exactly where ask() throws.
+  AskPlan plan_ask(std::size_t n = 0);
+
+  /// Second half of ask(): `stats` must be the surrogate's prediction for
+  /// every current pool row (stats[i] scores pool_features().row(i)),
+  /// bit-identical to model()->predict_stats_batch — a fused caller gets
+  /// that for free because flat-forest row blocks evaluate independently.
+  std::vector<Candidate> finish_ask(const AskPlan& plan,
+                                    const std::vector<rf::PredictionStats>& stats);
+
+  /// Encoded pool rows (row i = features of the i-th remaining candidate)
+  /// — what a fused caller scores between plan_ask and finish_ask.
+  const rf::FeatureMatrix& pool_features() const { return pool_features_; }
 
   /// Deadline-expired form of ask(): answers *now*, without the due refit.
   /// When `stale` is a fitted surrogate (the caller's last-good snapshot)

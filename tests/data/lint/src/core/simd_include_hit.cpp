@@ -1,0 +1,5 @@
+// Fixture: raw intrinsics header outside the dispatch layer must fire
+// no-unchecked-simd on the include line.
+#include <immintrin.h>
+
+int simd_include_hit() { return 0; }

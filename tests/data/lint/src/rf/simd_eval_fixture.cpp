@@ -1,0 +1,6 @@
+// Fixture: the src/rf/simd_eval* prefix is the sanctioned home of raw
+// intrinsics; the same include is clean here.
+#include <emmintrin.h>
+#include <immintrin.h>
+
+int simd_eval_fixture() { return 0; }

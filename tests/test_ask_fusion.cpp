@@ -1,0 +1,221 @@
+// Cross-session ask fusion (SessionManager::ask_fused) is a scheduling
+// optimization and nothing more: fused sessions must hand out the exact
+// candidate sequences their individual ask() calls would have, config for
+// config and prediction bit for bit, because every session still consumes
+// its own rng stream. These tests drive fused and unfused manager fleets
+// through whole sessions and require identity, plus pin the per-request
+// error isolation and the fusion counters.
+
+#include "service/session_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/registry.hpp"
+
+namespace pwu::service {
+namespace {
+
+SessionSpec fleet_spec(std::uint64_t seed) {
+  SessionSpec spec;
+  spec.workload = "gesummv";
+  spec.learner.n_init = 5;
+  spec.learner.n_batch = 2;
+  spec.learner.n_max = 15;
+  spec.learner.forest.num_trees = 8;
+  spec.pool_size = 140;
+  spec.test_size = 40;
+  spec.seed = seed;
+  return spec;
+}
+
+std::vector<std::string> fleet_names(std::size_t n) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < n; ++i) {
+    names.push_back("s" + std::to_string(i));
+  }
+  return names;
+}
+
+void expect_same_candidates(const std::vector<Candidate>& fused,
+                            const std::vector<Candidate>& plain,
+                            const std::string& context) {
+  ASSERT_EQ(fused.size(), plain.size()) << context;
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    SCOPED_TRACE(context + " candidate " + std::to_string(i));
+    EXPECT_EQ(fused[i].config, plain[i].config);
+    EXPECT_EQ(fused[i].has_prediction, plain[i].has_prediction);
+    // Bit-identity, not tolerance: the fused scoring pass runs the same
+    // flat-forest blocks the unfused ask would.
+    EXPECT_EQ(fused[i].predicted_mean, plain[i].predicted_mean);
+    EXPECT_EQ(fused[i].predicted_stddev, plain[i].predicted_stddev);
+    EXPECT_EQ(fused[i].iteration, plain[i].iteration);
+  }
+}
+
+TEST(AskFusion, FusedSessionsMatchUnfusedBitForBit) {
+  // Two identical fleets, one driven through ask_fused, one through plain
+  // ask(); same measurement streams. Every ask window and every label must
+  // coincide exactly — the protocol cannot tell the paths apart.
+  constexpr std::size_t kSessions = 4;
+  util::ThreadPool workers(3);
+  SessionManager fused_mgr(&workers);
+  SessionManager plain_mgr(&workers);
+  const auto names = fleet_names(kSessions);
+  std::vector<util::Rng> measure(kSessions, util::Rng(0));
+  const auto workload = workloads::make_workload("gesummv");
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    const SessionSpec spec = fleet_spec(100 + i);
+    fused_mgr.create(names[i], spec);
+    const SessionStatus st = plain_mgr.create(names[i], spec);
+    measure[i] = util::Rng(st.measure_seed);
+  }
+
+  bool any_open = true;
+  std::size_t windows = 0;
+  while (any_open) {
+    any_open = false;
+    ++windows;
+    std::vector<FusedAskRequest> requests;
+    for (const auto& name : names) requests.push_back({name, 0});
+    const std::vector<FusedAskResult> fused =
+        fused_mgr.ask_fused(requests, -1);
+    ASSERT_EQ(fused.size(), kSessions);
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      ASSERT_TRUE(fused[i].error.empty()) << fused[i].error;
+      EXPECT_EQ(fused[i].session, names[i]);
+      const std::vector<Candidate> plain = plain_mgr.ask(names[i]);
+      expect_same_candidates(fused[i].outcome.candidates, plain,
+                             names[i] + " window " +
+                                 std::to_string(windows));
+      if (plain.empty()) continue;
+      any_open = true;
+      // One measurement stream per session feeds both fleets: fork it per
+      // candidate so both tells see identical labels.
+      for (const Candidate& c : plain) {
+        const double label = workload->measure(c.config, measure[i], 1);
+        fused_mgr.tell(names[i], c.config, label);
+        plain_mgr.tell(names[i], c.config, label);
+      }
+    }
+    ASSERT_LT(windows, 50u) << "fleet failed to converge";
+  }
+  // Whole-session identity: final state agrees too.
+  for (const auto& name : names) {
+    const SessionStatus f = fused_mgr.status(name);
+    const SessionStatus p = plain_mgr.status(name);
+    EXPECT_TRUE(f.done);
+    EXPECT_EQ(f.labeled, p.labeled);
+    EXPECT_EQ(f.iteration, p.iteration);
+    EXPECT_EQ(f.best_observed, p.best_observed);
+    EXPECT_EQ(f.cumulative_cost, p.cumulative_cost);
+  }
+  // The model-phase windows actually fused: one scoring group per window
+  // once every session left cold start.
+  const HealthReport health = fused_mgr.health();
+  EXPECT_GT(health.fused_groups, 0u);
+  EXPECT_GE(health.fused_scored_asks, health.fused_groups);
+}
+
+TEST(AskFusion, SerialManagerFusesIdentically) {
+  // No worker pool at all: the fused scoring pass runs serially and must
+  // still match plain asks (the parallel region is an implementation
+  // detail, not part of the contract).
+  SessionManager fused_mgr;
+  SessionManager plain_mgr;
+  const SessionSpec spec = fleet_spec(7);
+  fused_mgr.create("a", spec);
+  fused_mgr.create("b", fleet_spec(8));
+  plain_mgr.create("a", spec);
+  plain_mgr.create("b", fleet_spec(8));
+  const auto workload = workloads::make_workload("gesummv");
+  util::Rng measure_a(fused_mgr.status("a").measure_seed);
+  util::Rng measure_b(fused_mgr.status("b").measure_seed);
+
+  for (int window = 0; window < 4; ++window) {
+    const auto fused = fused_mgr.ask_fused({{"a", 0}, {"b", 0}}, -1);
+    ASSERT_TRUE(fused[0].error.empty());
+    ASSERT_TRUE(fused[1].error.empty());
+    expect_same_candidates(fused[0].outcome.candidates,
+                           plain_mgr.ask("a"), "a");
+    expect_same_candidates(fused[1].outcome.candidates,
+                           plain_mgr.ask("b"), "b");
+    for (const Candidate& c : fused[0].outcome.candidates) {
+      const double label = workload->measure(c.config, measure_a, 1);
+      fused_mgr.tell("a", c.config, label);
+      plain_mgr.tell("a", c.config, label);
+    }
+    for (const Candidate& c : fused[1].outcome.candidates) {
+      const double label = workload->measure(c.config, measure_b, 1);
+      fused_mgr.tell("b", c.config, label);
+      plain_mgr.tell("b", c.config, label);
+    }
+  }
+}
+
+TEST(AskFusion, PerRequestErrorsAreIsolated) {
+  SessionManager manager;
+  manager.create("alive", fleet_spec(3));
+  const auto results = manager.ask_fused(
+      {{"missing", 0}, {"alive", 0}, {"alive", 0}}, -1);
+  ASSERT_EQ(results.size(), 3u);
+  // Unknown session: its slot errors, nobody else is disturbed.
+  EXPECT_FALSE(results[0].error.empty());
+  EXPECT_FALSE(results[0].overloaded);
+  // The live session answers its cold start.
+  EXPECT_TRUE(results[1].error.empty()) << results[1].error;
+  EXPECT_EQ(results[1].outcome.candidates.size(), 5u);
+  // A duplicate name is rejected (one outstanding batch per session).
+  EXPECT_FALSE(results[2].error.empty());
+}
+
+TEST(AskFusion, MixedWorkloadsGroupSeparatelyAndStillMatch) {
+  // Different fingerprints (different workloads) score in separate groups
+  // but one ask_fused call still serves both correctly.
+  util::ThreadPool workers(2);
+  SessionManager fused_mgr(&workers);
+  SessionManager plain_mgr(&workers);
+  SessionSpec gesummv = fleet_spec(11);
+  SessionSpec atax = fleet_spec(12);
+  atax.workload = "atax";
+  fused_mgr.create("g", gesummv);
+  fused_mgr.create("a", atax);
+  plain_mgr.create("g", gesummv);
+  plain_mgr.create("a", atax);
+  const auto wl_g = workloads::make_workload("gesummv");
+  const auto wl_a = workloads::make_workload("atax");
+  util::Rng measure_g(fused_mgr.status("g").measure_seed);
+  util::Rng measure_a(fused_mgr.status("a").measure_seed);
+
+  for (int window = 0; window < 3; ++window) {
+    const auto fused = fused_mgr.ask_fused({{"g", 0}, {"a", 0}}, -1);
+    ASSERT_TRUE(fused[0].error.empty());
+    ASSERT_TRUE(fused[1].error.empty());
+    expect_same_candidates(fused[0].outcome.candidates,
+                           plain_mgr.ask("g"), "g");
+    expect_same_candidates(fused[1].outcome.candidates,
+                           plain_mgr.ask("a"), "a");
+    for (const Candidate& c : fused[0].outcome.candidates) {
+      const double label = wl_g->measure(c.config, measure_g, 1);
+      fused_mgr.tell("g", c.config, label);
+      plain_mgr.tell("g", c.config, label);
+    }
+    for (const Candidate& c : fused[1].outcome.candidates) {
+      const double label = wl_a->measure(c.config, measure_a, 1);
+      fused_mgr.tell("a", c.config, label);
+      plain_mgr.tell("a", c.config, label);
+    }
+  }
+}
+
+TEST(AskFusion, EmptyRequestListIsANoOp) {
+  SessionManager manager;
+  EXPECT_TRUE(manager.ask_fused({}, -1).empty());
+}
+
+}  // namespace
+}  // namespace pwu::service

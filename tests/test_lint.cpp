@@ -42,9 +42,9 @@ std::size_t count_rule(const Report& report, const std::string& rule) {
 
 TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
   const Report report = scan();
-  EXPECT_EQ(report.files_scanned, 20u);
+  EXPECT_EQ(report.files_scanned, 22u);
   EXPECT_EQ(report.baselined, 0u);
-  EXPECT_EQ(report.active_count(), 11u);
+  EXPECT_EQ(report.active_count(), 12u);
 
   // Hits, one per fixture trap.
   EXPECT_TRUE(has_finding(report, "no-cout-logging",
@@ -69,6 +69,8 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
                           "src/service/ckpt_ofstream_hit.cpp", 5));
   EXPECT_TRUE(has_finding(report, "no-unbounded-queue",
                           "src/service/unbounded_queue_hit.hpp", 10));
+  EXPECT_TRUE(has_finding(report, "no-unchecked-simd",
+                          "src/core/simd_include_hit.cpp", 3));
 
   // Misses: clean fixtures and path exemptions contribute nothing.
   EXPECT_EQ(count_rule(report, "no-raw-rand"), 1u);   // src/util/rng.cpp exempt
@@ -79,6 +81,9 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
   EXPECT_EQ(count_rule(report, "atomic-checkpoint"), 1u);
   // bounded_queue_ok.hpp declares its cap next to the deque: no finding.
   EXPECT_EQ(count_rule(report, "no-unbounded-queue"), 1u);
+  // simd_eval_fixture.cpp sits under the sanctioned src/rf/simd_eval*
+  // prefix: only the src/core include fires.
+  EXPECT_EQ(count_rule(report, "no-unchecked-simd"), 1u);
   // Tokens inside strings, raw strings, and comments never fire.
   for (const Finding& f : report.findings) {
     EXPECT_NE(f.file, "src/core/tokens_in_literals.cpp") << f.rule;
@@ -103,7 +108,7 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
 
 TEST(PwuLint, BaselineRoundTripGrandfathersEveryFinding) {
   const Report dirty = scan();
-  ASSERT_EQ(dirty.active_count(), 11u);
+  ASSERT_EQ(dirty.active_count(), 12u);
 
   const std::string path = testing::TempDir() + "pwu_lint_test.baseline";
   {
@@ -115,8 +120,8 @@ TEST(PwuLint, BaselineRoundTripGrandfathersEveryFinding) {
   Options options;
   options.baseline_path = path;
   const Report clean = scan(options);
-  EXPECT_EQ(clean.findings.size(), 11u);  // still visible...
-  EXPECT_EQ(clean.baselined, 11u);        // ...but all grandfathered
+  EXPECT_EQ(clean.findings.size(), 12u);  // still visible...
+  EXPECT_EQ(clean.baselined, 12u);        // ...but all grandfathered
   EXPECT_EQ(clean.active_count(), 0u);   // so the run passes
   std::remove(path.c_str());
 }
@@ -126,7 +131,7 @@ TEST(PwuLint, MissingBaselineFileActsAsEmpty) {
   options.baseline_path = testing::TempDir() + "does_not_exist.baseline";
   const Report report = scan(options);
   EXPECT_EQ(report.baselined, 0u);
-  EXPECT_EQ(report.active_count(), 11u);
+  EXPECT_EQ(report.active_count(), 12u);
 }
 
 TEST(PwuLint, RulesFilterRestrictsTheScan) {
@@ -162,9 +167,9 @@ TEST(PwuLint, CatalogListsEveryRuleOnce) {
   std::sort(names.begin(), names.end());
   EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
   const std::vector<std::string> expected = {
-      "atomic-checkpoint",  "header-hygiene", "no-cout-logging",
-      "no-raw-new",         "no-raw-rand",    "no-unbounded-queue",
-      "no-unlocked-mutable", "no-wallclock"};
+      "atomic-checkpoint",   "header-hygiene",     "no-cout-logging",
+      "no-raw-new",          "no-raw-rand",        "no-unbounded-queue",
+      "no-unchecked-simd",   "no-unlocked-mutable", "no-wallclock"};
   EXPECT_EQ(names, expected);
 }
 
@@ -173,7 +178,7 @@ TEST(PwuLint, JsonAndTextOutputsCarryTheFindings) {
   std::ostringstream text;
   print_text(text, report);
   EXPECT_NE(text.str().find("no-raw-rand"), std::string::npos);
-  EXPECT_NE(text.str().find("11 finding(s)"), std::string::npos);
+  EXPECT_NE(text.str().find("12 finding(s)"), std::string::npos);
 
   std::ostringstream json;
   print_json(json, report);

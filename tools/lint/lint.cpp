@@ -392,6 +392,38 @@ void rule_no_cout_logging(Context& ctx) {
   }
 }
 
+// ---- no-unchecked-simd -----------------------------------------------------
+
+void rule_no_unchecked_simd(Context& ctx) {
+  static constexpr const char* kHeaders[] = {
+      "immintrin.h", "emmintrin.h", "xmmintrin.h", "pmmintrin.h",
+      "smmintrin.h", "tmmintrin.h", "nmmintrin.h", "wmmintrin.h",
+      "x86intrin.h", "arm_neon.h",
+  };
+  const std::string& rel = ctx.file().rel_path;
+  if (!path_in(rel, "src/")) return;  // bench/tools may probe freely
+  // simd_eval* is the sanctioned dispatch layer: every intrinsic there sits
+  // behind a build-time PWU_SIMD_HAS_* gate and a runtime cpuid check.
+  if (path_in(rel, "src/rf/simd_eval")) return;
+  for (std::size_t li = 0; li < ctx.file().code.size(); ++li) {
+    const std::string line = trim(ctx.file().code[li]);
+    if (!starts_with(line, "#") ||
+        line.find("include") == std::string::npos) {
+      continue;
+    }
+    for (const char* header : kHeaders) {
+      if (line.find(header) != std::string::npos) {
+        ctx.report("no-unchecked-simd", li + 1,
+                   std::string("raw SIMD intrinsics header '") + header +
+                       "' outside src/rf/simd_eval*; go through the "
+                       "dispatched kernels so non-SIMD hosts stay on the "
+                       "checked path");
+        break;
+      }
+    }
+  }
+}
+
 // ---- header-hygiene --------------------------------------------------------
 
 void rule_header_hygiene(Context& ctx) {
@@ -658,6 +690,9 @@ const std::vector<RuleInfo>& rule_catalog() {
        "check"},
       {"no-unlocked-mutable",
        "guarded-by annotated fields only touched under a lock"},
+      {"no-unchecked-simd",
+       "raw SIMD intrinsics headers only inside the src/rf/simd_eval* "
+       "dispatch layer"},
   };
   return kRules;
 }
@@ -747,6 +782,7 @@ Report run(const std::string& root, const Options& options) {
     if (rule_on("no-raw-new")) rule_no_raw_new(ctx);
     if (rule_on("atomic-checkpoint")) rule_atomic_checkpoint(ctx);
     if (rule_on("no-unbounded-queue")) rule_no_unbounded_queue(ctx);
+    if (rule_on("no-unchecked-simd")) rule_no_unchecked_simd(ctx);
     if (rule_on("no-unlocked-mutable")) {
       const auto it = guarded_by_stem.find(file_stem(files[i].rel_path));
       if (it != guarded_by_stem.end()) {
