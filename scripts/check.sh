@@ -3,7 +3,11 @@
 #
 #   scripts/check.sh [--jobs N]
 #
-#   1. pwu_lint        — project-invariant static analysis (Release build)
+#   1. pwu_lint        — flow-aware static analysis over the whole tree
+#                        (lock-graph, blocking-under-lock, rng-stream-
+#                        discipline, killpoint-safety + the line rules)
+#                        plus the analyzer's own unit suite
+#                        (`ctest --preset lint`)
 #   2. asan-fast       — unit suite under Address/UB sanitizers + contracts
 #   3. tsan-fast       — unit suite (incl. race stress tests) under
 #                        ThreadSanitizer + contracts
@@ -33,10 +37,12 @@ if [[ "${1:-}" == "--jobs" && -n "${2:-}" ]]; then
   jobs="$2"
 fi
 
-echo "== gate 1/7: pwu_lint =="
+echo "== gate 1/7: pwu_lint (flow-aware) =="
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$jobs" --target pwu_lint >/dev/null
 ./build/tools/pwu_lint --root . --baseline tools/lint/pwu_lint.baseline
+cmake --build --preset default -j "$jobs" --target pwu_tests >/dev/null
+ctest --preset lint -j "$jobs"
 
 echo "== gate 2/7: asan-fast =="
 cmake --preset asan >/dev/null

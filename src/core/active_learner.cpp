@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "service/ask_tell_session.hpp"
+#include "util/contracts.hpp"
 
 namespace pwu::core {
 
@@ -66,7 +67,7 @@ LearnerResult ActiveLearner::run_warm(
 LearnerResult ActiveLearner::run_with_executor(
     const SamplingStrategy& strategy,
     std::vector<space::Configuration> pool_configs, const TestSet& test,
-    sim::Executor& executor, util::Rng& rng,
+    sim::Executor& executor, util::Rng& rng PWU_RNG_STREAM(run),
     util::ThreadPool* thread_pool) const {
   if (pool_configs.size() < config_.n_init) {
     throw std::invalid_argument(
@@ -140,7 +141,7 @@ LearnerResult ActiveLearner::run_with_executor(
 LearnerResult ActiveLearner::run_impl(
     const SamplingStrategy& strategy,
     std::vector<space::Configuration> pool_configs, const TestSet& test,
-    const rf::Dataset* warm_start, util::Rng& rng,
+    const rf::Dataset* warm_start, util::Rng& rng PWU_RNG_STREAM(run),
     util::ThreadPool* thread_pool) const {
   if (pool_configs.size() < config_.n_init) {
     throw std::invalid_argument("ActiveLearner::run: pool smaller than n_init");

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
 #include "util/logging.hpp"
 #include "util/statistics.hpp"
 
@@ -62,7 +63,7 @@ ExperimentResult run_experiment(const workloads::Workload& workload,
   learner_config.eval_alphas = {spec.alpha};
 
   ActiveLearner learner(workload, learner_config);
-  util::Rng master(spec.seed);
+  util::Rng master PWU_RNG_STREAM(experiment_master)(spec.seed);
 
   // traces[strategy][repeat]
   std::vector<std::vector<std::vector<IterationRecord>>> traces(

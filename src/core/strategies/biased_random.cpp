@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/sampling_strategy.hpp"
+#include "util/contracts.hpp"
 
 namespace pwu::core {
 
@@ -26,7 +27,7 @@ class BiasedRandomStrategy final : public SamplingStrategy {
 
   std::vector<std::size_t> select(const PoolPrediction& prediction,
                                   std::size_t batch,
-                                  util::Rng& rng) const override {
+                                  util::Rng& rng PWU_RNG_STREAM(strategy)) const override {
     const std::size_t n = prediction.size();
     const auto top_count = std::max<std::size_t>(
         batch, static_cast<std::size_t>(

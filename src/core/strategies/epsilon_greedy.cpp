@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "core/sampling_strategy.hpp"
+#include "util/contracts.hpp"
 
 namespace pwu::core {
 
@@ -30,7 +31,7 @@ class EpsilonGreedyPwuStrategy final : public SamplingStrategy {
 
   std::vector<std::size_t> select(const PoolPrediction& prediction,
                                   std::size_t batch,
-                                  util::Rng& rng) const override {
+                                  util::Rng& rng PWU_RNG_STREAM(strategy)) const override {
     const std::vector<double> scores = pwu_scores(prediction, alpha_);
     // Greedy ranking, long enough to backfill around random picks.
     std::vector<std::size_t> ranked =

@@ -2,6 +2,7 @@
 // method must beat.
 
 #include "core/sampling_strategy.hpp"
+#include "util/contracts.hpp"
 
 namespace pwu::core {
 
@@ -15,7 +16,7 @@ class UniformRandomStrategy final : public SamplingStrategy {
 
   std::vector<std::size_t> select(const PoolPrediction& prediction,
                                   std::size_t batch,
-                                  util::Rng& rng) const override {
+                                  util::Rng& rng PWU_RNG_STREAM(strategy)) const override {
     return rng.sample_without_replacement(prediction.size(), batch);
   }
 

@@ -5,12 +5,14 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/contracts.hpp"
+
 namespace pwu::core {
 
 TuningTrace tune_with_annotator(
     const workloads::Workload& workload,
     std::span<const space::Configuration> candidates,
-    const TunerConfig& config, util::Rng& rng,
+    const TunerConfig& config, util::Rng& rng PWU_RNG_STREAM(tuner),
     const std::function<double(const space::Configuration&)>& annotate) {
   if (candidates.size() < config.n_init + config.iterations) {
     throw std::invalid_argument(

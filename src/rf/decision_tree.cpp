@@ -40,7 +40,8 @@ void DecisionTree::fit(const Dataset& data, std::vector<std::size_t> indices,
 
 std::int32_t DecisionTree::build(const Dataset& data, std::size_t lo,
                                  std::size_t hi, std::size_t depth,
-                                 const TreeConfig& config, util::Rng& rng,
+                                 const TreeConfig& config,
+                                 util::Rng& rng PWU_RNG_STREAM(tree_fit),
                                  SplitWorkspace& workspace,
                                  std::vector<std::size_t>& feature_scratch,
                                  bool columns_live) {

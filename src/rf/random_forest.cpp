@@ -8,13 +8,15 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
 #include "util/fs_atomic.hpp"
 #include "util/statistics.hpp"
 
 namespace pwu::rf {
 
 void RandomForest::fit(const Dataset& data, const ForestConfig& config,
-                       util::Rng& rng, util::ThreadPool* pool,
+                       util::Rng& rng PWU_RNG_STREAM(forest_fit),
+                       util::ThreadPool* pool,
                        const util::CancelToken* cancel) {
   if (data.empty()) {
     throw std::invalid_argument("RandomForest::fit: empty dataset");
@@ -48,9 +50,13 @@ void RandomForest::fit(const Dataset& data, const ForestConfig& config,
     // (one relaxed atomic load per tree), frequent enough that a cancelled
     // refit unwinds within one tree's build time.
     if (cancel != nullptr) cancel->throw_if_requested();
+    // Reference-bind the tree's forked stream: the draw below then
+    // resolves to an annotated local (tree_rngs[t] itself is opaque to
+    // pwu_lint's receiver resolution).
+    util::Rng& tree_rng PWU_RNG_STREAM(tree_bootstrap) = tree_rngs[t];
     std::vector<std::size_t> indices;
     if (config.bootstrap) {
-      indices = tree_rngs[t].bootstrap_indices(n);
+      indices = tree_rng.bootstrap_indices(n);
     } else {
       indices.resize(n);
       std::iota(indices.begin(), indices.end(), std::size_t{0});
@@ -201,7 +207,8 @@ double RandomForest::oob_rmse() const {
 }
 
 std::vector<double> RandomForest::permutation_importance(
-    const Dataset& reference, util::Rng& rng, util::ThreadPool* pool) const {
+    const Dataset& reference, util::Rng& rng PWU_RNG_STREAM(permutation),
+    util::ThreadPool* pool) const {
   if (trees_.empty()) {
     throw std::logic_error("RandomForest::permutation_importance before fit");
   }

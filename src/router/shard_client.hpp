@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "service/transport.hpp"
+#include "util/contracts.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
@@ -91,7 +92,7 @@ class ShardClient {
   std::string name_;
   std::unique_ptr<service::Transport> transport_;
   ShardClientOptions options_;
-  util::Rng jitter_;
+  util::Rng jitter_ PWU_RNG_STREAM(retry_jitter);
   bool alive_ = true;
   std::uint64_t requests_ = 0;
   std::uint64_t overload_retries_ = 0;

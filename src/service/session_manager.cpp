@@ -214,7 +214,7 @@ SessionStatus SessionManager::create(const std::string& name,
   // the session seed and the client's measurement seed. A batch
   // ActiveLearner::run over the same derivation is label-for-label
   // identical to this session (tests/test_ask_tell.cpp).
-  util::Rng master(spec.seed);
+  util::Rng master PWU_RNG_STREAM(session_derivation)(spec.seed);
   util::Rng split_rng = master.fork();
   space::PoolSplit split = space::make_pool_split(
       workload->space(), spec.pool_size, spec.test_size, split_rng);
@@ -266,7 +266,7 @@ AskOutcome SessionManager::ask_with_deadline(const std::string& name,
   {
     std::lock_guard lock(entry->mutex);
     touch(*entry);
-    ensure_resumed(name, *entry, policy);
+    ensure_resumed(name, *entry, policy);  // pwu-lint: blocking-ok(lazy resume must swap entry->session in atomically; the restore refit runs on the helping pool and takes no lock)
     if (entry->quarantined) {
       shed("session '" + name + "' is quarantined (repeated refit timeouts)");
     }
@@ -285,25 +285,25 @@ AskOutcome SessionManager::ask_with_deadline(const std::string& name,
              std::to_string(limits_.max_pending_asks) + ")");
       }
     }
-    bool fresh = settle_refit(entry, deadline_ms);
+    bool fresh = settle_refit(entry, deadline_ms);  // pwu-lint: blocking-ok(inline-fallback fit only; parallel_for helping-join takes no lock, entry.mutex is a leaf here)
     if (fresh && entry->session->refit_due() && deadline_ms >= 0 &&
         workers_ != nullptr && workers_->num_threads() > 1) {
       // A due-but-unscheduled refit (restored checkpoint, lazy resume):
       // run it on the pool and hold it to the same deadline instead of
       // letting ask() block on it inline.
-      schedule_refit(entry);
-      fresh = settle_refit(entry, deadline_ms);
+      schedule_refit(entry);  // pwu-lint: blocking-ok(single-thread fallback runs the fit inline; the pool path is type-erased and lock-free)
+      fresh = settle_refit(entry, deadline_ms);  // pwu-lint: blocking-ok(inline-fallback fit only; parallel_for helping-join takes no lock, entry.mutex is a leaf here)
     }
     if (entry->quarantined) {
       shed("session '" + name + "' is quarantined (repeated refit timeouts)");
     }
     if (fresh) {
-      outcome.candidates = entry->session->ask(count);
+      outcome.candidates = entry->session->ask(count);  // pwu-lint: blocking-ok(batch scoring on the helping pool; entry.mutex is a leaf, no lock is taken inside predict)
       update_footprint(name, *entry);
     } else {
       const core::Surrogate* stale = entry->last_good.get();
       const bool scored = stale != nullptr && stale->fitted();
-      outcome.candidates = entry->session->ask_degraded(count, stale);
+      outcome.candidates = entry->session->ask_degraded(count, stale);  // pwu-lint: blocking-ok(batch scoring on the helping pool; entry.mutex is a leaf, no lock is taken inside predict)
       if (!outcome.candidates.empty()) {
         outcome.degraded =
             scored ? DegradedMode::StaleModel : DegradedMode::Random;
@@ -625,17 +625,18 @@ TellOutcome SessionManager::tell(const std::string& name,
   const AutoCheckpointPolicy policy = auto_checkpoint_policy();
   const std::shared_ptr<Entry> entry = find(name);
   TellOutcome outcome;
+  PendingCheckpoint pending;
   {
     std::lock_guard lock(entry->mutex);
     touch(*entry);
-    ensure_resumed(name, *entry, policy);
+    ensure_resumed(name, *entry, policy);  // pwu-lint: blocking-ok(lazy resume must swap entry->session in atomically; the restore refit runs on the helping pool and takes no lock)
     if (entry->quarantined) {
       shed("session '" + name + "' is quarantined (repeated refit timeouts)");
     }
     // A tell writes the training set the refit is reading — it must never
     // overlap an in-flight fit. Within the deadline we wait; past it we
     // shed (degrading is not an option for writes).
-    if (!settle_refit(entry, limits_.ask_deadline_ms)) {
+    if (!settle_refit(entry, limits_.ask_deadline_ms)) {  // pwu-lint: blocking-ok(inline-fallback fit only; parallel_for helping-join takes no lock, entry.mutex is a leaf here)
       if (entry->quarantined) {
         shed("session '" + name +
              "' is quarantined (repeated refit timeouts)");
@@ -643,16 +644,20 @@ TellOutcome SessionManager::tell(const std::string& name,
       shed("session '" + name + "' refit still in flight");
     }
     outcome.batch_complete = entry->session->tell(config, measured_time);
-    util::killpoint("session_manager.tell.applied");
     outcome.labeled = entry->session->num_labeled();
     outcome.done = entry->session->done();
-    // Checkpoint before scheduling the refit: a refit-due session image
-    // restores exactly (the refit replays from the saved rng), and writing
-    // now avoids blocking on the background fit.
-    maybe_auto_checkpoint(name, *entry, policy, outcome.checkpoint_path);
+    // Serialize the checkpoint before scheduling the refit: a refit-due
+    // session image restores exactly (the refit replays from the saved
+    // rng). The file write itself is deferred past the locked scope.
+    pending = maybe_auto_checkpoint(name, *entry, policy);
+    outcome.checkpoint_path = pending.path;
     update_footprint(name, *entry);
-    if (outcome.batch_complete) schedule_refit(entry);
+    if (outcome.batch_complete) schedule_refit(entry);  // pwu-lint: blocking-ok(single-thread fallback runs the fit inline; the pool path is type-erased and lock-free)
   }
+  // The tell is applied in memory but its checkpoint is not yet on disk —
+  // exactly the window the chaos harness proves recoverable.
+  util::killpoint("session_manager.tell.applied");
+  commit_checkpoint(*entry, pending);
   enforce_budget();
   return outcome;
 }
@@ -663,14 +668,15 @@ FailureTellOutcome SessionManager::tell_failure(
   const AutoCheckpointPolicy policy = auto_checkpoint_policy();
   const std::shared_ptr<Entry> entry = find(name);
   FailureTellOutcome outcome;
+  PendingCheckpoint pending;
   {
     std::lock_guard lock(entry->mutex);
     touch(*entry);
-    ensure_resumed(name, *entry, policy);
+    ensure_resumed(name, *entry, policy);  // pwu-lint: blocking-ok(lazy resume must swap entry->session in atomically; the restore refit runs on the helping pool and takes no lock)
     if (entry->quarantined) {
       shed("session '" + name + "' is quarantined (repeated refit timeouts)");
     }
-    if (!settle_refit(entry, limits_.ask_deadline_ms)) {
+    if (!settle_refit(entry, limits_.ask_deadline_ms)) {  // pwu-lint: blocking-ok(inline-fallback fit only; parallel_for helping-join takes no lock, entry.mutex is a leaf here)
       if (entry->quarantined) {
         shed("session '" + name +
              "' is quarantined (repeated refit timeouts)");
@@ -679,17 +685,20 @@ FailureTellOutcome SessionManager::tell_failure(
     }
     const FailureOutcome result =
         entry->session->tell_failure(config, kind, cost_seconds);
-    util::killpoint("session_manager.tell.applied");
     outcome.action = result.action;
     outcome.attempts = result.attempts;
     outcome.backoff_seconds = result.backoff_seconds;
     outcome.batch_complete = result.batch_complete;
     outcome.done = entry->session->done();
     outcome.failed_total = entry->session->failed().size();
-    maybe_auto_checkpoint(name, *entry, policy, outcome.checkpoint_path);
+    pending = maybe_auto_checkpoint(name, *entry, policy);
+    outcome.checkpoint_path = pending.path;
     update_footprint(name, *entry);
-    if (outcome.batch_complete) schedule_refit(entry);
+    if (outcome.batch_complete) schedule_refit(entry);  // pwu-lint: blocking-ok(single-thread fallback runs the fit inline; the pool path is type-erased and lock-free)
   }
+  // Applied in memory, not yet checkpointed (see tell()).
+  util::killpoint("session_manager.tell.applied");
+  commit_checkpoint(*entry, pending);
   enforce_budget();
   return outcome;
 }
@@ -698,11 +707,11 @@ SessionStatus SessionManager::status(const std::string& name) const {
   const AutoCheckpointPolicy policy = auto_checkpoint_policy();
   const std::shared_ptr<Entry> entry = find(name);
   std::lock_guard lock(entry->mutex);
-  ensure_resumed(name, *entry, policy);
+  ensure_resumed(name, *entry, policy);  // pwu-lint: blocking-ok(lazy resume must swap entry->session in atomically; the restore refit runs on the helping pool and takes no lock)
   // Bring the refit to rest within the configured deadline; when it is
   // still running past the deadline, report anyway — everything
   // status_locked reads is disjoint from what the fit writes.
-  settle_refit(entry, limits_.ask_deadline_ms);
+  settle_refit(entry, limits_.ask_deadline_ms);  // pwu-lint: blocking-ok(inline-fallback fit only; parallel_for helping-join takes no lock, entry.mutex is a leaf here)
   return status_locked(name, *entry);
 }
 
@@ -820,7 +829,7 @@ void SessionManager::checkpoint(const std::string& name,
   const AutoCheckpointPolicy policy = auto_checkpoint_policy();
   const std::shared_ptr<Entry> entry = find(name);
   std::lock_guard lock(entry->mutex);
-  ensure_resumed(name, *entry, policy);
+  ensure_resumed(name, *entry, policy);  // pwu-lint: blocking-ok(lazy resume must swap entry->session in atomically; the restore refit runs on the helping pool and takes no lock)
   join_refit(*entry);
   serialize_locked(*entry, os);
 }
@@ -829,12 +838,19 @@ std::string SessionManager::checkpoint_to_file(const std::string& name,
                                                const std::string& path) const {
   const AutoCheckpointPolicy policy = auto_checkpoint_policy();
   const std::shared_ptr<Entry> entry = find(name);
-  std::lock_guard lock(entry->mutex);
-  ensure_resumed(name, *entry, policy);
-  join_refit(*entry);
-  std::ostringstream image;
-  serialize_locked(*entry, image);
-  util::atomic_write_file(path, image.str());
+  PendingCheckpoint pending;
+  pending.forced = true;
+  pending.path = path;
+  {
+    std::lock_guard lock(entry->mutex);
+    ensure_resumed(name, *entry, policy);  // pwu-lint: blocking-ok(lazy resume must swap entry->session in atomically; the restore refit runs on the helping pool and takes no lock)
+    join_refit(*entry);
+    std::ostringstream image;
+    serialize_locked(*entry, image);
+    pending.image = image.str();
+    pending.seq = ++entry->ckpt_seq;
+  }
+  commit_checkpoint(*entry, pending);
   return path;
 }
 
@@ -844,19 +860,34 @@ SessionManager::AutoCheckpointPolicy SessionManager::auto_checkpoint_policy()
   return AutoCheckpointPolicy{auto_checkpoint_dir_, auto_checkpoint_every_};
 }
 
-void SessionManager::maybe_auto_checkpoint(const std::string& name,
-                                           Entry& entry,
-                                           const AutoCheckpointPolicy& policy,
-                                           std::string& checkpoint_path) {
-  if (policy.every == 0) return;
+SessionManager::PendingCheckpoint SessionManager::maybe_auto_checkpoint(
+    const std::string& name, Entry& entry,
+    const AutoCheckpointPolicy& policy) {
+  PendingCheckpoint pending;
+  if (policy.every == 0) return pending;
   // Caller holds entry.mutex (same contract as join_refit).
-  if (++entry.tells_since_checkpoint < policy.every) return;  // pwu-lint: allow(no-unlocked-mutable)
+  if (++entry.tells_since_checkpoint < policy.every) return pending;  // pwu-lint: allow(no-unlocked-mutable)
   entry.tells_since_checkpoint = 0;  // pwu-lint: allow(no-unlocked-mutable)
-  const std::string path = policy.dir + "/" + name + ".ckpt";
+  pending.path = policy.dir + "/" + name + ".ckpt";
   std::ostringstream image;
   serialize_locked(entry, image);
-  util::atomic_write_file(path, image.str());
-  checkpoint_path = path;
+  pending.image = image.str();
+  pending.seq = ++entry.ckpt_seq;  // pwu-lint: allow(no-unlocked-mutable)
+  return pending;
+}
+
+void SessionManager::commit_checkpoint(Entry& entry,
+                                       const PendingCheckpoint& pending) {
+  if (pending.path.empty()) return;
+  std::lock_guard lock(entry.ckpt_write_mutex);
+  // Newest wins: if a concurrent tell already committed a later image (or
+  // an eviction wrote the final one), this stale image must not land.
+  if (!pending.forced && pending.seq <= entry.ckpt_written_seq) return;
+  // pwu-lint: blocking-ok(ckpt_write_mutex exists precisely to serialize checkpoint writers; entry.mutex is NOT held here)
+  util::atomic_write_file(pending.path, pending.image);
+  if (pending.seq > entry.ckpt_written_seq) {
+    entry.ckpt_written_seq = pending.seq;
+  }
 }
 
 ResumeOutcome SessionManager::resume_from_file(const std::string& name,
@@ -917,7 +948,16 @@ void SessionManager::enforce_budget() {
     if (entry->refit.valid()) continue;  // fit in flight — not idle
     std::ostringstream image;
     serialize_locked(*entry, image);
-    util::atomic_write_file(policy.dir + "/" + name + ".ckpt", image.str());
+    {
+      // entry->mutex stays held across the write: the eviction image and
+      // session teardown must be atomic to other users of the entry. The
+      // write-seq stamp invalidates any still-pending deferred commit so
+      // it cannot clobber this final image after the session is gone.
+      std::lock_guard write_lock(entry->ckpt_write_mutex);
+      // pwu-lint: blocking-ok(eviction write-then-free must be atomic; the entry is idle by try_lock and nobody can be waiting on ckpt_write_mutex with entry.mutex held)
+      util::atomic_write_file(policy.dir + "/" + name + ".ckpt", image.str());
+      entry->ckpt_written_seq = ++entry->ckpt_seq;
+    }
     entry->tells_since_checkpoint = 0;
     // A deferred fit is captured by the session's refit_due flag inside
     // the checkpoint; it replays after the lazy resume.
@@ -955,7 +995,14 @@ void SessionManager::drain() {
     if (auto_enabled) {
       std::ostringstream image;
       serialize_locked(*entry, image);
-      util::atomic_write_file(dir + "/" + name + ".ckpt", image.str());
+      {
+        // Final shutdown image: held under entry->mutex so no tell can
+        // interleave, stamped so a straggling deferred commit is dropped.
+        std::lock_guard write_lock(entry->ckpt_write_mutex);
+        // pwu-lint: blocking-ok(shutdown barrier; the final image must supersede any in-flight deferred commit)
+        util::atomic_write_file(dir + "/" + name + ".ckpt", image.str());
+        entry->ckpt_written_seq = ++entry->ckpt_seq;
+      }
       entry->tells_since_checkpoint = 0;
     }
   }

@@ -24,6 +24,7 @@
 #include "core/active_learner.hpp"
 #include "service/ask_tell_session.hpp"
 #include "service/overload.hpp"
+#include "util/contracts.hpp"
 #include "util/resource_budget.hpp"
 #include "util/thread_pool.hpp"
 #include "util/watchdog.hpp"
@@ -266,32 +267,43 @@ class SessionManager {
  private:
   struct Entry {
     mutable std::mutex mutex;
+    /// Serializes checkpoint-file writes for this entry so tell() can
+    /// commit its serialized image *after* releasing `mutex` (no file I/O
+    /// under the session lock). Ordered strictly after `mutex`: it may be
+    /// taken while `mutex` is held (eviction, drain), never the reverse.
+    mutable std::mutex ckpt_write_mutex;
     /// Null while the session is evicted to checkpoint (evicted == true);
     /// ensure_resumed() restores it on the next touch.
     std::unique_ptr<AskTellSession> session;
     SessionSpec spec;
     std::uint64_t measure_seed = 0;
     /// Pending background refit; settled before the next operation.
-    std::future<void> refit;  // pwu-lint: guarded-by(mutex)
+    std::future<void> refit PWU_GUARDED_BY(mutex);
     /// Tells since the last auto-checkpoint.
-    std::size_t tells_since_checkpoint = 0;  // pwu-lint: guarded-by(mutex)
+    std::size_t tells_since_checkpoint PWU_GUARDED_BY(mutex) = 0;
+    /// Monotone stamp assigned to each serialized checkpoint image.
+    std::uint64_t ckpt_seq PWU_GUARDED_BY(mutex) = 0;
+    /// Stamp of the newest image actually written; commit_checkpoint
+    /// skips stale pending images so a delayed writer can never clobber a
+    /// newer checkpoint (or an eviction image).
+    std::uint64_t ckpt_written_seq PWU_GUARDED_BY(ckpt_write_mutex) = 0;
     /// Model snapshot taken just before each refit starts — what a
     /// deadline-expired ask scores the pool with. Shared: the snapshot
     /// stays valid even while the refit replaces session->model().
-    std::shared_ptr<core::Surrogate> last_good;  // pwu-lint: guarded-by(mutex)
+    std::shared_ptr<core::Surrogate> last_good PWU_GUARDED_BY(mutex);
     /// Token of the in-flight refit; requested when the watchdog expires.
-    std::shared_ptr<util::CancelToken> refit_cancel;  // pwu-lint: guarded-by(mutex)
+    std::shared_ptr<util::CancelToken> refit_cancel PWU_GUARDED_BY(mutex);
     /// Armed for the lifetime of each in-flight refit (internally locked).
     util::Watchdog refit_watchdog;
     /// Refits of this session cancelled by the watchdog so far.
-    std::size_t refit_timeouts = 0;  // pwu-lint: guarded-by(mutex)
+    std::size_t refit_timeouts PWU_GUARDED_BY(mutex) = 0;
     /// A due refit could not be queued (refit-queue cap); re-attempted on
     /// the next touch. The fit itself stays recorded in the session's
     /// refit_due flag, so deferral survives checkpoint/eviction.
-    bool refit_deferred = false;  // pwu-lint: guarded-by(mutex)
+    bool refit_deferred PWU_GUARDED_BY(mutex) = false;
     /// Repeated refit timeouts exceeded limits_.refit_retries: asks and
     /// tells are shed; status/close/checkpoint still work.
-    bool quarantined = false;  // pwu-lint: guarded-by(mutex)
+    bool quarantined PWU_GUARDED_BY(mutex) = false;
     /// Session state lives in `<checkpoint dir>/<name>.ckpt`, not memory.
     std::atomic<bool> evicted{false};
     /// Last memory_bytes() charged to the process budget.
@@ -315,13 +327,30 @@ class SessionManager {
     std::size_t every = 0;
   };
   AutoCheckpointPolicy auto_checkpoint_policy() const;
+  /// A checkpoint image serialized under entry.mutex whose file write is
+  /// deferred until after the lock is released (commit_checkpoint). An
+  /// empty path means "nothing to write".
+  struct PendingCheckpoint {
+    std::string path;
+    std::string image;
+    std::uint64_t seq = 0;
+    /// Explicit checkpoint_to_file requests always write, even when an
+    /// auto-checkpoint with a newer stamp has already landed: the caller
+    /// asked for a file at that path and must get one.
+    bool forced = false;
+  };
   /// Runs the every-N auto-checkpoint policy on a locked entry after a
-  /// tell; sets `checkpoint_path` when a file was written. Takes the
-  /// policy snapshot by value so it never touches registry_mutex_ while
-  /// the caller holds entry.mutex.
-  static void maybe_auto_checkpoint(const std::string& name, Entry& entry,
-                                    const AutoCheckpointPolicy& policy,
-                                    std::string& checkpoint_path);
+  /// tell. Serializes only — returns the pending image for the caller to
+  /// commit outside entry.mutex. Takes the policy snapshot by value so it
+  /// never touches registry_mutex_ while the caller holds entry.mutex.
+  static PendingCheckpoint maybe_auto_checkpoint(
+      const std::string& name, Entry& entry,
+      const AutoCheckpointPolicy& policy);
+  /// Writes a pending image under entry.ckpt_write_mutex (caller must NOT
+  /// hold entry.mutex). Newest wins: a pending image staler than the last
+  /// committed one is dropped unless `forced`.
+  static void commit_checkpoint(Entry& entry,
+                                const PendingCheckpoint& pending);
   /// Submits the session's due refit to the worker pool (caller holds
   /// entry->mutex). The task captures the entry shared_ptr — never a raw
   /// session pointer — so close()/~SessionManager()/eviction cannot free
@@ -352,14 +381,14 @@ class SessionManager {
   [[noreturn]] void shed(const std::string& what) const;
 
   mutable std::mutex registry_mutex_;
-  std::map<std::string, std::shared_ptr<Entry>> sessions_;  // pwu-lint: guarded-by(registry_mutex_)
+  std::map<std::string, std::shared_ptr<Entry>> sessions_ PWU_GUARDED_BY(registry_mutex_);
   util::ThreadPool* workers_ = nullptr;
   ServiceLimits limits_;
   util::SteadyTickSource default_ticks_;
   const util::TickSource* ticks_ = nullptr;
   mutable util::ResourceBudget budget_;
-  std::string auto_checkpoint_dir_;          // pwu-lint: guarded-by(registry_mutex_)
-  std::size_t auto_checkpoint_every_ = 0;    // pwu-lint: guarded-by(registry_mutex_)
+  std::string auto_checkpoint_dir_ PWU_GUARDED_BY(registry_mutex_);
+  std::size_t auto_checkpoint_every_ PWU_GUARDED_BY(registry_mutex_) = 0;
   mutable std::atomic<std::size_t> refits_in_flight_{0};
   mutable std::atomic<std::uint64_t> touch_clock_{0};
   mutable std::atomic<std::uint64_t> overloaded_sheds_{0};

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace pwu::sim {
 
 Executor::Executor(int repetitions, const FaultModel* faults)
@@ -13,7 +15,7 @@ Executor::Executor(int repetitions, const FaultModel* faults)
 
 MeasurementResult Executor::measure(const workloads::Workload& workload,
                                     const space::Configuration& config,
-                                    util::Rng& rng) {
+                                    util::Rng& rng PWU_RNG_STREAM(measure)) {
   MeasurementResult result;
   ++total_measurements_;
   const FailureKind region =

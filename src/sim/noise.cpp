@@ -2,9 +2,12 @@
 
 #include <cmath>
 
+#include "util/contracts.hpp"
+
 namespace pwu::sim {
 
-double NoiseModel::apply(double seconds, util::Rng& rng) const {
+double NoiseModel::apply(double seconds,
+                         util::Rng& rng PWU_RNG_STREAM(measure_noise)) const {
   double value = seconds;
   if (lognormal_sigma > 0.0) {
     // Mean-one log-normal: exp(N(-sigma^2/2, sigma)).

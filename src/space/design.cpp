@@ -2,10 +2,13 @@
 
 #include <cmath>
 
+#include "util/contracts.hpp"
+
 namespace pwu::space {
 
 std::vector<Configuration> latin_hypercube(const ParameterSpace& space,
-                                           std::size_t count, util::Rng& rng) {
+                                           std::size_t count,
+                                           util::Rng& rng PWU_RNG_STREAM(design)) {
   const std::size_t dims = space.num_params();
   // For each dimension, build the stratified sequence of strata midpoints
   // mapped onto the parameter's levels, then shuffle it independently.

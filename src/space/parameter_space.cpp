@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace pwu::space {
 
 std::size_t ParameterSpace::add(Parameter parameter) {
@@ -39,7 +41,8 @@ double ParameterSpace::log10_size() const {
   return total;
 }
 
-Configuration ParameterSpace::random_config(util::Rng& rng) const {
+Configuration ParameterSpace::random_config(
+    util::Rng& rng PWU_RNG_STREAM(sampling)) const {
   std::vector<std::uint32_t> levels(params_.size());
   for (std::size_t i = 0; i < params_.size(); ++i) {
     levels[i] = static_cast<std::uint32_t>(rng.index(params_[i].num_levels()));

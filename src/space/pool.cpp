@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "util/contracts.hpp"
+
 namespace pwu::space {
 
 std::vector<Configuration> sample_unique(const ParameterSpace& space,
@@ -36,7 +38,8 @@ std::vector<Configuration> sample_unique(const ParameterSpace& space,
 }
 
 PoolSplit make_pool_split(const ParameterSpace& space, std::size_t pool_size,
-                          std::size_t test_size, util::Rng& rng) {
+                          std::size_t test_size,
+                          util::Rng& rng PWU_RNG_STREAM(pool_split)) {
   const std::size_t requested = pool_size + test_size;
   if (space.size() <= static_cast<long double>(requested)) {
     // Enumerable space: split the whole space in the requested proportion.
@@ -92,7 +95,7 @@ std::vector<Configuration> CandidatePool::take_many(
 }
 
 std::vector<std::size_t> CandidatePool::sample_indices(std::size_t k,
-                                                       util::Rng& rng) const {
+                                                       util::Rng& rng PWU_RNG_STREAM(sampling)) const {
   if (k > configs_.size()) {
     throw std::invalid_argument("CandidatePool::sample_indices: k > size");
   }

@@ -122,3 +122,18 @@ class ContractMessage {
 #define PWU_ENSURE(cond, ...) PWU_CONTRACT_CHECK_("postcondition", cond, __VA_ARGS__)
 /// Internal invariant that must hold mid-computation.
 #define PWU_ASSERT(cond, ...) PWU_CONTRACT_CHECK_("invariant", cond, __VA_ARGS__)
+
+// ---------------------------------------------------------------------------
+// Static-analysis annotations (pwu_lint; zero runtime cost)
+// ---------------------------------------------------------------------------
+
+/// Marks a member field as protected by `mutex`; pwu_lint's
+/// no-unlocked-mutable rule then flags accesses without an in-scope lock.
+/// Place after the declarator: `std::size_t count_ PWU_GUARDED_BY(mutex_);`
+#define PWU_GUARDED_BY(mutex)
+
+/// Names the deterministic RNG stream an `util::Rng` member or parameter
+/// carries; pwu_lint's rng-stream-discipline rule requires every draw to
+/// resolve to an annotated stream (or a fork/copy of one). Place after the
+/// declarator: `util::Rng rng_ PWU_RNG_STREAM(session);`
+#define PWU_RNG_STREAM(name)

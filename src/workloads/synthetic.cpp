@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "space/parameter.hpp"
+#include "util/contracts.hpp"
 
 namespace pwu::workloads {
 
@@ -78,7 +79,7 @@ class PlatformVariant final : public Workload {
     const double t = base_->base_time(config);
     // Deterministic config-specific deviation in [-1, 1]: one draw from an
     // Rng seeded by (seed, config hash).
-    util::Rng rng(seed_ ^ config.hash());
+    util::Rng rng PWU_RNG_STREAM(config_noise)(seed_ ^ config.hash());
     const double z = 2.0 * rng.uniform() - 1.0;
     return scale_ * std::pow(t, gamma_) * (1.0 + perturbation_ * z);
   }

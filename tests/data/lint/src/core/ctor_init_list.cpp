@@ -1,0 +1,25 @@
+// Fixture: indexer regression — the `!=` inside the constructor's init
+// list must not be read as a top-level `=` (which would classify the body
+// brace as an aggregate initializer and skip the whole body). The
+// killpoint held under table_mu_ below only reports when the ctor body
+// was actually indexed, so its finding is the proof.
+#include <mutex>
+
+#include "util/chaos.hpp"
+
+namespace pwu {
+
+class InitListTable {
+ public:
+  explicit InitListTable(const int* ticks)
+      : ticks_(ticks != nullptr ? *ticks : 0) {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    util::killpoint("init_list.ctor");
+  }
+
+ private:
+  std::mutex table_mu_;
+  int ticks_ = 0;
+};
+
+}  // namespace pwu

@@ -1,0 +1,14 @@
+// Fixture: regression for the multi-line blind spot. The old line scanner
+// matched within physical lines, so a statement split right after `std::`
+// hid the raw rand() call. Token-stream matching spans the break: both the
+// qualified sequence and the bare call-form report.
+#include <cstdlib>
+
+namespace pwu {
+
+int multiline_draw() {
+  return std::
+      rand() % 6;
+}
+
+}  // namespace pwu

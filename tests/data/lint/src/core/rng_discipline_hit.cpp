@@ -1,0 +1,28 @@
+// Fixture: Rng draws outside the stream discipline. pick_row() draws
+// through an unannotated parameter, derive_stream() forks an unannotated
+// member, and opaque_draw() uses a strong draw name on a receiver the
+// index cannot type at all — each is a distinct failure message.
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace pwu {
+
+class Ticker;
+
+class NoisyPicker {
+ public:
+  std::size_t pick_row(util::Rng& rng, std::size_t n) {
+    return rng.uniform_int(n);
+  }
+
+  util::Rng derive_stream() { return scratch_.fork(); }
+
+  std::size_t opaque_draw(Ticker& ticker, std::size_t n) {
+    return ticker.next_u64() % n;
+  }
+
+ private:
+  util::Rng scratch_;
+};
+
+}  // namespace pwu

@@ -1,0 +1,37 @@
+// Fixture: the disciplined shapes. Every draw resolves to a
+// PWU_RNG_STREAM-annotated member, parameter, or local — including a fork
+// that inherits its source's sanction — and a weak draw name on a
+// non-Rng receiver stays silent (index() on a matrix is not a draw).
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace pwu {
+
+class Matrix;
+
+class DisciplinedPicker {
+ public:
+  std::size_t disciplined_pick(util::Rng& rng PWU_RNG_STREAM(row_pick),
+                               std::size_t n) {
+    return rng.uniform_int(n);
+  }
+
+  util::Rng disciplined_derive() { return sanctioned_.fork(); }
+
+  std::size_t fork_and_draw(std::size_t n) {
+    util::Rng local PWU_RNG_STREAM(local_scan)(7);
+    util::Rng child = local.fork();
+    return child.uniform_int(n);
+  }
+
+  double weak_name_elsewhere(const Matrix& m);
+
+ private:
+  util::Rng sanctioned_ PWU_RNG_STREAM(scratch);
+};
+
+double DisciplinedPicker::weak_name_elsewhere(const Matrix& m) {
+  return m.index(2);  // weak draw name on a non-Rng receiver: silent
+}
+
+}  // namespace pwu

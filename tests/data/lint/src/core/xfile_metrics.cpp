@@ -1,0 +1,24 @@
+// Fixture (pairs with xfile_pipeline.cpp): the other half of the
+// cross-file inversion. metrics_report() holds metrics_mu and calls back
+// into the pipeline side, which acquires pipeline_mu — the reverse of the
+// order xfile_pipeline.cpp establishes.
+#include <mutex>
+
+namespace pwu {
+
+std::mutex metrics_mu;
+int publish_count = 0;
+
+void pipeline_reset();
+
+void metrics_note_publish() {
+  std::lock_guard<std::mutex> lock(metrics_mu);
+  ++publish_count;
+}
+
+void metrics_report() {
+  std::lock_guard<std::mutex> lock(metrics_mu);
+  pipeline_reset();
+}
+
+}  // namespace pwu

@@ -1,0 +1,26 @@
+// Fixture (pairs with xfile_metrics.cpp): half of a cross-file lock-order
+// inversion between two file-scoped mutexes. pipeline_publish() holds
+// pipeline_mu and calls into the metrics side, which acquires metrics_mu;
+// xfile_metrics.cpp closes the loop in the other order. Neither file is
+// wrong in isolation — only the whole-project lock graph sees the cycle.
+#include <mutex>
+
+namespace pwu {
+
+std::mutex pipeline_mu;
+int published_rows = 0;
+
+void metrics_note_publish();
+
+void pipeline_publish() {
+  std::lock_guard<std::mutex> lock(pipeline_mu);
+  ++published_rows;
+  metrics_note_publish();
+}
+
+void pipeline_reset() {
+  std::lock_guard<std::mutex> lock(pipeline_mu);
+  published_rows = 0;
+}
+
+}  // namespace pwu

@@ -1,0 +1,44 @@
+// Fixture: blocking work under a held lock — all three shapes the rule
+// classifies. Each method of JournalSink holds journal_mu_ across a
+// blocking primitive: a file-stream open, a std::filesystem call, and a
+// send on a *Transport class.
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+namespace pwu {
+
+class PipeFixtureTransport {
+ public:
+  void send_frame(int frame) { frames_ += frame; }
+
+ private:
+  int frames_ = 0;
+};
+
+class JournalSink {
+ public:
+  void journal_flush_now(const std::string& path) {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    std::ofstream out(path);
+    out << seq_;
+  }
+
+  void journal_prune(const std::string& path) {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    std::filesystem::remove(path);
+  }
+
+  void journal_send_locked(int frame) {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    transport_.send_frame(frame);
+  }
+
+ private:
+  std::mutex journal_mu_;
+  PipeFixtureTransport transport_;
+  long seq_ = 0;
+};
+
+}  // namespace pwu

@@ -1,0 +1,42 @@
+// Fixture: the clean shape and the two justified shapes. clean_flush()
+// serializes under the lock and writes after releasing it — nothing to
+// report. The other two opens carry blocking-ok justifications in both
+// accepted comment positions (trailing, and full-line covering the next
+// line), which suppress rather than silence-by-accident.
+#include <fstream>
+#include <mutex>
+#include <string>
+
+namespace pwu {
+
+class CleanJournalSink {
+ public:
+  void clean_flush(const std::string& path) {
+    std::string image;
+    {
+      std::lock_guard<std::mutex> lock(clean_journal_mu_);
+      image = std::to_string(seq_);
+    }
+    std::ofstream out(path);
+    out << image;
+  }
+
+  void justified_flush_trailing(const std::string& path) {
+    std::lock_guard<std::mutex> lock(clean_journal_mu_);
+    std::ofstream out(path);  // pwu-lint: blocking-ok(fixture: single-writer sink, the lock only orders writers)
+    out << seq_;
+  }
+
+  void justified_flush_full_line(const std::string& path) {
+    std::lock_guard<std::mutex> lock(clean_journal_mu_);
+    // pwu-lint: blocking-ok(fixture: the full-line form covers the open below)
+    std::ofstream out(path);
+    out << seq_;
+  }
+
+ private:
+  std::mutex clean_journal_mu_;
+  long seq_ = 0;
+};
+
+}  // namespace pwu

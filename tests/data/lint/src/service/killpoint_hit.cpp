@@ -1,0 +1,35 @@
+// Fixture: killpoints in unsafe positions. marker_commit() fires one while
+// its write handle is still open — a kill there leaves a torn file outside
+// the atomic-writer protocol; KillpointCounter::bump_locked() fires one
+// under a mutex, which the chaos resume proof cannot replay (the process
+// dies owning the lock).
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "util/chaos.hpp"
+
+namespace pwu {
+
+void marker_commit(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("begin", f);
+  util::killpoint("marker.mid_write");
+  std::fputs("end", f);
+  std::fclose(f);
+}
+
+class KillpointCounter {
+ public:
+  void bump_locked() {
+    std::lock_guard<std::mutex> lock(counter_mu_);
+    util::killpoint("counter.bump");
+    ++count_;
+  }
+
+ private:
+  std::mutex counter_mu_;
+  long count_ = 0;
+};
+
+}  // namespace pwu

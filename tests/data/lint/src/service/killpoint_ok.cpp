@@ -1,0 +1,36 @@
+// Fixture: the safe killpoint shapes. The write handle closes with its
+// scope before the killpoint fires, and the counter releases its lock
+// before its killpoint — both are replayable by the chaos harness.
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "util/chaos.hpp"
+
+namespace pwu {
+
+void marker_commit_safe(const std::string& path) {
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("payload", f);
+    std::fclose(f);
+  }
+  util::killpoint("marker.after_close");
+}
+
+class SafeKillpointCounter {
+ public:
+  void bump_then_kill() {
+    {
+      std::lock_guard<std::mutex> lock(safe_counter_mu_);
+      ++count_;
+    }
+    util::killpoint("counter.unlocked");
+  }
+
+ private:
+  std::mutex safe_counter_mu_;
+  long count_ = 0;
+};
+
+}  // namespace pwu

@@ -1,0 +1,29 @@
+// Fixture: classic ABBA lock-order inversion in one class. refresh() takes
+// stats_mu_ then cache_mu_; invalidate() takes the same pair in the
+// opposite order — two threads interleaving these deadlock. lock-graph
+// must report the two-node cycle with a witness location per edge.
+#include <mutex>
+
+namespace pwu {
+
+class MetricsCache {
+ public:
+  void refresh() {
+    std::lock_guard<std::mutex> stats(stats_mu_);
+    std::lock_guard<std::mutex> cache(cache_mu_);
+    ++version_;
+  }
+
+  void invalidate() {
+    std::lock_guard<std::mutex> cache(cache_mu_);
+    std::lock_guard<std::mutex> stats(stats_mu_);
+    version_ = 0;
+  }
+
+ private:
+  std::mutex stats_mu_;
+  std::mutex cache_mu_;
+  int version_ = 0;
+};
+
+}  // namespace pwu

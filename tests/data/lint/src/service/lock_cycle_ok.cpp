@@ -1,0 +1,28 @@
+// Fixture: the same two-mutex shape as lock_cycle_hit.cpp but with a
+// consistent acquisition order (meta_mu_ before row_mu_ everywhere).
+// A one-way ordering has no cycle: lock-graph stays silent.
+#include <mutex>
+
+namespace pwu {
+
+class OrderedCache {
+ public:
+  void ordered_refresh() {
+    std::lock_guard<std::mutex> meta(meta_mu_);
+    std::lock_guard<std::mutex> rows(row_mu_);
+    ++ordered_version_;
+  }
+
+  void ordered_invalidate() {
+    std::lock_guard<std::mutex> meta(meta_mu_);
+    std::lock_guard<std::mutex> rows(row_mu_);
+    ordered_version_ = 0;
+  }
+
+ private:
+  std::mutex meta_mu_;
+  std::mutex row_mu_;
+  int ordered_version_ = 0;
+};
+
+}  // namespace pwu

@@ -1,0 +1,43 @@
+// Fixture: reconstruction of the PR-3 nested-parallelism deadlock. tell()
+// schedules a refit while still holding state_mu_; on a helping-join pool
+// the calling thread executes queued worker bodies inline (modeled by
+// parallel_refit's tail call), and the worker re-enters record_progress(),
+// which blocks on state_mu_ again. lock-graph must report the self-cycle
+// through the call chain, and blocking-under-lock must flag the
+// parallel_for reached while the session lock is held.
+#include <mutex>
+
+namespace pwu {
+
+class FixturePool {
+ public:
+  template <typename Body>
+  void parallel_for(int n, Body&& body);
+};
+
+class NestedPoolStore {
+ public:
+  void tell(int rows) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    pending_ += rows;
+    parallel_refit(pending_);
+  }
+
+  void parallel_refit(int rows) {
+    pool_.parallel_for(rows, [this](int row) { record_progress(row); });
+    record_progress(rows);  // helping join: the caller runs the tail task
+  }
+
+  void record_progress(int row) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    done_ = row;
+  }
+
+ private:
+  FixturePool pool_;
+  std::mutex state_mu_;
+  int pending_ = 0;
+  int done_ = 0;
+};
+
+}  // namespace pwu

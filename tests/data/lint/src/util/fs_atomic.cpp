@@ -1,0 +1,19 @@
+// Fixture: the sanctioned exemption. killpoint-safety skips its open-file
+// clause for src/util/fs_atomic.* — the atomic writer's killpoints sit
+// deliberately inside the torn-tmp window the chaos harness probes, so a
+// killpoint with the .tmp stream still open reports nothing here (and
+// only here).
+#include <fstream>
+#include <string>
+
+#include "util/chaos.hpp"
+
+namespace pwu::util {
+
+void fixture_tmp_write(const std::string& path, const std::string& body) {
+  std::ofstream out(path + ".tmp");
+  out << body;
+  util::killpoint("fs_atomic.tmp_written");
+}
+
+}  // namespace pwu::util

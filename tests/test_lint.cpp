@@ -1,9 +1,14 @@
 // pwu_lint engine tests — each rule's hit/miss/suppression paths run over
 // the fixture tree under tests/data/lint/, which mirrors the repo layout
-// (src/core, src/rf, src/service, src/util, tools) so the path-scoped rules
-// exercise their real scoping logic.
+// (src/core, src/rf, src/router, src/service, src/util, tools) so the
+// path-scoped rules exercise their real scoping logic. The flow-aware
+// rules (lock-graph, blocking-under-lock, rng-stream-discipline,
+// killpoint-safety) get seeded violation fixtures plus clean twins, and
+// the tokenizer/indexer get direct unit tests via source_from_string.
 
+#include "index.hpp"
 #include "lint.hpp"
+#include "tokenizer.hpp"
 
 #include <gtest/gtest.h>
 
@@ -23,6 +28,10 @@ namespace {
 
 const char* kFixtureRoot = PWU_TEST_DATA_DIR "/lint";
 
+constexpr std::size_t kFixtureFiles = 36;
+constexpr std::size_t kActiveFindings = 27;
+constexpr std::size_t kSuppressed = 8;
+
 Report scan(Options options = {}) { return run(kFixtureRoot, options); }
 
 bool has_finding(const Report& report, const std::string& rule,
@@ -34,19 +43,33 @@ bool has_finding(const Report& report, const std::string& rule,
                      });
 }
 
+const Finding* find_finding(const Report& report, const std::string& rule,
+                            const std::string& file) {
+  for (const Finding& f : report.findings) {
+    if (f.rule == rule && f.file == file) return &f;
+  }
+  return nullptr;
+}
+
 std::size_t count_rule(const Report& report, const std::string& rule) {
   return static_cast<std::size_t>(
       std::count_if(report.findings.begin(), report.findings.end(),
                     [&](const Finding& f) { return f.rule == rule; }));
 }
 
+std::size_t count_file(const Report& report, const std::string& file) {
+  return static_cast<std::size_t>(
+      std::count_if(report.findings.begin(), report.findings.end(),
+                    [&](const Finding& f) { return f.file == file; }));
+}
+
 TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
   const Report report = scan();
-  EXPECT_EQ(report.files_scanned, 22u);
+  EXPECT_EQ(report.files_scanned, kFixtureFiles);
   EXPECT_EQ(report.baselined, 0u);
-  EXPECT_EQ(report.active_count(), 12u);
+  EXPECT_EQ(report.active_count(), kActiveFindings);
 
-  // Hits, one per fixture trap.
+  // Line-rule hits, one per fixture trap.
   EXPECT_TRUE(has_finding(report, "no-cout-logging",
                           "src/core/cout_hit.cpp", 4));
   EXPECT_TRUE(has_finding(report, "no-cout-logging",
@@ -73,7 +96,7 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
                           "src/core/simd_include_hit.cpp", 3));
 
   // Misses: clean fixtures and path exemptions contribute nothing.
-  EXPECT_EQ(count_rule(report, "no-raw-rand"), 1u);   // src/util/rng.cpp exempt
+  EXPECT_EQ(count_rule(report, "no-raw-rand"), 3u);   // src/util/rng.cpp exempt
   EXPECT_EQ(count_rule(report, "no-cout-logging"), 2u);  // tools/ exempt
   EXPECT_EQ(count_rule(report, "no-raw-new"), 2u);    // `= delete` is not a hit
   EXPECT_EQ(count_rule(report, "header-hygiene"), 2u);  // good_header.hpp clean
@@ -84,6 +107,11 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
   // simd_eval_fixture.cpp sits under the sanctioned src/rf/simd_eval*
   // prefix: only the src/core include fires.
   EXPECT_EQ(count_rule(report, "no-unchecked-simd"), 1u);
+  // Flow rules, counted exactly (per-fixture detail in the tests below).
+  EXPECT_EQ(count_rule(report, "lock-graph"), 3u);
+  EXPECT_EQ(count_rule(report, "blocking-under-lock"), 4u);
+  EXPECT_EQ(count_rule(report, "rng-stream-discipline"), 3u);
+  EXPECT_EQ(count_rule(report, "killpoint-safety"), 3u);
   // Tokens inside strings, raw strings, and comments never fire.
   for (const Finding& f : report.findings) {
     EXPECT_NE(f.file, "src/core/tokens_in_literals.cpp") << f.rule;
@@ -92,11 +120,10 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
   // Suppressions: allow (wallclock_suppressed) + allow-next-line (one of the
   // two couts in cout_next_line) + allow-file (two wallclock reads in
   // allow_file.cpp) + allow (ckpt_tool_allowed's ofstream — which also
-  // proves tools/ is inside atomic-checkpoint's scope). Same-line allows on
-  // no-unlocked-mutable fields are skipped before matching, so guarded.cpp's
-  // suppressed_add adds nothing. The allow on unbounded_queue_hit.hpp's
-  // second queue member is the sixth suppression.
-  EXPECT_EQ(report.suppressed, 6u);
+  // proves tools/ is inside atomic-checkpoint's scope) + the allow on
+  // unbounded_queue_hit.hpp's second queue member + the two blocking-ok
+  // forms in block_lock_ok.cpp.
+  EXPECT_EQ(report.suppressed, kSuppressed);
 
   // Deterministic ordering: sorted by (file, line, rule).
   const auto before = [](const Finding& a, const Finding& b) {
@@ -106,9 +133,295 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
                              before));
 }
 
+// ---------------------------------------------------------------------------
+// lock-graph
+// ---------------------------------------------------------------------------
+
+TEST(PwuLint, LockGraphReportsAbbaInversionOnce) {
+  const Report report = scan();
+  const Finding* f =
+      find_finding(report, "lock-graph", "src/service/lock_cycle_hit.cpp");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("lock-order cycle"), std::string::npos);
+  EXPECT_NE(f->message.find("MetricsCache::stats_mu_"), std::string::npos);
+  EXPECT_NE(f->message.find("MetricsCache::cache_mu_"), std::string::npos);
+  // One finding per cycle, with a witness location for each edge.
+  EXPECT_EQ(count_file(report, "src/service/lock_cycle_hit.cpp"), 1u);
+  EXPECT_NE(f->message.find("lock_cycle_hit.cpp:19"), std::string::npos);
+  EXPECT_NE(f->message.find("lock_cycle_hit.cpp:13"), std::string::npos);
+  // The consistently-ordered twin is silent.
+  EXPECT_EQ(count_file(report, "src/service/lock_cycle_ok.cpp"), 0u);
+}
+
+TEST(PwuLint, LockGraphCatchesTheNestedParallelismDeadlock) {
+  // The PR-3 shape: tell() holds the session mutex across a refit that the
+  // helping-join pool runs inline, and the worker re-locks the same mutex.
+  // The cycle is only visible through the call chain — no single function
+  // acquires twice.
+  const Report report = scan();
+  const Finding* f =
+      find_finding(report, "lock-graph", "src/service/nested_pool_hit.cpp");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 23u);  // the call made while state_mu_ is held
+  EXPECT_NE(f->message.find("self-deadlock"), std::string::npos);
+  EXPECT_NE(f->message.find("NestedPoolStore::state_mu_"), std::string::npos);
+  EXPECT_NE(f->message.find("via call to NestedPoolStore::parallel_refit"),
+            std::string::npos);
+}
+
+TEST(PwuLint, LockGraphSeesCyclesAcrossFiles) {
+  // Neither xfile_*.cpp is wrong in isolation; only the merged project
+  // index exposes the two-mutex cycle between them.
+  const Report report = scan();
+  const Finding* f =
+      find_finding(report, "lock-graph", "src/core/xfile_metrics.cpp");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("xfile_metrics::metrics_mu"), std::string::npos);
+  EXPECT_NE(f->message.find("xfile_pipeline::pipeline_mu"), std::string::npos);
+  EXPECT_NE(f->message.find("xfile_pipeline.cpp:18"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// blocking-under-lock
+// ---------------------------------------------------------------------------
+
+TEST(PwuLint, BlockingUnderLockFlagsAllThreeShapes) {
+  const Report report = scan();
+  // Direct file-stream open, std::filesystem call, *Transport method.
+  EXPECT_TRUE(has_finding(report, "blocking-under-lock",
+                          "src/router/block_lock_hit.cpp", 24));
+  EXPECT_TRUE(has_finding(report, "blocking-under-lock",
+                          "src/router/block_lock_hit.cpp", 30));
+  EXPECT_TRUE(has_finding(report, "blocking-under-lock",
+                          "src/router/block_lock_hit.cpp", 35));
+  const Finding* f = find_finding(report, "blocking-under-lock",
+                                  "src/router/block_lock_hit.cpp");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("JournalSink::journal_mu_"), std::string::npos);
+  // Serialize-under-lock / write-after-release is the sanctioned pattern,
+  // and both blocking-ok comment positions suppress (counted above).
+  EXPECT_EQ(count_file(report, "src/router/block_lock_ok.cpp"), 0u);
+}
+
+TEST(PwuLint, BlockingUnderLockReachesThroughTheCallGraph) {
+  const Report report = scan();
+  const Finding* f = find_finding(report, "blocking-under-lock",
+                                  "src/service/nested_pool_hit.cpp");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 23u);  // flagged at the call site under the lock...
+  // ...with the chain and the primitive's own location in the message.
+  EXPECT_NE(f->message.find("NestedPoolStore::parallel_refit"),
+            std::string::npos);
+  EXPECT_NE(f->message.find("parallel_for"), std::string::npos);
+  EXPECT_NE(f->message.find("nested_pool_hit.cpp:27"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// rng-stream-discipline
+// ---------------------------------------------------------------------------
+
+TEST(PwuLint, RngDisciplineFlagsUnannotatedDraws) {
+  const Report report = scan();
+  // Unannotated parameter, unannotated member, untypeable receiver.
+  EXPECT_TRUE(has_finding(report, "rng-stream-discipline",
+                          "src/core/rng_discipline_hit.cpp", 15));
+  EXPECT_TRUE(has_finding(report, "rng-stream-discipline",
+                          "src/core/rng_discipline_hit.cpp", 18));
+  EXPECT_TRUE(has_finding(report, "rng-stream-discipline",
+                          "src/core/rng_discipline_hit.cpp", 21));
+  const Finding* f = find_finding(report, "rng-stream-discipline",
+                                  "src/core/rng_discipline_hit.cpp");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("PWU_RNG_STREAM"), std::string::npos);
+  // Annotated member/param/local — and a fork inheriting its source's
+  // sanction — are all clean; weak draw names on non-Rng receivers stay
+  // silent.
+  EXPECT_EQ(count_file(report, "src/core/rng_discipline_ok.cpp"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// killpoint-safety
+// ---------------------------------------------------------------------------
+
+TEST(PwuLint, KillpointSafetyFlagsBothClauses) {
+  const Report report = scan();
+  // Open write handle still in scope.
+  EXPECT_TRUE(has_finding(report, "killpoint-safety",
+                          "src/service/killpoint_hit.cpp", 17));
+  // Mutex held across the killpoint.
+  EXPECT_TRUE(has_finding(report, "killpoint-safety",
+                          "src/service/killpoint_hit.cpp", 26));
+  // Scope-closed handle and released lock are both safe.
+  EXPECT_EQ(count_file(report, "src/service/killpoint_ok.cpp"), 0u);
+  // src/util/fs_atomic.* is exempt from the open-file clause by design:
+  // its killpoints deliberately straddle the torn-tmp window.
+  EXPECT_EQ(count_file(report, "src/util/fs_atomic.cpp"), 0u);
+}
+
+TEST(PwuLint, CtorInitListBodyIsIndexedDespiteComparisonOperators) {
+  // Regression: the `!=` inside a ctor init list once classified the body
+  // brace as an aggregate initializer, skipping the body entirely. The
+  // killpoint-under-lock finding inside the ctor proves the body is seen.
+  const Report report = scan();
+  EXPECT_TRUE(has_finding(report, "killpoint-safety",
+                          "src/core/ctor_init_list.cpp", 17));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-line statements (satellite regression)
+// ---------------------------------------------------------------------------
+
+TEST(PwuLint, MultiLineStatementCannotHideRawRand) {
+  // `std::` at end-of-line + `rand()` on the next line: the token stream
+  // spans the break, so both the qualified sequence and the call form fire.
+  const Report report = scan();
+  EXPECT_TRUE(has_finding(report, "no-raw-rand",
+                          "src/core/multiline_rand_hit.cpp", 10));
+  EXPECT_TRUE(has_finding(report, "no-raw-rand",
+                          "src/core/multiline_rand_hit.cpp", 11));
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer unit tests
+// ---------------------------------------------------------------------------
+
+TEST(PwuLintTokenizer, LiteralsCommentsAndRawStringsAreBlanked) {
+  const SourceFile f = source_from_string(
+      "src/core/t.cpp",
+      "const char* s = R\"(std::rand() still text)\";\n"
+      "int a = 1;  // std::rand() in a comment\n"
+      "/* std::rand() in a block */ int b = 2;\n"
+      "char c = 'r';\n");
+  for (const Token& t : tokenize(f)) {
+    EXPECT_NE(t.text, "rand") << "line " << t.line;
+  }
+}
+
+TEST(PwuLintTokenizer, TemplateCloseIsTwoTokensAndSpansLines) {
+  const SourceFile f = source_from_string(
+      "src/core/t.cpp",
+      "std::vector<std::vector<int>> grid;\n"
+      "int x = std::\n"
+      "    rand();\n");
+  const std::vector<Token> toks = tokenize(f);
+  // '>>' tokenizes as two closers, so angle matching never jams.
+  const std::size_t closers = static_cast<std::size_t>(
+      std::count_if(toks.begin(), toks.end(),
+                    [](const Token& t) { return t.text == ">"; }));
+  EXPECT_EQ(closers, 2u);
+  // The qualified call is one consecutive token sequence across lines.
+  bool matched = false;
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (match_tokens(toks, i, {"std", "::", "rand", "("})) {
+      matched = true;
+      EXPECT_LT(toks[i].line, toks[i + 2].line);  // spans the break
+    }
+  }
+  EXPECT_TRUE(matched);
+}
+
+TEST(PwuLintTokenizer, MacroContinuationLinesAreSkipped) {
+  const SourceFile f = source_from_string(
+      "src/core/t.cpp",
+      "#define LOG(x) \\\n"
+      "  do_log(x)\n"
+      "int live() { return 1; }\n");
+  const std::vector<Token> toks = tokenize(f);
+  for (const Token& t : toks) EXPECT_NE(t.text, "do_log");
+  EXPECT_TRUE(std::any_of(toks.begin(), toks.end(),
+                          [](const Token& t) { return t.text == "live"; }));
+}
+
+TEST(PwuLintTokenizer, BlockingOkCoversItsOwnLineOrTheNext) {
+  const SourceFile trailing = source_from_string(
+      "src/core/t.cpp", "open_it();  // pwu-lint: blocking-ok(reason)\n");
+  const Directives dt = parse_directives(trailing);
+  ASSERT_EQ(dt.allowed.count(1), 1u);
+  EXPECT_EQ(dt.allowed.at(1).count("blocking-under-lock"), 1u);
+
+  const SourceFile full_line = source_from_string(
+      "src/core/t.cpp",
+      "// pwu-lint: blocking-ok(reason)\n"
+      "open_it();\n");
+  const Directives df = parse_directives(full_line);
+  ASSERT_EQ(df.allowed.count(2), 1u);
+  EXPECT_EQ(df.allowed.at(2).count("blocking-under-lock"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Indexer unit tests
+// ---------------------------------------------------------------------------
+
+TEST(PwuLintIndex, AnnotatedFieldsStayVisible) {
+  // Regression: the "skip function declarations" paren test used to eat
+  // fields whose annotation macro carries an argument list.
+  const SourceFile f = source_from_string(
+      "src/core/t.cpp",
+      "class Owner {\n"
+      " public:\n"
+      "  int touch();\n"
+      " private:\n"
+      "  util::Rng jitter_ PWU_RNG_STREAM(retry_jitter);\n"
+      "  std::mutex mu_;\n"
+      "  long count_ PWU_GUARDED_BY(mu_) = 0;\n"
+      "};\n");
+  const FileIndex fi = index_file(f, tokenize(f));
+  ASSERT_EQ(fi.classes.size(), 1u);
+  const Field* jitter = fi.classes[0].find_field("jitter_");
+  ASSERT_NE(jitter, nullptr);
+  EXPECT_TRUE(jitter->is_rng);
+  EXPECT_EQ(jitter->rng_stream, "retry_jitter");
+  const Field* count = fi.classes[0].find_field("count_");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->guarded_by, "mu_");
+  const Field* mu = fi.classes[0].find_field("mu_");
+  ASSERT_NE(mu, nullptr);
+  EXPECT_TRUE(mu->is_mutex);
+  // The method declaration is not a field.
+  EXPECT_EQ(fi.classes[0].find_field("touch"), nullptr);
+}
+
+TEST(PwuLintIndex, RngParamAnnotationAndNameAreParsed) {
+  const SourceFile f = source_from_string(
+      "src/core/t.cpp",
+      "double pick(util::Rng& rng PWU_RNG_STREAM(sel), const std::string& s) "
+      "{ return 0.0; }\n");
+  const FileIndex fi = index_file(f, tokenize(f));
+  ASSERT_EQ(fi.functions.size(), 1u);
+  ASSERT_EQ(fi.functions[0].params.size(), 2u);
+  EXPECT_EQ(fi.functions[0].params[0].name, "rng");
+  EXPECT_TRUE(fi.functions[0].params[0].is_rng);
+  EXPECT_EQ(fi.functions[0].params[0].rng_stream, "sel");
+}
+
+TEST(PwuLintIndex, LockEventsCarryGuardSemantics) {
+  const SourceFile f = source_from_string(
+      "src/core/t.cpp",
+      "void locked() {\n"
+      "  std::unique_lock<std::mutex> lk(mu, std::defer_lock);\n"
+      "  lk.lock();\n"
+      "}\n");
+  const FileIndex fi = index_file(f, tokenize(f));
+  ASSERT_EQ(fi.functions.size(), 1u);
+  const Event* lock_ev = nullptr;
+  for (const Event& e : fi.functions[0].events) {
+    if (e.kind == EventKind::Lock) lock_ev = &e;
+  }
+  ASSERT_NE(lock_ev, nullptr);
+  EXPECT_TRUE(lock_ev->defer_lock);
+  EXPECT_TRUE(lock_ev->is_unique_lock);
+  EXPECT_EQ(lock_ev->guard_var, "lk");
+  ASSERT_EQ(lock_ev->lock_args.size(), 1u);
+  EXPECT_EQ(lock_ev->lock_args[0], "mu");
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
 TEST(PwuLint, BaselineRoundTripGrandfathersEveryFinding) {
   const Report dirty = scan();
-  ASSERT_EQ(dirty.active_count(), 12u);
+  ASSERT_EQ(dirty.active_count(), kActiveFindings);
 
   const std::string path = testing::TempDir() + "pwu_lint_test.baseline";
   {
@@ -120,10 +433,25 @@ TEST(PwuLint, BaselineRoundTripGrandfathersEveryFinding) {
   Options options;
   options.baseline_path = path;
   const Report clean = scan(options);
-  EXPECT_EQ(clean.findings.size(), 12u);  // still visible...
-  EXPECT_EQ(clean.baselined, 12u);        // ...but all grandfathered
-  EXPECT_EQ(clean.active_count(), 0u);   // so the run passes
+  EXPECT_EQ(clean.findings.size(), kActiveFindings);  // still visible...
+  EXPECT_EQ(clean.baselined, kActiveFindings);  // ...but all grandfathered
+  EXPECT_EQ(clean.active_count(), 0u);          // so the run passes
   std::remove(path.c_str());
+}
+
+TEST(PwuLint, BaselineIsCanonicallySortedAndDeduplicated) {
+  const Report dirty = scan();
+  std::ostringstream os;
+  write_baseline(os, dirty);
+  std::istringstream is(os.str());
+  std::vector<std::string> keys;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.front() != '#') keys.push_back(line);
+  }
+  EXPECT_FALSE(keys.empty());
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_TRUE(std::adjacent_find(keys.begin(), keys.end()) == keys.end());
 }
 
 TEST(PwuLint, MissingBaselineFileActsAsEmpty) {
@@ -131,24 +459,7 @@ TEST(PwuLint, MissingBaselineFileActsAsEmpty) {
   options.baseline_path = testing::TempDir() + "does_not_exist.baseline";
   const Report report = scan(options);
   EXPECT_EQ(report.baselined, 0u);
-  EXPECT_EQ(report.active_count(), 12u);
-}
-
-TEST(PwuLint, RulesFilterRestrictsTheScan) {
-  Options options;
-  options.rules = {"no-cout-logging"};
-  const Report report = scan(options);
-  EXPECT_EQ(report.findings.size(), 2u);
-  for (const Finding& f : report.findings) {
-    EXPECT_EQ(f.rule, "no-cout-logging");
-  }
-}
-
-TEST(PwuLint, UnknownRuleAndMissingRootThrow) {
-  Options options;
-  options.rules = {"no-such-rule"};
-  EXPECT_THROW(scan(options), std::runtime_error);
-  EXPECT_THROW(run("/nonexistent/scan/root", Options{}), std::runtime_error);
+  EXPECT_EQ(report.active_count(), kActiveFindings);
 }
 
 TEST(PwuLint, BaselineKeyIgnoresLineNumbers) {
@@ -160,32 +471,78 @@ TEST(PwuLint, BaselineKeyIgnoresLineNumbers) {
   EXPECT_NE(baseline_key(a), baseline_key(b));
 }
 
-TEST(PwuLint, CatalogListsEveryRuleOnce) {
+// ---------------------------------------------------------------------------
+// CLI surface
+// ---------------------------------------------------------------------------
+
+TEST(PwuLint, RulesFilterRestrictsTheScan) {
+  Options options;
+  options.rules = {"no-cout-logging"};
+  const Report report = scan(options);
+  EXPECT_EQ(report.findings.size(), 2u);
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.rule, "no-cout-logging");
+  }
+}
+
+TEST(PwuLint, FlowRulesCanRunAlone) {
+  Options options;
+  options.rules = {"lock-graph"};
+  const Report report = scan(options);
+  EXPECT_EQ(report.findings.size(), 3u);
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.rule, "lock-graph");
+  }
+}
+
+TEST(PwuLint, UnknownRuleAndMissingRootThrow) {
+  Options options;
+  options.rules = {"no-such-rule"};
+  EXPECT_THROW(scan(options), std::runtime_error);
+  EXPECT_THROW(run("/nonexistent/scan/root", Options{}), std::runtime_error);
+}
+
+TEST(PwuLint, CatalogListsEveryRuleOnceInReportingOrder) {
   const auto& catalog = rule_catalog();
   std::vector<std::string> names;
   for (const RuleInfo& rule : catalog) names.emplace_back(rule.name);
+  // The nine line rules in their original order, then the four flow rules.
+  const std::vector<std::string> expected = {
+      "no-raw-rand",        "no-wallclock",        "no-cout-logging",
+      "header-hygiene",     "no-raw-new",          "atomic-checkpoint",
+      "no-unbounded-queue", "no-unlocked-mutable", "no-unchecked-simd",
+      "lock-graph",         "blocking-under-lock", "rng-stream-discipline",
+      "killpoint-safety"};
+  EXPECT_EQ(names, expected);
   std::sort(names.begin(), names.end());
   EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
-  const std::vector<std::string> expected = {
-      "atomic-checkpoint",   "header-hygiene",     "no-cout-logging",
-      "no-raw-new",          "no-raw-rand",        "no-unbounded-queue",
-      "no-unchecked-simd",   "no-unlocked-mutable", "no-wallclock"};
-  EXPECT_EQ(names, expected);
 }
 
-TEST(PwuLint, JsonAndTextOutputsCarryTheFindings) {
+TEST(PwuLint, JsonTextAndSarifOutputsCarryTheFindings) {
   const Report report = scan();
   std::ostringstream text;
   print_text(text, report);
   EXPECT_NE(text.str().find("no-raw-rand"), std::string::npos);
-  EXPECT_NE(text.str().find("12 finding(s)"), std::string::npos);
+  EXPECT_NE(text.str().find("27 finding(s)"), std::string::npos);
 
   std::ostringstream json;
   print_json(json, report);
   EXPECT_EQ(json.str().front(), '{');
   EXPECT_NE(json.str().find("\"findings\""), std::string::npos);
   EXPECT_NE(json.str().find("\"no-unlocked-mutable\""), std::string::npos);
-  EXPECT_NE(json.str().find("\"suppressed\":6"), std::string::npos);
+  EXPECT_NE(json.str().find("\"suppressed\":8"), std::string::npos);
+
+  std::ostringstream sarif;
+  print_sarif(sarif, report);
+  EXPECT_EQ(sarif.str().front(), '{');
+  EXPECT_NE(sarif.str().find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.str().find("\"ruleId\":\"lock-graph\""), std::string::npos);
+  // Every catalog rule is declared in the driver block.
+  for (const RuleInfo& rule : rule_catalog()) {
+    EXPECT_NE(sarif.str().find(std::string("\"id\":\"") + rule.name + "\""),
+              std::string::npos)
+        << rule.name;
+  }
 }
 
 }  // namespace

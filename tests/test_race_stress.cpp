@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -320,6 +321,60 @@ TEST(RaceStress, ConcurrentFusedAsksWhileRefitsSwap) {
     EXPECT_EQ(st.best_observed, serial_best[i]);
   }
   EXPECT_GT(manager.health().fused_groups, 0u);
+}
+
+TEST(RaceStress, DeferredCheckpointCommitKeepsTheNewestImage) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "pwu_race_ckpt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  SessionSpec spec = stress_spec(4242);
+  spec.learner.n_init = 8;
+  spec.learner.n_batch = 6;
+  spec.learner.n_max = 32;
+
+  SessionManager manager;
+  manager.enable_auto_checkpoint(dir.string(), 1);
+  const SessionStatus created = manager.create("s", spec);
+  const auto workload = workloads::make_workload(created.workload);
+  util::Rng measure_rng(created.measure_seed);
+
+  // Measure each batch serially (the measure stream is ordered), then fan
+  // the tells across threads so the deferred checkpoint commits — which
+  // run after the session mutex is released — race on the write mutex.
+  constexpr std::size_t kTellers = 4;
+  for (;;) {
+    const auto batch = manager.ask("s");
+    if (batch.empty()) break;
+    std::vector<double> measured(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      measured[i] = workload->measure(batch[i].config, measure_rng, 1);
+    }
+    std::vector<std::thread> tellers;
+    tellers.reserve(kTellers);
+    for (std::size_t t = 0; t < kTellers; ++t) {
+      tellers.emplace_back([&, t] {
+        for (std::size_t i = t; i < batch.size(); i += kTellers) {
+          manager.tell("s", batch[i].config, measured[i]);
+        }
+      });
+    }
+    for (auto& th : tellers) th.join();
+  }
+  const SessionStatus final_status = manager.status("s");
+  EXPECT_EQ(final_status.labeled, final_status.n_max);
+
+  // Whatever commit won last must be the newest image: the file parses
+  // (no torn tmp collision) and carries the final state, not a stale one
+  // that overwrote a newer commit.
+  SessionManager restarted;
+  const ResumeOutcome recovered =
+      restarted.resume_from_file("s", (dir / "s.ckpt").string());
+  EXPECT_FALSE(recovered.used_fallback);
+  EXPECT_EQ(recovered.status.labeled, final_status.labeled);
+  EXPECT_EQ(recovered.status.best_observed, final_status.best_observed);
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -1,0 +1,1068 @@
+#include "index.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace pwu::lint {
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+bool is_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "alignas",   "alignof",  "auto",      "bool",     "break",
+      "case",      "catch",    "char",      "class",    "const",
+      "consteval", "constexpr","constinit", "continue", "co_await",
+      "co_return", "co_yield", "decltype",  "default",  "delete",
+      "do",        "double",   "dynamic_cast", "else",  "enum",
+      "explicit",  "export",   "extern",    "false",    "final",
+      "float",     "for",      "friend",    "goto",     "if",
+      "inline",    "int",      "long",      "mutable",  "namespace",
+      "new",       "noexcept", "nullptr",   "operator", "override",
+      "private",   "protected","public",    "register", "reinterpret_cast",
+      "requires",  "return",   "short",     "signed",   "sizeof",
+      "static",    "static_assert", "static_cast", "struct", "switch",
+      "template",  "this",     "thread_local", "throw", "true",
+      "try",       "typedef",  "typeid",    "typename", "union",
+      "unsigned",  "using",    "virtual",   "void",     "volatile",
+      "wchar_t",   "while",
+  };
+  return kKeywords.count(s) != 0;
+}
+
+bool is_mutex_type_token(const std::string& s) {
+  return s == "mutex" || s == "shared_mutex" || s == "recursive_mutex" ||
+         s == "timed_mutex" || s == "recursive_timed_mutex";
+}
+
+bool is_guard_type(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
+         s == "shared_lock";
+}
+
+/// `i` points at the opening token; returns the index just past the matching
+/// close (or tokens.size() when unbalanced).
+std::size_t skip_balanced(const std::vector<Token>& t, std::size_t i,
+                          const char* open, const char* close) {
+  std::size_t depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].text == open) {
+      ++depth;
+    } else if (t[i].text == close) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return t.size();
+}
+
+/// `i` points at '<'. Skips a template-argument group, tolerating nested
+/// parens/angles. Bails (returns i + 1) on ';', '{' or after 200 tokens so a
+/// stray comparison operator cannot swallow the file.
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
+  std::size_t depth = 0;
+  const std::size_t limit = std::min(t.size(), i + 200);
+  for (std::size_t k = i; k < limit; ++k) {
+    const std::string& s = t[k].text;
+    if (s == "<") {
+      ++depth;
+    } else if (s == ">") {
+      if (--depth == 0) return k + 1;
+    } else if (s == ";" || s == "{") {
+      break;
+    } else if (s == "(") {
+      k = skip_balanced(t, k, "(", ")") - 1;
+    }
+  }
+  return i + 1;
+}
+
+std::string join_tokens(const std::vector<Token>& t, std::size_t b,
+                        std::size_t e) {
+  std::string out;
+  for (std::size_t i = b; i < e && i < t.size(); ++i) {
+    if (!out.empty() && t[i].kind == TokKind::Ident &&
+        !out.empty() && is_ident_char(out.back())) {
+      out += ' ';
+    }
+    out += t[i].text;
+  }
+  return out;
+}
+
+/// Extracts a PWU_GUARDED_BY / PWU_RNG_STREAM argument from a token slice.
+std::string annotation_arg(const std::vector<Token>& t, std::size_t b,
+                           std::size_t e, const char* macro) {
+  for (std::size_t i = b; i + 2 < e && i + 2 < t.size(); ++i) {
+    if (t[i].text == macro && t[i + 1].text == "(" &&
+        t[i + 2].kind == TokKind::Ident) {
+      return t[i + 2].text;
+    }
+  }
+  return {};
+}
+
+/// True when the slice has a '(' that is not an annotation macro's argument
+/// list — the test for "this declaration is a function, not a field".
+/// `util::Rng r_ PWU_RNG_STREAM(x);` must still parse as a field.
+bool has_non_annotation_paren(const std::vector<Token>& t) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text != "(") continue;
+    if (i > 0 && (t[i - 1].text == "PWU_RNG_STREAM" ||
+                  t[i - 1].text == "PWU_GUARDED_BY")) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool slice_contains(const std::vector<Token>& t, std::size_t b, std::size_t e,
+                    const char* text) {
+  for (std::size_t i = b; i < e && i < t.size(); ++i) {
+    if (t[i].text == text) return true;
+  }
+  return false;
+}
+
+/// Walks a receiver chain backwards from `i` (the token before '.', '->' or
+/// '::'), collecting identifiers and skipping balanced []/() groups, and
+/// returns the chain joined with '.' (e.g. "entry.session").
+std::string receiver_chain(const std::vector<Token>& t, std::size_t i) {
+  std::vector<std::string> parts;
+  std::size_t k = i;
+  while (true) {
+    // Skip trailing subscript/call groups backwards: ...foo()[] .
+    while (k != npos && (t[k].text == ")" || t[k].text == "]")) {
+      const std::string open = t[k].text == ")" ? "(" : "[";
+      std::size_t depth = 0;
+      while (k != npos) {
+        if (t[k].text == ")" || t[k].text == "]") ++depth;
+        if (t[k].text == "(" || t[k].text == "[") {
+          if (--depth == 0) break;
+        }
+        k = k == 0 ? npos : k - 1;
+      }
+      if (k == npos) break;
+      k = k == 0 ? npos : k - 1;
+    }
+    if (k == npos || t[k].kind != TokKind::Ident || is_keyword(t[k].text)) {
+      if (k != npos && t[k].text == "this") parts.push_back("this");
+      break;
+    }
+    parts.push_back(t[k].text);
+    if (k < 2) break;
+    const std::string& sep = t[k - 1].text;
+    if (sep != "." && sep != "->" && sep != "::") break;
+    k -= 2;
+  }
+  std::string out;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    if (!out.empty()) out += '.';
+    out += *it;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Declaration parsing
+// ---------------------------------------------------------------------------
+
+/// Parses a field declaration accumulated at class scope.
+void parse_field(const std::vector<Token>& pending, ClassInfo& cls) {
+  if (pending.empty()) return;
+  static const char* kSkip[] = {"using", "typedef", "friend",
+                                "static_assert", "template", "operator"};
+  for (const char* kw : kSkip) {
+    if (slice_contains(pending, 0, pending.size(), kw)) return;
+  }
+  // Declarator name: the last identifier (angle-depth 0) followed by the end
+  // of the declaration, '=', '[', or an annotation macro.
+  std::size_t name_idx = npos;
+  std::size_t angle = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const std::string& s = pending[i].text;
+    if (s == "<") ++angle;
+    if (s == ">" && angle > 0) --angle;
+    if (angle != 0) continue;
+    if (pending[i].kind != TokKind::Ident || is_keyword(s)) continue;
+    const bool last = i + 1 == pending.size();
+    const std::string next = last ? "" : pending[i + 1].text;
+    if (last || next == "=" || next == "[" || next == "PWU_GUARDED_BY" ||
+        next == "PWU_RNG_STREAM") {
+      name_idx = i;
+    }
+  }
+  if (name_idx == npos) return;
+
+  Field f;
+  f.name = pending[name_idx].text;
+  f.line = pending[name_idx].line;
+  f.type = join_tokens(pending, 0, name_idx);
+  for (std::size_t i = 0; i < name_idx; ++i) {
+    if (pending[i].kind != TokKind::Ident) continue;
+    if (is_mutex_type_token(pending[i].text)) f.is_mutex = true;
+    if (pending[i].text == "Rng") f.is_rng = true;
+  }
+  f.guarded_by =
+      annotation_arg(pending, name_idx, pending.size(), "PWU_GUARDED_BY");
+  f.rng_stream =
+      annotation_arg(pending, name_idx, pending.size(), "PWU_RNG_STREAM");
+  cls.fields.push_back(std::move(f));
+}
+
+std::vector<Param> parse_params(const std::vector<Token>& t, std::size_t open,
+                                std::size_t close) {
+  std::vector<Param> params;
+  std::size_t b = open + 1;
+  std::size_t pd = 0, ad = 0;
+  for (std::size_t i = open + 1; i <= close && i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "(" || s == "[" || s == "{") ++pd;
+    if (s == ")" || s == "]" || s == "}") {
+      if (s == ")" && i == close) {
+        // fallthrough: close this param below
+      } else {
+        if (pd > 0) --pd;
+        continue;
+      }
+    }
+    if (s == "<") ++ad;
+    if (s == ">" && ad > 0) --ad;
+    if ((s == "," && pd == 0 && ad == 0) || i == close) {
+      const std::size_t e = i;
+      if (e > b) {
+        Param p;
+        p.rng_stream = annotation_arg(t, b, e, "PWU_RNG_STREAM");
+        bool in_default = false;
+        std::size_t name_idx = npos;
+        for (std::size_t k = b; k < e; ++k) {
+          if (t[k].text == "=") in_default = true;
+          if (t[k].text == "PWU_RNG_STREAM") break;
+          if (in_default) continue;
+          if (t[k].kind == TokKind::Ident && !is_keyword(t[k].text)) {
+            name_idx = k;
+          }
+          if (t[k].text == "Rng") p.is_rng = true;
+        }
+        if (name_idx != npos) {
+          p.name = t[name_idx].text;
+          p.type = join_tokens(t, b, name_idx);
+          // A type with no declarator ("const std::string&") leaves the last
+          // type identifier as a bogus name; only a trailing identifier
+          // (annotation macros aside) counts as the declarator.
+          if (name_idx + 1 < e && t[name_idx + 1].kind == TokKind::Ident &&
+              t[name_idx + 1].text != "PWU_RNG_STREAM") {
+            p.name.clear();
+          }
+        }
+        params.push_back(std::move(p));
+      }
+      b = i + 1;
+    }
+  }
+  return params;
+}
+
+struct Signature {
+  bool ok = false;
+  std::string name;
+  std::vector<std::string> qual_chain;
+  std::size_t paren_open = npos;   // index into pending
+  std::size_t paren_close = npos;  // index into pending
+  std::size_t line = 0;
+};
+
+Signature parse_signature(const std::vector<Token>& pending) {
+  Signature sig;
+  std::size_t angle = 0;
+  for (std::size_t i = 1; i < pending.size(); ++i) {
+    const std::string& s = pending[i].text;
+    if (s == "<") ++angle;
+    if (s == ">" && angle > 0) --angle;
+    if (angle != 0 || s != "(") continue;
+    const Token& prev = pending[i - 1];
+    if (prev.kind != TokKind::Ident || is_keyword(prev.text)) continue;
+    sig.name = prev.text;
+    sig.line = prev.line;
+    sig.paren_open = i;
+    sig.paren_close = skip_balanced(pending, i, "(", ")") - 1;
+    // Destructor / qualifier chain.
+    std::size_t k = i - 1;
+    if (k >= 1 && pending[k - 1].text == "~") {
+      sig.name = "~" + sig.name;
+      --k;
+    }
+    while (k >= 2 && pending[k - 1].text == "::" &&
+           pending[k - 2].kind == TokKind::Ident) {
+      sig.qual_chain.insert(sig.qual_chain.begin(), pending[k - 2].text);
+      k -= 2;
+    }
+    sig.ok = true;
+    return sig;
+  }
+  // Operator definitions: name the function "operator" and use the first
+  // paren group after the keyword as the parameter list.
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (pending[i].text != "operator") continue;
+    for (std::size_t j = i + 1; j < pending.size() && j < i + 6; ++j) {
+      if (pending[j].text == "(") {
+        // operator() has two groups; the parameter list is the second.
+        std::size_t close = skip_balanced(pending, j, "(", ")") - 1;
+        if (close + 1 < pending.size() && pending[close + 1].text == "(") {
+          j = close + 1;
+          close = skip_balanced(pending, j, "(", ")") - 1;
+        }
+        sig.ok = true;
+        sig.name = "operator";
+        sig.line = pending[i].line;
+        sig.paren_open = j;
+        sig.paren_close = close;
+        return sig;
+      }
+    }
+    break;
+  }
+  return sig;
+}
+
+// ---------------------------------------------------------------------------
+// Function-body event extraction
+// ---------------------------------------------------------------------------
+
+struct BodyParser {
+  const std::vector<Token>& t;
+  const SourceFile& file;
+  std::vector<FunctionInfo>& out;  // lambdas appended here
+
+  /// Parses from `i` (just after '{') to the matching '}', filling
+  /// `fn.events`. Returns the index just past the closing brace.
+  std::size_t parse(FunctionInfo& fn, std::size_t i) {
+    std::size_t depth = 1;
+    while (i < t.size() && depth > 0) {
+      const Token& tok = t[i];
+      const std::string& s = tok.text;
+      if (s == "{") {
+        ++depth;
+        push(fn, EventKind::ScopeOpen, tok.line);
+        ++i;
+        continue;
+      }
+      if (s == "}") {
+        --depth;
+        if (depth == 0) return i + 1;
+        push(fn, EventKind::ScopeClose, tok.line);
+        ++i;
+        continue;
+      }
+      if (s == "[" && lambda_starts_here(i)) {
+        const std::size_t after = try_lambda(fn, i);
+        if (after != npos) {
+          i = after;
+          continue;
+        }
+      }
+      if (tok.kind == TokKind::Ident && is_guard_type(s)) {
+        const std::size_t after = try_lock_decl(fn, i);
+        if (after != npos) {
+          i = after;
+          continue;
+        }
+      }
+      if (tok.kind == TokKind::Ident && s == "Rng") {
+        try_rng_local(fn, i);  // records the event; scanning continues so
+                               // initializer draws still produce Call events
+      }
+      if (tok.kind == TokKind::Ident) {
+        handle_ident(fn, i);
+      }
+      ++i;
+    }
+    return i;
+  }
+
+ private:
+  void push(FunctionInfo& fn, EventKind kind, std::size_t line) {
+    Event e;
+    e.kind = kind;
+    e.line = line;
+    fn.events.push_back(std::move(e));
+  }
+
+  bool lambda_starts_here(std::size_t i) const {
+    if (i == 0) return true;
+    const Token& prev = t[i - 1];
+    if (prev.kind == TokKind::Ident) return is_keyword(prev.text);
+    if (prev.kind == TokKind::Punct) {
+      return prev.text != ")" && prev.text != "]";
+    }
+    return false;
+  }
+
+  /// Returns the index past the lambda body, or npos when `[` turns out not
+  /// to introduce one.
+  std::size_t try_lambda(FunctionInfo& fn, std::size_t i) {
+    std::size_t j = skip_balanced(t, i, "[", "]");
+    if (j >= t.size()) return npos;
+    std::size_t po = npos, pc = npos;
+    if (t[j].text == "(") {
+      po = j;
+      pc = skip_balanced(t, j, "(", ")") - 1;
+      j = pc + 1;
+    }
+    // Skip mutable/noexcept/-> trailing-return up to the body brace.
+    const std::size_t limit = std::min(t.size(), j + 40);
+    while (j < limit) {
+      const std::string& s = t[j].text;
+      if (s == "{") break;
+      if (s == ";" || s == "," || s == ")" || s == "}" || s == "=") {
+        return npos;
+      }
+      if (s == "(") {
+        j = skip_balanced(t, j, "(", ")");
+        continue;
+      }
+      if (s == "<") {
+        j = skip_angles(t, j);
+        continue;
+      }
+      ++j;
+    }
+    if (j >= limit || t[j].text != "{") return npos;
+
+    FunctionInfo lam;
+    lam.name = "<lambda>";
+    lam.qual = fn.qual + "::<lambda@" + std::to_string(t[i].line) + ">";
+    lam.scopes = fn.scopes;
+    lam.class_name = fn.class_name;
+    lam.file = fn.file;
+    lam.line = t[i].line;
+    lam.is_lambda = true;
+    if (po != npos) lam.params = parse_params(t, po, pc);
+    const std::size_t end = parse(lam, j + 1);
+    out.push_back(std::move(lam));
+    return end;
+  }
+
+  /// lock_guard/unique_lock/scoped_lock/shared_lock declaration at `i`.
+  std::size_t try_lock_decl(FunctionInfo& fn, std::size_t i) {
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].text == "<") j = skip_angles(t, j);
+    if (j >= t.size() || t[j].kind != TokKind::Ident ||
+        is_keyword(t[j].text)) {
+      return npos;
+    }
+    const std::string guard_var = t[j].text;
+    std::size_t open = j + 1;
+    if (open >= t.size() ||
+        (t[open].text != "(" && t[open].text != "{")) {
+      return npos;
+    }
+    const char* close_text = t[open].text == "(" ? ")" : "}";
+    const char* open_text = t[open].text == "(" ? "(" : "{";
+    const std::size_t close =
+        skip_balanced(t, open, open_text, close_text) - 1;
+
+    Event e;
+    e.kind = EventKind::Lock;
+    e.line = t[i].line;
+    e.guard_var = guard_var;
+    e.is_unique_lock = t[i].text == "unique_lock";
+    // Split the argument list on top-level commas.
+    std::size_t b = open + 1, pd = 0;
+    for (std::size_t k = open + 1; k <= close && k < t.size(); ++k) {
+      const std::string& s = t[k].text;
+      if (s == "(" || s == "[" || s == "{") ++pd;
+      if ((s == ")" || s == "]" || s == "}") && k != close) {
+        if (pd > 0) --pd;
+        continue;
+      }
+      if ((s == "," && pd == 0) || k == close) {
+        const std::string arg = join_tokens(t, b, k);
+        if (arg.find("try_to_lock") != std::string::npos) {
+          e.try_lock = true;
+        } else if (arg.find("defer_lock") != std::string::npos) {
+          e.defer_lock = true;
+        } else if (arg.find("adopt_lock") == std::string::npos &&
+                   !arg.empty()) {
+          e.lock_args.push_back(arg);
+        }
+        b = k + 1;
+      }
+    }
+    fn.events.push_back(std::move(e));
+    return close + 1;
+  }
+
+  /// Local `util::Rng name ...;` declaration at the `Rng` token.
+  void try_rng_local(FunctionInfo& fn, std::size_t i) {
+    if (i > 0 && t[i - 1].text == "<") return;  // template argument
+    std::size_t j = i + 1;
+    while (j < t.size() && (t[j].text == "&" || t[j].text == "*")) ++j;
+    if (j >= t.size() || t[j].kind != TokKind::Ident ||
+        is_keyword(t[j].text) || t[j].text == "PWU_RNG_STREAM") {
+      return;
+    }
+    const std::size_t name_idx = j;
+    // Collect the statement up to ';' at paren depth 0 (bounded).
+    const std::size_t limit = std::min(t.size(), j + 120);
+    std::size_t pd = 0, stmt_end = npos;
+    for (std::size_t k = j + 1; k < limit; ++k) {
+      const std::string& s = t[k].text;
+      if (s == "(" || s == "[" || s == "{") ++pd;
+      if (s == ")" || s == "]" || s == "}") {
+        if (pd == 0) return;  // not a declaration statement
+        --pd;
+      }
+      if (s == ";" && pd == 0) {
+        stmt_end = k;
+        break;
+      }
+    }
+    if (stmt_end == npos) return;
+    std::size_t after = name_idx + 1;
+    // Optional annotation directly after the declarator.
+    std::string stream =
+        annotation_arg(t, name_idx, stmt_end, "PWU_RNG_STREAM");
+    if (after < stmt_end && t[after].text == "PWU_RNG_STREAM") {
+      after = skip_balanced(t, after + 1, "(", ")");
+    }
+    if (after >= stmt_end) {
+      // `util::Rng r;`
+      emit_rng_local(fn, t[name_idx], RngInit::Default, "", stream);
+      return;
+    }
+    const std::string& next = t[after].text;
+    RngInit init = RngInit::Default;
+    std::string source;
+    if (next == "=" || next == "(" || next == "{") {
+      const std::size_t rb = next == "=" ? after + 1 : after + 1;
+      const std::size_t re = next == "=" ? stmt_end : stmt_end;  // bounded
+      if (slice_contains(t, rb, re, "fork")) {
+        init = RngInit::Fork;
+        for (std::size_t k = rb; k < re; ++k) {
+          if (t[k].text == "fork" && k > 0 &&
+              (t[k - 1].text == "." || t[k - 1].text == "->")) {
+            source = receiver_chain(t, k - 2);
+            break;
+          }
+        }
+      } else if (next == "=" && rb < re && t[rb].kind == TokKind::Ident) {
+        // Copy / alias of another stream: `util::Rng s = session.rng_;`
+        init = RngInit::Copy;
+        source = receiver_chain(t, re - 1);
+      } else if (rb < re) {
+        init = RngInit::Seeded;
+      }
+    }
+    emit_rng_local(fn, t[name_idx], init, source, stream);
+  }
+
+  void emit_rng_local(FunctionInfo& fn, const Token& name_tok, RngInit init,
+                      std::string source, std::string stream) {
+    Event e;
+    e.kind = EventKind::RngLocal;
+    e.line = name_tok.line;
+    e.rng_name = name_tok.text;
+    e.rng_init = init;
+    e.rng_source = std::move(source);
+    e.rng_stream = std::move(stream);
+    fn.events.push_back(std::move(e));
+  }
+
+  void handle_ident(FunctionInfo& fn, std::size_t i) {
+    const std::string& s = t[i].text;
+    if (is_keyword(s)) return;
+
+    // File opens (killpoint-safety + blocking-under-lock).
+    if (s == "ofstream" || s == "fstream" || s == "ifstream") {
+      Event e;
+      e.kind = EventKind::FileOpen;
+      e.line = t[i].line;
+      e.write_open = s != "ifstream";
+      fn.events.push_back(std::move(e));
+      return;
+    }
+    if (s == "fopen" && i + 1 < t.size() && t[i + 1].text == "(") {
+      Event e;
+      e.kind = EventKind::FileOpen;
+      e.line = t[i].line;
+      e.write_open = true;  // mode string is blanked; assume the worst
+      fn.events.push_back(std::move(e));
+      return;
+    }
+    if (s == "open" && i > 0 && t[i - 1].text == "::" &&
+        (i < 2 || t[i - 2].kind != TokKind::Ident) && i + 1 < t.size() &&
+        t[i + 1].text == "(") {
+      const std::size_t close = skip_balanced(t, i + 1, "(", ")");
+      Event e;
+      e.kind = EventKind::FileOpen;
+      e.line = t[i].line;
+      e.write_open = slice_contains(t, i + 1, close, "O_WRONLY") ||
+                     slice_contains(t, i + 1, close, "O_RDWR") ||
+                     slice_contains(t, i + 1, close, "O_CREAT") ||
+                     slice_contains(t, i + 1, close, "O_TRUNC");
+      fn.events.push_back(std::move(e));
+      return;
+    }
+
+    // Calls: `name(` or `name<...>(`.
+    std::size_t paren = npos;
+    if (i + 1 < t.size() && t[i + 1].text == "(") {
+      paren = i + 1;
+    } else if (i + 1 < t.size() && t[i + 1].text == "<") {
+      const std::size_t after = skip_angles(t, i + 1);
+      if (after > i + 2 && after < t.size() && t[after].text == "(") {
+        paren = after;
+        // A single-identifier template argument can be one of our classes:
+        // `make_unique<AskTellSession>(...)` runs that constructor.
+        if (after == i + 4 && t[i + 2].kind == TokKind::Ident &&
+            !is_keyword(t[i + 2].text)) {
+          Event ctor;
+          ctor.kind = EventKind::Call;
+          ctor.line = t[i].line;
+          ctor.callee = t[i + 2].text;
+          fn.events.push_back(std::move(ctor));
+        }
+      }
+    }
+    if (paren == npos) return;
+
+    if (s == "killpoint") {
+      push(fn, EventKind::Killpoint, t[i].line);
+      return;
+    }
+
+    Event e;
+    e.kind = EventKind::Call;
+    e.line = t[i].line;
+    e.callee = s;
+    if (i >= 2 && t[i - 1].text == "::") {
+      if (t[i - 2].kind == TokKind::Ident) {
+        e.qual = t[i - 2].text;
+      } else {
+        e.qual = "::";
+      }
+    } else if (i >= 2 && (t[i - 1].text == "." || t[i - 1].text == "->")) {
+      e.receiver = receiver_chain(t, i - 2);
+    } else if (i == 1 && t[0].text == "::") {
+      e.qual = "::";
+    }
+    fn.events.push_back(std::move(e));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// File walking
+// ---------------------------------------------------------------------------
+
+struct Scope {
+  enum Kind { Namespace, Class, Plain } kind = Plain;
+  std::string name;
+  std::size_t class_index = npos;  // into FileIndex::classes
+};
+
+}  // namespace
+
+const Field* ClassInfo::find_field(const std::string& field_name) const {
+  for (const Field& f : fields) {
+    if (f.name == field_name) return &f;
+  }
+  return nullptr;
+}
+
+FileIndex index_file(const SourceFile& file, const std::vector<Token>& t) {
+  FileIndex index;
+  std::vector<Scope> stack;
+  std::vector<Token> pending;
+
+  const auto current_class = [&]() -> std::size_t {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->kind == Scope::Class) return it->class_index;
+      if (it->kind == Scope::Plain) continue;
+      break;  // namespaces end the class chain
+    }
+    return npos;
+  };
+  const auto scope_names = [&]() {
+    std::vector<std::string> names;
+    for (const Scope& s : stack) {
+      if (!s.name.empty()) names.push_back(s.name);
+    }
+    return names;
+  };
+
+  std::size_t i = 0;
+  while (i < t.size()) {
+    const Token& tok = t[i];
+    const std::string& s = tok.text;
+
+    if (s == "template" && i + 1 < t.size() && t[i + 1].text == "<") {
+      i = skip_angles(t, i + 1);
+      continue;
+    }
+    if ((s == "public" || s == "private" || s == "protected") &&
+        i + 1 < t.size() && t[i + 1].text == ":") {
+      pending.clear();
+      i += 2;
+      continue;
+    }
+    if (s == ";") {
+      const std::size_t cls = current_class();
+      if (cls != npos && !has_non_annotation_paren(pending)) {
+        parse_field(pending, index.classes[cls]);
+      }
+      pending.clear();
+      ++i;
+      continue;
+    }
+    if (s == "}") {
+      if (!stack.empty()) stack.pop_back();
+      pending.clear();
+      ++i;
+      continue;
+    }
+    if (s != "{") {
+      pending.push_back(tok);
+      ++i;
+      continue;
+    }
+
+    // '{' — classify the block from the pending introducer.
+    const bool has_namespace =
+        slice_contains(pending, 0, pending.size(), "namespace");
+    const bool has_enum = slice_contains(pending, 0, pending.size(), "enum");
+    // A brace initializer is introduced by a *top-level assignment* '='.
+    // Depth matters and compound operators don't count: the '=' of the
+    // `!=` inside a ctor init list `ticks_(ticks != nullptr ? ...)` must
+    // not reclassify the constructor body as an initializer.
+    bool has_equals = false;
+    {
+      std::size_t depth = 0;
+      for (std::size_t k = 0; k < pending.size(); ++k) {
+        const std::string& p = pending[k].text;
+        if (p == "(" || p == "[") {
+          ++depth;
+        } else if (p == ")" || p == "]") {
+          if (depth > 0) --depth;
+        } else if (depth == 0 && p == "=") {
+          static const std::set<std::string> kOpPrefix = {
+              "!", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "="};
+          const bool op_prev =
+              k > 0 && kOpPrefix.count(pending[k - 1].text) != 0;
+          const bool op_next =
+              k + 1 < pending.size() && pending[k + 1].text == "=";
+          if (!op_prev && !op_next) {
+            has_equals = true;
+            break;
+          }
+        }
+      }
+    }
+    std::size_t class_kw = npos, first_paren = npos;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      const std::string& p = pending[k].text;
+      if (class_kw == npos &&
+          (p == "class" || p == "struct" || p == "union")) {
+        class_kw = k;
+      }
+      if (first_paren == npos && p == "(") first_paren = k;
+    }
+
+    if (has_namespace) {
+      Scope ns;
+      ns.kind = Scope::Namespace;
+      for (const Token& p : pending) {
+        if (p.kind == TokKind::Ident && p.text != "namespace" &&
+            p.text != "inline") {
+          ns.name = p.text;  // keep the last segment of a::b
+        }
+      }
+      stack.push_back(std::move(ns));
+      pending.clear();
+      ++i;
+      continue;
+    }
+    if (has_enum) {
+      i = skip_balanced(t, i, "{", "}");
+      pending.clear();
+      continue;
+    }
+    if (has_equals) {
+      // Brace initializer at declaration scope: `int x[] = {...}`.
+      i = skip_balanced(t, i, "{", "}");
+      continue;  // keep pending; the ';' handler parses the field
+    }
+    if (class_kw != npos && (first_paren == npos || class_kw < first_paren)) {
+      ClassInfo cls;
+      cls.file = file.rel_path;
+      for (std::size_t k = class_kw + 1; k < pending.size(); ++k) {
+        if (pending[k].kind != TokKind::Ident) continue;
+        if (pending[k].text == "alignas" || pending[k].text == "final") {
+          continue;
+        }
+        cls.name = pending[k].text;
+        cls.line = pending[k].line;
+        break;
+      }
+      std::string prefix;
+      const std::size_t outer = current_class();
+      if (outer != npos) prefix = index.classes[outer].qual + "::";
+      cls.qual = cls.name.empty() ? prefix + "<anon>" : prefix + cls.name;
+      index.classes.push_back(std::move(cls));
+
+      Scope sc;
+      sc.kind = Scope::Class;
+      sc.name = index.classes.back().name;
+      sc.class_index = index.classes.size() - 1;
+      stack.push_back(std::move(sc));
+      pending.clear();
+      ++i;
+      continue;
+    }
+    if (first_paren != npos) {
+      Signature sig = parse_signature(pending);
+      if (!sig.ok) {
+        i = skip_balanced(t, i, "{", "}");
+        pending.clear();
+        continue;
+      }
+      FunctionInfo fn;
+      fn.name = sig.name;
+      fn.file = file.rel_path;
+      fn.line = sig.line;
+      fn.scopes = scope_names();
+      for (const std::string& q : sig.qual_chain) fn.scopes.push_back(q);
+      const std::size_t cls = current_class();
+      if (cls != npos) {
+        fn.class_name = index.classes[cls].name;
+      } else if (!sig.qual_chain.empty()) {
+        fn.class_name = sig.qual_chain.back();  // validated project-wide
+      }
+      std::string qual_prefix;
+      for (const std::string& q : sig.qual_chain) qual_prefix += q + "::";
+      if (cls != npos && sig.qual_chain.empty()) {
+        qual_prefix = index.classes[cls].qual + "::";
+      }
+      fn.qual = qual_prefix + fn.name;
+      fn.params = parse_params(pending, sig.paren_open, sig.paren_close);
+
+      BodyParser parser{t, file, index.functions};
+      const std::size_t end = parser.parse(fn, i + 1);
+      index.functions.push_back(std::move(fn));
+      pending.clear();
+      i = end;
+      continue;
+    }
+    if (current_class() != npos && !pending.empty()) {
+      // Default member initializer: `std::size_t cap{64};`
+      i = skip_balanced(t, i, "{", "}");
+      continue;  // keep pending for the ';' handler
+    }
+    Scope plain;
+    plain.kind = Scope::Plain;
+    stack.push_back(std::move(plain));
+    pending.clear();
+    ++i;
+  }
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// Project index
+// ---------------------------------------------------------------------------
+
+const ClassInfo* ProjectIndex::find_class(const std::string& qual_or_name) const {
+  const ClassInfo* by_name = nullptr;
+  std::size_t name_matches = 0;
+  for (const ClassInfo& c : classes) {
+    if (c.qual == qual_or_name) return &c;
+    if (c.name == qual_or_name) {
+      by_name = &c;
+      ++name_matches;
+    }
+  }
+  return name_matches == 1 ? by_name : nullptr;
+}
+
+std::vector<std::size_t> ProjectIndex::resolve_call(const FunctionInfo& caller,
+                                                    const Event& call) const {
+  std::vector<std::size_t> out;
+  if (call.callee.empty()) return out;
+  // std:: and global-namespace calls are never project functions.
+  if (call.qual == "std" || call.qual == "::") return out;
+  auto range = functions_by_name.equal_range(call.callee);
+  for (auto it = range.first; it != range.second; ++it) out.push_back(it->second);
+  if (out.empty()) return out;
+
+  const auto narrow = [&](auto keep) {
+    std::vector<std::size_t> kept;
+    for (std::size_t idx : out) {
+      if (keep(functions[idx])) kept.push_back(idx);
+    }
+    if (!kept.empty()) out = std::move(kept);
+  };
+
+  if (!call.qual.empty()) {
+    narrow([&](const FunctionInfo& fn) {
+      if (fn.class_name == call.qual) return true;
+      return std::find(fn.scopes.begin(), fn.scopes.end(), call.qual) !=
+             fn.scopes.end();
+    });
+    return out;
+  }
+  if (!call.receiver.empty()) {
+    std::string last = call.receiver;
+    const std::size_t dot = last.find_last_of('.');
+    if (dot != std::string::npos) last = last.substr(dot + 1);
+    if (last == "this") {
+      if (!caller.class_name.empty()) {
+        narrow([&](const FunctionInfo& fn) {
+          return fn.class_name == caller.class_name;
+        });
+      }
+      return out;
+    }
+    // Type the receiver through any field with that name: the field's type
+    // text usually names one of our classes (possibly behind a smart
+    // pointer), which pins down the owner.
+    bool field_seen = false;
+    std::set<std::string> owners;
+    for (const ClassInfo& c : classes) {
+      const Field* f = c.find_field(last);
+      if (f == nullptr) continue;
+      field_seen = true;
+      for (const auto& entry : classes_by_name) {
+        // Token-boundary containment so "Session" never matches
+        // "AskTellSession".
+        const std::string& type = f->type;
+        std::size_t pos = 0;
+        while ((pos = type.find(entry.first, pos)) != std::string::npos) {
+          const bool l = pos == 0 || !is_ident_char(type[pos - 1]);
+          const std::size_t after = pos + entry.first.size();
+          const bool r = after >= type.size() || !is_ident_char(type[after]);
+          if (l && r) {
+            owners.insert(entry.first);
+            break;
+          }
+          ++pos;
+        }
+      }
+    }
+    if (field_seen) {
+      // The receiver is typed. Resolve strictly: only methods of the named
+      // classes qualify, and a field whose type names no project class (a
+      // std container, a string, ...) resolves to nothing — `sessions_` is
+      // a std::map, so `sessions_.size()` must never reach a project
+      // `size()`. Silence beats noise.
+      std::vector<std::size_t> kept;
+      for (std::size_t idx : out) {
+        if (owners.count(functions[idx].class_name) != 0) kept.push_back(idx);
+      }
+      return kept;
+    }
+    // Untyped receiver (a local or parameter the index cannot see through):
+    // ubiquitous std method names need positive type evidence before they
+    // may resolve to a project function of the same name.
+    static const std::set<std::string> kStdMethods = {
+        "size",     "empty",    "clear",   "reserve",  "resize",
+        "begin",    "end",      "rbegin",  "rend",     "push_back",
+        "pop_back", "emplace_back", "emplace", "insert", "erase",
+        "find",     "count",    "at",      "front",    "back",
+        "data",     "str",      "c_str",   "length",   "substr",
+        "append",   "swap",     "get",     "reset",    "release",
+        "push",     "pop",      "top",     "assign",   "contains",
+        "value",    "has_value", "push_front", "pop_front",
+        "emplace_front",
+        // Streams, futures, and condition variables:
+        "open",     "close",    "is_open", "good",     "eof",
+        "flush",    "valid",    "wait",    "wait_for", "wait_until",
+        "notify_one", "notify_all",
+    };
+    if (kStdMethods.count(call.callee) != 0) return {};
+    return out;
+  }
+  // Bare call: the caller's own class or a free function — strictly. A
+  // bare name can never invoke another class's method, so when neither
+  // matches, the callee is not a project function at all (a syscall like
+  // close(fd), an ADL helper, ...). Silence beats noise.
+  std::vector<std::size_t> kept;
+  for (std::size_t idx : out) {
+    const FunctionInfo& fn = functions[idx];
+    if (fn.class_name.empty() ||
+        (!caller.class_name.empty() && fn.class_name == caller.class_name)) {
+      kept.push_back(idx);
+    }
+  }
+  return kept;
+}
+
+std::string ProjectIndex::canonical_mutex(const FunctionInfo& fn,
+                                          const std::string& raw_expr) const {
+  // Last identifier of the expression.
+  std::string name;
+  std::size_t e = raw_expr.size();
+  while (e > 0 && !is_ident_char(raw_expr[e - 1])) --e;
+  std::size_t b = e;
+  while (b > 0 && is_ident_char(raw_expr[b - 1])) --b;
+  name = raw_expr.substr(b, e - b);
+  if (name.empty()) name = raw_expr;
+
+  // 1. A mutex member of the owner class.
+  if (!fn.class_name.empty()) {
+    for (const ClassInfo& c : classes) {
+      if (c.name != fn.class_name) continue;
+      const Field* f = c.find_field(name);
+      if (f != nullptr && f->is_mutex) return c.qual + "::" + name;
+    }
+  }
+  // 2. A mutex member of a class declared in a same-stem file.
+  const std::string stem = file_stem(fn.file);
+  for (const ClassInfo& c : classes) {
+    if (file_stem(c.file) != stem) continue;
+    const Field* f = c.find_field(name);
+    if (f != nullptr && f->is_mutex) return c.qual + "::" + name;
+  }
+  // 3. Unique across the project.
+  const ClassInfo* unique = nullptr;
+  for (const ClassInfo& c : classes) {
+    const Field* f = c.find_field(name);
+    if (f != nullptr && f->is_mutex) {
+      if (unique != nullptr) {
+        unique = nullptr;
+        break;
+      }
+      unique = &c;
+    }
+  }
+  if (unique != nullptr) return unique->qual + "::" + name;
+  // 4. File-scoped identity.
+  return stem + "::" + name;
+}
+
+ProjectIndex build_project_index(std::vector<FileIndex> file_indices) {
+  ProjectIndex project;
+  for (FileIndex& fi : file_indices) {
+    for (ClassInfo& c : fi.classes) project.classes.push_back(std::move(c));
+    for (FunctionInfo& f : fi.functions) {
+      project.functions.push_back(std::move(f));
+    }
+  }
+  for (std::size_t i = 0; i < project.classes.size(); ++i) {
+    project.classes_by_name[project.classes[i].name].push_back(i);
+  }
+  for (std::size_t i = 0; i < project.functions.size(); ++i) {
+    FunctionInfo& fn = project.functions[i];
+    // An out-of-line qualifier that names no known class was a namespace.
+    if (!fn.class_name.empty() &&
+        project.classes_by_name.count(fn.class_name) == 0) {
+      fn.class_name.clear();
+    }
+    if (!fn.is_lambda && !fn.name.empty()) {
+      project.functions_by_name.emplace(fn.name, i);
+    }
+  }
+  return project;
+}
+
+}  // namespace pwu::lint

@@ -1,0 +1,143 @@
+// pwu_lint symbol index — per-file and cross-file structure extracted from
+// the token stream, feeding the flow-aware rules (rules_flow.cpp).
+//
+// This is a heuristic indexer, not a compiler front end. It recognizes the
+// project's own idioms: classes/structs with member fields (mutex members,
+// Rng members, PWU_GUARDED_BY / PWU_RNG_STREAM annotations), function
+// definitions (free, member, out-of-line qualified, lambdas as separate
+// anonymous functions), and an ordered event stream per function body:
+// brace scopes, lock-guard acquisitions (lock_guard / unique_lock /
+// scoped_lock / shared_lock, with try_to_lock / defer_lock flags and guard
+// variable names for .unlock()/.lock() tracking), calls (with receiver
+// chains and immediate qualifiers), killpoints, write-mode file opens, and
+// local Rng declarations with their initializer shape. When a construct is
+// ambiguous the indexer errs toward recording nothing: the flow rules must
+// run clean over the real tree, so silence beats noise.
+
+#pragma once
+
+#include "tokenizer.hpp"
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pwu::lint {
+
+struct Param {
+  std::string name;
+  std::string type;        // joined declaration tokens
+  bool is_rng = false;     // type mentions `Rng`
+  std::string rng_stream;  // PWU_RNG_STREAM(name) annotation, "" if none
+};
+
+struct Field {
+  std::string name;
+  std::string type;  // joined declaration tokens before the name
+  std::size_t line = 0;
+  bool is_mutex = false;   // std::mutex / shared_mutex / recursive_mutex
+  bool is_rng = false;     // type mentions `Rng`
+  std::string rng_stream;  // PWU_RNG_STREAM(name), "" if none
+  std::string guarded_by;  // PWU_GUARDED_BY(mutex), "" if none
+};
+
+struct ClassInfo {
+  std::string name;  // simple name
+  std::string qual;  // nested path, e.g. "SessionManager::Entry"
+  std::string file;
+  std::size_t line = 0;
+  std::vector<Field> fields;
+
+  const Field* find_field(const std::string& name) const;
+};
+
+enum class EventKind : std::uint8_t {
+  ScopeOpen,
+  ScopeClose,
+  Lock,      // guard construction
+  Call,      // anything that looks like a call
+  Killpoint, // util::killpoint("...")
+  FileOpen,  // ofstream/fstream/fopen/::open(O_WRONLY|O_RDWR|O_CREAT|O_TRUNC)
+  RngLocal,  // local util::Rng declaration
+};
+
+enum class RngInit : std::uint8_t { Default, Seeded, Fork, Copy };
+
+struct Event {
+  EventKind kind = EventKind::Call;
+  std::size_t line = 0;
+
+  // Lock
+  std::vector<std::string> lock_args;  // raw mutex expressions
+  std::string guard_var;               // guard object name ("" if unnamed)
+  bool is_unique_lock = false;
+  bool try_lock = false;    // std::try_to_lock — acquisition cannot block
+  bool defer_lock = false;  // std::defer_lock — nothing held until .lock()
+
+  // Call
+  std::string callee;    // simple name
+  std::string qual;      // immediate qualifier: the X in X::callee ("" else)
+  std::string receiver;  // dotted receiver chain, e.g. "entry->session"
+
+  // FileOpen
+  bool write_open = false;
+
+  // RngLocal
+  std::string rng_name;
+  std::string rng_source;  // receiver chain of the fork()/copy source
+  std::string rng_stream;  // PWU_RNG_STREAM annotation on the declaration
+  RngInit rng_init = RngInit::Default;
+};
+
+struct FunctionInfo {
+  std::string name;  // simple name; lambdas: "<lambda>"
+  std::string qual;  // display name, e.g. "SessionManager::tell"
+  /// Names this function could be qualified by at a call site: lexical
+  /// namespaces/classes plus any out-of-line qualifier chain.
+  std::vector<std::string> scopes;
+  std::string class_name;  // owner class simple name, "" for free functions
+  std::string file;
+  std::size_t line = 0;
+  bool is_lambda = false;
+  std::vector<Param> params;
+  std::vector<Event> events;  // in token order
+};
+
+struct FileIndex {
+  std::vector<ClassInfo> classes;
+  std::vector<FunctionInfo> functions;
+};
+
+struct ProjectIndex {
+  std::vector<ClassInfo> classes;
+  std::vector<FunctionInfo> functions;
+  /// simple function name -> indices into `functions`.
+  std::multimap<std::string, std::size_t> functions_by_name;
+  /// simple class name -> indices into `classes`.
+  std::map<std::string, std::vector<std::size_t>> classes_by_name;
+
+  const ClassInfo* find_class(const std::string& qual_or_name) const;
+
+  /// Candidate definitions for a call event made from `caller`: all
+  /// functions with the callee's simple name, narrowed by the immediate
+  /// qualifier when that eliminates anything. An over-approximation by
+  /// design — type-erased or std:: calls resolve to nothing.
+  std::vector<std::size_t> resolve_call(const FunctionInfo& caller,
+                                        const Event& call) const;
+
+  /// Canonical identity for a raw lock-argument expression appearing inside
+  /// `fn`: "Class::member" when the last identifier of the expression names
+  /// a mutex field of the owner class, a class in the same file, or a unique
+  /// class project-wide; otherwise "<file-stem>::name".
+  std::string canonical_mutex(const FunctionInfo& fn,
+                              const std::string& raw_expr) const;
+};
+
+/// Indexes one file's token stream.
+FileIndex index_file(const SourceFile& file, const std::vector<Token>& tokens);
+
+/// Merges per-file indices and builds the lookup tables.
+ProjectIndex build_project_index(std::vector<FileIndex> file_indices);
+
+}  // namespace pwu::lint

@@ -13,37 +13,22 @@
 #include <string>
 #include <vector>
 
+#include "index.hpp"
+#include "rules_flow.hpp"
+#include "tokenizer.hpp"
+
 namespace pwu::lint {
 
 namespace fs = std::filesystem;
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Small string helpers
-// ---------------------------------------------------------------------------
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = 0;
-  std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
-  return s.substr(b, e - b);
-}
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
-}
-
 /// Finds `token` in `line` with identifier boundaries on both sides. The
-/// token itself may contain non-identifier characters (e.g. "std::rand");
+/// token itself may contain non-identifier characters (e.g. "operator new");
 /// boundaries are only enforced against identifier characters adjacent to
-/// the match. With `require_call`, the first non-space character after the
-/// match must be '('.
+/// the match. Used by the rules that are inherently line-shaped (scope
+/// heuristics, preprocessor scans); statement-shaped rules match on the
+/// token stream instead so multi-line statements cannot hide.
 bool has_token(const std::string& line, const std::string& token,
                bool require_call = false) {
   std::size_t pos = 0;
@@ -63,212 +48,6 @@ bool has_token(const std::string& line, const std::string& token,
   }
   return false;
 }
-
-std::uint64_t fnv1a(const std::string& s) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-// ---------------------------------------------------------------------------
-// Source preprocessing: comment/literal stripping + directive extraction
-// ---------------------------------------------------------------------------
-
-struct SourceFile {
-  std::string rel_path;  // '/'-separated, relative to scan root
-  std::vector<std::string> raw;      // original lines
-  std::vector<std::string> code;     // comments + literals blanked out
-  std::vector<std::string> comment;  // comment text seen on each line
-};
-
-/// Strips // and /* */ comments and string/char literals (including raw
-/// strings), preserving line structure. Comment text is collected per line
-/// so lint directives survive the stripping.
-void strip_source(SourceFile& file) {
-  enum class State { Code, LineComment, BlockComment, String, Char, Raw };
-  State state = State::Code;
-  std::string raw_delim;  // raw-string delimiter, e.g. )foo"
-
-  file.code.resize(file.raw.size());
-  file.comment.resize(file.raw.size());
-  for (std::size_t li = 0; li < file.raw.size(); ++li) {
-    const std::string& in = file.raw[li];
-    std::string& out = file.code[li];
-    std::string& com = file.comment[li];
-    out.reserve(in.size());
-    if (state == State::LineComment) state = State::Code;
-
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      const char c = in[i];
-      const char next = i + 1 < in.size() ? in[i + 1] : '\0';
-      switch (state) {
-        case State::Code:
-          if (c == '/' && next == '/') {
-            state = State::LineComment;
-            com.append(in, i + 2, std::string::npos);
-            i = in.size();
-          } else if (c == '/' && next == '*') {
-            state = State::BlockComment;
-            out += ' ';
-            ++i;
-          } else if (c == '"') {
-            // Raw string? Look back for R (possibly u8R/LR/uR/UR).
-            bool raw = false;
-            if (i > 0 && in[i - 1] == 'R' &&
-                (i == 1 || !is_ident_char(in[i - 2]) || in[i - 2] == '8' ||
-                 in[i - 2] == 'u' || in[i - 2] == 'U' || in[i - 2] == 'L')) {
-              raw = true;
-            }
-            out += '"';
-            if (raw) {
-              std::size_t paren = in.find('(', i + 1);
-              if (paren == std::string::npos) {
-                state = State::Raw;  // malformed; swallow the rest
-                raw_delim = ")\"";
-                i = in.size();
-              } else {
-                raw_delim = ")" + in.substr(i + 1, paren - i - 1) + "\"";
-                state = State::Raw;
-                i = paren;
-              }
-            } else {
-              state = State::String;
-            }
-          } else if (c == '\'') {
-            out += '\'';
-            state = State::Char;
-          } else {
-            out += c;
-          }
-          break;
-        case State::LineComment:
-          break;  // unreachable: handled by the line reset above
-        case State::BlockComment:
-          if (c == '*' && next == '/') {
-            state = State::Code;
-            ++i;
-          } else {
-            com += c;
-          }
-          break;
-        case State::String:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '"') {
-            out += '"';
-            state = State::Code;
-          }
-          break;
-        case State::Char:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'') {
-            out += '\'';
-            state = State::Code;
-          }
-          break;
-        case State::Raw: {
-          const std::size_t end = in.find(raw_delim, i);
-          if (end == std::string::npos) {
-            i = in.size();
-          } else {
-            out += '"';
-            i = end + raw_delim.size() - 1;
-            state = State::Code;
-          }
-          break;
-        }
-      }
-    }
-  }
-}
-
-/// One file's parsed lint directives.
-struct Directives {
-  /// allowed[line] = rules suppressed on that 1-based line.
-  std::map<std::size_t, std::set<std::string>> allowed;
-  std::set<std::string> allowed_file;
-  /// guarded-by annotations: field name declared on the annotation line.
-  std::vector<std::string> guarded_fields;
-  /// Lines carrying any pwu-lint directive (never flagged themselves).
-  std::set<std::size_t> directive_lines;
-};
-
-std::vector<std::string> parse_rule_list(const std::string& args) {
-  std::vector<std::string> rules;
-  std::string current;
-  for (char c : args) {
-    if (c == ',' || std::isspace(static_cast<unsigned char>(c)) != 0) {
-      if (!current.empty()) rules.push_back(current);
-      current.clear();
-    } else {
-      current += c;
-    }
-  }
-  if (!current.empty()) rules.push_back(current);
-  return rules;
-}
-
-/// Last identifier before the final ';' of a declaration line — the field
-/// name a guarded-by annotation refers to.
-std::string declared_field_name(const std::string& code_line) {
-  const std::size_t semi = code_line.rfind(';');
-  if (semi == std::string::npos) return {};
-  std::size_t end = semi;
-  while (end > 0 && !is_ident_char(code_line[end - 1])) {
-    // Skip default member initializers like "= 0" backwards.
-    --end;
-  }
-  // Walk back over a possible initializer: find the identifier immediately
-  // left of '=' when one is present between it and ';'.
-  const std::size_t eq = code_line.rfind('=', semi);
-  if (eq != std::string::npos) end = eq;
-  while (end > 0 && !is_ident_char(code_line[end - 1])) --end;
-  std::size_t begin = end;
-  while (begin > 0 && is_ident_char(code_line[begin - 1])) --begin;
-  return code_line.substr(begin, end - begin);
-}
-
-Directives parse_directives(const SourceFile& file) {
-  Directives d;
-  for (std::size_t li = 0; li < file.comment.size(); ++li) {
-    const std::string& com = file.comment[li];
-    std::size_t pos = com.find("pwu-lint:");
-    if (pos == std::string::npos) continue;
-    d.directive_lines.insert(li + 1);
-    std::string rest = trim(com.substr(pos + 9));
-    const std::size_t open = rest.find('(');
-    const std::size_t close = rest.find(')', open == std::string::npos
-                                                    ? std::string::npos
-                                                    : open + 1);
-    if (open == std::string::npos || close == std::string::npos) continue;
-    const std::string verb = trim(rest.substr(0, open));
-    const std::string args = rest.substr(open + 1, close - open - 1);
-    if (verb == "allow") {
-      for (auto& rule : parse_rule_list(args)) d.allowed[li + 1].insert(rule);
-    } else if (verb == "allow-next-line") {
-      for (auto& rule : parse_rule_list(args)) d.allowed[li + 2].insert(rule);
-    } else if (verb == "allow-file") {
-      for (auto& rule : parse_rule_list(args)) d.allowed_file.insert(rule);
-    } else if (verb == "guarded-by") {
-      const std::string field = declared_field_name(file.code[li]);
-      if (!field.empty()) d.guarded_fields.push_back(field);
-    }
-  }
-  return d;
-}
-
-// ---------------------------------------------------------------------------
-// Rule engine
-// ---------------------------------------------------------------------------
-
-struct TokenSpec {
-  const char* token;
-  bool require_call = false;
-};
 
 bool path_in(const std::string& rel, const char* prefix) {
   return starts_with(rel, prefix);
@@ -319,77 +98,107 @@ class Context {
   std::size_t& suppressed_;
 };
 
-// ---- no-raw-rand -----------------------------------------------------------
+// ---------------------------------------------------------------------------
+// Token-stream rules (statement-shaped: a statement split across lines is
+// still one token sequence, so `std::` + newline + `rand()` cannot hide)
+// ---------------------------------------------------------------------------
 
-void rule_no_raw_rand(Context& ctx) {
-  static constexpr TokenSpec kTokens[] = {
-      {"std::rand"},        {"srand"},
-      {"rand", true},       {"random_device"},
-      {"mt19937"},          {"mt19937_64"},
-      {"minstd_rand"},      {"minstd_rand0"},
-      {"default_random_engine"},
-      {"ranlux24"},         {"ranlux48"},
-      {"knuth_b"},          {"random_shuffle"},
-  };
-  const std::string& rel = ctx.file().rel_path;
-  // util/rng is the one sanctioned home of raw generator machinery.
-  if (path_in(rel, "src/util/rng.")) return;
-  for (std::size_t li = 0; li < ctx.file().code.size(); ++li) {
-    for (const auto& t : kTokens) {
-      if (has_token(ctx.file().code[li], t.token, t.require_call)) {
-        ctx.report("no-raw-rand", li + 1,
-                   std::string("raw RNG '") + t.token +
-                       "' outside util/rng breaks seed-threaded determinism");
-        break;
+struct SeqSpec {
+  std::vector<const char*> seq;  // consecutive token texts
+  bool require_call = false;     // next token after the match must be '('
+};
+
+std::string spec_label(const SeqSpec& spec) {
+  std::string out;
+  for (const char* t : spec.seq) out += t;
+  return out;
+}
+
+/// Scans the token stream for any of `specs`; reports at most one finding
+/// per source line per rule (at the line of the match's first token).
+void run_token_rule(Context& ctx, const std::vector<Token>& tokens,
+                    const char* rule, const std::vector<SeqSpec>& specs,
+                    const char* prefix, const char* suffix) {
+  std::set<std::size_t> reported;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    for (const SeqSpec& spec : specs) {
+      std::size_t k = i;
+      bool ok = true;
+      for (const char* want : spec.seq) {
+        if (k >= tokens.size() || tokens[k].text != want) {
+          ok = false;
+          break;
+        }
+        ++k;
       }
+      if (!ok) continue;
+      if (spec.require_call &&
+          (k >= tokens.size() || tokens[k].text != "(")) {
+        continue;
+      }
+      if (reported.insert(tokens[i].line).second) {
+        ctx.report(rule, tokens[i].line,
+                   std::string(prefix) + spec_label(spec) + suffix);
+      }
+      break;
     }
   }
 }
 
+// ---- no-raw-rand -----------------------------------------------------------
+
+void rule_no_raw_rand(Context& ctx, const std::vector<Token>& tokens) {
+  static const std::vector<SeqSpec> kSpecs = {
+      {{"std", "::", "rand"}},
+      {{"srand"}},
+      {{"rand"}, true},
+      {{"random_device"}},
+      {{"mt19937"}},
+      {{"mt19937_64"}},
+      {{"minstd_rand"}},
+      {{"minstd_rand0"}},
+      {{"default_random_engine"}},
+      {{"ranlux24"}},
+      {{"ranlux48"}},
+      {{"knuth_b"}},
+      {{"random_shuffle"}},
+  };
+  // util/rng is the one sanctioned home of raw generator machinery.
+  if (path_in(ctx.file().rel_path, "src/util/rng.")) return;
+  run_token_rule(ctx, tokens, "no-raw-rand", kSpecs, "raw RNG '",
+                 "' outside util/rng breaks seed-threaded determinism");
+}
+
 // ---- no-wallclock ----------------------------------------------------------
 
-void rule_no_wallclock(Context& ctx) {
-  static constexpr TokenSpec kTokens[] = {
-      {"system_clock"},   {"steady_clock"},      {"high_resolution_clock"},
-      {"gettimeofday"},   {"clock_gettime"},     {"time", true},
-      {"clock", true},    {"localtime"},         {"gmtime"},
+void rule_no_wallclock(Context& ctx, const std::vector<Token>& tokens) {
+  static const std::vector<SeqSpec> kSpecs = {
+      {{"system_clock"}},  {{"steady_clock"}}, {{"high_resolution_clock"}},
+      {{"gettimeofday"}},  {{"clock_gettime"}}, {{"time"}, true},
+      {{"clock"}, true},   {{"localtime"}},     {{"gmtime"}},
   };
   const std::string& rel = ctx.file().rel_path;
   const bool scoped = path_in(rel, "src/core/") || path_in(rel, "src/rf/") ||
                       path_in(rel, "src/service/");
   if (!scoped) return;
-  for (std::size_t li = 0; li < ctx.file().code.size(); ++li) {
-    for (const auto& t : kTokens) {
-      if (has_token(ctx.file().code[li], t.token, t.require_call)) {
-        ctx.report("no-wallclock", li + 1,
-                   std::string("wall-clock read '") + t.token +
-                       "' in checkpointable code breaks bit-identical resume");
-        break;
-      }
-    }
-  }
+  run_token_rule(ctx, tokens, "no-wallclock", kSpecs, "wall-clock read '",
+                 "' in checkpointable code breaks bit-identical resume");
 }
 
 // ---- no-cout-logging -------------------------------------------------------
 
-void rule_no_cout_logging(Context& ctx) {
-  static constexpr TokenSpec kTokens[] = {
-      {"std::cout"},      {"std::cerr"},   {"printf", true},
-      {"fprintf", true},  {"puts", true},
+void rule_no_cout_logging(Context& ctx, const std::vector<Token>& tokens) {
+  static const std::vector<SeqSpec> kSpecs = {
+      {{"std", "::", "cout"}}, {{"std", "::", "cerr"}},
+      {{"printf"}, true},      {{"fprintf"}, true},
+      {{"puts"}, true},
   };
   const std::string& rel = ctx.file().rel_path;
   if (!path_in(rel, "src/")) return;  // tools/bench/tests own their stdout
   if (path_in(rel, "src/util/logging.")) return;  // the sanctioned sink
-  for (std::size_t li = 0; li < ctx.file().code.size(); ++li) {
-    for (const auto& t : kTokens) {
-      if (has_token(ctx.file().code[li], t.token, t.require_call)) {
-        ctx.report("no-cout-logging", li + 1,
-                   std::string("direct console output '") + t.token +
-                       "' in library code; route through util/logging");
-        break;
-      }
-    }
-  }
+  run_token_rule(ctx, tokens, "no-cout-logging", kSpecs,
+                 "direct console output '",
+                 "' in library code; route through util/logging");
 }
 
 // ---- no-unchecked-simd -----------------------------------------------------
@@ -426,7 +235,7 @@ void rule_no_unchecked_simd(Context& ctx) {
 
 // ---- header-hygiene --------------------------------------------------------
 
-void rule_header_hygiene(Context& ctx) {
+void rule_header_hygiene(Context& ctx, const std::vector<Token>& tokens) {
   if (!is_header(ctx.file().rel_path)) return;
   bool pragma_once = false;
   for (const auto& line : ctx.file().code) {
@@ -438,9 +247,9 @@ void rule_header_hygiene(Context& ctx) {
   if (!pragma_once) {
     ctx.report("header-hygiene", 1, "header is missing '#pragma once'");
   }
-  for (std::size_t li = 0; li < ctx.file().code.size(); ++li) {
-    if (has_token(ctx.file().code[li], "using namespace")) {
-      ctx.report("header-hygiene", li + 1,
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].text == "using" && tokens[i + 1].text == "namespace") {
+      ctx.report("header-hygiene", tokens[i].line,
                  "'using namespace' in a header pollutes every includer");
     }
   }
@@ -448,41 +257,23 @@ void rule_header_hygiene(Context& ctx) {
 
 // ---- no-raw-new ------------------------------------------------------------
 
-void rule_no_raw_new(Context& ctx) {
-  for (std::size_t li = 0; li < ctx.file().code.size(); ++li) {
-    const std::string& line = ctx.file().code[li];
-    std::size_t pos = 0;
-    while ((pos = line.find("new", pos)) != std::string::npos) {
-      const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
-      const std::size_t after = pos + 3;
-      const bool right_ok = after >= line.size() || !is_ident_char(line[after]);
-      if (left_ok && right_ok && !has_token(line, "operator new")) {
-        ctx.report("no-raw-new", li + 1,
+void rule_no_raw_new(Context& ctx, const std::vector<Token>& tokens) {
+  std::set<std::size_t> reported_new;
+  std::set<std::size_t> reported_delete;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& text = tokens[i].text;
+    const std::string prev = i > 0 ? tokens[i - 1].text : std::string();
+    if (text == "new" && prev != "operator") {
+      if (reported_new.insert(tokens[i].line).second) {
+        ctx.report("no-raw-new", tokens[i].line,
                    "owning 'new'; use make_unique/make_shared or a container");
-        break;
       }
-      pos = after;
-    }
-    pos = 0;
-    while ((pos = line.find("delete", pos)) != std::string::npos) {
-      const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
-      const std::size_t after = pos + 6;
-      const bool right_ok = after >= line.size() || !is_ident_char(line[after]);
-      if (left_ok && right_ok) {
-        // "= delete" (deleted special member) is the RAII-friendly use.
-        std::size_t prev = pos;
-        while (prev > 0 &&
-               std::isspace(static_cast<unsigned char>(line[prev - 1])) != 0) {
-          --prev;
-        }
-        const bool deleted_fn = prev > 0 && line[prev - 1] == '=';
-        if (!deleted_fn && !has_token(line, "operator delete")) {
-          ctx.report("no-raw-new", li + 1,
-                     "owning 'delete'; ownership belongs in a RAII type");
-          break;
-        }
+    } else if (text == "delete" && prev != "operator" && prev != "=") {
+      // "= delete" (deleted special member) is the RAII-friendly use.
+      if (reported_delete.insert(tokens[i].line).second) {
+        ctx.report("no-raw-new", tokens[i].line,
+                   "owning 'delete'; ownership belongs in a RAII type");
       }
-      pos = after;
     }
   }
 }
@@ -648,28 +439,6 @@ bool skip_dir(const std::string& name) {
          starts_with(name, ".");
 }
 
-std::string file_stem(const std::string& rel) {
-  const std::size_t slash = rel.find_last_of('/');
-  const std::string base =
-      slash == std::string::npos ? rel : rel.substr(slash + 1);
-  const std::size_t dot = base.find_last_of('.');
-  return dot == std::string::npos ? base : base.substr(0, dot);
-}
-
-SourceFile load_file(const fs::path& path, std::string rel) {
-  SourceFile file;
-  file.rel_path = std::move(rel);
-  std::ifstream is(path);
-  if (!is) throw std::runtime_error("pwu_lint: cannot read " + path.string());
-  std::string line;
-  while (std::getline(is, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    file.raw.push_back(std::move(line));
-  }
-  strip_source(file);
-  return file;
-}
-
 }  // namespace
 
 const std::vector<RuleInfo>& rule_catalog() {
@@ -693,6 +462,18 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"no-unchecked-simd",
        "raw SIMD intrinsics headers only inside the src/rf/simd_eval* "
        "dispatch layer"},
+      {"lock-graph",
+       "no cycles in the whole-project mutex acquisition-order graph "
+       "(including re-acquiring a held mutex through a call chain)"},
+      {"blocking-under-lock",
+       "no filesystem / Transport / checkpoint-write / parallel_for work "
+       "reachable while a mutex is held"},
+      {"rng-stream-discipline",
+       "every Rng draw resolves to a PWU_RNG_STREAM-annotated member or "
+       "parameter (or a fork/copy of one)"},
+      {"killpoint-safety",
+       "no killpoint under a held lock or with an open write-mode stream "
+       "in scope"},
   };
   return kRules;
 }
@@ -714,8 +495,11 @@ std::string baseline_key(const Finding& finding) {
 
 void write_baseline(std::ostream& os, const Report& report) {
   os << "# pwu_lint baseline — grandfathered findings, one per line:\n"
-     << "# <rule>\\t<file>\\t<fnv1a of the trimmed source line>\n";
-  for (const auto& f : report.findings) os << baseline_key(f) << '\n';
+     << "# <rule>\\t<file>\\t<fnv1a of the trimmed source line>\n"
+     << "# Canonically sorted; regenerate with pwu_lint --update-baseline.\n";
+  std::set<std::string> keys;  // sorted + deduplicated
+  for (const auto& f : report.findings) keys.insert(baseline_key(f));
+  for (const auto& key : keys) os << key << '\n';
 }
 
 Report run(const std::string& root, const Options& options) {
@@ -755,12 +539,17 @@ Report run(const std::string& root, const Options& options) {
 
   std::vector<SourceFile> files;
   std::vector<Directives> directives;
+  std::vector<std::vector<Token>> token_streams;
+  std::vector<FileIndex> file_indexes;
   files.reserve(paths.size());
   for (const auto& path : paths) {
     std::string rel = fs::relative(path, root_path).generic_string();
-    files.push_back(load_file(path, std::move(rel)));
+    files.push_back(load_source(path.string(), std::move(rel)));
     directives.push_back(parse_directives(files.back()));
+    token_streams.push_back(tokenize(files.back()));
+    file_indexes.push_back(index_file(files.back(), token_streams.back()));
   }
+  const ProjectIndex index = build_project_index(std::move(file_indexes));
 
   // Pass 1: guarded-field annotations, shared across same-stem files so a
   // field declared in foo.hpp is enforced in foo.cpp.
@@ -775,11 +564,12 @@ Report run(const std::string& root, const Options& options) {
   report.files_scanned = files.size();
   for (std::size_t i = 0; i < files.size(); ++i) {
     Context ctx(files[i], directives[i], report.findings, report.suppressed);
-    if (rule_on("no-raw-rand")) rule_no_raw_rand(ctx);
-    if (rule_on("no-wallclock")) rule_no_wallclock(ctx);
-    if (rule_on("no-cout-logging")) rule_no_cout_logging(ctx);
-    if (rule_on("header-hygiene")) rule_header_hygiene(ctx);
-    if (rule_on("no-raw-new")) rule_no_raw_new(ctx);
+    const std::vector<Token>& tokens = token_streams[i];
+    if (rule_on("no-raw-rand")) rule_no_raw_rand(ctx, tokens);
+    if (rule_on("no-wallclock")) rule_no_wallclock(ctx, tokens);
+    if (rule_on("no-cout-logging")) rule_no_cout_logging(ctx, tokens);
+    if (rule_on("header-hygiene")) rule_header_hygiene(ctx, tokens);
+    if (rule_on("no-raw-new")) rule_no_raw_new(ctx, tokens);
     if (rule_on("atomic-checkpoint")) rule_atomic_checkpoint(ctx);
     if (rule_on("no-unbounded-queue")) rule_no_unbounded_queue(ctx);
     if (rule_on("no-unchecked-simd")) rule_no_unchecked_simd(ctx);
@@ -790,6 +580,10 @@ Report run(const std::string& root, const Options& options) {
       }
     }
   }
+
+  // Pass 2: whole-project flow rules over the symbol index.
+  run_flow_rules(files, directives, index, rule_on, report.findings,
+                 report.suppressed);
 
   std::sort(report.findings.begin(), report.findings.end(),
             [](const Finding& a, const Finding& b) {
@@ -874,6 +668,37 @@ void print_json(std::ostream& os, const Report& report) {
     os << ",\"baselined\":" << (f.baselined ? "true" : "false") << '}';
   }
   os << "]}\n";
+}
+
+void print_sarif(std::ostream& os, const Report& report) {
+  os << "{\"$schema\":"
+        "\"https://json.schemastore.org/sarif-2.1.0.json\","
+        "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+        "\"name\":\"pwu_lint\",\"rules\":[";
+  const auto& catalog = rule_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "{\"id\":";
+    json_string(os, catalog[i].name);
+    os << ",\"shortDescription\":{\"text\":";
+    json_string(os, catalog[i].description);
+    os << "}}";
+  }
+  os << "]}},\"results\":[";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    if (i != 0) os << ',';
+    os << "{\"ruleId\":";
+    json_string(os, f.rule);
+    os << ",\"level\":" << (f.baselined ? "\"note\"" : "\"warning\"")
+       << ",\"message\":{\"text\":";
+    json_string(os, f.message);
+    os << "},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{"
+          "\"uri\":";
+    json_string(os, f.file);
+    os << "},\"region\":{\"startLine\":" << f.line << "}}}]}";
+  }
+  os << "]}]}\n";
 }
 
 }  // namespace pwu::lint

@@ -1,22 +1,34 @@
 // pwu_lint — project-invariant static analysis.
 //
-// A token/line-level scanner (no compiler front end, no external
-// dependencies) that walks the project sources and enforces the invariants
-// the reproduction's claims rest on: seed-threaded determinism (no raw RNG
+// A flow-aware analyzer (no compiler front end, no external dependencies)
+// that walks the project sources and enforces the invariants the
+// reproduction's claims rest on: seed-threaded determinism (no raw RNG
 // construction, no wall-clock reads in checkpointable code), disciplined
 // output (stdout only through util/logging or in tools), header hygiene,
 // RAII ownership, and lock discipline around annotated mutable state.
 //
-// The scanner strips comments and string/character literals before matching,
-// so a rule token inside a literal or a comment never fires. Suppression is
-// comment-driven:
+// Two layers:
+//   * statement/line rules over a stripped token stream (comments and
+//     literals are blanked first, so a rule token inside either never
+//     fires; token matching spans lines, so `std::` + newline + `rand()`
+//     cannot hide);
+//   * whole-project flow rules (lock-graph, blocking-under-lock,
+//     rng-stream-discipline, killpoint-safety) over a heuristic symbol
+//     index — see index.hpp / rules_flow.hpp.
+//
+// Suppression is comment-driven:
 //
 //   // pwu-lint: allow(<rule>[, <rule>...])        same-line suppression
 //   // pwu-lint: allow-next-line(<rule>[, ...])    next-line suppression
 //   // pwu-lint: allow-file(<rule>[, ...])         whole-file suppression
+//   // pwu-lint: blocking-ok(<free-text reason>)   same-line suppression of
+//                                                  blocking-under-lock with
+//                                                  a human justification
 //   // pwu-lint: guarded-by(<mutex>)               marks the field declared
 //                                                  on this line as guarded
-//                                                  (see no-unlocked-mutable)
+//                                                  (see no-unlocked-mutable;
+//                                                  PWU_GUARDED_BY(mutex) is
+//                                                  the macro form)
 //
 // Grandfathered findings live in a checked-in baseline file keyed by
 // (rule, file, content-hash) so they survive unrelated line-number churn;
@@ -80,7 +92,8 @@ Report run(const std::string& root, const Options& options);
 /// trimmed source line (line numbers churn; content mostly does not).
 std::string baseline_key(const Finding& finding);
 
-/// Writes every finding of `report` as a baseline file.
+/// Writes every finding of `report` as a baseline file in canonical order
+/// (sorted, deduplicated keys) so regeneration diffs are minimal.
 void write_baseline(std::ostream& os, const Report& report);
 
 /// Human-readable report.
@@ -88,5 +101,8 @@ void print_text(std::ostream& os, const Report& report);
 
 /// Machine-readable report (one JSON object).
 void print_json(std::ostream& os, const Report& report);
+
+/// SARIF 2.1.0 report (baselined findings demoted to level "note").
+void print_sarif(std::ostream& os, const Report& report);
 
 }  // namespace pwu::lint

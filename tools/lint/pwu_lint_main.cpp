@@ -1,7 +1,13 @@
 // pwu_lint CLI — scans the repository for project-invariant violations.
 //
-//   pwu_lint --root <dir> [--json] [--baseline <file>]
-//            [--write-baseline <file>] [--rules <r1,r2,...>] [--list-rules]
+//   pwu_lint --root <dir> [--format text|json|sarif] [--baseline <file>]
+//            [--write-baseline <file>] [--update-baseline]
+//            [--rules <r1,r2,...>] [--list-rules]
+//
+// --json is a legacy alias for --format json. --update-baseline rewrites
+// the checked-in baseline (tools/lint/pwu_lint.baseline under the root, or
+// the --baseline path when given) in canonical sorted order from the
+// current findings, then exits 0.
 //
 // Exit codes: 0 = clean (every finding baselined or none), 1 = active
 // findings, 2 = usage or I/O error.
@@ -18,8 +24,9 @@
 namespace {
 
 int usage(std::ostream& os, int code) {
-  os << "usage: pwu_lint [--root DIR] [--json] [--baseline FILE]\n"
-        "                [--write-baseline FILE] [--rules r1,r2,...]\n"
+  os << "usage: pwu_lint [--root DIR] [--format text|json|sarif]\n"
+        "                [--baseline FILE] [--write-baseline FILE]\n"
+        "                [--update-baseline] [--rules r1,r2,...]\n"
         "                [--list-rules]\n";
   return code;
 }
@@ -34,12 +41,24 @@ std::vector<std::string> split_csv(const std::string& csv) {
   return out;
 }
 
+int emit_baseline(const std::string& path, const pwu::lint::Report& report) {
+  // A baseline is regenerable developer state, not a checkpoint.
+  std::ofstream os(path);  // pwu-lint: allow(atomic-checkpoint)
+  if (!os) {
+    std::cerr << "pwu_lint: cannot write " << path << '\n';
+    return 2;
+  }
+  pwu::lint::write_baseline(os, report);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string write_baseline_path;
-  bool json = false;
+  std::string format = "text";
+  bool update_baseline = false;
   pwu::lint::Options options;
 
   for (int i = 1; i < argc; ++i) {
@@ -54,11 +73,19 @@ int main(int argc, char** argv) {
     if (arg == "--root") {
       root = next();
     } else if (arg == "--json") {
-      json = true;
+      format = "json";
+    } else if (arg == "--format") {
+      format = next();
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::cerr << "pwu_lint: unknown format: " << format << '\n';
+        return usage(std::cerr, 2);
+      }
     } else if (arg == "--baseline") {
       options.baseline_path = next();
     } else if (arg == "--write-baseline") {
       write_baseline_path = next();
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
     } else if (arg == "--rules") {
       options.rules = split_csv(next());
     } else if (arg == "--list-rules") {
@@ -75,18 +102,31 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (update_baseline) {
+      const std::string path = options.baseline_path.empty()
+                                   ? root + "/tools/lint/pwu_lint.baseline"
+                                   : options.baseline_path;
+      // Regenerate from a baseline-free run so stale keys drop out.
+      pwu::lint::Options fresh = options;
+      fresh.baseline_path.clear();
+      const pwu::lint::Report report = pwu::lint::run(root, fresh);
+      const int rc = emit_baseline(path, report);
+      if (rc == 0) {
+        std::cout << "pwu_lint: baseline updated: " << path << " ("
+                  << report.findings.size() << " finding(s))\n";
+      }
+      return rc;
+    }
+
     const pwu::lint::Report report = pwu::lint::run(root, options);
     if (!write_baseline_path.empty()) {
-      // A baseline is regenerable developer state, not a checkpoint.
-      std::ofstream os(write_baseline_path);  // pwu-lint: allow(atomic-checkpoint)
-      if (!os) {
-        std::cerr << "pwu_lint: cannot write " << write_baseline_path << '\n';
-        return 2;
-      }
-      pwu::lint::write_baseline(os, report);
+      const int rc = emit_baseline(write_baseline_path, report);
+      if (rc != 0) return rc;
     }
-    if (json) {
+    if (format == "json") {
       pwu::lint::print_json(std::cout, report);
+    } else if (format == "sarif") {
+      pwu::lint::print_sarif(std::cout, report);
     } else {
       pwu::lint::print_text(std::cout, report);
     }

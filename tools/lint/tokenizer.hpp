@@ -1,0 +1,119 @@
+// pwu_lint tokenizer — comment/literal stripping and a real C++ token
+// stream on top of it.
+//
+// The stripper is a line-preserving state machine (// and /* */ comments,
+// string/char literals including raw strings); comment text is collected per
+// line so lint directives survive. The tokenizer walks the stripped code and
+// produces identifier / number / literal / punctuation tokens with 1-based
+// line numbers, skipping preprocessor directives (including backslash
+// continuations) so macro definitions never masquerade as code. Multi-char
+// punctuators are limited to the ones the index cares about ("::", "->");
+// everything else is emitted one character at a time, so a template close
+// `>>` is two '>' tokens and never a shift operator as far as matching is
+// concerned.
+
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pwu::lint {
+
+// ---------------------------------------------------------------------------
+// Small shared helpers
+// ---------------------------------------------------------------------------
+
+inline bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(const std::string& s);
+
+inline bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::uint64_t fnv1a(const std::string& s);
+
+/// "src/service/session_manager.cpp" -> "session_manager".
+std::string file_stem(const std::string& rel);
+
+// ---------------------------------------------------------------------------
+// Source files
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  std::string rel_path;  // '/'-separated, relative to scan root
+  std::vector<std::string> raw;      // original lines
+  std::vector<std::string> code;     // comments + literals blanked out
+  std::vector<std::string> comment;  // comment text seen on each line
+};
+
+/// Strips // and /* */ comments and string/char literals (including raw
+/// strings), preserving line structure. Comment text is collected per line
+/// so lint directives survive the stripping.
+void strip_source(SourceFile& file);
+
+/// Reads a file from disk, splits lines, strips. Throws std::runtime_error
+/// when unreadable.
+SourceFile load_source(const std::string& path, std::string rel);
+
+/// Builds a SourceFile from in-memory text (tests, fixtures).
+SourceFile source_from_string(std::string rel, const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Lint directives (comment-driven suppression + annotations)
+// ---------------------------------------------------------------------------
+
+/// One file's parsed lint directives.
+struct Directives {
+  /// allowed[line] = rules suppressed on that 1-based line.
+  std::map<std::size_t, std::set<std::string>> allowed;
+  std::set<std::string> allowed_file;
+  /// guarded-by annotations (comment form and PWU_GUARDED_BY macro form):
+  /// field name declared on the annotation line.
+  std::vector<std::string> guarded_fields;
+  /// Lines carrying any pwu-lint directive (never flagged themselves).
+  std::set<std::size_t> directive_lines;
+};
+
+/// Parses `// pwu-lint: ...` comment directives plus PWU_GUARDED_BY macro
+/// annotations out of a stripped source file. `blocking-ok(reason)` is
+/// recorded as a same-line allow for the blocking-under-lock rule.
+Directives parse_directives(const SourceFile& file);
+
+/// Last identifier before the final ';' of a declaration line — the field
+/// name a guarded-by annotation refers to.
+std::string declared_field_name(const std::string& code_line);
+
+// ---------------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------------
+
+enum class TokKind : std::uint8_t {
+  Ident,    // identifiers and keywords
+  Number,   // numeric literals
+  Literal,  // blanked string/char literals: "" or ''
+  Punct,    // punctuation; "::" and "->" fused, all else single-char
+};
+
+struct Token {
+  TokKind kind = TokKind::Punct;
+  std::string text;
+  std::size_t line = 0;  // 1-based
+};
+
+/// Tokenizes the stripped code of `file`. Preprocessor directive lines
+/// (leading '#', plus their backslash continuations) are skipped entirely.
+std::vector<Token> tokenize(const SourceFile& file);
+
+/// True when tokens[i..] match `seq` exactly (kind-insensitive text match).
+bool match_tokens(const std::vector<Token>& tokens, std::size_t i,
+                  std::initializer_list<const char*> seq);
+
+}  // namespace pwu::lint
