@@ -30,6 +30,14 @@
 // protocol-invisible) alongside the fused-vs-unfused asks/sec delta and
 // the fused run's tell-to-fresh-model latency percentiles.
 //
+// A fifth section, `failover_mttr`, measures what warm-standby replication
+// buys: two-worker router fleets where the session's owner is armed to die
+// mid-tell, run once with cold re-home (checkpoint resume on the survivor)
+// and once with --standby warm promotion. The metric is the wall time of
+// the death-detecting request — detection, recovery, and the replayed tell
+// until its answer arrives — i.e. time-to-first-answered-request after the
+// kill, reported as p50/p99 per mode plus the cold/warm speedup.
+//
 // Usage: micro_serve [OUT.json] [PWU_SERVE_BIN]
 // The serve binary defaults to ../tools/pwu_serve next to this binary.
 
@@ -46,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "router/hash_ring.hpp"
 #include "router/router.hpp"
 #include "service/protocol.hpp"
 #include "service/session_manager.hpp"
@@ -346,6 +355,129 @@ std::string fresh_dir(const std::string& tag) {
   return dir.string();
 }
 
+// ---- failover MTTR: cold re-home vs warm promotion -------------------------
+
+constexpr int kMttrIterations = 5;
+constexpr std::size_t kMttrWarmupTells = 40;
+// Asks consumed by the warm-up: one init window (n_init 8) plus n_batch-2
+// windows for the remaining tells. The owner dies on the ask after that.
+constexpr std::size_t kMttrWarmupAsks = 1 + (kMttrWarmupTells - 8) / 2;
+
+struct MttrRun {
+  std::vector<double> ms;  // one death-to-first-answer sample per fleet
+  bool completed = true;
+};
+
+/// One fleet, one kill, one sample: a heavy session (60 trees, pool 2000)
+/// is warmed up with kMttrWarmupTells labeled points, then its owner dies
+/// receiving the next ask — before applying anything, so the replayed
+/// request itself is cheap and the sample isolates recovery. The sample
+/// is that ask's wall time: the router detects the death, recovers the
+/// session (cold resume of the checkpoint image vs promotion of the live
+/// shadow), replays the ask, and answers.
+MttrRun measure_failover_mttr(const std::string& serve_bin, bool standby) {
+  MttrRun run;
+  pwu::router::HashRing ring;
+  ring.add("shard-0");
+  ring.add("shard-1");
+
+  for (int iter = 0; iter < kMttrIterations; ++iter) {
+    const std::string tag = std::string(standby ? "warm" : "cold") + "_" +
+                            std::to_string(iter);
+    std::vector<pwu::router::ShardSpec> specs(2);
+    for (int i = 0; i < 2; ++i) {
+      const std::string dir = fresh_dir("mttr_" + tag + "_" +
+                                        std::to_string(i));
+      std::string command = "'" + serve_bin + "' --checkpoint-dir '" + dir +
+                            "' --checkpoint-every 1";
+      // The owner (always shard-0 by session-name choice below) dies on
+      // the first ask request after the warm-up.
+      if (i == 0) {
+        command += " --kill-at protocol.ask:" +
+                   std::to_string(kMttrWarmupAsks);
+      }
+      specs[i].name = "shard-" + std::to_string(i);
+      specs[i].checkpoint_dir = dir;
+      specs[i].transport =
+          std::make_unique<pwu::service::PipeTransport>(command, 120.0);
+    }
+    pwu::router::RouterOptions options;
+    options.standby = standby;
+    // Synchronous replication: every acked op flushes immediately, so the
+    // promotion path never drains a lagged outbox inside the timed window
+    // — the MTTR sample is detection + promote + replay, nothing else.
+    options.replication_lag_max = 0;
+    pwu::router::Router router(std::move(specs), options);
+
+    std::string name;
+    for (int j = 0;; ++j) {
+      name = "mttr-" + std::to_string(iter) + "-" + std::to_string(j);
+      if (ring.owner(name) == "shard-0") break;
+    }
+    const json::Value created = router.handle(json::parse(
+        R"({"op":"create","session":")" + name +
+        R"(","workload":"gesummv","n_init":8,"n_batch":2,"n_max":60,)"
+        R"("trees":60,"pool_size":2000,"seed":)" +
+        std::to_string(700 + iter) + "}"));
+    if (!created.bool_or("ok", false)) {
+      std::cerr << "mttr create failed: " << created.dump() << "\n";
+      run.completed = false;
+      return run;
+    }
+    const auto workload = pwu::workloads::make_workload("gesummv");
+    pwu::util::Rng rng(std::stoull(created.at("measure_seed").as_string()));
+
+    bool sampled = false;
+    while (!sampled) {
+      const auto ask_start = Clock::now();
+      const json::Value batch = router.handle(ask_request(name));
+      const double elapsed = ms_between(ask_start, Clock::now());
+      if (!batch.bool_or("ok", false)) {
+        std::cerr << "mttr ask failed: " << batch.dump() << "\n";
+        run.completed = false;
+        return run;
+      }
+      if (router.stats().failovers == 1) {
+        // This ask is the one that found the corpse and rode the
+        // recovery: detection + resume-or-promotion + replay.
+        run.ms.push_back(elapsed);
+        sampled = true;
+        break;
+      }
+      const json::Array& candidates = batch.at("candidates").as_array();
+      if (candidates.empty()) break;
+      for (const json::Value& candidate : candidates) {
+        const auto config =
+            pwu::service::configuration_from_json(candidate.at("levels"));
+        const double t = workload->measure(config, rng, 1);
+        json::Object tell;
+        tell.emplace("op", json::Value("tell"));
+        tell.emplace("session", json::Value(name));
+        tell.emplace("levels", candidate.at("levels"));
+        tell.emplace("time", json::Value(t));
+        const json::Value told = router.handle(json::Value(std::move(tell)));
+        if (!told.bool_or("ok", false)) {
+          std::cerr << "mttr tell failed: " << told.dump() << "\n";
+          run.completed = false;
+          return run;
+        }
+      }
+    }
+    if (!sampled) {
+      std::cerr << "mttr: kill never fired (mode "
+                << (standby ? "warm" : "cold") << ", iter " << iter << ")\n";
+      run.completed = false;
+    }
+    if (standby && router.stats().promotions != 1) {
+      std::cerr << "mttr: warm mode fell back to cold re-home\n";
+      run.completed = false;
+    }
+    router.handle(json::parse(R"({"op":"shutdown"})"));
+    if (!run.completed) return run;
+  }
+  return run;
+}
+
 void emit(std::ostream& out, const std::string& name, const Metrics& m,
           bool last) {
   const double tput = m.wall_s > 0.0
@@ -497,6 +629,22 @@ int main(int argc, char** argv) {
             << percentile(fused.tell_ms, 0.50) << " ms / p99 "
             << percentile(fused.tell_ms, 0.99) << " ms)\n";
 
+  // ---- failover MTTR: cold re-home vs warm promotion ----
+  MttrRun cold_mttr;
+  MttrRun warm_mttr;
+  double warm_speedup_p50 = 0.0;
+  if (have_serve) {
+    cold_mttr = measure_failover_mttr(serve_bin, false);
+    warm_mttr = measure_failover_mttr(serve_bin, true);
+    const double cold_p50 = percentile(cold_mttr.ms, 0.50);
+    const double warm_p50 = percentile(warm_mttr.ms, 0.50);
+    warm_speedup_p50 = warm_p50 > 0.0 ? cold_p50 / warm_p50 : 0.0;
+    std::cout << "failover_mttr: cold re-home p50 " << cold_p50 << " ms / p99 "
+              << percentile(cold_mttr.ms, 0.99) << " ms, warm promotion p50 "
+              << warm_p50 << " ms / p99 " << percentile(warm_mttr.ms, 0.99)
+              << " ms (" << warm_speedup_p50 << "x faster at p50)\n";
+  }
+
   std::ofstream out(out_path);
   out.precision(6);
   out << "{\n";
@@ -527,14 +675,35 @@ int main(int argc, char** argv) {
       << percentile(fused.tell_ms, 0.50)
       << ", \"p90\": " << percentile(fused.tell_ms, 0.90)
       << ", \"p99\": " << percentile(fused.tell_ms, 0.99) << "}\n"
-      << "  }\n"
-      << "}\n";
+      << "  }" << (have_serve ? ",\n" : "\n");
+  if (have_serve) {
+    out << "  \"failover_mttr\": {\n"
+        << "    \"iterations\": " << kMttrIterations
+        << ", \"warmup_tells\": " << kMttrWarmupTells
+        << ", \"trees\": 40, \"pool_size\": 800,\n"
+        << "    \"completed\": "
+        << (cold_mttr.completed && warm_mttr.completed ? "true" : "false")
+        << ",\n"
+        << "    \"cold_rehome_ms\": {\"p50\": "
+        << percentile(cold_mttr.ms, 0.50)
+        << ", \"p99\": " << percentile(cold_mttr.ms, 0.99) << "},\n"
+        << "    \"warm_promotion_ms\": {\"p50\": "
+        << percentile(warm_mttr.ms, 0.50)
+        << ", \"p99\": " << percentile(warm_mttr.ms, 0.99) << "},\n"
+        << "    \"warm_speedup_p50\": " << warm_speedup_p50 << ",\n"
+        << "    \"warm_faster_than_cold\": "
+        << (warm_speedup_p50 > 1.0 ? "true" : "false") << "\n"
+        << "  }\n";
+  }
+  out << "}\n";
   out.close();
   std::cout << "wrote " << out_path << "\n";
 
   const bool ok = direct_metrics.completed &&
                   (!have_serve ||
-                   (pipe_metrics.completed && router_metrics.completed)) &&
+                   (pipe_metrics.completed && router_metrics.completed &&
+                    cold_mttr.completed && warm_mttr.completed &&
+                    warm_speedup_p50 > 1.0)) &&
                   unfused.completed && fused.completed && streams_identical;
   return ok ? 0 : 1;
 }

@@ -25,6 +25,10 @@
 #                        scalar (Release and asan builds), so the scalar
 #                        dispatch fallback stays tested on hosts whose CPUs
 #                        would otherwise always take the AVX2 kernels
+#   8. ha              — warm-standby replication and live ring growth:
+#                        shadow promotion, staleness fallback, and
+#                        mid-traffic session migration, all in-process
+#                        (`ctest -L ha` on the Release and tsan builds)
 #
 # Contracts (PWU_REQUIRE/PWU_ENSURE/PWU_ASSERT) are active in both sanitizer
 # passes because those presets build Debug. Exits non-zero on the first
@@ -37,42 +41,48 @@ if [[ "${1:-}" == "--jobs" && -n "${2:-}" ]]; then
   jobs="$2"
 fi
 
-echo "== gate 1/7: pwu_lint (flow-aware) =="
+echo "== gate 1/8: pwu_lint (flow-aware) =="
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$jobs" --target pwu_lint >/dev/null
 ./build/tools/pwu_lint --root . --baseline tools/lint/pwu_lint.baseline
 cmake --build --preset default -j "$jobs" --target pwu_tests >/dev/null
 ctest --preset lint -j "$jobs"
 
-echo "== gate 2/7: asan-fast =="
+echo "== gate 2/8: asan-fast =="
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$jobs" >/dev/null
 ctest --preset asan-fast -j "$jobs"
 
-echo "== gate 3/7: tsan-fast =="
+echo "== gate 3/8: tsan-fast =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" >/dev/null
 ctest --preset tsan-fast -j "$jobs"
 
-echo "== gate 4/7: chaos =="
+echo "== gate 4/8: chaos =="
 cmake --build --preset default -j "$jobs" --target pwu_chaos_tests >/dev/null
 ctest --preset chaos -j "$jobs"
 
-echo "== gate 5/7: soak + fuzz =="
+echo "== gate 5/8: soak + fuzz =="
 ctest --preset asan-soak -j "$jobs"
 ctest --preset tsan-soak -j "$jobs"
 cmake --build --preset default -j "$jobs" --target pwu_fuzz >/dev/null
 ./build/tools/pwu_fuzz --iters 20000 --seed 1
 
-echo "== gate 6/7: shard (router failover chaos) =="
+echo "== gate 6/8: shard (router failover chaos) =="
 cmake --build --preset default -j "$jobs" --target pwu_shard_tests \
   --target pwu_serve >/dev/null
 ctest --preset shard -j "$jobs"
 ctest --preset asan-shard -j "$jobs"
 
-echo "== gate 7/7: simd (scalar dispatch fallback) =="
+echo "== gate 7/8: simd (scalar dispatch fallback) =="
 cmake --build --preset default -j "$jobs" --target pwu_tests >/dev/null
 ctest --preset simd -j "$jobs"
 ctest --preset asan-simd -j "$jobs"
+
+echo "== gate 8/8: ha (warm standby + ring growth) =="
+cmake --build --preset default -j "$jobs" --target pwu_ha_tests >/dev/null
+cmake --build --preset tsan -j "$jobs" --target pwu_ha_tests >/dev/null
+ctest --preset ha -j "$jobs"
+ctest --preset tsan-ha -j "$jobs"
 
 echo "check.sh: all correctness gates passed"

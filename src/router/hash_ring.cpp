@@ -49,6 +49,12 @@ void HashRing::add(const std::string& shard) {
   }
 }
 
+bool HashRing::add_node(const std::string& shard) {
+  if (members_.count(shard) != 0) return false;
+  add(shard);
+  return true;
+}
+
 bool HashRing::remove(const std::string& shard) {
   const auto member = members_.find(shard);
   if (member == members_.end()) return false;

@@ -43,6 +43,16 @@ class HashRing {
   /// Adds a shard's vnodes. Adding a present member is a no-op.
   void add(const std::string& shard);
 
+  /// Growth-contract entry point: adds a shard and reports whether the
+  /// membership actually changed. The minimal-remapping guarantee is the
+  /// same one `add` provides — only keys whose clockwise-first point now
+  /// belongs to the new shard move (each *from* its previous owner), every
+  /// other key -> shard assignment is untouched, and a later remove() of
+  /// the same shard restores the original placement exactly. The router's
+  /// live-growth path calls this so migration can enumerate precisely the
+  /// sessions that change hands.
+  bool add_node(const std::string& shard);
+
   /// Removes a shard's vnodes; returns false when it was not a member.
   bool remove(const std::string& shard);
 

@@ -1,0 +1,115 @@
+#include "router/replication.hpp"
+
+#include <utility>
+
+#include "router/hash_ring.hpp"
+
+namespace pwu::router {
+
+namespace json = util::json;
+
+void StandbyTracker::arm(const std::string& session, std::size_t shard) {
+  StandbyState state;
+  state.shard = shard;
+  state.valid = true;
+  sessions_[session] = std::move(state);
+}
+
+void StandbyTracker::enqueue(const std::string& session, OpRecord record) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  it->second.outbox.push_back(std::move(record));
+}
+
+std::vector<OpRecord> StandbyTracker::take_outbox(const std::string& session) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return {};
+  std::vector<OpRecord> out = std::move(it->second.outbox);
+  it->second.outbox.clear();
+  return out;
+}
+
+void StandbyTracker::ack(const std::string& session, std::size_t n) {
+  const auto it = sessions_.find(session);
+  if (it != sessions_.end()) it->second.acked_ops += n;
+}
+
+void StandbyTracker::mark_stale(const std::string& session) {
+  const auto it = sessions_.find(session);
+  if (it != sessions_.end()) it->second.stale = true;
+}
+
+void StandbyTracker::drop(const std::string& session) {
+  sessions_.erase(session);
+}
+
+void StandbyTracker::invalidate_shard(std::size_t shard) {
+  for (auto& [session, state] : sessions_) {
+    if (state.shard == shard) state.stale = true;
+  }
+}
+
+const StandbyState* StandbyTracker::state(const std::string& session) const {
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+std::size_t StandbyTracker::lag(const std::string& session) const {
+  const StandbyState* st = state(session);
+  return st == nullptr ? 0 : st->outbox.size();
+}
+
+std::uint64_t response_digest(const json::Value& response) {
+  json::Value canonical = response;
+  if (canonical.is_object()) {
+    // Checkpoint paths name worker-local files; primary and standby
+    // legitimately differ there while agreeing on everything else.
+    canonical.as_object().erase("checkpoint");
+  }
+  return fnv1a64(canonical.dump());
+}
+
+json::Value make_replicate_request(const std::string& session,
+                                   const OpRecord& record) {
+  json::Object obj;
+  obj.emplace("op", json::Value("replicate"));
+  obj.emplace("session", json::Value(session));
+  obj.emplace("record", json::parse(record.request));
+  return json::Value(std::move(obj));
+}
+
+namespace {
+
+/// Labeled count of an applied response: tells report it top-level,
+/// create/resume/promote report it inside "status".
+std::size_t applied_labeled(const json::Value& applied) {
+  if (applied.has("labeled")) {
+    return static_cast<std::size_t>(applied.at("labeled").as_number());
+  }
+  if (applied.has("status")) {
+    const json::Value& status = applied.at("status");
+    if (status.is_object() && status.has("labeled")) {
+      return static_cast<std::size_t>(status.at("labeled").as_number());
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+bool replicate_ack_matches(const OpRecord& record, const json::Value& reply) {
+  if (!reply.bool_or("ok", false)) return false;
+  if (!reply.has("applied")) return false;
+  const json::Value& applied = reply.at("applied");
+  if (!applied.bool_or("ok", false)) return false;
+  if (record.digest != 0 && response_digest(applied) != record.digest) {
+    return false;
+  }
+  if (record.expect_labeled != static_cast<std::size_t>(-1) &&
+      applied_labeled(applied) != record.expect_labeled) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pwu::router

@@ -1,0 +1,114 @@
+// Warm-standby replication bookkeeping for the router tier.
+//
+// The router keeps one StandbyState per session: which shard hosts the
+// session's live shadow (its ring successor), whether that shadow is
+// trustworthy, and the outbox of op records acked to the client but not
+// yet streamed to the standby. Workers never talk to each other — stdio
+// pipes fan out from the router only — so the router streams records on
+// the primary's behalf, realizing the "primary streams to its standby"
+// contract without a worker-to-worker channel.
+//
+// An OpRecord wraps the exact protocol request the primary acked, plus two
+// verification hooks: the canonical digest of the primary's response and
+// the labeled count it reported. The standby applies the record to its
+// shadow session (determinism-by-re-execution: identical op sequence in,
+// bit-identical state out) and echoes the inner response; any mismatch
+// marks the standby stale, and a stale standby is never promoted — the
+// router falls back to the PR-6 cold checkpoint path instead. Only ACKED
+// ops are ever enqueued, which is what makes promotion exactly-once safe:
+// the shadow's state always equals the client-visible ack horizon, so the
+// request interrupted by the primary's death is always replayed, never
+// synthesized (the shadow cannot have seen it).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace pwu::router {
+
+/// One acked client op queued for the session's standby.
+struct OpRecord {
+  /// The original protocol request line (re-parsed when wrapped).
+  std::string request;
+  /// Labeled count the primary reported in its ack; npos = don't check
+  /// (asks and closes carry no labeled count).
+  std::size_t expect_labeled = static_cast<std::size_t>(-1);
+  /// Canonical digest of the primary's response (response_digest); 0 =
+  /// don't check (records whose responses legitimately differ between
+  /// primary and standby, e.g. checkpoint paths).
+  std::uint64_t digest = 0;
+};
+
+/// Replication state of one session's standby.
+struct StandbyState {
+  /// Index of the shard hosting the shadow (into the router's shard list).
+  std::size_t shard = 0;
+  /// A shadow exists (or is being bootstrapped) on `shard`.
+  bool valid = false;
+  /// The shadow diverged (digest/labeled mismatch) or missed records; it
+  /// must never be promoted until re-armed from scratch.
+  bool stale = false;
+  /// Records the standby has applied and acked.
+  std::size_t acked_ops = 0;
+  /// Acked-to-client, not-yet-streamed records (the replication lag).
+  std::vector<OpRecord> outbox;
+};
+
+/// Session -> StandbyState map with the transitions the router needs.
+class StandbyTracker {
+ public:
+  /// Starts fresh replication of `session` onto `shard` (drops any prior
+  /// state, including staleness).
+  void arm(const std::string& session, std::size_t shard);
+
+  /// Queues one acked op record; no-op when the session is untracked.
+  void enqueue(const std::string& session, OpRecord record);
+
+  /// Removes and returns the pending outbox (empty when untracked).
+  std::vector<OpRecord> take_outbox(const std::string& session);
+
+  /// Credits `n` applied-and-verified records.
+  void ack(const std::string& session, std::size_t n);
+
+  void mark_stale(const std::string& session);
+  void drop(const std::string& session);
+
+  /// Marks every session whose standby lives on `shard` stale — the shard
+  /// died or left, so its shadows are gone.
+  void invalidate_shard(std::size_t shard);
+
+  /// nullptr when untracked.
+  const StandbyState* state(const std::string& session) const;
+
+  /// Outbox depth (0 when untracked): how many acked ops the shadow has
+  /// not seen yet.
+  std::size_t lag(const std::string& session) const;
+
+ private:
+  std::map<std::string, StandbyState> sessions_;
+};
+
+/// Canonical digest of a protocol response: the "checkpoint" field (a
+/// worker-local file path) is erased, then the dump is FNV-1a hashed.
+/// Primary and standby answering an op identically — the bit-identical
+/// re-execution invariant — is exactly digest equality.
+std::uint64_t response_digest(const util::json::Value& response);
+
+/// Wraps a record into the `replicate` protocol request the standby gets.
+/// Throws on an unparseable record (cannot happen for records built from
+/// requests the router already parsed).
+util::json::Value make_replicate_request(const std::string& session,
+                                         const OpRecord& record);
+
+/// Verifies a standby's replicate ack against the record's hooks: outer ok,
+/// inner applied ok, digest match (when armed), labeled match (when armed,
+/// against "labeled" or "status".labeled of the applied response).
+bool replicate_ack_matches(const OpRecord& record,
+                           const util::json::Value& reply);
+
+}  // namespace pwu::router

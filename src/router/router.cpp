@@ -13,10 +13,6 @@ namespace json = util::json;
 
 namespace {
 
-/// Acked-but-not-yet-durable asks above this count force an explicit
-/// checkpoint instead of growing the replay log without bound.
-constexpr std::size_t kMaxReplayLog = 64;
-
 json::Value error_response(const std::string& message) {
   json::Object obj;
   obj.emplace("ok", json::Value(false));
@@ -62,7 +58,8 @@ json::Value make_request(json::Object fields) {
 
 Router::Router(std::vector<ShardSpec> shards, RouterOptions options,
                ShardClientOptions client_options)
-    : ring_(options.vnodes), options_(options) {
+    : ring_(options.vnodes), options_(options),
+      client_options_(client_options) {
   if (shards.empty()) {
     throw std::invalid_argument("Router: at least one shard is required");
   }
@@ -98,13 +95,15 @@ bool Router::shard_up(const std::string& name) const {
   return false;
 }
 
-std::size_t Router::shard_of(const std::string& session) const {
-  const std::string& owner = ring_.owner(session);
+std::size_t Router::shard_index(const std::string& name) const {
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    if (shards_[i].name == owner) return i;
+    if (shards_[i].name == name) return i;
   }
-  throw std::logic_error("Router: ring owner '" + owner +
-                         "' is not a known shard");
+  throw std::logic_error("Router: '" + name + "' is not a known shard");
+}
+
+std::size_t Router::shard_of(const std::string& session) const {
+  return shard_index(ring_.owner(session));
 }
 
 std::string Router::checkpoint_path(std::size_t shard,
@@ -144,6 +143,16 @@ json::Value Router::dispatch(const json::Value& request) {
   if (op == "shutdown") return handle_shutdown();
   if (op == "list") return handle_list();
   if (op == "health") return handle_health();
+  if (op == "grow") {
+    if (grow_factory_ == nullptr) {
+      return error_response("grow is not configured on this router");
+    }
+    const json::Value& shard = request.at("shard");
+    if (!shard.is_string() || shard.as_string().empty()) {
+      throw std::invalid_argument("missing string field 'shard'");
+    }
+    return add_shard(grow_factory_(shard.as_string()));
+  }
   if (!is_session_op(op)) return error_response("unknown op '" + op + "'");
   const json::Value& session = request.at("session");
   if (!session.is_string()) {
@@ -244,6 +253,15 @@ void Router::bookkeep(const std::string& name, const std::string& op,
     rec.home = shard;
     rec.labeled = status_count(response.at("status"), "labeled");
     records_[name] = std::move(rec);
+    if (options_.standby) {
+      // A prior shadow (from a close/resume drill) is obsolete; arm the
+      // ring successor fresh from the baseline image just written.
+      retire_standby(name);
+      const auto order = ring_.owners(name, 2);
+      if (order.size() >= 2) {
+        arm_standby(name, records_[name], shard_index(order[1]));
+      }
+    }
     return;
   }
   const auto it = records_.find(name);
@@ -255,11 +273,18 @@ void Router::bookkeep(const std::string& name, const std::string& op,
     // the acked request is kept for replay so failover can reconstruct
     // exactly what the client holds.
     rec.replay_log.push_back(request.dump());
-    if (rec.replay_log.size() > kMaxReplayLog) {
+    if (options_.standby) {
+      OpRecord record;
+      record.request = request.dump();
+      record.digest = response_digest(response);
+      replicate_op(name, std::move(record));
+    }
+    if (rec.replay_log.size() > options_.max_replay_log) {
       shards_[shard].client->call(
           make_request({{"op", json::Value("checkpoint")},
                         {"session", json::Value(name)},
                         {"path", json::Value(checkpoint_path(shard, name))}}));
+      mirror_checkpoint(name);
       rec.replay_log.clear();
     }
     return;
@@ -267,6 +292,16 @@ void Router::bookkeep(const std::string& name, const std::string& op,
   if (op == "tell") {
     rec.labeled = static_cast<std::size_t>(response.number_or(
         "labeled", static_cast<double>(rec.labeled)));
+    if (options_.standby) {
+      // The standby re-executes the tell and auto-checkpoints it to its
+      // own directory exactly like the primary did, so the durable
+      // horizons advance in lockstep without a mirror record.
+      OpRecord record;
+      record.request = request.dump();
+      record.digest = response_digest(response);
+      if (response.has("labeled")) record.expect_labeled = rec.labeled;
+      replicate_op(name, std::move(record));
+    }
     // A checkpoint path in the response means the worker persisted the
     // post-tell state — every ask before it is durable now.
     if (response.has("checkpoint")) rec.replay_log.clear();
@@ -274,14 +309,17 @@ void Router::bookkeep(const std::string& name, const std::string& op,
   }
   if (op == "checkpoint") {
     // An explicit checkpoint to the home directory is as good as an
-    // auto-checkpoint (same file failover reads).
+    // auto-checkpoint (same file failover reads). Mirror it before
+    // clearing so the standby's durable horizon advances too.
     if (request.string_or("path", "") == checkpoint_path(shard, name)) {
+      mirror_checkpoint(name);
       rec.replay_log.clear();
     }
     return;
   }
   if (op == "close") {
-    records_.erase(it);
+    retire_standby(name);
+    records_.erase(records_.find(name));
     return;
   }
 }
@@ -293,6 +331,9 @@ void Router::failover(std::size_t dead) {
   shard.client->mark_dead();
   ring_.remove(shard.name);
   ++stats_.failovers;
+  // Shadows hosted *on* the dead shard are gone with it; shadows of
+  // sessions homed there are exactly what failover promotes.
+  standbys_.invalidate_shard(dead);
   util::log_warn() << "router: shard '" << shard.name
                    << "' is down; re-homing its sessions onto "
                    << ring_.size() << " survivor(s)";
@@ -300,11 +341,18 @@ void Router::failover(std::size_t dead) {
     if (rec.home != dead || rec.parked) continue;
     rec.parked = true;
     rec.resumed_valid = false;
+    if (promote_session(name, rec)) continue;
+    if (options_.standby) ++stats_.standby_fallbacks;
     rehome_session(name, rec);
   }
+  rearm_standbys();
 }
 
 bool Router::rehome_session(const std::string& name, SessionRecord& record) {
+  // The cold-rehome target is usually the ring successor — the very shard
+  // hosting this session's shadow, if one exists. Retire it first or the
+  // resume below would collide with the shadow's name.
+  retire_standby(name);
   // record.home is the shard the session last lived on; its checkpoint
   // directory holds the newest durable image (auto-checkpoints and the
   // router's baseline write share one path).
@@ -385,6 +433,372 @@ bool Router::rehome_session(const std::string& name, SessionRecord& record) {
       // new became durable on the dead target.
       failover(target);
     }
+  }
+}
+
+void Router::arm_standby(const std::string& name, SessionRecord& record,
+                         std::size_t standby) {
+  standbys_.arm(name, standby);
+  {
+    // Bootstrap from the primary's durable image over the shared
+    // checkpoint filesystem. Checkpoint-every-tell workers keep that
+    // image at the ack horizon's labeled count, so the expectation is
+    // armed; asks past the last checkpoint follow as replay records.
+    OpRecord record_resume;
+    record_resume.request =
+        make_request({{"op", json::Value("resume")},
+                      {"session", json::Value(name)},
+                      {"path", json::Value(
+                                   checkpoint_path(record.home, name))}})
+            .dump();
+    record_resume.expect_labeled = record.labeled;
+    standbys_.enqueue(name, std::move(record_resume));
+  }
+  {
+    OpRecord record_ckpt;
+    record_ckpt.request =
+        make_request({{"op", json::Value("checkpoint")},
+                      {"session", json::Value(name)},
+                      {"path", json::Value(checkpoint_path(standby, name))}})
+            .dump();
+    standbys_.enqueue(name, std::move(record_ckpt));
+  }
+  for (const std::string& line : record.replay_log) {
+    OpRecord record_ask;
+    record_ask.request = line;
+    standbys_.enqueue(name, std::move(record_ask));
+  }
+  // Flushing now (not lazily) is a soundness requirement: the primary's
+  // checkpoint file advances with every tell, and a bootstrap resume
+  // applied later would load an image newer than the queued replay
+  // records assume — double-applying them into the shadow.
+  flush_replication(name);
+}
+
+void Router::replicate_op(const std::string& name, OpRecord record) {
+  standbys_.enqueue(name, std::move(record));
+  if (standbys_.lag(name) >= options_.replication_lag_max) {
+    flush_replication(name);
+  }
+}
+
+void Router::mirror_checkpoint(const std::string& name) {
+  if (!options_.standby) return;
+  const StandbyState* st = standbys_.state(name);
+  if (st == nullptr || !st->valid || st->stale) return;
+  OpRecord record;
+  record.request =
+      make_request({{"op", json::Value("checkpoint")},
+                    {"session", json::Value(name)},
+                    {"path", json::Value(checkpoint_path(st->shard, name))}})
+          .dump();
+  replicate_op(name, std::move(record));
+}
+
+bool Router::flush_replication(const std::string& name) {
+  const StandbyState* st = standbys_.state(name);
+  if (st == nullptr || !st->valid || st->stale) return false;
+  if (st->outbox.empty()) return true;
+  const std::size_t standby = st->shard;
+  if (!shards_[standby].up) {
+    standbys_.mark_stale(name);
+    return false;
+  }
+  const std::vector<OpRecord> records = standbys_.take_outbox(name);
+  std::vector<json::Value> window;
+  window.reserve(records.size());
+  for (const OpRecord& record : records) {
+    window.push_back(make_replicate_request(name, record));
+  }
+  ShardClient::PipelineResult result =
+      shards_[standby].client->call_pipelined(window);
+  if (result.died) {
+    failover(standby);
+    return false;
+  }
+  for (std::size_t k = 0; k < result.responses.size(); ++k) {
+    if (!replicate_ack_matches(records[k], result.responses[k])) {
+      // The shadow diverged (or refused a record): it can never be
+      // promoted now. Cold failover remains available unchanged.
+      standbys_.mark_stale(name);
+      util::log_warn() << "router: standby for session '" << name
+                       << "' on shard '" << shards_[standby].name
+                       << "' went stale: "
+                       << result.responses[k].string_or("error",
+                                                        "ack mismatch");
+      return false;
+    }
+  }
+  standbys_.ack(name, records.size());
+  stats_.replicated_ops += records.size();
+  return true;
+}
+
+bool Router::promote_session(const std::string& name, SessionRecord& record) {
+  if (!options_.standby) return false;
+  const StandbyState* st = standbys_.state(name);
+  if (st == nullptr || !st->valid || st->stale) return false;
+  const std::size_t standby = st->shard;
+  if (!shards_[standby].up) {
+    standbys_.mark_stale(name);
+    return false;
+  }
+  // Promotion is only sound when the shadow's host is the session's ring
+  // owner under the shrunken ring — otherwise future requests would route
+  // elsewhere and the promoted copy would be orphaned.
+  if (ring_.empty() || shard_of(name) != standby) {
+    standbys_.mark_stale(name);
+    return false;
+  }
+  if (!flush_replication(name)) return false;
+  try {
+    const json::Value reply = shards_[standby].client->call(
+        make_request({{"op", json::Value("promote")},
+                      {"session", json::Value(name)}}));
+    if (!reply.bool_or("ok", false)) {
+      standbys_.mark_stale(name);
+      util::log_warn() << "router: promoting session '" << name
+                       << "' on shard '" << shards_[standby].name
+                       << "' failed: " << reply.string_or("error", "unknown");
+      return false;
+    }
+    const json::Value& body = reply.at("status");
+    if (status_count(body, "labeled") != record.labeled) {
+      // Only acked ops were ever streamed, so a promoted shadow whose
+      // labeled count disagrees with the ack horizon missed or gained
+      // records — never serve from it.
+      standbys_.mark_stale(name);
+      util::log_warn() << "router: session '" << name << "' promoted at "
+                       << status_count(body, "labeled") << " labels but "
+                       << record.labeled << " were acknowledged";
+      return false;
+    }
+    record.home = standby;
+    record.parked = false;
+    record.resumed_valid = true;
+    record.resumed_labeled = status_count(body, "labeled");
+    record.resumed_pending = status_count(body, "pending");
+    record.resumed_done = body.bool_or("done", false);
+    // The replay log is KEPT: its asks live in the shadow's memory but may
+    // postdate its disk image, exactly as they did the primary's. A later
+    // cold failover of the promoted home replays them from the mirrored
+    // checkpoints.
+    standbys_.drop(name);
+    ++stats_.promotions;
+    return true;
+  } catch (const service::TransportError&) {
+    failover(standby);
+    return false;
+  }
+}
+
+void Router::retire_standby(const std::string& name) {
+  const StandbyState* st = standbys_.state(name);
+  if (st != nullptr && st->valid && st->shard < shards_.size() &&
+      shards_[st->shard].up) {
+    try {
+      const json::Value closed = shards_[st->shard].client->call(
+          make_request({{"op", json::Value("close")},
+                        {"session", json::Value(name)}}));
+      // A bootstrap that never applied leaves no shadow to close; the
+      // structured "no session named" error is expected then.
+      (void)closed;
+    } catch (const service::TransportError&) {
+      failover(st->shard);
+    }
+  }
+  standbys_.drop(name);
+}
+
+void Router::rearm_standbys() {
+  if (!options_.standby || ring_.size() < 2) return;
+  for (auto& [name, rec] : records_) {
+    if (rec.parked) continue;
+    // Sessions whose home is down but not yet parked exist transiently
+    // inside a cascading failover; arming them now would bootstrap from a
+    // dead primary's (possibly replay-lagging) image — skip, the outer
+    // failover loop reaches them next.
+    if (!shards_[rec.home].up) continue;
+    const std::vector<std::string> order = ring_.owners(name, 2);
+    if (order.size() < 2) continue;
+    const std::size_t desired = shard_index(order[1]);
+    const StandbyState* st = standbys_.state(name);
+    if (st != nullptr && st->valid && !st->stale && st->shard == desired &&
+        shards_[desired].up) {
+      continue;  // already the right, healthy standby
+    }
+    retire_standby(name);
+    arm_standby(name, rec, desired);
+  }
+}
+
+util::json::Value Router::add_shard(ShardSpec spec) {
+  if (spec.name.empty()) {
+    return error_response("grow: shard names must be non-empty");
+  }
+  for (const Shard& shard : shards_) {
+    if (shard.name == spec.name) {
+      return error_response("grow: duplicate shard name '" + spec.name + "'");
+    }
+  }
+  if (spec.transport == nullptr) {
+    return error_response("grow: shard '" + spec.name + "' has no transport");
+  }
+  Shard shard;
+  shard.name = spec.name;
+  shard.checkpoint_dir = std::move(spec.checkpoint_dir);
+  shard.client = std::make_unique<ShardClient>(
+      spec.name, std::move(spec.transport), client_options_);
+  // Probe before committing anything: a stillborn worker must not become
+  // a shards_ entry (indices in records_ are forever).
+  try {
+    const json::Value probe =
+        shard.client->call(make_request({{"op", json::Value("health")}}));
+    if (!probe.bool_or("ok", false)) {
+      return error_response("grow: shard '" + spec.name +
+                            "' failed its health probe");
+    }
+  } catch (const service::TransportError&) {
+    return error_response("grow: shard '" + spec.name + "' is unreachable");
+  }
+  shards_.push_back(std::move(shard));
+  const std::size_t added = shards_.size() - 1;
+
+  // Enumerate exactly the sessions the grown ring would hand to the new
+  // shard — HashRing::add_node's minimal-remapping guarantee makes this
+  // the complete migration set.
+  HashRing grown = ring_;
+  grown.add_node(shards_[added].name);
+  std::vector<std::string> moving;
+  for (const auto& [name, rec] : records_) {
+    if (rec.parked) continue;  // parked sessions re-home by touch later
+    if (grown.owner(name) == shards_[added].name) moving.push_back(name);
+  }
+
+  std::size_t migrated = 0;
+  for (const std::string& name : moving) {
+    SessionRecord& rec = records_[name];
+    if (!migrate_session(name, rec, added)) {
+      // All-or-nothing: the ring never learned the new shard, so
+      // declaring it down re-homes any sessions already copied to it —
+      // cold, from the checkpoints migration just wrote — back onto the
+      // old owners. Client-visible placement is exactly the pre-grow one.
+      util::log_warn() << "router: grow aborted; migration of session '"
+                       << name << "' onto shard '" << shards_[added].name
+                       << "' failed";
+      failover(added);
+      return error_response("grow aborted: migrating session '" + name +
+                            "' failed");
+    }
+    ++migrated;
+  }
+  ring_.add_node(shards_[added].name);  // the atomic ownership flip
+  ++stats_.grows;
+  rearm_standbys();
+  return ok_response({{"added", json::Value(shards_[added].name)},
+                      {"migrated", json::Value(migrated)}});
+}
+
+bool Router::migrate_session(const std::string& name, SessionRecord& record,
+                             std::size_t to) {
+  const std::size_t from = record.home;
+  // Chunked export -> staged import: the image is the live in-memory
+  // state (pending asks included), so it subsumes the replay log, and the
+  // chunking keeps every transfer line under the protocol's 1 MiB cap.
+  std::size_t offset = 0;
+  for (;;) {
+    json::Value exported;
+    try {
+      exported = shards_[from].client->call(
+          make_request({{"op", json::Value("export")},
+                        {"session", json::Value(name)},
+                        {"offset", json::Value(offset)}}));
+    } catch (const service::TransportError&) {
+      failover(from);
+      return false;
+    }
+    if (!exported.bool_or("ok", false)) {
+      util::log_warn() << "router: exporting session '" << name
+                       << "' failed: "
+                       << exported.string_or("error", "unknown");
+      abort_import(name, to);
+      return false;
+    }
+    const std::string& chunk = exported.at("chunk").as_string();
+    try {
+      const json::Value staged = shards_[to].client->call(
+          make_request({{"op", json::Value("import")},
+                        {"session", json::Value(name)},
+                        {"chunk", json::Value(chunk)}}));
+      if (!staged.bool_or("ok", false)) {
+        abort_import(name, to);
+        return false;
+      }
+    } catch (const service::TransportError&) {
+      return false;  // caller declares `to` down
+    }
+    offset += chunk.size();
+    if (exported.bool_or("eof", true)) break;
+  }
+  try {
+    const json::Value committed = shards_[to].client->call(
+        make_request({{"op", json::Value("import")},
+                      {"session", json::Value(name)},
+                      {"commit", json::Value(true)}}));
+    if (!committed.bool_or("ok", false)) {
+      util::log_warn() << "router: importing session '" << name
+                       << "' failed: "
+                       << committed.string_or("error", "unknown");
+      return false;
+    }
+    const json::Value& body = committed.at("status");
+    if (status_count(body, "labeled") != record.labeled) {
+      util::log_warn() << "router: migrated session '" << name
+                       << "' landed at " << status_count(body, "labeled")
+                       << " labels but " << record.labeled
+                       << " were acknowledged; discarding the copy";
+      shards_[to].client->call(
+          make_request({{"op", json::Value("close")},
+                        {"session", json::Value(name)}}));
+      return false;
+    }
+    // Durable at the new home before the flip: a death right after the
+    // flip cold-rehomes from this image.
+    shards_[to].client->call(
+        make_request({{"op", json::Value("checkpoint")},
+                      {"session", json::Value(name)},
+                      {"path", json::Value(checkpoint_path(to, name))}}));
+    retire_standby(name);
+    record.home = to;
+    record.parked = false;
+    record.resumed_valid = true;
+    record.resumed_labeled = status_count(body, "labeled");
+    record.resumed_pending = status_count(body, "pending");
+    record.resumed_done = body.bool_or("done", false);
+    record.replay_log.clear();
+    ++stats_.migrated_sessions;
+  } catch (const service::TransportError&) {
+    return false;  // caller declares `to` down
+  }
+  // Close the old copy last, best-effort: the home already flipped, so a
+  // death here is an ordinary failover of a shard this session left.
+  try {
+    shards_[from].client->call(
+        make_request({{"op", json::Value("close")},
+                      {"session", json::Value(name)}}));
+  } catch (const service::TransportError&) {
+    failover(from);
+  }
+  return true;
+}
+
+void Router::abort_import(const std::string& name, std::size_t to) {
+  try {
+    shards_[to].client->call(make_request({{"op", json::Value("import")},
+                                           {"session", json::Value(name)},
+                                           {"abort", json::Value(true)}}));
+  } catch (const service::TransportError&) {
+    // The caller's abort path already treats `to` as suspect.
   }
 }
 
@@ -486,6 +900,43 @@ json::Value Router::handle_health() {
                                       stats_.synthesized)));
   counters.emplace("redirects", json::Value(static_cast<std::size_t>(
                                     stats_.redirects)));
+  counters.emplace("promotions", json::Value(static_cast<std::size_t>(
+                                     stats_.promotions)));
+  counters.emplace("standby_fallbacks",
+                   json::Value(static_cast<std::size_t>(
+                       stats_.standby_fallbacks)));
+  counters.emplace("replicated_ops", json::Value(static_cast<std::size_t>(
+                                         stats_.replicated_ops)));
+  counters.emplace("migrated_sessions",
+                   json::Value(static_cast<std::size_t>(
+                       stats_.migrated_sessions)));
+  counters.emplace("grows", json::Value(static_cast<std::size_t>(
+                                stats_.grows)));
+
+  // Aggregated replication view: per-session replay-log depth and
+  // standby lag are the two numbers an operator watches to judge how warm
+  // a failover would be right now.
+  json::Object replication;
+  replication.emplace("enabled", json::Value(options_.standby));
+  replication.emplace("lag_max", json::Value(options_.replication_lag_max));
+  replication.emplace("max_replay_log",
+                      json::Value(options_.max_replay_log));
+  json::Array repl_sessions;
+  for (const auto& [name, rec] : records_) {
+    json::Object entry;
+    entry.emplace("session", json::Value(name));
+    entry.emplace("home", json::Value(shards_[rec.home].name));
+    entry.emplace("parked", json::Value(rec.parked));
+    entry.emplace("replay_log_depth", json::Value(rec.replay_log.size()));
+    const StandbyState* st = standbys_.state(name);
+    entry.emplace("standby", json::Value(st != nullptr && st->valid
+                                             ? shards_[st->shard].name
+                                             : std::string()));
+    entry.emplace("replication_lag", json::Value(standbys_.lag(name)));
+    entry.emplace("stale", json::Value(st != nullptr && st->stale));
+    repl_sessions.push_back(json::Value(std::move(entry)));
+  }
+  replication.emplace("sessions", json::Value(std::move(repl_sessions)));
 
   json::Object health;
   health.emplace("role", json::Value("router"));
@@ -494,6 +945,7 @@ json::Value Router::handle_health() {
   health.emplace("sessions_tracked", json::Value(records_.size()));
   health.emplace("sessions_parked", json::Value(parked_sessions()));
   health.emplace("counters", json::Value(std::move(counters)));
+  health.emplace("replication", json::Value(std::move(replication)));
   return ok_response({{"health", json::Value(std::move(health))}});
 }
 

@@ -3,8 +3,12 @@
 // the same protocol.
 //
 // Placement  — session names map to shards through a deterministic
-//              consistent-hash ring (HashRing); membership only shrinks
-//              (on shard death), so surviving sessions never move.
+//              consistent-hash ring (HashRing); membership shrinks on
+//              shard death and grows through add_shard (the "grow" op),
+//              which migrates exactly the sessions the new shard claims
+//              — checkpoint image + replay tail over the transport —
+//              before flipping ring ownership atomically. Sessions the
+//              new shard does not claim never move.
 // Replication— every worker auto-checkpoints each session to its own
 //              directory after every tell (the PR-4 atomic-write
 //              substrate); the router additionally writes a baseline
@@ -28,6 +32,17 @@
 //              {"ok":false,"redirected":true,"retry_after_ms":N} until a
 //              later touch re-homes them — clients back off and retry,
 //              never observing a lost session.
+// Warm standby— with options.standby, each session's ring successor hosts
+//              a live *shadow*: the router streams every acked mutating
+//              op (wrapped in the `replicate` protocol op, see
+//              router/replication.hpp) and the standby re-executes it,
+//              so shadow state tracks the client-visible ack horizon
+//              exactly. On primary death failover *promotes* the shadow
+//              — one `promote` round-trip, no checkpoint load — after
+//              verifying the flushed ack horizon against the promoted
+//              status. A stale shadow (digest/labeled mismatch, missed
+//              records, dead standby) is never promoted; those sessions
+//              take the cold checkpoint path above unchanged.
 //
 // The router is deliberately single-threaded and wall-clock-free in its
 // decision logic (health probing is request-count based), so multi-
@@ -39,6 +54,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -46,6 +62,7 @@
 #include <vector>
 
 #include "router/hash_ring.hpp"
+#include "router/replication.hpp"
 #include "router/shard_client.hpp"
 #include "service/transport.hpp"
 #include "util/json.hpp"
@@ -66,6 +83,15 @@ struct RouterOptions {
   /// Probe every up shard's health after this many handled requests
   /// (deterministic cadence; 0 = probe only on demand via the health op).
   std::size_t probe_every = 0;
+  /// Acked-but-not-yet-durable asks above this count force an explicit
+  /// checkpoint instead of growing the replay log without bound.
+  std::size_t max_replay_log = 64;
+  /// Warm-standby replication: stream acked ops to each session's ring
+  /// successor and promote its live shadow on primary death.
+  bool standby = false;
+  /// Flush the replication outbox once this many acked ops are queued
+  /// (lower = smaller promotion-time flush, more replication round-trips).
+  std::size_t replication_lag_max = 4;
 };
 
 /// One backend worker: a transport speaking the JSON-lines protocol and
@@ -84,6 +110,11 @@ struct RouterStats {
   std::uint64_t replays = 0;      // in-flight requests replayed after failover
   std::uint64_t synthesized = 0;  // applied-tell responses synthesized
   std::uint64_t redirects = 0;    // redirected responses sent to clients
+  std::uint64_t promotions = 0;   // shadows promoted on primary death
+  std::uint64_t standby_fallbacks = 0;  // promotions that fell back cold
+  std::uint64_t replicated_ops = 0;     // op records acked by standbys
+  std::uint64_t migrated_sessions = 0;  // sessions moved by ring growth
+  std::uint64_t grows = 0;              // shards added to the ring
 };
 
 class Router {
@@ -106,12 +137,34 @@ class Router {
   std::vector<util::json::Value> handle_batch(
       const std::vector<util::json::Value>& requests);
 
+  /// Grows the ring by one shard with live session migration: probes the
+  /// new worker, transfers every session the grown ring would assign to
+  /// it (chunked export -> import -> labeled-count verification -> durable
+  /// checkpoint at the new home), then flips ring ownership atomically.
+  /// The router is single-threaded, so in-flight requests are drained by
+  /// construction — handle_batch flushes pipelined windows before any
+  /// non-pipelinable op, and "grow" is not pipelinable. On any failure the
+  /// growth aborts without touching ring membership: the half-added shard
+  /// is declared down and sessions already copied to it fail over back
+  /// onto the old ring owners from the checkpoints migration just wrote.
+  /// Returns the protocol response ({"ok":true,"added":...,"migrated":N}
+  /// or {"ok":false,...}).
+  util::json::Value add_shard(ShardSpec spec);
+
+  /// Wires the "grow" protocol op: the factory turns a shard name into a
+  /// ShardSpec (spawning the worker process); add_shard does the rest.
+  void set_grow_factory(
+      std::function<ShardSpec(const std::string&)> factory) {
+    grow_factory_ = std::move(factory);
+  }
+
   // ---- introspection (tests, health) ----
   const HashRing& ring() const { return ring_; }
   const RouterStats& stats() const { return stats_; }
   std::size_t sessions_tracked() const { return records_.size(); }
   std::size_t parked_sessions() const;
   bool shard_up(const std::string& name) const;
+  const StandbyTracker& standbys() const { return standbys_; }
 
  private:
   struct Shard {
@@ -143,7 +196,7 @@ class Router {
     /// after the resume — from the same state they first ran against,
     /// which regenerates bit-identical candidates (the set the client is
     /// still measuring). Cleared whenever a checkpoint lands; bounded by
-    /// forcing a checkpoint past kMaxReplayLog entries.
+    /// forcing a checkpoint past options.max_replay_log entries.
     std::vector<std::string> replay_log;
   };
 
@@ -175,12 +228,72 @@ class Router {
   void failover(std::size_t dead);
 
   /// Resumes one parked-or-dying session onto its current ring owner from
-  /// its newest checkpoint. Returns true when the session is live again.
+  /// its newest checkpoint (the cold path). Retires any shadow first —
+  /// the target is usually the shard hosting it, and the resume would
+  /// collide with the shadow's name. Returns true when the session is
+  /// live again.
   bool rehome_session(const std::string& name, SessionRecord& record);
+
+  // ---- warm-standby replication ----
+
+  /// Starts replicating `name` onto shard `standby`: arms the tracker,
+  /// queues the bootstrap records (resume from the primary's durable
+  /// image over the shared checkpoint filesystem, a mirror checkpoint to
+  /// the standby's own path, then the replay tail), and flushes
+  /// immediately. The immediate flush is a soundness requirement, not an
+  /// optimization: the primary's checkpoint file advances with every
+  /// tell, so a lazily-applied bootstrap resume would load an image
+  /// *newer* than the queued replay records assume and double-apply them.
+  void arm_standby(const std::string& name, SessionRecord& record,
+                   std::size_t standby);
+
+  /// Queues one acked op record and flushes once the outbox reaches
+  /// options.replication_lag_max.
+  void replicate_op(const std::string& name, OpRecord record);
+
+  /// Queues a checkpoint record targeting the standby's own path, so the
+  /// shadow's durable horizon advances whenever the primary's does.
+  /// Called before every replay-log clear that an explicit primary
+  /// checkpoint triggers. No-op when the session has no healthy standby.
+  void mirror_checkpoint(const std::string& name);
+
+  /// Streams the pending outbox to the standby and verifies every ack.
+  /// Returns true when the shadow is caught up to the ack horizon; false
+  /// marks it stale (mismatch) or fails the standby over (death).
+  bool flush_replication(const std::string& name);
+
+  /// Warm failover: flushes, promotes the shadow in place, verifies the
+  /// promoted labeled count against the ack horizon, and flips the
+  /// session's home to the standby — keeping the replay log, whose asks
+  /// live in the shadow's memory but may postdate its disk image exactly
+  /// as they did the primary's. False = caller takes the cold path.
+  bool promote_session(const std::string& name, SessionRecord& record);
+
+  /// Closes `name`'s shadow on its host (best-effort) and drops tracking.
+  void retire_standby(const std::string& name);
+
+  /// Re-establishes the desired standby (ring successor) for every live
+  /// session whose shadow is missing, stale, misplaced, or down.
+  /// Idempotent; called after membership changes.
+  void rearm_standbys();
+
+  /// Moves one session to shard `to`: chunked export from its home,
+  /// staged import + commit on `to`, labeled-count verification, durable
+  /// checkpoint at the new home, then the ownership flip and a
+  /// best-effort close of the old copy. The exported image is the live
+  /// in-memory state (pending asks included), so the replay log is
+  /// subsumed and cleared. Returns false (session unmoved) on any
+  /// failure.
+  bool migrate_session(const std::string& name, SessionRecord& record,
+                       std::size_t to);
+
+  /// Discards `name`'s staged import bytes on shard `to` (best-effort).
+  void abort_import(const std::string& name, std::size_t to);
 
   /// Request-count-based health probe of every up shard (probe_every).
   void probe_all();
 
+  std::size_t shard_index(const std::string& name) const;
   std::size_t shard_of(const std::string& session) const;
   std::string checkpoint_path(std::size_t shard,
                               const std::string& session) const;
@@ -189,8 +302,11 @@ class Router {
   std::vector<Shard> shards_;
   HashRing ring_;
   RouterOptions options_;
+  ShardClientOptions client_options_;
   std::map<std::string, SessionRecord> records_;
   RouterStats stats_;
+  StandbyTracker standbys_;
+  std::function<ShardSpec(const std::string&)> grow_factory_;
 };
 
 /// Reads JSON lines from `in` until EOF or a shutdown request, writing one

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "sim/fault_model.hpp"
+#include "util/killpoints.hpp"
 
 namespace pwu::service {
 
@@ -66,6 +67,7 @@ json::Value health_to_json(const HealthReport& report) {
   obj.emplace("sessions_quarantined",
               json::Value(report.sessions_quarantined));
   obj.emplace("sessions_busy", json::Value(report.sessions_busy));
+  obj.emplace("sessions_shadow", json::Value(report.sessions_shadow));
   obj.emplace("refits_in_flight", json::Value(report.refits_in_flight));
   obj.emplace("refits_deferred", json::Value(report.refits_deferred));
   obj.emplace("budget_used_bytes", json::Value(report.budget_used_bytes));
@@ -89,6 +91,7 @@ json::Value health_to_json(const HealthReport& report) {
     json::Object s;
     s.emplace("session", json::Value(sh.name));
     s.emplace("state", json::Value(sh.state));
+    if (sh.shadow) s.emplace("shadow", json::Value(true));
     s.emplace("footprint_bytes", json::Value(sh.footprint_bytes));
     if (!sh.phase.empty()) {
       s.emplace("phase", json::Value(sh.phase));
@@ -219,7 +222,9 @@ util::json::Value handle_request(SessionManager& manager,
     // Reject unknown ops before demanding their operands, so a typo'd op
     // is reported as such rather than as a missing 'session'.
     if (op != "create" && op != "ask" && op != "tell" && op != "status" &&
-        op != "close" && op != "checkpoint" && op != "resume") {
+        op != "close" && op != "checkpoint" && op != "resume" &&
+        op != "replicate" && op != "promote" && op != "export" &&
+        op != "import") {
       return error_response("unknown op '" + op + "'");
     }
     const std::string name = required_string(request, "session");
@@ -231,6 +236,11 @@ util::json::Value handle_request(SessionManager& manager,
            {"status", status_to_json(status)}});
     }
     if (op == "ask") {
+      // Chaos/bench instant: the ask request arrived but nothing has been
+      // applied — dying here forces the router to recover the session and
+      // replay the ask, isolating pure recovery cost (no refit rides on
+      // the replayed request).
+      util::killpoint("protocol.ask");
       const std::size_t count = bounded_size_field(request, "count", 0);
       // Per-request deadline override; -1 = block for the fresh model.
       std::int64_t deadline_ms = manager.limits().ask_deadline_ms;
@@ -332,6 +342,90 @@ util::json::Value handle_request(SessionManager& manager,
            {"recovered", json::Value(outcome.used_fallback)},
            {"source", json::Value(outcome.source_path)},
            {"status", status_to_json(outcome.status)}});
+    }
+    if (op == "replicate") {
+      // One op record streamed from the session's primary. The record is
+      // an ordinary protocol request applied to the local shadow copy —
+      // determinism-by-re-execution is what keeps the shadow bit-identical
+      // to the primary — so the dispatch is just a recursive
+      // handle_request, with the inner response echoed under "applied" for
+      // the replicator's digest check.
+      const json::Value& record = request.at("record");
+      if (!record.is_object()) {
+        throw std::invalid_argument("'record' must be an object");
+      }
+      const std::string inner_op = required_string(record, "op");
+      if (inner_op != "create" && inner_op != "ask" && inner_op != "tell" &&
+          inner_op != "close" && inner_op != "resume" &&
+          inner_op != "checkpoint") {
+        throw std::invalid_argument("op '" + inner_op +
+                                    "' cannot be replicated");
+      }
+      if (required_string(record, "session") != name) {
+        throw std::invalid_argument(
+            "replicate record names a different session");
+      }
+      // The record is acked upstream but not yet applied here — exactly
+      // the window where a standby death must degrade to cold re-home.
+      util::killpoint("protocol.replicate");
+      json::Value applied = handle_request(manager, record);
+      const bool inner_ok = applied.bool_or("ok", false);
+      if (inner_ok && inner_op != "close") manager.mark_shadow(name, true);
+      if (!inner_ok) {
+        json::Value response =
+            error_response("replicate: inner op '" + inner_op +
+                           "' failed: " + applied.string_or("error", "?"));
+        response.as_object().emplace("applied", std::move(applied));
+        return response;
+      }
+      return ok_response({{"applied", std::move(applied)}});
+    }
+    if (op == "promote") {
+      // Zero-cold-start failover: the shadow's state is already current,
+      // so promotion is just dropping the shadow mark.
+      util::killpoint("protocol.promote");
+      manager.mark_shadow(name, false);
+      return ok_response({{"status", status_to_json(manager.status(name))}});
+    }
+    if (op == "export") {
+      // Chunked so a large forest image fits through the 1 MiB line cap.
+      constexpr std::size_t kMaxChunkBytes = 256 * 1024;
+      const std::size_t offset = size_field(request, "offset", 0);
+      std::size_t max_bytes =
+          size_field(request, "max_bytes", kMaxChunkBytes);
+      if (max_bytes == 0 || max_bytes > kMaxChunkBytes) {
+        max_bytes = kMaxChunkBytes;
+      }
+      util::killpoint("protocol.export");
+      const std::string image = manager.export_image(name);
+      if (offset > image.size()) {
+        throw std::invalid_argument("export offset past the image end");
+      }
+      std::string chunk = image.substr(offset, max_bytes);
+      const bool eof = offset + chunk.size() >= image.size();
+      return ok_response({{"chunk", json::Value(std::move(chunk))},
+                          {"offset", json::Value(offset)},
+                          {"total", json::Value(image.size())},
+                          {"eof", json::Value(eof)}});
+    }
+    if (op == "import") {
+      if (request.has("chunk")) {
+        const json::Value& chunk = request.at("chunk");
+        if (!chunk.is_string()) {
+          throw std::invalid_argument("'chunk' must be a string");
+        }
+        manager.import_append(name, chunk.as_string());
+      }
+      if (request.bool_or("abort", false)) {
+        manager.import_abort(name);
+        return ok_response({{"aborted", json::Value(name)}});
+      }
+      if (request.bool_or("commit", false)) {
+        const SessionStatus status =
+            manager.import_commit(name, request.bool_or("shadow", false));
+        return ok_response({{"status", status_to_json(status)}});
+      }
+      return ok_response({{"staged", json::Value(true)}});
     }
     return error_response("unknown op '" + op + "'");
   } catch (const OverloadError& e) {

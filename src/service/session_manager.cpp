@@ -720,7 +720,13 @@ std::vector<SessionStatus> SessionManager::list() const {
   {
     std::lock_guard lock(registry_mutex_);
     names.reserve(sessions_.size());
-    for (const auto& [name, entry] : sessions_) names.push_back(name);
+    for (const auto& [name, entry] : sessions_) {
+      // Shadows are replication infrastructure, not tenant sessions: an
+      // aggregating router must never see the same session from both its
+      // primary and its standby.
+      if (entry->shadow.load(std::memory_order_relaxed)) continue;
+      names.push_back(name);
+    }
   }
   std::vector<SessionStatus> statuses;
   statuses.reserve(names.size());
@@ -763,6 +769,8 @@ HealthReport SessionManager::health() const {
     SessionHealth sh;
     sh.name = name;
     sh.footprint_bytes = entry->footprint.load(std::memory_order_relaxed);
+    sh.shadow = entry->shadow.load(std::memory_order_relaxed);
+    if (sh.shadow) ++report.sessions_shadow;
     std::unique_lock lock(entry->mutex, std::try_to_lock);
     if (!lock.owns_lock()) {
       sh.state = "busy";
@@ -1047,6 +1055,56 @@ SessionStatus SessionManager::resume(const std::string& name,
 std::size_t SessionManager::size() const {
   std::lock_guard lock(registry_mutex_);
   return sessions_.size();
+}
+
+void SessionManager::mark_shadow(const std::string& name, bool shadow) {
+  find(name)->shadow.store(shadow, std::memory_order_relaxed);
+}
+
+bool SessionManager::is_shadow(const std::string& name) const {
+  return find(name)->shadow.load(std::memory_order_relaxed);
+}
+
+std::string SessionManager::export_image(const std::string& name) const {
+  std::ostringstream image;
+  checkpoint(name, image);
+  return image.str();
+}
+
+void SessionManager::import_append(const std::string& name,
+                                   const std::string& chunk) {
+  validate_session_name(name, "SessionManager::import_append");
+  std::lock_guard lock(registry_mutex_);
+  import_staging_[name] += chunk;
+}
+
+SessionStatus SessionManager::import_commit(const std::string& name,
+                                            bool shadow) {
+  std::string image;
+  {
+    std::lock_guard lock(registry_mutex_);
+    const auto it = import_staging_.find(name);
+    if (it == import_staging_.end()) {
+      throw std::invalid_argument(
+          "SessionManager::import_commit: no staged image for '" + name +
+          "'");
+    }
+    image = std::move(it->second);
+    import_staging_.erase(it);
+  }
+  // The staged bytes have been consumed but no session installed yet —
+  // dying here must leave the source copy authoritative (the migration
+  // coordinator aborts and keeps the old home).
+  util::killpoint("session_manager.import.commit");
+  std::istringstream is(image);
+  SessionStatus status = resume(name, is);
+  if (shadow) mark_shadow(name, true);
+  return status;
+}
+
+void SessionManager::import_abort(const std::string& name) {
+  std::lock_guard lock(registry_mutex_);
+  import_staging_.erase(name);
 }
 
 }  // namespace pwu::service

@@ -102,6 +102,9 @@ struct SessionHealth {
   /// "quarantined" (repeated refit timeouts), or "busy" (another thread
   /// holds the session; health never blocks to find out more).
   std::string state;
+  /// Warm-standby shadow copy of a session homed on another worker:
+  /// replicated into, never listed, promoted on the primary's death.
+  bool shadow = false;
   std::string phase;  // empty when busy or evicted
   std::size_t pending = 0;
   bool refit_in_flight = false;
@@ -136,6 +139,8 @@ struct HealthReport {
   std::size_t sessions_evicted = 0;
   std::size_t sessions_quarantined = 0;
   std::size_t sessions_busy = 0;
+  /// Warm-standby shadows hosted here (counted in the states above too).
+  std::size_t sessions_shadow = 0;
   std::size_t refits_in_flight = 0;
   std::size_t refits_deferred = 0;
   std::size_t budget_used_bytes = 0;
@@ -217,7 +222,17 @@ class SessionManager {
                                   double cost_seconds = 0.0);
 
   SessionStatus status(const std::string& name) const;
+  /// Live sessions, shadow replicas excluded: a shadow is infrastructure
+  /// state, and listing it would double-count the session fleet-wide.
   std::vector<SessionStatus> list() const;
+
+  /// Marks (or clears) a session as a warm-standby shadow. Shadows are
+  /// fully live AskTellSessions — asks/tells apply normally via the
+  /// `replicate` op — but list() skips them and health() labels them, so
+  /// an aggregating router never sees the same session twice. Promotion
+  /// is just mark_shadow(name, false): the state is already current.
+  void mark_shadow(const std::string& name, bool shadow);
+  bool is_shadow(const std::string& name) const;
 
   /// Process-level health snapshot: per-session state, queue depths,
   /// budget usage, shed/degraded counters. Never blocks on a busy session
@@ -250,6 +265,21 @@ class SessionManager {
   /// exists.
   ResumeOutcome resume_from_file(const std::string& name,
                                  const std::string& path);
+
+  /// Serializes the session into one in-memory checkpoint image — the
+  /// migration transfer format. Identical bytes to checkpoint(); exists so
+  /// the protocol layer can chunk the image through the line-length cap.
+  std::string export_image(const std::string& name) const;
+
+  /// Staged, chunked import of an export_image() (the receiving side of a
+  /// migration): import_append accumulates chunks under `name`,
+  /// import_commit atomically turns the staged bytes into a live session
+  /// (optionally a shadow) and clears the staging slot, import_abort
+  /// discards it. A commit with no staged bytes or a malformed image
+  /// throws and leaves the registry untouched.
+  void import_append(const std::string& name, const std::string& chunk);
+  SessionStatus import_commit(const std::string& name, bool shadow);
+  void import_abort(const std::string& name);
 
   /// Auto-checkpoint every `every_tells` tells per session, to
   /// `<directory>/<session>.ckpt`. 0 disables. Session names are validated
@@ -306,6 +336,8 @@ class SessionManager {
     bool quarantined PWU_GUARDED_BY(mutex) = false;
     /// Session state lives in `<checkpoint dir>/<name>.ckpt`, not memory.
     std::atomic<bool> evicted{false};
+    /// Warm-standby shadow replica (see mark_shadow).
+    std::atomic<bool> shadow{false};
     /// Last memory_bytes() charged to the process budget.
     std::atomic<std::size_t> footprint{0};
     /// Logical LRU stamp (global touch counter, not wall-clock).
@@ -389,6 +421,9 @@ class SessionManager {
   mutable util::ResourceBudget budget_;
   std::string auto_checkpoint_dir_ PWU_GUARDED_BY(registry_mutex_);
   std::size_t auto_checkpoint_every_ PWU_GUARDED_BY(registry_mutex_) = 0;
+  /// Partially transferred import images, keyed by session name (see
+  /// import_append/import_commit).
+  std::map<std::string, std::string> import_staging_ PWU_GUARDED_BY(registry_mutex_);
   mutable std::atomic<std::size_t> refits_in_flight_{0};
   mutable std::atomic<std::uint64_t> touch_clock_{0};
   mutable std::atomic<std::uint64_t> overloaded_sheds_{0};

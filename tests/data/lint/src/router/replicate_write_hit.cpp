@@ -1,0 +1,33 @@
+// Fixture: replication-path write sites outside the checkpoint-write
+// discipline. apply_replicate_record() mirrors the image with no lock at
+// all; promote_shadow() writes under the registry mutex, which is not the
+// checkpoint-write mutex — both race the primary's own checkpoint writers
+// for the same image file.
+#include <mutex>
+#include <string>
+
+namespace pwu {
+
+namespace util {
+void atomic_write_file(const std::string& path, const std::string& payload);
+}  // namespace util
+
+class ReplicaApplier {
+ public:
+  void apply_replicate_record(const std::string& path,
+                              const std::string& image) {
+    util::atomic_write_file(path, image);
+    ++applied_;
+  }
+
+  void promote_shadow(const std::string& path, const std::string& image) {
+    std::lock_guard<std::mutex> lock(replica_registry_mutex_);
+    util::atomic_write_file(path, image);
+  }
+
+ private:
+  std::mutex replica_registry_mutex_;
+  long applied_ = 0;
+};
+
+}  // namespace pwu

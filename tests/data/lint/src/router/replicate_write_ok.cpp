@@ -1,0 +1,42 @@
+// Fixture: the clean twin of replicate_write_hit.cpp. Every replication-
+// path write happens under the checkpoint-write mutex — mirroring a
+// record and committing a promoted shadow both serialize against the
+// primary's checkpoint writers, so newest-wins ordering holds on disk. A
+// write-mode stream outside a replication-path function is also fine.
+#include <fstream>
+#include <mutex>
+#include <string>
+
+namespace pwu {
+
+namespace util {
+void atomic_write_file(const std::string& path, const std::string& payload);
+}  // namespace util
+
+class CleanReplicaApplier {
+ public:
+  void apply_replicate_record(const std::string& path,
+                              const std::string& image) {
+    std::lock_guard<std::mutex> lock(replica_ckpt_write_mutex_);
+    util::atomic_write_file(path, image);
+    ++applied_;
+  }
+
+  void promote_shadow(const std::string& path, const std::string& image) {
+    std::lock_guard<std::mutex> lock(replica_ckpt_write_mutex_);
+    util::atomic_write_file(path, image);
+  }
+
+  // Not on the replication path: the rule must not reach past its name
+  // gate, even for a bare write-mode stream open.
+  void journal_note(const std::string& path) {
+    std::ofstream out(path);
+    out << applied_;
+  }
+
+ private:
+  std::mutex replica_ckpt_write_mutex_;
+  long applied_ = 0;
+};
+
+}  // namespace pwu

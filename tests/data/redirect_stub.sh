@@ -1,0 +1,10 @@
+# Always-redirecting front-end stub for the cli_client_redirect_reresolve
+# regression: answers every request with the structured redirected refusal
+# a router emits while a session is re-homing. A correct client must stop
+# hammering this endpoint after its per-endpoint redirect budget and
+# re-resolve through the next --endpoints entry (a live server); the old
+# behavior — burning the whole retry budget here — exits with a server
+# error instead. Run as `sh redirect_stub.sh` (kept /bin/sh-portable).
+while IFS= read -r _line; do
+  printf '%s\n' '{"ok":false,"error":"stub front-end: ring view stale","redirected":true,"retry_after_ms":1}'
+done

@@ -112,6 +112,80 @@ TEST(HashRing, AddingAShardOnlyClaimsKeys) {
   }
 }
 
+TEST(HashRing, AddNodeIsDeterministicAcrossInstances) {
+  // Growth is a pure function of (members, vnodes): two rings that grow
+  // through add_node in different orders agree with a ring built whole.
+  HashRing grown(64);
+  for (int i = 3; i >= 0; --i) {
+    EXPECT_TRUE(grown.add_node("shard-" + std::to_string(i)));
+  }
+  const HashRing built = make_ring(4, 64);
+  for (const std::string& key : make_keys(2000)) {
+    EXPECT_EQ(grown.owner(key), built.owner(key)) << key;
+  }
+}
+
+TEST(HashRing, AddNodeReportsMembershipChange) {
+  HashRing ring = make_ring(2);
+  EXPECT_FALSE(ring.add_node("shard-0"));  // already a member — no-op
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_TRUE(ring.add_node("shard-2"));
+  EXPECT_FALSE(ring.add_node("shard-2"));
+  EXPECT_EQ(ring.size(), 3u);
+}
+
+TEST(HashRing, AddNodeKeepsSpreadNearTheMean) {
+  // The grown ring must stay as balanced as one built at that size, or
+  // live growth would concentrate load instead of relieving it.
+  HashRing ring = make_ring(3);
+  ASSERT_TRUE(ring.add_node("shard-3"));
+  const auto keys = make_keys(20000);
+  std::map<std::string, std::size_t> counts;
+  for (const std::string& key : keys) counts[ring.owner(key)] += 1;
+  ASSERT_EQ(counts.size(), 4u);
+  const double mean = static_cast<double>(keys.size()) / 4.0;
+  for (const auto& [shard, count] : counts) {
+    EXPECT_GT(count, 0.5 * mean) << shard;
+    EXPECT_LT(count, 1.6 * mean) << shard;
+  }
+}
+
+TEST(HashRing, AddNodeMovesOnlyKeysTheNewShardClaims) {
+  // The minimal-remap property migration rides on: the set of sessions to
+  // transfer is exactly {key : owner(key) == new shard afterwards}; every
+  // other placement is untouched, and the new shard claims a non-trivial
+  // share.
+  HashRing ring = make_ring(4);
+  const auto keys = make_keys(5000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.owner(key);
+
+  ASSERT_TRUE(ring.add_node("shard-4"));
+  std::size_t claimed = 0;
+  for (const std::string& key : keys) {
+    const std::string& now = ring.owner(key);
+    if (now != before[key]) {
+      EXPECT_EQ(now, "shard-4") << key;
+      ++claimed;
+    }
+  }
+  EXPECT_GT(claimed, 0u);
+  EXPECT_LT(claimed, keys.size() / 2);  // far less than a full reshuffle
+}
+
+TEST(HashRing, GrowThenShrinkRoundTripsToTheOriginalPlacement) {
+  HashRing ring = make_ring(4);
+  const auto keys = make_keys(2000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.owner(key);
+
+  ASSERT_TRUE(ring.add_node("shard-grow"));
+  ASSERT_TRUE(ring.remove("shard-grow"));
+  for (const std::string& key : keys) {
+    EXPECT_EQ(ring.owner(key), before[key]) << key;
+  }
+}
+
 TEST(HashRing, RemoveThenReaddRestoresPlacement) {
   HashRing ring = make_ring(4);
   const auto keys = make_keys(1000);

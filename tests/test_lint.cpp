@@ -3,8 +3,9 @@
 // (src/core, src/rf, src/router, src/service, src/util, tools) so the
 // path-scoped rules exercise their real scoping logic. The flow-aware
 // rules (lock-graph, blocking-under-lock, rng-stream-discipline,
-// killpoint-safety) get seeded violation fixtures plus clean twins, and
-// the tokenizer/indexer get direct unit tests via source_from_string.
+// killpoint-safety, replicate-write-discipline) get seeded violation
+// fixtures plus clean twins, and the tokenizer/indexer get direct unit
+// tests via source_from_string.
 
 #include "index.hpp"
 #include "lint.hpp"
@@ -28,8 +29,8 @@ namespace {
 
 const char* kFixtureRoot = PWU_TEST_DATA_DIR "/lint";
 
-constexpr std::size_t kFixtureFiles = 36;
-constexpr std::size_t kActiveFindings = 27;
+constexpr std::size_t kFixtureFiles = 38;
+constexpr std::size_t kActiveFindings = 29;
 constexpr std::size_t kSuppressed = 8;
 
 Report scan(Options options = {}) { return run(kFixtureRoot, options); }
@@ -112,6 +113,7 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
   EXPECT_EQ(count_rule(report, "blocking-under-lock"), 4u);
   EXPECT_EQ(count_rule(report, "rng-stream-discipline"), 3u);
   EXPECT_EQ(count_rule(report, "killpoint-safety"), 3u);
+  EXPECT_EQ(count_rule(report, "replicate-write-discipline"), 2u);
   // Tokens inside strings, raw strings, and comments never fire.
   for (const Finding& f : report.findings) {
     EXPECT_NE(f.file, "src/core/tokens_in_literals.cpp") << f.rule;
@@ -265,6 +267,26 @@ TEST(PwuLint, CtorInitListBodyIsIndexedDespiteComparisonOperators) {
   const Report report = scan();
   EXPECT_TRUE(has_finding(report, "killpoint-safety",
                           "src/core/ctor_init_list.cpp", 17));
+}
+
+// ---------------------------------------------------------------------------
+// replicate-write-discipline
+// ---------------------------------------------------------------------------
+
+TEST(PwuLint, ReplicateWriteDisciplineFlagsUndisciplinedWrites) {
+  const Report report = scan();
+  // No lock at all, and a lock that is not the checkpoint-write mutex.
+  EXPECT_TRUE(has_finding(report, "replicate-write-discipline",
+                          "src/router/replicate_write_hit.cpp", 19));
+  EXPECT_TRUE(has_finding(report, "replicate-write-discipline",
+                          "src/router/replicate_write_hit.cpp", 25));
+  const Finding* f = find_finding(report, "replicate-write-discipline",
+                                  "src/router/replicate_write_hit.cpp");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("ckpt_write_mutex"), std::string::npos);
+  // Writes under the checkpoint-write mutex — and write sites in functions
+  // that are not on the replication path — are clean.
+  EXPECT_EQ(count_file(report, "src/router/replicate_write_ok.cpp"), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -506,13 +528,13 @@ TEST(PwuLint, CatalogListsEveryRuleOnceInReportingOrder) {
   const auto& catalog = rule_catalog();
   std::vector<std::string> names;
   for (const RuleInfo& rule : catalog) names.emplace_back(rule.name);
-  // The nine line rules in their original order, then the four flow rules.
+  // The nine line rules in their original order, then the five flow rules.
   const std::vector<std::string> expected = {
       "no-raw-rand",        "no-wallclock",        "no-cout-logging",
       "header-hygiene",     "no-raw-new",          "atomic-checkpoint",
       "no-unbounded-queue", "no-unlocked-mutable", "no-unchecked-simd",
       "lock-graph",         "blocking-under-lock", "rng-stream-discipline",
-      "killpoint-safety"};
+      "killpoint-safety",   "replicate-write-discipline"};
   EXPECT_EQ(names, expected);
   std::sort(names.begin(), names.end());
   EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
@@ -523,7 +545,7 @@ TEST(PwuLint, JsonTextAndSarifOutputsCarryTheFindings) {
   std::ostringstream text;
   print_text(text, report);
   EXPECT_NE(text.str().find("no-raw-rand"), std::string::npos);
-  EXPECT_NE(text.str().find("27 finding(s)"), std::string::npos);
+  EXPECT_NE(text.str().find("29 finding(s)"), std::string::npos);
 
   std::ostringstream json;
   print_json(json, report);

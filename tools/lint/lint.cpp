@@ -474,6 +474,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"killpoint-safety",
        "no killpoint under a held lock or with an open write-mode stream "
        "in scope"},
+      {"replicate-write-discipline",
+       "replication-path functions (replicate / promote / import_commit) "
+       "only write checkpoint images under a ckpt_write_mutex"},
   };
   return kRules;
 }

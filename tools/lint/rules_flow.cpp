@@ -29,10 +29,19 @@
 //   function is still in scope. src/util/fs_atomic.* is exempt from the
 //   open-file clause: its killpoints deliberately straddle the torn-tmp-file
 //   machinery the chaos harness exists to test.
+//
+//   replicate-write-discipline: functions on the replication path (name or
+//   qualifier containing "replicat", "import_commit", or "promote") may only
+//   write checkpoint images — atomic_write_file calls or write-mode stream
+//   opens — while holding a mutex whose canonical name contains
+//   "ckpt_write_mutex". Replicated records race the primary's own
+//   checkpoint writers for the same image files; the write mutex is the
+//   only thing keeping a promoted shadow's disk state newest-wins.
 
 #include "rules_flow.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <map>
 #include <optional>
 #include <set>
@@ -139,12 +148,19 @@ struct KillpointSite {
   std::size_t open_line = 0;
 };
 
+struct WriteSite {
+  std::string desc;
+  std::size_t line = 0;
+  std::vector<HeldLock> held;
+};
+
 struct FnFacts {
   std::set<std::string> acquires;  // blocking acquisitions, canonical names
   std::map<std::pair<std::string, std::string>, LockEdge> edges;
   std::vector<CallSite> calls;
   std::vector<BlockingSite> blocking;
   std::vector<KillpointSite> killpoints;
+  std::vector<WriteSite> writes;  // checkpoint-image write sites
 };
 
 bool is_file_call(const std::string& callee) {
@@ -239,6 +255,8 @@ FnFacts simulate(const ProjectIndex& index, const FunctionInfo& fn) {
         b.held = active_held();
         facts.blocking.push_back(std::move(b));
         if (ev.write_open) {
+          facts.writes.push_back(
+              WriteSite{"write-mode file stream open", ev.line, active_held()});
           Open o;
           o.line = ev.line;
           o.write = true;
@@ -289,6 +307,10 @@ FnFacts simulate(const ProjectIndex& index, const FunctionInfo& fn) {
         call.line = ev.line;
         call.targets = index.resolve_call(fn, ev);
         call.held = active_held();
+        if (ev.callee == "atomic_write_file") {
+          facts.writes.push_back(
+              WriteSite{"util::atomic_write_file call", ev.line, call.held});
+        }
         const std::string desc =
             classify_blocking_call(index, ev, call.targets);
         if (!desc.empty()) {
@@ -626,6 +648,43 @@ void rule_killpoint_safety(const ProjectIndex& index,
   }
 }
 
+// ---------------------------------------------------------------------------
+// replicate-write-discipline
+// ---------------------------------------------------------------------------
+
+bool on_replication_path(const FunctionInfo& fn) {
+  std::string qual = fn.qual;
+  std::transform(qual.begin(), qual.end(), qual.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return qual.find("replicat") != std::string::npos ||
+         qual.find("import_commit") != std::string::npos ||
+         qual.find("promote") != std::string::npos;
+}
+
+void rule_replicate_write(const ProjectIndex& index,
+                          const std::vector<FnFacts>& facts,
+                          FlowReporter& rep) {
+  for (std::size_t i = 0; i < facts.size(); ++i) {
+    const FunctionInfo& fn = index.functions[i];
+    if (!in_src(fn.file) || !on_replication_path(fn)) continue;
+    for (const WriteSite& w : facts[i].writes) {
+      const bool disciplined =
+          std::any_of(w.held.begin(), w.held.end(), [](const HeldLock& h) {
+            return h.mutex.find("ckpt_write_mutex") != std::string::npos;
+          });
+      if (disciplined) continue;
+      rep.report(
+          "replicate-write-discipline", fn.file, w.line,
+          w.desc + " in replication-path function '" + fn.qual +
+              "' outside the checkpoint-write discipline (" +
+              (w.held.empty() ? "no lock held"
+                              : "holding " + held_names(w.held)) +
+              ", no 'ckpt_write_mutex'); replicated records race the "
+              "primary's checkpoint writers for the same image files");
+    }
+  }
+}
+
 }  // namespace
 
 void run_flow_rules(const std::vector<SourceFile>& files,
@@ -645,6 +704,9 @@ void run_flow_rules(const std::vector<SourceFile>& files,
   }
   if (rule_on("rng-stream-discipline")) rule_rng_stream(index, facts, rep);
   if (rule_on("killpoint-safety")) rule_killpoint_safety(index, facts, rep);
+  if (rule_on("replicate-write-discipline")) {
+    rule_replicate_write(index, facts, rep);
+  }
 }
 
 }  // namespace pwu::lint

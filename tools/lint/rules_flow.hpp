@@ -7,6 +7,10 @@
 //                         annotated member/parameter (or a fork/copy of one)
 //   killpoint-safety      no killpoint under a lock or with an open
 //                         write-mode file stream in scope
+//   replicate-write-discipline
+//                         replication-path functions (replicate / promote /
+//                         import_commit) only write checkpoint images while
+//                         holding a ckpt_write_mutex
 //
 // See rules_flow.cpp for the exact semantics and DESIGN.md §13 for the
 // suppression policy.
@@ -22,7 +26,7 @@
 
 namespace pwu::lint {
 
-/// Runs the four flow rules over the project index, appending findings.
+/// Runs the five flow rules over the project index, appending findings.
 /// `rule_on` gates each rule by name; suppression uses each file's parsed
 /// directives (same allow grammar as the line rules, plus `blocking-ok`).
 void run_flow_rules(const std::vector<SourceFile>& files,

@@ -23,9 +23,14 @@
 //
 // Structured refusals are honored, not treated as failures: an
 // {"ok":false,"overloaded":true} response retries after the server's
-// retry_after_ms hint, and {"ok":false,"redirected":true} (a router
-// re-homing the session after a shard death) waits the same way and
-// retries on the same connection.
+// retry_after_ms hint on the same connection. {"ok":false,
+// "redirected":true} (a router re-homing the session after a shard
+// death) waits the same way but tracks its own budget: after --retries
+// consecutive redirects from one endpoint the client rotates to the next
+// --endpoints entry and re-resolves there — a front-end that keeps
+// redirecting has a stale view of the ring, and a sibling replica over
+// the same worker fleet may already route to the updated owner. The
+// total redirect budget is --retries per endpoint.
 //
 // Afterwards the equivalent batch run (core::ActiveLearner::run, same
 // seed) is executed and the two training sets are compared label for
@@ -167,14 +172,19 @@ class EndpointPool {
 ///   transport failure — exponential backoff from --backoff ms, doubled
 ///     per attempt, jittered to [0.5, 1.5)x so a fleet of clients does not
 ///     stampede a recovering server; then rotate to the next endpoint.
-///   overloaded/redirected refusal — wait the server's retry_after_ms hint
-///     (jittered the same way) and re-send on the same connection: the
-///     server is alive and told us when to come back.
+///   overloaded refusal — wait the server's retry_after_ms hint (jittered
+///     the same way) and re-send on the same connection: the server is
+///     alive and told us when to come back.
+///   redirected refusal — wait the hint, but on its own budget: after
+///     --retries consecutive redirects from one endpoint, rotate and
+///     re-resolve against the next front-end (whose ring view may already
+///     name the session's updated owner) instead of hammering the one
+///     that keeps redirecting. Budget: --retries per endpoint overall.
 json::Value call(EndpointPool& pool, const json::Value& request,
                  const Args& args, util::Rng& backoff_rng) {
   const std::string line = request.dump();
   if (args.verbose) std::cout << ">> " << line << "\n";
-  for (int attempt = 0;; ++attempt) {
+  for (int attempt = 0, redirects = 0;;) {
     try {
       const std::string reply = pool.current().request(line);
       json::Value response = json::parse(reply);
@@ -182,15 +192,35 @@ json::Value call(EndpointPool& pool, const json::Value& request,
       if (!response.at("ok").as_bool()) {
         const bool overloaded = response.bool_or("overloaded", false);
         const bool redirected = response.bool_or("redirected", false);
-        if ((overloaded || redirected) && attempt < args.retries) {
+        const int redirect_budget =
+            args.retries * static_cast<int>(pool.size());
+        const bool retry_overloaded = overloaded && attempt < args.retries;
+        const bool retry_redirected =
+            !overloaded && redirected && redirects < redirect_budget;
+        if (retry_overloaded || retry_redirected) {
+          if (retry_overloaded) {
+            ++attempt;
+          } else {
+            ++redirects;
+          }
           const double hint_ms = response.number_or(
               "retry_after_ms", static_cast<double>(args.backoff_ms));
           const double wait_ms = hint_ms * (0.5 + backoff_rng.uniform());
           std::cerr << "pwu_client: "
                     << (overloaded ? "server overloaded" : "session re-homing")
                     << " (" << response.at("error").as_string() << "); retry "
-                    << (attempt + 1) << "/" << args.retries << " in "
-                    << static_cast<int>(wait_ms) << " ms\n";
+                    << (overloaded ? attempt : redirects) << "/"
+                    << (overloaded ? args.retries : redirect_budget) << " in "
+                    << static_cast<int>(wait_ms) << " ms";
+          if (retry_redirected && pool.size() > 1 &&
+              redirects % args.retries == 0) {
+            // This endpoint keeps redirecting — its ring view is behind.
+            // Re-resolve through the next front-end instead of blindly
+            // burning the rest of the budget here.
+            pool.rotate();
+            std::cerr << "; re-resolving via " << pool.label();
+          }
+          std::cerr << "\n";
           std::this_thread::sleep_for(
               std::chrono::milliseconds(static_cast<long>(wait_ms)));
           continue;
@@ -204,7 +234,8 @@ json::Value call(EndpointPool& pool, const json::Value& request,
       const double base =
           static_cast<double>(args.backoff_ms) * static_cast<double>(1 << attempt);
       const double wait_ms = base * (0.5 + backoff_rng.uniform());
-      std::cerr << "pwu_client: " << e.what() << "; retry " << (attempt + 1)
+      ++attempt;
+      std::cerr << "pwu_client: " << e.what() << "; retry " << attempt
                 << "/" << args.retries << " in " << static_cast<int>(wait_ms)
                 << " ms";
       pool.rotate();

@@ -84,8 +84,24 @@ int usage(int code) {
          "                  [--seed S]            jitter stream seed\n"
          "                  [--probe-every N]     probe worker health every "
          "N requests (default 0 = off)\n"
+         "                  [--standby]           warm-standby replication: "
+         "stream acked ops to each\n"
+         "                                        session's ring successor "
+         "and promote its live shadow\n"
+         "                                        on primary death\n"
+         "                  [--replication-lag-max N]  flush the standby "
+         "outbox past N queued ops\n"
+         "                                        (default 4; 0 = "
+         "synchronous)\n"
+         "                  [--max-replay-log N]  force a checkpoint past N "
+         "acked-undurable asks\n"
+         "                                        (default 64)\n"
          "Reads one JSON request per line on stdin, writes one JSON "
-         "response per line on stdout.\n";
+         "response per line on stdout.\n"
+         "{\"op\":\"grow\",\"shard\":\"NAME\"} spawns one more worker (same "
+         "worker-cmd, {i} = NAME),\n"
+         "migrates the sessions the grown ring assigns to it, then flips "
+         "ring ownership.\n";
   return code;
 }
 
@@ -159,6 +175,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.probe_every = static_cast<std::size_t>(v);
+    } else if (arg == "--standby") {
+      options.standby = true;
+    } else if (arg == "--replication-lag-max" && i + 1 < argc) {
+      if (!parse_count(argv[++i], v)) {
+        std::cerr << "pwu_router: --replication-lag-max expects a "
+                     "non-negative integer (0 = synchronous)\n";
+        return 2;
+      }
+      options.replication_lag_max = static_cast<std::size_t>(v);
+    } else if (arg == "--max-replay-log" && i + 1 < argc) {
+      if (!parse_count(argv[++i], v) || v == 0) {
+        std::cerr << "pwu_router: --max-replay-log expects a positive "
+                     "integer\n";
+        return 2;
+      }
+      options.max_replay_log = static_cast<std::size_t>(v);
     } else if (arg == "--help" || arg == "-h") {
       return usage(0);
     } else {
@@ -196,6 +228,22 @@ int main(int argc, char** argv) {
       shards.push_back(std::move(spec));
     }
     pwu::router::Router router(std::move(shards), options, client_options);
+    // The "grow" op spawns one more worker the same way the initial fleet
+    // was built; {i} expands to the new shard's name instead of an index.
+    router.set_grow_factory(
+        [worker_cmd, checkpoint_dir,
+         timeout_seconds](const std::string& name) {
+          const std::string shard_dir = checkpoint_dir + "/" + name;
+          std::filesystem::create_directories(shard_dir);
+          pwu::router::ShardSpec spec;
+          spec.name = name;
+          spec.checkpoint_dir = shard_dir;
+          spec.transport = std::make_unique<pwu::service::PipeTransport>(
+              replace_all(worker_cmd, "{i}", name) + " --checkpoint-dir " +
+                  shell_quote(shard_dir) + " --checkpoint-every 1",
+              timeout_seconds);
+          return spec;
+        });
     pwu::router::run_router_loop(std::cin, std::cout, router);
   } catch (const std::exception& e) {
     std::cerr << "pwu_router: fatal: " << e.what() << "\n";
