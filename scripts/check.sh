@@ -29,6 +29,12 @@
 #                        shadow promotion, staleness fallback, and
 #                        mid-traffic session migration, all in-process
 #                        (`ctest -L ha` on the Release and tsan builds)
+#   9. netchaos        — seeded network-fault schedules (loss, duplication,
+#                        reordering, corruption, truncation, partitions)
+#                        against the pwu1 framing, idempotency windows, and
+#                        fencing epochs; client streams must stay bit-exact
+#                        and split-brain writes must be fenced (`ctest -L
+#                        netchaos` on the Release and asan builds)
 #
 # Contracts (PWU_REQUIRE/PWU_ENSURE/PWU_ASSERT) are active in both sanitizer
 # passes because those presets build Debug. Exits non-zero on the first
@@ -41,48 +47,55 @@ if [[ "${1:-}" == "--jobs" && -n "${2:-}" ]]; then
   jobs="$2"
 fi
 
-echo "== gate 1/8: pwu_lint (flow-aware) =="
+echo "== gate 1/9: pwu_lint (flow-aware) =="
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$jobs" --target pwu_lint >/dev/null
 ./build/tools/pwu_lint --root . --baseline tools/lint/pwu_lint.baseline
 cmake --build --preset default -j "$jobs" --target pwu_tests >/dev/null
 ctest --preset lint -j "$jobs"
 
-echo "== gate 2/8: asan-fast =="
+echo "== gate 2/9: asan-fast =="
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$jobs" >/dev/null
 ctest --preset asan-fast -j "$jobs"
 
-echo "== gate 3/8: tsan-fast =="
+echo "== gate 3/9: tsan-fast =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" >/dev/null
 ctest --preset tsan-fast -j "$jobs"
 
-echo "== gate 4/8: chaos =="
+echo "== gate 4/9: chaos =="
 cmake --build --preset default -j "$jobs" --target pwu_chaos_tests >/dev/null
 ctest --preset chaos -j "$jobs"
 
-echo "== gate 5/8: soak + fuzz =="
+echo "== gate 5/9: soak + fuzz =="
 ctest --preset asan-soak -j "$jobs"
 ctest --preset tsan-soak -j "$jobs"
 cmake --build --preset default -j "$jobs" --target pwu_fuzz >/dev/null
 ./build/tools/pwu_fuzz --iters 20000 --seed 1
 
-echo "== gate 6/8: shard (router failover chaos) =="
+echo "== gate 6/9: shard (router failover chaos) =="
 cmake --build --preset default -j "$jobs" --target pwu_shard_tests \
   --target pwu_serve >/dev/null
 ctest --preset shard -j "$jobs"
 ctest --preset asan-shard -j "$jobs"
 
-echo "== gate 7/8: simd (scalar dispatch fallback) =="
+echo "== gate 7/9: simd (scalar dispatch fallback) =="
 cmake --build --preset default -j "$jobs" --target pwu_tests >/dev/null
 ctest --preset simd -j "$jobs"
 ctest --preset asan-simd -j "$jobs"
 
-echo "== gate 8/8: ha (warm standby + ring growth) =="
+echo "== gate 8/9: ha (warm standby + ring growth) =="
 cmake --build --preset default -j "$jobs" --target pwu_ha_tests >/dev/null
 cmake --build --preset tsan -j "$jobs" --target pwu_ha_tests >/dev/null
 ctest --preset ha -j "$jobs"
 ctest --preset tsan-ha -j "$jobs"
+
+echo "== gate 9/9: netchaos (fault injection vs framing + fencing) =="
+cmake --build --preset default -j "$jobs" --target pwu_netchaos_tests \
+  --target pwu_serve >/dev/null
+cmake --build --preset asan -j "$jobs" --target pwu_netchaos_tests >/dev/null
+ctest --preset netchaos -j "$jobs"
+ctest --preset asan-netchaos -j "$jobs"
 
 echo "check.sh: all correctness gates passed"

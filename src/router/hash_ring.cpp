@@ -47,6 +47,7 @@ void HashRing::add(const std::string& shard) {
   for (std::size_t v = 0; v < vnodes_; ++v) {
     ring_.emplace(std::make_pair(vnode_hash(shard, v), shard), stable);
   }
+  ++epoch_;
 }
 
 bool HashRing::add_node(const std::string& shard) {
@@ -62,6 +63,7 @@ bool HashRing::remove(const std::string& shard) {
     ring_.erase(std::make_pair(vnode_hash(shard, v), shard));
   }
   members_.erase(member);
+  ++epoch_;
   return true;
 }
 

@@ -61,6 +61,13 @@ class HashRing {
   std::size_t size() const { return members_.size(); }
   std::size_t vnodes() const { return vnodes_; }
 
+  /// Fencing epoch: bumped by every membership change (failover removal,
+  /// growth, shutdown drain). The router stamps it into forwarded
+  /// requests; a shard that has seen epoch E rejects writes carrying less
+  /// (DESIGN.md §15), so a partitioned stale primary cannot mutate state
+  /// after the membership change that replaced it.
+  std::uint64_t epoch() const { return epoch_; }
+
   /// Members in sorted order (deterministic listing for health reports).
   std::vector<std::string> members() const;
 
@@ -81,6 +88,7 @@ class HashRing {
   std::map<std::pair<std::uint64_t, std::string>, const std::string*> ring_;
   /// Stable storage for member names (ring_ points into this map's keys).
   std::map<std::string, bool> members_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace pwu::router

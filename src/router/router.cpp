@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "service/protocol.hpp"
 #include "util/logging.hpp"
 
 namespace pwu::router {
@@ -75,8 +76,16 @@ Router::Router(std::vector<ShardSpec> shards, RouterOptions options,
     Shard shard;
     shard.name = spec.name;
     shard.checkpoint_dir = std::move(spec.checkpoint_dir);
+    if (options_.frame) {
+      spec.transport = std::make_unique<service::FramedTransport>(
+          std::move(spec.transport));
+    }
     shard.client = std::make_unique<ShardClient>(
         spec.name, std::move(spec.transport), client_options);
+    // Requests carry the ring epoch of the moment they hit the wire, so a
+    // failover replay is restamped with the *new* epoch and never fences
+    // itself.
+    shard.client->set_epoch_provider([this] { return ring_.epoch(); });
     ring_.add(shard.name);
     shards_.push_back(std::move(shard));
   }
@@ -158,7 +167,21 @@ json::Value Router::dispatch(const json::Value& request) {
   if (!session.is_string()) {
     throw std::invalid_argument("missing string field 'session'");
   }
-  return forward_session_request(session.as_string(), request);
+  return forward_session_request(session.as_string(),
+                                 stamp_idempotency(request));
+}
+
+json::Value Router::stamp_idempotency(const json::Value& request) {
+  if (!request.is_object() ||
+      !service::is_mutating_op(request.string_or("op", "")) ||
+      !request.string_or("idem", "").empty()) {
+    return request;
+  }
+  json::Value stamped = request;
+  ++idem_counter_;
+  stamped.as_object()["idem"] = json::Value("rt#" + std::to_string(
+                                                idem_counter_));
+  return stamped;
 }
 
 json::Value Router::forward_session_request(const std::string& name,
@@ -329,8 +352,12 @@ void Router::failover(std::size_t dead) {
   if (!shard.up) return;
   shard.up = false;
   shard.client->mark_dead();
-  ring_.remove(shard.name);
+  ring_.remove(shard.name);  // bumps the fencing epoch
   ++stats_.failovers;
+  // A "death" observed through a partition leaves a live stale primary
+  // behind; queue it for fencing so it can never apply a write from
+  // before this membership change once the partition heals.
+  pending_fences_.push_back(dead);
   // Shadows hosted *on* the dead shard are gone with it; shadows of
   // sessions homed there are exactly what failover promotes.
   standbys_.invalidate_shard(dead);
@@ -647,8 +674,13 @@ util::json::Value Router::add_shard(ShardSpec spec) {
   Shard shard;
   shard.name = spec.name;
   shard.checkpoint_dir = std::move(spec.checkpoint_dir);
+  if (options_.frame) {
+    spec.transport = std::make_unique<service::FramedTransport>(
+        std::move(spec.transport));
+  }
   shard.client = std::make_unique<ShardClient>(
       spec.name, std::move(spec.transport), client_options_);
+  shard.client->set_epoch_provider([this] { return ring_.epoch(); });
   // Probe before committing anything: a stillborn worker must not become
   // a shards_ entry (indices in records_ are forever).
   try {
@@ -812,6 +844,32 @@ void Router::probe_all() {
       failover(i);
     }
   }
+  sweep_fences();
+}
+
+void Router::sweep_fences() {
+  if (pending_fences_.empty()) return;
+  const json::Value fence = make_request(
+      {{"op", json::Value("fence")},
+       {"epoch", json::Value(static_cast<std::size_t>(ring_.epoch()))}});
+  std::size_t kept = 0;
+  for (const std::size_t dead : pending_fences_) {
+    // probe() reaches through the dead-mark but never through a transport
+    // that observed a real connection failure — a genuinely crashed
+    // worker stays pending forever (harmless: it cannot write either).
+    const std::optional<json::Value> reply =
+        shards_[dead].client->probe(fence);
+    if (reply.has_value() && reply->bool_or("ok", false)) {
+      ++stats_.fences_delivered;
+      util::log_warn() << "router: fenced stale shard '"
+                       << shards_[dead].name << "' at epoch "
+                       << ring_.epoch();
+    } else {
+      pending_fences_[kept] = dead;
+      ++kept;
+    }
+  }
+  pending_fences_.resize(kept);
 }
 
 json::Value Router::handle_list() {
@@ -864,6 +922,9 @@ json::Value Router::handle_health() {
     entry.emplace("overload_retries",
                   json::Value(static_cast<std::size_t>(
                       shard.client->overload_retries())));
+    entry.emplace("corrupt_replies",
+                  json::Value(static_cast<std::size_t>(
+                      shard.client->corrupt_replies())));
     if (shard.up) {
       try {
         const json::Value response = shard.client->call(
@@ -881,6 +942,8 @@ json::Value Router::handle_health() {
   }
   json::Object ring;
   ring.emplace("vnodes", json::Value(ring_.vnodes()));
+  ring.emplace("epoch",
+               json::Value(static_cast<std::size_t>(ring_.epoch())));
   json::Array members;
   for (const std::string& m : ring_.members()) members.emplace_back(m);
   ring.emplace("members", json::Value(std::move(members)));
@@ -912,6 +975,10 @@ json::Value Router::handle_health() {
                        stats_.migrated_sessions)));
   counters.emplace("grows", json::Value(static_cast<std::size_t>(
                                 stats_.grows)));
+  counters.emplace("fences_delivered",
+                   json::Value(static_cast<std::size_t>(
+                       stats_.fences_delivered)));
+  counters.emplace("fences_pending", json::Value(pending_fences_.size()));
 
   // Aggregated replication view: per-session replay-log depth and
   // standby lag are the two numbers an operator watches to judge how warm
@@ -974,7 +1041,15 @@ json::Value Router::handle_shutdown() {
 }
 
 std::vector<json::Value> Router::handle_batch(
-    const std::vector<json::Value>& requests) {
+    const std::vector<json::Value>& requests_in) {
+  // Stamp idempotency keys up front so the pipelined forward, any
+  // corrupted-reply resend, and a failover replay of the same request all
+  // carry the same key.
+  std::vector<json::Value> requests;
+  requests.reserve(requests_in.size());
+  for (const json::Value& request : requests_in) {
+    requests.push_back(stamp_idempotency(request));
+  }
   std::vector<json::Value> responses(requests.size());
   // Per-shard windows accumulate until a request that cannot pipeline
   // (create/resume/close, admin ops, parked sessions, malformed) forces a

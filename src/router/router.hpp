@@ -92,6 +92,11 @@ struct RouterOptions {
   /// Flush the replication outbox once this many acked ops are queued
   /// (lower = smaller promotion-time flush, more replication round-trips).
   std::size_t replication_lag_max = 4;
+  /// Speak checksummed `pwu1` framing to the shards: every ShardSpec
+  /// transport (initial fleet and grown shards alike) is wrapped in a
+  /// service::FramedTransport, so corruption on the router<->worker hop is
+  /// detected and retried instead of mis-parsed.
+  bool frame = false;
 };
 
 /// One backend worker: a transport speaking the JSON-lines protocol and
@@ -115,6 +120,7 @@ struct RouterStats {
   std::uint64_t replicated_ops = 0;     // op records acked by standbys
   std::uint64_t migrated_sessions = 0;  // sessions moved by ring growth
   std::uint64_t grows = 0;              // shards added to the ring
+  std::uint64_t fences_delivered = 0;   // fence epochs pushed to stale shards
 };
 
 class Router {
@@ -293,6 +299,20 @@ class Router {
   /// Request-count-based health probe of every up shard (probe_every).
   void probe_all();
 
+  /// Stamps a deterministic idempotency key onto a mutating client
+  /// request that carries none (a copy; non-mutating requests pass
+  /// through). Stamped once per logical client op, so failover replays
+  /// and corrupted-reply resends all reuse the key — the wire-level
+  /// exactly-once guarantee.
+  util::json::Value stamp_idempotency(const util::json::Value& request);
+
+  /// Delivers {"op":"fence","epoch":ring.epoch()} to every dead shard
+  /// whose process is still reachable (a partition survivor), closing the
+  /// split-brain window: once fenced, the stale primary rejects writes
+  /// older than the membership change that replaced it. Unreachable
+  /// shards stay pending and are retried by the next sweep.
+  void sweep_fences();
+
   std::size_t shard_index(const std::string& name) const;
   std::size_t shard_of(const std::string& session) const;
   std::string checkpoint_path(std::size_t shard,
@@ -307,6 +327,9 @@ class Router {
   RouterStats stats_;
   StandbyTracker standbys_;
   std::function<ShardSpec(const std::string&)> grow_factory_;
+  /// Dead shards not yet confirmed fenced (indexes into shards_).
+  std::vector<std::size_t> pending_fences_;
+  std::uint64_t idem_counter_ = 0;
 };
 
 /// Reads JSON lines from `in` until EOF or a shutdown request, writing one

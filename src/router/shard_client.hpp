@@ -19,11 +19,27 @@
 //                 that as shard death and fails over from checkpoints; a
 //                 wedged worker is indistinguishable from a crashed one
 //                 and is handled the same way.
+//   resilience  — every request is stamped with a unique "rid" and replies
+//                 are matched by the echoed rid, so a duplicated or
+//                 reordered reply (an unreliable wire, a server-side
+//                 idempotent replay) re-syncs instead of desyncing the
+//                 window. A service::FrameError (corrupt/lost reply on a
+//                 checksummed connection) re-sends the unanswered requests
+//                 with the same rid and idempotency key, bounded by
+//                 `retries`. Mutating requests that carry no "idem" yet get
+//                 one stamped here; when an epoch provider is wired (the
+//                 router's ring), the current fencing epoch is stamped
+//                 into every request at *send* time — replayed requests
+//                 are restamped, so a post-failover replay never fences
+//                 itself. rid/epoch stamps are stripped from returned
+//                 responses; callers see the same payloads as before.
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -78,10 +94,25 @@ class ShardClient {
   /// Requests answered / transport failures / overload retries so far.
   std::uint64_t requests() const { return requests_; }
   std::uint64_t overload_retries() const { return overload_retries_; }
+  /// Replies that failed frame verification and were retried.
+  std::uint64_t corrupt_replies() const { return corrupt_replies_; }
 
   /// Marks the shard dead without touching the transport (used when a
   /// sibling operation already detected the death).
   void mark_dead() { alive_ = false; }
+
+  /// Wires the fencing-epoch source (the router's ring). Every request is
+  /// stamped with the *current* epoch at send time.
+  void set_epoch_provider(std::function<std::uint64_t()> provider) {
+    epoch_provider_ = std::move(provider);
+  }
+
+  /// Best-effort round-trip that ignores the dead-mark: the router's
+  /// fence sweep uses it to reach a shard that was declared dead by a
+  /// partition but whose process survived. Returns nullopt when the
+  /// transport observed a real failure (never respawns the worker) or the
+  /// request fails at the connection level; never changes alive().
+  std::optional<util::json::Value> probe(const util::json::Value& request);
 
  private:
   /// Re-requests `request` while the response is a structured overload
@@ -89,13 +120,28 @@ class ShardClient {
   util::json::Value retry_overloaded(const util::json::Value& request,
                                      util::json::Value response);
 
+  /// Stamps rid / epoch / missing idem onto a copy (see header comment);
+  /// returns the copy and the rid via `rid_out`.
+  util::json::Value stamp(const util::json::Value& request,
+                          std::string& rid_out);
+
+  /// One rid-matched round-trip with FrameError resend (no overload
+  /// handling, no alive_ bookkeeping).
+  util::json::Value roundtrip(const util::json::Value& request);
+
+  /// Jittered pause before a frame-corruption resend.
+  void frame_backoff();
+
   std::string name_;
   std::unique_ptr<service::Transport> transport_;
   ShardClientOptions options_;
   util::Rng jitter_ PWU_RNG_STREAM(retry_jitter);
+  std::function<std::uint64_t()> epoch_provider_;
   bool alive_ = true;
   std::uint64_t requests_ = 0;
   std::uint64_t overload_retries_ = 0;
+  std::uint64_t corrupt_replies_ = 0;
+  std::uint64_t rid_counter_ = 0;
 };
 
 }  // namespace pwu::router

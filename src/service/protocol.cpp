@@ -1,11 +1,13 @@
 #include "service/protocol.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
 #include "sim/fault_model.hpp"
+#include "util/fs_atomic.hpp"
 #include "util/killpoints.hpp"
 
 namespace pwu::service {
@@ -85,6 +87,10 @@ json::Value health_to_json(const HealthReport& report) {
               json::Value(static_cast<std::size_t>(report.lazy_resumes)));
   obj.emplace("watchdog_timeouts", json::Value(static_cast<std::size_t>(
                                        report.watchdog_timeouts)));
+  obj.emplace("idem_replays",
+              json::Value(static_cast<std::size_t>(report.idem_replays)));
+  obj.emplace("fence_epoch",
+              json::Value(static_cast<std::size_t>(report.fence_epoch)));
   json::Array sessions;
   sessions.reserve(report.sessions.size());
   for (const SessionHealth& sh : report.sessions) {
@@ -109,6 +115,69 @@ json::Value health_to_json(const HealthReport& report) {
 }
 
 }  // namespace
+
+/// Ops that change durable or model state — the ones idempotency keys and
+/// fencing epochs exist for. ask mutates the learner's pending set, so a
+/// stale-epoch or duplicated ask is just as dangerous as a tell.
+bool is_mutating_op(const std::string& op) {
+  return op == "create" || op == "ask" || op == "tell" || op == "resume" ||
+         op == "checkpoint" || op == "import" || op == "replicate" ||
+         op == "promote" || op == "close";
+}
+
+std::string frame_header(std::string_view payload) {
+  char crc_hex[9];
+  std::snprintf(crc_hex, sizeof crc_hex, "%08x", util::crc32(payload));
+  std::string header(kFrameMagic);
+  header += std::to_string(payload.size());
+  header += ' ';
+  header += crc_hex;
+  return header;
+}
+
+std::string frame_encode(std::string_view payload) {
+  std::string wire = frame_header(payload);
+  wire += '\n';
+  wire.append(payload);
+  wire += '\n';
+  return wire;
+}
+
+bool parse_frame_header(std::string_view line, FrameHeader& out) {
+  if (line.substr(0, kFrameMagic.size()) != kFrameMagic) return false;
+  std::string_view rest = line.substr(kFrameMagic.size());
+  const std::size_t space = rest.find(' ');
+  if (space == std::string_view::npos || space == 0) return false;
+  const std::string_view len_text = rest.substr(0, space);
+  const std::string_view crc_text = rest.substr(space + 1);
+  if (crc_text.size() != 8) return false;
+  std::size_t len = 0;
+  for (const char c : len_text) {
+    if (c < '0' || c > '9') return false;
+    if (len > (static_cast<std::size_t>(-1) - 9) / 10) return false;
+    len = len * 10 + static_cast<std::size_t>(c - '0');
+  }
+  std::uint32_t crc = 0;
+  for (const char c : crc_text) {
+    std::uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    crc = (crc << 4) | digit;
+  }
+  out.len = len;
+  out.crc = crc;
+  return true;
+}
+
+bool frame_payload_matches(const FrameHeader& header,
+                           std::string_view payload) {
+  return payload.size() == header.len && util::crc32(payload) == header.crc;
+}
 
 SessionSpec spec_from_json(const json::Value& request) {
   SessionSpec spec;
@@ -197,8 +266,12 @@ space::Configuration configuration_from_json(const json::Value& levels) {
   return space::Configuration(std::move(out));
 }
 
-util::json::Value handle_request(SessionManager& manager,
-                                 const json::Value& request) {
+namespace {
+
+/// The op dispatch proper — fencing, idempotency replay, and rid echo are
+/// layered on top by handle_request.
+json::Value dispatch_request(SessionManager& manager,
+                             const json::Value& request) {
   try {
     const std::string op = required_string(request, "op");
 
@@ -217,6 +290,27 @@ util::json::Value handle_request(SessionManager& manager,
     }
     if (op == "health") {
       return ok_response({{"health", health_to_json(manager.health())}});
+    }
+    if (op == "hello") {
+      // Framing negotiation: the serve loop watches for this op and flips
+      // its responses to framed when "frame" is true. The response itself
+      // also reports the fence epoch so a reconnecting client learns
+      // immediately whether it is stale.
+      return ok_response(
+          {{"proto", json::Value(std::string("pwu1"))},
+           {"frame", json::Value(request.bool_or("frame", false))},
+           {"fence_epoch",
+            json::Value(static_cast<std::size_t>(manager.fence_epoch()))}});
+    }
+    if (op == "fence") {
+      const json::Value& epoch = request.at("epoch");
+      if (!epoch.is_number()) {
+        throw std::invalid_argument("missing number field 'epoch'");
+      }
+      manager.raise_fence(static_cast<std::uint64_t>(epoch.as_number()));
+      return ok_response(
+          {{"epoch",
+            json::Value(static_cast<std::size_t>(manager.fence_epoch()))}});
     }
 
     // Reject unknown ops before demanding their operands, so a typo'd op
@@ -442,6 +536,69 @@ util::json::Value handle_request(SessionManager& manager,
   }
 }
 
+}  // namespace
+
+util::json::Value handle_request(SessionManager& manager,
+                                 const json::Value& request) {
+  json::Value response = [&]() -> json::Value {
+    try {
+      const std::string op = required_string(request, "op");
+
+      // Fencing: a write stamped with an epoch below the highest this
+      // server has seen comes from a router whose view of the ring
+      // predates a failover or grow — rejecting it closes the split-brain
+      // window. Any in-range epoch raises the fence monotonically.
+      if (request.has("epoch") && request.at("epoch").is_number()) {
+        const std::uint64_t epoch =
+            static_cast<std::uint64_t>(request.at("epoch").as_number());
+        const std::uint64_t fence = manager.fence_epoch();
+        if (is_mutating_op(op) && epoch < fence) {
+          json::Value fenced = error_response(
+              "stale epoch " + std::to_string(epoch) + " < fence " +
+              std::to_string(fence));
+          fenced.as_object().emplace("fenced", json::Value(true));
+          fenced.as_object().emplace(
+              "epoch", json::Value(static_cast<std::size_t>(fence)));
+          return fenced;
+        }
+        manager.raise_fence(epoch);
+      }
+
+      // Idempotency: a duplicated or retried mutating op (same
+      // client-generated key) replays the original reply instead of
+      // re-executing — the whole-client-path version of the router's
+      // exactly-once tells.
+      const std::string idem = request.string_or("idem", "");
+      const std::string session = request.string_or("session", "");
+      const bool dedup =
+          !idem.empty() && !session.empty() && is_mutating_op(op);
+      if (dedup) {
+        if (std::optional<std::string> prior =
+                manager.idempotent_reply(session, idem)) {
+          return json::parse(*prior);
+        }
+      }
+      json::Value fresh = dispatch_request(manager, request);
+      // Overload sheds are transient refusals — remembering one would
+      // replay it at the retry that the shed itself asked for.
+      if (dedup && !fresh.bool_or("overloaded", false)) {
+        manager.remember_reply(session, idem, fresh.dump());
+      }
+      return fresh;
+    } catch (const std::exception& e) {
+      return error_response(e.what());
+    }
+  }();
+  // Echo the request id (if any) so pipelining clients can re-match
+  // duplicated or reordered replies. Echoed after idempotency replay: the
+  // replayed reply must carry the *retry's* rid, not the original's.
+  if (request.is_object() && request.has("rid") &&
+      request.at("rid").is_string()) {
+    response.as_object()["rid"] = json::Value(request.at("rid").as_string());
+  }
+  return response;
+}
+
 std::size_t run_serve_loop(std::istream& in, std::ostream& out,
                            SessionManager& manager) {
   // Requests beyond this size are rejected up front: a runaway or
@@ -449,28 +606,71 @@ std::size_t run_serve_loop(std::istream& in, std::ostream& out,
   // every other session) keeps serving afterwards.
   constexpr std::size_t kMaxRequestBytes = 1 << 20;
   std::size_t handled = 0;
+  bool framed_out = false;
+  const auto respond = [&](const json::Value& response) {
+    const std::string payload = response.dump();
+    if (framed_out) {
+      out << frame_encode(payload);
+    } else {
+      out << payload << '\n';
+    }
+    out.flush();
+    ++handled;
+  };
   std::string line;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    // Framed request: a `pwu1 <len> <crc32>` header line, payload on the
+    // next line. A damaged frame (bad length, bad CRC, missing payload) is
+    // reported as a structured bad_frame error — never mis-parsed — and
+    // the loop resyncs at the next line.
+    FrameHeader header;
+    if (parse_frame_header(line, header)) {
+      if (header.len > kMaxRequestBytes) {
+        json::Value bad = error_response("frame exceeds 1 MiB");
+        bad.as_object().emplace("bad_frame", json::Value(true));
+        respond(bad);
+        continue;
+      }
+      std::string payload;
+      if (!std::getline(in, payload)) {
+        json::Value bad =
+            error_response("truncated frame: stream ended before payload");
+        bad.as_object().emplace("bad_frame", json::Value(true));
+        respond(bad);
+        break;
+      }
+      if (!frame_payload_matches(header, payload)) {
+        json::Value bad = error_response("frame checksum mismatch");
+        bad.as_object().emplace("bad_frame", json::Value(true));
+        respond(bad);
+        continue;
+      }
+      line = std::move(payload);
+    }
     if (line.size() > kMaxRequestBytes) {
-      out << error_response("request line exceeds 1 MiB").dump() << '\n';
-      out.flush();
-      ++handled;
+      respond(error_response("request line exceeds 1 MiB"));
       continue;
     }
     json::Value response;
     bool shutdown = false;
+    bool hello_frame = false;
     try {
       const json::Value request = json::parse(line);
       response = handle_request(manager, request);
+      if (request.string_or("op", "") == "hello" &&
+          response.bool_or("ok", false)) {
+        hello_frame = request.bool_or("frame", false);
+      }
       const json::Value& flag = response.at("shutdown");
       shutdown = flag.is_bool() && flag.as_bool();
     } catch (const std::exception& e) {
       response = error_response(e.what());
     }
-    out << response.dump() << '\n';
-    out.flush();
-    ++handled;
+    // The hello reply itself is already framed when framing was requested:
+    // the client asked for frames, so it can parse one immediately.
+    if (hello_frame) framed_out = true;
+    respond(response);
     if (shutdown) break;
   }
   return handled;

@@ -56,18 +56,70 @@
 // reports per-session state, queue depths, budget usage, and the
 // shed/degraded counters without blocking on busy sessions.
 //
+// Network resilience (DESIGN.md §15):
+//   * Checksummed wire framing: a message may arrive as two lines,
+//     `pwu1 <len> <crc32-hex>` then the payload. The length and CRC are
+//     verified before parsing, so a corrupted or truncated line is detected
+//     and reported (`{"ok":false,"bad_frame":true,...}`) instead of being
+//     mis-parsed; readers resync at the next `pwu1 ` header. Legacy
+//     unframed lines are always accepted. {"op":"hello","frame":true}
+//     negotiates framed *responses* for the rest of the connection.
+//   * Request ids: any request may carry "rid" (a string); the response
+//     echoes it, which is what lets pipelining clients re-match duplicated
+//     or reordered replies.
+//   * Idempotency: mutating ops may carry "idem" (a client-generated key).
+//     The manager keeps a bounded per-session window of (key -> reply) and
+//     replays the original reply on duplicates, so a retry after a lost or
+//     corrupted reply never double-applies a tell.
+//   * Fencing: requests may carry "epoch" (the router's ring epoch). A
+//     mutating op whose epoch is below the highest this server has seen
+//     answers {"ok":false,"fenced":true,"epoch":<fence>} — a partitioned
+//     stale primary cannot write after its standby was promoted.
+//     {"op":"fence","epoch":N} raises the fence explicitly.
+//
 // measure_seed is a decimal *string*: 64-bit seeds do not survive the trip
 // through a JSON double.
 
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "service/session_manager.hpp"
 #include "util/json.hpp"
 
 namespace pwu::service {
+
+// ---- checksummed wire framing ----------------------------------------------
+
+/// Magic that opens a frame header line: `pwu1 <len> <crc32-hex>`.
+inline constexpr std::string_view kFrameMagic = "pwu1 ";
+
+struct FrameHeader {
+  std::size_t len = 0;       // payload bytes (the next line, sans newline)
+  std::uint32_t crc = 0;     // IEEE CRC32 of the payload bytes
+};
+
+/// Renders the header line (no trailing newline) for `payload`.
+std::string frame_header(std::string_view payload);
+
+/// The full two-line wire form: header + '\n' + payload + '\n'.
+std::string frame_encode(std::string_view payload);
+
+/// Parses a `pwu1 <len> <crc32-hex>` header line. Returns false when the
+/// line is not a well-formed frame header (callers then treat it as a
+/// legacy unframed payload, or as garbage to resync past).
+bool parse_frame_header(std::string_view line, FrameHeader& out);
+
+/// Verifies `payload` against a parsed header (length and CRC both match).
+bool frame_payload_matches(const FrameHeader& header, std::string_view payload);
+
+/// Ops that change durable or model state — the ones idempotency keys and
+/// fencing epochs apply to (ask included: it mutates the learner's pending
+/// set, so duplicating or stale-writing it corrupts a session like a tell).
+bool is_mutating_op(const std::string& op);
 
 /// Parses a create request's tuning fields into a SessionSpec (defaults
 /// match the pwu_run CLI). Throws std::invalid_argument on missing or
@@ -89,7 +141,10 @@ util::json::Value handle_request(SessionManager& manager,
 
 /// Reads JSON lines from `in` until EOF or a shutdown request, writing one
 /// response line each. Blank lines are skipped; parse errors produce error
-/// responses. Returns the number of requests handled.
+/// responses. Framed requests (a `pwu1` header line followed by the
+/// payload) are verified and unwrapped; {"op":"hello","frame":true} flips
+/// responses to framed for the rest of the loop. Returns the number of
+/// requests handled.
 std::size_t run_serve_loop(std::istream& in, std::ostream& out,
                            SessionManager& manager);
 

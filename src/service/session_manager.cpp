@@ -756,6 +756,8 @@ HealthReport SessionManager::health() const {
       watchdog_timeouts_.load(std::memory_order_relaxed);
   report.fused_groups = fused_groups_.load(std::memory_order_relaxed);
   report.fused_scored_asks = fused_scored_.load(std::memory_order_relaxed);
+  report.idem_replays = idem_replays_.load(std::memory_order_relaxed);
+  report.fence_epoch = fence_epoch_.load(std::memory_order_relaxed);
 
   std::vector<std::pair<std::string, std::shared_ptr<Entry>>> entries;
   {
@@ -820,7 +822,59 @@ bool SessionManager::close(const std::string& name) {
     }
   }
   budget_.charge(name, 0);
+  {
+    // The dedup window dies with the session: a duplicate arriving after
+    // close answers "no session named ..." like any other stale request.
+    std::lock_guard idem_lock(idem_mutex_);
+    idem_windows_.erase(name);
+  }
   return true;
+}
+
+std::optional<std::string> SessionManager::idempotent_reply(
+    const std::string& session, const std::string& key) {
+  std::lock_guard lock(idem_mutex_);
+  const auto window = idem_windows_.find(session);
+  if (window == idem_windows_.end()) return std::nullopt;
+  const auto hit = window->second.replies.find(key);
+  if (hit == window->second.replies.end()) return std::nullopt;
+  idem_replays_.fetch_add(1, std::memory_order_relaxed);
+  return hit->second;
+}
+
+void SessionManager::remember_reply(const std::string& session,
+                                    const std::string& key,
+                                    std::string reply) {
+  std::lock_guard lock(idem_mutex_);
+  if (idem_window_cap_ == 0) return;
+  IdemWindow& window = idem_windows_[session];
+  const auto [it, inserted] =
+      window.replies.emplace(key, std::move(reply));
+  if (!inserted) return;  // first reply wins; duplicates replay it
+  window.order.push_back(key);
+  while (window.order.size() > idem_window_cap_) {
+    window.replies.erase(window.order.front());
+    window.order.erase(window.order.begin());
+  }
+}
+
+void SessionManager::set_idempotency_window(std::size_t per_session_keys) {
+  std::lock_guard lock(idem_mutex_);
+  idem_window_cap_ = per_session_keys;
+  if (idem_window_cap_ == 0) idem_windows_.clear();
+}
+
+std::size_t SessionManager::idempotency_window() const {
+  std::lock_guard lock(idem_mutex_);
+  return idem_window_cap_;
+}
+
+void SessionManager::raise_fence(std::uint64_t epoch) {
+  std::uint64_t current = fence_epoch_.load(std::memory_order_relaxed);
+  while (epoch > current &&
+         !fence_epoch_.compare_exchange_weak(current, epoch,
+                                             std::memory_order_relaxed)) {
+  }
 }
 
 void SessionManager::serialize_locked(const Entry& entry, std::ostream& os) {

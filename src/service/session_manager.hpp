@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -155,6 +156,10 @@ struct HealthReport {
   /// sessions scored inside such passes (ask_fused).
   std::uint64_t fused_groups = 0;
   std::uint64_t fused_scored_asks = 0;
+  /// Duplicated mutating ops answered from the idempotency window instead
+  /// of re-executed, and the current fencing epoch (DESIGN.md §15).
+  std::uint64_t idem_replays = 0;
+  std::uint64_t fence_epoch = 0;
   std::vector<SessionHealth> sessions;
 };
 
@@ -293,6 +298,37 @@ class SessionManager {
   void drain();
 
   std::size_t size() const;
+
+  // ---- wire-level idempotency (DESIGN.md §15) ------------------------------
+
+  /// The remembered reply for a (session, key) pair, or nullopt when the
+  /// key is unseen. A hit means the request is a duplicate (retry after a
+  /// lost/corrupted reply, or a transport-level duplication) and the
+  /// original reply must be replayed instead of re-executing the op.
+  std::optional<std::string> idempotent_reply(const std::string& session,
+                                              const std::string& key);
+
+  /// Remembers `reply` for a (session, key) pair. The window is bounded
+  /// per session (oldest key evicted past the cap) and dropped wholesale
+  /// when the session closes.
+  void remember_reply(const std::string& session, const std::string& key,
+                      std::string reply);
+
+  /// Per-session idempotency-window capacity in keys (default 32; 0
+  /// disables dedup entirely).
+  void set_idempotency_window(std::size_t per_session_keys);
+  std::size_t idempotency_window() const;
+
+  // ---- fencing epochs (DESIGN.md §15) --------------------------------------
+
+  /// Highest ring epoch this server has seen. Mutating ops stamped with a
+  /// lower epoch are rejected by the protocol layer as `fenced`.
+  std::uint64_t fence_epoch() const {
+    return fence_epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Raises the fence monotonically (lower values are ignored).
+  void raise_fence(std::uint64_t epoch);
 
  private:
   struct Entry {
@@ -434,6 +470,20 @@ class SessionManager {
   mutable std::atomic<std::uint64_t> watchdog_timeouts_{0};
   mutable std::atomic<std::uint64_t> fused_groups_{0};
   mutable std::atomic<std::uint64_t> fused_scored_{0};
+
+  /// Idempotency windows live beside the registry (own leaf mutex, never
+  /// held together with registry or entry mutexes) so dedup bookkeeping
+  /// cannot perturb the session locking order. `order` is a bounded FIFO
+  /// of keys (capacity idem_window_cap_), oldest evicted first.
+  struct IdemWindow {
+    std::map<std::string, std::string> replies;
+    std::vector<std::string> order;
+  };
+  mutable std::mutex idem_mutex_;
+  std::map<std::string, IdemWindow> idem_windows_ PWU_GUARDED_BY(idem_mutex_);
+  std::size_t idem_window_cap_ PWU_GUARDED_BY(idem_mutex_) = 32;
+  mutable std::atomic<std::uint64_t> idem_replays_{0};
+  std::atomic<std::uint64_t> fence_epoch_{0};
 };
 
 }  // namespace pwu::service

@@ -94,11 +94,38 @@ void PipeTransport::send(const std::string& line) {
   ensure_running();
   std::string payload = line;
   payload.push_back('\n');
+  write_wire_frame(payload);
+}
+
+void PipeTransport::send_frame(const std::string& header,
+                               const std::string& payload) {
+  // Header + payload in one write: the server's reader gets the whole
+  // message from a single pipe wakeup instead of blocking again between
+  // the header and the payload line.
+  ensure_running();
+  std::string wire;
+  wire.reserve(header.size() + payload.size() + 2);
+  wire += header;
+  wire += '\n';
+  wire += payload;
+  wire += '\n';
+  write_wire_frame(wire);
+}
+
+void PipeTransport::write_wire_frame(const std::string& payload) {
+  // A child that died mid-conversation turns write() into SIGPIPE, which
+  // would kill *us* instead of surfacing a retryable TransportError; report
+  // it as EPIPE like every other connection failure.
+  signal(SIGPIPE, SIG_IGN);
   std::size_t written = 0;
   while (written < payload.size()) {
     const ssize_t n =
         write(to_child_, payload.data() + written, payload.size() - written);
     if (n < 0) {
+      // EINTR: a signal landed before any byte moved — retry the same span.
+      // A *short* write (0 < n < remaining) is not an error at all; the
+      // loop advances `written` and continues, so replies larger than the
+      // pipe buffer go out whole instead of truncated.
       if (errno == EINTR) continue;
       fail("server closed the connection (write: " +
            std::string(std::strerror(errno)) + ")");
@@ -136,13 +163,22 @@ std::string PipeTransport::recv() {
       fail("poll: " + std::string(std::strerror(errno)));
     }
     if (ready == 0) fail("response timed out");
+    // A long reply arrives as several short reads (pipe buffers are small);
+    // keep appending until the newline shows up — never surface a
+    // truncated line as if it were complete.
     char chunk[4096];
     const ssize_t n = read(from_child_, chunk, sizeof chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
       fail("read: " + std::string(std::strerror(errno)));
     }
-    if (n == 0) fail("server closed the connection");
+    if (n == 0) {
+      if (!buffer_.empty()) {
+        fail("server closed the connection mid-reply (" +
+             std::to_string(buffer_.size()) + " bytes of a truncated line)");
+      }
+      fail("server closed the connection");
+    }
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
 }
@@ -163,6 +199,90 @@ void PipeTransport::teardown() {
     pid_ = -1;
   }
   buffer_.clear();
+}
+
+// ---- FramedTransport -------------------------------------------------------
+
+FramedTransport::FramedTransport(std::unique_ptr<Transport> inner)
+    : inner_(std::move(inner)) {}
+
+void FramedTransport::ensure_running() {
+  // A connection that observed a failure respawns as a *fresh* process,
+  // which starts in legacy (unframed) mode — renegotiate.
+  if (!inner_->alive()) negotiated_ = false;
+  inner_->ensure_running();
+}
+
+void FramedTransport::negotiate() {
+  negotiated_ = true;
+  peer_framed_ = false;
+  has_pushback_ = false;
+  // The hello itself goes out unframed (a legacy server must be able to
+  // parse it); the reply tells us which dialect the peer speaks: a framed
+  // server flips to framed *before* answering, so the reply arrives as a
+  // `pwu1` header + payload. A legacy server answers an unframed
+  // unknown-op error, and we stay in passthrough mode.
+  inner_->send("{\"frame\":true,\"op\":\"hello\"}");
+  const std::string first = inner_->recv();
+  FrameHeader header;
+  if (!parse_frame_header(first, header)) return;
+  peer_framed_ = true;
+  const std::string payload = inner_->recv();
+  if (!frame_payload_matches(header, payload)) {
+    // The hello reply was corrupted in flight; the peer is still framed and
+    // we are at a frame boundary, so negotiation itself succeeded.
+    ++corrupt_replies_;
+  }
+}
+
+void FramedTransport::send(const std::string& line) {
+  if (!negotiated_) negotiate();
+  if (!peer_framed_) {
+    inner_->send(line);
+    return;
+  }
+  // Two inner lines per message: header, then payload. send_frame keeps
+  // the pair atomic — one write on a real fd, one fault-injection unit on
+  // a simulated wire.
+  inner_->send_frame(frame_header(line), line);
+}
+
+std::string FramedTransport::next_line() {
+  if (has_pushback_) {
+    has_pushback_ = false;
+    return std::move(pushback_);
+  }
+  return inner_->recv();
+}
+
+std::string FramedTransport::recv() {
+  if (!negotiated_) negotiate();
+  if (!peer_framed_) return inner_->recv();
+  const std::string first = next_line();
+  FrameHeader header;
+  if (!parse_frame_header(first, header)) {
+    // Corrupted header. The unit's payload line is still in flight —
+    // consume it so the next recv() starts at a frame boundary. If what we
+    // read turns out to be a *valid* header (the garbage line stood alone),
+    // push it back instead of eating the next reply.
+    ++resyncs_;
+    ++corrupt_replies_;
+    std::string second = inner_->recv();
+    FrameHeader next_header;
+    if (parse_frame_header(second, next_header)) {
+      pushback_ = std::move(second);
+      has_pushback_ = true;
+    }
+    throw FrameError("corrupt frame header; resynced to next frame");
+  }
+  const std::string payload = next_line();
+  if (!frame_payload_matches(header, payload)) {
+    ++corrupt_replies_;
+    throw FrameError("frame checksum mismatch (" +
+                     std::to_string(payload.size()) + " bytes vs " +
+                     std::to_string(header.len) + " declared)");
+  }
+  return payload;
 }
 
 }  // namespace pwu::service

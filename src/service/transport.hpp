@@ -36,6 +36,16 @@ struct TransportError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A reply arrived but failed frame verification (CRC mismatch, length
+/// mismatch, lost frame) — the *connection* is healthy and already resynced
+/// to the next frame boundary, so the right response is to re-send the
+/// request (idempotency keys make that safe), not to fail the peer over.
+/// Deliberately NOT a TransportError: catching it as one would treat a
+/// single corrupted line as a dead shard.
+struct FrameError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -47,6 +57,16 @@ class Transport {
   /// Returns the next response line, in request order. Throws
   /// TransportError on connection failure or deadline expiry.
   virtual std::string recv() = 0;
+
+  /// Writes one framed message: a `pwu1 <len> <crc32>` header line plus
+  /// its payload line. The default is two send() calls; transports that
+  /// own a real fd override it to ship the pair in a single write, so the
+  /// peer never wakes on a bare header and blocks again for the payload.
+  virtual void send_frame(const std::string& header,
+                          const std::string& payload) {
+    send(header);
+    send(payload);
+  }
 
   /// One round-trip: send + recv.
   std::string request(const std::string& line) {
@@ -102,6 +122,8 @@ class PipeTransport : public Transport {
   PipeTransport& operator=(const PipeTransport&) = delete;
 
   void send(const std::string& line) override;
+  void send_frame(const std::string& header,
+                  const std::string& payload) override;
   std::string recv() override;
   void ensure_running() override;
   /// "Not spawned yet" is alive (the child starts lazily on first send);
@@ -116,6 +138,9 @@ class PipeTransport : public Transport {
   /// and reports the failure as retryable.
   [[noreturn]] void fail(const std::string& what);
   void teardown();
+  /// The single raw-fd write chokepoint: every byte this transport puts on
+  /// the wire goes through here (lint: framed-write-discipline).
+  void write_wire_frame(const std::string& payload);
 
   std::string command_;
   double timeout_;
@@ -124,6 +149,45 @@ class PipeTransport : public Transport {
   int from_child_ = -1;
   bool failed_ = false;
   std::string buffer_;
+};
+
+/// Decorator that speaks the checksummed `pwu1 <len> <crc32>` framing over
+/// any inner Transport. send() wraps the request in a frame; recv() expects
+/// a framed reply (negotiated once via {"op":"hello","frame":true}),
+/// verifies length + CRC, and throws FrameError on a corrupted or
+/// truncated frame — after resyncing, so the *next* recv() starts at a
+/// frame boundary. Unframed lines from a legacy server pass through (they
+/// predate negotiation, e.g. the hello reply itself on an old binary).
+class FramedTransport : public Transport {
+ public:
+  explicit FramedTransport(std::unique_ptr<Transport> inner);
+
+  void send(const std::string& line) override;
+  std::string recv() override;
+  void ensure_running() override;
+  bool alive() const override { return inner_->alive(); }
+
+  Transport& inner() { return *inner_; }
+
+  /// Replies that failed frame verification (each also threw FrameError).
+  std::size_t corrupt_replies() const { return corrupt_replies_; }
+  /// Garbage lines skipped while hunting for a frame header.
+  std::size_t resyncs() const { return resyncs_; }
+
+ private:
+  /// Sends the hello that flips the server to framed responses. Runs once
+  /// per (re)connection, lazily before the first framed exchange.
+  void negotiate();
+  /// Next line: the pushed-back one if any, else inner recv.
+  std::string next_line();
+
+  std::unique_ptr<Transport> inner_;
+  bool negotiated_ = false;
+  bool peer_framed_ = false;
+  bool has_pushback_ = false;
+  std::string pushback_;
+  std::size_t corrupt_replies_ = 0;
+  std::size_t resyncs_ = 0;
 };
 
 }  // namespace pwu::service

@@ -1,0 +1,240 @@
+#include "sim/faulty_transport.hpp"
+
+#include <stdexcept>
+
+#include "service/protocol.hpp"
+
+namespace pwu::sim {
+
+namespace {
+
+/// Flips one low bit of one byte — always changes the line, never by more
+/// than the CRC (or the header parser) can notice.
+void flip_byte(std::string& line,
+               util::Rng& rng PWU_RNG_STREAM(fault_schedule)) {
+  if (line.empty()) {
+    line.push_back('?');
+    return;
+  }
+  const std::size_t i = rng.index(line.size());
+  line[i] = static_cast<char>(line[i] ^ 0x01);
+}
+
+}  // namespace
+
+FaultyTransport::FaultyTransport(std::unique_ptr<service::Transport> inner,
+                                 FaultSchedule schedule)
+    : inner_(std::move(inner)), schedule_(schedule), rng_(schedule.seed) {
+  const double probs[] = {schedule_.drop,           schedule_.duplicate,
+                          schedule_.reorder,        schedule_.delay,
+                          schedule_.corrupt_payload, schedule_.corrupt_header,
+                          schedule_.truncate};
+  double sum = 0.0;
+  for (const double p : probs) {
+    if (p < 0.0) {
+      throw std::invalid_argument(
+          "FaultSchedule: fault probabilities must be non-negative");
+    }
+    sum += p;
+  }
+  if (sum > 1.0) {
+    throw std::invalid_argument(
+        "FaultSchedule: fault probabilities sum above 1");
+  }
+}
+
+void FaultyTransport::check_partition() {
+  if (partition_ops_ == 0) return;
+  --partition_ops_;
+  ++stats_.partition_rejections;
+  throw service::TransportError("network partition (injected)");
+}
+
+void FaultyTransport::send(const std::string& line) {
+  service::FrameHeader header;
+  if (!has_pending_send_ && service::parse_frame_header(line, header)) {
+    // A frame header travels with the payload line that follows it; hold
+    // it so a partition can only ever reject the *whole* message.
+    pending_send_ = line;
+    has_pending_send_ = true;
+    return;
+  }
+  if (has_pending_send_) {
+    const std::string head = std::move(pending_send_);
+    has_pending_send_ = false;
+    check_partition();
+    inner_->send(head);
+    inner_->send(line);
+  } else {
+    check_partition();
+    inner_->send(line);
+  }
+  ++outstanding_;
+}
+
+void FaultyTransport::send_frame(const std::string& header,
+                                 const std::string& payload) {
+  check_partition();
+  inner_->send_frame(header, payload);
+  ++outstanding_;
+}
+
+FaultyTransport::Unit FaultyTransport::read_unit() {
+  Unit unit;
+  std::string first = inner_->recv();
+  service::FrameHeader header;
+  const bool framed = service::parse_frame_header(first, header);
+  unit.push_back(std::move(first));
+  if (framed) unit.push_back(inner_->recv());
+  if (outstanding_ > 0) --outstanding_;
+  return unit;
+}
+
+WireFate FaultyTransport::next_fate() {
+  if (next_scripted_ < scripted_.size()) return scripted_[next_scripted_++];
+  const double x = rng_.uniform();
+  double acc = schedule_.drop;
+  if (x < acc) return WireFate::Drop;
+  acc += schedule_.duplicate;
+  if (x < acc) return WireFate::Duplicate;
+  acc += schedule_.reorder;
+  if (x < acc) return WireFate::Reorder;
+  acc += schedule_.delay;
+  if (x < acc) return WireFate::Delay;
+  acc += schedule_.corrupt_payload;
+  if (x < acc) return WireFate::CorruptPayload;
+  acc += schedule_.corrupt_header;
+  if (x < acc) return WireFate::CorruptHeader;
+  acc += schedule_.truncate;
+  if (x < acc) return WireFate::Truncate;
+  return WireFate::Deliver;
+}
+
+void FaultyTransport::enqueue(const Unit& unit) {
+  for (const std::string& line : unit) queue_.push_back(line);
+}
+
+void FaultyTransport::release_due() {
+  // One virtual-clock tick: every held unit gets one unit closer to
+  // release; the expired ones are delivered in hold order.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < held_.size(); ++i) {
+    if (held_[i].first <= 1) {
+      enqueue(held_[i].second);
+    } else {
+      held_[kept] = {held_[i].first - 1, std::move(held_[i].second)};
+      ++kept;
+    }
+  }
+  held_.resize(kept);
+}
+
+void FaultyTransport::pump_one_unit() {
+  Unit unit = read_unit();
+  WireFate fate = next_fate();
+  // Reorder needs a later reply to swap with and Delay needs two more
+  // ticks; when this unit is the last one outstanding, demote to Deliver
+  // so a schedule-driven run can never stall waiting for a reply that was
+  // never requested.
+  if ((fate == WireFate::Reorder && outstanding_ == 0) ||
+      (fate == WireFate::Delay && outstanding_ < 2)) {
+    fate = WireFate::Deliver;
+  }
+  switch (fate) {
+    case WireFate::Deliver:
+      ++stats_.delivered;
+      enqueue(unit);
+      break;
+    case WireFate::Drop:
+      ++stats_.dropped;
+      release_due();
+      // The unit is consumed (the wire is clean at a frame boundary); the
+      // missing reply surfaces as the retryable frame-loss error rather
+      // than a wall-clock timeout, keeping chaos runs deterministic.
+      throw service::FrameError("reply lost (injected drop)");
+    case WireFate::Duplicate:
+      ++stats_.duplicated;
+      enqueue(unit);
+      enqueue(unit);
+      break;
+    case WireFate::Reorder: {
+      ++stats_.reordered;
+      const Unit next = read_unit();
+      enqueue(next);
+      enqueue(unit);
+      break;
+    }
+    case WireFate::Delay:
+      ++stats_.delayed;
+      held_.emplace_back(2, std::move(unit));
+      break;
+    case WireFate::CorruptPayload:
+      ++stats_.corrupted;
+      flip_byte(unit.back(), rng_);
+      enqueue(unit);
+      break;
+    case WireFate::CorruptHeader:
+      ++stats_.corrupted;
+      flip_byte(unit.front(), rng_);
+      enqueue(unit);
+      break;
+    case WireFate::Truncate:
+      ++stats_.truncated;
+      unit.back().resize(unit.back().size() / 2);
+      enqueue(unit);
+      break;
+  }
+  release_due();
+}
+
+std::string FaultyTransport::recv() {
+  check_partition();
+  while (next_line_ >= queue_.size()) {
+    if (outstanding_ == 0 && !held_.empty()) {
+      // No further replies are coming to tick the virtual clock; flush the
+      // held units now rather than blocking on a recv that cannot succeed.
+      for (auto& held : held_) enqueue(held.second);
+      held_.clear();
+      continue;
+    }
+    pump_one_unit();
+  }
+  std::string line = std::move(queue_[next_line_]);
+  ++next_line_;
+  if (next_line_ == queue_.size()) {
+    queue_.clear();
+    next_line_ = 0;
+  }
+  return line;
+}
+
+void FaultyTransport::ensure_running() {
+  if (partition_ops_ > 0) {
+    throw service::TransportError("network partition (injected)");
+  }
+  if (!inner_->alive()) {
+    // A fresh peer process means every buffered line belonged to the dead
+    // incarnation.
+    queue_.clear();
+    next_line_ = 0;
+    held_.clear();
+    has_pending_send_ = false;
+    outstanding_ = 0;
+  }
+  inner_->ensure_running();
+}
+
+bool FaultyTransport::alive() const {
+  return partition_ops_ == 0 && inner_->alive();
+}
+
+void FaultyTransport::script(std::vector<WireFate> fates) {
+  scripted_ = std::move(fates);
+  next_scripted_ = 0;
+}
+
+void FaultyTransport::partition_for(std::size_t ops) { partition_ops_ = ops; }
+
+void FaultyTransport::heal() { partition_ops_ = 0; }
+
+}  // namespace pwu::sim

@@ -1,0 +1,158 @@
+// Seeded, deterministic network-fault injection over a service::Transport.
+//
+// The netchaos harness (DESIGN.md §15) needs every wire failure the serving
+// tier claims to survive — loss, duplication, reordering, delay, bit
+// corruption, truncation, partitions — as a *replayable* schedule: the same
+// seed must produce the same fault sequence so a failing run is a
+// deterministic regression, exactly like sim::FaultModel does for
+// measurement failures.
+//
+// FaultyTransport decorates any Transport and applies fates per *message
+// unit*. It is frame-aware: a `pwu1 <len> <crc32>` header line and the
+// payload line that follows it travel (and fail) together, so an injected
+// fault always lands on a whole message, never tears one in half. The
+// intended stack puts the verifier above the injector:
+//
+//   FramedTransport( FaultyTransport( PipeTransport ) )
+//
+// so corruption hits the checksummed wire bytes and the framing layer is
+// what detects it.
+//
+// Determinism without wall-clock: a Dropped reply surfaces as FrameError
+// (the stand-in for "the reply never arrived and the connection resynced"),
+// a partition window surfaces as TransportError *without touching the
+// inner transport* — the peer process stays alive behind the partition,
+// which is what makes split-brain tests possible. Delay is virtual-clock:
+// a delayed unit is released after N later units, not after N seconds.
+//
+// Fates come from an explicit script when one is set (unit tests pin exact
+// sequences) and from the seeded probability schedule otherwise.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/transport.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace pwu::sim {
+
+/// One message unit's fate. Reorder and Delay hold the unit back and need
+/// at least one later unit in flight (use them inside pipelined windows).
+enum class WireFate {
+  Deliver,
+  Drop,           // unit lost -> FrameError at the matching recv
+  Duplicate,      // unit delivered twice, back to back
+  Reorder,        // unit swapped with the next one
+  Delay,          // unit released after the next two units (virtual clock)
+  CorruptPayload, // one payload byte flipped (CRC catches it)
+  CorruptHeader,  // one header byte flipped (resync catches it)
+  Truncate,       // payload cut in half (length check catches it)
+};
+
+/// Per-fate probabilities for schedule-driven runs; the remainder up to 1
+/// is Deliver. Fates are drawn from a seeded stream per message unit.
+struct FaultSchedule {
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double delay = 0.0;
+  double corrupt_payload = 0.0;
+  double corrupt_header = 0.0;
+  double truncate = 0.0;
+  std::uint64_t seed = 0;
+};
+
+struct FaultStats {
+  std::size_t delivered = 0;
+  std::size_t dropped = 0;
+  std::size_t duplicated = 0;
+  std::size_t reordered = 0;
+  std::size_t delayed = 0;
+  std::size_t corrupted = 0;
+  std::size_t truncated = 0;
+  std::size_t partition_rejections = 0;
+};
+
+class FaultyTransport : public service::Transport {
+ public:
+  /// Throws std::invalid_argument when the schedule's probabilities are
+  /// negative or sum above 1.
+  FaultyTransport(std::unique_ptr<service::Transport> inner,
+                  FaultSchedule schedule);
+
+  /// Requests pass through un-faulted (reply-side faults exercise every
+  /// client recovery path without wall-clock timeouts); a partition window
+  /// rejects them like everything else.
+  void send(const std::string& line) override;
+  /// A framed pair arrives atomically: one partition check, one unit on
+  /// the wire — identical semantics to the buffered header+payload path
+  /// send() uses when the caller frames by hand.
+  void send_frame(const std::string& header,
+                  const std::string& payload) override;
+  std::string recv() override;
+  void ensure_running() override;
+  bool alive() const override;
+
+  /// Fixes the fates of the next `fates.size()` reply units, consumed
+  /// FIFO; after that the probability schedule resumes. Replaces any
+  /// unconsumed previous script.
+  void script(std::vector<WireFate> fates);
+
+  /// Opens a partition: the next `ops` send/recv attempts throw
+  /// TransportError without touching the inner transport (the peer process
+  /// survives behind the partition). Virtual-clock "timed" windows.
+  void partition_for(std::size_t ops);
+  /// Closes the partition window early.
+  void heal();
+  bool partitioned() const { return partition_ops_ > 0; }
+
+  const FaultStats& stats() const { return stats_; }
+  service::Transport& inner() { return *inner_; }
+
+ private:
+  /// A message unit: the lines that must travel together (header+payload
+  /// for a framed message, one line otherwise).
+  using Unit = std::vector<std::string>;
+
+  /// Throws TransportError when inside a partition window (consuming one
+  /// window op).
+  void check_partition();
+  /// Reads one whole unit from the inner transport.
+  Unit read_unit();
+  /// Draws/consumes the next fate and applies it, appending deliverable
+  /// lines to queue_.
+  void pump_one_unit();
+  WireFate next_fate();
+  void enqueue(const Unit& unit);
+  /// Ticks held (delayed) units and releases the expired ones.
+  void release_due();
+
+  std::unique_ptr<service::Transport> inner_;
+  FaultSchedule schedule_;
+  util::Rng rng_ PWU_RNG_STREAM(fault_schedule);
+  std::vector<WireFate> scripted_;
+  std::size_t next_scripted_ = 0;
+  // Deliverable reply lines (vector + cursor, compacted when drained).
+  std::vector<std::string> queue_;
+  std::size_t next_line_ = 0;
+  // Delayed units: (units still to pass before release, unit).
+  std::vector<std::pair<std::size_t, Unit>> held_;
+  // Replies the inner transport still owes us (sent units minus read
+  // units) — what lets Reorder/Delay demote to Deliver instead of
+  // blocking on a reply nobody requested.
+  std::size_t outstanding_ = 0;
+  std::size_t partition_ops_ = 0;
+  // Header line buffered until its payload arrives (send-side unit glue).
+  std::string pending_send_;
+  bool has_pending_send_ = false;
+  FaultStats stats_;
+};
+
+}  // namespace pwu::sim

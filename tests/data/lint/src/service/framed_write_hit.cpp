@@ -1,0 +1,27 @@
+// Fixture: transport fd writes outside the framing layer. Both methods of
+// RetryPipeTransport push bytes straight onto the pipe — one with a bare
+// write(), one ::-qualified — so the length prefix, the CRC, and the
+// short-write/EINTR loop the framing writer owns are all bypassed; the
+// peer sees unframed (and, on a short write, torn) bytes.
+#include <string>
+#include <unistd.h>
+
+namespace pwu::service {
+
+class RetryPipeTransport {
+ public:
+  void send_line(const std::string& line) {
+    write(to_child_, line.data(), line.size());
+  }
+
+  void flush_backlog() {
+    ::write(to_child_, backlog_.data(), backlog_.size());
+    backlog_.clear();
+  }
+
+ private:
+  int to_child_ = -1;
+  std::string backlog_;
+};
+
+}  // namespace pwu::service

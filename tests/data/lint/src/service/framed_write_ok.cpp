@@ -1,0 +1,37 @@
+// Fixture: the clean twin of framed_write_hit.cpp. The raw fd write lives
+// in write_wire_frame() — the framing layer itself, exempt by name — and
+// every other path goes through it. A stream-receiver `os.write(...)` is
+// not a wire write, and a raw write() in a class that is not a *Transport
+// is outside the rule's scope entirely.
+#include <ostream>
+#include <string>
+#include <unistd.h>
+
+namespace pwu::service {
+
+class CleanFramedTransport {
+ public:
+  void send(const std::string& line) { write_wire_frame(line + "\n"); }
+
+  void write_wire_frame(const std::string& payload) {
+    write(to_child_, payload.data(), payload.size());
+  }
+
+  void journal_to(std::ostream& os, const std::string& note) {
+    os.write(note.data(), static_cast<long>(note.size()));
+  }
+
+ private:
+  int to_child_ = -1;
+};
+
+// Not a *Transport class: the name gate keeps checkpoint-image and journal
+// fd writes out of this rule (they have their own disciplines).
+class ScratchSpill {
+ public:
+  void spill(int fd, const std::string& blob) {
+    write(fd, blob.data(), blob.size());
+  }
+};
+
+}  // namespace pwu::service

@@ -3,9 +3,9 @@
 // (src/core, src/rf, src/router, src/service, src/util, tools) so the
 // path-scoped rules exercise their real scoping logic. The flow-aware
 // rules (lock-graph, blocking-under-lock, rng-stream-discipline,
-// killpoint-safety, replicate-write-discipline) get seeded violation
-// fixtures plus clean twins, and the tokenizer/indexer get direct unit
-// tests via source_from_string.
+// killpoint-safety, replicate-write-discipline, framed-write-discipline)
+// get seeded violation fixtures plus clean twins, and the tokenizer/indexer
+// get direct unit tests via source_from_string.
 
 #include "index.hpp"
 #include "lint.hpp"
@@ -29,8 +29,8 @@ namespace {
 
 const char* kFixtureRoot = PWU_TEST_DATA_DIR "/lint";
 
-constexpr std::size_t kFixtureFiles = 38;
-constexpr std::size_t kActiveFindings = 29;
+constexpr std::size_t kFixtureFiles = 40;
+constexpr std::size_t kActiveFindings = 31;
 constexpr std::size_t kSuppressed = 8;
 
 Report scan(Options options = {}) { return run(kFixtureRoot, options); }
@@ -114,6 +114,7 @@ TEST(PwuLint, FixtureTreeProducesExactlyTheExpectedFindings) {
   EXPECT_EQ(count_rule(report, "rng-stream-discipline"), 3u);
   EXPECT_EQ(count_rule(report, "killpoint-safety"), 3u);
   EXPECT_EQ(count_rule(report, "replicate-write-discipline"), 2u);
+  EXPECT_EQ(count_rule(report, "framed-write-discipline"), 2u);
   // Tokens inside strings, raw strings, and comments never fire.
   for (const Finding& f : report.findings) {
     EXPECT_NE(f.file, "src/core/tokens_in_literals.cpp") << f.rule;
@@ -287,6 +288,27 @@ TEST(PwuLint, ReplicateWriteDisciplineFlagsUndisciplinedWrites) {
   // Writes under the checkpoint-write mutex — and write sites in functions
   // that are not on the replication path — are clean.
   EXPECT_EQ(count_file(report, "src/router/replicate_write_ok.cpp"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// framed-write-discipline
+// ---------------------------------------------------------------------------
+
+TEST(PwuLint, FramedWriteDisciplineFlagsRawFdWritesInTransports) {
+  const Report report = scan();
+  // A bare write() and a ::-qualified one, both in *Transport methods whose
+  // names lack "frame".
+  EXPECT_TRUE(has_finding(report, "framed-write-discipline",
+                          "src/service/framed_write_hit.cpp", 14));
+  EXPECT_TRUE(has_finding(report, "framed-write-discipline",
+                          "src/service/framed_write_hit.cpp", 18));
+  const Finding* f = find_finding(report, "framed-write-discipline",
+                                  "src/service/framed_write_hit.cpp");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("bypasses the framing layer"), std::string::npos);
+  // The framing writer itself, a stream-receiver write, and a raw write in
+  // a non-Transport class are all clean.
+  EXPECT_EQ(count_file(report, "src/service/framed_write_ok.cpp"), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -528,13 +550,14 @@ TEST(PwuLint, CatalogListsEveryRuleOnceInReportingOrder) {
   const auto& catalog = rule_catalog();
   std::vector<std::string> names;
   for (const RuleInfo& rule : catalog) names.emplace_back(rule.name);
-  // The nine line rules in their original order, then the five flow rules.
+  // The nine line rules in their original order, then the six flow rules.
   const std::vector<std::string> expected = {
       "no-raw-rand",        "no-wallclock",        "no-cout-logging",
       "header-hygiene",     "no-raw-new",          "atomic-checkpoint",
       "no-unbounded-queue", "no-unlocked-mutable", "no-unchecked-simd",
       "lock-graph",         "blocking-under-lock", "rng-stream-discipline",
-      "killpoint-safety",   "replicate-write-discipline"};
+      "killpoint-safety",   "replicate-write-discipline",
+      "framed-write-discipline"};
   EXPECT_EQ(names, expected);
   std::sort(names.begin(), names.end());
   EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
@@ -545,7 +568,7 @@ TEST(PwuLint, JsonTextAndSarifOutputsCarryTheFindings) {
   std::ostringstream text;
   print_text(text, report);
   EXPECT_NE(text.str().find("no-raw-rand"), std::string::npos);
-  EXPECT_NE(text.str().find("29 finding(s)"), std::string::npos);
+  EXPECT_NE(text.str().find("31 finding(s)"), std::string::npos);
 
   std::ostringstream json;
   print_json(json, report);

@@ -1,0 +1,515 @@
+// Network-chaos harness for the serving tier (`ctest -L netchaos`).
+//
+// Real pwu_serve workers forked behind checksummed framed pipes, with a
+// seeded sim::FaultyTransport spliced between the router's framing layer
+// and each wire:
+//
+//   Router -> FramedTransport( FaultyTransport( PipeTransport ) )
+//
+// so injected loss, duplication, reordering, corruption, and truncation
+// hit the checksummed bytes and the resilience layer (DESIGN.md §15) is
+// what has to survive them. Acceptance:
+//
+//   * under a seeded fault schedule the client-visible response stream is
+//     bit-identical to a fault-free control fleet — and to a second run of
+//     the same seed (a failing schedule is a deterministic regression);
+//   * no tell is ever applied twice (labeled-count audit): rid matching
+//     plus idempotency-key replay make corrupt-reply resends exactly-once;
+//   * split-brain is fenced: a partition-declared death leaves a live
+//     stale primary behind; once the partition heals, the fence sweep
+//     raises its epoch and a write stamped with the pre-failover epoch is
+//     rejected `fenced` instead of forking the session's history.
+
+#include "router/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "router/hash_ring.hpp"
+#include "service/protocol.hpp"
+#include "service/transport.hpp"
+#include "sim/faulty_transport.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+
+#ifndef PWU_SERVE_BIN
+#define PWU_SERVE_BIN "pwu_serve"  // overridden by CMake with the real path
+#endif
+
+namespace pwu::router {
+namespace {
+
+namespace json = util::json;
+namespace fs = std::filesystem;
+
+using sim::FaultSchedule;
+using sim::FaultStats;
+using sim::FaultyTransport;
+
+std::string fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() / ("pwu_netchaos_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// A fleet of real forked workers behind framed, fault-injected wires.
+/// `wires[i]` stays valid for the router's lifetime — schedules, scripts,
+/// and partitions are driven through it mid-test.
+struct Fleet {
+  std::unique_ptr<Router> router;
+  std::vector<FaultyTransport*> wires;
+
+  FaultStats total_faults() const {
+    FaultStats sum;
+    for (const FaultyTransport* wire : wires) {
+      const FaultStats& s = wire->stats();
+      sum.delivered += s.delivered;
+      sum.dropped += s.dropped;
+      sum.duplicated += s.duplicated;
+      sum.reordered += s.reordered;
+      sum.delayed += s.delayed;
+      sum.corrupted += s.corrupted;
+      sum.truncated += s.truncated;
+      sum.partition_rejections += s.partition_rejections;
+    }
+    return sum;
+  }
+};
+
+Fleet make_fleet(const std::string& tag, std::size_t workers,
+                 const FaultSchedule& schedule) {
+  RouterOptions options;
+  options.frame = true;  // the router wraps each wire in FramedTransport
+  Fleet fleet;
+  std::vector<ShardSpec> specs(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    const std::string dir = fresh_dir(tag + "_" + std::to_string(i));
+    const std::string command = std::string("'") + PWU_SERVE_BIN +
+                                "' --checkpoint-dir '" + dir +
+                                "' --checkpoint-every 1";
+    FaultSchedule per_wire = schedule;
+    per_wire.seed = schedule.seed * 1000003 + i;  // independent per shard
+    auto wire = std::make_unique<FaultyTransport>(
+        std::make_unique<service::PipeTransport>(command, 120.0), per_wire);
+    fleet.wires.push_back(wire.get());
+    specs[i].name = "shard-" + std::to_string(i);
+    specs[i].checkpoint_dir = dir;
+    specs[i].transport = std::move(wire);
+  }
+  fleet.router = std::make_unique<Router>(std::move(specs), options);
+  return fleet;
+}
+
+json::Value create_request(const std::string& name, unsigned seed) {
+  return json::parse(
+      R"({"op":"create","session":")" + name +
+      R"(","workload":"gesummv","n_init":6,"n_batch":2,"n_max":16,)"
+      R"("trees":8,"pool_size":120,"seed":)" + std::to_string(seed) + "}");
+}
+
+json::Value session_request(const std::string& op, const std::string& name) {
+  json::Object obj;
+  obj.emplace("op", json::Value(op));
+  obj.emplace("session", json::Value(name));
+  return json::Value(std::move(obj));
+}
+
+/// Checkpoint paths legitimately differ across homes; everything else in
+/// the stream must match bit for bit.
+std::string canonical(json::Value response) {
+  if (response.is_object()) response.as_object().erase("checkpoint");
+  return response.dump();
+}
+
+json::Value call_router(Router& router, const json::Value& request) {
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    json::Value response = router.handle(request);
+    if (!response.bool_or("redirected", false)) return response;
+  }
+  ADD_FAILURE() << "request redirected 20 times: " << request.dump();
+  return json::Value();
+}
+
+/// Drives one session to completion, recording every canonicalized
+/// response — the client-visible stream the acceptance compares.
+std::vector<std::string> drive(Router& router, const std::string& name,
+                               unsigned seed) {
+  std::vector<std::string> stream;
+  const json::Value created = call_router(router, create_request(name, seed));
+  EXPECT_TRUE(created.bool_or("ok", false)) << created.dump();
+  stream.push_back(canonical(created));
+  const auto workload = workloads::make_workload("gesummv");
+  util::Rng measure_rng(std::stoull(created.at("measure_seed").as_string()));
+  for (;;) {
+    const json::Value batch = call_router(router, session_request("ask", name));
+    EXPECT_TRUE(batch.bool_or("ok", false)) << batch.dump();
+    stream.push_back(canonical(batch));
+    const json::Array& candidates = batch.at("candidates").as_array();
+    if (candidates.empty()) break;
+    for (const json::Value& candidate : candidates) {
+      const auto config =
+          service::configuration_from_json(candidate.at("levels"));
+      const double t = workload->measure(config, measure_rng, 1);
+      json::Object tell;
+      tell.emplace("op", json::Value("tell"));
+      tell.emplace("session", json::Value(name));
+      tell.emplace("levels", candidate.at("levels"));
+      tell.emplace("time", json::Value(t));
+      const json::Value told = call_router(router, json::Value(std::move(tell)));
+      EXPECT_TRUE(told.bool_or("ok", false)) << told.dump();
+      stream.push_back(canonical(told));
+    }
+  }
+  stream.push_back(canonical(call_router(router, session_request("status", name))));
+  return stream;
+}
+
+void expect_streams_equal(const std::vector<std::string>& got,
+                          const std::vector<std::string>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "response " << i;
+  }
+}
+
+/// The labeled-count audit: every session finished with *exactly* n_max
+/// samples — a tell applied twice (a resend the idempotency window failed
+/// to dedup) would overshoot.
+void expect_labeled_exactly(Router& router,
+                            const std::vector<std::string>& names,
+                            double n_max) {
+  const json::Value listed = router.handle(json::parse(R"({"op":"list"})"));
+  ASSERT_TRUE(listed.bool_or("ok", false));
+  const json::Array& sessions = listed.at("sessions").as_array();
+  ASSERT_EQ(sessions.size(), names.size());
+  for (const json::Value& session : sessions) {
+    EXPECT_TRUE(session.bool_or("done", false)) << session.dump();
+    EXPECT_EQ(session.number_or("labeled", 0.0), n_max) << session.dump();
+  }
+}
+
+/// The netchaos probability mix: every reply-side fate the stack claims to
+/// survive, heavy enough that a 16-sample session sees dozens of faults.
+FaultSchedule chaos_schedule(std::uint64_t seed) {
+  FaultSchedule schedule;
+  schedule.drop = 0.03;
+  schedule.duplicate = 0.09;
+  schedule.corrupt_payload = 0.04;
+  schedule.corrupt_header = 0.02;
+  schedule.truncate = 0.02;
+  schedule.seed = seed;
+  return schedule;
+}
+
+TEST(NetChaos, SeededFaultsKeepClientStreamsBitIdentical) {
+  Fleet control = make_fleet("ctl", 4, FaultSchedule{});
+  Fleet chaos = make_fleet("chaos", 4, chaos_schedule(41));
+
+  const std::vector<std::string> names = {"net-a", "net-b"};
+  std::vector<std::vector<std::string>> expected, observed;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    expected.push_back(drive(*control.router, names[i], 311 + unsigned(i)));
+    observed.push_back(drive(*chaos.router, names[i], 311 + unsigned(i)));
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    expect_streams_equal(observed[i], expected[i]);
+  }
+
+  // The schedule really fired — this was not a lucky fault-free run.
+  const FaultStats faults = chaos.total_faults();
+  EXPECT_GT(faults.dropped + faults.corrupted + faults.truncated, 0u)
+      << "schedule injected no detectable faults; raise the probabilities";
+  EXPECT_GT(faults.duplicated, 0u);
+  EXPECT_EQ(control.total_faults().dropped, 0u);
+
+  // Every detected corruption was absorbed below the failover threshold:
+  // the fleet never lost a shard to line noise.
+  EXPECT_EQ(chaos.router->stats().failovers, 0u);
+
+  // Labeled-count audit on both fleets, and the router's health surfaces
+  // the retry work the chaos fleet did.
+  expect_labeled_exactly(*control.router, names, 16.0);
+  expect_labeled_exactly(*chaos.router, names, 16.0);
+  const json::Value health =
+      chaos.router->handle(json::parse(R"({"op":"health"})"));
+  ASSERT_TRUE(health.bool_or("ok", false));
+  double corrupt_replies = 0.0;
+  for (const json::Value& shard :
+       health.at("health").at("shards").as_array()) {
+    corrupt_replies += shard.number_or("corrupt_replies", 0.0);
+  }
+  EXPECT_GT(corrupt_replies, 0.0);
+
+  chaos.router->handle(json::parse(R"({"op":"shutdown"})"));
+  control.router->handle(json::parse(R"({"op":"shutdown"})"));
+}
+
+TEST(NetChaos, SameSeedReplaysTheSameRun) {
+  // The whole point of seeding the injector: a failing schedule can be
+  // re-run. Two fleets with the same seed must see the same fault counts
+  // and produce the same stream.
+  Fleet first = make_fleet("rep1", 4, chaos_schedule(43));
+  Fleet second = make_fleet("rep2", 4, chaos_schedule(43));
+
+  const auto stream_a = drive(*first.router, "net-replay", 331);
+  const auto stream_b = drive(*second.router, "net-replay", 331);
+  expect_streams_equal(stream_b, stream_a);
+
+  const FaultStats a = first.total_faults();
+  const FaultStats b = second.total_faults();
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.duplicated, b.duplicated);
+  EXPECT_EQ(a.corrupted, b.corrupted);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_GT(a.dropped + a.duplicated + a.corrupted + a.truncated, 0u);
+
+  first.router->handle(json::parse(R"({"op":"shutdown"})"));
+  second.router->handle(json::parse(R"({"op":"shutdown"})"));
+}
+
+TEST(NetChaos, PipelinedBatchesSurviveReorderDelayAndDuplication) {
+  // Batches pipeline several sessions' requests down one wire, which is
+  // where reordering and delay actually bite (a single in-flight request
+  // has nothing to be reordered against). Every response must land on its
+  // own request — rid matching, not arrival order.
+  FaultSchedule schedule;
+  schedule.reorder = 0.2;
+  schedule.delay = 0.1;
+  schedule.duplicate = 0.1;
+  schedule.seed = 47;
+  Fleet fleet = make_fleet("pipe", 4, schedule);
+
+  std::vector<std::string> names;
+  for (int i = 0; i < 6; ++i) {
+    const std::string name = "net-pipe-" + std::to_string(i);
+    names.push_back(name);
+    const json::Value created = call_router(
+        *fleet.router, create_request(name, 401 + unsigned(i)));
+    ASSERT_TRUE(created.bool_or("ok", false)) << created.dump();
+  }
+
+  for (int round = 0; round < 10; ++round) {
+    std::vector<json::Value> batch;
+    for (const std::string& name : names) {
+      batch.push_back(session_request("status", name));
+    }
+    const std::vector<json::Value> responses =
+        fleet.router->handle_batch(batch);
+    ASSERT_EQ(responses.size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      EXPECT_TRUE(responses[i].bool_or("ok", false)) << responses[i].dump();
+      EXPECT_EQ(responses[i].at("status").string_or("session", ""), names[i])
+          << "slot " << i << " answered with the wrong session";
+    }
+  }
+
+  const FaultStats faults = fleet.total_faults();
+  EXPECT_GT(faults.reordered + faults.delayed, 0u)
+      << "no window ever had two requests in flight on one wire";
+  EXPECT_GT(faults.duplicated, 0u);
+  EXPECT_EQ(fleet.router->stats().failovers, 0u);
+  fleet.router->handle(json::parse(R"({"op":"shutdown"})"));
+}
+
+// ---- split brain -------------------------------------------------------------
+
+/// Sends one framed request straight down a shard's wire — impersonating a
+/// stale router that still believes it owns the shard — and returns the
+/// worker's (frame-verified) reply.
+json::Value stale_write(FaultyTransport& wire, const json::Value& request) {
+  const std::string line = request.dump();
+  wire.send(service::frame_header(line));
+  wire.send(line);
+  const std::string header_line = wire.recv();
+  service::FrameHeader header;
+  EXPECT_TRUE(service::parse_frame_header(header_line, header))
+      << header_line;
+  const std::string payload = wire.recv();
+  EXPECT_TRUE(service::frame_payload_matches(header, payload));
+  return json::parse(payload);
+}
+
+TEST(NetChaos, SplitBrainStaleEpochWriteIsFenced) {
+  Fleet fleet = make_fleet("brain", 2, FaultSchedule{});
+  Router& router = *fleet.router;
+  const std::string name = "net-brain";
+  const std::size_t owner =
+      router.ring().owner(name) == "shard-0" ? 0 : 1;
+
+  // A live session with a few tells on the owner, then a partition: the
+  // router declares the shard dead and fails the session over, but the
+  // worker process survives behind the partition — a stale primary.
+  const json::Value created = call_router(router, create_request(name, 349));
+  ASSERT_TRUE(created.bool_or("ok", false)) << created.dump();
+  const std::uint64_t stale_epoch = router.ring().epoch();  // 2 (two adds)
+  fleet.wires[owner]->partition_for(1u << 20);
+
+  const json::Value asked = call_router(router, session_request("ask", name));
+  EXPECT_TRUE(asked.bool_or("ok", false)) << asked.dump();
+  EXPECT_EQ(router.stats().failovers, 1u);
+  EXPECT_GT(router.ring().epoch(), stale_epoch);
+  const std::uint64_t fence_epoch = router.ring().epoch();
+
+  // While partitioned the fence cannot be delivered; it stays pending.
+  json::Value health = router.handle(json::parse(R"({"op":"health"})"));
+  EXPECT_EQ(health.at("health").at("counters").number_or("fences_pending",
+                                                         -1.0),
+            1.0);
+  EXPECT_EQ(router.stats().fences_delivered, 0u);
+
+  // Partition heals. Before the fence sweep reaches the stale worker, a
+  // write stamped with the old epoch is still *accepted* — this is the
+  // split-brain window the sweep exists to close. Probe it with a ghost
+  // session so nothing real mutates: "unknown session" means the fence
+  // check passed the request through.
+  fleet.wires[owner]->heal();
+  json::Object ghost;
+  ghost.emplace("op", json::Value("ask"));
+  ghost.emplace("session", json::Value("ghost"));
+  ghost.emplace("epoch", json::Value(static_cast<std::size_t>(stale_epoch)));
+  const json::Value open_window =
+      stale_write(*fleet.wires[owner], json::Value(ghost));
+  EXPECT_FALSE(open_window.bool_or("ok", true));
+  EXPECT_FALSE(open_window.bool_or("fenced", false)) << open_window.dump();
+  EXPECT_NE(open_window.string_or("error", "").find("no session named"),
+            std::string::npos);
+
+  // The health probe sweeps pending fences now that the wire is back.
+  health = router.handle(json::parse(R"({"op":"health"})"));
+  ASSERT_TRUE(health.bool_or("ok", false));
+  EXPECT_EQ(router.stats().fences_delivered, 1u);
+  EXPECT_EQ(health.at("health").at("counters").number_or("fences_pending",
+                                                         -1.0),
+            0.0);
+
+  // The same stale-epoch request is now rejected with the structured
+  // fenced response — and so is a real write to the session the stale
+  // primary still holds a copy of: its post-promotion history cannot fork.
+  const json::Value fenced =
+      stale_write(*fleet.wires[owner], json::Value(ghost));
+  EXPECT_FALSE(fenced.bool_or("ok", true));
+  EXPECT_TRUE(fenced.bool_or("fenced", false)) << fenced.dump();
+  EXPECT_EQ(fenced.number_or("epoch", 0.0),
+            static_cast<double>(fence_epoch));
+
+  json::Object tell;
+  tell.emplace("op", json::Value("tell"));
+  tell.emplace("session", json::Value(name));
+  tell.emplace("levels", json::Value(json::Array{json::Value(0)}));
+  tell.emplace("time", json::Value(0.125));
+  tell.emplace("epoch", json::Value(static_cast<std::size_t>(stale_epoch)));
+  const json::Value stale_tell =
+      stale_write(*fleet.wires[owner], json::Value(std::move(tell)));
+  EXPECT_TRUE(stale_tell.bool_or("fenced", false)) << stale_tell.dump();
+
+  // The promoted home is unaffected: the session finishes normally with
+  // exactly n_max labels.
+  const auto workload = workloads::make_workload("gesummv");
+  util::Rng measure_rng(std::stoull(created.at("measure_seed").as_string()));
+  // Replay the first batch's measurements so the drive loop can continue
+  // from the ask that triggered the failover.
+  for (const json::Value& candidate : asked.at("candidates").as_array()) {
+    const auto config =
+        service::configuration_from_json(candidate.at("levels"));
+    json::Object t;
+    t.emplace("op", json::Value("tell"));
+    t.emplace("session", json::Value(name));
+    t.emplace("levels", candidate.at("levels"));
+    t.emplace("time", json::Value(workload->measure(config, measure_rng, 1)));
+    const json::Value told = call_router(router, json::Value(std::move(t)));
+    EXPECT_TRUE(told.bool_or("ok", false)) << told.dump();
+  }
+  for (;;) {
+    const json::Value batch = call_router(router, session_request("ask", name));
+    ASSERT_TRUE(batch.bool_or("ok", false)) << batch.dump();
+    const json::Array& candidates = batch.at("candidates").as_array();
+    if (candidates.empty()) break;
+    for (const json::Value& candidate : candidates) {
+      const auto config =
+          service::configuration_from_json(candidate.at("levels"));
+      json::Object t;
+      t.emplace("op", json::Value("tell"));
+      t.emplace("session", json::Value(name));
+      t.emplace("levels", candidate.at("levels"));
+      t.emplace("time",
+                json::Value(workload->measure(config, measure_rng, 1)));
+      const json::Value told = call_router(router, json::Value(std::move(t)));
+      EXPECT_TRUE(told.bool_or("ok", false)) << told.dump();
+    }
+  }
+  expect_labeled_exactly(router, {name}, 16.0);
+  router.handle(json::parse(R"({"op":"shutdown"})"));
+}
+
+TEST(NetChaos, FaultsDuringFailoverStayExactlyOnce) {
+  // Faults and a real shard death at the same time: the chaos fleet loses
+  // a worker to a partition mid-run *while* the surviving wires corrupt
+  // and duplicate replies. The stream must still match a clean control
+  // fleet that also loses the shard at the same instant — resilience
+  // layers compose, they don't interfere.
+  const std::string name = "net-both";
+  Fleet control = make_fleet("both_ctl", 3, FaultSchedule{});
+  Fleet chaos = make_fleet("both_chaos", 3, chaos_schedule(53));
+
+  const auto run = [&](Fleet& fleet) {
+    std::vector<std::string> stream;
+    Router& router = *fleet.router;
+    const std::size_t owner = [&] {
+      const std::string who = router.ring().owner(name);
+      return static_cast<std::size_t>(who.back() - '0');
+    }();
+    const json::Value created =
+        call_router(router, create_request(name, 359));
+    EXPECT_TRUE(created.bool_or("ok", false)) << created.dump();
+    stream.push_back(canonical(created));
+    const auto workload = workloads::make_workload("gesummv");
+    util::Rng measure_rng(
+        std::stoull(created.at("measure_seed").as_string()));
+    int asks = 0;
+    for (;;) {
+      if (++asks == 3) fleet.wires[owner]->partition_for(1u << 20);
+      const json::Value batch =
+          call_router(router, session_request("ask", name));
+      EXPECT_TRUE(batch.bool_or("ok", false)) << batch.dump();
+      stream.push_back(canonical(batch));
+      const json::Array& candidates = batch.at("candidates").as_array();
+      if (candidates.empty()) break;
+      for (const json::Value& candidate : candidates) {
+        const auto config =
+            service::configuration_from_json(candidate.at("levels"));
+        json::Object tell;
+        tell.emplace("op", json::Value("tell"));
+        tell.emplace("session", json::Value(name));
+        tell.emplace("levels", candidate.at("levels"));
+        tell.emplace(
+            "time", json::Value(workload->measure(config, measure_rng, 1)));
+        const json::Value told =
+            call_router(router, json::Value(std::move(tell)));
+        EXPECT_TRUE(told.bool_or("ok", false)) << told.dump();
+        stream.push_back(canonical(told));
+      }
+    }
+    return stream;
+  };
+
+  const auto expected = run(control);
+  const auto observed = run(chaos);
+  expect_streams_equal(observed, expected);
+
+  EXPECT_EQ(control.router->stats().failovers, 1u);
+  EXPECT_EQ(chaos.router->stats().failovers, 1u);
+  expect_labeled_exactly(*control.router, {name}, 16.0);
+  expect_labeled_exactly(*chaos.router, {name}, 16.0);
+  chaos.router->handle(json::parse(R"({"op":"shutdown"})"));
+  control.router->handle(json::parse(R"({"op":"shutdown"})"));
+}
+
+}  // namespace
+}  // namespace pwu::router

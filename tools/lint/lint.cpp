@@ -477,6 +477,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"replicate-write-discipline",
        "replication-path functions (replicate / promote / import_commit) "
        "only write checkpoint images under a ckpt_write_mutex"},
+      {"framed-write-discipline",
+       "*Transport methods only touch the wire through the framing layer; "
+       "raw fd write() outside *frame* functions is flagged"},
   };
   return kRules;
 }

@@ -37,6 +37,14 @@
 //   "ckpt_write_mutex". Replicated records race the primary's own
 //   checkpoint writers for the same image files; the write mutex is the
 //   only thing keeping a promoted shadow's disk state newest-wins.
+//
+//   framed-write-discipline: methods of *Transport classes may only touch
+//   the wire through the framing layer — a raw fd write() (bare or
+//   ::-qualified; stream receivers like `os.write(...)` don't count) in a
+//   transport function whose qualified name lacks "frame" is flagged. The
+//   pwu1 framing writer owns the length prefix, the CRC, and the
+//   short-write/EINTR loop; a second write path would ship unframed or
+//   torn bytes the peer's resync logic then has to survive.
 
 #include "rules_flow.hpp"
 
@@ -685,6 +693,37 @@ void rule_replicate_write(const ProjectIndex& index,
   }
 }
 
+// ---------------------------------------------------------------------------
+// framed-write-discipline
+// ---------------------------------------------------------------------------
+
+bool in_framing_layer(const FunctionInfo& fn) {
+  std::string qual = fn.qual;
+  std::transform(qual.begin(), qual.end(), qual.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return qual.find("frame") != std::string::npos;
+}
+
+void rule_framed_write(const ProjectIndex& index,
+                       const std::vector<FnFacts>& /*facts*/,
+                       FlowReporter& rep) {
+  for (const FunctionInfo& fn : index.functions) {
+    if (!in_src(fn.file)) continue;
+    if (!fn.class_name.ends_with("Transport")) continue;
+    if (in_framing_layer(fn)) continue;
+    for (const Event& ev : fn.events) {
+      if (ev.kind != EventKind::Call || ev.callee != "write") continue;
+      if (!ev.receiver.empty()) continue;  // `os.write(...)` is a stream
+      if (!ev.qual.empty() && ev.qual != "::") continue;  // Foo::write helper
+      rep.report("framed-write-discipline", fn.file, ev.line,
+                 "raw fd write() in transport function '" + fn.qual +
+                     "' bypasses the framing layer; route wire bytes through "
+                     "the framing writer so the length prefix, the CRC, and "
+                     "the short-write/EINTR loop stay in one place");
+    }
+  }
+}
+
 }  // namespace
 
 void run_flow_rules(const std::vector<SourceFile>& files,
@@ -706,6 +745,9 @@ void run_flow_rules(const std::vector<SourceFile>& files,
   if (rule_on("killpoint-safety")) rule_killpoint_safety(index, facts, rep);
   if (rule_on("replicate-write-discipline")) {
     rule_replicate_write(index, facts, rep);
+  }
+  if (rule_on("framed-write-discipline")) {
+    rule_framed_write(index, facts, rep);
   }
 }
 

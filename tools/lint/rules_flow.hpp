@@ -11,6 +11,10 @@
 //                         replication-path functions (replicate / promote /
 //                         import_commit) only write checkpoint images while
 //                         holding a ckpt_write_mutex
+//   framed-write-discipline
+//                         *Transport methods only touch the wire through the
+//                         framing layer; raw fd write() outside *frame*
+//                         functions is flagged
 //
 // See rules_flow.cpp for the exact semantics and DESIGN.md §13 for the
 // suppression policy.
@@ -26,7 +30,7 @@
 
 namespace pwu::lint {
 
-/// Runs the five flow rules over the project index, appending findings.
+/// Runs the six flow rules over the project index, appending findings.
 /// `rule_on` gates each rule by name; suppression uses each file's parsed
 /// directives (same allow grammar as the line rules, plus `blocking-ok`).
 void run_flow_rules(const std::vector<SourceFile>& files,

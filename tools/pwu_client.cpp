@@ -20,6 +20,13 @@
 //                    retrying. Meant for equivalent front-ends (e.g.
 //                    router replicas over one worker fleet) — a fresh
 //                    pwu_serve would not have the session.
+//   --frame          checksummed pwu1 wire framing on the pipe transports
+//                    (DESIGN.md §15): a corrupt reply is detected by CRC,
+//                    the stream resyncs at the next frame boundary, and
+//                    the request is re-sent after a jittered backoff. The
+//                    exit summary reports corrupt_replies. Mutating ops
+//                    always carry client-generated idempotency keys, so
+//                    re-sends are exactly-once.
 //
 // Structured refusals are honored, not treated as failures: an
 // {"ok":false,"overloaded":true} response retries after the server's
@@ -83,6 +90,7 @@ struct Args {
   double timeout = 30.0;     // per-request response timeout (seconds)
   int retries = 3;           // transport-failure retries per request
   int backoff_ms = 100;      // first retry backoff (doubles, jittered)
+  bool frame = false;        // checksummed pwu1 framing on pipe transports
   bool verbose = false;
 };
 
@@ -125,6 +133,7 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--timeout") args.timeout = std::stod(next());
     else if (arg == "--retries") args.retries = std::stoi(next());
     else if (arg == "--backoff") args.backoff_ms = std::stoi(next());
+    else if (arg == "--frame") args.frame = true;
     else if (arg == "--verbose") args.verbose = true;
     else throw std::invalid_argument("unrecognized argument: " + arg);
   }
@@ -146,10 +155,18 @@ class EndpointPool {
     labels_.push_back("(in-process)");
   }
 
-  EndpointPool(const std::vector<std::string>& commands, double timeout) {
+  EndpointPool(const std::vector<std::string>& commands, double timeout,
+               bool frame) {
     for (const std::string& command : commands) {
-      transports_.push_back(
-          std::make_unique<service::PipeTransport>(command, timeout));
+      std::unique_ptr<service::Transport> transport =
+          std::make_unique<service::PipeTransport>(command, timeout);
+      if (frame) {
+        // Checksummed pwu1 framing: corruption is detected per reply and
+        // surfaces as service::FrameError instead of poisoning the stream.
+        transport =
+            std::make_unique<service::FramedTransport>(std::move(transport));
+      }
+      transports_.push_back(std::move(transport));
       labels_.push_back(command);
     }
   }
@@ -180,11 +197,30 @@ class EndpointPool {
 ///     re-resolve against the next front-end (whose ring view may already
 ///     name the session's updated owner) instead of hammering the one
 ///     that keeps redirecting. Budget: --retries per endpoint overall.
+///   corrupt reply (--frame) — the frame layer already resynced to the next
+///     frame boundary; wait a jittered --backoff and re-send the *same*
+///     request on the same connection. The idempotency key stamped below
+///     makes the re-send exactly-once even when the lost reply's request
+///     was applied. Counted in `corrupt_replies` for the exit summary.
+///
+/// Mutating requests (tell, create, resume, checkpoint, ...) that carry no
+/// "idem" key yet are stamped with a client-generated one — once per
+/// logical call, so every retry re-uses the same key and the server's
+/// dedup window replays the original reply instead of re-executing.
 json::Value call(EndpointPool& pool, const json::Value& request,
-                 const Args& args, util::Rng& backoff_rng) {
-  const std::string line = request.dump();
+                 const Args& args, util::Rng& backoff_rng,
+                 std::uint64_t& idem_counter, std::uint64_t& corrupt_replies) {
+  json::Value stamped = request;
+  if (stamped.is_object() &&
+      service::is_mutating_op(stamped.string_or("op", "")) &&
+      stamped.string_or("idem", "").empty() &&
+      !stamped.string_or("session", "").empty()) {
+    stamped.as_object()["idem"] =
+        json::Value("cli#" + std::to_string(++idem_counter));
+  }
+  const std::string line = stamped.dump();
   if (args.verbose) std::cout << ">> " << line << "\n";
-  for (int attempt = 0, redirects = 0;;) {
+  for (int attempt = 0, redirects = 0, corruptions = 0;;) {
     try {
       const std::string reply = pool.current().request(line);
       json::Value response = json::parse(reply);
@@ -229,6 +265,23 @@ json::Value call(EndpointPool& pool, const json::Value& request,
                                  response.at("error").as_string());
       }
       return response;
+    } catch (const service::FrameError& e) {
+      ++corrupt_replies;
+      if (corruptions >= args.retries) {
+        throw service::TransportError(
+            std::string("persistent reply corruption: ") + e.what());
+      }
+      ++corruptions;
+      const double wait_ms = static_cast<double>(args.backoff_ms) *
+                             (0.5 + backoff_rng.uniform());
+      std::cerr << "pwu_client: " << e.what() << "; resend " << corruptions
+                << "/" << args.retries << " in " << static_cast<int>(wait_ms)
+                << " ms\n";
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(wait_ms)));
+      // Same connection, same line: the server either never saw the request
+      // (lost reply was an injected drop upstream of it) or dedups it by
+      // the idempotency key and replays the original reply.
     } catch (const service::TransportError& e) {
       if (attempt >= args.retries) throw;
       const double base =
@@ -265,20 +318,24 @@ int main(int argc, char** argv) {
                  "[--alpha F] [--ninit N] [--batch N] [--nmax N] [--pool N] "
                  "[--test N] [--trees N] [--seed N] [--checkpoint-at N] "
                  "[--server CMD | --endpoints CMD1,CMD2,...] [--timeout SEC] "
-                 "[--retries N] [--backoff MS] [--verbose]\n";
+                 "[--retries N] [--backoff MS] [--frame] [--verbose]\n";
     return 2;
   }
   try {
     const auto workload = workloads::make_workload(args.workload);
 
-    EndpointPool pool = args.endpoints.empty()
-                            ? EndpointPool()
-                            : EndpointPool(args.endpoints, args.timeout);
+    EndpointPool pool =
+        args.endpoints.empty()
+            ? EndpointPool()
+            : EndpointPool(args.endpoints, args.timeout, args.frame);
     // Jitter stream independent of the tuning seed: retry timing must not
     // perturb the reproducible measurement stream.
     util::Rng backoff_rng(args.seed ^ 0x9e3779b97f4a7c15ULL);
+    std::uint64_t idem_counter = 0;
+    std::uint64_t corrupt_replies = 0;
     auto rpc = [&](const json::Value& request) {
-      return call(pool, request, args, backoff_rng);
+      return call(pool, request, args, backoff_rng, idem_counter,
+                  corrupt_replies);
     };
 
     json::Object create_fields{
@@ -372,6 +429,10 @@ int main(int argc, char** argv) {
               << " | batch samples: " << batch.train_labels.size()
               << " | training sets "
               << (identical ? "IDENTICAL (bit-exact)" : "DIVERGED") << "\n";
+    if (args.frame) {
+      std::cout << "corrupt_replies: " << corrupt_replies
+                << " (detected by frame CRC, resynced and retried)\n";
+    }
     if (args.checkpoint_at != 0) {
       std::remove(ckpt_path.c_str());
       std::remove((ckpt_path + ".bak").c_str());

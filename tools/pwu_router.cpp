@@ -84,6 +84,11 @@ int usage(int code) {
          "                  [--seed S]            jitter stream seed\n"
          "                  [--probe-every N]     probe worker health every "
          "N requests (default 0 = off)\n"
+         "                  [--frame]             speak checksummed pwu1 "
+         "framing to the workers\n"
+         "                                        (corrupt replies are "
+         "detected and resent instead\n"
+         "                                        of poisoning a session)\n"
          "                  [--standby]           warm-standby replication: "
          "stream acked ops to each\n"
          "                                        session's ring successor "
@@ -175,6 +180,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.probe_every = static_cast<std::size_t>(v);
+    } else if (arg == "--frame") {
+      options.frame = true;
     } else if (arg == "--standby") {
       options.standby = true;
     } else if (arg == "--replication-lag-max" && i + 1 < argc) {

@@ -27,6 +27,11 @@
 //   --refit-watchdog-ms N  cancel refits running longer than N ms
 //   --refit-retries N      cancelled-refit retries before quarantine
 //   --retry-after-ms N     back-off hint attached to overloaded errors
+//
+// Network resilience (see DESIGN.md §15): framed `pwu1 <len> <crc32>`
+// requests are accepted automatically and {"op":"hello","frame":true}
+// flips responses to framed; --idempotency-window N sizes the per-session
+// dedup window for client idempotency keys (0 disables).
 
 #include <cstdlib>
 #include <iostream>
@@ -57,6 +62,7 @@ int main(int argc, char** argv) {
   unsigned threads = 0;  // 0 = serve single-threaded (refits inline)
   std::string checkpoint_dir;
   std::size_t checkpoint_every = 0;
+  long idempotency_window = -1;  // -1 = keep the manager default
   pwu::service::ServiceLimits limits;
   struct CountFlag {
     const char* name;
@@ -151,6 +157,16 @@ int main(int argc, char** argv) {
         return 1;
       }
       pwu::util::arm_killpoint(point, static_cast<int>(hits));
+    } else if (arg == "--idempotency-window" && i + 1 < argc) {
+      // Per-session count of remembered (idem key -> reply) pairs; 0
+      // disables wire-level dedup entirely.
+      long v = 0;
+      if (!parse_count(argv[++i], v)) {
+        std::cerr << "pwu_serve: --idempotency-window expects a non-negative "
+                     "integer, got '" << argv[i] << "'\n";
+        return 1;
+      }
+      idempotency_window = v;
     } else if (arg == "--retry-after-ms" && i + 1 < argc) {
       long v = 0;
       if (!parse_count(argv[++i], v)) {
@@ -168,6 +184,8 @@ int main(int argc, char** argv) {
                    "[--memory-budget-mb N]\n"
                    "                 [--refit-watchdog-ms N] "
                    "[--refit-retries N] [--retry-after-ms N]\n"
+                   "                 [--idempotency-window N]   (per-session "
+                   "dedup keys; 0 disables)\n"
                    "                 [--kill-at NAME[:HITS]]   (chaos "
                    "testing: crash at an armed kill point)\n"
                    "Reads one JSON request per line on stdin, writes one "
@@ -196,18 +214,23 @@ int main(int argc, char** argv) {
   }
   if (!checkpoint_dir.empty() && checkpoint_every == 0) checkpoint_every = 1;
   try {
+    const auto configure = [&](pwu::service::SessionManager& manager) {
+      if (checkpoint_every != 0) {
+        manager.enable_auto_checkpoint(checkpoint_dir, checkpoint_every);
+      }
+      if (idempotency_window >= 0) {
+        manager.set_idempotency_window(
+            static_cast<std::size_t>(idempotency_window));
+      }
+    };
     if (threads > 1) {
       pwu::util::ThreadPool workers(threads);
       pwu::service::SessionManager manager(&workers, limits);
-      if (checkpoint_every != 0) {
-        manager.enable_auto_checkpoint(checkpoint_dir, checkpoint_every);
-      }
+      configure(manager);
       pwu::service::run_serve_loop(std::cin, std::cout, manager);
     } else {
       pwu::service::SessionManager manager(nullptr, limits);
-      if (checkpoint_every != 0) {
-        manager.enable_auto_checkpoint(checkpoint_dir, checkpoint_every);
-      }
+      configure(manager);
       pwu::service::run_serve_loop(std::cin, std::cout, manager);
     }
   } catch (const std::exception& e) {
